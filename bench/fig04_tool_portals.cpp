@@ -1,0 +1,81 @@
+// Figure 4: the tool-portal architecture. Exercises each of the five
+// cloud-deployed tools through the same text-in/text-out contract the
+// portals used: kbdd (BDD calculator), miniSAT (DIMACS), Espresso (PLA),
+// SIS (multi-level scripting), and Ax=b (linear systems).
+
+#include <cstdio>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+#include "espresso/minimize.hpp"
+#include "espresso/pla.hpp"
+#include "linalg/dense.hpp"
+#include "mls/script.hpp"
+#include "network/blif.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace l2l;
+  std::printf("=== Figure 4: five tool portals, text in -> text out ===\n\n");
+
+  // kbdd: canonical comparison of two formulas.
+  {
+    bdd::Manager mgr(3);
+    const auto a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+    const auto f = (a & b) | c;
+    const auto g = !((!a | !b) & !c);  // De Morgan'd form
+    std::printf("[kbdd]     (a&b)|c vs !((!a|!b)&!c): %s, satcount %llu/8\n",
+                f == g ? "EQUAL" : "NOT EQUAL",
+                static_cast<unsigned long long>(f.sat_count()));
+  }
+
+  // miniSAT: DIMACS text round trip.
+  {
+    const char* dimacs = "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+    const auto formula = sat::parse_dimacs(dimacs);
+    sat::Solver solver;
+    sat::load_into_solver(formula, solver);
+    const auto result = solver.solve();
+    std::printf("[miniSAT]  3-var instance: %s",
+                sat::result_text(solver, result).c_str());
+  }
+
+  // Espresso: PLA text round trip.
+  {
+    const char* pla_text =
+        ".i 3\n.o 1\n000 1\n001 1\n010 1\n011 1\n101 1\n.e\n";
+    auto pla = espresso::parse_pla(pla_text);
+    const int before = pla.outputs[0].on.size();
+    pla.outputs[0].on = espresso::minimize(pla.outputs[0].on);
+    std::printf("[espresso] %d cubes -> %d cubes\n", before,
+                pla.outputs[0].on.size());
+  }
+
+  // SIS: BLIF in, optimized BLIF out.
+  {
+    auto net = network::parse_blif(
+        ".model portal\n.inputs a b c d\n.outputs x y\n"
+        ".names a c d x\n11- 1\n1-1 1\n"
+        ".names b c d y\n11- 1\n1-1 1\n.end\n");
+    const auto stats = mls::optimize(net);
+    std::printf("[SIS]      %s\n", stats.to_string().c_str());
+  }
+
+  // Ax=b: the quadratic-placement homework helper.
+  {
+    linalg::DenseMatrix a(2, 2);
+    a.at(0, 0) = 2;
+    a.at(0, 1) = -1;
+    a.at(1, 0) = -1;
+    a.at(1, 1) = 2;
+    const auto x = linalg::solve_gauss(a, {0.0, 10.0});
+    std::printf("[Ax=b]     2-cell placement system: x = (%.3f, %.3f)\n",
+                (*x)[0], (*x)[1]);
+  }
+
+  std::printf("\nall five portals answered (auto-graders share the same "
+              "text contract; see fig05/fig06)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 6: unit-test examples for the auto-graded maze-router project --
+// short wires in one layer, short vertical/horizontal segments, wires with
+// a few bends, wires around obstacles, vias, etc. Each case is routed and
+// then judged by the auto-grader, exactly the MOOC's regression scheme.
+
+#include <cstdio>
+
+#include "grader/route_grader.hpp"
+#include "route/router.hpp"
+#include "route/solution.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using l2l::gen::GridPoint;
+using l2l::gen::RoutingProblem;
+
+RoutingProblem grid12() {
+  RoutingProblem p;
+  p.width = p.height = 12;
+  p.num_layers = 2;
+  p.blocked.assign(2, std::vector<bool>(144, false));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace l2l;
+
+  struct Case {
+    const char* name;
+    RoutingProblem problem;
+  };
+  std::vector<Case> cases;
+
+  {
+    auto p = grid12();
+    p.nets.push_back({0, {{1, 1, 0}, {5, 1, 0}}});
+    cases.push_back({"short wire, one layer (horizontal)", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    p.nets.push_back({0, {{2, 1, 0}, {2, 7, 0}}});
+    cases.push_back({"short vertical segment", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    p.nets.push_back({0, {{1, 10, 0}, {10, 1, 0}}});
+    cases.push_back({"wire with a few bends", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    for (int y = 0; y < 11; ++y) p.blocked[0][static_cast<std::size_t>(y) * 12 + 6] = true;
+    p.nets.push_back({0, {{1, 1, 0}, {10, 1, 0}}});
+    cases.push_back({"wire around an obstacle", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    for (int y = 0; y < 12; ++y) p.blocked[0][static_cast<std::size_t>(y) * 12 + 6] = true;
+    p.nets.push_back({0, {{1, 1, 0}, {10, 1, 0}}});
+    cases.push_back({"full wall: must use vias + layer 2", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    p.nets.push_back({0, {{1, 1, 0}, {10, 10, 1}}});
+    cases.push_back({"cross-layer pin pair", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    p.nets.push_back({0, {{1, 1, 0}, {10, 1, 0}, {5, 10, 0}}});
+    cases.push_back({"3-pin net (Steiner tree)", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    p.nets.push_back({0, {{0, 0, 0}, {11, 0, 0}}});
+    p.nets.push_back({1, {{0, 2, 0}, {11, 2, 0}}});
+    p.nets.push_back({2, {{0, 1, 0}, {11, 1, 0}}});
+    cases.push_back({"three parallel nets, no overlap", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    // Crossing pair: must resolve with the second layer.
+    p.nets.push_back({0, {{0, 5, 0}, {11, 5, 0}}});
+    p.nets.push_back({1, {{5, 0, 0}, {5, 11, 0}}});
+    cases.push_back({"crossing nets (layer assignment)", std::move(p)});
+  }
+  {
+    auto p = grid12();
+    p.nets.push_back({0, {{3, 3, 0}, {3, 4, 0}}});
+    cases.push_back({"adjacent pins", std::move(p)});
+  }
+
+  std::printf("=== Figure 6: maze-router unit tests (auto-graded) ===\n\n");
+  std::vector<std::vector<std::string>> rows;
+  int passed = 0;
+  for (auto& c : cases) {
+    const auto sol = route::route_all(c.problem);
+    const auto g = grader::grade_routing(c.problem, sol);
+    const bool ok = g.legal_nets == g.total_nets;
+    passed += ok;
+    rows.push_back({c.name, ok ? "PASS" : "FAIL",
+                    util::format("wire %d, vias %d", g.total_wirelength,
+                                 g.total_vias)});
+  }
+  std::printf("%s\n", util::render_table({"unit test", "grade", "metrics"}, rows).c_str());
+  std::printf("%d/%d unit tests pass\n", passed,
+              static_cast<int>(cases.size()));
+  return passed == static_cast<int>(cases.size()) ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Figure 8: the MOOC participation "funnel". Prints the paper's published
+// counts next to the cohort simulator's, with relative errors, plus the
+// derived stage-to-stage survival rates the paper quotes ("about 1/2 ...
+// never show up", "around 1/5 of those who watched tried a homework").
+
+#include <cstdio>
+
+#include "mooc/cohort.hpp"
+#include "mooc/datasets.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace l2l;
+  util::Rng rng(17500);
+  const auto sim = mooc::simulate_cohort({}, rng);
+  const auto& ref = mooc::participation_funnel();
+
+  std::printf("=== Figure 8: participation funnel ===\n\n");
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    rows.push_back({ref[k].name, util::format("%d", ref[k].count),
+                    util::format("%d", sim.funnel[k]),
+                    util::format("%.1f%%",
+                                 100.0 * mooc::relative_error(
+                                             sim.funnel[k], ref[k].count))});
+  }
+  std::printf("%s\n",
+              util::render_table({"stage", "paper", "simulated", "rel err"},
+                                 rows)
+                  .c_str());
+
+  std::printf("derived rates (paper's round numbers in quotes):\n");
+  auto rate = [&](int a, int b) {
+    return util::format("%.1f%%", 100.0 * sim.funnel[static_cast<std::size_t>(b)] /
+                                      static_cast<double>(sim.funnel[static_cast<std::size_t>(a)]));
+  };
+  std::printf("%s",
+              util::render_table(
+                  {"transition", "paper", "simulated"},
+                  {{"registered -> watched", "\"about 1/2 never show\"",
+                    rate(0, 1)},
+                   {"watched -> homework", "\"around 1/5\"", rate(1, 2)},
+                   {"homework -> software", "\"about 1/4\"", rate(2, 3)},
+                   {"homework -> final", "\"about 40%\"", rate(2, 4)}})
+                  .c_str());
+
+  std::printf("\nfunnel bars (simulated):\n");
+  std::vector<util::BarDatum> bars;
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    bars.push_back({ref[k].name, static_cast<double>(sim.funnel[k])});
+  util::BarChartOptions opt;
+  opt.width = 50;
+  std::printf("%s", util::render_bar_chart(bars, opt).c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Two-level minimization benchmarks: the espresso loop vs. the exact
+// Quine-McCluskey baseline, and the single-pass (no REDUCE) ablation.
+
+#include <benchmark/benchmark.h>
+
+#include "espresso/minimize.hpp"
+#include "espresso/qm.hpp"
+#include "gen/function_gen.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace l2l;
+
+void BM_EspressoHeuristic(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  const bool single_pass = state.range(1) != 0;
+  util::Rng rng(99);
+  const auto f = gen::random_cover(vars, 4 * vars, rng);
+  int final_cubes = 0;
+  for (auto _ : state) {
+    espresso::MinimizeOptions opt;
+    opt.single_pass = single_pass;
+    const auto m = espresso::minimize(f, cubes::Cover(vars), opt, nullptr);
+    final_cubes = m.size();
+    state.counters["cubes_in"] = f.size();
+    state.counters["cubes_out"] = final_cubes;
+  }
+  (void)final_cubes;
+  state.SetLabel(single_pass ? "expand+irredundant only" : "full loop");
+}
+BENCHMARK(BM_EspressoHeuristic)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({7, 0})
+    ->Args({7, 1});
+
+void BM_ExactQuineMcCluskey(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  util::Rng rng(100);
+  const auto ft = tt::TruthTable::random(vars, rng);
+  const auto f = cubes::Cover::from_truth_table(ft);
+  int cubes_out = 0;
+  for (auto _ : state) {
+    const auto m = espresso::exact_minimize(f);
+    cubes_out = m.size();
+    state.counters["cubes_out"] = cubes_out;
+  }
+  (void)cubes_out;
+}
+BENCHMARK(BM_ExactQuineMcCluskey)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_HeuristicVsExactGap(benchmark::State& state) {
+  // Quality ablation: average cube-count gap on random 5-var functions.
+  util::Rng rng(101);
+  double gap = 0;
+  int trials = 0;
+  for (auto _ : state) {
+    const auto ft = tt::TruthTable::random(5, rng);
+    const auto f = cubes::Cover::from_truth_table(ft);
+    if (f.empty()) continue;
+    const auto h = espresso::minimize(f);
+    const auto e = espresso::exact_minimize(f);
+    gap += h.size() - e.size();
+    ++trials;
+    benchmark::DoNotOptimize(h.size());
+  }
+  if (trials) state.counters["avg_extra_cubes"] = gap / trials;
+}
+BENCHMARK(BM_HeuristicVsExactGap);
+
+void BM_PrimeGeneration(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  util::Rng rng(102);
+  const auto ft = tt::TruthTable::random(vars, rng);
+  const auto f = cubes::Cover::from_truth_table(ft);
+  std::size_t primes = 0;
+  for (auto _ : state) {
+    primes = espresso::all_primes(f, cubes::Cover(vars)).size();
+    state.counters["primes"] = static_cast<double>(primes);
+  }
+  (void)primes;
+}
+BENCHMARK(BM_PrimeGeneration)->Arg(5)->Arg(7)->Arg(9);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Ax=b benchmarks: CG scaling on placement-like Laplacians, dense
+// baselines, and the Jacobi-preconditioner ablation.
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/cg.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace l2l;
+
+linalg::SparseMatrix laplacian_2d(int side) {
+  const int n = side * side;
+  linalg::SparseMatrix a(n);
+  auto idx = [&](int x, int y) { return y * side + x; };
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      double deg = 0.05;  // weak anchor (like the placer's regularization)
+      if (x > 0) {
+        a.add(idx(x, y), idx(x - 1, y), -1.0);
+        deg += 1;
+      }
+      if (x + 1 < side) {
+        a.add(idx(x, y), idx(x + 1, y), -1.0);
+        deg += 1;
+      }
+      if (y > 0) {
+        a.add(idx(x, y), idx(x, y - 1), -1.0);
+        deg += 1;
+      }
+      if (y + 1 < side) {
+        a.add(idx(x, y), idx(x, y + 1), -1.0);
+        deg += 1;
+      }
+      a.add(idx(x, y), idx(x, y), deg);
+    }
+  }
+  a.compress();
+  return a;
+}
+
+void BM_CgLaplacian(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const bool precond = state.range(1) != 0;
+  const auto a = laplacian_2d(side);
+  // A varied RHS: the all-ones vector is an exact eigenvector of this
+  // Laplacian (every row sums to the anchor weight), which would let plain
+  // CG converge in one step and make the comparison degenerate.
+  std::vector<double> b(static_cast<std::size_t>(side) * static_cast<std::size_t>(side));
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = static_cast<double>(i % 7) - 3.0;
+  int iters = 0;
+  for (auto _ : state) {
+    linalg::CgOptions opt;
+    opt.jacobi_preconditioner = precond;
+    const auto res = linalg::conjugate_gradient(a, b, opt);
+    iters = res.iterations;
+    state.counters["iterations"] = iters;
+    benchmark::DoNotOptimize(res.x);
+  }
+  (void)iters;
+  state.SetLabel(precond ? "Jacobi preconditioned" : "plain CG");
+}
+BENCHMARK(BM_CgLaplacian)
+    ->Args({16, 1})
+    ->Args({16, 0})
+    ->Args({32, 1})
+    ->Args({64, 1});
+
+void BM_DenseCholesky(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  linalg::DenseMatrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      const double v = rng.next_gaussian() * 0.1;
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+    a.at(i, i) = n;
+  }
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve_cholesky(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DenseCholesky)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_SparseMatVec(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto a = laplacian_2d(side);
+  std::vector<double> x(static_cast<std::size_t>(side) * static_cast<std::size_t>(side), 1.0);
+  std::vector<double> y;
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y);
+  }
+  state.counters["nnz"] = static_cast<double>(a.nnz());
+}
+BENCHMARK(BM_SparseMatVec)->Arg(32)->Arg(128);
+
+}  // namespace

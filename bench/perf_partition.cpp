@@ -1,0 +1,75 @@
+// Partitioning benchmarks: FM vs KL quality and runtime, and FM pass
+// scaling on MCNC-sized hypergraphs.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/placement_gen.hpp"
+#include "partition/fm.hpp"
+#include "partition/kl.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace l2l;
+
+partition::Hypergraph hypergraph(int cells, std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::PlacementGenOptions opt;
+  opt.num_cells = cells;
+  return partition::Hypergraph::from_placement(
+      gen::generate_placement(opt, rng));
+}
+
+void BM_FmPartition(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  const auto g = hypergraph(cells, 77);
+  int cut = 0;
+  for (auto _ : state) {
+    util::Rng rng(5);
+    partition::FmStats stats;
+    benchmark::DoNotOptimize(partition::fm_partition(g, rng, {}, &stats));
+    cut = stats.final_cut;
+    state.counters["cut"] = cut;
+  }
+  (void)cut;
+}
+BENCHMARK(BM_FmPartition)->Arg(100)->Arg(400)->Arg(1000)->Iterations(1);
+
+void BM_KlPartition(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  const auto g = hypergraph(cells, 77);
+  int cut = 0;
+  for (auto _ : state) {
+    util::Rng rng(5);
+    const auto start = partition::random_bipartition(g, rng);
+    partition::KlStats stats;
+    benchmark::DoNotOptimize(partition::kl_refine(g, start, 4, &stats));
+    cut = stats.final_cut;
+    state.counters["cut"] = cut;
+  }
+  (void)cut;
+  state.SetLabel("KL is the O(n^2) historical baseline");
+}
+BENCHMARK(BM_KlPartition)->Arg(100)->Arg(200)->Iterations(1);
+
+void BM_FmMultiStart(benchmark::State& state) {
+  // Quality ablation: best of k random starts.
+  const int starts = static_cast<int>(state.range(0));
+  const auto g = hypergraph(300, 78);
+  int best_cut = 0;
+  for (auto _ : state) {
+    best_cut = 1 << 30;
+    for (int k = 0; k < starts; ++k) {
+      util::Rng rng(static_cast<std::uint64_t>(k));
+      partition::FmStats stats;
+      partition::fm_partition(g, rng, {}, &stats);
+      best_cut = std::min(best_cut, stats.final_cut);
+    }
+    state.counters["best_cut"] = best_cut;
+    benchmark::DoNotOptimize(best_cut);
+  }
+  (void)best_cut;
+}
+BENCHMARK(BM_FmMultiStart)->Arg(1)->Arg(4)->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Placement benchmarks + ablations: clique vs star net models, recursion
+// depth, and annealing vs pure greedy descent.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/placement_gen.hpp"
+#include "place/annealing.hpp"
+#include "place/legalize.hpp"
+#include "place/quadratic.hpp"
+#include "place/wirelength.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace l2l;
+
+gen::PlacementProblem problem(int cells, std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::PlacementGenOptions opt;
+  opt.num_cells = cells;
+  return gen::generate_placement(opt, rng);
+}
+
+void BM_QuadraticNetModel(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  const bool star = state.range(1) != 0;
+  const auto p = problem(cells, 11);
+  double h = 0;
+  for (auto _ : state) {
+    place::QuadraticOptions opt;
+    opt.net_model = star ? place::NetModel::kStar : place::NetModel::kClique;
+    const auto pl = place::place_quadratic(p, opt);
+    h = place::hpwl(p, pl);
+    state.counters["hpwl"] = h;
+  }
+  (void)h;
+  state.SetLabel(star ? "star model" : "clique model");
+}
+BENCHMARK(BM_QuadraticNetModel)
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({600, 0})
+    ->Args({600, 1});
+
+void BM_RecursionDepth(benchmark::State& state) {
+  const int levels = static_cast<int>(state.range(0));
+  const auto p = problem(400, 12);
+  double h = 0;
+  for (auto _ : state) {
+    place::QuadraticOptions opt;
+    opt.max_levels = levels;
+    const auto pl = place::place_quadratic(p, opt);
+    h = place::hpwl(p, pl);
+    state.counters["hpwl"] = h;
+  }
+  (void)h;
+}
+BENCHMARK(BM_RecursionDepth)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AnnealVsGreedy(benchmark::State& state) {
+  const bool greedy = state.range(0) != 0;
+  const auto p = problem(150, 13);
+  const place::Grid grid{14, 14, p.width, p.height};
+  double final_cost = 0;
+  for (auto _ : state) {
+    util::Rng rng(7);
+    const auto start = place::random_grid_placement(p, grid, rng);
+    place::AnnealingOptions opt;
+    opt.greedy = greedy;
+    opt.moves_per_cell_per_stage = 8;
+    place::AnnealingStats stats;
+    benchmark::DoNotOptimize(place::anneal(p, grid, start, opt, rng, &stats));
+    final_cost = stats.final_cost;
+    state.counters["final_hpwl"] = final_cost;
+  }
+  (void)final_cost;
+  state.SetLabel(greedy ? "greedy descent" : "simulated annealing");
+}
+BENCHMARK(BM_AnnealVsGreedy)->Arg(0)->Arg(1)->Iterations(1);
+
+void BM_QuadraticSeedVsColdAnneal(benchmark::State& state) {
+  // Flow ablation: annealing from a quadratic seed vs. from random.
+  const bool quad_seed = state.range(0) != 0;
+  const auto p = problem(150, 14);
+  const place::Grid grid{14, 14, p.width, p.height};
+  double final_cost = 0;
+  for (auto _ : state) {
+    util::Rng rng(9);
+    const auto start =
+        quad_seed ? place::legalize(p, place::place_quadratic(p), grid)
+                  : place::random_grid_placement(p, grid, rng);
+    place::AnnealingOptions opt;
+    opt.moves_per_cell_per_stage = 6;
+    place::AnnealingStats stats;
+    benchmark::DoNotOptimize(place::anneal(p, grid, start, opt, rng, &stats));
+    final_cost = stats.final_cost;
+    state.counters["final_hpwl"] = final_cost;
+  }
+  (void)final_cost;
+  state.SetLabel(quad_seed ? "quadratic seed" : "random seed");
+}
+BENCHMARK(BM_QuadraticSeedVsColdAnneal)->Arg(0)->Arg(1)->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Router benchmarks + ablations: A* vs Dijkstra search effort, the
+// preferred-direction penalty's effect on vias/quality, via-cost sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/routing_gen.hpp"
+#include "route/maze.hpp"
+#include "route/router.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace l2l;
+
+gen::RoutingProblem problem(int size, int nets, std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::RoutingGenOptions opt;
+  opt.width = opt.height = size;
+  opt.num_nets = nets;
+  opt.max_pins_per_net = 3;
+  return gen::generate_routing(opt, rng);
+}
+
+void BM_AStarVsDijkstra(benchmark::State& state) {
+  const bool astar = state.range(0) != 0;
+  const auto p = problem(64, 32, 21);
+  long long expansions = 0;
+  for (auto _ : state) {
+    route::RouterOptions opt;
+    opt.costs.use_astar = astar;
+    const auto sol = route::route_all(p, opt);
+    expansions = sol.stats.expansions;
+    state.counters["expansions"] = static_cast<double>(expansions);
+  }
+  (void)expansions;
+  state.SetLabel(astar ? "A* (manhattan lower bound)" : "Dijkstra/Lee");
+}
+BENCHMARK(BM_AStarVsDijkstra)->Arg(1)->Arg(0)->Iterations(1);
+
+void BM_PreferredDirections(benchmark::State& state) {
+  const bool preferred = state.range(0) != 0;
+  const auto p = problem(64, 40, 22);
+  int vias = 0, routed = 0;
+  double wire = 0;
+  for (auto _ : state) {
+    route::RouterOptions opt;
+    opt.costs.preferred_directions = preferred;
+    const auto sol = route::route_all(p, opt);
+    vias = sol.stats.total_vias;
+    wire = sol.stats.total_wire;
+    routed = sol.stats.routed;
+    state.counters["vias"] = vias;
+    state.counters["wire"] = wire;
+    state.counters["routed"] = routed;
+  }
+  (void)routed;
+  state.SetLabel(preferred ? "layer-preferred directions" : "isotropic");
+}
+BENCHMARK(BM_PreferredDirections)->Arg(1)->Arg(0)->Iterations(1);
+
+void BM_ViaCostSweep(benchmark::State& state) {
+  const double via_cost = static_cast<double>(state.range(0));
+  const auto p = problem(48, 30, 23);
+  int vias = 0;
+  for (auto _ : state) {
+    route::RouterOptions opt;
+    opt.costs.via = via_cost;
+    const auto sol = route::route_all(p, opt);
+    vias = sol.stats.total_vias;
+    state.counters["vias"] = vias;
+  }
+  (void)vias;
+}
+BENCHMARK(BM_ViaCostSweep)->Arg(1)->Arg(5)->Arg(20)->Iterations(1);
+
+void BM_NegotiatedVsSequential(benchmark::State& state) {
+  // The headline router ablation: PathFinder-style negotiation vs plain
+  // sequential rip-up on a congested die.
+  const bool negotiated = state.range(0) != 0;
+  const auto p = problem(48, 40, 25);
+  int routed = 0, iterations = 0;
+  for (auto _ : state) {
+    route::RouterOptions opt;
+    opt.negotiated = negotiated;
+    const auto sol = route::route_all(p, opt);
+    routed = sol.stats.routed;
+    iterations = sol.stats.negotiation_iterations;
+    state.counters["routed_of_40"] = routed;
+    state.counters["iterations"] = iterations;
+  }
+  (void)routed;
+  (void)iterations;
+  state.SetLabel(negotiated ? "negotiated congestion" : "sequential rip-up");
+}
+BENCHMARK(BM_NegotiatedVsSequential)->Arg(1)->Arg(0)->Iterations(1);
+
+void BM_GridScaling(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const auto p = problem(size, size / 2, 24);
+  for (auto _ : state) {
+    const auto sol = route::route_all(p);
+    benchmark::DoNotOptimize(sol.stats.routed);
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_GridScaling)->Arg(32)->Arg(64)->Arg(128)->Iterations(1)->Complexity();
+
+}  // namespace

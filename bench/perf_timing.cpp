@@ -1,0 +1,58 @@
+// Timing benchmarks: STA scaling on structured netlists, Elmore
+// evaluation on long wires, and gate-vs-wire delay share through the
+// whole flow.
+
+#include <benchmark/benchmark.h>
+
+#include "flow/flow.hpp"
+#include "gen/function_gen.hpp"
+#include "timing/elmore.hpp"
+#include "timing/sta.hpp"
+
+namespace {
+
+using namespace l2l;
+
+void BM_StaAdder(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto net = gen::adder_network(bits);
+  const auto delays = timing::unit_delays(net);
+  double critical = 0;
+  for (auto _ : state) {
+    const auto res = timing::analyze(net, delays);
+    critical = res.critical_delay;
+    state.counters["critical_levels"] = critical;
+  }
+  (void)critical;
+}
+BENCHMARK(BM_StaAdder)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ElmoreLongWire(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  route::NetRoute net;
+  net.net_id = 0;
+  for (int x = 0; x < length; ++x) net.cells.push_back({x, 0, 0});
+  double delay = 0;
+  for (auto _ : state) {
+    const auto d = timing::net_sink_delays(net, {0, 0, 0},
+                                           {{length - 1, 0, 0}});
+    delay = d[0];
+    // Quadratic growth with wire length: the Week-8 punchline.
+    state.counters["elmore_delay"] = delay;
+  }
+  (void)delay;
+}
+BENCHMARK(BM_ElmoreLongWire)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FullFlowTiming(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto net = gen::adder_network(bits);
+  for (auto _ : state) {
+    const auto res = flow::run_flow(net);
+    state.counters["gate_delay"] = res.gate_delay;
+    state.counters["with_wires"] = res.timing.critical_delay;
+  }
+}
+BENCHMARK(BM_FullFlowTiming)->Arg(3)->Arg(5)->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// chip_flow: a larger design through the back end, with the routed layout
+// rendered as ASCII art and area-vs-delay mapping compared side by side.
+
+#include <fstream>
+#include <iostream>
+
+#include "flow/flow.hpp"
+#include "gen/function_gen.hpp"
+#include "grader/route_grader.hpp"
+#include "route/solution.hpp"
+#include "viz/svg.hpp"
+
+int main() {
+  using namespace l2l;
+  const auto design = gen::adder_network(6);
+
+  std::cout << "design: " << design.model_name() << " ("
+            << design.inputs().size() << " inputs, "
+            << design.outputs().size() << " outputs)\n\n";
+
+  for (const auto objective :
+       {techmap::MapObjective::kArea, techmap::MapObjective::kDelay}) {
+    flow::FlowOptions opt;
+    opt.objective = objective;
+    const auto res = flow::run_flow(design, opt);
+    std::cout << "--- objective: "
+              << (objective == techmap::MapObjective::kArea ? "min-area"
+                                                            : "min-delay")
+              << " ---\n"
+              << res.report();
+    const auto grade = grader::grade_routing(res.routing_problem, res.routing);
+    std::cout << "auto-grader: " << grade.legal_nets << "/" << grade.total_nets
+              << " nets legal, score " << grade.score << "\n\n";
+    if (objective == techmap::MapObjective::kArea) {
+      std::cout << "layer 0 (horizontal-preferred) routed layout:\n"
+                << route::render_ascii(res.routing_problem, res.routing, 0)
+                << "\n";
+      // The browser-viewable layout, like the MOOC's HTML5 viewer.
+      std::ofstream svg("chip_flow_layout.svg");
+      svg << viz::routing_svg(res.routing_problem, res.routing);
+      std::ofstream psvg("chip_flow_placement.svg");
+      psvg << viz::placement_svg(res.placement_problem, res.grid,
+                                 res.placement);
+      std::cout << "wrote chip_flow_layout.svg and chip_flow_placement.svg\n\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// homework_portal: the §2.2 assignment pipeline -- generate an
+// individualized weekly homework for a "student token" (seed), print it,
+// then demonstrate the auto-grader on correct and incorrect submissions.
+//
+// Usage: homework_portal [week=2] [student-token=1234]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "homework/quiz.hpp"
+
+int main(int argc, char** argv) {
+  const int week = argc > 1 ? std::atoi(argv[1]) : 2;
+  const std::uint64_t token = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1234;
+
+  const auto assignment = l2l::homework::weekly_assignment(week, token, 3);
+  std::cout << "=== homework for week " << week << ", student token " << token
+            << " ===\n\n";
+  for (std::size_t k = 0; k < assignment.size(); ++k) {
+    const auto& q = assignment[k];
+    std::cout << "Q" << k + 1 << " [" << q.topic << "]\n"
+              << q.question << "\n\n";
+  }
+
+  std::cout << "=== auto-grader demo ===\n";
+  for (std::size_t k = 0; k < assignment.size(); ++k) {
+    const auto& q = assignment[k];
+    const bool right = l2l::homework::grade_answer(q, q.answer);
+    const bool wrong = l2l::homework::grade_answer(q, "definitely-wrong");
+    std::cout << "Q" << k + 1 << ": correct submission -> "
+              << (right ? "ACCEPTED" : "REJECTED")
+              << ", wrong submission -> " << (wrong ? "ACCEPTED" : "REJECTED")
+              << "  (answer key: " << q.answer << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// project_showcase: the four MOOC software projects (Fig. 5), end to end,
+// each graded the way the cloud auto-graders did it.
+
+#include <iostream>
+
+#include "cubes/cover.hpp"
+#include "cubes/urp.hpp"
+#include "gen/function_gen.hpp"
+#include "gen/placement_gen.hpp"
+#include "gen/routing_gen.hpp"
+#include "grader/place_grader.hpp"
+#include "grader/route_grader.hpp"
+#include "network/blif.hpp"
+#include "network/equivalence.hpp"
+#include "place/annealing.hpp"
+#include "place/quadratic.hpp"
+#include "place/wirelength.hpp"
+#include "repair/repair.hpp"
+#include "route/router.hpp"
+#include "route/solution.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace l2l;
+  util::Rng rng(2013);  // the course year, naturally
+
+  // ---- Project 1: Boolean data structures & computation (URP, PCN) ------
+  std::cout << "== Project 1: URP/PCN Boolean engine ==\n";
+  const auto f = cubes::Cover::parse(4, "11--\n--11\n1-01\n");
+  std::cout << "f has " << f.size() << " cubes, " << f.num_literals()
+            << " literals\n";
+  std::cout << "tautology: " << (cubes::is_tautology(f) ? "yes" : "no") << "\n";
+  const auto fc = cubes::complement(f);
+  std::cout << "complement: " << fc.size() << " cubes; f|f' tautology: "
+            << (cubes::is_tautology(f | fc) ? "yes" : "no") << "\n";
+  std::cout << "df/dx0 cubes: " << cubes::boolean_difference(f, 0).size()
+            << "\n\n";
+
+  // ---- Project 2: BDD-based formal network repair ------------------------
+  std::cout << "== Project 2: BDD-based network repair ==\n";
+  const auto spec = gen::adder_network(2);
+  auto broken = network::parse_blif(network::write_blif(spec));
+  const auto victim = repair::inject_error(broken, rng);
+  std::cout << "injected error at gate '" << broken.node(victim).name << "'\n";
+  const auto before =
+      network::check_equivalence(broken, spec, network::EquivalenceMethod::kBdd);
+  std::cout << "equivalence before repair: "
+            << (before.equivalent ? "equivalent (error masked)" : "BROKEN")
+            << "\n";
+  if (const auto r = repair::repair_network(broken, spec)) {
+    std::cout << "repaired gate '" << broken.node(r->node).name << "' ("
+              << r->dc_patterns << " don't-care patterns available)\n";
+    std::cout << "verified equivalent after repair\n\n";
+  } else {
+    std::cout << "no single-gate repair found\n\n";
+  }
+
+  // ---- Project 3: quadratic placement ------------------------------------
+  std::cout << "== Project 3: quadratic placement ==\n";
+  gen::PlacementGenOptions popt;
+  popt.num_cells = 300;
+  const auto prob = gen::generate_placement(popt, rng);
+  const place::Grid grid{20, 20, prob.width, prob.height};
+  const auto quad = place::place_quadratic(prob);
+  const auto legal = place::legalize(prob, quad, grid);
+  const double ref_hpwl = place::hpwl(prob, legal.to_continuous(grid));
+  std::cout << "quadratic+legalized HPWL: " << ref_hpwl << "\n";
+  place::AnnealingOptions aopt;
+  aopt.moves_per_cell_per_stage = 6;
+  place::AnnealingStats astats;
+  const auto annealed = place::anneal(prob, grid, legal, aopt, rng, &astats);
+  std::cout << "after annealing: " << astats.final_cost << " ("
+            << astats.stages << " stages, "
+            << astats.accepted << "/" << astats.moves << " moves accepted)\n";
+  const auto pg = grader::grade_placement(prob, grid, annealed, ref_hpwl);
+  std::cout << "auto-grader: " << pg.report << "\n";
+
+  // ---- Project 4: maze routing --------------------------------------------
+  std::cout << "== Project 4: 2-layer maze routing ==\n";
+  gen::RoutingGenOptions ropt;
+  ropt.width = 48;
+  ropt.height = 48;
+  ropt.num_nets = 30;
+  ropt.max_pins_per_net = 3;
+  const auto rprob = gen::generate_routing(ropt, rng);
+  const auto sol = route::route_all(rprob);
+  std::cout << "routed " << sol.stats.routed << "/" << rprob.nets.size()
+            << " nets, wire " << sol.stats.total_wire << ", vias "
+            << sol.stats.total_vias << ", search expansions "
+            << sol.stats.expansions << "\n";
+  const auto rg = grader::grade_routing(rprob, sol);
+  std::cout << "auto-grader score: " << rg.score << "\n";
+  return 0;
+}

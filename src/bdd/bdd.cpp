@@ -1,0 +1,295 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace l2l::bdd {
+
+Bdd::Bdd(Manager* mgr, Edge e) : mgr_(mgr), e_(e) { mgr_->ref(e_); }
+
+Bdd::Bdd(const Bdd& o) : mgr_(o.mgr_), e_(o.e_) {
+  if (mgr_) mgr_->ref(e_);
+}
+
+Bdd::Bdd(Bdd&& o) noexcept : mgr_(o.mgr_), e_(o.e_) { o.mgr_ = nullptr; }
+
+Bdd& Bdd::operator=(const Bdd& o) {
+  if (this == &o) return *this;
+  if (o.mgr_) o.mgr_->ref(o.e_);
+  if (mgr_) mgr_->deref(e_);
+  mgr_ = o.mgr_;
+  e_ = o.e_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& o) noexcept {
+  if (this == &o) return *this;
+  if (mgr_) mgr_->deref(e_);
+  mgr_ = o.mgr_;
+  e_ = o.e_;
+  o.mgr_ = nullptr;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_) mgr_->deref(e_);
+}
+
+void Bdd::check_valid() const {
+  if (!mgr_) throw std::logic_error("Bdd: operation on null handle");
+}
+
+void Bdd::check_same_manager(const Bdd& o) const {
+  check_valid();
+  o.check_valid();
+  if (mgr_ != o.mgr_)
+    throw std::logic_error("Bdd: operands belong to different managers");
+}
+
+bool Bdd::is_one() const {
+  check_valid();
+  return e_ == mgr_->one_edge();
+}
+
+bool Bdd::is_zero() const {
+  check_valid();
+  return e_ == mgr_->zero_edge();
+}
+
+int Bdd::top_var() const {
+  check_valid();
+  if (is_constant()) throw std::logic_error("Bdd::top_var: constant function");
+  return static_cast<int>(mgr_->level_of(e_));
+}
+
+Bdd Bdd::operator!() const {
+  check_valid();
+  return Bdd(mgr_, !e_);
+}
+
+Bdd Bdd::operator&(const Bdd& o) const {
+  check_same_manager(o);
+  mgr_->maybe_gc();
+  return Bdd(mgr_, mgr_->apply_and(e_, o.e_));
+}
+
+Bdd Bdd::operator|(const Bdd& o) const {
+  check_same_manager(o);
+  mgr_->maybe_gc();
+  return Bdd(mgr_, mgr_->apply_or(e_, o.e_));
+}
+
+Bdd Bdd::operator^(const Bdd& o) const {
+  check_same_manager(o);
+  mgr_->maybe_gc();
+  return Bdd(mgr_, mgr_->apply_xor(e_, o.e_));
+}
+
+Bdd Bdd::ite(const Bdd& g, const Bdd& h) const {
+  check_same_manager(g);
+  check_same_manager(h);
+  mgr_->maybe_gc();
+  return Bdd(mgr_, mgr_->ite(e_, g.e_, h.e_));
+}
+
+Bdd Bdd::cofactor(int var, bool phase) const {
+  check_valid();
+  mgr_->maybe_gc();
+  return Bdd(mgr_,
+             mgr_->restrict_var(e_, static_cast<std::uint32_t>(var), phase));
+}
+
+Bdd Bdd::compose(int var, const Bdd& g) const {
+  check_same_manager(g);
+  mgr_->maybe_gc();
+  return Bdd(mgr_, mgr_->compose(e_, static_cast<std::uint32_t>(var), g.e_));
+}
+
+Bdd Bdd::exists(const std::vector<int>& vars) const {
+  check_valid();
+  mgr_->maybe_gc();
+  return Bdd(mgr_, mgr_->exists(e_, vars));
+}
+
+Bdd Bdd::forall(const std::vector<int>& vars) const {
+  check_valid();
+  mgr_->maybe_gc();
+  return Bdd(mgr_, mgr_->forall(e_, vars));
+}
+
+Bdd Bdd::boolean_difference(int var) const {
+  return cofactor(var, false) ^ cofactor(var, true);
+}
+
+bool Bdd::implies(const Bdd& o) const {
+  check_same_manager(o);
+  return ((*this) & !o).is_zero();
+}
+
+std::uint64_t Bdd::sat_count() const {
+  check_valid();
+  const int n = mgr_->num_vars();
+  if (n > 62)
+    throw std::logic_error("Bdd::sat_count: too many variables for uint64");
+  // count(node) = #sat assignments of the *uncomplemented* function rooted
+  // at node, over variables [level(node), n). Complemented edges are
+  // handled by 2^k - count.
+  std::unordered_map<std::uint32_t, std::uint64_t> memo;
+  auto count_edge = [&](auto&& self, Edge e,
+                        std::uint32_t from_level) -> std::uint64_t {
+    const std::uint32_t lvl = std::min<std::uint32_t>(
+        mgr_->level_of(e), static_cast<std::uint32_t>(n));
+    std::uint64_t raw;  // count over vars [lvl, n) of the uncomplemented node
+    if (mgr_->is_terminal(e)) {
+      raw = 1ull << (n - lvl);
+    } else {
+      auto it = memo.find(e.node());
+      if (it != memo.end()) {
+        raw = it->second;
+      } else {
+        const auto& node = mgr_->nodes_[e.node()];
+        raw = self(self, node.lo, lvl + 1) + self(self, node.hi, lvl + 1);
+        memo.emplace(e.node(), raw);
+      }
+    }
+    if (e.complemented()) raw = (1ull << (n - lvl)) - raw;
+    return raw << (lvl - from_level);
+  };
+  return count_edge(count_edge, e_, 0);
+}
+
+std::optional<std::vector<signed char>> Bdd::one_sat() const {
+  check_valid();
+  if (is_zero()) return std::nullopt;
+  std::vector<signed char> out(static_cast<std::size_t>(mgr_->num_vars()), -1);
+  Edge e = e_;
+  while (!mgr_->is_terminal(e)) {
+    const auto& node = mgr_->nodes_[e.node()];
+    Edge lo = node.lo, hi = node.hi;
+    if (e.complemented()) {
+      lo = !lo;
+      hi = !hi;
+    }
+    // Prefer the hi branch when it is not constant-0.
+    if (!(hi == mgr_->zero_edge())) {
+      out[node.var] = 1;
+      e = hi;
+    } else {
+      out[node.var] = 0;
+      e = lo;
+    }
+  }
+  return out;
+}
+
+bool Bdd::eval(const std::vector<bool>& assignment) const {
+  check_valid();
+  Edge e = e_;
+  bool parity = false;
+  while (!mgr_->is_terminal(e)) {
+    parity ^= e.complemented();
+    const auto& node = mgr_->nodes_[e.node()];
+    if (node.var >= assignment.size())
+      throw std::invalid_argument("Bdd::eval: assignment too short");
+    e = assignment[node.var] ? node.hi : node.lo;
+  }
+  parity ^= e.complemented();
+  return !parity;  // terminal is constant 1; parity flips it
+}
+
+std::vector<int> Bdd::support() const {
+  check_valid();
+  std::set<int> vars;
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+  if (!mgr_->is_terminal(e_)) stack.push_back(e_.node());
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    const auto& node = mgr_->nodes_[n];
+    vars.insert(static_cast<int>(node.var));
+    if (node.lo.node() != Manager::kTerminal) stack.push_back(node.lo.node());
+    if (node.hi.node() != Manager::kTerminal) stack.push_back(node.hi.node());
+  }
+  return {vars.begin(), vars.end()};
+}
+
+std::size_t Bdd::size() const {
+  check_valid();
+  return dag_size({*this});
+}
+
+tt::TruthTable Bdd::to_truth_table() const {
+  check_valid();
+  const int n = mgr_->num_vars();
+  tt::TruthTable f(n);
+  std::vector<bool> a(static_cast<std::size_t>(n), false);
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+    for (int v = 0; v < n; ++v) a[static_cast<std::size_t>(v)] = (m >> v) & 1;
+    if (eval(a)) f.set(m, true);
+  }
+  return f;
+}
+
+std::string Bdd::to_dot(const std::string& name) const {
+  check_valid();
+  std::string out = "digraph " + name + " {\n  rankdir=TB;\n";
+  out += "  t1 [label=\"1\", shape=box];\n";
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+  auto edge_str = [&](Edge e) {
+    return e.node() == Manager::kTerminal
+               ? std::string("t1")
+               : util::format("n%u", e.node());
+  };
+  out += util::format("  root [shape=plaintext, label=\"%s\"];\n", name.c_str());
+  out += util::format("  root -> %s%s;\n", edge_str(e_).c_str(),
+                      e_.complemented() ? " [style=dotted]" : "");
+  if (!mgr_->is_terminal(e_)) stack.push_back(e_.node());
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    const auto& node = mgr_->nodes_[n];
+    out += util::format("  n%u [label=\"x%u\", shape=circle];\n", n, node.var);
+    out += util::format("  n%u -> %s [style=%s];\n", n,
+                        edge_str(node.hi).c_str(),
+                        node.hi.complemented() ? "bold" : "solid");
+    out += util::format("  n%u -> %s [style=dashed%s];\n", n,
+                        edge_str(node.lo).c_str(),
+                        node.lo.complemented() ? ",color=red" : "");
+    if (node.lo.node() != Manager::kTerminal) stack.push_back(node.lo.node());
+    if (node.hi.node() != Manager::kTerminal) stack.push_back(node.hi.node());
+  }
+  out += "}\n";
+  return out;
+}
+
+std::size_t dag_size(const std::vector<Bdd>& roots) {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+  for (const auto& r : roots) {
+    r.check_valid();
+    if (!r.mgr_->is_terminal(r.e_)) stack.push_back(r.e_.node());
+  }
+  Manager* mgr = roots.empty() ? nullptr : roots.front().mgr_;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    ++count;
+    const auto& node = mgr->nodes_[n];
+    if (node.lo.node() != Manager::kTerminal) stack.push_back(node.lo.node());
+    if (node.hi.node() != Manager::kTerminal) stack.push_back(node.hi.node());
+  }
+  return count;
+}
+
+}  // namespace l2l::bdd

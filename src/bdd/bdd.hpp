@@ -1,0 +1,110 @@
+#pragma once
+// The external, reference-counted handle to a function in a BDD Manager.
+//
+// Handles are value types: copying increments the root reference count,
+// destruction decrements it. Because ROBDDs are canonical, operator== on
+// handles is O(1) pointer comparison -- this is the formal-verification
+// punchline of Week 2 (two circuits are equivalent iff their BDD edges
+// are identical).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "tt/truth_table.hpp"
+
+namespace l2l::bdd {
+
+class Bdd {
+ public:
+  /// Null handle (no manager). Most operations on a null handle throw.
+  Bdd() = default;
+
+  Bdd(const Bdd& o);
+  Bdd(Bdd&& o) noexcept;
+  Bdd& operator=(const Bdd& o);
+  Bdd& operator=(Bdd&& o) noexcept;
+  ~Bdd();
+
+  bool is_null() const { return mgr_ == nullptr; }
+  Manager* manager() const { return mgr_; }
+
+  bool is_one() const;
+  bool is_zero() const;
+  bool is_constant() const { return is_one() || is_zero(); }
+
+  /// Index of the topmost variable (throws on constants).
+  int top_var() const;
+
+  /// O(1) canonical equality.
+  bool operator==(const Bdd& o) const { return mgr_ == o.mgr_ && e_ == o.e_; }
+
+  /// O(1) complement via the negation arc.
+  Bdd operator!() const;
+
+  Bdd operator&(const Bdd& o) const;
+  Bdd operator|(const Bdd& o) const;
+  Bdd operator^(const Bdd& o) const;
+
+  /// If-then-else: this ? g : h. The universal BDD operation.
+  Bdd ite(const Bdd& g, const Bdd& h) const;
+
+  /// Cofactor (a.k.a. restrict): the function with x_var fixed to phase.
+  Bdd cofactor(int var, bool phase) const;
+
+  /// Substitute function g for variable var.
+  Bdd compose(int var, const Bdd& g) const;
+
+  Bdd exists(const std::vector<int>& vars) const;
+  Bdd forall(const std::vector<int>& vars) const;
+  Bdd exists(int var) const { return exists(std::vector<int>{var}); }
+  Bdd forall(int var) const { return forall(std::vector<int>{var}); }
+
+  /// Boolean difference df/dx_var.
+  Bdd boolean_difference(int var) const;
+
+  /// True when this <= o pointwise (this implies o).
+  bool implies(const Bdd& o) const;
+
+  /// Number of satisfying assignments over all manager variables
+  /// (requires manager()->num_vars() <= 62).
+  std::uint64_t sat_count() const;
+
+  /// One satisfying assignment: per variable -1 = don't care, 0, 1.
+  /// nullopt when the function is constant 0.
+  std::optional<std::vector<signed char>> one_sat() const;
+
+  /// Evaluate on a complete input assignment (indexed by variable).
+  bool eval(const std::vector<bool>& assignment) const;
+
+  /// Variables this function depends on, ascending.
+  std::vector<int> support() const;
+
+  /// Number of DAG nodes for this function (excluding the terminal).
+  std::size_t size() const;
+
+  /// Expand to a truth table over all manager variables (small arity only).
+  tt::TruthTable to_truth_table() const;
+
+  /// Graphviz DOT rendering (solid = then, dashed = else, dotted = negated).
+  std::string to_dot(const std::string& name = "f") const;
+
+ private:
+  friend class Manager;
+  friend class Reorderer;
+  friend std::size_t dag_size(const std::vector<Bdd>& roots);
+  Bdd(Manager* mgr, Edge e);
+
+  void check_valid() const;
+  void check_same_manager(const Bdd& o) const;
+
+  Manager* mgr_ = nullptr;
+  Edge e_;
+};
+
+/// DAG node count shared across several roots (excluding the terminal).
+std::size_t dag_size(const std::vector<Bdd>& roots);
+
+}  // namespace l2l::bdd

@@ -1,0 +1,216 @@
+#include "bdd/manager.hpp"
+
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+
+namespace l2l::bdd {
+
+Manager::Manager(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 0) throw std::invalid_argument("Manager: negative num_vars");
+  // Slot 0 is the constant-1 terminal.
+  nodes_.push_back(Node{kLevelTerminal, Edge{}, Edge{}, 1});
+}
+
+int Manager::new_var() { return num_vars_++; }
+
+Bdd Manager::one() { return Bdd(this, one_edge()); }
+Bdd Manager::zero() { return Bdd(this, zero_edge()); }
+
+Bdd Manager::var(int i) {
+  if (i < 0 || i >= num_vars_)
+    throw std::invalid_argument("Manager::var: index out of range");
+  return Bdd(this,
+             make_node(static_cast<std::uint32_t>(i), zero_edge(), one_edge()));
+}
+
+Bdd Manager::nvar(int i) {
+  Bdd v = var(i);
+  return !v;
+}
+
+Edge Manager::make_node(std::uint32_t var, Edge lo, Edge hi) {
+  if (lo == hi) return lo;
+  // Canonical rule: the then-edge is never complemented.
+  if (hi.complemented()) return !make_node(var, !lo, !hi);
+
+  const UniqueKey key{var, lo.bits, hi.bits};
+  if (auto it = unique_.find(key); it != unique_.end())
+    return Edge::make(it->second, false);
+
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    nodes_[idx] = Node{var, lo, hi, 0};
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{var, lo, hi, 0});
+  }
+  unique_.emplace(key, idx);
+  return Edge::make(idx, false);
+}
+
+Edge Manager::top_cofactor(Edge e, std::uint32_t var, bool phase) const {
+  if (level_of(e) != var) return e;
+  const Node& n = nodes_[e.node()];
+  const Edge child = phase ? n.hi : n.lo;
+  return e.complemented() ? !child : child;
+}
+
+Edge Manager::ite(Edge f, Edge g, Edge h) {
+  // Terminal cases.
+  if (f == one_edge()) return g;
+  if (f == zero_edge()) return h;
+  if (g == h) return g;
+  if (g == one_edge() && h == zero_edge()) return f;
+  if (g == zero_edge() && h == one_edge()) return !f;
+  if (f == g) g = one_edge();           // ite(f, f, h) = ite(f, 1, h)
+  if (f == !g) g = zero_edge();         // ite(f, f', h) = ite(f, 0, h)
+  if (f == h) h = zero_edge();          // ite(f, g, f) = ite(f, g, 0)
+  if (f == !h) h = one_edge();          // ite(f, g, f') = ite(f, g, 1)
+  if (g == h) return g;                 // may have collapsed above
+
+  // Normalize so the computed table sees a canonical triple:
+  // first argument uncomplemented, then-branch uncomplemented.
+  if (f.complemented()) {
+    f = !f;
+    std::swap(g, h);
+  }
+  bool complement_result = false;
+  if (g.complemented()) {
+    g = !g;
+    h = !h;
+    complement_result = true;
+  }
+
+  const IteKey key{f.bits, g.bits, h.bits};
+  if (auto it = computed_.find(key); it != computed_.end())
+    return complement_result ? !it->second : it->second;
+
+  const std::uint32_t top =
+      std::min(level_of(f), std::min(level_of(g), level_of(h)));
+  const Edge r0 = ite(top_cofactor(f, top, false), top_cofactor(g, top, false),
+                      top_cofactor(h, top, false));
+  const Edge r1 = ite(top_cofactor(f, top, true), top_cofactor(g, top, true),
+                      top_cofactor(h, top, true));
+  const Edge r = make_node(top, r0, r1);
+  computed_.emplace(key, r);
+  return complement_result ? !r : r;
+}
+
+Edge Manager::restrict_var(Edge f, std::uint32_t var, bool phase) {
+  if (level_of(f) > var) return f;  // f does not depend on variables above
+  if (level_of(f) == var) return top_cofactor(f, var, phase);
+  // Recurse; small local memo keyed by edge bits.
+  std::unordered_map<std::uint32_t, Edge> memo;
+  // Memoize on uncomplemented edges; complement distributes over restrict.
+  auto rec = [&](auto&& self, Edge e) -> Edge {
+    if (level_of(e) > var) return e;
+    if (level_of(e) == var) return top_cofactor(e, var, phase);
+    const bool c = e.complemented();
+    const Edge base = c ? !e : e;
+    if (auto it = memo.find(base.bits); it != memo.end())
+      return c ? !it->second : it->second;
+    const Node& n = nodes_[base.node()];
+    const Edge r = make_node(n.var, self(self, n.lo), self(self, n.hi));
+    memo.emplace(base.bits, r);
+    return c ? !r : r;
+  };
+  return rec(rec, f);
+}
+
+Edge Manager::compose(Edge f, std::uint32_t var, Edge g) {
+  // f[x_var <- g] = ite(g, f_{x=1}, f_{x=0})
+  const Edge f1 = restrict_var(f, var, true);
+  const Edge f0 = restrict_var(f, var, false);
+  return ite(g, f1, f0);
+}
+
+Edge Manager::exists(Edge f, const std::vector<int>& vars) {
+  Edge r = f;
+  for (int v : vars) {
+    const Edge r0 = restrict_var(r, static_cast<std::uint32_t>(v), false);
+    const Edge r1 = restrict_var(r, static_cast<std::uint32_t>(v), true);
+    r = apply_or(r0, r1);
+  }
+  return r;
+}
+
+Edge Manager::forall(Edge f, const std::vector<int>& vars) {
+  Edge r = f;
+  for (int v : vars) {
+    const Edge r0 = restrict_var(r, static_cast<std::uint32_t>(v), false);
+    const Edge r1 = restrict_var(r, static_cast<std::uint32_t>(v), true);
+    r = apply_and(r0, r1);
+  }
+  return r;
+}
+
+void Manager::ref(Edge e) { ++nodes_[e.node()].ref; }
+
+void Manager::deref(Edge e) {
+  auto& r = nodes_[e.node()].ref;
+  if (r == 0) throw std::logic_error("Manager::deref: refcount underflow");
+  --r;
+}
+
+void Manager::maybe_gc() {
+  if (num_allocated_nodes() >= gc_threshold_) {
+    garbage_collect();
+    // If still mostly full after collection, grow the threshold.
+    if (num_allocated_nodes() * 4 >= gc_threshold_ * 3) gc_threshold_ *= 2;
+  }
+}
+
+std::size_t Manager::num_live_nodes() const {
+  // Mark from externally referenced roots.
+  std::vector<bool> mark(nodes_.size(), false);
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i)
+    if (nodes_[i].ref > 0) stack.push_back(i);
+  std::size_t live = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (mark[n]) continue;
+    mark[n] = true;
+    ++live;
+    const Node& node = nodes_[n];
+    if (node.lo.node() != kTerminal && !mark[node.lo.node()])
+      stack.push_back(node.lo.node());
+    if (node.hi.node() != kTerminal && !mark[node.hi.node()])
+      stack.push_back(node.hi.node());
+  }
+  return live;
+}
+
+void Manager::garbage_collect() {
+  ++gc_count_;
+  std::vector<bool> mark(nodes_.size(), false);
+  mark[kTerminal] = true;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i)
+    if (nodes_[i].ref > 0) stack.push_back(i);
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (mark[n]) continue;
+    mark[n] = true;
+    const Node& node = nodes_[n];
+    if (!mark[node.lo.node()]) stack.push_back(node.lo.node());
+    if (!mark[node.hi.node()]) stack.push_back(node.hi.node());
+  }
+  // Sweep: release unmarked nodes that are not already on the free list.
+  std::vector<bool> is_free(nodes_.size(), false);
+  for (std::uint32_t f : free_) is_free[f] = true;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (mark[i] || is_free[i]) continue;
+    const Node& node = nodes_[i];
+    unique_.erase(UniqueKey{node.var, node.lo.bits, node.hi.bits});
+    free_.push_back(i);
+  }
+  computed_.clear();
+}
+
+}  // namespace l2l::bdd

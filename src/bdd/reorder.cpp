@@ -1,0 +1,125 @@
+#include "bdd/reorder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace l2l::bdd {
+namespace {
+
+/// Memo key for the transfer recursion: (depth in new order, source edge).
+struct TransferKey {
+  std::size_t depth;
+  std::uint32_t bits;
+  bool operator<(const TransferKey& o) const {
+    return depth != o.depth ? depth < o.depth : bits < o.bits;
+  }
+};
+
+}  // namespace
+
+// Friend of Manager and Bdd; hosts the implementations that need access to
+// raw edges and the private Bdd constructor.
+class Reorderer {
+ public:
+  static ReorderResult with_order(const std::vector<Bdd>& roots,
+                                  const std::vector<int>& order);
+};
+
+ReorderResult Reorderer::with_order(const std::vector<Bdd>& roots,
+                                    const std::vector<int>& order) {
+  if (roots.empty()) throw std::invalid_argument("reorder: no roots");
+  Manager* src = roots.front().manager();
+  for (const auto& r : roots)
+    if (r.manager() != src)
+      throw std::invalid_argument("reorder: roots from different managers");
+  const int n = src->num_vars();
+  {
+    std::vector<int> check = order;
+    std::sort(check.begin(), check.end());
+    std::vector<int> iota(static_cast<std::size_t>(n));
+    std::iota(iota.begin(), iota.end(), 0);
+    if (check != iota)
+      throw std::invalid_argument("reorder: order is not a permutation");
+  }
+
+  ReorderResult out;
+  out.order = order;
+  out.size_before = dag_size(roots);
+  out.manager = std::make_unique<Manager>(n);
+  Manager& dst = *out.manager;
+
+  std::map<TransferKey, Edge> memo;
+  // Build the new-order BDD by Shannon-expanding the source function on
+  // the new order's variables, top-down.
+  auto build = [&](auto&& self, std::size_t depth, Edge f) -> Edge {
+    if (src->is_terminal(f))
+      return f.complemented() ? dst.zero_edge() : dst.one_edge();
+    if (depth >= order.size())
+      throw std::logic_error("reorder: non-constant function below last var");
+    const TransferKey key{depth, f.bits};
+    if (auto it = memo.find(key); it != memo.end()) return it->second;
+    const auto v = static_cast<std::uint32_t>(order[depth]);
+    const Edge f0 = src->restrict_var(f, v, false);
+    const Edge f1 = src->restrict_var(f, v, true);
+    Edge r;
+    if (f0 == f1) {
+      r = self(self, depth + 1, f0);
+    } else {
+      const Edge lo = self(self, depth + 1, f0);
+      const Edge hi = self(self, depth + 1, f1);
+      r = dst.make_node(static_cast<std::uint32_t>(depth), lo, hi);
+    }
+    memo.emplace(key, r);
+    return r;
+  };
+
+  out.roots.reserve(roots.size());
+  for (const auto& r : roots)
+    out.roots.push_back(Bdd(&dst, build(build, 0, r.e_)));
+  out.size_after = dag_size(out.roots);
+  return out;
+}
+
+ReorderResult reorder_with_order(const std::vector<Bdd>& roots,
+                                 const std::vector<int>& order) {
+  return Reorderer::with_order(roots, order);
+}
+
+ReorderResult sift(const std::vector<Bdd>& roots, int max_passes) {
+  if (roots.empty()) throw std::invalid_argument("sift: no roots");
+  const int n = roots.front().manager()->num_vars();
+  std::vector<int> best_order(static_cast<std::size_t>(n));
+  std::iota(best_order.begin(), best_order.end(), 0);
+  std::size_t best_size = dag_size(roots);
+  const std::size_t original_size = best_size;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (int v = 0; v < n; ++v) {
+      // Try variable v at every position of the current best order.
+      const auto base = best_order;
+      auto pos_of = std::find(base.begin(), base.end(), v) - base.begin();
+      for (int p = 0; p < n; ++p) {
+        if (p == pos_of) continue;
+        auto candidate = base;
+        candidate.erase(candidate.begin() + pos_of);
+        candidate.insert(candidate.begin() + p, v);
+        const auto res = reorder_with_order(roots, candidate);
+        if (res.size_after < best_size) {
+          best_size = res.size_after;
+          best_order = candidate;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  ReorderResult out = reorder_with_order(roots, best_order);
+  out.size_before = original_size;
+  return out;
+}
+
+}  // namespace l2l::bdd

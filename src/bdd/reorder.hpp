@@ -1,0 +1,39 @@
+#pragma once
+// Variable-order optimization ("Var order" in the Week-2 concept map).
+//
+// BDD size is famously order-sensitive (the course's 2-bit comparator /
+// multiplexer examples blow up or collapse by orders of magnitude). We
+// provide order transfer -- rebuilding a set of roots in a fresh manager
+// under an arbitrary order -- and a greedy sifting-style search over
+// positions built on top of it. Transfer-based sifting is O(vars^2)
+// rebuilds, which is fine at the course's scale and keeps the canonical
+// in-place level-swap machinery out of the package.
+
+#include <memory>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace l2l::bdd {
+
+struct ReorderResult {
+  std::unique_ptr<Manager> manager;  ///< fresh manager holding the rebuilt roots
+  std::vector<Bdd> roots;            ///< same functions, variables renumbered
+  /// order[new_index] = original variable index: variable `order[k]` of the
+  /// source manager appears as variable `k` of the new manager.
+  std::vector<int> order;
+  std::size_t size_before = 0;  ///< shared DAG nodes under the old order
+  std::size_t size_after = 0;   ///< shared DAG nodes under the new order
+};
+
+/// Rebuild `roots` (all from one manager) in a fresh manager under the
+/// given order (a permutation of 0..num_vars-1).
+ReorderResult reorder_with_order(const std::vector<Bdd>& roots,
+                                 const std::vector<int>& order);
+
+/// Greedy sifting: repeatedly move each variable (largest DAG contribution
+/// first) to its best position, keeping improvements. `max_passes` bounds
+/// the outer loop.
+ReorderResult sift(const std::vector<Bdd>& roots, int max_passes = 2);
+
+}  // namespace l2l::bdd

@@ -1,0 +1,116 @@
+#include "cubes/cube.hpp"
+
+#include <stdexcept>
+
+namespace l2l::cubes {
+
+Cube::Cube(int num_vars)
+    : codes_(static_cast<std::size_t>(num_vars), Pcn::kDontCare) {
+  if (num_vars < 0) throw std::invalid_argument("Cube: negative arity");
+}
+
+Cube Cube::parse(const std::string& s) {
+  Cube c(static_cast<int>(s.size()));
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    switch (s[i]) {
+      case '0': c.codes_[i] = Pcn::kNeg; break;
+      case '1': c.codes_[i] = Pcn::kPos; break;
+      case '-':
+      case '2': c.codes_[i] = Pcn::kDontCare; break;
+      default:
+        throw std::invalid_argument("Cube::parse: bad character in cube");
+    }
+  }
+  return c;
+}
+
+int Cube::num_literals() const {
+  int n = 0;
+  for (Pcn c : codes_)
+    if (c != Pcn::kDontCare) ++n;
+  return n;
+}
+
+bool Cube::is_empty() const {
+  for (Pcn c : codes_)
+    if (c == Pcn::kEmpty) return true;
+  return false;
+}
+
+bool Cube::is_universal() const {
+  for (Pcn c : codes_)
+    if (c != Pcn::kDontCare) return false;
+  return true;
+}
+
+Cube Cube::intersect(const Cube& o) const {
+  Cube out(num_vars());
+  for (int v = 0; v < num_vars(); ++v) out.codes_[static_cast<std::size_t>(v)] = code(v) & o.code(v);
+  return out;
+}
+
+bool Cube::contains(const Cube& o) const {
+  for (int v = 0; v < num_vars(); ++v) {
+    // this contains o iff every code of o is a subset of this's code.
+    const auto a = static_cast<std::uint8_t>(code(v));
+    const auto b = static_cast<std::uint8_t>(o.code(v));
+    if ((a & b) != b) return false;
+  }
+  return true;
+}
+
+int Cube::distance(const Cube& o) const {
+  int d = 0;
+  for (int v = 0; v < num_vars(); ++v)
+    if ((code(v) & o.code(v)) == Pcn::kEmpty) ++d;
+  return d;
+}
+
+std::optional<Cube> Cube::consensus(const Cube& o) const {
+  int conflict = -1;
+  for (int v = 0; v < num_vars(); ++v) {
+    if ((code(v) & o.code(v)) == Pcn::kEmpty) {
+      if (conflict >= 0) return std::nullopt;  // distance > 1
+      conflict = v;
+    }
+  }
+  if (conflict < 0) return std::nullopt;  // distance 0
+  Cube out = intersect(o);
+  out.set_code(conflict, Pcn::kDontCare);
+  return out;
+}
+
+std::optional<Cube> Cube::cofactor(int var, bool phase) const {
+  const Pcn need = phase ? Pcn::kPos : Pcn::kNeg;
+  const Pcn have = code(var);
+  if (have != Pcn::kDontCare && have != need) return std::nullopt;
+  Cube out = *this;
+  out.set_code(var, Pcn::kDontCare);
+  return out;
+}
+
+bool Cube::eval(std::uint64_t minterm) const {
+  for (int v = 0; v < num_vars(); ++v) {
+    const bool value = (minterm >> v) & 1;
+    const Pcn c = code(v);
+    if (c == Pcn::kPos && !value) return false;
+    if (c == Pcn::kNeg && value) return false;
+    if (c == Pcn::kEmpty) return false;
+  }
+  return true;
+}
+
+std::string Cube::to_string() const {
+  std::string s(static_cast<std::size_t>(num_vars()), '-');
+  for (int v = 0; v < num_vars(); ++v) {
+    switch (code(v)) {
+      case Pcn::kNeg: s[static_cast<std::size_t>(v)] = '0'; break;
+      case Pcn::kPos: s[static_cast<std::size_t>(v)] = '1'; break;
+      case Pcn::kDontCare: break;
+      case Pcn::kEmpty: s[static_cast<std::size_t>(v)] = '!'; break;
+    }
+  }
+  return s;
+}
+
+}  // namespace l2l::cubes

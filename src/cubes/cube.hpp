@@ -1,0 +1,106 @@
+#pragma once
+// Positional cube notation (PCN).
+//
+// This is the course's Week 1 representation and the data structure of MOOC
+// software Project 1 ("Boolean Data Structures & Computation (URP, PCN)").
+// Each variable in a cube carries a 2-bit code:
+//
+//   01  variable appears complemented  (x')
+//   10  variable appears true          (x)
+//   11  variable does not appear       (don't care)
+//   00  contradiction (empty cube)     -- never stored in a normalized cube
+//
+// A cube is a product term; a Cover (cover.hpp) is a list of cubes and
+// denotes their OR (sum-of-products).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace l2l::cubes {
+
+/// The 2-bit PCN code for one variable position.
+enum class Pcn : std::uint8_t {
+  kEmpty = 0b00,     ///< contradiction
+  kNeg = 0b01,       ///< x' in the product
+  kPos = 0b10,       ///< x in the product
+  kDontCare = 0b11,  ///< variable absent
+};
+
+/// Bitwise AND of codes = cube intersection per position.
+inline Pcn operator&(Pcn a, Pcn b) {
+  return static_cast<Pcn>(static_cast<std::uint8_t>(a) &
+                          static_cast<std::uint8_t>(b));
+}
+/// Bitwise OR of codes (used by cube "raising" during EXPAND).
+inline Pcn operator|(Pcn a, Pcn b) {
+  return static_cast<Pcn>(static_cast<std::uint8_t>(a) |
+                          static_cast<std::uint8_t>(b));
+}
+
+class Cube {
+ public:
+  Cube() = default;
+
+  /// The universal cube (all positions don't-care) over `num_vars` variables.
+  explicit Cube(int num_vars);
+
+  /// Parse the classic "input plane" string: one char per variable,
+  /// '0' = complemented, '1' = true, '-' or '2' = absent. E.g. "1-0" = a c'.
+  static Cube parse(const std::string& s);
+
+  int num_vars() const { return static_cast<int>(codes_.size()); }
+
+  Pcn code(int var) const { return codes_[static_cast<std::size_t>(var)]; }
+  void set_code(int var, Pcn c) { codes_[static_cast<std::size_t>(var)] = c; }
+
+  /// Number of variables that appear (positions not don't-care).
+  int num_literals() const;
+
+  /// True if some position has code 00 (the cube denotes the empty set).
+  bool is_empty() const;
+
+  /// True if every position is don't-care (the cube denotes everything).
+  bool is_universal() const;
+
+  /// Cube intersection: positionwise AND. Result may be empty.
+  Cube intersect(const Cube& o) const;
+
+  /// True if this cube's point set contains o's (o implies this).
+  /// Positionwise: code(this) must be a superset of code(o).
+  bool contains(const Cube& o) const;
+
+  /// Count of positions where the positionwise AND would be 00. Distance 1
+  /// means the cubes can be merged/consensused; 0 means they intersect.
+  int distance(const Cube& o) const;
+
+  /// Consensus on the (unique) conflicting variable when distance == 1.
+  /// Returns nullopt when distance != 1.
+  std::optional<Cube> consensus(const Cube& o) const;
+
+  /// The cofactor of this cube with respect to literal (var, phase):
+  /// nullopt if the cube requires the opposite phase (it vanishes),
+  /// otherwise the cube with that position raised to don't-care.
+  std::optional<Cube> cofactor(int var, bool phase) const;
+
+  /// Complemented-literal count: used for unateness bookkeeping.
+  bool has_positive_literal(int var) const { return code(var) == Pcn::kPos; }
+  bool has_negative_literal(int var) const { return code(var) == Pcn::kNeg; }
+
+  /// Evaluate the cube on a minterm (bit i of m = value of variable i).
+  bool eval(std::uint64_t minterm) const;
+
+  /// Input-plane string ('0','1','-').
+  std::string to_string() const;
+
+  bool operator==(const Cube& o) const = default;
+
+  /// Lexicographic order on codes; gives covers a canonical sort.
+  bool operator<(const Cube& o) const { return codes_ < o.codes_; }
+
+ private:
+  std::vector<Pcn> codes_;
+};
+
+}  // namespace l2l::cubes

@@ -1,0 +1,167 @@
+#include "espresso/minimize.hpp"
+
+#include <algorithm>
+
+#include "cubes/urp.hpp"
+
+namespace l2l::espresso {
+
+using cubes::Cover;
+using cubes::Cube;
+using cubes::Pcn;
+
+namespace {
+
+/// Does cube c intersect any cube of r?
+bool intersects(const Cube& c, const Cover& r) {
+  for (const auto& rc : r.cubes())
+    if (c.distance(rc) == 0) return true;
+  return false;
+}
+
+/// Smallest cube containing every cube of g (the "supercube").
+Cube supercube(const Cover& g) {
+  Cube s(g.num_vars());
+  if (g.empty()) return s;  // callers guard; universal as a safe default
+  for (int v = 0; v < g.num_vars(); ++v) {
+    auto acc = static_cast<std::uint8_t>(0);
+    for (const auto& c : g.cubes())
+      acc |= static_cast<std::uint8_t>(c.code(v));
+    s.set_code(v, static_cast<Pcn>(acc));
+  }
+  return s;
+}
+
+}  // namespace
+
+Cover expand(const Cover& f, const Cover& offset) {
+  Cover out(f.num_vars());
+  std::vector<Cube> done;
+  for (const auto& orig : f.cubes()) {
+    Cube c = orig;
+    // Greedy raising: repeatedly pick the literal whose removal keeps the
+    // cube disjoint from the OFF-set and frees the most OFF-set blocking
+    // (heuristic: just first-feasible in variable order, then retry --
+    // adequate at course scale and still yields primes).
+    bool raised = true;
+    while (raised) {
+      raised = false;
+      for (int v = 0; v < c.num_vars(); ++v) {
+        if (c.code(v) == Pcn::kDontCare) continue;
+        Cube trial = c;
+        trial.set_code(v, Pcn::kDontCare);
+        if (!intersects(trial, offset)) {
+          c = trial;
+          raised = true;
+        }
+      }
+    }
+    // Single-cube containment cleanup keeps EXPAND from stuffing the cover
+    // with duplicates of the same prime.
+    bool contained = false;
+    for (const auto& d : done)
+      if (d.contains(c)) {
+        contained = true;
+        break;
+      }
+    if (!contained) {
+      done.push_back(c);
+      out.add(std::move(c));
+    }
+  }
+  return out;
+}
+
+Cover irredundant(const Cover& f, const Cover& dc) {
+  // Greedy: try to drop each cube (largest first so small leftovers are
+  // preferentially kept as the exclusive covers).
+  std::vector<int> order(static_cast<std::size_t>(f.size()));
+  for (int i = 0; i < f.size(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return f.cube(a).num_literals() > f.cube(b).num_literals();
+  });
+  std::vector<bool> alive(static_cast<std::size_t>(f.size()), true);
+  for (const int i : order) {
+    Cover rest = dc;
+    for (int j = 0; j < f.size(); ++j)
+      if (j != i && alive[static_cast<std::size_t>(j)]) rest.add(f.cube(j));
+    if (cubes::cover_contains_cube(rest, f.cube(i)))
+      alive[static_cast<std::size_t>(i)] = false;
+  }
+  Cover out(f.num_vars());
+  for (int i = 0; i < f.size(); ++i)
+    if (alive[static_cast<std::size_t>(i)]) out.add(f.cube(i));
+  return out;
+}
+
+Cover reduce(const Cover& f, const Cover& dc) {
+  // Process largest cubes first; each cube shrinks against the rest of the
+  // *current* (partially reduced) cover, preserving the overall function.
+  std::vector<Cube> current(f.cubes());
+  std::vector<int> order(current.size());
+  for (std::size_t i = 0; i < current.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return current[static_cast<std::size_t>(a)].num_literals() <
+           current[static_cast<std::size_t>(b)].num_literals();
+  });
+  for (const int i : order) {
+    const Cube& c = current[static_cast<std::size_t>(i)];
+    Cover rest = dc;
+    for (std::size_t j = 0; j < current.size(); ++j)
+      if (static_cast<int>(j) != i) rest.add(current[j]);
+    // Exclusive part of c: c AND NOT rest; replace c by its supercube.
+    const Cover exclusive = cubes::sharp(Cover(f.num_vars(), {c}), rest);
+    if (exclusive.empty()) continue;  // fully covered; irredundant removes it
+    current[static_cast<std::size_t>(i)] = supercube(exclusive);
+  }
+  Cover out(f.num_vars());
+  for (auto& c : current) out.add(std::move(c));
+  return out;
+}
+
+Cover minimize(const Cover& f, const Cover& dc, const MinimizeOptions& options,
+               MinimizeStats* stats) {
+  MinimizeStats local;
+  local.initial_cubes = f.size();
+  local.initial_literals = f.num_literals();
+
+  const Cover offset = cubes::complement(f | dc);
+  Cover g = f;
+  g.remove_contained_cubes();
+  int best_cost = -1;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++local.iterations;
+    g = expand(g, offset);
+    g = irredundant(g, dc);
+    const int cost = g.size() * 1000 + g.num_literals();
+    if (best_cost >= 0 && cost >= best_cost) break;
+    best_cost = cost;
+    if (options.single_pass) break;
+    g = reduce(g, dc);
+  }
+  // Always finish on an expanded, irredundant cover.
+  g = irredundant(expand(g, offset), dc);
+
+  local.final_cubes = g.size();
+  local.final_literals = g.num_literals();
+  if (stats) *stats = local;
+  return g;
+}
+
+Cover minimize(const Cover& f) {
+  return minimize(f, Cover(f.num_vars()), MinimizeOptions{}, nullptr);
+}
+
+bool is_legal_implementation(const Cover& g, const Cover& f, const Cover& dc) {
+  // Lower bound: every minterm of f not in dc must be covered by g.
+  const Cover must = cubes::sharp(f, dc);
+  for (const auto& c : must.cubes())
+    if (!cubes::cover_contains_cube(g, c)) return false;
+  // Upper bound: g must stay inside f | dc.
+  const Cover allowed = f | dc;
+  for (const auto& c : g.cubes())
+    if (!cubes::cover_contains_cube(allowed, c)) return false;
+  return true;
+}
+
+}  // namespace l2l::espresso

@@ -1,0 +1,56 @@
+#pragma once
+// Heuristic two-level minimization in the style of Espresso [9,10]
+// (Week 3: "Logic Synthesis I"). The classic loop:
+//
+//     do { EXPAND; IRREDUNDANT; REDUCE; } while (cost improves);
+//
+// EXPAND      grows each cube into a prime against the OFF-set;
+// IRREDUNDANT drops cubes covered by the rest of the cover (plus DC);
+// REDUCE      shrinks each cube to the smallest cube still covering its
+//             exclusive minterms, giving EXPAND room to escape local minima.
+//
+// All operations are (F, D)-aware: the don't-care set D participates in
+// covering checks but never appears in the result.
+
+#include "cubes/cover.hpp"
+
+namespace l2l::espresso {
+
+struct MinimizeStats {
+  int iterations = 0;
+  int initial_cubes = 0;
+  int final_cubes = 0;
+  int initial_literals = 0;
+  int final_literals = 0;
+};
+
+struct MinimizeOptions {
+  int max_iterations = 20;
+  bool single_pass = false;  ///< expand+irredundant only (ablation)
+};
+
+/// EXPAND: raise each cube of `f` to a prime implicant of (f, dc). `offset`
+/// must be the complement of f|dc.
+cubes::Cover expand(const cubes::Cover& f, const cubes::Cover& offset);
+
+/// IRREDUNDANT: greedily drop cubes covered by the remaining cover plus dc.
+cubes::Cover irredundant(const cubes::Cover& f, const cubes::Cover& dc);
+
+/// REDUCE: shrink each cube to the supercube of its exclusive part.
+cubes::Cover reduce(const cubes::Cover& f, const cubes::Cover& dc);
+
+/// The full Espresso loop. Returns a cover G with f <= G|dc-agnostic
+/// containment: f - dc <= G <= f + dc.
+cubes::Cover minimize(const cubes::Cover& f, const cubes::Cover& dc,
+                      const MinimizeOptions& options = {},
+                      MinimizeStats* stats = nullptr);
+
+/// Convenience overload with an empty DC set.
+cubes::Cover minimize(const cubes::Cover& f);
+
+/// Verification helper: G is a legal implementation of (f, dc), i.e.
+/// f # dc <= G <= f | dc.
+bool is_legal_implementation(const cubes::Cover& g, const cubes::Cover& f,
+                             const cubes::Cover& dc);
+
+}  // namespace l2l::espresso

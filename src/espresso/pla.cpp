@@ -1,0 +1,112 @@
+#include "espresso/pla.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace l2l::espresso {
+
+Pla parse_pla(const std::string& text) {
+  Pla pla;
+  int declared_outputs = -1;
+  std::vector<std::string> output_names;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_i = false;
+  while (std::getline(in, line)) {
+    auto t = std::string(util::trim(line));
+    if (t.empty() || t[0] == '#') continue;
+    if (t[0] == '.') {
+      const auto tok = util::split(t);
+      if (tok[0] == ".i") {
+        pla.num_inputs = std::stoi(tok.at(1));
+        saw_i = true;
+      } else if (tok[0] == ".o") {
+        declared_outputs = std::stoi(tok.at(1));
+        pla.outputs.resize(static_cast<std::size_t>(declared_outputs));
+        for (int k = 0; k < declared_outputs; ++k) {
+          pla.outputs[static_cast<std::size_t>(k)].on = cubes::Cover(pla.num_inputs);
+          pla.outputs[static_cast<std::size_t>(k)].dc = cubes::Cover(pla.num_inputs);
+          pla.outputs[static_cast<std::size_t>(k)].name = util::format("y%d", k);
+        }
+      } else if (tok[0] == ".ilb") {
+        pla.input_names.assign(tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".ob") {
+        for (std::size_t k = 0; k + 1 < tok.size() && k < pla.outputs.size(); ++k)
+          pla.outputs[k].name = tok[k + 1];
+      } else if (tok[0] == ".p" || tok[0] == ".type") {
+        // cube count / type hints: accepted and ignored
+      } else if (tok[0] == ".e" || tok[0] == ".end") {
+        break;
+      } else {
+        throw std::invalid_argument("PLA: unknown directive " + tok[0]);
+      }
+      continue;
+    }
+    // Cube line.
+    if (!saw_i || declared_outputs < 0)
+      throw std::invalid_argument("PLA: cube before .i/.o header");
+    const auto tok = util::split(t);
+    if (tok.size() != 2)
+      throw std::invalid_argument("PLA: cube line must have input and output planes");
+    if (static_cast<int>(tok[0].size()) != pla.num_inputs)
+      throw std::invalid_argument("PLA: input plane width mismatch");
+    if (static_cast<int>(tok[1].size()) != declared_outputs)
+      throw std::invalid_argument("PLA: output plane width mismatch");
+    const auto cube = cubes::Cube::parse(tok[0]);
+    for (int k = 0; k < declared_outputs; ++k) {
+      const char c = tok[1][static_cast<std::size_t>(k)];
+      if (c == '1')
+        pla.outputs[static_cast<std::size_t>(k)].on.add(cube);
+      else if (c == '-' || c == '2')
+        pla.outputs[static_cast<std::size_t>(k)].dc.add(cube);
+      else if (c != '0' && c != '~')
+        throw std::invalid_argument("PLA: bad output plane character");
+    }
+  }
+  if (!saw_i) throw std::invalid_argument("PLA: missing .i header");
+  if (pla.input_names.empty())
+    for (int i = 0; i < pla.num_inputs; ++i)
+      pla.input_names.push_back(util::format("x%d", i));
+  return pla;
+}
+
+std::string write_pla(const Pla& pla) {
+  std::string out = util::format(".i %d\n.o %d\n", pla.num_inputs,
+                                 pla.num_outputs());
+  out += ".ilb " + util::join(pla.input_names, " ") + "\n";
+  out += ".ob";
+  for (const auto& o : pla.outputs) out += " " + o.name;
+  out += "\n.type fr\n";
+  // Collect all distinct cubes; emit output plane per cube.
+  std::vector<std::pair<cubes::Cube, std::string>> rows;
+  for (std::size_t k = 0; k < pla.outputs.size(); ++k) {
+    auto emit = [&](const cubes::Cover& cover, char mark) {
+      for (const auto& c : cover.cubes()) {
+        bool found = false;
+        for (auto& [cube, plane] : rows) {
+          if (cube == c && plane[k] == '0') {
+            plane[k] = mark;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          std::string plane(pla.outputs.size(), '0');
+          plane[k] = mark;
+          rows.emplace_back(c, plane);
+        }
+      }
+    };
+    emit(pla.outputs[k].on, '1');
+    emit(pla.outputs[k].dc, '-');
+  }
+  out += util::format(".p %d\n", static_cast<int>(rows.size()));
+  for (const auto& [cube, plane] : rows)
+    out += cube.to_string() + " " + plane + "\n";
+  out += ".e\n";
+  return out;
+}
+
+}  // namespace l2l::espresso

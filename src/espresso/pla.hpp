@@ -1,0 +1,37 @@
+#pragma once
+// Berkeley PLA-format I/O (the input format of the Espresso tool [9,10]
+// deployed as a MOOC cloud portal).
+//
+// Supported subset: .i .o .p .ilb .ob .type fr|f .e; cube lines are
+// "<input-plane> <output-plane>" with '0','1','-' inputs and '0','1','-'
+// outputs ('-' in the output plane marks a don't-care for type fr).
+
+#include <string>
+#include <vector>
+
+#include "cubes/cover.hpp"
+
+namespace l2l::espresso {
+
+/// One logical output of a PLA: ON-set and DC-set covers over the inputs.
+struct PlaOutput {
+  std::string name;
+  cubes::Cover on;  ///< ON-set
+  cubes::Cover dc;  ///< don't-care set
+};
+
+struct Pla {
+  int num_inputs = 0;
+  std::vector<std::string> input_names;
+  std::vector<PlaOutput> outputs;
+
+  int num_outputs() const { return static_cast<int>(outputs.size()); }
+};
+
+/// Parse PLA text. Throws std::invalid_argument on malformed input.
+Pla parse_pla(const std::string& text);
+
+/// Serialize (type fr; '-' output plane entries for DC cubes).
+std::string write_pla(const Pla& pla);
+
+}  // namespace l2l::espresso

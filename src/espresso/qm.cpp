@@ -1,0 +1,258 @@
+#include "espresso/qm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+#include "cubes/urp.hpp"
+
+namespace l2l::espresso {
+
+using cubes::Cover;
+using cubes::Cube;
+using cubes::Pcn;
+
+namespace {
+
+/// Compact cube for QM merging: care mask + values on care positions.
+struct MaskCube {
+  std::uint64_t care = 0;   // bit v set = variable v appears
+  std::uint64_t value = 0;  // phase of appearing variables (subset of care)
+  bool operator<(const MaskCube& o) const {
+    return care != o.care ? care < o.care : value < o.value;
+  }
+  bool operator==(const MaskCube& o) const = default;
+};
+
+Cube to_cube(const MaskCube& m, int n) {
+  Cube c(n);
+  for (int v = 0; v < n; ++v) {
+    if (!((m.care >> v) & 1)) continue;
+    c.set_code(v, ((m.value >> v) & 1) ? Pcn::kPos : Pcn::kNeg);
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<Cube> all_primes(const Cover& f, const Cover& dc) {
+  const int n = f.num_vars();
+  if (n > 20)
+    throw std::invalid_argument("all_primes: too many inputs for QM");
+  const auto care_tt = (f | dc).to_truth_table();
+
+  // Level 0: all minterms of f | dc.
+  std::set<MaskCube> level;
+  const std::uint64_t full =
+      n == 64 ? ~0ull : ((1ull << n) - 1);
+  for (const std::uint64_t m : care_tt.minterms())
+    level.insert(MaskCube{full, m});
+
+  std::vector<Cube> primes;
+  while (!level.empty()) {
+    std::set<MaskCube> next;
+    std::set<MaskCube> merged;
+    // Try all pairs with identical care masks differing in exactly one bit.
+    std::vector<MaskCube> items(level.begin(), level.end());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = i + 1; j < items.size(); ++j) {
+        if (items[i].care != items[j].care) continue;
+        const std::uint64_t diff = items[i].value ^ items[j].value;
+        if (std::popcount(diff) != 1) continue;
+        next.insert(MaskCube{items[i].care & ~diff, items[i].value & ~diff});
+        merged.insert(items[i]);
+        merged.insert(items[j]);
+      }
+    }
+    for (const auto& m : items)
+      if (!merged.count(m)) primes.push_back(to_cube(m, n));
+    level = std::move(next);
+  }
+  return primes;
+}
+
+namespace {
+
+struct CoverProblem {
+  std::vector<std::vector<int>> rows;  // row -> column (prime) indices
+  std::vector<int> cost;               // column cost
+};
+
+/// Branch-and-bound over the cyclic core.
+struct Bnb {
+  const CoverProblem& p;
+  std::vector<bool> col_banned;
+  std::vector<bool> row_done;
+  std::vector<int> best;  // best column set found
+  int best_cost;
+  std::int64_t nodes = 0;
+
+  explicit Bnb(const CoverProblem& problem)
+      : p(problem),
+        col_banned(problem.cost.size(), false),
+        row_done(problem.rows.size(), false),
+        best_cost(0) {
+    // Start with the trivial solution: take one column per row greedily.
+    for (const auto c : greedy()) best.push_back(c);
+    for (const auto c : best) best_cost += p.cost[static_cast<std::size_t>(c)];
+  }
+
+  std::vector<int> greedy() const {
+    std::vector<bool> covered(p.rows.size(), false);
+    std::vector<int> chosen;
+    for (;;) {
+      // Pick the column covering the most uncovered rows per unit cost.
+      std::vector<int> count(p.cost.size(), 0);
+      bool any = false;
+      for (std::size_t r = 0; r < p.rows.size(); ++r) {
+        if (covered[r]) continue;
+        any = true;
+        for (const int c : p.rows[r]) ++count[static_cast<std::size_t>(c)];
+      }
+      if (!any) break;
+      int bestc = -1;
+      double best_ratio = -1;
+      for (std::size_t c = 0; c < count.size(); ++c) {
+        if (count[c] == 0) continue;
+        const double ratio = static_cast<double>(count[c]) / p.cost[c];
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          bestc = static_cast<int>(c);
+        }
+      }
+      chosen.push_back(bestc);
+      for (std::size_t r = 0; r < p.rows.size(); ++r) {
+        if (covered[r]) continue;
+        for (const int c : p.rows[r])
+          if (c == bestc) {
+            covered[r] = true;
+            break;
+          }
+      }
+    }
+    return chosen;
+  }
+
+  void search(std::vector<int>& chosen, int cost) {
+    ++nodes;
+    if (cost >= best_cost) return;  // bound
+    // Find an uncovered row with the fewest available columns.
+    int pick_row = -1;
+    std::size_t pick_width = ~0ull;
+    for (std::size_t r = 0; r < p.rows.size(); ++r) {
+      if (row_done[r]) continue;
+      bool covered = false;
+      std::size_t width = 0;
+      for (const int c : p.rows[r]) {
+        if (col_banned[static_cast<std::size_t>(c)]) continue;
+        for (const int ch : chosen)
+          if (ch == c) {
+            covered = true;
+            break;
+          }
+        if (covered) break;
+        ++width;
+      }
+      if (covered) continue;
+      if (width == 0) return;  // dead end: row uncoverable
+      if (width < pick_width) {
+        pick_width = width;
+        pick_row = static_cast<int>(r);
+      }
+    }
+    if (pick_row < 0) {
+      // All rows covered: record improvement.
+      best = chosen;
+      best_cost = cost;
+      return;
+    }
+    // Branch on each available column of the chosen row.
+    for (const int c : p.rows[static_cast<std::size_t>(pick_row)]) {
+      if (col_banned[static_cast<std::size_t>(c)]) continue;
+      chosen.push_back(c);
+      search(chosen, cost + p.cost[static_cast<std::size_t>(c)]);
+      chosen.pop_back();
+      // Exclude this column in subsequent branches of this node.
+      col_banned[static_cast<std::size_t>(c)] = true;
+    }
+    // Restore bans set at this node.
+    for (const int c : p.rows[static_cast<std::size_t>(pick_row)])
+      col_banned[static_cast<std::size_t>(c)] = false;
+  }
+};
+
+}  // namespace
+
+Cover exact_minimize(const Cover& f, const Cover& dc, ExactStats* stats) {
+  const int n = f.num_vars();
+  ExactStats local;
+  const auto primes = all_primes(f, dc);
+  local.num_primes = static_cast<int>(primes.size());
+
+  // Rows: ON-set minterms (DC minterms need not be covered).
+  const auto on_tt = f.to_truth_table();
+  const auto dc_tt = dc.to_truth_table();
+  std::vector<std::uint64_t> minterms;
+  for (const std::uint64_t m : on_tt.minterms())
+    if (!dc_tt.get(m)) minterms.push_back(m);
+
+  if (minterms.empty()) {
+    if (stats) *stats = local;
+    return Cover(n);
+  }
+
+  CoverProblem problem;
+  problem.cost.reserve(primes.size());
+  for (const auto& p : primes) problem.cost.push_back(1000 + p.num_literals());
+  problem.rows.reserve(minterms.size());
+  for (const std::uint64_t m : minterms) {
+    std::vector<int> cols;
+    for (std::size_t c = 0; c < primes.size(); ++c)
+      if (primes[c].eval(m)) cols.push_back(static_cast<int>(c));
+    problem.rows.push_back(std::move(cols));
+  }
+
+  // Essential columns: rows covered by exactly one prime.
+  std::vector<bool> chosen_col(primes.size(), false);
+  for (const auto& row : problem.rows)
+    if (row.size() == 1) {
+      if (!chosen_col[static_cast<std::size_t>(row[0])]) ++local.num_essential;
+      chosen_col[static_cast<std::size_t>(row[0])] = true;
+    }
+  // Remove rows covered by essential columns.
+  CoverProblem core;
+  core.cost = problem.cost;
+  for (const auto& row : problem.rows) {
+    bool covered = false;
+    for (const int c : row)
+      if (chosen_col[static_cast<std::size_t>(c)]) {
+        covered = true;
+        break;
+      }
+    if (!covered) core.rows.push_back(row);
+  }
+
+  std::vector<int> extra;
+  if (!core.rows.empty()) {
+    Bnb bnb(core);
+    std::vector<int> chosen;
+    bnb.search(chosen, 0);
+    local.branch_nodes = bnb.nodes;
+    extra = bnb.best;
+  }
+
+  Cover out(n);
+  for (std::size_t c = 0; c < primes.size(); ++c)
+    if (chosen_col[c]) out.add(primes[c]);
+  for (const int c : extra) out.add(primes[static_cast<std::size_t>(c)]);
+  out.remove_contained_cubes();
+  if (stats) *stats = local;
+  return out;
+}
+
+Cover exact_minimize(const Cover& f) {
+  return exact_minimize(f, Cover(f.num_vars()), nullptr);
+}
+
+}  // namespace l2l::espresso

@@ -1,0 +1,32 @@
+#pragma once
+// Exact two-level minimization: Quine-McCluskey prime generation followed
+// by branch-and-bound unate covering with essential-column extraction and
+// row/column dominance. Exponential, so only for small functions -- the
+// perf bench uses it as the quality baseline for the Espresso heuristic.
+
+#include <cstdint>
+#include <vector>
+
+#include "cubes/cover.hpp"
+
+namespace l2l::espresso {
+
+/// All prime implicants of (f, dc) by iterated merging of minterms.
+/// Practical up to ~14 inputs.
+std::vector<cubes::Cube> all_primes(const cubes::Cover& f,
+                                    const cubes::Cover& dc);
+
+struct ExactStats {
+  int num_primes = 0;
+  int num_essential = 0;
+  std::int64_t branch_nodes = 0;
+};
+
+/// Minimum-cost prime cover of f with don't-cares dc. Cost of a prime is
+/// 1000 + literal count, so cube count dominates and literals break ties.
+cubes::Cover exact_minimize(const cubes::Cover& f, const cubes::Cover& dc,
+                            ExactStats* stats = nullptr);
+
+cubes::Cover exact_minimize(const cubes::Cover& f);
+
+}  // namespace l2l::espresso

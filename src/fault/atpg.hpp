@@ -1,0 +1,31 @@
+#pragma once
+// SAT-based automatic test pattern generation: encode the good and faulty
+// machines over shared inputs, assert some output differs, and solve. A
+// satisfying model IS the test vector; UNSAT proves the fault untestable
+// (redundant logic). Reuses the Week-2 miter machinery end to end.
+
+#include <optional>
+
+#include "fault/faults.hpp"
+#include "fault/simulator.hpp"
+
+namespace l2l::fault {
+
+struct AtpgResult {
+  /// Test vector per detectable fault order; nullopt = untestable.
+  int testable = 0;
+  int untestable = 0;
+  std::vector<std::pair<Fault, std::vector<bool>>> tests;
+  std::vector<Fault> redundant;
+};
+
+/// Generate a test vector for one fault; nullopt when untestable.
+std::optional<std::vector<bool>> generate_test(const network::Network& net,
+                                               const Fault& fault);
+
+/// Run ATPG over a fault list. Each generated vector is verified by fault
+/// simulation before being accepted (belt and braces).
+AtpgResult run_atpg(const network::Network& net,
+                    const std::vector<Fault>& faults);
+
+}  // namespace l2l::fault

@@ -1,0 +1,41 @@
+#include "fault/faults.hpp"
+
+#include "util/strings.hpp"
+
+namespace l2l::fault {
+
+using network::Network;
+using network::NodeId;
+using network::NodeType;
+
+std::string Fault::to_string(const Network& net) const {
+  return util::format("%s stuck-at-%d", net.node(node).name.c_str(),
+                      stuck_value ? 1 : 0);
+}
+
+std::vector<Fault> enumerate_faults(const Network& net) {
+  std::vector<Fault> out;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.is_dead(id)) continue;
+    out.push_back({id, false});
+    out.push_back({id, true});
+  }
+  return out;
+}
+
+std::vector<Fault> collapse_faults(const Network& net,
+                                   const std::vector<Fault>& faults) {
+  std::vector<Fault> out;
+  for (const auto& f : faults) {
+    const auto& n = net.node(f.node);
+    if (n.type == NodeType::kLogic && n.fanins.size() == 1 &&
+        n.cover.size() <= 1 && n.cover.num_literals() == 1) {
+      // Buffer or inverter: output faults are equivalent to input faults.
+      continue;
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace l2l::fault

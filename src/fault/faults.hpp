@@ -1,0 +1,31 @@
+#pragma once
+// Stuck-at fault machinery -- the "test" topic the course had to omit
+// (§2.1) and survey respondents asked for (Fig. 11). Single stuck-at
+// faults on node outputs, with equivalence-free enumeration and simple
+// structural collapsing.
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace l2l::fault {
+
+struct Fault {
+  network::NodeId node = network::kNoNode;  ///< faulty signal (node output)
+  bool stuck_value = false;                 ///< stuck-at-0 or stuck-at-1
+
+  bool operator==(const Fault&) const = default;
+  std::string to_string(const network::Network& net) const;
+};
+
+/// All single stuck-at faults on live node outputs (2 per node).
+std::vector<Fault> enumerate_faults(const network::Network& net);
+
+/// Cheap structural collapsing: for a single-fanin node whose function is
+/// a buffer or inverter, the output faults are equivalent to (possibly
+/// inverted) input faults and are dropped. Returns the collapsed list.
+std::vector<Fault> collapse_faults(const network::Network& net,
+                                   const std::vector<Fault>& faults);
+
+}  // namespace l2l::fault

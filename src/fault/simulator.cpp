@@ -1,0 +1,103 @@
+#include "fault/simulator.hpp"
+
+#include <stdexcept>
+
+namespace l2l::fault {
+
+using network::Network;
+using network::NodeId;
+using network::NodeType;
+
+namespace {
+
+/// Bit-parallel evaluation with one node forced to a constant (the fault).
+std::vector<std::uint64_t> simulate_with_fault(
+    const Network& net, const std::vector<NodeId>& order,
+    const std::vector<std::uint64_t>& input_words, const Fault& fault) {
+  std::vector<std::uint64_t> value(static_cast<std::size_t>(net.num_nodes()), 0);
+  for (std::size_t i = 0; i < net.inputs().size(); ++i)
+    value[static_cast<std::size_t>(net.inputs()[i])] = input_words[i];
+  for (const NodeId id : order) {
+    const auto& n = net.node(id);
+    if (n.type != NodeType::kInput) {
+      std::uint64_t acc = 0;
+      for (const auto& cube : n.cover.cubes()) {
+        std::uint64_t term = ~0ull;
+        for (std::size_t k = 0; k < n.fanins.size(); ++k) {
+          const auto code = cube.code(static_cast<int>(k));
+          const std::uint64_t w = value[static_cast<std::size_t>(n.fanins[k])];
+          if (code == cubes::Pcn::kPos) term &= w;
+          else if (code == cubes::Pcn::kNeg) term &= ~w;
+          else if (code == cubes::Pcn::kEmpty) term = 0;
+        }
+        acc |= term;
+      }
+      value[static_cast<std::size_t>(id)] = acc;
+    }
+    if (id == fault.node)
+      value[static_cast<std::size_t>(id)] = fault.stuck_value ? ~0ull : 0ull;
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultSimResult simulate_faults(const Network& net,
+                               const std::vector<Fault>& faults,
+                               const std::vector<std::vector<bool>>& patterns) {
+  FaultSimResult res;
+  res.total_faults = static_cast<int>(faults.size());
+  std::vector<bool> detected(faults.size(), false);
+  const auto order = net.topological_order();
+
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    std::vector<std::uint64_t> words(net.inputs().size(), 0);
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto& pat = patterns[base + k];
+      if (pat.size() != net.inputs().size())
+        throw std::invalid_argument("simulate_faults: pattern arity mismatch");
+      for (std::size_t i = 0; i < pat.size(); ++i)
+        if (pat[i]) words[i] |= 1ull << k;
+    }
+    const std::uint64_t live_mask =
+        count == 64 ? ~0ull : ((1ull << count) - 1);
+
+    const auto good = net.simulate64(words);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (detected[f]) continue;
+      const auto bad = simulate_with_fault(net, order, words, faults[f]);
+      for (const NodeId o : net.outputs()) {
+        if ((good[static_cast<std::size_t>(o)] ^
+             bad[static_cast<std::size_t>(o)]) & live_mask) {
+          detected[f] = true;
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (detected[f])
+      ++res.detected;
+    else
+      res.undetected.push_back(faults[f]);
+  }
+  return res;
+}
+
+FaultSimResult random_pattern_coverage(const Network& net,
+                                       const std::vector<Fault>& faults,
+                                       int num_patterns, util::Rng& rng) {
+  std::vector<std::vector<bool>> patterns;
+  patterns.reserve(static_cast<std::size_t>(num_patterns));
+  for (int k = 0; k < num_patterns; ++k) {
+    std::vector<bool> pat;
+    pat.reserve(net.inputs().size());
+    for (std::size_t i = 0; i < net.inputs().size(); ++i)
+      pat.push_back(rng.next_bool());
+    patterns.push_back(std::move(pat));
+  }
+  return simulate_faults(net, faults, patterns);
+}
+
+}  // namespace l2l::fault

@@ -1,0 +1,32 @@
+#pragma once
+// Parallel-pattern stuck-at fault simulation: 64 input vectors per pass
+// using the network's bit-parallel simulator; a fault is detected when
+// any primary output differs from the good machine on any pattern.
+
+#include <vector>
+
+#include "fault/faults.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::fault {
+
+struct FaultSimResult {
+  int total_faults = 0;
+  int detected = 0;
+  std::vector<Fault> undetected;
+  double coverage() const {
+    return total_faults ? static_cast<double>(detected) / total_faults : 1.0;
+  }
+};
+
+/// Simulate explicit patterns (each pattern = one bool per primary input).
+FaultSimResult simulate_faults(const network::Network& net,
+                               const std::vector<Fault>& faults,
+                               const std::vector<std::vector<bool>>& patterns);
+
+/// Random-pattern fault grading: `num_patterns` seeded random vectors.
+FaultSimResult random_pattern_coverage(const network::Network& net,
+                                       const std::vector<Fault>& faults,
+                                       int num_patterns, util::Rng& rng);
+
+}  // namespace l2l::fault

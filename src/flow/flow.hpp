@@ -1,0 +1,61 @@
+#pragma once
+// The complete "logic to layout" flow -- the course's arc in one call:
+//
+//   BLIF netlist
+//     -> multi-level logic optimization        (Week 3-4)
+//     -> technology mapping                    (Week 5)
+//     -> placement (quadratic + legalization)  (Week 6)
+//     -> 2-layer maze routing                  (Week 7)
+//     -> static timing with Elmore wire delay  (Week 8)
+//
+// Gate placement/routing operate on a synthetic pin geometry derived from
+// the mapped netlist (one cell per gate, one routing net per multi-fanout
+// signal), closing the loop from logic to layout.
+
+#include <string>
+
+#include "gen/placement_gen.hpp"
+#include "gen/routing_gen.hpp"
+#include "network/network.hpp"
+#include "place/legalize.hpp"
+#include "route/router.hpp"
+#include "techmap/mapper.hpp"
+#include "timing/sta.hpp"
+
+namespace l2l::flow {
+
+struct FlowOptions {
+  bool optimize_logic = true;
+  techmap::MapObjective objective = techmap::MapObjective::kArea;
+  int grid_margin_percent = 100;  ///< extra sites beyond cell count
+  int route_grid_per_site = 5;   ///< routing-grid resolution per site
+  int route_ripup_iterations = 6;
+  std::uint64_t seed = 1;
+};
+
+struct FlowResult {
+  // Synthesis.
+  int literals_before = 0;
+  int literals_after = 0;
+  // Mapping.
+  techmap::MapResult mapped;
+  // Placement.
+  gen::PlacementProblem placement_problem;
+  place::Grid grid;
+  place::GridPlacement placement;
+  double hpwl = 0.0;
+  // Routing.
+  gen::RoutingProblem routing_problem;
+  route::RouteSolution routing;
+  // Timing.
+  timing::TimingResult timing;
+  double gate_delay = 0.0;   ///< STA with cell delays only
+  double worst_wire_delay = 0.0;
+
+  std::string report() const;
+};
+
+/// Run the whole flow on a logic network.
+FlowResult run_flow(const network::Network& input, const FlowOptions& opt = {});
+
+}  // namespace l2l::flow

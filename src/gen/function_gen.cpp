@@ -1,0 +1,113 @@
+#include "gen/function_gen.hpp"
+
+#include "util/strings.hpp"
+
+namespace l2l::gen {
+
+using network::Network;
+using network::NodeId;
+
+cubes::Cover random_cover(int num_vars, int num_cubes, util::Rng& rng) {
+  cubes::Cover f(num_vars);
+  for (int i = 0; i < num_cubes; ++i) {
+    cubes::Cube c(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      switch (rng.next_below(3)) {
+        case 0: c.set_code(v, cubes::Pcn::kNeg); break;
+        case 1: c.set_code(v, cubes::Pcn::kPos); break;
+        default: break;
+      }
+    }
+    f.add(std::move(c));
+  }
+  return f;
+}
+
+Network random_network(const NetworkGenOptions& opt, util::Rng& rng) {
+  Network net("rand");
+  std::vector<NodeId> pool;
+  for (int i = 0; i < opt.num_inputs; ++i)
+    pool.push_back(net.add_input(util::format("i%d", i)));
+  for (int k = 0; k < opt.num_nodes; ++k) {
+    const int arity =
+        2 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.max_arity - 1)));
+    std::vector<NodeId> fanins;
+    std::vector<bool> seen(pool.size(), false);
+    while (static_cast<int>(fanins.size()) < arity) {
+      const auto c = rng.next_below(pool.size());
+      if (seen[c]) continue;
+      seen[c] = true;
+      fanins.push_back(pool[c]);
+      if (fanins.size() >= pool.size()) break;
+    }
+    auto cover = random_cover(
+        static_cast<int>(fanins.size()),
+        1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.max_cubes))),
+        rng);
+    pool.push_back(
+        net.add_logic(util::format("n%d", k), std::move(fanins), std::move(cover)));
+  }
+  for (int o = 0; o < opt.num_outputs; ++o)
+    net.mark_output(pool[pool.size() - 1 - static_cast<std::size_t>(o)]);
+  return net;
+}
+
+Network adder_network(int bits) {
+  Network net(util::format("adder%d", bits));
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(net.add_input(util::format("a%d", i)));
+  for (int i = 0; i < bits; ++i) b.push_back(net.add_input(util::format("b%d", i)));
+  NodeId carry = net.add_input("cin");
+  for (int i = 0; i < bits; ++i) {
+    const auto sum = net.add_logic(
+        util::format("s%d", i), {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], carry},
+        cubes::Cover::parse(3, "100\n010\n001\n111\n"));
+    const auto cout = net.add_logic(
+        util::format("c%d", i), {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], carry},
+        cubes::Cover::parse(3, "11-\n1-1\n-11\n"));
+    net.mark_output(sum);
+    carry = cout;
+  }
+  net.mark_output(carry);
+  return net;
+}
+
+Network parity_network(int bits) {
+  Network net(util::format("parity%d", bits));
+  NodeId acc = net.add_input("x0");
+  for (int i = 1; i < bits; ++i) {
+    const auto xi = net.add_input(util::format("x%d", i));
+    acc = net.add_logic(util::format("p%d", i), {acc, xi},
+                        cubes::Cover::parse(2, "10\n01\n"));
+  }
+  net.mark_output(acc);
+  return net;
+}
+
+Network mux_network(int sel_bits) {
+  Network net(util::format("mux%d", sel_bits));
+  std::vector<NodeId> sel;
+  for (int i = 0; i < sel_bits; ++i)
+    sel.push_back(net.add_input(util::format("s%d", i)));
+  const int ways = 1 << sel_bits;
+  std::vector<NodeId> data;
+  for (int i = 0; i < ways; ++i)
+    data.push_back(net.add_input(util::format("d%d", i)));
+
+  // One AND term per data input gated by the select decode, OR-ed together.
+  std::vector<NodeId> fanins = sel;
+  fanins.insert(fanins.end(), data.begin(), data.end());
+  cubes::Cover cover(sel_bits + ways);
+  for (int w = 0; w < ways; ++w) {
+    cubes::Cube c(sel_bits + ways);
+    for (int s = 0; s < sel_bits; ++s)
+      c.set_code(s, ((w >> s) & 1) ? cubes::Pcn::kPos : cubes::Pcn::kNeg);
+    c.set_code(sel_bits + w, cubes::Pcn::kPos);
+    cover.add(std::move(c));
+  }
+  const auto y = net.add_logic("y", std::move(fanins), std::move(cover));
+  net.mark_output(y);
+  return net;
+}
+
+}  // namespace l2l::gen

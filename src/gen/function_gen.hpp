@@ -1,0 +1,37 @@
+#pragma once
+// Random Boolean functions and logic networks for benchmarking the
+// synthesis flow (espresso, multi-level optimization, mapping).
+
+#include "cubes/cover.hpp"
+#include "network/network.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::gen {
+
+/// Random cube cover: k cubes over n variables, each position taking
+/// {neg, pos, don't-care} uniformly.
+cubes::Cover random_cover(int num_vars, int num_cubes, util::Rng& rng);
+
+struct NetworkGenOptions {
+  int num_inputs = 8;
+  int num_nodes = 30;
+  int num_outputs = 4;
+  int max_arity = 4;
+  int max_cubes = 4;
+};
+
+/// Random layered logic network (DAG). Deterministic per seed.
+network::Network random_network(const NetworkGenOptions& opt, util::Rng& rng);
+
+/// The n-bit ripple-carry adder as a logic network: 2n+1 inputs
+/// (a0..an-1, b0..bn-1, cin), n+1 outputs (s0..sn-1, cout). A classic
+/// structured benchmark for the flow.
+network::Network adder_network(int bits);
+
+/// n-bit odd-parity tree (XOR chain) -- stresses BDD/espresso worst cases.
+network::Network parity_network(int bits);
+
+/// 2^sel -to-1 multiplexer: sel select inputs, 2^sel data inputs.
+network::Network mux_network(int sel_bits);
+
+}  // namespace l2l::gen

@@ -1,0 +1,136 @@
+#include "gen/placement_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace l2l::gen {
+
+void PlacementProblem::validate() const {
+  std::vector<bool> used(static_cast<std::size_t>(num_cells), false);
+  for (const auto& net : nets) {
+    if (net.size() < 2) throw std::logic_error("placement: net with < 2 pins");
+    for (const auto& p : net) {
+      if (p.is_pad) {
+        if (p.index < 0 || p.index >= static_cast<int>(pads.size()))
+          throw std::logic_error("placement: pad index out of range");
+      } else {
+        if (p.index < 0 || p.index >= num_cells)
+          throw std::logic_error("placement: cell index out of range");
+        used[static_cast<std::size_t>(p.index)] = true;
+      }
+    }
+  }
+  for (int c = 0; c < num_cells; ++c)
+    if (!used[static_cast<std::size_t>(c)])
+      throw std::logic_error("placement: unconnected cell");
+}
+
+PlacementProblem generate_placement(const PlacementGenOptions& opt,
+                                    util::Rng& rng) {
+  PlacementProblem p;
+  p.num_cells = opt.num_cells;
+  p.width = opt.die_size;
+  p.height = opt.die_size;
+
+  // Pads evenly around the boundary.
+  for (int k = 0; k < opt.num_pads; ++k) {
+    const double t = static_cast<double>(k) / opt.num_pads * 4.0;
+    Pad pad;
+    if (t < 1.0) {
+      pad.x = t * opt.die_size;
+      pad.y = 0.0;
+    } else if (t < 2.0) {
+      pad.x = opt.die_size;
+      pad.y = (t - 1.0) * opt.die_size;
+    } else if (t < 3.0) {
+      pad.x = (3.0 - t) * opt.die_size;
+      pad.y = opt.die_size;
+    } else {
+      pad.x = 0.0;
+      pad.y = (4.0 - t) * opt.die_size;
+    }
+    pad.name = util::format("p%d", k);
+    p.pads.push_back(pad);
+  }
+
+  // Latent cell locations drive locality: cells laid out in a jittered
+  // grid; nets connect latent-space neighbours.
+  const int side = static_cast<int>(std::ceil(std::sqrt(opt.num_cells)));
+  std::vector<double> lx(static_cast<std::size_t>(opt.num_cells));
+  std::vector<double> ly(static_cast<std::size_t>(opt.num_cells));
+  for (int c = 0; c < opt.num_cells; ++c) {
+    lx[static_cast<std::size_t>(c)] =
+        ((c % side) + rng.next_double()) / side * opt.die_size;
+    ly[static_cast<std::size_t>(c)] =
+        ((c / side) + rng.next_double()) / side * opt.die_size;
+  }
+
+  const int num_nets =
+      std::max(1, static_cast<int>(std::lround(opt.nets_per_cell * opt.num_cells)));
+  const double radius = opt.die_size / side * 2.5;  // neighbourhood radius
+
+  auto nearby_cell = [&](int anchor) {
+    // Rejection-sample a cell within `radius` of the anchor's latent spot.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const int c = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.num_cells)));
+      const double dx = lx[static_cast<std::size_t>(c)] - lx[static_cast<std::size_t>(anchor)];
+      const double dy = ly[static_cast<std::size_t>(c)] - ly[static_cast<std::size_t>(anchor)];
+      if (c != anchor && dx * dx + dy * dy <= radius * radius) return c;
+    }
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.num_cells)));
+  };
+
+  for (int n = 0; n < num_nets; ++n) {
+    // Degree: 2 plus a geometric tail around the requested mean, capped so
+    // small problems can still supply enough distinct pins.
+    const int max_degree = std::min(12, opt.num_cells - 1);
+    int degree = 2;
+    const double p_more = 1.0 - 1.0 / std::max(1.0, opt.mean_net_degree - 1.0);
+    while (degree < max_degree && rng.next_double() < p_more) ++degree;
+
+    const bool long_range = rng.next_double() < opt.long_range_fraction;
+    const bool pad_net = rng.next_double() < opt.pad_net_fraction;
+    const int anchor = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.num_cells)));
+
+    std::set<std::pair<bool, int>> pins;
+    pins.insert({false, anchor});
+    if (pad_net)
+      pins.insert({true, static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.num_pads)))});
+    // The anchor's neighbourhood may hold fewer distinct cells than the
+    // requested degree (small problems): widen to uniform sampling after a
+    // few tries, and accept a smaller net rather than spin forever.
+    for (int attempt = 0; static_cast<int>(pins.size()) < degree && attempt < 200;
+         ++attempt) {
+      const int c = (long_range || attempt >= 32)
+                        ? static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.num_cells)))
+                        : nearby_cell(anchor);
+      pins.insert({false, c});
+    }
+    if (pins.size() < 2) continue;  // degenerate; skip (cells reconnect below)
+    std::vector<Pin> net;
+    for (const auto& [is_pad, idx] : pins) net.push_back({is_pad, idx});
+    p.nets.push_back(std::move(net));
+  }
+
+  // Guarantee every cell is connected: chain orphans to a neighbour.
+  std::vector<bool> used(static_cast<std::size_t>(opt.num_cells), false);
+  for (const auto& net : p.nets)
+    for (const auto& pin : net)
+      if (!pin.is_pad) used[static_cast<std::size_t>(pin.index)] = true;
+  for (int c = 0; c < opt.num_cells; ++c) {
+    if (used[static_cast<std::size_t>(c)]) continue;
+    int other = nearby_cell(c);
+    while (other == c)
+      other = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.num_cells)));
+    p.nets.push_back({{false, c}, {false, other}});
+  }
+
+  p.validate();
+  return p;
+}
+
+}  // namespace l2l::gen

@@ -1,0 +1,54 @@
+#pragma once
+// Synthetic standard-cell placement benchmarks.
+//
+// The MOOC's placement project used MCNC netlists [14]; those are not
+// bundled here, so we generate seeded synthetic netlists at the same scale
+// with comparable structure: cells with geometric locality (most nets are
+// short-range, a Rent-like tail is long-range) and I/O pads on the die
+// boundary. See DESIGN.md "Substitutions".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace l2l::gen {
+
+/// A pin is either a movable cell or a fixed pad.
+struct Pin {
+  bool is_pad = false;
+  int index = 0;  ///< cell index or pad index
+};
+
+struct Pad {
+  double x = 0.0, y = 0.0;
+  std::string name;
+};
+
+struct PlacementProblem {
+  int num_cells = 0;
+  std::vector<Pad> pads;
+  std::vector<std::vector<Pin>> nets;
+  double width = 0.0, height = 0.0;  ///< die dimensions
+
+  /// Structural sanity: every net >= 2 pins, indices in range, every cell
+  /// appears in at least one net. Throws std::logic_error otherwise.
+  void validate() const;
+};
+
+struct PlacementGenOptions {
+  int num_cells = 400;
+  int num_pads = 32;
+  double nets_per_cell = 1.2;       ///< nets = round(nets_per_cell * cells)
+  double mean_net_degree = 3.0;     ///< 2 + geometric tail
+  double long_range_fraction = 0.1; ///< nets ignoring locality
+  double pad_net_fraction = 0.15;   ///< nets anchored at a pad
+  double die_size = 100.0;
+};
+
+/// Deterministic synthetic netlist (same seed -> same problem).
+PlacementProblem generate_placement(const PlacementGenOptions& opt,
+                                    util::Rng& rng);
+
+}  // namespace l2l::gen

@@ -1,0 +1,57 @@
+#include "gen/routing_gen.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace l2l::gen {
+
+RoutingProblem generate_routing(const RoutingGenOptions& opt, util::Rng& rng) {
+  RoutingProblem p;
+  p.width = opt.width;
+  p.height = opt.height;
+  p.num_layers = 2;
+  p.blocked.assign(2, std::vector<bool>(
+                          static_cast<std::size_t>(opt.width) *
+                              static_cast<std::size_t>(opt.height),
+                          false));
+
+  // Random obstacles, independent per layer.
+  for (int layer = 0; layer < 2; ++layer) {
+    const auto cells = static_cast<std::uint64_t>(opt.width) *
+                       static_cast<std::uint64_t>(opt.height);
+    const auto count = static_cast<std::uint64_t>(opt.obstacle_fraction *
+                                                  static_cast<double>(cells));
+    for (std::uint64_t k = 0; k < count; ++k)
+      p.blocked[static_cast<std::size_t>(layer)][static_cast<std::size_t>(
+          rng.next_below(cells))] = true;
+  }
+
+  std::set<std::pair<int, int>> taken;  // pin xy uniqueness (layer 0)
+  auto free_pin = [&]() {
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      const int x = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.width)));
+      const int y = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.height)));
+      if (taken.count({x, y})) continue;
+      const GridPoint g{x, y, 0};
+      if (p.is_blocked(g)) continue;
+      taken.insert({x, y});
+      return g;
+    }
+    throw std::logic_error("generate_routing: could not place pins");
+  };
+
+  for (int n = 0; n < opt.num_nets; ++n) {
+    RoutingNet net;
+    net.id = n;
+    const int pins =
+        2 + (opt.max_pins_per_net > 2
+                 ? static_cast<int>(rng.next_below(
+                       static_cast<std::uint64_t>(opt.max_pins_per_net - 1)))
+                 : 0);
+    for (int k = 0; k < pins; ++k) net.pins.push_back(free_pin());
+    p.nets.push_back(std::move(net));
+  }
+  return p;
+}
+
+}  // namespace l2l::gen

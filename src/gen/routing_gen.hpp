@@ -1,0 +1,57 @@
+#pragma once
+// Synthetic maze-routing benchmarks: 2-layer grids with obstacles and
+// multi-terminal nets (the MOOC's Project 4 inputs were pin/obstacle maps
+// derived from reference placements; we generate equivalent maps).
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace l2l::gen {
+
+struct GridPoint {
+  int x = 0, y = 0, layer = 0;
+  bool operator==(const GridPoint&) const = default;
+  bool operator<(const GridPoint& o) const {
+    if (layer != o.layer) return layer < o.layer;
+    if (y != o.y) return y < o.y;
+    return x < o.x;
+  }
+};
+
+struct RoutingNet {
+  int id = 0;
+  std::vector<GridPoint> pins;  ///< >= 2 terminals
+};
+
+struct RoutingProblem {
+  int width = 0, height = 0;
+  int num_layers = 2;
+  /// Blocked cells per layer (true = obstacle).
+  std::vector<std::vector<bool>> blocked;  // [layer][y * width + x]
+  std::vector<RoutingNet> nets;
+
+  bool is_blocked(const GridPoint& p) const {
+    return blocked[static_cast<std::size_t>(p.layer)]
+                  [static_cast<std::size_t>(p.y) * static_cast<std::size_t>(width) +
+                   static_cast<std::size_t>(p.x)];
+  }
+  bool in_bounds(const GridPoint& p) const {
+    return p.x >= 0 && p.x < width && p.y >= 0 && p.y < height &&
+           p.layer >= 0 && p.layer < num_layers;
+  }
+};
+
+struct RoutingGenOptions {
+  int width = 64;
+  int height = 64;
+  int num_nets = 24;
+  double obstacle_fraction = 0.08;  ///< random blocked cells per layer
+  int max_pins_per_net = 2;         ///< 2 = pin pairs; >2 = multi-terminal
+};
+
+/// Deterministic random routing problem. Pins are never placed on
+/// obstacles and pin locations are distinct across nets (layer 0).
+RoutingProblem generate_routing(const RoutingGenOptions& opt, util::Rng& rng);
+
+}  // namespace l2l::gen

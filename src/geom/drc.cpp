@@ -1,0 +1,69 @@
+#include "geom/drc.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace l2l::geom {
+
+std::string DrcResult::report() const {
+  std::string out = util::format("DRC: %d rectangles, %d violations\n",
+                                 rect_count,
+                                 static_cast<int>(violations.size()));
+  for (const auto& v : violations)
+    out += util::format(
+        "  %s: net %d [%d,%d-%d,%d L%d] vs net %d [%d,%d-%d,%d L%d]\n",
+        v.kind == DrcViolation::Kind::kShort ? "SHORT" : "SPACING", v.net_a,
+        v.where_a.x1, v.where_a.y1, v.where_a.x2, v.where_a.y2,
+        v.where_a.layer, v.net_b, v.where_b.x1, v.where_b.y1, v.where_b.x2,
+        v.where_b.y2, v.where_b.layer);
+  return out;
+}
+
+std::vector<Rect> rects_from_solution(const route::RouteSolution& sol) {
+  std::vector<Rect> rects;
+  for (const auto& net : sol.nets) {
+    if (net.cells.empty()) continue;
+    // Cells sorted by (layer, y, x) merge into maximal horizontal runs.
+    auto cells = net.cells;
+    std::sort(cells.begin(), cells.end());
+    Rect run{cells[0].x, cells[0].y, cells[0].x, cells[0].y, cells[0].layer,
+             net.net_id};
+    for (std::size_t k = 1; k < cells.size(); ++k) {
+      const auto& c = cells[k];
+      if (c.layer == run.layer && c.y == run.y1 && c.x == run.x2 + 1) {
+        run.x2 = c.x;
+      } else {
+        rects.push_back(run);
+        run = Rect{c.x, c.y, c.x, c.y, c.layer, net.net_id};
+      }
+    }
+    rects.push_back(run);
+  }
+  return rects;
+}
+
+DrcResult check_drc(const route::RouteSolution& sol, int min_space) {
+  DrcResult res;
+  const auto rects = rects_from_solution(sol);
+  res.rect_count = static_cast<int>(rects.size());
+
+  for (const auto& [a, b] : overlapping_pairs(rects)) {
+    const auto& ra = rects[static_cast<std::size_t>(a)];
+    const auto& rb = rects[static_cast<std::size_t>(b)];
+    if (ra.owner == rb.owner) continue;  // same net: legal
+    res.violations.push_back(
+        {DrcViolation::Kind::kShort, ra.owner, rb.owner, ra, rb});
+  }
+  if (min_space > 1) {
+    for (const auto& [a, b] : spacing_violations(rects, min_space)) {
+      const auto& ra = rects[static_cast<std::size_t>(a)];
+      const auto& rb = rects[static_cast<std::size_t>(b)];
+      res.violations.push_back(
+          {DrcViolation::Kind::kSpacing, ra.owner, rb.owner, ra, rb});
+    }
+  }
+  return res;
+}
+
+}  // namespace l2l::geom

@@ -1,0 +1,37 @@
+#pragma once
+// Design-rule checking over routed layouts: convert each net's grid cells
+// into maximal horizontal wire segments (rectangles), then check shorts
+// (same-layer overlap between different nets) and minimum spacing.
+
+#include <string>
+#include <vector>
+
+#include "geom/scanline.hpp"
+#include "route/router.hpp"
+
+namespace l2l::geom {
+
+struct DrcViolation {
+  enum class Kind { kShort, kSpacing };
+  Kind kind;
+  int net_a = -1, net_b = -1;
+  Rect where_a, where_b;
+};
+
+struct DrcResult {
+  std::vector<DrcViolation> violations;
+  int rect_count = 0;
+  bool clean() const { return violations.empty(); }
+  std::string report() const;
+};
+
+/// Maximal-run rectangles per net: consecutive same-(y, layer) cells merge
+/// into one horizontal segment rect, tagged with the net id.
+std::vector<Rect> rects_from_solution(const route::RouteSolution& sol);
+
+/// Check a routed solution. `min_space` = 1 means adjacent cells of
+/// different nets are legal (the grid's own rule); larger values emulate
+/// a stricter process.
+DrcResult check_drc(const route::RouteSolution& sol, int min_space = 1);
+
+}  // namespace l2l::geom

@@ -1,0 +1,135 @@
+#include "geom/extract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace l2l::geom {
+namespace {
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(static_cast<std::size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent[static_cast<std::size_t>(find(a))] = find(b); }
+};
+
+}  // namespace
+
+ExtractionResult extract_connectivity(const route::RouteSolution& sol) {
+  ExtractionResult res;
+  std::map<route::GridPoint, int> index;
+  auto add_point = [&](const route::GridPoint& p) {
+    if (!index.count(p)) {
+      index[p] = static_cast<int>(res.cells.size());
+      res.cells.push_back(p);
+    }
+  };
+
+  // "Draw" each net: scaled cell pads, wire midpoints between the net's
+  // own adjacent cells, via cuts (layer 2) between its stacked cells.
+  for (const auto& net : sol.nets) {
+    std::set<route::GridPoint> cells(net.cells.begin(), net.cells.end());
+    for (const auto& c : cells) {
+      add_point({2 * c.x, 2 * c.y, c.layer});
+      const route::GridPoint right{c.x + 1, c.y, c.layer};
+      const route::GridPoint up{c.x, c.y + 1, c.layer};
+      const route::GridPoint above{c.x, c.y, c.layer + 1};
+      if (cells.count(right)) add_point({2 * c.x + 1, 2 * c.y, c.layer});
+      if (cells.count(up)) add_point({2 * c.x, 2 * c.y + 1, c.layer});
+      if (cells.count(above)) add_point({2 * c.x, 2 * c.y, 2});
+    }
+  }
+
+  // Blind extraction over the drawn points: in-plane adjacency on metal
+  // layers; metal-to-cut stacking connects the two metal layers.
+  UnionFind uf(static_cast<int>(res.cells.size()));
+  for (const auto& [c, i] : index) {
+    if (c.layer <= 1) {
+      const route::GridPoint nbrs[2] = {{c.x + 1, c.y, c.layer},
+                                        {c.x, c.y + 1, c.layer}};
+      for (const auto& n : nbrs)
+        if (const auto it = index.find(n); it != index.end())
+          uf.unite(i, it->second);
+    } else {  // cut: connects metal 0 and metal 1 at the same point
+      for (int metal = 0; metal <= 1; ++metal)
+        if (const auto it = index.find({c.x, c.y, metal}); it != index.end())
+          uf.unite(i, it->second);
+    }
+  }
+
+  std::map<int, int> compact;
+  res.component.resize(res.cells.size());
+  for (std::size_t i = 0; i < res.cells.size(); ++i) {
+    const int root = uf.find(static_cast<int>(i));
+    const auto [it, fresh] = compact.try_emplace(root, res.num_components);
+    if (fresh) ++res.num_components;
+    res.component[i] = it->second;
+  }
+  return res;
+}
+
+std::string LvsResult::report() const {
+  if (clean) return "LVS: clean\n";
+  std::string out = "LVS: FAILED\n";
+  for (const int n : opens) out += util::format("  open on net %d\n", n);
+  for (const auto& [a, b] : shorts)
+    out += util::format("  short between nets %d and %d\n", a, b);
+  return out;
+}
+
+LvsResult lvs(const gen::RoutingProblem& problem,
+              const route::RouteSolution& sol) {
+  LvsResult res;
+  const auto ext = extract_connectivity(sol);
+  std::map<route::GridPoint, int> comp_of;
+  for (std::size_t i = 0; i < ext.cells.size(); ++i)
+    comp_of[ext.cells[i]] = ext.component[i];
+
+  // Map each intended net to the set of components its pins landed in
+  // (pins live at scaled coordinates in the drawn geometry).
+  std::map<int, std::set<int>> comps_of_net;
+  for (const auto& net : problem.nets) {
+    auto& comps = comps_of_net[net.id];
+    for (const auto& pin : net.pins) {
+      const auto it =
+          comp_of.find({2 * pin.x, 2 * pin.y, pin.layer});
+      if (it == comp_of.end()) {
+        comps.insert(-1 - net.id);  // missing pin: unique pseudo-component
+      } else {
+        comps.insert(it->second);
+      }
+    }
+    if (comps.size() > 1) res.opens.push_back(net.id);
+  }
+  // Shorts: a component claimed by two different nets.
+  std::map<int, int> net_of_comp;
+  std::set<std::pair<int, int>> seen;
+  for (const auto& [net_id, comps] : comps_of_net) {
+    for (const int c : comps) {
+      if (c < 0) continue;
+      const auto [it, fresh] = net_of_comp.try_emplace(c, net_id);
+      if (!fresh && it->second != net_id) {
+        const auto key = std::minmax(it->second, net_id);
+        if (seen.insert({key.first, key.second}).second)
+          res.shorts.emplace_back(key.first, key.second);
+      }
+    }
+  }
+  res.clean = res.opens.empty() && res.shorts.empty();
+  return res;
+}
+
+}  // namespace l2l::geom

@@ -1,0 +1,45 @@
+#pragma once
+// Connectivity extraction and LVS ("layout vs schematic"): rebuild the
+// netlist from the *bare geometry* of a routed layout -- no net labels --
+// and compare against the intended connectivity. Catches both opens (a
+// net's pins in different extracted components) and shorts (two nets'
+// pins in one component).
+
+#include <string>
+#include <vector>
+
+#include "route/router.hpp"
+
+namespace l2l::geom {
+
+struct ExtractionResult {
+  /// The extracted "drawn geometry" points, in 2x-scaled coordinates:
+  /// grid cell (x, y) becomes point (2x, 2y); wire segments between
+  /// consecutive cells of a net add midpoints; vias add cut-layer points.
+  /// Adjacent *tracks* of different nets are therefore separated by a gap,
+  /// exactly as real metal at half-pitch width would be.
+  std::vector<route::GridPoint> cells;
+  std::vector<int> component;
+  int num_components = 0;
+};
+
+/// Blind connectivity extraction: each net's cells are first "drawn" as
+/// scaled geometry (the only place net identity is used -- a net's cell
+/// list is its drawn shape); extraction itself unions touching geometry
+/// with no knowledge of labels.
+ExtractionResult extract_connectivity(const route::RouteSolution& sol);
+
+struct LvsResult {
+  bool clean = false;
+  /// Net ids whose pins ended up in more than one component.
+  std::vector<int> opens;
+  /// Pairs of net ids whose pins share a component.
+  std::vector<std::pair<int, int>> shorts;
+  std::string report() const;
+};
+
+/// Extract the layout and compare against the problem's intended pins.
+LvsResult lvs(const gen::RoutingProblem& problem,
+              const route::RouteSolution& sol);
+
+}  // namespace l2l::geom

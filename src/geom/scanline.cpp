@@ -1,0 +1,99 @@
+#include "geom/scanline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace l2l::geom {
+
+int Rect::gap(const Rect& o) const {
+  const int dx = std::max({0, o.x1 - x2, x1 - o.x2});
+  const int dy = std::max({0, o.y1 - y2, y1 - o.y2});
+  return std::max(dx, dy);
+}
+
+namespace {
+
+struct Event {
+  int x;
+  bool add;   // add precedes remove at the same x (closed rectangles)
+  int index;  // rect index
+  bool operator<(const Event& o) const {
+    if (x != o.x) return x < o.x;
+    return add > o.add;
+  }
+};
+
+/// Generic sweep: calls `visit(i, j)` for every same-layer pair whose
+/// x-ranges (expanded by `x_slack`) intersect and whose y-ranges (expanded
+/// by `y_slack`) intersect.
+template <typename Visitor>
+void sweep(const std::vector<Rect>& rects, int x_slack, int y_slack,
+           Visitor&& visit) {
+  // Partition by layer: sweeps are independent.
+  std::map<int, std::vector<int>> by_layer;
+  for (std::size_t i = 0; i < rects.size(); ++i)
+    by_layer[rects[i].layer].push_back(static_cast<int>(i));
+
+  for (const auto& [layer, indices] : by_layer) {
+    std::vector<Event> events;
+    events.reserve(indices.size() * 2);
+    for (const int i : indices) {
+      events.push_back({rects[static_cast<std::size_t>(i)].x1 - x_slack, true, i});
+      events.push_back({rects[static_cast<std::size_t>(i)].x2 + 1, false, i});
+    }
+    std::sort(events.begin(), events.end());
+
+    // Active set ordered by y1 so the y-band scan can stop early.
+    std::multimap<int, int> active;  // y1 -> rect index
+    for (const auto& ev : events) {
+      const auto& r = rects[static_cast<std::size_t>(ev.index)];
+      if (!ev.add) {
+        for (auto it = active.find(r.y1); it != active.end() && it->first == r.y1; ++it)
+          if (it->second == ev.index) {
+            active.erase(it);
+            break;
+          }
+        continue;
+      }
+      // Visit active rects whose y-interval intersects r's (with slack).
+      for (auto it = active.begin(); it != active.end(); ++it) {
+        const auto& a = rects[static_cast<std::size_t>(it->second)];
+        if (a.y1 > r.y2 + y_slack) break;  // sorted by y1: nothing below
+        if (a.y2 + y_slack >= r.y1) visit(it->second, ev.index);
+      }
+      active.emplace(r.y1, ev.index);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> overlapping_pairs(const std::vector<Rect>& rects) {
+  std::vector<std::pair<int, int>> out;
+  sweep(rects, 0, 0, [&](int a, int b) {
+    if (rects[static_cast<std::size_t>(a)].overlaps(rects[static_cast<std::size_t>(b)]))
+      out.emplace_back(std::min(a, b), std::max(a, b));
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<int, int>> spacing_violations(
+    const std::vector<Rect>& rects, int min_space) {
+  std::vector<std::pair<int, int>> out;
+  sweep(rects, min_space, min_space, [&](int a, int b) {
+    const auto& ra = rects[static_cast<std::size_t>(a)];
+    const auto& rb = rects[static_cast<std::size_t>(b)];
+    if (ra.owner == rb.owner) return;
+    const int g = ra.gap(rb);
+    if (g > 0 && g < min_space)
+      out.emplace_back(std::min(a, b), std::max(a, b));
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace l2l::geom

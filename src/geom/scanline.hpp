@@ -1,0 +1,42 @@
+#pragma once
+// Computational geometry for layout checking (the full course's
+// "computational geometry for DRC/extraction" topic): axis-aligned
+// rectangles and a scanline sweep for overlap and spacing queries.
+
+#include <cstdint>
+#include <vector>
+
+namespace l2l::geom {
+
+/// Closed integer rectangle on a layer: [x1, x2] x [y1, y2], x1 <= x2,
+/// y1 <= y2 (grid coordinates; a single grid cell is x1 == x2).
+struct Rect {
+  int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  int layer = 0;
+  int owner = -1;  ///< net id or any tag; -1 = untagged
+
+  bool overlaps(const Rect& o) const {
+    return layer == o.layer && x1 <= o.x2 && o.x1 <= x2 && y1 <= o.y2 &&
+           o.y1 <= y2;
+  }
+  /// L-infinity gap between rectangles on the same layer (0 if touching
+  /// or overlapping).
+  int gap(const Rect& o) const;
+  std::int64_t area() const {
+    return static_cast<std::int64_t>(x2 - x1 + 1) *
+           static_cast<std::int64_t>(y2 - y1 + 1);
+  }
+};
+
+/// All overlapping pairs of same-layer rectangles (indices into the input),
+/// found by an x-sweep with a y-sorted active set. O(n log n + k·s) where
+/// s is the active-band size.
+std::vector<std::pair<int, int>> overlapping_pairs(const std::vector<Rect>& rects);
+
+/// Pairs of same-layer rectangles with different owners whose gap is
+/// positive but smaller than `min_space` (spacing violations; overlaps are
+/// reported by overlapping_pairs instead).
+std::vector<std::pair<int, int>> spacing_violations(
+    const std::vector<Rect>& rects, int min_space);
+
+}  // namespace l2l::geom

@@ -1,0 +1,90 @@
+#include "grader/place_grader.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "place/wirelength.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::grader {
+
+std::string write_placement_text(const place::GridPlacement& gp) {
+  std::string out;
+  for (std::size_t c = 0; c < gp.col.size(); ++c)
+    out += util::format("cell %d %d %d\n", static_cast<int>(c), gp.col[c],
+                        gp.row[c]);
+  return out;
+}
+
+place::GridPlacement parse_placement_text(const std::string& text,
+                                          int num_cells) {
+  place::GridPlacement gp;
+  gp.col.assign(static_cast<std::size_t>(num_cells), -1);
+  gp.row.assign(static_cast<std::size_t>(num_cells), -1);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto t = util::trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const auto tok = util::split(t);
+    if (tok.size() != 4 || tok[0] != "cell")
+      throw std::invalid_argument("placement: bad line '" + std::string(t) + "'");
+    const int c = std::stoi(tok[1]);
+    if (c < 0 || c >= num_cells)
+      throw std::invalid_argument("placement: cell index out of range");
+    gp.col[static_cast<std::size_t>(c)] = std::stoi(tok[2]);
+    gp.row[static_cast<std::size_t>(c)] = std::stoi(tok[3]);
+  }
+  for (int c = 0; c < num_cells; ++c)
+    if (gp.col[static_cast<std::size_t>(c)] < 0)
+      throw std::invalid_argument(
+          util::format("placement: cell %d missing", c));
+  return gp;
+}
+
+PlaceGrade grade_placement(const gen::PlacementProblem& problem,
+                           const place::Grid& grid,
+                           const place::GridPlacement& gp,
+                           double reference_hpwl) {
+  PlaceGrade g;
+  if (static_cast<int>(gp.col.size()) != problem.num_cells) {
+    g.reason = "wrong cell count";
+  } else if (!place::is_legal(gp, grid)) {
+    g.reason = "illegal placement (site collision or out of range)";
+  }
+  if (!g.reason.empty()) {
+    g.report = util::format("PLACEMENT GRADE: FAIL (%s), score 0\n",
+                            g.reason.c_str());
+    return g;
+  }
+  g.legal = true;
+  g.hpwl = place::hpwl(problem, gp.to_continuous(grid));
+  g.quality_ratio = reference_hpwl > 0 ? g.hpwl / reference_hpwl : 1.0;
+  const double quality_points =
+      50.0 * std::min(1.0, reference_hpwl / std::max(1e-9, g.hpwl));
+  g.score = 50.0 + quality_points;
+  g.report = util::format(
+      "PLACEMENT GRADE: legal, HPWL %.1f (reference %.1f, ratio %.3f), "
+      "score %.1f\n",
+      g.hpwl, reference_hpwl, g.quality_ratio, g.score);
+  return g;
+}
+
+PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
+                                const place::Grid& grid,
+                                const std::string& text,
+                                double reference_hpwl) {
+  place::GridPlacement gp;
+  try {
+    gp = parse_placement_text(text, problem.num_cells);
+  } catch (const std::exception& e) {
+    PlaceGrade g;
+    g.reason = e.what();
+    g.report = util::format("PLACEMENT GRADE: parse error (%s), score 0\n",
+                            e.what());
+    return g;
+  }
+  return grade_placement(problem, grid, gp, reference_hpwl);
+}
+
+}  // namespace l2l::grader

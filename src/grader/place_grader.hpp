@@ -1,0 +1,42 @@
+#pragma once
+// The quadratic-placement auto-grader: consumes "cell <id> <x> <y>" text,
+// checks legality on the site grid, and scores by HPWL against a
+// reference-quality threshold (the project's grading scheme: legality
+// gates the score, wirelength earns the quality points).
+
+#include <string>
+
+#include "place/legalize.hpp"
+
+namespace l2l::grader {
+
+struct PlaceGrade {
+  bool legal = false;
+  std::string reason;     ///< empty when legal
+  double hpwl = 0.0;
+  /// Quality ratio vs. the reference placement's HPWL (< 1 beats it).
+  double quality_ratio = 0.0;
+  /// 0 when illegal; otherwise 50 legality points + up to 50 quality
+  /// points scaled by reference_hpwl / hpwl (capped at 1).
+  double score = 0.0;
+  std::string report;
+};
+
+/// Placement solution text: one "cell <index> <col> <row>" line per cell.
+std::string write_placement_text(const place::GridPlacement& gp);
+place::GridPlacement parse_placement_text(const std::string& text,
+                                          int num_cells);
+
+/// Grade a site assignment.
+PlaceGrade grade_placement(const gen::PlacementProblem& problem,
+                           const place::Grid& grid,
+                           const place::GridPlacement& gp,
+                           double reference_hpwl);
+
+/// Text-in/text-out variant; parse errors score 0.
+PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
+                                const place::Grid& grid,
+                                const std::string& text,
+                                double reference_hpwl);
+
+}  // namespace l2l::grader

@@ -1,0 +1,130 @@
+#include "grader/route_grader.hpp"
+
+#include <map>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace l2l::grader {
+
+using gen::GridPoint;
+
+RouteGrade grade_routing(const gen::RoutingProblem& problem,
+                         const route::RouteSolution& solution) {
+  RouteGrade g;
+  g.total_nets = static_cast<int>(problem.nets.size());
+
+  // Solution nets by id.
+  std::map<int, const route::NetRoute*> by_id;
+  for (const auto& net : solution.nets) by_id[net.net_id] = &net;
+
+  // Global overlap map: first net to claim a cell owns it.
+  std::map<GridPoint, int> owner;
+
+  for (const auto& pnet : problem.nets) {
+    NetGrade ng;
+    ng.net_id = pnet.id;
+    const auto it = by_id.find(pnet.id);
+    if (it == by_id.end() || it->second->cells.empty()) {
+      ng.reason = "net missing from solution";
+      g.nets.push_back(std::move(ng));
+      continue;
+    }
+    const auto& cells = it->second->cells;
+
+    std::set<GridPoint> cell_set;
+    std::string reason;
+    for (const auto& c : cells) {
+      if (!problem.in_bounds(c)) {
+        reason = util::format("cell (%d %d %d) out of bounds", c.x, c.y, c.layer);
+        break;
+      }
+      if (problem.is_blocked(c)) {
+        reason = util::format("cell (%d %d %d) on an obstacle", c.x, c.y, c.layer);
+        break;
+      }
+      if (!cell_set.insert(c).second) {
+        reason = util::format("duplicate cell (%d %d %d)", c.x, c.y, c.layer);
+        break;
+      }
+      const auto [o, fresh] = owner.try_emplace(c, pnet.id);
+      if (!fresh && o->second != pnet.id) {
+        reason = util::format("cell (%d %d %d) overlaps net %d", c.x, c.y,
+                              c.layer, o->second);
+        break;
+      }
+    }
+    if (reason.empty()) {
+      for (const auto& pin : pnet.pins)
+        if (!cell_set.count(pin)) {
+          reason = util::format("pin (%d %d %d) not covered", pin.x, pin.y,
+                                pin.layer);
+          break;
+        }
+    }
+    if (reason.empty()) {
+      // Connectivity: flood fill over the net's cells.
+      std::set<GridPoint> seen;
+      std::vector<GridPoint> stack{cells.front()};
+      while (!stack.empty()) {
+        const auto c = stack.back();
+        stack.pop_back();
+        if (!seen.insert(c).second) continue;
+        const GridPoint nbrs[6] = {
+            {c.x + 1, c.y, c.layer}, {c.x - 1, c.y, c.layer},
+            {c.x, c.y + 1, c.layer}, {c.x, c.y - 1, c.layer},
+            {c.x, c.y, c.layer + 1}, {c.x, c.y, c.layer - 1}};
+        for (const auto& n : nbrs)
+          if (cell_set.count(n)) stack.push_back(n);
+      }
+      if (seen.size() != cell_set.size()) reason = "net is disconnected";
+    }
+
+    if (reason.empty()) {
+      ng.legal = true;
+      ng.wirelength = static_cast<int>(cells.size());
+      ng.vias = route::count_vias(*it->second);
+      g.total_wirelength += ng.wirelength;
+      g.total_vias += ng.vias;
+      ++g.legal_nets;
+    } else {
+      ng.reason = std::move(reason);
+    }
+    g.nets.push_back(std::move(ng));
+  }
+
+  g.score = g.total_nets > 0
+                ? 100.0 * g.legal_nets / static_cast<double>(g.total_nets)
+                : 0.0;
+
+  g.report = util::format("ROUTING GRADE: %d/%d nets legal, score %.1f\n",
+                          g.legal_nets, g.total_nets, g.score);
+  g.report += util::format("total wirelength %d, total vias %d\n",
+                           g.total_wirelength, g.total_vias);
+  for (const auto& ng : g.nets) {
+    if (ng.legal)
+      g.report += util::format("  net %d: OK (wire %d, vias %d)\n", ng.net_id,
+                               ng.wirelength, ng.vias);
+    else
+      g.report += util::format("  net %d: FAIL (%s)\n", ng.net_id,
+                               ng.reason.c_str());
+  }
+  return g;
+}
+
+RouteGrade grade_routing_text(const gen::RoutingProblem& problem,
+                              const std::string& solution_text) {
+  route::RouteSolution sol;
+  try {
+    sol = route::parse_solution(solution_text);
+  } catch (const std::exception& e) {
+    RouteGrade g;
+    g.total_nets = static_cast<int>(problem.nets.size());
+    g.report = util::format("ROUTING GRADE: parse error (%s), score 0\n",
+                            e.what());
+    return g;
+  }
+  return grade_routing(problem, sol);
+}
+
+}  // namespace l2l::grader

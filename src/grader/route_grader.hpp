@@ -1,0 +1,42 @@
+#pragma once
+// The maze-router auto-grader (Figures 4 and 6): consumes an ASCII
+// solution, checks every net for legality, and produces a score with
+// partial credit per net -- "exactly like building a large regression
+// suite for a commercial EDA tool" (paper, §2.2).
+
+#include <string>
+#include <vector>
+
+#include "route/solution.hpp"
+
+namespace l2l::grader {
+
+struct NetGrade {
+  int net_id = -1;
+  bool legal = false;
+  std::string reason;      ///< empty when legal
+  int wirelength = 0;      ///< cells used
+  int vias = 0;
+};
+
+struct RouteGrade {
+  std::vector<NetGrade> nets;
+  int legal_nets = 0;
+  int total_nets = 0;
+  int total_wirelength = 0;
+  int total_vias = 0;
+  /// Partial credit: 100 * legal / total.
+  double score = 0.0;
+  /// Human-readable report (the "webpage" of the portal architecture).
+  std::string report;
+};
+
+/// Grade a parsed solution against the problem.
+RouteGrade grade_routing(const gen::RoutingProblem& problem,
+                         const route::RouteSolution& solution);
+
+/// Text-in/text-out variant: parse, grade, report. Parse errors grade 0.
+RouteGrade grade_routing_text(const gen::RoutingProblem& problem,
+                              const std::string& solution_text);
+
+}  // namespace l2l::grader

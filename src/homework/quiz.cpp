@@ -1,0 +1,261 @@
+#include "homework/quiz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+#include "cubes/urp.hpp"
+#include "espresso/qm.hpp"
+#include "gen/function_gen.hpp"
+#include "mls/factor.hpp"
+#include "mls/sop.hpp"
+#include "network/network.hpp"
+#include "route/maze.hpp"
+#include "sat/solver.hpp"
+#include "timing/sta.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::homework {
+namespace {
+
+bdd::Bdd cover_to_bdd(const cubes::Cover& f, bdd::Manager& mgr) {
+  bdd::Bdd r = mgr.zero();
+  for (const auto& c : f.cubes()) {
+    bdd::Bdd term = mgr.one();
+    for (int v = 0; v < f.num_vars(); ++v) {
+      if (c.code(v) == cubes::Pcn::kPos) term = term & mgr.var(v);
+      if (c.code(v) == cubes::Pcn::kNeg) term = term & mgr.nvar(v);
+    }
+    r = r | term;
+  }
+  return r;
+}
+
+}  // namespace
+
+Quiz urp_tautology_quiz(util::Rng& rng) {
+  // Mix wide cubes so tautologies actually occur in the pool.
+  const int n = 3 + static_cast<int>(rng.next_below(2));
+  cubes::Cover f(n);
+  const int k = 3 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < k; ++i) {
+    cubes::Cube c(n);
+    for (int v = 0; v < n; ++v) {
+      switch (rng.next_below(4)) {  // bias toward don't-cares
+        case 0: c.set_code(v, cubes::Pcn::kNeg); break;
+        case 1: c.set_code(v, cubes::Pcn::kPos); break;
+        default: break;
+      }
+    }
+    f.add(std::move(c));
+  }
+  Quiz q;
+  q.topic = "Week 1: Computational Boolean Algebra";
+  q.question = util::format(
+      "Using the unate recursive paradigm, is the following %d-variable "
+      "cover a tautology? (yes/no)\n%s", n, f.to_string().c_str());
+  q.answer = cubes::is_tautology(f) ? "yes" : "no";
+  return q;
+}
+
+Quiz bdd_size_quiz(util::Rng& rng) {
+  const int n = 4;
+  const auto f = gen::random_cover(n, 3 + static_cast<int>(rng.next_below(3)), rng);
+  bdd::Manager mgr(n);
+  const auto b = cover_to_bdd(f, mgr);
+  Quiz q;
+  q.topic = "Week 2: BDDs";
+  q.question = util::format(
+      "Build the ROBDD (complement edges, variable order x0<x1<x2<x3) for "
+      "the SOP below. How many decision nodes does it have?\n%s",
+      f.to_string().c_str());
+  q.answer = util::format("%d", static_cast<int>(b.size()));
+  return q;
+}
+
+Quiz sat_quiz(util::Rng& rng) {
+  const int nv = 4 + static_cast<int>(rng.next_below(3));
+  const int nc = nv * 3 + static_cast<int>(rng.next_below(10));
+  std::string text;
+  sat::Solver solver;
+  solver.reserve_vars(nv);
+  bool consistent = true;
+  for (int k = 0; k < nc; ++k) {
+    std::vector<sat::Lit> clause;
+    std::string line;
+    while (clause.size() < 3) {
+      const auto v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nv)));
+      bool dup = false;
+      for (const auto& l : clause) dup |= l.var() == v;
+      if (dup) continue;
+      const bool neg = rng.next_bool();
+      clause.push_back(sat::Lit(v, neg));
+      line += util::format("%d ", neg ? -(v + 1) : v + 1);
+    }
+    text += line + "0\n";
+    consistent = solver.add_clause(clause) && consistent;
+  }
+  Quiz q;
+  q.topic = "Week 2: SAT";
+  q.question = util::format(
+      "Is this CNF over %d variables satisfiable? (sat/unsat)\n%s", nv,
+      text.c_str());
+  const auto res = consistent ? solver.solve() : sat::LBool::kFalse;
+  q.answer = res == sat::LBool::kTrue ? "sat" : "unsat";
+  return q;
+}
+
+Quiz espresso_quiz(util::Rng& rng) {
+  const int n = 4;
+  const auto f = gen::random_cover(n, 4 + static_cast<int>(rng.next_below(4)), rng);
+  const auto exact = espresso::exact_minimize(f);
+  Quiz q;
+  q.topic = "Week 3: Two-Level Synthesis";
+  q.question = util::format(
+      "What is the minimum number of product terms in any SOP for the "
+      "function below (exact two-level minimization)?\n%s",
+      f.to_string().c_str());
+  q.answer = util::format("%d", exact.size());
+  return q;
+}
+
+Quiz factoring_quiz(util::Rng& rng) {
+  // Positive-unate SOP over 5 signals, as in the lecture examples.
+  mls::Sop f;
+  const int terms = 4 + static_cast<int>(rng.next_below(3));
+  for (int t = 0; t < terms; ++t) {
+    mls::Term term;
+    const int lits = 2 + static_cast<int>(rng.next_below(2));
+    while (static_cast<int>(term.size()) < lits) {
+      const int v = static_cast<int>(rng.next_below(5));
+      if (!std::count(term.begin(), term.end(), 2 * v)) term.push_back(2 * v);
+    }
+    std::sort(term.begin(), term.end());
+    f.push_back(std::move(term));
+  }
+  f = mls::normalized(std::move(f));
+  const auto expr = mls::factor(f);
+
+  network::Network names;
+  for (int v = 0; v < 5; ++v)
+    names.add_input(std::string(1, static_cast<char>('a' + v)));
+  Quiz q;
+  q.topic = "Week 4: Multi-Level Synthesis";
+  q.question = util::format(
+      "Algebraically factor F = %s. How many literals does the best "
+      "factored form found by the good-factor recursion have?",
+      mls::sop_to_string(names, f).c_str());
+  q.answer = util::format("%d", mls::expr_literals(expr));
+  return q;
+}
+
+Quiz placement_quiz(util::Rng& rng) {
+  // Cell c between pads at 0 and L with net weights w1 (left) and w2
+  // (right): optimum x = w2 L / (w1 + w2). Integer-friendly instances.
+  const int length = 10 * (1 + static_cast<int>(rng.next_below(5)));
+  const int w1 = 1 + static_cast<int>(rng.next_below(4));
+  const int w2 = 1 + static_cast<int>(rng.next_below(4));
+  Quiz q;
+  q.topic = "Week 6: Placement";
+  q.question = util::format(
+      "A movable cell connects to a pad at x=0 with weight %d and to a pad "
+      "at x=%d with weight %d. Minimizing quadratic wirelength, where does "
+      "the cell sit? (two decimals)", w1, length, w2);
+  q.answer = util::format(
+      "%.2f", static_cast<double>(w2) * length / (w1 + w2));
+  return q;
+}
+
+Quiz routing_quiz(util::Rng& rng) {
+  gen::RoutingGenOptions opt;
+  opt.width = opt.height = 12;
+  opt.num_nets = 1;
+  opt.obstacle_fraction = 0.15;
+  auto p = gen::generate_routing(opt, rng);
+  route::RouteCosts costs;
+  costs.via = 3.0;
+  costs.bend = 0.0;
+  costs.preferred_directions = false;
+  route::Occupancy occ(p);
+  const auto path = route::find_path(occ, {p.nets[0].pins[0]},
+                                     {p.nets[0].pins[1]}, 0, costs);
+  Quiz q;
+  q.topic = "Week 7: Routing";
+  std::string obstacles;
+  for (int layer = 0; layer < 2; ++layer)
+    for (int y = 0; y < p.height; ++y)
+      for (int x = 0; x < p.width; ++x)
+        if (p.is_blocked({x, y, layer}))
+          obstacles += util::format("(%d %d %d) ", x, y, layer);
+  q.question = util::format(
+      "On a 12x12 2-layer grid (wire cost 1, via cost 3, no direction "
+      "penalty), what is the cheapest route cost from (%d %d %d) to "
+      "(%d %d %d)? Obstacles: %s(answer 'unroutable' if blocked)",
+      p.nets[0].pins[0].x, p.nets[0].pins[0].y, p.nets[0].pins[0].layer,
+      p.nets[0].pins[1].x, p.nets[0].pins[1].y, p.nets[0].pins[1].layer,
+      obstacles.c_str());
+  q.answer = path ? util::format("%.0f", path->cost) : "unroutable";
+  return q;
+}
+
+Quiz timing_quiz(util::Rng& rng) {
+  gen::NetworkGenOptions opt;
+  opt.num_inputs = 4;
+  opt.num_nodes = 8 + static_cast<int>(rng.next_below(6));
+  opt.num_outputs = 2;
+  const auto net = gen::random_network(opt, rng);
+  const auto res = timing::analyze(net, timing::unit_delays(net));
+  Quiz q;
+  q.topic = "Week 8: Timing";
+  std::string edges;
+  for (network::NodeId id = 0; id < net.num_nodes(); ++id) {
+    const auto& n = net.node(id);
+    if (n.type != network::NodeType::kLogic) continue;
+    edges += n.name + "(";
+    for (std::size_t k = 0; k < n.fanins.size(); ++k) {
+      if (k) edges += ",";
+      edges += net.node(n.fanins[k]).name;
+    }
+    edges += ") ";
+  }
+  q.question = util::format(
+      "Each gate below has unit delay; inputs arrive at t=0. What is the "
+      "critical (maximum) output arrival time?\ngates: %s", edges.c_str());
+  q.answer = util::format("%.0f", res.critical_delay);
+  return q;
+}
+
+std::vector<Quiz> weekly_assignment(int week, std::uint64_t seed, int count) {
+  util::Rng rng(seed * 1000003ull + static_cast<std::uint64_t>(week));
+  std::vector<Quiz> out;
+  for (int k = 0; k < count; ++k) {
+    switch (week) {
+      case 1: out.push_back(urp_tautology_quiz(rng)); break;
+      case 2: out.push_back(k % 2 ? sat_quiz(rng) : bdd_size_quiz(rng)); break;
+      case 3: out.push_back(espresso_quiz(rng)); break;
+      case 4: out.push_back(factoring_quiz(rng)); break;
+      case 5: out.push_back(factoring_quiz(rng)); break;  // mapping week reuses factoring drills
+      case 6: out.push_back(placement_quiz(rng)); break;
+      case 7: out.push_back(routing_quiz(rng)); break;
+      case 8: out.push_back(timing_quiz(rng)); break;
+      default:
+        throw std::invalid_argument("weekly_assignment: week must be 1..8");
+    }
+  }
+  return out;
+}
+
+bool grade_answer(const Quiz& quiz, const std::string& submitted) {
+  auto canon = [](const std::string& s) {
+    std::string out;
+    for (const char c : s)
+      if (!std::isspace(static_cast<unsigned char>(c)))
+        out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+  };
+  return canon(quiz.answer) == canon(submitted);
+}
+
+}  // namespace l2l::homework

@@ -1,0 +1,58 @@
+#pragma once
+// Randomized auto-gradable homework generation -- the §2.2 infrastructure:
+// "to combat cheating ... one must over-supply problems and over-supply
+// solutions ... randomize each assignment at delivery time".
+//
+// Each generator produces an "individualized" problem instance (ASCII
+// question) together with its machine-checkable answer, computed by the
+// corresponding engine in this repository. Deterministic per seed, so the
+// same student token always sees the same quiz.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace l2l::homework {
+
+struct Quiz {
+  std::string topic;     ///< e.g. "Week 2: BDDs"
+  std::string question;  ///< ASCII problem statement
+  std::string answer;    ///< canonical answer string
+};
+
+/// Week 1: is a random cube cover a tautology? (URP)
+Quiz urp_tautology_quiz(util::Rng& rng);
+
+/// Week 2: BDD node count of a random 4-var function under the natural
+/// variable order.
+Quiz bdd_size_quiz(util::Rng& rng);
+
+/// Week 2: satisfiability of a small random 3-CNF.
+Quiz sat_quiz(util::Rng& rng);
+
+/// Week 3: minimum cube count (exact two-level minimization).
+Quiz espresso_quiz(util::Rng& rng);
+
+/// Week 4: literal count of the best factored form found.
+Quiz factoring_quiz(util::Rng& rng);
+
+/// Week 6: optimal x-position of a mobile cell between two pads under
+/// quadratic wirelength (a one-variable Ax=b).
+Quiz placement_quiz(util::Rng& rng);
+
+/// Week 7: cheapest maze-route cost between two pins on a gridded die
+/// with obstacles (unit wire cost, given via cost).
+Quiz routing_quiz(util::Rng& rng);
+
+/// Week 8: critical path length (unit delays) of a random DAG.
+Quiz timing_quiz(util::Rng& rng);
+
+/// A full assignment: `count` quizzes for the given week (1..8),
+/// individualized by seed.
+std::vector<Quiz> weekly_assignment(int week, std::uint64_t seed, int count);
+
+/// Auto-grader: case/whitespace-insensitive comparison.
+bool grade_answer(const Quiz& quiz, const std::string& submitted);
+
+}  // namespace l2l::homework

@@ -1,0 +1,68 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace l2l::linalg {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
+                            const CgOptions& options) {
+  const auto n = static_cast<std::size_t>(a.size());
+  if (b.size() != n)
+    throw std::invalid_argument("conjugate_gradient: size mismatch");
+
+  CgResult res;
+  res.x.assign(n, 0.0);
+  const double bnorm = std::sqrt(dot(b, b));
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  std::vector<double> precond(n, 1.0);
+  if (options.jacobi_preconditioner) {
+    const auto d = a.diagonal();
+    for (std::size_t i = 0; i < n; ++i)
+      precond[i] = d[i] > 0.0 ? 1.0 / d[i] : 1.0;
+  }
+
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> z(n), p(n), ap(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = precond[i] * r[i];
+  p = z;
+  double rz = dot(r, z);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or p in null space): bail out
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    res.iterations = it + 1;
+    res.residual = std::sqrt(dot(r, r)) / bnorm;
+    if (res.residual < options.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = precond[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+}  // namespace l2l::linalg

@@ -1,0 +1,28 @@
+#pragma once
+// Jacobi-preconditioned conjugate gradient for SPD systems -- the solver
+// behind the quadratic placer and the MOOC's Ax=b tool portal.
+
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace l2l::linalg {
+
+struct CgOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;  ///< relative residual ||r|| / ||b||
+  bool jacobi_preconditioner = true;
+};
+
+struct CgResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double residual = 0.0;  ///< final relative residual
+  bool converged = false;
+};
+
+/// Solve A x = b for SPD A.
+CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
+                            const CgOptions& options = {});
+
+}  // namespace l2l::linalg

@@ -1,0 +1,77 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace l2l::linalg {
+
+std::optional<std::vector<double>> solve_gauss(DenseMatrix a,
+                                               std::vector<double> b) {
+  const int n = a.rows();
+  if (a.cols() != n || static_cast<int>(b.size()) != n)
+    throw std::invalid_argument("solve_gauss: dimension mismatch");
+
+  for (int k = 0; k < n; ++k) {
+    // Partial pivoting.
+    int pivot = k;
+    for (int i = k + 1; i < n; ++i)
+      if (std::abs(a.at(i, k)) > std::abs(a.at(pivot, k))) pivot = i;
+    if (std::abs(a.at(pivot, k)) < 1e-14) return std::nullopt;
+    if (pivot != k) {
+      for (int j = 0; j < n; ++j) std::swap(a.at(k, j), a.at(pivot, j));
+      std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(pivot)]);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      const double f = a.at(i, k) / a.at(k, k);
+      if (f == 0.0) continue;
+      for (int j = k; j < n; ++j) a.at(i, j) -= f * a.at(k, j);
+      b[static_cast<std::size_t>(i)] -= f * b[static_cast<std::size_t>(k)];
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = b[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j)
+      acc -= a.at(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> solve_cholesky(const DenseMatrix& a,
+                                                  const std::vector<double>& b) {
+  const int n = a.rows();
+  if (a.cols() != n || static_cast<int>(b.size()) != n)
+    throw std::invalid_argument("solve_cholesky: dimension mismatch");
+
+  // A = L L^T, lower-triangular L.
+  DenseMatrix l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double s = a.at(i, j);
+      for (int k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (s <= 0.0) return std::nullopt;  // not positive definite
+        l.at(i, i) = std::sqrt(s);
+      } else {
+        l.at(i, j) = s / l.at(j, j);
+      }
+    }
+  }
+  // Forward then backward substitution.
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double acc = b[static_cast<std::size_t>(i)];
+    for (int k = 0; k < i; ++k) acc -= l.at(i, k) * y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(i)] = acc / l.at(i, i);
+  }
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = y[static_cast<std::size_t>(i)];
+    for (int k = i + 1; k < n; ++k) acc -= l.at(k, i) * x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(i)] = acc / l.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace l2l::linalg

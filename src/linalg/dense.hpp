@@ -1,0 +1,43 @@
+#pragma once
+// Dense reference solvers (test oracles for CG, and the small-system path
+// of the Ax=b tool): Cholesky for SPD, Gaussian elimination with partial
+// pivoting for general systems.
+
+#include <optional>
+#include <vector>
+
+namespace l2l::linalg {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double& at(int i, int j) {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+  double at(int i, int j) const {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// nullopt when A is (numerically) singular.
+std::optional<std::vector<double>> solve_gauss(DenseMatrix a,
+                                               std::vector<double> b);
+
+/// Cholesky solve for SPD A. nullopt when A is not positive definite.
+std::optional<std::vector<double>> solve_cholesky(const DenseMatrix& a,
+                                                  const std::vector<double>& b);
+
+}  // namespace l2l::linalg

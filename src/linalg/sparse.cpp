@@ -1,0 +1,98 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace l2l::linalg {
+
+void SparseMatrix::add(int i, int j, double v) {
+  if (compressed_)
+    throw std::logic_error("SparseMatrix::add after compress()");
+  if (i < 0 || i >= n_ || j < 0 || j >= n_)
+    throw std::invalid_argument("SparseMatrix::add: index out of range");
+  ti_.push_back(i);
+  tj_.push_back(j);
+  tv_.push_back(v);
+}
+
+void SparseMatrix::compress() {
+  if (compressed_) throw std::logic_error("SparseMatrix: already compressed");
+  compressed_ = true;
+  // Sort triplets by (row, col) and sum duplicates.
+  std::vector<std::size_t> order(ti_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ti_[a] != ti_[b] ? ti_[a] < ti_[b] : tj_[a] < tj_[b];
+  });
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  int last_row = 0;
+  int last_col = -1;
+  for (const std::size_t k : order) {
+    if (!col_.empty() && ti_[k] == last_row && tj_[k] == last_col) {
+      values_.back() += tv_[k];
+      continue;
+    }
+    while (last_row < ti_[k]) {
+      row_ptr_[static_cast<std::size_t>(++last_row)] =
+          static_cast<int>(col_.size());
+      last_col = -1;
+    }
+    col_.push_back(tj_[k]);
+    values_.push_back(tv_[k]);
+    last_col = tj_[k];
+  }
+  while (last_row < n_)
+    row_ptr_[static_cast<std::size_t>(++last_row)] =
+        static_cast<int>(col_.size());
+  ti_.clear();
+  tj_.clear();
+  tv_.clear();
+}
+
+void SparseMatrix::multiply(const std::vector<double>& x,
+                            std::vector<double>& y) const {
+  if (!compressed_) throw std::logic_error("SparseMatrix: not compressed");
+  if (static_cast<int>(x.size()) != n_)
+    throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
+  y.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (int k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+      acc += values_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+std::vector<double> SparseMatrix::diagonal() const {
+  if (!compressed_) throw std::logic_error("SparseMatrix: not compressed");
+  std::vector<double> d(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i)
+    for (int k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+      if (col_[static_cast<std::size_t>(k)] == i)
+        d[static_cast<std::size_t>(i)] = values_[static_cast<std::size_t>(k)];
+  return d;
+}
+
+bool SparseMatrix::is_symmetric(double tol) const {
+  if (!compressed_) throw std::logic_error("SparseMatrix: not compressed");
+  std::map<std::pair<int, int>, double> entries;
+  for (int i = 0; i < n_; ++i)
+    for (int k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+      entries[{i, col_[static_cast<std::size_t>(k)]}] =
+          values_[static_cast<std::size_t>(k)];
+  for (const auto& [ij, v] : entries) {
+    const auto it = entries.find({ij.second, ij.first});
+    const double w = it == entries.end() ? 0.0 : it->second;
+    if (std::abs(v - w) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace l2l::linalg

@@ -1,0 +1,49 @@
+#pragma once
+// Sparse symmetric-positive-definite linear algebra: the "Ax=b" custom
+// solver the MOOC deployed so students could run quadratic-placement
+// homeworks (Fig. 4), and the numerical core of the Week-6 placer.
+
+#include <cstddef>
+#include <vector>
+
+namespace l2l::linalg {
+
+/// Coordinate-format builder that compresses to CSR. Duplicate entries
+/// are summed (convenient for assembling clique/star net models).
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(int n = 0) : n_(n) {}
+
+  int size() const { return n_; }
+
+  /// Accumulate A[i][j] += v.
+  void add(int i, int j, double v);
+
+  /// Finalize into CSR. Must be called once after all add()s.
+  void compress();
+  bool compressed() const { return compressed_; }
+
+  /// y = A x. Requires compress().
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Diagonal entries (for Jacobi preconditioning). Requires compress().
+  std::vector<double> diagonal() const;
+
+  /// Number of stored nonzeros. Requires compress().
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Symmetry check within tolerance (test helper; O(nnz log nnz)).
+  bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  int n_ = 0;
+  bool compressed_ = false;
+  // Triplets before compression.
+  std::vector<int> ti_, tj_;
+  std::vector<double> tv_;
+  // CSR after compression.
+  std::vector<int> row_ptr_, col_;
+  std::vector<double> values_;
+};
+
+}  // namespace l2l::linalg

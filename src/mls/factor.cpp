@@ -1,0 +1,183 @@
+#include "mls/factor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mls/kernels.hpp"
+
+namespace l2l::mls {
+
+int expr_literals(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kConst0:
+    case Expr::Kind::kConst1:
+      return 0;
+    case Expr::Kind::kLit:
+      return 1;
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      int n = 0;
+      for (const auto& k : e.operands) n += expr_literals(k);
+      return n;
+    }
+  }
+  return 0;
+}
+
+Sop expr_to_sop(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kConst0:
+      return {};
+    case Expr::Kind::kConst1:
+      return {Term{}};
+    case Expr::Kind::kLit:
+      return {Term{e.lit}};
+    case Expr::Kind::kOr: {
+      Sop out;
+      for (const auto& k : e.operands) {
+        const Sop s = expr_to_sop(k);
+        out.insert(out.end(), s.begin(), s.end());
+      }
+      return normalized(std::move(out));
+    }
+    case Expr::Kind::kAnd: {
+      Sop out{Term{}};
+      for (const auto& k : e.operands) {
+        const Sop s = expr_to_sop(k);
+        Sop next;
+        for (const auto& a : out)
+          for (const auto& b : s) next.push_back(term_product(a, b));
+        out = normalized(std::move(next));
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::string expr_to_string(const network::Network& net, const Expr& e) {
+  auto lit_str = [&](GLit l) {
+    return net.node(glit_signal(l)).name + (glit_negated(l) ? "'" : "");
+  };
+  switch (e.kind) {
+    case Expr::Kind::kConst0:
+      return "0";
+    case Expr::Kind::kConst1:
+      return "1";
+    case Expr::Kind::kLit:
+      return lit_str(e.lit);
+    case Expr::Kind::kAnd: {
+      std::string out;
+      for (std::size_t i = 0; i < e.operands.size(); ++i) {
+        const auto& k = e.operands[i];
+        if (i) out += " ";
+        if (k.kind == Expr::Kind::kOr)
+          out += "(" + expr_to_string(net, k) + ")";
+        else
+          out += expr_to_string(net, k);
+      }
+      return out;
+    }
+    case Expr::Kind::kOr: {
+      std::string out;
+      for (std::size_t i = 0; i < e.operands.size(); ++i) {
+        if (i) out += " + ";
+        out += expr_to_string(net, e.operands[i]);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+Expr and_of(Expr a, Expr b) {
+  if (a.kind == Expr::Kind::kConst1) return b;
+  if (b.kind == Expr::Kind::kConst1) return a;
+  if (a.kind == Expr::Kind::kConst0 || b.kind == Expr::Kind::kConst0)
+    return Expr::constant(false);
+  Expr e;
+  e.kind = Expr::Kind::kAnd;
+  auto absorb = [&](Expr& x) {
+    if (x.kind == Expr::Kind::kAnd)
+      for (auto& k : x.operands) e.operands.push_back(std::move(k));
+    else
+      e.operands.push_back(std::move(x));
+  };
+  absorb(a);
+  absorb(b);
+  return e;
+}
+
+Expr or_of(Expr a, Expr b) {
+  if (a.kind == Expr::Kind::kConst0) return b;
+  if (b.kind == Expr::Kind::kConst0) return a;
+  if (a.kind == Expr::Kind::kConst1 || b.kind == Expr::Kind::kConst1)
+    return Expr::constant(true);
+  Expr e;
+  e.kind = Expr::Kind::kOr;
+  auto absorb = [&](Expr& x) {
+    if (x.kind == Expr::Kind::kOr)
+      for (auto& k : x.operands) e.operands.push_back(std::move(k));
+    else
+      e.operands.push_back(std::move(x));
+  };
+  absorb(a);
+  absorb(b);
+  return e;
+}
+
+Expr term_expr(const Term& t) {
+  if (t.empty()) return Expr::constant(true);
+  Expr e = Expr::literal(t[0]);
+  for (std::size_t i = 1; i < t.size(); ++i)
+    e = and_of(std::move(e), Expr::literal(t[i]));
+  return e;
+}
+
+Expr flat_expr(const Sop& f) {
+  if (f.empty()) return Expr::constant(false);
+  Expr e = term_expr(f[0]);
+  for (std::size_t i = 1; i < f.size(); ++i)
+    e = or_of(std::move(e), term_expr(f[i]));
+  return e;
+}
+
+}  // namespace
+
+Expr factor(const Sop& f) {
+  if (f.empty()) return Expr::constant(false);
+  if (f.size() == 1) return term_expr(f[0]);
+
+  // Pull out the common cube first: f = c * f' with f' cube-free.
+  const Term c = common_cube(f);
+  if (!c.empty()) {
+    Sop rest;
+    for (const auto& t : f) rest.push_back(term_quotient(t, c));
+    return and_of(term_expr(c), factor(normalized(std::move(rest))));
+  }
+
+  // Choose the best kernel divisor.
+  const auto kernels = all_kernels(f);
+  const Sop* best = nullptr;
+  int best_value = 0;
+  for (const auto& k : kernels) {
+    if (k.kernel.size() < 2) continue;
+    if (k.kernel == f) continue;
+    const int v = division_value(f, k.kernel);
+    if (best == nullptr || v > best_value) {
+      best = &k.kernel;
+      best_value = v;
+    }
+  }
+  if (best == nullptr) return flat_expr(f);
+
+  const auto [q, r] = divide(f, *best);
+  if (q.empty()) return flat_expr(f);
+  Expr product = and_of(factor(normalized(Sop(q))), factor(normalized(Sop(*best))));
+  if (r.empty()) return product;
+  return or_of(std::move(product), factor(normalized(Sop(r))));
+}
+
+}  // namespace l2l::mls

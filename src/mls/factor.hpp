@@ -1,0 +1,46 @@
+#pragma once
+// Algebraic factoring: rewrite an SOP as a nested AND/OR expression with
+// fewer literals (Week 4). Implements the "good factor" recursion: divide
+// by the best kernel, factor quotient/divisor/remainder recursively.
+
+#include <memory>
+#include <string>
+
+#include "mls/sop.hpp"
+
+namespace l2l::mls {
+
+/// A factored Boolean expression.
+struct Expr {
+  enum class Kind { kConst0, kConst1, kLit, kAnd, kOr };
+  Kind kind = Kind::kConst0;
+  GLit lit = 0;                   ///< valid when kind == kLit
+  std::vector<Expr> operands;     ///< valid for kAnd / kOr
+
+  static Expr constant(bool v) {
+    Expr e;
+    e.kind = v ? Kind::kConst1 : Kind::kConst0;
+    return e;
+  }
+  static Expr literal(GLit l) {
+    Expr e;
+    e.kind = Kind::kLit;
+    e.lit = l;
+    return e;
+  }
+};
+
+/// Number of literal leaves in the expression (the factored-form cost).
+int expr_literals(const Expr& e);
+
+/// Flatten back to an SOP (for verification).
+Sop expr_to_sop(const Expr& e);
+
+/// Render with network names, e.g. "(a + b') (c + d) + e".
+std::string expr_to_string(const network::Network& net, const Expr& e);
+
+/// Good-factor the SOP. The result computes the same algebraic function
+/// with expr_literals(result) <= sop_literals(f).
+Expr factor(const Sop& f);
+
+}  // namespace l2l::mls

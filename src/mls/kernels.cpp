@@ -1,0 +1,103 @@
+#include "mls/kernels.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace l2l::mls {
+namespace {
+
+/// Distinct literals of f in ascending order.
+std::vector<GLit> literals_of(const Sop& f) {
+  std::set<GLit> s;
+  for (const auto& t : f)
+    for (const GLit l : t) s.insert(l);
+  return {s.begin(), s.end()};
+}
+
+int count_terms_with(const Sop& f, GLit l) {
+  int n = 0;
+  for (const auto& t : f)
+    if (std::binary_search(t.begin(), t.end(), l)) ++n;
+  return n;
+}
+
+struct KernelCollector {
+  std::set<std::pair<Sop, Term>> seen;
+  std::vector<KernelEntry> out;
+  std::vector<GLit> lits;  // global literal universe of the root SOP
+
+  void record(const Sop& k, const Term& co) {
+    auto key = std::make_pair(k, co);
+    if (seen.insert(std::move(key)).second) out.push_back({k, co});
+  }
+
+  // The classic KERNEL(j, g) recursion. `co` is the accumulated co-kernel.
+  void recurse(std::size_t j, const Sop& g, const Term& co) {
+    for (std::size_t i = j; i < lits.size(); ++i) {
+      const GLit l = lits[i];
+      if (count_terms_with(g, l) < 2) continue;
+      // c = common cube of the terms of g containing l.
+      Sop with_l;
+      for (const auto& t : g)
+        if (std::binary_search(t.begin(), t.end(), l)) with_l.push_back(t);
+      Term c = common_cube(with_l);
+      // Prune: if c contains a literal with index < i, this kernel will be
+      // (was) found from that literal instead.
+      bool pruned = false;
+      for (const GLit cl : c) {
+        const auto pos = std::lower_bound(lits.begin(), lits.end(), cl) -
+                         lits.begin();
+        if (static_cast<std::size_t>(pos) < i) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) continue;
+      Sop quotient;
+      for (const auto& t : with_l) quotient.push_back(term_quotient(t, c));
+      std::sort(quotient.begin(), quotient.end());
+      const Term new_co = term_product(co, c);
+      record(quotient, new_co);
+      recurse(i + 1, quotient, new_co);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<KernelEntry> all_kernels(const Sop& f) {
+  KernelCollector kc;
+  kc.lits = literals_of(f);
+  if (is_cube_free(f)) kc.record(f, {});
+  kc.recurse(0, f, {});
+  return kc.out;
+}
+
+std::vector<KernelEntry> level0_kernels(const Sop& f) {
+  std::vector<KernelEntry> out;
+  for (const auto& k : all_kernels(f)) {
+    // Level 0: no literal appears in >= 2 terms of the kernel.
+    bool level0 = true;
+    for (const GLit l : literals_of(k.kernel))
+      if (count_terms_with(k.kernel, l) >= 2) {
+        level0 = false;
+        break;
+      }
+    if (level0) out.push_back(k);
+  }
+  return out;
+}
+
+int division_value(const Sop& f, const Sop& d) {
+  const auto [q, r] = divide(f, d);
+  if (q.empty()) return -sop_literals(d) - 1;
+  // Rewritten cost: q terms each gain 1 literal (the new signal), plus the
+  // remainder, plus the divisor node itself.
+  const int before = sop_literals(f);
+  const int after = sop_literals(q) + static_cast<int>(q.size()) +
+                    sop_literals(r) + sop_literals(d);
+  return before - after;
+}
+
+}  // namespace l2l::mls

@@ -1,0 +1,29 @@
+#pragma once
+// Kernels and co-kernels of an algebraic SOP (Brayton/McMullen): the
+// cube-free primary divisors that drive factoring and common-subexpression
+// extraction in MIS/SIS [11,12].
+
+#include <vector>
+
+#include "mls/sop.hpp"
+
+namespace l2l::mls {
+
+struct KernelEntry {
+  Sop kernel;       ///< cube-free quotient
+  Term co_kernel;   ///< the cube it was divided by
+};
+
+/// All kernels of f (including f itself when cube-free), via the classic
+/// recursive literal-cofactoring algorithm with the index-ordering prune.
+std::vector<KernelEntry> all_kernels(const Sop& f);
+
+/// Level-0 kernels only (kernels with no kernels other than themselves).
+std::vector<KernelEntry> level0_kernels(const Sop& f);
+
+/// Literal-count value of extracting divisor d from f: literals saved when
+/// f is rewritten as d*q + r with a single new literal standing for d.
+/// Negative values mean extraction does not pay.
+int division_value(const Sop& f, const Sop& d);
+
+}  // namespace l2l::mls

@@ -1,0 +1,46 @@
+#pragma once
+// Network-level multi-level synthesis passes (the SIS command set the MOOC
+// exposed through its cloud portal): sweep, eliminate, kernel/cube
+// extraction, resubstitution, and don't-care simplification.
+//
+// Every pass preserves the network's primary-output functions; the test
+// suite verifies this with BDD/SAT equivalence checks.
+
+#include "network/network.hpp"
+
+namespace l2l::mls {
+
+/// Constant propagation plus buffer/inverter absorption, then removal of
+/// dangling logic. Returns number of nodes eliminated.
+int sweep(network::Network& net);
+
+/// Collapse logic nodes into their fanouts when doing so does not grow the
+/// network by more than `threshold` literals (SIS `eliminate`). Nodes used
+/// in negative phase are complemented via URP when small enough.
+/// Returns number of nodes eliminated.
+int eliminate(network::Network& net, int threshold = 0);
+
+/// Greedy common-kernel extraction (SIS `gkx`-lite): repeatedly materialize
+/// the kernel with the best aggregate literal savings as a new node and
+/// divide it into every cover it benefits. Returns new node count.
+int extract_kernels(network::Network& net, int max_new_nodes = 1000);
+
+/// Greedy common-cube extraction (SIS `gcx`-lite). Returns new node count.
+int extract_cubes(network::Network& net, int max_new_nodes = 1000);
+
+/// Algebraic resubstitution: try dividing each node by every other node's
+/// function (positive phase). Returns number of successful substitutions.
+int resubstitute(network::Network& net);
+
+/// Two-level minimize every node cover independently (espresso, no DCs).
+/// Returns literal savings.
+int simplify_nodes(network::Network& net);
+
+/// Espresso each node against its satisfiability don't-cares, computed
+/// exactly with BDDs over the primary inputs. Nodes with more than
+/// `max_fanins` fanins, or networks with more than `max_inputs` primary
+/// inputs, are skipped. Returns literal savings.
+int simplify_with_sdc(network::Network& net, int max_fanins = 8,
+                      int max_inputs = 20);
+
+}  // namespace l2l::mls

@@ -1,0 +1,40 @@
+#include "mls/script.hpp"
+
+#include "mls/passes.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::mls {
+
+std::string ScriptStats::to_string() const {
+  return util::format(
+      "literals %d -> %d, nodes %d -> %d (swept %d, eliminated %d, "
+      "kernels %d, cubes %d, resubs %d)",
+      literals_before, literals_after, nodes_before, nodes_after, swept,
+      eliminated, kernels_extracted, cubes_extracted, resubstitutions);
+}
+
+ScriptStats optimize(network::Network& net, const ScriptOptions& opt) {
+  ScriptStats stats;
+  stats.literals_before = net.num_literals();
+  stats.nodes_before = net.num_logic_nodes();
+
+  for (int pass = 0; pass < opt.passes; ++pass) {
+    stats.swept += sweep(net);
+    simplify_nodes(net);
+    stats.eliminated += eliminate(net, opt.eliminate_threshold);
+    stats.kernels_extracted += extract_kernels(net);
+    stats.cubes_extracted += extract_cubes(net);
+    stats.resubstitutions += resubstitute(net);
+    if (opt.use_sdc_simplify)
+      simplify_with_sdc(net);
+    else
+      simplify_nodes(net);
+    stats.swept += sweep(net);
+  }
+
+  stats.literals_after = net.num_literals();
+  stats.nodes_after = net.num_logic_nodes();
+  return stats;
+}
+
+}  // namespace l2l::mls

@@ -1,0 +1,36 @@
+#pragma once
+// The canned optimization script, in the spirit of SIS's script.algebraic:
+// the sequence of passes the course walks through in Week 4.
+
+#include <string>
+
+#include "network/network.hpp"
+
+namespace l2l::mls {
+
+struct ScriptStats {
+  int literals_before = 0;
+  int literals_after = 0;
+  int nodes_before = 0;
+  int nodes_after = 0;
+  int swept = 0;
+  int eliminated = 0;
+  int kernels_extracted = 0;
+  int cubes_extracted = 0;
+  int resubstitutions = 0;
+
+  std::string to_string() const;
+};
+
+struct ScriptOptions {
+  int eliminate_threshold = 0;
+  bool use_sdc_simplify = true;
+  int passes = 2;
+};
+
+/// Run the algebraic script in place. The network's primary-output
+/// functions are preserved (verified by the test suite with BDD/SAT
+/// equivalence checks).
+ScriptStats optimize(network::Network& net, const ScriptOptions& opt = {});
+
+}  // namespace l2l::mls

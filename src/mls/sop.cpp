@@ -1,0 +1,178 @@
+#include "mls/sop.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace l2l::mls {
+
+using network::Network;
+using network::NodeId;
+
+Sop sop_of_node(const Network& net, NodeId id) {
+  const auto& n = net.node(id);
+  Sop out;
+  out.reserve(static_cast<std::size_t>(n.cover.size()));
+  for (const auto& cube : n.cover.cubes()) {
+    Term t;
+    for (int k = 0; k < static_cast<int>(n.fanins.size()); ++k) {
+      const auto code = cube.code(k);
+      if (code == cubes::Pcn::kDontCare) continue;
+      t.push_back(mk_glit(n.fanins[static_cast<std::size_t>(k)],
+                          code == cubes::Pcn::kNeg));
+    }
+    std::sort(t.begin(), t.end());
+    out.push_back(std::move(t));
+  }
+  return normalized(std::move(out));
+}
+
+void set_node_sop(Network& net, NodeId id, const Sop& sop) {
+  // Collect the signal set.
+  std::set<NodeId> signals;
+  for (const auto& t : sop)
+    for (const GLit l : t) signals.insert(glit_signal(l));
+  std::vector<NodeId> fanins(signals.begin(), signals.end());
+  std::map<NodeId, int> index;
+  for (std::size_t k = 0; k < fanins.size(); ++k)
+    index[fanins[k]] = static_cast<int>(k);
+
+  cubes::Cover cover(static_cast<int>(fanins.size()));
+  for (const auto& t : sop) {
+    cubes::Cube c(static_cast<int>(fanins.size()));
+    for (const GLit l : t) {
+      const int k = index[glit_signal(l)];
+      const auto want = glit_negated(l) ? cubes::Pcn::kNeg : cubes::Pcn::kPos;
+      if (c.code(k) != cubes::Pcn::kDontCare && c.code(k) != want)
+        c.set_code(k, cubes::Pcn::kEmpty);  // x & x' in one term: empty
+      else
+        c.set_code(k, want);
+    }
+    cover.add(std::move(c));
+  }
+  net.set_function(id, std::move(fanins), std::move(cover));
+}
+
+int sop_literals(const Sop& f) {
+  int n = 0;
+  for (const auto& t : f) n += static_cast<int>(t.size());
+  return n;
+}
+
+bool term_contains(const Term& a, const Term& b) {
+  return std::includes(a.begin(), a.end(), b.begin(), b.end());
+}
+
+Term term_product(const Term& a, const Term& b) {
+  Term out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Term term_quotient(const Term& a, const Term& b) {
+  Term out;
+  out.reserve(a.size() - b.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+Term common_cube(const Sop& f) {
+  if (f.empty()) return {};
+  Term acc = f.front();
+  for (std::size_t i = 1; i < f.size() && !acc.empty(); ++i) {
+    Term next;
+    std::set_intersection(acc.begin(), acc.end(), f[i].begin(), f[i].end(),
+                          std::back_inserter(next));
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+bool is_cube_free(const Sop& f) {
+  return f.size() >= 2 && common_cube(f).empty();
+}
+
+Sop normalized(Sop f) {
+  for (auto& t : f) {
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+  }
+  std::sort(f.begin(), f.end());
+  f.erase(std::unique(f.begin(), f.end()), f.end());
+  // Single-cube containment: drop terms containing another term.
+  Sop out;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      if (i == j) continue;
+      if (term_contains(f[i], f[j]) && !(f[i] == f[j] && i < j)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) out.push_back(f[i]);
+  }
+  return out;
+}
+
+std::pair<Sop, Sop> divide(const Sop& f, const Sop& d) {
+  if (d.empty()) throw std::invalid_argument("divide: divisor is constant 0");
+  // Quotient = intersection over divisor terms of {c / d_i : d_i | c}.
+  Sop quotient;
+  bool first = true;
+  for (const auto& dt : d) {
+    Sop partial;
+    for (const auto& ft : f)
+      if (term_contains(ft, dt)) partial.push_back(term_quotient(ft, dt));
+    std::sort(partial.begin(), partial.end());
+    if (first) {
+      quotient = std::move(partial);
+      first = false;
+    } else {
+      Sop meet;
+      std::set_intersection(quotient.begin(), quotient.end(), partial.begin(),
+                            partial.end(), std::back_inserter(meet));
+      quotient = std::move(meet);
+    }
+    if (quotient.empty()) break;
+  }
+  // Remainder = f minus the product terms.
+  std::set<Term> product_terms;
+  for (const auto& qt : quotient)
+    for (const auto& dt : d) product_terms.insert(term_product(qt, dt));
+  Sop remainder;
+  for (const auto& ft : f)
+    if (!product_terms.count(ft)) remainder.push_back(ft);
+  return {quotient, remainder};
+}
+
+Sop multiply_add(const Sop& d, const Sop& q, const Sop& r) {
+  Sop out = r;
+  for (const auto& dt : d)
+    for (const auto& qt : q) out.push_back(term_product(dt, qt));
+  return normalized(std::move(out));
+}
+
+std::string sop_to_string(const Network& net, const Sop& f) {
+  if (f.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i) out += " + ";
+    if (f[i].empty()) {
+      out += "1";
+      continue;
+    }
+    for (std::size_t k = 0; k < f[i].size(); ++k) {
+      if (k) out += " ";
+      out += net.node(glit_signal(f[i][k])).name;
+      if (glit_negated(f[i][k])) out += "'";
+    }
+  }
+  return out;
+}
+
+}  // namespace l2l::mls

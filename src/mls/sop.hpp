@@ -1,0 +1,72 @@
+#pragma once
+// The algebraic model's working representation (Week 4: "Logic Synthesis
+// II: algebraic model, factoring, don't cares").
+//
+// Multi-level algebra treats x and x' as *distinct, unrelated* literals.
+// A Term is a sorted product of global literals; an Sop is a sum of terms.
+// Global literal encoding: 2*signal + (negated ? 1 : 0), where signal is a
+// network NodeId.
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace l2l::mls {
+
+using GLit = int;
+
+inline GLit mk_glit(network::NodeId signal, bool negated) {
+  return 2 * signal + (negated ? 1 : 0);
+}
+inline network::NodeId glit_signal(GLit l) { return l / 2; }
+inline bool glit_negated(GLit l) { return l & 1; }
+
+/// A product term: strictly increasing literal list. Empty = constant 1.
+using Term = std::vector<GLit>;
+
+/// A sum of products. Empty = constant 0.
+using Sop = std::vector<Term>;
+
+/// Extract a node's SOP in global-literal form.
+Sop sop_of_node(const network::Network& net, network::NodeId id);
+
+/// Install an SOP as the node's function (fanins recomputed from the
+/// literals' signals).
+void set_node_sop(network::Network& net, network::NodeId id, const Sop& sop);
+
+/// Total literal count.
+int sop_literals(const Sop& f);
+
+/// Does term `a` contain every literal of `b` (b divides a)?
+bool term_contains(const Term& a, const Term& b);
+
+/// Product of two terms (nullopt-free: algebraic model assumes disjoint
+/// supports, but shared literals simply merge; x * x' is the caller's
+/// responsibility to avoid).
+Term term_product(const Term& a, const Term& b);
+
+/// a / b: remove b's literals from a. Precondition: term_contains(a, b).
+Term term_quotient(const Term& a, const Term& b);
+
+/// Largest common cube (literal intersection) of all terms.
+Term common_cube(const Sop& f);
+
+/// Is the SOP cube-free (common cube is empty and it has >= 2 terms)?
+bool is_cube_free(const Sop& f);
+
+/// Normalize: sort terms, drop duplicates and single-cube containments.
+Sop normalized(Sop f);
+
+/// Weak (algebraic) division: f = d * quotient + remainder, where the
+/// product is algebraic. Returns {quotient, remainder}; quotient is empty
+/// when d does not divide f.
+std::pair<Sop, Sop> divide(const Sop& f, const Sop& d);
+
+/// Algebraic product d * q plus remainder r.
+Sop multiply_add(const Sop& d, const Sop& q, const Sop& r);
+
+/// Human-readable rendering using network names, e.g. "a b' + c".
+std::string sop_to_string(const network::Network& net, const Sop& f);
+
+}  // namespace l2l::mls

@@ -1,0 +1,103 @@
+#include "mooc/cohort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "mooc/datasets.hpp"
+
+namespace l2l::mooc {
+
+CohortResult simulate_cohort(const CohortOptions& opt, util::Rng& rng) {
+  CohortResult res;
+  res.people.reserve(static_cast<std::size_t>(opt.registered));
+  res.viewers_per_video.assign(static_cast<std::size_t>(opt.num_videos), 0);
+
+  // Country sampling distribution from the published shares.
+  const auto& shares = participation_by_country();
+  double share_total = 0;
+  for (const auto& s : shares) share_total += s.percent;
+
+  const auto demo = demographics();
+
+  int watched = 0, homework = 0, project = 0, final_exam = 0, cert = 0;
+  for (int k = 0; k < opt.registered; ++k) {
+    Participant p;
+    // Age: mostly normal around the published mean, with a small uniform
+    // tail so a 17.5k cohort actually spans the published 15..75 extremes.
+    if (rng.next_bool(0.97)) {
+      p.age = static_cast<int>(
+          std::lround(demo.average_age + 8.5 * rng.next_gaussian()));
+    } else {
+      p.age = static_cast<int>(
+          demo.min_age + rng.next_below(static_cast<std::uint64_t>(
+                             demo.max_age - demo.min_age + 1)));
+    }
+    p.age = std::clamp(p.age, demo.min_age, demo.max_age);
+    p.female = rng.next_double() * 100.0 < demo.female_percent;
+    {
+      double pick = rng.next_double() * share_total;
+      for (const auto& s : shares) {
+        pick -= s.percent;
+        if (pick <= 0) {
+          p.country = s.country;
+          break;
+        }
+      }
+      if (p.country.empty()) p.country = shares.back().country;
+    }
+
+    p.showed_up = rng.next_bool(opt.show_up_rate);
+    if (p.showed_up) {
+      ++watched;
+      // Watch videos until the per-video continuation coin fails.
+      int v = 0;
+      while (v < opt.num_videos) {
+        ++res.viewers_per_video[static_cast<std::size_t>(v)];
+        ++v;
+        if (!rng.next_bool(opt.video_continue_rate)) break;
+      }
+      p.videos_watched = v;
+      p.did_homework = rng.next_bool(opt.homework_rate);
+      if (p.did_homework) {
+        ++homework;
+        p.did_project = rng.next_bool(opt.project_rate);
+        if (p.did_project) ++project;
+        p.took_final = rng.next_bool(opt.final_exam_rate);
+        if (p.took_final) {
+          ++final_exam;
+          p.certified = rng.next_bool(opt.certificate_rate);
+          if (p.certified) ++cert;
+        }
+      }
+    }
+    res.people.push_back(std::move(p));
+  }
+
+  res.funnel = {opt.registered, watched, homework, project, final_exam, cert};
+
+  std::map<std::string, int> country_count;
+  for (const auto& p : res.people) ++country_count[p.country];
+  for (const auto& [c, n] : country_count)
+    res.by_country.emplace_back(
+        c, 100.0 * n / static_cast<double>(opt.registered));
+  std::sort(res.by_country.begin(), res.by_country.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  double age_sum = 0;
+  int females = 0;
+  for (const auto& p : res.people) {
+    age_sum += p.age;
+    females += p.female;
+  }
+  res.average_age = age_sum / static_cast<double>(opt.registered);
+  res.female_percent = 100.0 * females / static_cast<double>(opt.registered);
+  return res;
+}
+
+double relative_error(double simulated, double reference) {
+  if (reference == 0) return simulated == 0 ? 0 : 1;
+  return std::abs(simulated - reference) / std::abs(reference);
+}
+
+}  // namespace l2l::mooc

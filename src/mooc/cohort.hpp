@@ -1,0 +1,71 @@
+#pragma once
+// A stochastic MOOC cohort simulator.
+//
+// The paper's evaluation data is Coursera's (proprietary) enrollment log;
+// per the substitution policy we model each participant as an agent with
+// an engagement level drawn at registration, and per-stage survival
+// probabilities calibrated to the published funnel (Fig. 8). The benches
+// compare simulated aggregates against the paper's numbers and use the
+// model to answer parametric what-ifs (e.g. course length vs. completion,
+// the effect the paper cites for choosing a 10-week course).
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace l2l::mooc {
+
+struct CohortOptions {
+  int registered = 17500;
+  int num_videos = 69;
+  int num_homeworks = 8;
+  int num_projects = 4;
+
+  /// Probability a registrant ever shows up (paper: ~1/2 never do).
+  double show_up_rate = 0.411;  // 7191 / 17500
+  /// Per-video continuation probability for an engaged viewer; the decay
+  /// from ~7000 to ~2000 across 69 videos gives ~0.982 per video.
+  double video_continue_rate = 0.982;
+  /// Probability a viewer attempts homework (paper: ~1/5).
+  double homework_rate = 0.1915;  // 1377 / 7191
+  /// Probability a homework-doer tries a software project (~1/4).
+  double project_rate = 0.268;  // 369 / 1377
+  /// Probability a homework-doer sits the final (~40% of those engaged).
+  double final_exam_rate = 0.385;  // 530 / 1377
+  /// Probability a final-sitter earns the certificate.
+  double certificate_rate = 0.728;  // 386 / 530
+};
+
+struct Participant {
+  int age = 0;
+  bool female = false;
+  std::string country;
+  bool showed_up = false;
+  int videos_watched = 0;
+  bool did_homework = false;
+  bool did_project = false;
+  bool took_final = false;
+  bool certified = false;
+};
+
+struct CohortResult {
+  std::vector<Participant> people;
+  /// Funnel counts in Fig. 8 order: registered, watched, homework,
+  /// project, final, certificate.
+  std::vector<int> funnel;
+  /// Viewers per video (Fig. 9 series).
+  std::vector<int> viewers_per_video;
+  /// Country histogram (percent), Fig. 10.
+  std::vector<std::pair<std::string, double>> by_country;
+  double average_age = 0;
+  double female_percent = 0;
+};
+
+/// Run the simulator. Deterministic per seed.
+CohortResult simulate_cohort(const CohortOptions& opt, util::Rng& rng);
+
+/// Relative error helper for bench reporting: |sim - ref| / ref.
+double relative_error(double simulated, double reference);
+
+}  // namespace l2l::mooc

@@ -1,0 +1,77 @@
+#include "mooc/wordcloud.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "mooc/datasets.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::mooc {
+namespace {
+
+const std::set<std::string>& stop_words() {
+  static const std::set<std::string> kStop = {
+      "the", "a",  "an", "and", "or",   "of", "to",  "in", "on", "for",
+      "i",   "we", "it", "is",  "was",  "be", "would", "like", "please",
+      "see", "do", "did", "you", "course", "want", "wanted", "cover",
+  };
+  return kStop;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, int>> count_words(
+    const std::vector<std::string>& responses) {
+  std::map<std::string, int> counts;
+  for (const auto& r : responses) {
+    for (const auto& tok : util::split(util::to_lower(r), " \t\r\n.,;:!?()")) {
+      if (tok.size() < 3 && tok != "sat" && tok != "bdd" && tok != "drc")
+        continue;
+      if (stop_words().count(tok)) continue;
+      ++counts[tok];
+    }
+  }
+  std::vector<std::pair<std::string, int>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+std::string render_word_cloud(
+    const std::vector<std::pair<std::string, int>>& counts, int max_words) {
+  std::string out;
+  int emitted = 0;
+  const int top = counts.empty() ? 1 : counts.front().second;
+  for (const auto& [word, n] : counts) {
+    if (emitted >= max_words) break;
+    std::string w = word;
+    // "Bigger" words in caps, medium capitalized, small lowercase.
+    if (n * 3 >= top * 2) {
+      for (auto& c : w) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else if (n * 3 >= top) {
+      w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+    }
+    out += util::format("%s(%d) ", w.c_str(), n);
+    ++emitted;
+  }
+  if (!out.empty()) out.back() = '\n';
+  return out;
+}
+
+std::vector<std::string> synthesize_survey_responses(std::uint64_t seed) {
+  util::Rng rng(seed);
+  // Expand the published weights into individual one-line answers.
+  // Template words are all stop words or too short to count, so mining
+  // recovers exactly the embedded topic weights.
+  std::vector<std::string> pool;
+  for (const auto& w : survey_topics())
+    for (int k = 0; k < w.weight; ++k)
+      pool.push_back("please do cover " + w.word + " in the course");
+  rng.shuffle(pool);
+  return pool;
+}
+
+}  // namespace l2l::mooc

@@ -1,0 +1,26 @@
+#pragma once
+// Survey-response mining (Figure 11): tokenize free-text survey answers,
+// drop stop words, count frequencies, and render a text "word cloud"
+// (size-sorted weighted list -- the terminal version of Fig. 11).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace l2l::mooc {
+
+/// Count non-stop-word token frequencies across responses (case-folded).
+std::vector<std::pair<std::string, int>> count_words(
+    const std::vector<std::string>& responses);
+
+/// Render counts as a text cloud: words repeated proportionally to weight,
+/// largest first, e.g. "VERIFICATION(42) timing(38) ...".
+std::string render_word_cloud(
+    const std::vector<std::pair<std::string, int>>& counts, int max_words = 30);
+
+/// Deterministic synthetic survey: expands the published Fig. 11 word
+/// weights into free-text responses (the inverse of count_words), so the
+/// mining pipeline can be exercised end to end.
+std::vector<std::string> synthesize_survey_responses(std::uint64_t seed);
+
+}  // namespace l2l::mooc

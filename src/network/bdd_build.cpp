@@ -1,0 +1,37 @@
+#include "network/bdd_build.hpp"
+
+#include <stdexcept>
+
+namespace l2l::network {
+
+NetworkBdds build_bdds(const Network& net, bdd::Manager& mgr) {
+  if (mgr.num_vars() < static_cast<int>(net.inputs().size()))
+    throw std::invalid_argument("build_bdds: manager has too few variables");
+  NetworkBdds out;
+  out.node.resize(static_cast<std::size_t>(net.num_nodes()));
+  for (std::size_t i = 0; i < net.inputs().size(); ++i)
+    out.node[static_cast<std::size_t>(net.inputs()[i])] =
+        mgr.var(static_cast<int>(i));
+
+  for (const NodeId id : net.topological_order()) {
+    const auto& n = net.node(id);
+    if (n.type == NodeType::kInput) continue;
+    bdd::Bdd f = mgr.zero();
+    for (const auto& cube : n.cover.cubes()) {
+      bdd::Bdd term = mgr.one();
+      for (int k = 0; k < static_cast<int>(n.fanins.size()); ++k) {
+        const auto code = cube.code(k);
+        if (code == cubes::Pcn::kDontCare) continue;
+        const auto& fi = out.node[static_cast<std::size_t>(n.fanins[static_cast<std::size_t>(k)])];
+        term = term & (code == cubes::Pcn::kPos ? fi : !fi);
+      }
+      f = f | term;
+    }
+    out.node[static_cast<std::size_t>(id)] = std::move(f);
+  }
+  for (const NodeId o : net.outputs())
+    out.outputs.push_back(out.node[static_cast<std::size_t>(o)]);
+  return out;
+}
+
+}  // namespace l2l::network

@@ -1,0 +1,22 @@
+#pragma once
+// Building BDDs for network signals ("Building" in the Week-2 concept map):
+// one BDD variable per primary input, composed bottom-up in topological
+// order.
+
+#include "bdd/bdd.hpp"
+#include "network/network.hpp"
+
+namespace l2l::network {
+
+struct NetworkBdds {
+  /// BDD per node id (null handles for dead nodes).
+  std::vector<bdd::Bdd> node;
+  /// BDDs of the primary outputs, in outputs() order.
+  std::vector<bdd::Bdd> outputs;
+};
+
+/// Build BDDs for every node. `mgr` must have at least as many variables
+/// as the network has primary inputs; input k maps to manager variable k.
+NetworkBdds build_bdds(const Network& net, bdd::Manager& mgr);
+
+}  // namespace l2l::network

@@ -1,0 +1,172 @@
+#include "network/blif.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "cubes/urp.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::network {
+namespace {
+
+/// One .names block accumulated during parsing.
+struct NamesBlock {
+  std::vector<std::string> signals;  // fanin names + output name (last)
+  std::vector<std::string> cube_lines;
+};
+
+}  // namespace
+
+Network parse_blif(const std::string& text) {
+  std::string model = "top";
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<NamesBlock> blocks;
+
+  // Pass 1: tokenize into directives with continuation (\) support.
+  std::istringstream in(text);
+  std::string line, pending;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    auto t = std::string(util::trim(line));
+    const auto hash = t.find('#');
+    if (hash != std::string::npos) t = std::string(util::trim(t.substr(0, hash)));
+    if (t.empty()) continue;
+    if (t.back() == '\\') {
+      pending += t.substr(0, t.size() - 1) + " ";
+      continue;
+    }
+    lines.push_back(pending + t);
+    pending.clear();
+  }
+  if (!pending.empty())
+    throw std::invalid_argument("BLIF: dangling line continuation");
+
+  NamesBlock* current = nullptr;
+  for (const auto& l : lines) {
+    if (l[0] == '.') {
+      const auto tok = util::split(l);
+      current = nullptr;
+      if (tok[0] == ".model") {
+        if (tok.size() > 1) model = tok[1];
+      } else if (tok[0] == ".inputs") {
+        input_names.insert(input_names.end(), tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".outputs") {
+        output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".names") {
+        if (tok.size() < 2)
+          throw std::invalid_argument("BLIF: .names needs an output signal");
+        blocks.push_back(NamesBlock{{tok.begin() + 1, tok.end()}, {}});
+        current = &blocks.back();
+      } else if (tok[0] == ".end") {
+        break;
+      } else if (tok[0] == ".latch") {
+        throw std::invalid_argument(
+            "BLIF: sequential elements (.latch) are not supported");
+      } else {
+        throw std::invalid_argument("BLIF: unsupported directive " + tok[0]);
+      }
+      continue;
+    }
+    if (!current)
+      throw std::invalid_argument("BLIF: cube line outside a .names block");
+    current->cube_lines.push_back(l);
+  }
+
+  Network net(model);
+  for (const auto& n : input_names) net.add_input(n);
+
+  // Create logic nodes in dependency order: blocks may reference each other
+  // in any order, so iterate until all are placed (detects cycles).
+  std::vector<bool> placed(blocks.size(), false);
+  std::size_t remaining = blocks.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (placed[b]) continue;
+      const auto& blk = blocks[b];
+      const int arity = static_cast<int>(blk.signals.size()) - 1;
+      bool ready = true;
+      std::vector<NodeId> fanins;
+      for (int k = 0; k < arity; ++k) {
+        const auto id = net.find(blk.signals[static_cast<std::size_t>(k)]);
+        if (!id) {
+          ready = false;
+          break;
+        }
+        fanins.push_back(*id);
+      }
+      if (!ready) continue;
+
+      // Parse cube lines: "<inputs> <0|1>" (or just "<0|1>" for arity 0).
+      cubes::Cover on(arity);
+      cubes::Cover off(arity);
+      for (const auto& cl : blk.cube_lines) {
+        const auto tok = util::split(cl);
+        std::string in_plane, out_char;
+        if (arity == 0) {
+          if (tok.size() != 1)
+            throw std::invalid_argument("BLIF: bad constant cube line");
+          out_char = tok[0];
+        } else {
+          if (tok.size() != 2)
+            throw std::invalid_argument("BLIF: bad cube line '" + cl + "'");
+          in_plane = tok[0];
+          out_char = tok[1];
+          if (static_cast<int>(in_plane.size()) != arity)
+            throw std::invalid_argument("BLIF: cube width mismatch in '" + cl + "'");
+        }
+        if (out_char != "0" && out_char != "1")
+          throw std::invalid_argument("BLIF: output column must be 0 or 1");
+        auto& target = out_char == "1" ? on : off;
+        target.add(arity == 0 ? cubes::Cube(0) : cubes::Cube::parse(in_plane));
+      }
+      if (!on.empty() && !off.empty())
+        throw std::invalid_argument(
+            "BLIF: mixed 0/1 output columns in one .names block");
+      // BLIF semantics: 0-rows describe the OFF-set; ON = complement.
+      cubes::Cover cover = !off.empty() ? cubes::complement(off) : on;
+      net.add_logic(blk.signals.back(), std::move(fanins), std::move(cover));
+      placed[b] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress)
+      throw std::invalid_argument(
+          "BLIF: unresolvable signal references (cycle or missing driver)");
+  }
+
+  for (const auto& n : output_names) {
+    const auto id = net.find(n);
+    if (!id) throw std::invalid_argument("BLIF: undriven output " + n);
+    net.mark_output(*id);
+  }
+  net.validate();
+  return net;
+}
+
+std::string write_blif(const Network& net) {
+  std::string out = ".model " + net.model_name() + "\n.inputs";
+  for (const NodeId id : net.inputs()) out += " " + net.node(id).name;
+  out += "\n.outputs";
+  for (const NodeId id : net.outputs()) out += " " + net.node(id).name;
+  out += "\n";
+  for (const NodeId id : net.topological_order()) {
+    const auto& n = net.node(id);
+    if (n.type != NodeType::kLogic) continue;
+    out += ".names";
+    for (const NodeId f : n.fanins) out += " " + net.node(f).name;
+    out += " " + n.name + "\n";
+    if (n.fanins.empty()) {
+      // Constant: universal cover = 1 (emit "1"), empty cover = 0 (no rows).
+      if (!n.cover.empty()) out += "1\n";
+    } else {
+      for (const auto& c : n.cover.cubes())
+        out += c.to_string() + " 1\n";
+    }
+  }
+  out += ".end\n";
+  return out;
+}
+
+}  // namespace l2l::network

@@ -1,0 +1,20 @@
+#pragma once
+// BLIF (Berkeley Logic Interchange Format) reader/writer -- the netlist
+// format of SIS [11], and the interchange format of this repository's
+// synthesis flow. Combinational subset: .model/.inputs/.outputs/.names/.end
+// (latches are rejected; the course scoped sequential logic out, see §2.1).
+
+#include <string>
+
+#include "network/network.hpp"
+
+namespace l2l::network {
+
+/// Parse BLIF text into a Network. Throws std::invalid_argument on
+/// malformed input or unsupported constructs.
+Network parse_blif(const std::string& text);
+
+/// Serialize a network to BLIF (dead nodes skipped).
+std::string write_blif(const Network& net);
+
+}  // namespace l2l::network

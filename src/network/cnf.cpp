@@ -1,0 +1,86 @@
+#include "network/cnf.hpp"
+
+#include <stdexcept>
+
+namespace l2l::network {
+
+CnfMapping encode_network(const Network& net, sat::Solver& solver) {
+  CnfMapping map;
+  map.node_var.assign(static_cast<std::size_t>(net.num_nodes()), -1);
+  for (const NodeId id : net.topological_order())
+    map.node_var[static_cast<std::size_t>(id)] = solver.new_var();
+
+  using sat::Lit;
+  using sat::mk_lit;
+
+  for (const NodeId id : net.topological_order()) {
+    const auto& n = net.node(id);
+    if (n.type == NodeType::kInput) continue;
+    const sat::Var y = map.node_var[static_cast<std::size_t>(id)];
+
+    // Constant node.
+    if (n.fanins.empty()) {
+      solver.add_unit(mk_lit(y, n.cover.empty()));
+      continue;
+    }
+
+    // Literal of local fanin k under PCN code.
+    auto fanin_lit = [&](const cubes::Cube& c, int k) {
+      const sat::Var xv = map.node_var[static_cast<std::size_t>(n.fanins[static_cast<std::size_t>(k)])];
+      return mk_lit(xv, c.code(k) == cubes::Pcn::kNeg);
+    };
+
+    if (n.cover.empty()) {  // constant 0 despite fanins
+      solver.add_unit(mk_lit(y, true));
+      continue;
+    }
+
+    std::vector<Lit> or_clause;  // (z1 | z2 | ... | ~y)
+    for (const auto& cube : n.cover.cubes()) {
+      std::vector<int> lits_idx;
+      for (int k = 0; k < static_cast<int>(n.fanins.size()); ++k)
+        if (cube.code(k) != cubes::Pcn::kDontCare) lits_idx.push_back(k);
+
+      if (lits_idx.empty()) {
+        // Universal cube: y is constant 1.
+        or_clause.clear();
+        solver.add_unit(mk_lit(y, false));
+        break;
+      }
+
+      Lit z;
+      if (n.cover.size() == 1) {
+        // Single cube: y <-> AND(lits). Encode directly on y.
+        for (const int k : lits_idx)
+          solver.add_clause({mk_lit(y, true), fanin_lit(cube, k)});  // y -> lit
+        std::vector<Lit> imp;  // AND(lits) -> y
+        for (const int k : lits_idx) imp.push_back(~fanin_lit(cube, k));
+        imp.push_back(mk_lit(y, false));
+        solver.add_clause(imp);
+        or_clause.clear();
+        break;
+      }
+      if (lits_idx.size() == 1) {
+        z = fanin_lit(cube, lits_idx[0]);  // single literal: no aux needed
+      } else {
+        const sat::Var zv = solver.new_var();
+        z = mk_lit(zv, false);
+        for (const int k : lits_idx)
+          solver.add_clause({~z, fanin_lit(cube, k)});  // z -> lit
+        std::vector<Lit> imp;
+        for (const int k : lits_idx) imp.push_back(~fanin_lit(cube, k));
+        imp.push_back(z);
+        solver.add_clause(imp);  // AND(lits) -> z
+      }
+      solver.add_clause({~z, mk_lit(y, false)});  // z -> y
+      or_clause.push_back(z);
+    }
+    if (!or_clause.empty()) {
+      or_clause.push_back(mk_lit(y, true));  // y -> OR(z)
+      solver.add_clause(or_clause);
+    }
+  }
+  return map;
+}
+
+}  // namespace l2l::network

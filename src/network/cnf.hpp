@@ -1,0 +1,23 @@
+#pragma once
+// Tseitin encoding of logic networks into CNF, and SAT-based equivalence
+// checking via miters (Week 2: "Formal Logic Verification: BDDs and SAT").
+
+#include <unordered_map>
+
+#include "network/network.hpp"
+#include "sat/solver.hpp"
+
+namespace l2l::network {
+
+/// Result of encoding a network into a SAT solver.
+struct CnfMapping {
+  /// SAT variable for each network node id (index = NodeId).
+  std::vector<sat::Var> node_var;
+};
+
+/// Encode the combinational semantics of `net` into `solver` with one SAT
+/// variable per node (Tseitin: cube auxiliaries for multi-cube SOPs).
+/// Returns the node-to-variable mapping.
+CnfMapping encode_network(const Network& net, sat::Solver& solver);
+
+}  // namespace l2l::network

@@ -1,0 +1,157 @@
+#include "network/equivalence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "network/bdd_build.hpp"
+#include "network/cnf.hpp"
+
+namespace l2l::network {
+namespace {
+
+/// Pair up inputs and outputs of the two networks by name.
+struct InterfaceMatch {
+  // For each input of `a` (in order): the matching input index of `b`.
+  std::vector<std::size_t> b_input_for_a;
+  // Pairs of (a-output position, b-output position) with matching names.
+  std::vector<std::pair<std::size_t, std::size_t>> output_pairs;
+};
+
+InterfaceMatch match_interfaces(const Network& a, const Network& b) {
+  InterfaceMatch m;
+  if (a.inputs().size() != b.inputs().size() ||
+      a.outputs().size() != b.outputs().size())
+    throw std::invalid_argument("equivalence: interface size mismatch");
+  std::unordered_map<std::string, std::size_t> b_inputs;
+  for (std::size_t i = 0; i < b.inputs().size(); ++i)
+    b_inputs[b.node(b.inputs()[i]).name] = i;
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    const auto it = b_inputs.find(a.node(a.inputs()[i]).name);
+    if (it == b_inputs.end())
+      throw std::invalid_argument("equivalence: unmatched input " +
+                                  a.node(a.inputs()[i]).name);
+    m.b_input_for_a.push_back(it->second);
+  }
+  std::unordered_map<std::string, std::size_t> b_outputs;
+  for (std::size_t i = 0; i < b.outputs().size(); ++i)
+    b_outputs[b.node(b.outputs()[i]).name] = i;
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    const auto it = b_outputs.find(a.node(a.outputs()[i]).name);
+    if (it == b_outputs.end())
+      throw std::invalid_argument("equivalence: unmatched output " +
+                                  a.node(a.outputs()[i]).name);
+    m.output_pairs.emplace_back(i, it->second);
+  }
+  return m;
+}
+
+EquivalenceResult check_bdd(const Network& a, const Network& b,
+                            const InterfaceMatch& match) {
+  bdd::Manager mgr(static_cast<int>(a.inputs().size()));
+  const auto abdds = build_bdds(a, mgr);
+
+  // Build b's BDDs in the same manager with inputs remapped by name.
+  NetworkBdds bbdds;
+  bbdds.node.resize(static_cast<std::size_t>(b.num_nodes()));
+  for (std::size_t i = 0; i < a.inputs().size(); ++i)
+    bbdds.node[static_cast<std::size_t>(b.inputs()[match.b_input_for_a[i]])] =
+        mgr.var(static_cast<int>(i));
+  for (const NodeId id : b.topological_order()) {
+    const auto& n = b.node(id);
+    if (n.type == NodeType::kInput) continue;
+    bdd::Bdd f = mgr.zero();
+    for (const auto& cube : n.cover.cubes()) {
+      bdd::Bdd term = mgr.one();
+      for (int k = 0; k < static_cast<int>(n.fanins.size()); ++k) {
+        const auto code = cube.code(k);
+        if (code == cubes::Pcn::kDontCare) continue;
+        const auto& fi = bbdds.node[static_cast<std::size_t>(n.fanins[static_cast<std::size_t>(k)])];
+        term = term & (code == cubes::Pcn::kPos ? fi : !fi);
+      }
+      f = f | term;
+    }
+    bbdds.node[static_cast<std::size_t>(id)] = std::move(f);
+  }
+
+  EquivalenceResult res;
+  for (const auto& [ai, bi] : match.output_pairs) {
+    const auto& fa = abdds.node[static_cast<std::size_t>(a.outputs()[ai])];
+    const auto& fb = bbdds.node[static_cast<std::size_t>(b.outputs()[bi])];
+    if (fa == fb) continue;  // canonical: O(1) comparison
+    res.equivalent = false;
+    res.failing_output = a.node(a.outputs()[ai]).name;
+    const auto diff = fa ^ fb;
+    const auto assignment = diff.one_sat();
+    std::vector<bool> cex(a.inputs().size(), false);
+    if (assignment)
+      for (std::size_t v = 0; v < cex.size(); ++v) cex[v] = (*assignment)[v] == 1;
+    res.counterexample = cex;
+    return res;
+  }
+  res.equivalent = true;
+  return res;
+}
+
+EquivalenceResult check_sat(const Network& a, const Network& b,
+                            const InterfaceMatch& match) {
+  sat::Solver solver;
+  const auto amap = encode_network(a, solver);
+  const auto bmap = encode_network(b, solver);
+
+  using sat::mk_lit;
+  // Tie matched inputs together.
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    const sat::Var va = amap.node_var[static_cast<std::size_t>(a.inputs()[i])];
+    const sat::Var vb =
+        bmap.node_var[static_cast<std::size_t>(b.inputs()[match.b_input_for_a[i]])];
+    solver.add_clause({mk_lit(va, true), mk_lit(vb, false)});
+    solver.add_clause({mk_lit(va, false), mk_lit(vb, true)});
+  }
+  // Miter: xor each output pair; assert at least one differs.
+  std::vector<sat::Lit> any_diff;
+  std::vector<std::pair<sat::Var, std::size_t>> diff_vars;  // (xor var, pair idx)
+  for (std::size_t p = 0; p < match.output_pairs.size(); ++p) {
+    const auto& [ai, bi] = match.output_pairs[p];
+    const sat::Var ya = amap.node_var[static_cast<std::size_t>(a.outputs()[ai])];
+    const sat::Var yb = bmap.node_var[static_cast<std::size_t>(b.outputs()[bi])];
+    const sat::Var d = solver.new_var();
+    // d <-> (ya xor yb)
+    solver.add_clause({mk_lit(d, true), mk_lit(ya, false), mk_lit(yb, false)});
+    solver.add_clause({mk_lit(d, true), mk_lit(ya, true), mk_lit(yb, true)});
+    solver.add_clause({mk_lit(d, false), mk_lit(ya, false), mk_lit(yb, true)});
+    solver.add_clause({mk_lit(d, false), mk_lit(ya, true), mk_lit(yb, false)});
+    any_diff.push_back(mk_lit(d, false));
+    diff_vars.emplace_back(d, p);
+  }
+  solver.add_clause(any_diff);
+
+  EquivalenceResult res;
+  const auto r = solver.solve();
+  if (r == sat::LBool::kFalse) {
+    res.equivalent = true;
+    return res;
+  }
+  res.equivalent = false;
+  std::vector<bool> cex(a.inputs().size(), false);
+  for (std::size_t i = 0; i < a.inputs().size(); ++i)
+    cex[i] = solver.model_value(amap.node_var[static_cast<std::size_t>(a.inputs()[i])]);
+  res.counterexample = cex;
+  for (const auto& [d, p] : diff_vars)
+    if (solver.model_value(d)) {
+      res.failing_output = a.node(a.outputs()[match.output_pairs[p].first]).name;
+      break;
+    }
+  return res;
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    EquivalenceMethod method) {
+  const auto match = match_interfaces(a, b);
+  return method == EquivalenceMethod::kBdd ? check_bdd(a, b, match)
+                                           : check_sat(a, b, match);
+}
+
+}  // namespace l2l::network

@@ -1,0 +1,31 @@
+#pragma once
+// Combinational equivalence checking, both ways the course teaches it:
+// canonical BDD comparison and SAT on a miter. Networks are matched by
+// primary-input and primary-output *names*.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace l2l::network {
+
+enum class EquivalenceMethod { kBdd, kSat };
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// When inequivalent: a distinguishing input assignment, indexed by the
+  /// first network's inputs() order.
+  std::optional<std::vector<bool>> counterexample;
+  /// Which output differed (name), when inequivalent.
+  std::string failing_output;
+};
+
+/// Check that `a` and `b` compute identical functions on every output.
+/// Throws std::invalid_argument when the interfaces (input/output name
+/// sets) do not match.
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    EquivalenceMethod method);
+
+}  // namespace l2l::network

@@ -1,0 +1,242 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace l2l::network {
+
+NodeId Network::add_input(const std::string& name) {
+  if (by_name_.count(name))
+    throw std::invalid_argument("Network: duplicate name " + name);
+  const NodeId id = num_nodes();
+  nodes_.push_back(Node{name, NodeType::kInput, {}, cubes::Cover(0)});
+  dead_.push_back(false);
+  inputs_.push_back(id);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+NodeId Network::add_logic(const std::string& name, std::vector<NodeId> fanins,
+                          cubes::Cover cover) {
+  if (by_name_.count(name))
+    throw std::invalid_argument("Network: duplicate name " + name);
+  if (cover.num_vars() != static_cast<int>(fanins.size()))
+    throw std::invalid_argument("Network: cover arity != fanin count for " +
+                                name);
+  for (const NodeId f : fanins) check_id(f);
+  const NodeId id = num_nodes();
+  nodes_.push_back(Node{name, NodeType::kLogic, std::move(fanins), std::move(cover)});
+  dead_.push_back(false);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+NodeId Network::add_constant(const std::string& name, bool value) {
+  return add_logic(name, {},
+                   value ? cubes::Cover::universal(0) : cubes::Cover(0));
+}
+
+void Network::mark_output(NodeId id) {
+  check_id(id);
+  outputs_.push_back(id);
+}
+
+std::optional<NodeId> Network::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::vector<NodeId>> Network::fanouts() const {
+  std::vector<std::vector<NodeId>> out(nodes_.size());
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (dead_[static_cast<std::size_t>(id)]) continue;
+    for (const NodeId f : nodes_[static_cast<std::size_t>(id)].fanins)
+      out[static_cast<std::size_t>(f)].push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Network::topological_order() const {
+  std::vector<int> state(nodes_.size(), 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  // Iterative DFS to keep deep netlists off the call stack.
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  auto visit = [&](NodeId root) {
+    if (state[static_cast<std::size_t>(root)] != 0) return;
+    stack.emplace_back(root, 0);
+    state[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const auto& fi = nodes_[static_cast<std::size_t>(id)].fanins;
+      if (next < fi.size()) {
+        const NodeId child = fi[next++];
+        if (state[static_cast<std::size_t>(child)] == 1)
+          throw std::logic_error("Network: combinational cycle at " +
+                                 nodes_[static_cast<std::size_t>(child)].name);
+        if (state[static_cast<std::size_t>(child)] == 0) {
+          state[static_cast<std::size_t>(child)] = 1;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        state[static_cast<std::size_t>(id)] = 2;
+        order.push_back(id);
+        stack.pop_back();
+      }
+    }
+  };
+  for (NodeId id = 0; id < num_nodes(); ++id)
+    if (!dead_[static_cast<std::size_t>(id)]) visit(id);
+  return order;
+}
+
+std::vector<int> Network::levels() const {
+  std::vector<int> lvl(nodes_.size(), 0);
+  for (const NodeId id : topological_order()) {
+    int m = 0;
+    const auto& n = nodes_[static_cast<std::size_t>(id)];
+    for (const NodeId f : n.fanins)
+      m = std::max(m, lvl[static_cast<std::size_t>(f)] + 1);
+    lvl[static_cast<std::size_t>(id)] = n.type == NodeType::kInput ? 0 : m;
+  }
+  return lvl;
+}
+
+int Network::num_literals() const {
+  int n = 0;
+  for (NodeId id = 0; id < num_nodes(); ++id)
+    if (!dead_[static_cast<std::size_t>(id)] &&
+        nodes_[static_cast<std::size_t>(id)].type == NodeType::kLogic)
+      n += nodes_[static_cast<std::size_t>(id)].cover.num_literals();
+  return n;
+}
+
+int Network::num_logic_nodes() const {
+  int n = 0;
+  for (NodeId id = 0; id < num_nodes(); ++id)
+    if (!dead_[static_cast<std::size_t>(id)] &&
+        nodes_[static_cast<std::size_t>(id)].type == NodeType::kLogic)
+      ++n;
+  return n;
+}
+
+std::vector<bool> Network::simulate(const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size())
+    throw std::invalid_argument("Network::simulate: input arity mismatch");
+  std::vector<bool> value(nodes_.size(), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    value[static_cast<std::size_t>(inputs_[i])] = input_values[i];
+  for (const NodeId id : topological_order()) {
+    const auto& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.type == NodeType::kInput) continue;
+    std::uint64_t minterm = 0;
+    for (std::size_t k = 0; k < n.fanins.size(); ++k)
+      if (value[static_cast<std::size_t>(n.fanins[k])]) minterm |= 1ull << k;
+    value[static_cast<std::size_t>(id)] = n.cover.eval(minterm);
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> Network::simulate64(
+    const std::vector<std::uint64_t>& input_words) const {
+  if (input_words.size() != inputs_.size())
+    throw std::invalid_argument("Network::simulate64: input arity mismatch");
+  std::vector<std::uint64_t> value(nodes_.size(), 0);
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    value[static_cast<std::size_t>(inputs_[i])] = input_words[i];
+  for (const NodeId id : topological_order()) {
+    const auto& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.type == NodeType::kInput) continue;
+    std::uint64_t acc = 0;
+    for (const auto& cube : n.cover.cubes()) {
+      std::uint64_t term = ~0ull;
+      for (std::size_t k = 0; k < n.fanins.size(); ++k) {
+        const auto code = cube.code(static_cast<int>(k));
+        const std::uint64_t w = value[static_cast<std::size_t>(n.fanins[k])];
+        if (code == cubes::Pcn::kPos) term &= w;
+        else if (code == cubes::Pcn::kNeg) term &= ~w;
+        else if (code == cubes::Pcn::kEmpty) term = 0;
+      }
+      acc |= term;
+    }
+    value[static_cast<std::size_t>(id)] = acc;
+  }
+  return value;
+}
+
+void Network::replace_fanin(NodeId id, NodeId old_fanin, NodeId new_fanin) {
+  check_id(id);
+  check_id(new_fanin);
+  auto& fi = nodes_[static_cast<std::size_t>(id)].fanins;
+  const auto it = std::find(fi.begin(), fi.end(), old_fanin);
+  if (it == fi.end())
+    throw std::invalid_argument("Network::replace_fanin: edge not found");
+  *it = new_fanin;
+}
+
+void Network::set_function(NodeId id, std::vector<NodeId> fanins,
+                           cubes::Cover cover) {
+  check_id(id);
+  auto& n = nodes_[static_cast<std::size_t>(id)];
+  if (n.type != NodeType::kLogic)
+    throw std::invalid_argument("Network::set_function: not a logic node");
+  if (cover.num_vars() != static_cast<int>(fanins.size()))
+    throw std::invalid_argument("Network::set_function: arity mismatch");
+  for (const NodeId f : fanins) check_id(f);
+  n.fanins = std::move(fanins);
+  n.cover = std::move(cover);
+}
+
+int Network::sweep_dangling() {
+  std::vector<bool> reach(nodes_.size(), false);
+  std::vector<NodeId> stack(outputs_.begin(), outputs_.end());
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (reach[static_cast<std::size_t>(id)]) continue;
+    reach[static_cast<std::size_t>(id)] = true;
+    for (const NodeId f : nodes_[static_cast<std::size_t>(id)].fanins)
+      stack.push_back(f);
+  }
+  int removed = 0;
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    if (!reach[i] && !dead_[i] && nodes_[i].type == NodeType::kLogic) {
+      dead_[i] = true;
+      by_name_.erase(nodes_[i].name);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+void Network::validate() const {
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    if (dead_[i]) continue;
+    const auto& n = nodes_[i];
+    if (n.type == NodeType::kLogic &&
+        n.cover.num_vars() != static_cast<int>(n.fanins.size()))
+      throw std::logic_error("Network: arity mismatch at " + n.name);
+    for (const NodeId f : n.fanins) {
+      if (f < 0 || f >= num_nodes())
+        throw std::logic_error("Network: fanin out of range at " + n.name);
+      if (dead_[static_cast<std::size_t>(f)])
+        throw std::logic_error("Network: dead fanin referenced at " + n.name);
+    }
+  }
+  for (const NodeId o : outputs_)
+    if (o < 0 || o >= num_nodes() || dead_[static_cast<std::size_t>(o)])
+      throw std::logic_error("Network: dead or invalid output");
+  topological_order();  // throws on cycles
+}
+
+void Network::check_id(NodeId id) const {
+  if (id < 0 || id >= num_nodes())
+    throw std::invalid_argument("Network: node id out of range");
+  if (dead_[static_cast<std::size_t>(id)])
+    throw std::invalid_argument("Network: node is dead");
+}
+
+}  // namespace l2l::network

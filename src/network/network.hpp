@@ -1,0 +1,115 @@
+#pragma once
+// Multi-level Boolean logic networks, SIS-style [11,12]: a DAG of nodes,
+// each holding a sum-of-products over its fanins. This is the substrate
+// for logic synthesis (Weeks 3-4), technology mapping (Week 5), timing
+// (Week 8), and the BDD-based network-repair project.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cubes/cover.hpp"
+
+namespace l2l::network {
+
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+enum class NodeType {
+  kInput,  ///< primary input
+  kLogic,  ///< internal node with an SOP over its fanins
+};
+
+struct Node {
+  std::string name;
+  NodeType type = NodeType::kLogic;
+  std::vector<NodeId> fanins;
+  /// SOP over *local* fanin indices: variable i of the cover is fanins[i].
+  /// A logic node with no fanins and a universal/empty cover is a constant.
+  cubes::Cover cover;
+};
+
+class Network {
+ public:
+  explicit Network(std::string model_name = "top")
+      : model_name_(std::move(model_name)) {}
+
+  const std::string& model_name() const { return model_name_; }
+  void set_model_name(std::string n) { model_name_ = std::move(n); }
+
+  /// Add a primary input. Names must be unique across the network.
+  NodeId add_input(const std::string& name);
+
+  /// Add a logic node computing `cover` over `fanins` (cover arity must
+  /// equal fanins.size()).
+  NodeId add_logic(const std::string& name, std::vector<NodeId> fanins,
+                   cubes::Cover cover);
+
+  /// Add a constant node (cover over zero variables).
+  NodeId add_constant(const std::string& name, bool value);
+
+  /// Declare a node as a primary output (may be repeated nodes).
+  void mark_output(NodeId id);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  std::optional<NodeId> find(const std::string& name) const;
+
+  /// Fanouts (derived on demand; invalidated by structural edits).
+  std::vector<std::vector<NodeId>> fanouts() const;
+
+  /// Topological order over all nodes (inputs first). Throws on cycles.
+  std::vector<NodeId> topological_order() const;
+
+  /// Logic depth per node (inputs at level 0).
+  std::vector<int> levels() const;
+
+  /// Total SOP literal count over all logic nodes -- the multi-level cost.
+  int num_literals() const;
+  int num_logic_nodes() const;
+
+  /// Evaluate all nodes given values for the primary inputs (indexed in
+  /// inputs() order). Returns a value per node id.
+  std::vector<bool> simulate(const std::vector<bool>& input_values) const;
+
+  /// 64 parallel patterns at once (bit i of each word = pattern i).
+  std::vector<std::uint64_t> simulate64(
+      const std::vector<std::uint64_t>& input_words) const;
+
+  /// Replace a fanin edge: in node `id`, replace fanin `old_fanin` with
+  /// `new_fanin` (cover unchanged -- caller guarantees compatibility).
+  void replace_fanin(NodeId id, NodeId old_fanin, NodeId new_fanin);
+
+  /// Replace a node's function in place.
+  void set_function(NodeId id, std::vector<NodeId> fanins, cubes::Cover cover);
+
+  /// Drop logic nodes not reachable from any output. Returns removed count.
+  /// Node ids are preserved (removed nodes become tombstones excluded from
+  /// traversals); use compact() to renumber.
+  int sweep_dangling();
+
+  bool is_dead(NodeId id) const { return dead_[static_cast<std::size_t>(id)]; }
+
+  /// Structural sanity checks (ids in range, arities match, acyclic, no
+  /// dead node referenced). Throws std::logic_error on violation.
+  void validate() const;
+
+ private:
+  void check_id(NodeId id) const;
+
+  std::string model_name_;
+  std::vector<Node> nodes_;
+  std::vector<bool> dead_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace l2l::network

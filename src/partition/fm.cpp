@@ -1,0 +1,150 @@
+#include "partition/fm.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace l2l::partition {
+namespace {
+
+/// One FM pass. Returns the best cut seen and leaves `p` at that prefix.
+int fm_pass(const Hypergraph& g, Bipartition& p, int tolerance,
+            long long& moves_considered) {
+  const int n = g.num_cells;
+
+  // Per-net side counts.
+  std::vector<int> count0(g.nets.size(), 0), count1(g.nets.size(), 0);
+  for (std::size_t e = 0; e < g.nets.size(); ++e)
+    for (const int c : g.nets[e])
+      (p.side[static_cast<std::size_t>(c)] ? count1[e] : count0[e])++;
+
+  // Initial gains.
+  std::vector<int> gain(static_cast<std::size_t>(n), 0);
+  for (int c = 0; c < n; ++c) {
+    const bool s = p.side[static_cast<std::size_t>(c)];
+    for (const int e : g.nets_of[static_cast<std::size_t>(c)]) {
+      const int from = s ? count1[static_cast<std::size_t>(e)]
+                         : count0[static_cast<std::size_t>(e)];
+      const int to = s ? count0[static_cast<std::size_t>(e)]
+                       : count1[static_cast<std::size_t>(e)];
+      if (from == 1) ++gain[static_cast<std::size_t>(c)];
+      if (to == 0) --gain[static_cast<std::size_t>(c)];
+    }
+  }
+
+  // Gain "bucket": ordered set of (-gain, cell) for O(log n) extraction.
+  std::set<std::pair<int, int>> bucket;
+  std::vector<bool> locked(static_cast<std::size_t>(n), false);
+  for (int c = 0; c < n; ++c) bucket.insert({-gain[static_cast<std::size_t>(c)], c});
+
+  auto update_gain = [&](int c, int delta) {
+    if (locked[static_cast<std::size_t>(c)]) return;
+    bucket.erase({-gain[static_cast<std::size_t>(c)], c});
+    gain[static_cast<std::size_t>(c)] += delta;
+    bucket.insert({-gain[static_cast<std::size_t>(c)], c});
+  };
+
+  int left = p.count(false);
+  int right = p.count(true);
+  int cut = cut_size(g, p);
+  int best_cut = cut;
+  int best_prefix = 0;
+
+  std::vector<int> move_order;
+  move_order.reserve(static_cast<std::size_t>(n));
+
+  for (int step = 0; step < n; ++step) {
+    // Highest-gain unlocked cell whose move keeps balance.
+    int chosen = -1;
+    for (const auto& [ng, c] : bucket) {
+      ++moves_considered;
+      const bool s = p.side[static_cast<std::size_t>(c)];
+      const int new_diff = s ? (left + 1) - (right - 1) : (left - 1) - (right + 1);
+      if (std::abs(new_diff) <= tolerance) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen < 0) break;
+
+    const bool from_side = p.side[static_cast<std::size_t>(chosen)];
+    // Lock the base cell first: its recorded gain must not be perturbed by
+    // its own move's neighbour updates.
+    const int chosen_gain = gain[static_cast<std::size_t>(chosen)];
+    bucket.erase({-chosen_gain, chosen});
+    locked[static_cast<std::size_t>(chosen)] = true;
+    // Update neighbour gains with the standard before/after rules.
+    for (const int e : g.nets_of[static_cast<std::size_t>(chosen)]) {
+      auto& from = from_side ? count1[static_cast<std::size_t>(e)]
+                             : count0[static_cast<std::size_t>(e)];
+      auto& to = from_side ? count0[static_cast<std::size_t>(e)]
+                           : count1[static_cast<std::size_t>(e)];
+      // Before the move.
+      if (to == 0) {
+        for (const int d : g.nets[static_cast<std::size_t>(e)]) update_gain(d, +1);
+      } else if (to == 1) {
+        for (const int d : g.nets[static_cast<std::size_t>(e)])
+          if (p.side[static_cast<std::size_t>(d)] != from_side) update_gain(d, -1);
+      }
+      --from;
+      ++to;
+      // After the move.
+      if (from == 0) {
+        for (const int d : g.nets[static_cast<std::size_t>(e)]) update_gain(d, -1);
+      } else if (from == 1) {
+        for (const int d : g.nets[static_cast<std::size_t>(e)])
+          if (p.side[static_cast<std::size_t>(d)] == from_side && d != chosen)
+            update_gain(d, +1);
+      }
+    }
+    cut -= chosen_gain;
+    p.side[static_cast<std::size_t>(chosen)] = !from_side;
+    if (from_side) {
+      --right;
+      ++left;
+    } else {
+      --left;
+      ++right;
+    }
+    move_order.push_back(chosen);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best_prefix = static_cast<int>(move_order.size());
+    }
+  }
+
+  // Roll back to the best prefix.
+  for (std::size_t k = move_order.size(); k > static_cast<std::size_t>(best_prefix); --k) {
+    const int c = move_order[k - 1];
+    p.side[static_cast<std::size_t>(c)] = !p.side[static_cast<std::size_t>(c)];
+  }
+  return best_cut;
+}
+
+}  // namespace
+
+Bipartition fm_refine(const Hypergraph& g, Bipartition start,
+                      const FmOptions& opt, FmStats* stats) {
+  if (static_cast<int>(start.side.size()) != g.num_cells)
+    throw std::invalid_argument("fm_refine: partition size mismatch");
+  FmStats local;
+  local.initial_cut = cut_size(g, start);
+  int best = local.initial_cut;
+  for (int pass = 0; pass < opt.max_passes; ++pass) {
+    ++local.passes;
+    const int cut =
+        fm_pass(g, start, opt.balance_tolerance, local.moves_considered);
+    if (cut >= best) break;
+    best = cut;
+  }
+  local.final_cut = cut_size(g, start);
+  if (stats) *stats = local;
+  return start;
+}
+
+Bipartition fm_partition(const Hypergraph& g, util::Rng& rng,
+                         const FmOptions& opt, FmStats* stats) {
+  return fm_refine(g, random_bipartition(g, rng), opt, stats);
+}
+
+}  // namespace l2l::partition

@@ -1,0 +1,32 @@
+#pragma once
+// Fiduccia-Mattheyses bipartitioning: single-cell moves, gain buckets,
+// lock-after-move, best-prefix rollback per pass.
+
+#include "partition/hypergraph.hpp"
+
+namespace l2l::partition {
+
+struct FmOptions {
+  int balance_tolerance = 2;  ///< max |left - right|; moving one cell
+                              ///< changes the difference by 2, so 2 is
+                              ///< the tightest workable bound
+  int max_passes = 16;
+};
+
+struct FmStats {
+  int passes = 0;
+  int initial_cut = 0;
+  int final_cut = 0;
+  long long moves_considered = 0;
+};
+
+/// Improve `start` in place with FM passes; returns the improved partition
+/// (balance of the start is preserved within tolerance).
+Bipartition fm_refine(const Hypergraph& g, Bipartition start,
+                      const FmOptions& opt = {}, FmStats* stats = nullptr);
+
+/// Random start + FM refinement.
+Bipartition fm_partition(const Hypergraph& g, util::Rng& rng,
+                         const FmOptions& opt = {}, FmStats* stats = nullptr);
+
+}  // namespace l2l::partition

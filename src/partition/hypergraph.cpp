@@ -1,0 +1,67 @@
+#include "partition/hypergraph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace l2l::partition {
+
+Hypergraph Hypergraph::from_nets(int num_cells,
+                                 std::vector<std::vector<int>> nets) {
+  Hypergraph g;
+  g.num_cells = num_cells;
+  for (auto& net : nets) {
+    std::sort(net.begin(), net.end());
+    net.erase(std::unique(net.begin(), net.end()), net.end());
+    for (const int c : net)
+      if (c < 0 || c >= num_cells)
+        throw std::invalid_argument("Hypergraph: cell index out of range");
+    if (net.size() >= 2) g.nets.push_back(std::move(net));
+  }
+  g.nets_of.resize(static_cast<std::size_t>(num_cells));
+  for (std::size_t n = 0; n < g.nets.size(); ++n)
+    for (const int c : g.nets[n])
+      g.nets_of[static_cast<std::size_t>(c)].push_back(static_cast<int>(n));
+  return g;
+}
+
+Hypergraph Hypergraph::from_placement(const gen::PlacementProblem& p) {
+  std::vector<std::vector<int>> nets;
+  for (const auto& net : p.nets) {
+    std::vector<int> cells;
+    for (const auto& pin : net)
+      if (!pin.is_pad) cells.push_back(pin.index);
+    nets.push_back(std::move(cells));
+  }
+  return from_nets(p.num_cells, std::move(nets));
+}
+
+int cut_size(const Hypergraph& g, const Bipartition& p) {
+  int cut = 0;
+  for (const auto& net : g.nets) {
+    bool left = false, right = false;
+    for (const int c : net)
+      (p.side[static_cast<std::size_t>(c)] ? right : left) = true;
+    cut += left && right;
+  }
+  return cut;
+}
+
+Bipartition random_bipartition(const Hypergraph& g, util::Rng& rng) {
+  std::vector<int> order(static_cast<std::size_t>(g.num_cells));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Bipartition p;
+  p.side.assign(static_cast<std::size_t>(g.num_cells), false);
+  for (std::size_t k = order.size() / 2; k < order.size(); ++k)
+    p.side[static_cast<std::size_t>(order[k])] = true;
+  return p;
+}
+
+bool is_balanced(const Bipartition& p, int tolerance) {
+  const int left = p.count(false);
+  const int right = p.count(true);
+  return std::abs(left - right) <= tolerance;
+}
+
+}  // namespace l2l::partition

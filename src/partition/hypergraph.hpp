@@ -1,0 +1,46 @@
+#pragma once
+// Hypergraph partitioning substrate (the full course's "partitioning"
+// topic, §2: Kernighan-Lin and Fiduccia-Mattheyses). A hypergraph here is
+// simply cells + hyperedges (nets); a bipartition assigns each cell a
+// side, subject to a balance constraint, minimizing the cut (nets with
+// pins on both sides).
+
+#include <vector>
+
+#include "gen/placement_gen.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::partition {
+
+struct Hypergraph {
+  int num_cells = 0;
+  std::vector<std::vector<int>> nets;      ///< net -> cell indices
+  std::vector<std::vector<int>> nets_of;   ///< cell -> net indices (derived)
+
+  static Hypergraph from_nets(int num_cells,
+                              std::vector<std::vector<int>> nets);
+
+  /// Drop pads / keep cell pins only from a placement problem.
+  static Hypergraph from_placement(const gen::PlacementProblem& p);
+};
+
+struct Bipartition {
+  std::vector<bool> side;  ///< per cell: false = left, true = right
+
+  int count(bool s) const {
+    int n = 0;
+    for (const bool b : side) n += b == s;
+    return n;
+  }
+};
+
+/// Number of nets with pins on both sides.
+int cut_size(const Hypergraph& g, const Bipartition& p);
+
+/// Balanced random bipartition (exactly floor/ceil split).
+Bipartition random_bipartition(const Hypergraph& g, util::Rng& rng);
+
+/// Does the partition satisfy |left - right| <= tolerance?
+bool is_balanced(const Bipartition& p, int tolerance);
+
+}  // namespace l2l::partition

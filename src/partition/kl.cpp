@@ -1,0 +1,105 @@
+#include "partition/kl.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace l2l::partition {
+namespace {
+
+/// Clique-expanded edge weights: each k-pin net contributes 1/(k-1) to
+/// every cell pair, so a 2-pin net crossing the cut costs exactly 1.
+std::map<std::pair<int, int>, double> clique_weights(const Hypergraph& g) {
+  std::map<std::pair<int, int>, double> w;
+  for (const auto& net : g.nets) {
+    const double weight = 1.0 / static_cast<double>(net.size() - 1);
+    for (std::size_t i = 0; i < net.size(); ++i)
+      for (std::size_t j = i + 1; j < net.size(); ++j) {
+        const auto key = std::minmax(net[i], net[j]);
+        w[{key.first, key.second}] += weight;
+      }
+  }
+  return w;
+}
+
+}  // namespace
+
+Bipartition kl_refine(const Hypergraph& g, Bipartition start, int max_passes,
+                      KlStats* stats) {
+  KlStats local;
+  local.initial_cut = cut_size(g, start);
+  const auto weights = clique_weights(g);
+  const int n = g.num_cells;
+
+  auto edge = [&](int a, int b) {
+    const auto key = std::minmax(a, b);
+    const auto it = weights.find({key.first, key.second});
+    return it == weights.end() ? 0.0 : it->second;
+  };
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++local.passes;
+    std::vector<bool> locked(static_cast<std::size_t>(n), false);
+    std::vector<std::pair<int, int>> swaps;
+    std::vector<double> gains;
+    // Tentatively swap pairs until all matched.
+    Bipartition work = start;
+    auto d_of = [&](int c) {
+      double d = 0;
+      for (int other = 0; other < n; ++other) {
+        if (other == c) continue;
+        const double w = edge(c, other);
+        if (w == 0) continue;
+        d += (work.side[static_cast<std::size_t>(other)] !=
+              work.side[static_cast<std::size_t>(c)])
+                 ? w
+                 : -w;
+      }
+      return d;
+    };
+    const int pairs = n / 2;
+    for (int step = 0; step < pairs; ++step) {
+      int best_a = -1, best_b = -1;
+      double best_gain = -1e300;
+      for (int a2 = 0; a2 < n; ++a2) {
+        if (locked[static_cast<std::size_t>(a2)] || work.side[static_cast<std::size_t>(a2)]) continue;
+        const double da = d_of(a2);
+        for (int b2 = 0; b2 < n; ++b2) {
+          if (locked[static_cast<std::size_t>(b2)] || !work.side[static_cast<std::size_t>(b2)]) continue;
+          const double gain2 = da + d_of(b2) - 2.0 * edge(a2, b2);
+          if (gain2 > best_gain) {
+            best_gain = gain2;
+            best_a = a2;
+            best_b = b2;
+          }
+        }
+      }
+      if (best_a < 0) break;
+      work.side[static_cast<std::size_t>(best_a)] = true;
+      work.side[static_cast<std::size_t>(best_b)] = false;
+      locked[static_cast<std::size_t>(best_a)] = true;
+      locked[static_cast<std::size_t>(best_b)] = true;
+      swaps.emplace_back(best_a, best_b);
+      gains.push_back(best_gain);
+    }
+    // Best prefix by cumulative gain.
+    double cum = 0, best_cum = 0;
+    std::size_t best_k = 0;
+    for (std::size_t k = 0; k < gains.size(); ++k) {
+      cum += gains[k];
+      if (cum > best_cum) {
+        best_cum = cum;
+        best_k = k + 1;
+      }
+    }
+    if (best_k == 0) break;  // no improving prefix: converged
+    for (std::size_t k = 0; k < best_k; ++k) {
+      start.side[static_cast<std::size_t>(swaps[k].first)] = true;
+      start.side[static_cast<std::size_t>(swaps[k].second)] = false;
+    }
+  }
+  local.final_cut = cut_size(g, start);
+  if (stats) *stats = local;
+  return start;
+}
+
+}  // namespace l2l::partition

@@ -1,0 +1,21 @@
+#pragma once
+// Kernighan-Lin bipartitioning on the clique-expanded graph: pairwise
+// swaps with best-prefix rollback. O(n^2) per pass -- the historical
+// baseline FM improved on; kept as the comparison/ablation.
+
+#include "partition/hypergraph.hpp"
+
+namespace l2l::partition {
+
+struct KlStats {
+  int passes = 0;
+  int initial_cut = 0;   ///< hyperedge cut of the start
+  int final_cut = 0;     ///< hyperedge cut of the result
+};
+
+/// Refine an equal-sized bipartition with KL passes (swaps preserve
+/// balance exactly).
+Bipartition kl_refine(const Hypergraph& g, Bipartition start,
+                      int max_passes = 8, KlStats* stats = nullptr);
+
+}  // namespace l2l::partition

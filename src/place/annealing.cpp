@@ -1,0 +1,204 @@
+#include "place/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace l2l::place {
+namespace {
+
+/// Incremental-HPWL evaluation state.
+struct State {
+  const gen::PlacementProblem& p;
+  const Grid& grid;
+  std::vector<int> col, row;                 // per cell
+  std::vector<int> occupant;                 // per site: cell or -1
+  std::vector<std::vector<int>> nets_of;     // cell -> net indices
+
+  State(const gen::PlacementProblem& prob, const Grid& g,
+        const GridPlacement& start)
+      : p(prob), grid(g), col(start.col), row(start.row),
+        occupant(static_cast<std::size_t>(g.rows) * static_cast<std::size_t>(g.sites_per_row), -1),
+        nets_of(static_cast<std::size_t>(prob.num_cells)) {
+    for (int c = 0; c < prob.num_cells; ++c)
+      occupant[site_index(col[static_cast<std::size_t>(c)], row[static_cast<std::size_t>(c)])] = c;
+    for (std::size_t n = 0; n < prob.nets.size(); ++n)
+      for (const auto& pin : prob.nets[n])
+        if (!pin.is_pad)
+          nets_of[static_cast<std::size_t>(pin.index)].push_back(static_cast<int>(n));
+  }
+
+  std::size_t site_index(int c, int r) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(grid.sites_per_row) +
+           static_cast<std::size_t>(c);
+  }
+
+  double net_hpwl(int n) const {
+    double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+    for (const auto& pin : p.nets[static_cast<std::size_t>(n)]) {
+      double px, py;
+      if (pin.is_pad) {
+        px = p.pads[static_cast<std::size_t>(pin.index)].x;
+        py = p.pads[static_cast<std::size_t>(pin.index)].y;
+      } else {
+        px = grid.site_x(col[static_cast<std::size_t>(pin.index)]);
+        py = grid.row_y(row[static_cast<std::size_t>(pin.index)]);
+      }
+      xmin = std::min(xmin, px);
+      xmax = std::max(xmax, px);
+      ymin = std::min(ymin, py);
+      ymax = std::max(ymax, py);
+    }
+    return (xmax - xmin) + (ymax - ymin);
+  }
+
+  double total_hpwl() const {
+    double t = 0.0;
+    for (std::size_t n = 0; n < p.nets.size(); ++n)
+      t += net_hpwl(static_cast<int>(n));
+    return t;
+  }
+};
+
+}  // namespace
+
+GridPlacement random_grid_placement(const gen::PlacementProblem& p,
+                                    const Grid& grid, util::Rng& rng) {
+  const auto sites = static_cast<std::size_t>(grid.rows) *
+                     static_cast<std::size_t>(grid.sites_per_row);
+  if (sites < static_cast<std::size_t>(p.num_cells))
+    throw std::invalid_argument("random_grid_placement: not enough sites");
+  std::vector<std::size_t> order(sites);
+  for (std::size_t i = 0; i < sites; ++i) order[i] = i;
+  rng.shuffle(order);
+  GridPlacement gp;
+  gp.col.resize(static_cast<std::size_t>(p.num_cells));
+  gp.row.resize(static_cast<std::size_t>(p.num_cells));
+  for (int c = 0; c < p.num_cells; ++c) {
+    gp.col[static_cast<std::size_t>(c)] =
+        static_cast<int>(order[static_cast<std::size_t>(c)] %
+                         static_cast<std::size_t>(grid.sites_per_row));
+    gp.row[static_cast<std::size_t>(c)] =
+        static_cast<int>(order[static_cast<std::size_t>(c)] /
+                         static_cast<std::size_t>(grid.sites_per_row));
+  }
+  return gp;
+}
+
+GridPlacement anneal(const gen::PlacementProblem& p, const Grid& grid,
+                     const GridPlacement& start, const AnnealingOptions& opt,
+                     util::Rng& rng, AnnealingStats* stats) {
+  State st(p, grid, start);
+  AnnealingStats local;
+  local.initial_cost = st.total_hpwl();
+  double cost = local.initial_cost;
+
+  // Affected-net scratch shared across moves.
+  std::vector<int> touched;
+  auto try_move = [&](double temperature) {
+    // Pick a random cell and a random target site.
+    const int a = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p.num_cells)));
+    const int tc = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(grid.sites_per_row)));
+    const int tr = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(grid.rows)));
+    const int b = st.occupant[st.site_index(tc, tr)];
+    if (b == a) return false;
+
+    touched.clear();
+    for (const int n : st.nets_of[static_cast<std::size_t>(a)]) touched.push_back(n);
+    if (b >= 0)
+      for (const int n : st.nets_of[static_cast<std::size_t>(b)]) touched.push_back(n);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+    double before = 0.0;
+    for (const int n : touched) before += st.net_hpwl(n);
+
+    // Apply: move a to (tc,tr); b (if any) to a's old site.
+    const int ac = st.col[static_cast<std::size_t>(a)];
+    const int ar = st.row[static_cast<std::size_t>(a)];
+    st.col[static_cast<std::size_t>(a)] = tc;
+    st.row[static_cast<std::size_t>(a)] = tr;
+    st.occupant[st.site_index(tc, tr)] = a;
+    if (b >= 0) {
+      st.col[static_cast<std::size_t>(b)] = ac;
+      st.row[static_cast<std::size_t>(b)] = ar;
+      st.occupant[st.site_index(ac, ar)] = b;
+    } else {
+      st.occupant[st.site_index(ac, ar)] = -1;
+    }
+
+    double after = 0.0;
+    for (const int n : touched) after += st.net_hpwl(n);
+    const double delta = after - before;
+
+    const bool accept =
+        delta <= 0.0 ||
+        (!opt.greedy && temperature > 0.0 &&
+         rng.next_double() < std::exp(-delta / temperature));
+    if (accept) {
+      cost += delta;
+      return true;
+    }
+    // Undo.
+    st.col[static_cast<std::size_t>(a)] = ac;
+    st.row[static_cast<std::size_t>(a)] = ar;
+    st.occupant[st.site_index(ac, ar)] = a;
+    if (b >= 0) {
+      st.col[static_cast<std::size_t>(b)] = tc;
+      st.row[static_cast<std::size_t>(b)] = tr;
+      st.occupant[st.site_index(tc, tr)] = b;
+    } else {
+      st.occupant[st.site_index(tc, tr)] = -1;
+    }
+    return false;
+  };
+
+  // Estimate T0 from the positive-delta distribution so that the initial
+  // acceptance rate is roughly opt.initial_acceptance.
+  double t0 = 0.0;
+  {
+    double sum_pos = 0.0;
+    int n_pos = 0;
+    const double snapshot = cost;
+    for (int k = 0; k < 100; ++k) {
+      const double before = cost;
+      try_move(1e18);  // accept everything to sample the delta landscape
+      const double d = cost - before;
+      if (d > 0) {
+        sum_pos += d;
+        ++n_pos;
+      }
+    }
+    const double mean_pos = n_pos > 0 ? sum_pos / n_pos : 1.0;
+    t0 = -mean_pos / std::log(opt.initial_acceptance);
+    (void)snapshot;
+  }
+  local.initial_temperature = t0;
+
+  const long long moves_per_stage =
+      static_cast<long long>(opt.moves_per_cell_per_stage) * p.num_cells;
+  double temperature = opt.greedy ? 0.0 : t0;
+  const double t_stop = t0 * opt.stop_temperature_fraction;
+  for (;;) {
+    ++local.stages;
+    for (long long m = 0; m < moves_per_stage; ++m) {
+      ++local.moves;
+      if (try_move(temperature)) ++local.accepted;
+    }
+    if (opt.greedy) {
+      if (local.stages >= 4) break;  // greedy converges fast; bounded stages
+    } else {
+      temperature *= opt.cooling;
+      if (temperature < t_stop) break;
+    }
+  }
+
+  local.final_cost = st.total_hpwl();
+  if (stats) *stats = local;
+  GridPlacement out;
+  out.col = std::move(st.col);
+  out.row = std::move(st.row);
+  return out;
+}
+
+}  // namespace l2l::place

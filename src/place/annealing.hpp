@@ -1,0 +1,39 @@
+#pragma once
+// Simulated-annealing placement (the other Week-6 algorithm): cells on a
+// site grid, pairwise swap/move perturbations, Metropolis acceptance with
+// geometric cooling. Deterministic given the Rng seed.
+
+#include "gen/placement_gen.hpp"
+#include "place/legalize.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::place {
+
+struct AnnealingOptions {
+  double initial_acceptance = 0.8;  ///< target acceptance rate to set T0
+  double cooling = 0.92;            ///< geometric temperature factor
+  int moves_per_cell_per_stage = 12;
+  double stop_temperature_fraction = 1e-4;  ///< stop at T0 * fraction
+  bool greedy = false;  ///< ablation: accept only improving moves (T = 0)
+};
+
+struct AnnealingStats {
+  int stages = 0;
+  long long moves = 0;
+  long long accepted = 0;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  double initial_temperature = 0.0;
+};
+
+/// Anneal starting from `start` (commonly a legalized quadratic placement
+/// or a random assignment). Returns an is_legal() placement.
+GridPlacement anneal(const gen::PlacementProblem& p, const Grid& grid,
+                     const GridPlacement& start, const AnnealingOptions& opt,
+                     util::Rng& rng, AnnealingStats* stats = nullptr);
+
+/// Random legal starting placement.
+GridPlacement random_grid_placement(const gen::PlacementProblem& p,
+                                    const Grid& grid, util::Rng& rng);
+
+}  // namespace l2l::place

@@ -1,0 +1,38 @@
+#pragma once
+// Row legalization: snap a continuous placement onto standard-cell rows
+// (distinct sites), preserving relative order.
+
+#include <vector>
+
+#include "gen/placement_gen.hpp"
+#include "place/wirelength.hpp"
+
+namespace l2l::place {
+
+struct Grid {
+  int rows = 0;
+  int sites_per_row = 0;
+  double width = 0.0, height = 0.0;
+
+  double site_x(int col) const {
+    return (col + 0.5) * width / sites_per_row;
+  }
+  double row_y(int row) const { return (row + 0.5) * height / rows; }
+};
+
+/// Site assignment: per cell, (column, row). All assignments distinct.
+struct GridPlacement {
+  std::vector<int> col, row;
+
+  Placement to_continuous(const Grid& g) const;
+};
+
+/// Legalize by y-banding into rows then x-sorting into sites. Throws
+/// std::invalid_argument when the grid has too few sites.
+GridPlacement legalize(const gen::PlacementProblem& p, const Placement& pl,
+                       const Grid& grid);
+
+/// Verify all assignments are distinct and in range.
+bool is_legal(const GridPlacement& gp, const Grid& grid);
+
+}  // namespace l2l::place

@@ -1,0 +1,208 @@
+#include "place/quadratic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/cg.hpp"
+
+namespace l2l::place {
+namespace {
+
+struct Region {
+  double xmin, xmax, ymin, ymax;
+  double cx() const { return 0.5 * (xmin + xmax); }
+  double cy() const { return 0.5 * (ymin + ymax); }
+};
+
+double clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+/// Solve the quadratic program for `cells` constrained to `region`;
+/// all other pins are fixed at their current (projected) coordinates.
+void solve_region(const gen::PlacementProblem& p, const QuadraticOptions& opt,
+                  const std::vector<int>& cells, const Region& region,
+                  Placement& pl, QuadraticStats* stats) {
+  if (cells.empty()) return;
+  std::vector<int> var_of(static_cast<std::size_t>(p.num_cells), -1);
+  for (std::size_t k = 0; k < cells.size(); ++k)
+    var_of[static_cast<std::size_t>(cells[k])] = static_cast<int>(k);
+
+  // Star model appends one variable per net with at least one free pin.
+  int num_vars = static_cast<int>(cells.size());
+  std::vector<int> star_var(p.nets.size(), -1);
+  if (opt.net_model == NetModel::kStar) {
+    for (std::size_t n = 0; n < p.nets.size(); ++n) {
+      for (const auto& pin : p.nets[n])
+        if (!pin.is_pad && var_of[static_cast<std::size_t>(pin.index)] >= 0) {
+          star_var[n] = num_vars++;
+          break;
+        }
+    }
+  }
+
+  linalg::SparseMatrix ax(num_vars);
+  std::vector<double> bx(static_cast<std::size_t>(num_vars), 0.0);
+  std::vector<double> by(static_cast<std::size_t>(num_vars), 0.0);
+  // One symmetric matrix serves both axes (same connectivity); only the
+  // right-hand sides differ.
+
+  auto fixed_coord = [&](const gen::Pin& pin) {
+    double px, py;
+    if (pin.is_pad) {
+      px = p.pads[static_cast<std::size_t>(pin.index)].x;
+      py = p.pads[static_cast<std::size_t>(pin.index)].y;
+    } else {
+      px = pl.x[static_cast<std::size_t>(pin.index)];
+      py = pl.y[static_cast<std::size_t>(pin.index)];
+    }
+    // PROUD-style projection of external pins onto the region boundary.
+    return std::make_pair(clamp(px, region.xmin, region.xmax),
+                          clamp(py, region.ymin, region.ymax));
+  };
+
+  for (std::size_t n = 0; n < p.nets.size(); ++n) {
+    const auto& net = p.nets[n];
+    if (net.size() < 2) continue;
+
+    if (opt.net_model == NetModel::kClique) {
+      const double w = 1.0 / static_cast<double>(net.size() - 1);
+      for (std::size_t i = 0; i < net.size(); ++i) {
+        const int vi = net[i].is_pad
+                           ? -1
+                           : var_of[static_cast<std::size_t>(net[i].index)];
+        for (std::size_t j = i + 1; j < net.size(); ++j) {
+          const int vj = net[j].is_pad
+                             ? -1
+                             : var_of[static_cast<std::size_t>(net[j].index)];
+          if (vi < 0 && vj < 0) continue;
+          if (vi >= 0 && vj >= 0) {
+            ax.add(vi, vi, w);
+            ax.add(vj, vj, w);
+            ax.add(vi, vj, -w);
+            ax.add(vj, vi, -w);
+          } else {
+            const int v = vi >= 0 ? vi : vj;
+            const auto [fx, fy] = fixed_coord(vi >= 0 ? net[j] : net[i]);
+            ax.add(v, v, w);
+            bx[static_cast<std::size_t>(v)] += w * fx;
+            by[static_cast<std::size_t>(v)] += w * fy;
+          }
+        }
+      }
+    } else {
+      const int s = star_var[n];
+      if (s < 0) continue;  // no free pin: net is inert in this region
+      const double w =
+          static_cast<double>(net.size()) / static_cast<double>(net.size() - 1);
+      for (const auto& pin : net) {
+        const int v = pin.is_pad ? -1 : var_of[static_cast<std::size_t>(pin.index)];
+        if (v >= 0) {
+          ax.add(v, v, w);
+          ax.add(s, s, w);
+          ax.add(v, s, -w);
+          ax.add(s, v, -w);
+        } else {
+          const auto [fx, fy] = fixed_coord(pin);
+          ax.add(s, s, w);
+          bx[static_cast<std::size_t>(s)] += w * fx;
+          by[static_cast<std::size_t>(s)] += w * fy;
+        }
+      }
+    }
+  }
+
+  // Weak anchor to the region center removes the translation null space
+  // when a region has no external connections.
+  constexpr double kAnchor = 1e-6;
+  for (int v = 0; v < num_vars; ++v) {
+    ax.add(v, v, kAnchor);
+    bx[static_cast<std::size_t>(v)] += kAnchor * region.cx();
+    by[static_cast<std::size_t>(v)] += kAnchor * region.cy();
+  }
+
+  ax.compress();
+  linalg::CgOptions cg;
+  cg.tolerance = opt.cg_tolerance;
+  cg.max_iterations = 4 * num_vars + 100;
+  const auto rx = linalg::conjugate_gradient(ax, bx, cg);
+  const auto ry = linalg::conjugate_gradient(ax, by, cg);
+  if (stats) {
+    ++stats->regions_solved;
+    stats->cg_iterations_total += rx.iterations + ry.iterations;
+  }
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    pl.x[static_cast<std::size_t>(cells[k])] =
+        clamp(rx.x[k], region.xmin, region.xmax);
+    pl.y[static_cast<std::size_t>(cells[k])] =
+        clamp(ry.x[k], region.ymin, region.ymax);
+  }
+}
+
+void recurse(const gen::PlacementProblem& p, const QuadraticOptions& opt,
+             std::vector<int> cells, const Region& region, int level,
+             Placement& pl, QuadraticStats* stats) {
+  solve_region(p, opt, cells, region, pl, stats);
+  if (stats) stats->levels = std::max(stats->levels, level + 1);
+  if (static_cast<int>(cells.size()) <= opt.min_region_cells ||
+      level >= opt.max_levels)
+    return;
+
+  // Alternate cut direction; split the *cells* at the median so both
+  // halves hold equal area, and the *region* at its geometric middle.
+  const bool cut_x = (level % 2) == 0;
+  std::sort(cells.begin(), cells.end(), [&](int a, int b) {
+    return cut_x ? pl.x[static_cast<std::size_t>(a)] < pl.x[static_cast<std::size_t>(b)]
+                 : pl.y[static_cast<std::size_t>(a)] < pl.y[static_cast<std::size_t>(b)];
+  });
+  const std::size_t half = cells.size() / 2;
+  std::vector<int> lo(cells.begin(), cells.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<int> hi(cells.begin() + static_cast<std::ptrdiff_t>(half), cells.end());
+
+  Region rlo = region, rhi = region;
+  if (cut_x) {
+    rlo.xmax = region.cx();
+    rhi.xmin = region.cx();
+  } else {
+    rlo.ymax = region.cy();
+    rhi.ymin = region.cy();
+  }
+  // Seed the halves by clamping current positions into their sub-regions.
+  for (const int c : lo) {
+    pl.x[static_cast<std::size_t>(c)] = clamp(pl.x[static_cast<std::size_t>(c)], rlo.xmin, rlo.xmax);
+    pl.y[static_cast<std::size_t>(c)] = clamp(pl.y[static_cast<std::size_t>(c)], rlo.ymin, rlo.ymax);
+  }
+  for (const int c : hi) {
+    pl.x[static_cast<std::size_t>(c)] = clamp(pl.x[static_cast<std::size_t>(c)], rhi.xmin, rhi.xmax);
+    pl.y[static_cast<std::size_t>(c)] = clamp(pl.y[static_cast<std::size_t>(c)], rhi.ymin, rhi.ymax);
+  }
+  recurse(p, opt, std::move(lo), rlo, level + 1, pl, stats);
+  recurse(p, opt, std::move(hi), rhi, level + 1, pl, stats);
+}
+
+}  // namespace
+
+Placement solve_global(const gen::PlacementProblem& p,
+                       const QuadraticOptions& opt, QuadraticStats* stats) {
+  Placement pl;
+  pl.x.assign(static_cast<std::size_t>(p.num_cells), p.width / 2);
+  pl.y.assign(static_cast<std::size_t>(p.num_cells), p.height / 2);
+  std::vector<int> all(static_cast<std::size_t>(p.num_cells));
+  std::iota(all.begin(), all.end(), 0);
+  solve_region(p, opt, all, Region{0, p.width, 0, p.height}, pl, stats);
+  return pl;
+}
+
+Placement place_quadratic(const gen::PlacementProblem& p,
+                          const QuadraticOptions& opt, QuadraticStats* stats) {
+  Placement pl;
+  pl.x.assign(static_cast<std::size_t>(p.num_cells), p.width / 2);
+  pl.y.assign(static_cast<std::size_t>(p.num_cells), p.height / 2);
+  std::vector<int> all(static_cast<std::size_t>(p.num_cells));
+  std::iota(all.begin(), all.end(), 0);
+  recurse(p, opt, std::move(all), Region{0, p.width, 0, p.height}, 0, pl, stats);
+  return pl;
+}
+
+}  // namespace l2l::place

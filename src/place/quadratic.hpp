@@ -1,0 +1,44 @@
+#pragma once
+// Quadratic placement with recursive bipartition spreading, after the
+// PROUD sea-of-gates placer [13] -- MOOC software Project 3.
+//
+// Minimizing the clique/star quadratic wirelength gives the linear system
+// A x = b_x (independently for y). Pads anchor the system; without
+// spreading all cells collapse toward the center, so the placer recurses:
+// split the cells at the median, constrain each half to its region with
+// external connections projected onto the region boundary, and re-solve.
+
+#include "gen/placement_gen.hpp"
+#include "place/wirelength.hpp"
+
+namespace l2l::place {
+
+enum class NetModel {
+  kClique,  ///< pairwise edges, weight 1/(k-1)
+  kStar,    ///< auxiliary star node per net (extra variables)
+};
+
+struct QuadraticOptions {
+  NetModel net_model = NetModel::kClique;
+  int min_region_cells = 8;  ///< stop recursion below this many cells
+  int max_levels = 8;
+  double cg_tolerance = 1e-8;
+};
+
+struct QuadraticStats {
+  int regions_solved = 0;
+  int levels = 0;
+  int cg_iterations_total = 0;
+};
+
+/// Global (unconstrained) quadratic solve only -- one Ax=b per axis.
+Placement solve_global(const gen::PlacementProblem& p,
+                       const QuadraticOptions& opt = {},
+                       QuadraticStats* stats = nullptr);
+
+/// Full recursive-bipartition placement.
+Placement place_quadratic(const gen::PlacementProblem& p,
+                          const QuadraticOptions& opt = {},
+                          QuadraticStats* stats = nullptr);
+
+}  // namespace l2l::place

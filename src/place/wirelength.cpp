@@ -1,0 +1,72 @@
+#include "place/wirelength.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace l2l::place {
+namespace {
+
+struct Box {
+  double xmin, xmax, ymin, ymax;
+};
+
+Box net_box(const gen::PlacementProblem& p, const Placement& pl,
+            const std::vector<gen::Pin>& net) {
+  Box b{1e300, -1e300, 1e300, -1e300};
+  for (const auto& pin : net) {
+    double px, py;
+    if (pin.is_pad) {
+      px = p.pads[static_cast<std::size_t>(pin.index)].x;
+      py = p.pads[static_cast<std::size_t>(pin.index)].y;
+    } else {
+      px = pl.x[static_cast<std::size_t>(pin.index)];
+      py = pl.y[static_cast<std::size_t>(pin.index)];
+    }
+    b.xmin = std::min(b.xmin, px);
+    b.xmax = std::max(b.xmax, px);
+    b.ymin = std::min(b.ymin, py);
+    b.ymax = std::max(b.ymax, py);
+  }
+  return b;
+}
+
+}  // namespace
+
+double hpwl(const gen::PlacementProblem& p, const Placement& pl) {
+  if (static_cast<int>(pl.x.size()) != p.num_cells ||
+      static_cast<int>(pl.y.size()) != p.num_cells)
+    throw std::invalid_argument("hpwl: placement size mismatch");
+  double total = 0.0;
+  for (const auto& net : p.nets) {
+    const Box b = net_box(p, pl, net);
+    total += (b.xmax - b.xmin) + (b.ymax - b.ymin);
+  }
+  return total;
+}
+
+double quadratic_wirelength(const gen::PlacementProblem& p,
+                            const Placement& pl) {
+  double total = 0.0;
+  for (const auto& net : p.nets) {
+    const auto k = net.size();
+    if (k < 2) continue;
+    const double w = 1.0 / static_cast<double>(k - 1);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        auto coord = [&](const gen::Pin& pin) {
+          return pin.is_pad
+                     ? std::make_pair(p.pads[static_cast<std::size_t>(pin.index)].x,
+                                      p.pads[static_cast<std::size_t>(pin.index)].y)
+                     : std::make_pair(pl.x[static_cast<std::size_t>(pin.index)],
+                                      pl.y[static_cast<std::size_t>(pin.index)]);
+        };
+        const auto [xi, yi] = coord(net[i]);
+        const auto [xj, yj] = coord(net[j]);
+        total += w * ((xi - xj) * (xi - xj) + (yi - yj) * (yi - yj));
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace l2l::place

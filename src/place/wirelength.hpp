@@ -1,0 +1,23 @@
+#pragma once
+// Placement objective functions (Week 6).
+
+#include <vector>
+
+#include "gen/placement_gen.hpp"
+
+namespace l2l::place {
+
+/// A continuous placement: coordinates per cell.
+struct Placement {
+  std::vector<double> x, y;
+};
+
+/// Half-perimeter wirelength: sum over nets of the pin bounding box
+/// half-perimeter. The standard placement quality metric.
+double hpwl(const gen::PlacementProblem& p, const Placement& pl);
+
+/// Quadratic (squared Euclidean, clique-model) wirelength -- what the
+/// quadratic placer actually minimizes; reported for comparison.
+double quadratic_wirelength(const gen::PlacementProblem& p, const Placement& pl);
+
+}  // namespace l2l::place

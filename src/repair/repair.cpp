@@ -1,0 +1,197 @@
+#include "repair/repair.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "espresso/minimize.hpp"
+#include "gen/function_gen.hpp"
+#include "network/bdd_build.hpp"
+#include "network/equivalence.hpp"
+
+namespace l2l::repair {
+
+using network::Network;
+using network::NodeId;
+using network::NodeType;
+
+namespace {
+
+/// Build BDDs for all nodes of `net`, but treat node `free_node` (if valid)
+/// as the free variable `t_var` of the manager. Inputs map to manager vars
+/// by `input_var`.
+std::vector<bdd::Bdd> build_with_free_node(
+    const Network& net, bdd::Manager& mgr,
+    const std::vector<int>& input_var, NodeId free_node, int t_var) {
+  std::vector<bdd::Bdd> node(static_cast<std::size_t>(net.num_nodes()));
+  for (std::size_t i = 0; i < net.inputs().size(); ++i)
+    node[static_cast<std::size_t>(net.inputs()[i])] = mgr.var(input_var[i]);
+  for (const NodeId id : net.topological_order()) {
+    const auto& n = net.node(id);
+    if (n.type == NodeType::kInput) continue;
+    if (id == free_node) {
+      node[static_cast<std::size_t>(id)] = mgr.var(t_var);
+      continue;
+    }
+    bdd::Bdd f = mgr.zero();
+    for (const auto& cube : n.cover.cubes()) {
+      bdd::Bdd term = mgr.one();
+      for (int k = 0; k < static_cast<int>(n.fanins.size()); ++k) {
+        const auto code = cube.code(k);
+        if (code == cubes::Pcn::kDontCare) continue;
+        const auto& fi = node[static_cast<std::size_t>(n.fanins[static_cast<std::size_t>(k)])];
+        term = term & (code == cubes::Pcn::kPos ? fi : !fi);
+      }
+      f = f | term;
+    }
+    node[static_cast<std::size_t>(id)] = std::move(f);
+  }
+  return node;
+}
+
+}  // namespace
+
+std::optional<Repair> try_repair_node(const Network& impl, const Network& spec,
+                                      NodeId node, const RepairOptions& opt) {
+  const auto& suspect = impl.node(node);
+  if (suspect.type != NodeType::kLogic) return std::nullopt;
+  const int arity = static_cast<int>(suspect.fanins.size());
+  if (arity > opt.max_fanins) return std::nullopt;
+  const int num_pi = static_cast<int>(impl.inputs().size());
+  if (num_pi > opt.max_inputs) return std::nullopt;
+
+  // Interface matching by name.
+  std::unordered_map<std::string, std::size_t> spec_in, spec_out;
+  for (std::size_t i = 0; i < spec.inputs().size(); ++i)
+    spec_in[spec.node(spec.inputs()[i]).name] = i;
+  for (std::size_t i = 0; i < spec.outputs().size(); ++i)
+    spec_out[spec.node(spec.outputs()[i]).name] = i;
+  if (spec_in.size() != impl.inputs().size() ||
+      spec_out.size() != impl.outputs().size())
+    throw std::invalid_argument("repair: interface mismatch");
+
+  bdd::Manager mgr(num_pi + 1);
+  const int t_var = num_pi;
+
+  std::vector<int> impl_vars(static_cast<std::size_t>(num_pi));
+  for (int i = 0; i < num_pi; ++i) impl_vars[static_cast<std::size_t>(i)] = i;
+  const auto impl_bdds =
+      build_with_free_node(impl, mgr, impl_vars, node, t_var);
+
+  std::vector<int> spec_vars(static_cast<std::size_t>(num_pi));
+  for (std::size_t i = 0; i < impl.inputs().size(); ++i) {
+    const auto it = spec_in.find(impl.node(impl.inputs()[i]).name);
+    if (it == spec_in.end())
+      throw std::invalid_argument("repair: unmatched input");
+    spec_vars[it->second] = static_cast<int>(i);
+  }
+  const auto spec_bdds = build_with_free_node(spec, mgr, spec_vars,
+                                              network::kNoNode, t_var);
+
+  // Match(x, t) over all (name-paired) outputs.
+  bdd::Bdd match = mgr.one();
+  for (std::size_t o = 0; o < impl.outputs().size(); ++o) {
+    const auto it = spec_out.find(impl.node(impl.outputs()[o]).name);
+    if (it == spec_out.end())
+      throw std::invalid_argument("repair: unmatched output");
+    const auto& fi = impl_bdds[static_cast<std::size_t>(impl.outputs()[o])];
+    const auto& fs =
+        spec_bdds[static_cast<std::size_t>(spec.outputs()[it->second])];
+    match = match & !(fi ^ fs);
+  }
+
+  const bdd::Bdd e1 = match.cofactor(t_var, true);
+  const bdd::Bdd e0 = match.cofactor(t_var, false);
+  if (!(e0 | e1).is_one()) return std::nullopt;  // not repairable here
+
+  const bdd::Bdd must1 = e1 & !e0;
+  const bdd::Bdd must0 = e0 & !e1;
+
+  // Re-express over the gate's fanins: enumerate fanin patterns; each
+  // pattern's PI preimage must not straddle must1 and must0.
+  const auto plain = network::build_bdds(impl, mgr);
+  Repair rep;
+  rep.node = node;
+  cubes::Cover on(arity), dc(arity);
+  for (std::uint64_t m = 0; m < (1ull << arity); ++m) {
+    bdd::Bdd preimage = mgr.one();
+    for (int k = 0; k < arity && !preimage.is_zero(); ++k) {
+      const auto& fk =
+          plain.node[static_cast<std::size_t>(suspect.fanins[static_cast<std::size_t>(k)])];
+      preimage = preimage & (((m >> k) & 1) ? fk : !fk);
+    }
+    cubes::Cube cube(arity);
+    for (int k = 0; k < arity; ++k)
+      cube.set_code(k, ((m >> k) & 1) ? cubes::Pcn::kPos : cubes::Pcn::kNeg);
+    if (preimage.is_zero()) {
+      dc.add(std::move(cube));  // unreachable pattern: free choice
+      ++rep.dc_patterns;
+      continue;
+    }
+    const bool need1 = !(preimage & must1).is_zero();
+    const bool need0 = !(preimage & must0).is_zero();
+    if (need1 && need0) return std::nullopt;  // not expressible locally
+    if (need1) {
+      on.add(std::move(cube));
+    } else if (!need0) {
+      dc.add(std::move(cube));  // fully flexible pattern
+      ++rep.dc_patterns;
+    }
+  }
+  rep.new_cover = espresso::minimize(on, dc);
+  return rep;
+}
+
+std::vector<Repair> diagnose(const Network& impl, const Network& spec,
+                             const RepairOptions& opt) {
+  std::vector<Repair> out;
+  for (NodeId id = 0; id < impl.num_nodes(); ++id) {
+    if (impl.is_dead(id) || impl.node(id).type != NodeType::kLogic) continue;
+    if (auto r = try_repair_node(impl, spec, id, opt)) out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+void apply_repair(Network& impl, const Repair& r) {
+  impl.set_function(r.node, impl.node(r.node).fanins, r.new_cover);
+}
+
+std::optional<Repair> repair_network(Network& impl, const Network& spec,
+                                     const RepairOptions& opt) {
+  for (NodeId id = 0; id < impl.num_nodes(); ++id) {
+    if (impl.is_dead(id) || impl.node(id).type != NodeType::kLogic) continue;
+    auto r = try_repair_node(impl, spec, id, opt);
+    if (!r) continue;
+    apply_repair(impl, *r);
+    const auto eq =
+        network::check_equivalence(impl, spec, network::EquivalenceMethod::kBdd);
+    if (eq.equivalent) return r;
+    throw std::logic_error("repair: verification failed after repair");
+  }
+  return std::nullopt;
+}
+
+network::NodeId inject_error(Network& net, util::Rng& rng) {
+  std::vector<NodeId> candidates;
+  for (NodeId id = 0; id < net.num_nodes(); ++id)
+    if (!net.is_dead(id) && net.node(id).type == NodeType::kLogic &&
+        !net.node(id).fanins.empty())
+      candidates.push_back(id);
+  if (candidates.empty())
+    throw std::invalid_argument("inject_error: no logic nodes");
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const NodeId victim =
+        candidates[static_cast<std::size_t>(rng.next_below(candidates.size()))];
+    const auto& node = net.node(victim);
+    const int arity = static_cast<int>(node.fanins.size());
+    auto wrong = gen::random_cover(arity, 1 + static_cast<int>(rng.next_below(3)), rng);
+    // Must actually change the local function.
+    const auto before = node.cover.to_truth_table();
+    if (wrong.to_truth_table() == before) continue;
+    net.set_function(victim, node.fanins, std::move(wrong));
+    return victim;
+  }
+  throw std::logic_error("inject_error: could not find a perturbation");
+}
+
+}  // namespace l2l::repair

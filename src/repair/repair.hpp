@@ -1,0 +1,66 @@
+#pragma once
+// BDD-based formal network repair -- MOOC software Project 2.
+//
+// Given an implementation network suspected to contain ONE wrong gate and
+// a golden specification network, decide for each gate whether replacing
+// only that gate's function can make the implementation match the spec,
+// and synthesize the replacement.
+//
+// Method (the course's formulation): introduce a free BDD variable t for
+// the suspect gate's output and build the miter
+//     Match(x, t) = AND over outputs ( impl_o(x, t)  XNOR  spec_o(x) ).
+// Then E1(x) = Match(x, 1), E0(x) = Match(x, 0):
+//   * the gate is repairable  iff  E0 + E1 == 1 (for every input some
+//     output value works);
+//   * the replacement must be 1 on must1 = E1 & !E0, 0 on must0 = E0 & !E1,
+//     and is free elsewhere -- the don't-care flexibility.
+// The replacement is finally re-expressed over the gate's own fanins and
+// minimized with espresso against the derived don't-care set.
+
+#include <optional>
+#include <vector>
+
+#include "cubes/cover.hpp"
+#include "network/network.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::repair {
+
+struct RepairOptions {
+  int max_fanins = 10;   ///< skip gates wider than this (2^k enumeration)
+  int max_inputs = 20;   ///< skip networks with more PIs than this
+};
+
+struct Repair {
+  network::NodeId node = network::kNoNode;
+  cubes::Cover new_cover;  ///< over the node's existing fanins
+  int dc_patterns = 0;     ///< local don't-care patterns available
+};
+
+/// All gates that single-gate repair can fix (replacement expressible over
+/// the gate's own fanins). Interfaces are matched by name, like
+/// check_equivalence.
+std::vector<Repair> diagnose(const network::Network& impl,
+                             const network::Network& spec,
+                             const RepairOptions& opt = {});
+
+/// Try to repair a specific gate. nullopt when impossible.
+std::optional<Repair> try_repair_node(const network::Network& impl,
+                                      const network::Network& spec,
+                                      network::NodeId node,
+                                      const RepairOptions& opt = {});
+
+/// Apply a repair in place.
+void apply_repair(network::Network& impl, const Repair& r);
+
+/// Repair the first fixable gate and return it; nullopt when no single-gate
+/// repair exists. On success `impl` is modified and verified against spec.
+std::optional<Repair> repair_network(network::Network& impl,
+                                     const network::Network& spec,
+                                     const RepairOptions& opt = {});
+
+/// Test/bench helper: corrupt one random logic gate (replace its cover by
+/// a random different one of the same arity). Returns the node changed.
+network::NodeId inject_error(network::Network& net, util::Rng& rng);
+
+}  // namespace l2l::repair

@@ -1,0 +1,154 @@
+#include "route/maze.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace l2l::route {
+
+Occupancy::Occupancy(const gen::RoutingProblem& p)
+    : width_(p.width), height_(p.height), layers_(p.num_layers) {
+  cells_.assign(static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_) *
+                    static_cast<std::size_t>(layers_),
+                kFree);
+  for (int layer = 0; layer < layers_; ++layer)
+    for (int y = 0; y < height_; ++y)
+      for (int x = 0; x < width_; ++x)
+        if (p.blocked[static_cast<std::size_t>(layer)]
+                     [static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                      static_cast<std::size_t>(x)])
+          set({x, y, layer}, kObstacle);
+}
+
+namespace {
+
+// Directions: 0=+x, 1=-x, 2=+y, 3=-y, 4=via, 5=start.
+constexpr int kDirs = 6;
+constexpr int kDx[4] = {1, -1, 0, 0};
+constexpr int kDy[4] = {0, 0, 1, -1};
+
+struct QEntry {
+  double f;      // g + heuristic
+  double g;
+  int state;     // packed (point, dir)
+  bool operator>(const QEntry& o) const { return f > o.f; }
+};
+
+}  // namespace
+
+std::optional<PathResult> find_path(const Occupancy& occ,
+                                    const std::vector<GridPoint>& sources,
+                                    const std::vector<GridPoint>& targets,
+                                    int net_id, const RouteCosts& costs,
+                                    const std::vector<double>* extra_cost) {
+  const int w = occ.width(), h = occ.height(), layers = occ.layers();
+  const std::size_t n_points = static_cast<std::size_t>(w) *
+                               static_cast<std::size_t>(h) *
+                               static_cast<std::size_t>(layers);
+  auto point_index = [&](const GridPoint& g) {
+    return (static_cast<std::size_t>(g.layer) * static_cast<std::size_t>(h) +
+            static_cast<std::size_t>(g.y)) * static_cast<std::size_t>(w) +
+           static_cast<std::size_t>(g.x);
+  };
+  auto unpack = [&](std::size_t pi) {
+    GridPoint g;
+    g.x = static_cast<int>(pi % static_cast<std::size_t>(w));
+    g.y = static_cast<int>((pi / static_cast<std::size_t>(w)) % static_cast<std::size_t>(h));
+    g.layer = static_cast<int>(pi / (static_cast<std::size_t>(w) * static_cast<std::size_t>(h)));
+    return g;
+  };
+
+  std::vector<bool> is_target(n_points, false);
+  for (const auto& t : targets) is_target[point_index(t)] = true;
+
+  // A* heuristic: cheapest possible remaining cost = manhattan distance to
+  // the closest target times the unit wire cost (admissible: every step
+  // costs at least `wire`; vias only add).
+  auto heuristic = [&](const GridPoint& g) -> double {
+    if (!costs.use_astar) return 0.0;
+    int best = std::numeric_limits<int>::max();
+    for (const auto& t : targets)
+      best = std::min(best, std::abs(g.x - t.x) + std::abs(g.y - t.y));
+    return best * costs.wire;
+  };
+
+  auto passable = [&](const GridPoint& g) {
+    const int v = occ.at(g);
+    return v == Occupancy::kFree || v == net_id;
+  };
+  auto own = [&](const GridPoint& g) { return occ.at(g) == net_id; };
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n_points * kDirs, kInf);
+  std::vector<int> parent(n_points * kDirs, -1);  // packed predecessor state
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> pq;
+
+  auto push = [&](std::size_t pi, int dir, double g, int from_state) {
+    const std::size_t s = pi * kDirs + static_cast<std::size_t>(dir);
+    if (g < dist[s]) {
+      dist[s] = g;
+      parent[s] = from_state;
+      pq.push({g + heuristic(unpack(pi)), g, static_cast<int>(s)});
+    }
+  };
+
+  for (const auto& src : sources) {
+    if (!occ.in_bounds(src) || !passable(src)) continue;
+    push(point_index(src), 5, 0.0, -1);
+  }
+
+  int expansions = 0;
+  int goal_state = -1;
+  while (!pq.empty()) {
+    const auto [f, g, state] = pq.top();
+    pq.pop();
+    const auto s = static_cast<std::size_t>(state);
+    if (g > dist[s]) continue;  // stale entry
+    ++expansions;
+    const std::size_t pi = s / kDirs;
+    const int dir = static_cast<int>(s % kDirs);
+    if (is_target[pi]) {
+      goal_state = state;
+      break;
+    }
+    const GridPoint here = unpack(pi);
+
+    // Planar moves.
+    for (int d = 0; d < 4; ++d) {
+      const GridPoint next{here.x + kDx[d], here.y + kDy[d], here.layer};
+      if (!occ.in_bounds(next) || !passable(next)) continue;
+      double step = own(next) ? 0.0 : costs.wire;
+      if (!own(next) && extra_cost) step += (*extra_cost)[point_index(next)];
+      if (costs.preferred_directions && !own(next)) {
+        // Layer 0 prefers horizontal (d 0/1); layer 1 vertical (d 2/3).
+        const bool preferred = here.layer == 0 ? d < 2 : d >= 2;
+        if (!preferred) step += costs.wrong_way;
+      }
+      if (dir < 4 && dir != d) step += costs.bend;
+      push(point_index(next), d, g + step, state);
+    }
+    // Via move.
+    for (int dl = -1; dl <= 1; dl += 2) {
+      const GridPoint next{here.x, here.y, here.layer + dl};
+      if (!occ.in_bounds(next) || !passable(next)) continue;
+      double step = own(next) ? 0.0 : costs.via;
+      if (!own(next) && extra_cost) step += (*extra_cost)[point_index(next)];
+      push(point_index(next), 4, g + step, state);
+    }
+  }
+  if (goal_state < 0) return std::nullopt;
+
+  PathResult res;
+  res.cost = dist[static_cast<std::size_t>(goal_state)];
+  res.expansions = expansions;
+  for (int s = goal_state; s >= 0; s = parent[static_cast<std::size_t>(s)])
+    res.cells.push_back(unpack(static_cast<std::size_t>(s) / kDirs));
+  std::reverse(res.cells.begin(), res.cells.end());
+  // Source cells reached at zero cost may duplicate when the path touches
+  // the net's own tree; dedupe consecutive repeats.
+  res.cells.erase(std::unique(res.cells.begin(), res.cells.end()),
+                  res.cells.end());
+  return res;
+}
+
+}  // namespace l2l::route

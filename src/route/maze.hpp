@@ -1,0 +1,78 @@
+#pragma once
+// Grid maze routing (Week 7 / MOOC Project 4): multi-layer Lee wavefront /
+// Dijkstra / A* expansion with non-unit costs -- via cost, bend penalty,
+// and preferred-direction ("wrong-way") penalty. Layer 0 prefers
+// horizontal wires, layer 1 vertical, like the project's 2-layer scheme.
+
+#include <optional>
+#include <vector>
+
+#include "gen/routing_gen.hpp"
+
+namespace l2l::route {
+
+using gen::GridPoint;
+
+struct RouteCosts {
+  double wire = 1.0;       ///< cost per grid step
+  double via = 10.0;       ///< cost per layer change
+  double bend = 1.0;       ///< penalty for turning within a layer
+  double wrong_way = 4.0;  ///< extra cost for non-preferred direction
+  bool preferred_directions = true;  ///< false: both layers isotropic
+  bool use_astar = true;   ///< false: plain Dijkstra (Lee when costs unit)
+};
+
+/// Occupancy grid shared by all nets during routing. Cell values:
+/// kFree, kObstacle, or a net id >= 0.
+class Occupancy {
+ public:
+  static constexpr int kFree = -1;
+  static constexpr int kObstacle = -2;
+
+  explicit Occupancy(const gen::RoutingProblem& p);
+
+  int at(const GridPoint& g) const {
+    return cells_[index(g)];
+  }
+  void set(const GridPoint& g, int v) { cells_[index(g)] = v; }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int layers() const { return layers_; }
+
+  bool in_bounds(const GridPoint& g) const {
+    return g.x >= 0 && g.x < width_ && g.y >= 0 && g.y < height_ &&
+           g.layer >= 0 && g.layer < layers_;
+  }
+
+ private:
+  std::size_t index(const GridPoint& g) const {
+    return (static_cast<std::size_t>(g.layer) * static_cast<std::size_t>(height_) +
+            static_cast<std::size_t>(g.y)) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(g.x);
+  }
+  int width_, height_, layers_;
+  std::vector<int> cells_;
+};
+
+struct PathResult {
+  std::vector<GridPoint> cells;  ///< contiguous path, source to target
+  double cost = 0.0;
+  int expansions = 0;            ///< search effort (wavefront size)
+};
+
+/// Find a cheapest path from any of `sources` to any of `targets`. Cells
+/// occupied by other nets or obstacles are impassable; cells owned by
+/// `net_id` are passable at zero wire cost (reuse of the net's own tree).
+///
+/// `extra_cost`, when non-null, is a per-point additive penalty (indexed
+/// like the occupancy grid: (layer * height + y) * width + x) applied on
+/// entering any cell the net does not already own -- the hook used by the
+/// negotiated-congestion router (history + present-sharing costs).
+std::optional<PathResult> find_path(const Occupancy& occ,
+                                    const std::vector<GridPoint>& sources,
+                                    const std::vector<GridPoint>& targets,
+                                    int net_id, const RouteCosts& costs,
+                                    const std::vector<double>* extra_cost = nullptr);
+
+}  // namespace l2l::route

@@ -1,0 +1,287 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace l2l::route {
+namespace {
+
+/// Bounding-box half-perimeter of a net's pins: routing order heuristic.
+int net_span(const gen::RoutingNet& net) {
+  int xmin = 1 << 30, xmax = -(1 << 30), ymin = 1 << 30, ymax = -(1 << 30);
+  for (const auto& p : net.pins) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  return (xmax - xmin) + (ymax - ymin);
+}
+
+/// Route one net on the occupancy grid; returns nullopt on failure.
+/// Pins must already be owned by the net in `occ` (route_all reserves all
+/// pins up front so earlier nets cannot route through them). On success
+/// the net's wire cells are additionally marked; on failure only the wire
+/// cells are released -- pins stay reserved.
+std::optional<NetRoute> route_net(const gen::RoutingNet& net, Occupancy& occ,
+                                  const RouteCosts& costs, RouteStats& stats) {
+  NetRoute r;
+  r.net_id = net.id;
+  r.cells.assign(net.pins.begin(), net.pins.end());
+  std::vector<GridPoint> claimed_wires;
+
+  // Connect pins one at a time into the growing tree.
+  std::vector<GridPoint> tree{net.pins.front()};
+  for (std::size_t k = 1; k < net.pins.size(); ++k) {
+    const auto path =
+        find_path(occ, tree, {net.pins[k]}, net.id, costs);
+    if (!path) {
+      for (const auto& c : claimed_wires) occ.set(c, Occupancy::kFree);
+      return std::nullopt;
+    }
+    stats.expansions += path->expansions;
+    for (const auto& c : path->cells) {
+      if (occ.at(c) != net.id) {
+        occ.set(c, net.id);
+        claimed_wires.push_back(c);
+        r.cells.push_back(c);
+      }
+      tree.push_back(c);
+    }
+  }
+  std::sort(r.cells.begin(), r.cells.end());
+  r.cells.erase(std::unique(r.cells.begin(), r.cells.end()), r.cells.end());
+  r.routed = true;
+  return r;
+}
+
+}  // namespace
+
+namespace {
+
+/// Negotiated-congestion routing (PathFinder-style). Pins are hard
+/// obstacles for other nets throughout; wires may transiently share cells,
+/// priced by growing present-sharing and history penalties until every
+/// cell has one owner (or the iteration budget runs out, after which the
+/// still-shared nets fall back to hard sequential routing).
+RouteSolution route_negotiated(const gen::RoutingProblem& p,
+                               const RouterOptions& opt) {
+  RouteSolution sol;
+  sol.nets.resize(p.nets.size());
+  for (std::size_t n = 0; n < p.nets.size(); ++n)
+    sol.nets[n].net_id = p.nets[n].id;
+
+  Occupancy occ(p);  // obstacles only, plus pin reservations below
+  std::set<GridPoint> pin_cells;
+  for (const auto& net : p.nets)
+    for (const auto& pin : net.pins) {
+      occ.set(pin, net.id);
+      pin_cells.insert(pin);
+    }
+
+  const std::size_t n_points = static_cast<std::size_t>(p.width) *
+                               static_cast<std::size_t>(p.height) *
+                               static_cast<std::size_t>(p.num_layers);
+  auto idx = [&](const GridPoint& g) {
+    return (static_cast<std::size_t>(g.layer) * static_cast<std::size_t>(p.height) +
+            static_cast<std::size_t>(g.y)) * static_cast<std::size_t>(p.width) +
+           static_cast<std::size_t>(g.x);
+  };
+
+  std::vector<int> usage(n_points, 0);        // wires sharing each cell
+  std::vector<double> history(n_points, 0.0);
+  std::vector<std::vector<GridPoint>> wires(p.nets.size());
+  std::vector<bool> reachable(p.nets.size(), true);
+
+  std::vector<std::size_t> order(p.nets.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return net_span(p.nets[a]) < net_span(p.nets[b]);
+  });
+
+  std::vector<double> extra(n_points, 0.0);
+  bool converged = false;
+  for (int iter = 0; iter < opt.max_negotiation_iterations; ++iter) {
+    sol.stats.negotiation_iterations = iter + 1;
+    const double present = opt.present_factor * (iter + 1);
+    for (const std::size_t n : order) {
+      if (!reachable[n]) continue;
+      // Remove this net's previous wires from the sharing counts.
+      for (const auto& c : wires[n]) --usage[idx(c)];
+      wires[n].clear();
+      // Penalty field reflecting everyone else's current wires.
+      for (std::size_t i = 0; i < n_points; ++i)
+        extra[i] = history[i] + present * usage[i];
+
+      std::vector<GridPoint> tree{p.nets[n].pins.front()};
+      std::vector<GridPoint> claimed;
+      bool ok = true;
+      for (std::size_t k = 1; k < p.nets[n].pins.size(); ++k) {
+        const auto path = find_path(occ, tree, {p.nets[n].pins[k]},
+                                    p.nets[n].id, opt.costs, &extra);
+        if (!path) {
+          ok = false;
+          break;
+        }
+        sol.stats.expansions += path->expansions;
+        for (const auto& c : path->cells) {
+          if (occ.at(c) != p.nets[n].id) {
+            occ.set(c, p.nets[n].id);  // temporary: lets the net reuse itself
+            claimed.push_back(c);
+          }
+          tree.push_back(c);
+        }
+      }
+      // Release the temporary marks; record wires in the sharing counts.
+      for (const auto& c : claimed) occ.set(c, Occupancy::kFree);
+      if (!ok) {
+        reachable[n] = false;  // blocked even with sharing: truly unroutable
+        continue;
+      }
+      wires[n] = std::move(claimed);
+      for (const auto& c : wires[n]) ++usage[idx(c)];
+    }
+    bool overused = false;
+    for (std::size_t i = 0; i < n_points && !overused; ++i)
+      overused = usage[i] > 1;
+    if (!overused) {
+      converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n_points; ++i)
+      if (usage[i] > 1) history[i] += opt.history_increment;
+    ++sol.stats.ripups;
+  }
+
+  // Finalize with hard ownership. After convergence every wire is already
+  // exclusive; if negotiation stalled (a few genuinely contested cells),
+  // nets whose wires are clean keep them and the contested nets get one
+  // hard reroute attempt each.
+  {
+    Occupancy hard(p);
+    for (const auto& net : p.nets)
+      for (const auto& pin : net.pins) hard.set(pin, net.id);
+
+    std::vector<std::size_t> contested;
+    for (const std::size_t n : order) {
+      if (!reachable[n]) continue;
+      bool clean = true;
+      for (const auto& c : wires[n])
+        if (hard.at(c) != Occupancy::kFree && hard.at(c) != p.nets[n].id) {
+          clean = false;
+          break;
+        }
+      if (!clean) {
+        contested.push_back(n);
+        continue;
+      }
+      for (const auto& c : wires[n]) hard.set(c, p.nets[n].id);
+      auto& out = sol.nets[n];
+      out.cells.assign(p.nets[n].pins.begin(), p.nets[n].pins.end());
+      out.cells.insert(out.cells.end(), wires[n].begin(), wires[n].end());
+      std::sort(out.cells.begin(), out.cells.end());
+      out.cells.erase(std::unique(out.cells.begin(), out.cells.end()),
+                      out.cells.end());
+      out.routed = true;
+    }
+    for (const std::size_t n : contested) {
+      auto r = route_net(p.nets[n], hard, opt.costs, sol.stats);
+      if (r) sol.nets[n] = std::move(*r);
+    }
+    (void)converged;
+  }
+
+  for (const auto& net : sol.nets) {
+    if (net.routed) {
+      ++sol.stats.routed;
+      sol.stats.total_wire += static_cast<double>(net.cells.size());
+      sol.stats.total_vias += count_vias(net);
+    } else {
+      ++sol.stats.failed;
+    }
+  }
+  return sol;
+}
+
+}  // namespace
+
+int count_vias(const NetRoute& net) {
+  std::set<std::pair<int, int>> layer0, layer1;
+  for (const auto& c : net.cells)
+    (c.layer == 0 ? layer0 : layer1).insert({c.x, c.y});
+  int vias = 0;
+  for (const auto& xy : layer0)
+    if (layer1.count(xy)) ++vias;
+  return vias;
+}
+
+RouteSolution route_all(const gen::RoutingProblem& p, const RouterOptions& opt) {
+  if (opt.negotiated) return route_negotiated(p, opt);
+  RouteSolution sol;
+  sol.nets.resize(p.nets.size());
+  for (std::size_t n = 0; n < p.nets.size(); ++n)
+    sol.nets[n].net_id = p.nets[n].id;
+
+  Occupancy occ(p);
+  // Reserve every pin up front so no net can route over another's pins.
+  std::set<GridPoint> pin_cells;
+  for (const auto& net : p.nets)
+    for (const auto& pin : net.pins) {
+      occ.set(pin, net.id);
+      pin_cells.insert(pin);
+    }
+
+  // Route shortest-span nets first.
+  std::vector<std::size_t> order(p.nets.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return net_span(p.nets[a]) < net_span(p.nets[b]);
+  });
+
+  std::vector<std::size_t> pending = order;
+  for (int iter = 0; iter <= opt.max_ripup_iterations && !pending.empty();
+       ++iter) {
+    std::vector<std::size_t> failed;
+    for (const std::size_t n : pending) {
+      auto r = route_net(p.nets[n], occ, opt.costs, sol.stats);
+      if (r) {
+        sol.nets[n] = std::move(*r);
+      } else {
+        failed.push_back(n);
+      }
+    }
+    if (failed.empty() || iter == opt.max_ripup_iterations) {
+      pending = std::move(failed);
+      break;
+    }
+    // Rip-up: free all wires (pins stay reserved) and retry with the
+    // failed nets first. (A simple, effective course-scale scheme.)
+    for (auto& net : sol.nets) {
+      if (!net.routed) continue;
+      for (const auto& c : net.cells)
+        if (!pin_cells.count(c)) occ.set(c, Occupancy::kFree);
+      net.routed = false;
+      net.cells.clear();
+      ++sol.stats.ripups;
+    }
+    std::vector<std::size_t> next = failed;
+    for (const std::size_t n : order)
+      if (std::find(failed.begin(), failed.end(), n) == failed.end())
+        next.push_back(n);
+    pending = std::move(next);
+  }
+
+  for (const auto& net : sol.nets) {
+    if (net.routed) {
+      ++sol.stats.routed;
+      sol.stats.total_wire += static_cast<double>(net.cells.size());
+      sol.stats.total_vias += count_vias(net);
+    } else {
+      ++sol.stats.failed;
+    }
+  }
+  return sol;
+}
+
+}  // namespace l2l::route

@@ -1,0 +1,60 @@
+#pragma once
+// Sequential multi-net routing with rip-up-and-reroute. Nets are routed
+// one at a time (shortest bounding box first); nets that fail rip up the
+// blocking nets and retry, bounded by an iteration budget.
+
+#include <vector>
+
+#include "route/maze.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::route {
+
+struct NetRoute {
+  int net_id = -1;
+  bool routed = false;
+  /// All grid cells owned by the net (pins included), forming a connected
+  /// tree over its layers.
+  std::vector<GridPoint> cells;
+};
+
+struct RouteStats {
+  int routed = 0;
+  int failed = 0;
+  int ripups = 0;
+  int negotiation_iterations = 0;  ///< iterations until congestion cleared
+  double total_wire = 0.0;         ///< wire cells beyond the first per net
+  int total_vias = 0;
+  long long expansions = 0;
+};
+
+struct RouterOptions {
+  RouteCosts costs;
+  /// Negotiated congestion (PathFinder-style): nets may initially share
+  /// cells; sharing is priced with growing present + history penalties
+  /// until every cell has a single owner. Converges to far higher
+  /// completion than sequential routing on congested problems.
+  bool negotiated = true;
+  int max_negotiation_iterations = 40;
+  double present_factor = 0.6;     ///< per-iteration sharing penalty growth
+  double history_increment = 3.0;  ///< added to each overused cell per iter
+  /// Sequential-mode (negotiated = false) rip-up budget; also the budget
+  /// of the hard fallback pass when negotiation fails to converge.
+  int max_ripup_iterations = 3;
+};
+
+struct RouteSolution {
+  std::vector<NetRoute> nets;  ///< in problem net order
+  RouteStats stats;
+};
+
+/// Route every net of the problem.
+RouteSolution route_all(const gen::RoutingProblem& p,
+                        const RouterOptions& opt = {});
+
+/// Count vias (adjacent same-x/y, different-layer pairs along the cell
+/// list is not well defined for trees; this counts cells that appear on
+/// both layers at the same (x, y)).
+int count_vias(const NetRoute& net);
+
+}  // namespace l2l::route

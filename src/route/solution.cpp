@@ -1,0 +1,178 @@
+#include "route/solution.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace l2l::route {
+
+std::string write_solution(const RouteSolution& sol) {
+  std::string out = util::format("%d\n", static_cast<int>(sol.nets.size()));
+  for (const auto& net : sol.nets) {
+    out += util::format("net %d\n", net.net_id);
+    for (const auto& c : net.cells)
+      out += util::format("(%d %d %d)\n", c.x, c.y, c.layer);
+    out += "!\n";
+  }
+  return out;
+}
+
+RouteSolution parse_solution(const std::string& text) {
+  RouteSolution sol;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::invalid_argument("solution: empty file");
+  const int declared = std::stoi(std::string(util::trim(line)));
+  NetRoute* current = nullptr;
+  while (std::getline(in, line)) {
+    const auto t = std::string(util::trim(line));
+    if (t.empty()) continue;
+    if (util::starts_with(t, "net ")) {
+      sol.nets.emplace_back();
+      current = &sol.nets.back();
+      current->net_id = std::stoi(t.substr(4));
+      continue;
+    }
+    if (t == "!") {
+      if (!current) throw std::invalid_argument("solution: '!' before net");
+      current->routed = !current->cells.empty();
+      current = nullptr;
+      continue;
+    }
+    if (t.front() == '(') {
+      if (!current) throw std::invalid_argument("solution: cell before net");
+      const auto tok = util::split(t, "() \t");
+      if (tok.size() != 3)
+        throw std::invalid_argument("solution: bad cell line '" + t + "'");
+      current->cells.push_back(
+          {std::stoi(tok[0]), std::stoi(tok[1]), std::stoi(tok[2])});
+      continue;
+    }
+    throw std::invalid_argument("solution: unrecognized line '" + t + "'");
+  }
+  if (current) throw std::invalid_argument("solution: missing final '!'");
+  if (static_cast<int>(sol.nets.size()) != declared)
+    throw std::invalid_argument("solution: net count mismatch");
+  return sol;
+}
+
+std::string write_problem(const gen::RoutingProblem& p) {
+  std::string out =
+      util::format("grid %d %d %d\n", p.width, p.height, p.num_layers);
+  int obstacles = 0;
+  for (const auto& layer : p.blocked)
+    for (const bool b : layer) obstacles += b;
+  out += util::format("obstacles %d\n", obstacles);
+  for (int layer = 0; layer < p.num_layers; ++layer)
+    for (int y = 0; y < p.height; ++y)
+      for (int x = 0; x < p.width; ++x)
+        if (p.blocked[static_cast<std::size_t>(layer)]
+                     [static_cast<std::size_t>(y) * static_cast<std::size_t>(p.width) +
+                      static_cast<std::size_t>(x)])
+          out += util::format("(%d %d %d)\n", x, y, layer);
+  out += util::format("nets %d\n", static_cast<int>(p.nets.size()));
+  for (const auto& net : p.nets) {
+    out += util::format("net %d %d\n", net.id, static_cast<int>(net.pins.size()));
+    for (const auto& pin : net.pins)
+      out += util::format("(%d %d %d)\n", pin.x, pin.y, pin.layer);
+  }
+  return out;
+}
+
+gen::RoutingProblem parse_problem(const std::string& text) {
+  gen::RoutingProblem p;
+  std::istringstream in(text);
+  std::string line;
+
+  auto next_line = [&]() {
+    while (std::getline(in, line)) {
+      const auto t = util::trim(line);
+      if (!t.empty()) return std::string(t);
+    }
+    throw std::invalid_argument("problem: unexpected end of file");
+  };
+  auto parse_point = [&](const std::string& t) {
+    const auto tok = util::split(t, "() \t");
+    if (tok.size() != 3)
+      throw std::invalid_argument("problem: bad point '" + t + "'");
+    return gen::GridPoint{std::stoi(tok[0]), std::stoi(tok[1]), std::stoi(tok[2])};
+  };
+
+  {
+    const auto tok = util::split(next_line());
+    if (tok.size() != 4 || tok[0] != "grid")
+      throw std::invalid_argument("problem: missing grid header");
+    p.width = std::stoi(tok[1]);
+    p.height = std::stoi(tok[2]);
+    p.num_layers = std::stoi(tok[3]);
+    p.blocked.assign(static_cast<std::size_t>(p.num_layers),
+                     std::vector<bool>(static_cast<std::size_t>(p.width) *
+                                           static_cast<std::size_t>(p.height),
+                                       false));
+  }
+  {
+    const auto tok = util::split(next_line());
+    if (tok.size() != 2 || tok[0] != "obstacles")
+      throw std::invalid_argument("problem: missing obstacles header");
+    const int count = std::stoi(tok[1]);
+    for (int k = 0; k < count; ++k) {
+      const auto g = parse_point(next_line());
+      if (!p.in_bounds(g))
+        throw std::invalid_argument("problem: obstacle out of bounds");
+      p.blocked[static_cast<std::size_t>(g.layer)]
+               [static_cast<std::size_t>(g.y) * static_cast<std::size_t>(p.width) +
+                static_cast<std::size_t>(g.x)] = true;
+    }
+  }
+  {
+    const auto tok = util::split(next_line());
+    if (tok.size() != 2 || tok[0] != "nets")
+      throw std::invalid_argument("problem: missing nets header");
+    const int count = std::stoi(tok[1]);
+    for (int k = 0; k < count; ++k) {
+      const auto head = util::split(next_line());
+      if (head.size() != 3 || head[0] != "net")
+        throw std::invalid_argument("problem: bad net header");
+      gen::RoutingNet net;
+      net.id = std::stoi(head[1]);
+      const int pins = std::stoi(head[2]);
+      for (int q = 0; q < pins; ++q) {
+        const auto g = parse_point(next_line());
+        if (!p.in_bounds(g))
+          throw std::invalid_argument("problem: pin out of bounds");
+        net.pins.push_back(g);
+      }
+      p.nets.push_back(std::move(net));
+    }
+  }
+  return p;
+}
+
+std::string render_ascii(const gen::RoutingProblem& p, const RouteSolution& sol,
+                         int layer) {
+  std::vector<std::string> rows(static_cast<std::size_t>(p.height),
+                                std::string(static_cast<std::size_t>(p.width), '.'));
+  for (int y = 0; y < p.height; ++y)
+    for (int x = 0; x < p.width; ++x)
+      if (p.blocked[static_cast<std::size_t>(layer)]
+                   [static_cast<std::size_t>(y) * static_cast<std::size_t>(p.width) +
+                    static_cast<std::size_t>(x)])
+        rows[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = '#';
+  for (const auto& net : sol.nets)
+    for (const auto& c : net.cells)
+      if (c.layer == layer)
+        rows[static_cast<std::size_t>(c.y)][static_cast<std::size_t>(c.x)] =
+            static_cast<char>('a' + net.net_id % 26);
+  for (const auto& net : p.nets)
+    for (const auto& pin : net.pins)
+      if (pin.layer == layer)
+        rows[static_cast<std::size_t>(pin.y)][static_cast<std::size_t>(pin.x)] = '*';
+  std::string out;
+  // y grows upward in the course's convention; print top row first.
+  for (int y = p.height - 1; y >= 0; --y) out += rows[static_cast<std::size_t>(y)] + "\n";
+  return out;
+}
+
+}  // namespace l2l::route

@@ -1,0 +1,37 @@
+#pragma once
+// ASCII routing-solution format, mirroring the MOOC project's contract:
+// the auto-grader consumed plain text files describing each net's cells.
+//
+//   <num_nets>
+//   net <id>
+//   (x y layer)
+//   ...
+//   !
+//
+// plus a problem writer so tools can round-trip benchmarks.
+
+#include <string>
+
+#include "route/router.hpp"
+
+namespace l2l::route {
+
+/// Serialize a solution (routed nets only keep their cells; failed nets
+/// are emitted with no cells so graders can assign partial credit).
+std::string write_solution(const RouteSolution& sol);
+
+/// Parse a solution file. Throws std::invalid_argument on malformed text.
+RouteSolution parse_solution(const std::string& text);
+
+/// Serialize a routing problem (grid, obstacles, nets) as ASCII text.
+std::string write_problem(const gen::RoutingProblem& p);
+
+/// Parse a routing problem.
+gen::RoutingProblem parse_problem(const std::string& text);
+
+/// Render layer maps as ASCII art (debug/teaching aid): '.' free,
+/// '#' obstacle, 'a'..'z' net cells (mod 26), '*' pins.
+std::string render_ascii(const gen::RoutingProblem& p, const RouteSolution& sol,
+                         int layer);
+
+}  // namespace l2l::route

@@ -1,0 +1,81 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/solver.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::sat {
+
+CnfFormula parse_dimacs(const std::string& text) {
+  CnfFormula f;
+  int declared_clauses = -1;
+  bool have_header = false;
+  std::vector<Lit> current;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto t = util::trim(line);
+    if (t.empty() || t[0] == 'c') continue;
+    if (t[0] == 'p') {
+      const auto tok = util::split(t);
+      if (tok.size() != 4 || tok[1] != "cnf")
+        throw std::invalid_argument("DIMACS: malformed problem line");
+      f.num_vars = std::stoi(tok[2]);
+      declared_clauses = std::stoi(tok[3]);
+      have_header = true;
+      continue;
+    }
+    if (!have_header)
+      throw std::invalid_argument("DIMACS: clause before problem line");
+    for (const auto& tok : util::split(t)) {
+      const int v = std::stoi(tok);
+      if (v == 0) {
+        f.clauses.push_back(current);
+        current.clear();
+      } else {
+        const int var = std::abs(v) - 1;
+        if (var >= f.num_vars)
+          throw std::invalid_argument("DIMACS: literal out of declared range");
+        current.push_back(Lit(var, v < 0));
+      }
+    }
+  }
+  if (!current.empty())
+    throw std::invalid_argument("DIMACS: last clause missing terminating 0");
+  if (declared_clauses >= 0 &&
+      static_cast<int>(f.clauses.size()) != declared_clauses)
+    throw std::invalid_argument("DIMACS: clause count mismatch");
+  return f;
+}
+
+std::string write_dimacs(const CnfFormula& f) {
+  std::string out = util::format("p cnf %d %d\n", f.num_vars,
+                                 static_cast<int>(f.clauses.size()));
+  for (const auto& clause : f.clauses) {
+    for (const Lit p : clause)
+      out += util::format("%d ", (p.var() + 1) * (p.sign() ? -1 : 1));
+    out += "0\n";
+  }
+  return out;
+}
+
+bool load_into_solver(const CnfFormula& f, Solver& solver) {
+  solver.reserve_vars(f.num_vars);
+  for (const auto& clause : f.clauses)
+    if (!solver.add_clause(clause)) return false;
+  return true;
+}
+
+std::string result_text(Solver& solver, LBool result) {
+  if (result == LBool::kFalse) return "UNSATISFIABLE\n";
+  if (result == LBool::kUndef) return "INDETERMINATE\n";
+  std::string out = "SATISFIABLE\nv";
+  for (Var v = 0; v < solver.num_vars(); ++v)
+    out += util::format(" %d", solver.model_value(v) ? v + 1 : -(v + 1));
+  out += " 0\n";
+  return out;
+}
+
+}  // namespace l2l::sat

@@ -1,0 +1,35 @@
+#pragma once
+// DIMACS CNF reader/writer -- the interchange format the MOOC's miniSAT
+// portal consumed ("Input: Text file / Output: Webpage", Fig. 4).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace l2l::sat {
+
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parse DIMACS text ("p cnf V C" header, clauses of nonzero ints ending in
+/// 0, 'c' comment lines). Throws std::invalid_argument on malformed input.
+CnfFormula parse_dimacs(const std::string& text);
+
+/// Serialize to DIMACS text.
+std::string write_dimacs(const CnfFormula& f);
+
+class Solver;
+
+/// Load a parsed formula into a solver. Returns false if the formula is
+/// detected unsatisfiable already while adding clauses.
+bool load_into_solver(const CnfFormula& f, Solver& solver);
+
+/// MiniSat-style result text: "SATISFIABLE" + "v ..." model line, or
+/// "UNSATISFIABLE" / "INDETERMINATE".
+std::string result_text(Solver& solver, LBool result);
+
+}  // namespace l2l::sat

@@ -1,0 +1,477 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace l2l::sat {
+
+std::int64_t luby(std::int64_t i) {
+  // Find the finite subsequence containing index i and its position.
+  std::int64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return 1ll << seq;
+}
+
+Solver::Solver(SolverOptions options) : options_(options) {}
+Solver::~Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = num_vars();
+  assigns_.push_back(LBool::kUndef);
+  polarity_.push_back(true);
+  activity_.push_back(0.0);
+  reason_.push_back(nullptr);
+  level_.push_back(0);
+  seen_.push_back(0);
+  heap_pos_.push_back(-1);
+  watches_.emplace_back();  // positive literal
+  watches_.emplace_back();  // negative literal
+  heap_insert(v);
+  return v;
+}
+
+void Solver::reserve_vars(int n) {
+  while (num_vars() < n) new_var();
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  if (decision_level() != 0)
+    throw std::logic_error("Solver::add_clause: only legal at level 0");
+  for (const Lit p : lits)
+    if (p.var() < 0 || p.var() >= num_vars())
+      throw std::invalid_argument("Solver::add_clause: unknown variable");
+
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> kept;
+  Lit prev;
+  for (const Lit p : lits) {
+    if (value(p) == LBool::kTrue) return true;      // satisfied at level 0
+    if (p == ~prev) return true;                    // tautology (x | ~x)
+    if (p == prev || value(p) == LBool::kFalse) continue;  // dup / false
+    kept.push_back(p);
+    prev = p;
+  }
+
+  if (kept.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (kept.size() == 1) {
+    if (!enqueue(kept[0], nullptr)) ok_ = false;
+    if (ok_ && propagate() != nullptr) ok_ = false;
+    return ok_;
+  }
+  auto c = std::make_unique<Clause>();
+  c->lits = std::move(kept);
+  attach_clause(c.get());
+  clauses_.push_back(std::move(c));
+  return true;
+}
+
+void Solver::attach_clause(Clause* c) {
+  watches_[static_cast<std::size_t>(c->lits[0].index())].push_back(c);
+  watches_[static_cast<std::size_t>(c->lits[1].index())].push_back(c);
+}
+
+void Solver::detach_clause(Clause* c) {
+  for (int k = 0; k < 2; ++k) {
+    auto& ws = watches_[static_cast<std::size_t>(c->lits[static_cast<std::size_t>(k)].index())];
+    ws.erase(std::find(ws.begin(), ws.end(), c));
+  }
+}
+
+bool Solver::enqueue(Lit p, Clause* reason) {
+  if (value(p) != LBool::kUndef) return value(p) == LBool::kTrue;
+  const auto v = static_cast<std::size_t>(p.var());
+  assigns_[v] = lbool_from(!p.sign());
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(p);
+  return true;
+}
+
+Clause* Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    const Lit false_lit = ~p;
+    auto& ws = watches_[static_cast<std::size_t>(false_lit.index())];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      Clause* c = ws[i++];
+      auto& ls = c->lits;
+      // Put the falsified literal at position 1.
+      if (ls[0] == false_lit) std::swap(ls[0], ls[1]);
+      const Lit first = ls[0];
+      if (value(first) == LBool::kTrue) {
+        ws[j++] = c;  // clause already satisfied
+        continue;
+      }
+      // Look for a non-false literal to watch instead.
+      bool moved = false;
+      for (std::size_t k = 2; k < ls.size(); ++k) {
+        if (value(ls[k]) != LBool::kFalse) {
+          std::swap(ls[1], ls[k]);
+          watches_[static_cast<std::size_t>(ls[1].index())].push_back(c);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch migrated; drop from this list
+      ws[j++] = c;
+      if (value(first) == LBool::kFalse) {
+        // Conflict: compact the list and halt propagation.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return c;
+      }
+      enqueue(first, c);  // unit propagation
+    }
+    ws.resize(j);
+  }
+  return nullptr;
+}
+
+void Solver::analyze(Clause* conflict, std::vector<Lit>& out_learnt,
+                     int& out_level) {
+  out_learnt.clear();
+  out_learnt.push_back(Lit());  // slot for the asserting literal
+  int path_count = 0;
+  Lit p;
+  std::size_t index = trail_.size();
+
+  Clause* c = conflict;
+  do {
+    bump_clause(c);
+    for (const Lit q : c->lits) {
+      if (q == p) continue;  // skip the resolved-on literal
+      const auto v = static_cast<std::size_t>(q.var());
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = 1;
+        bump_var(q.var());
+        if (level_[v] >= decision_level())
+          ++path_count;
+        else
+          out_learnt.push_back(q);
+      }
+    }
+    // Next trail literal that participates in the conflict.
+    while (!seen_[static_cast<std::size_t>(trail_[index - 1].var())]) --index;
+    p = trail_[--index];
+    c = reason_[static_cast<std::size_t>(p.var())];
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Basic (non-recursive) learnt-clause minimization: drop a literal when
+  // its reason clause is entirely subsumed by the rest of the learnt.
+  std::vector<Var> to_clear;
+  to_clear.reserve(out_learnt.size());
+  for (const Lit q : out_learnt) to_clear.push_back(q.var());
+  std::size_t kept = 1;
+  for (std::size_t n = 1; n < out_learnt.size(); ++n) {
+    const Lit q = out_learnt[n];
+    Clause* r = reason_[static_cast<std::size_t>(q.var())];
+    bool redundant = r != nullptr;
+    if (r != nullptr) {
+      for (const Lit x : r->lits) {
+        if (x.var() == q.var()) continue;
+        const auto xv = static_cast<std::size_t>(x.var());
+        if (!seen_[xv] && level_[xv] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) out_learnt[kept++] = q;
+  }
+  for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = 0;
+  out_learnt.resize(kept);
+
+  // Compute the backtrack level: highest level among the non-asserting
+  // literals, and move that literal to the second watch position.
+  if (out_learnt.size() == 1) {
+    out_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t n = 2; n < out_learnt.size(); ++n)
+      if (level_[static_cast<std::size_t>(out_learnt[n].var())] >
+          level_[static_cast<std::size_t>(out_learnt[max_i].var())])
+        max_i = n;
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_level = level_[static_cast<std::size_t>(out_learnt[1].var())];
+  }
+}
+
+void Solver::backtrack(int target_level) {
+  if (decision_level() <= target_level) return;
+  const auto bound = static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(target_level)]);
+  for (std::size_t k = trail_.size(); k > bound; --k) {
+    const Lit p = trail_[k - 1];
+    const auto v = static_cast<std::size_t>(p.var());
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = nullptr;
+    if (options_.use_phase_saving) polarity_[v] = p.sign();
+    if (heap_pos_[v] < 0) heap_insert(p.var());
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch_lit() {
+  Var next = -1;
+  if (options_.use_vsids) {
+    while (!heap_empty()) {
+      const Var v = heap_pop();
+      if (value(v) == LBool::kUndef) {
+        next = v;
+        break;
+      }
+    }
+  } else {
+    for (Var v = 0; v < num_vars(); ++v)
+      if (value(v) == LBool::kUndef) {
+        next = v;
+        break;
+      }
+  }
+  if (next < 0) return Lit();  // all assigned
+  return Lit(next, polarity_[static_cast<std::size_t>(next)]);
+}
+
+void Solver::bump_var(Var v) {
+  auto& a = activity_[static_cast<std::size_t>(v)];
+  a += var_inc_;
+  if (a > 1e100) {
+    for (auto& x : activity_) x *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) heap_update(v);
+}
+
+void Solver::decay_var_activity() { var_inc_ /= options_.var_decay; }
+
+void Solver::bump_clause(Clause* c) {
+  if (!c->learnt) return;
+  c->activity += clause_inc_;
+  if (c->activity > 1e20) {
+    for (auto& cl : learnts_) cl->activity *= 1e-20;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::decay_clause_activity() { clause_inc_ /= options_.clause_decay; }
+
+void Solver::reduce_db() {
+  ++stats_.db_reductions;
+  std::sort(learnts_.begin(), learnts_.end(),
+            [](const auto& a, const auto& b) { return a->activity < b->activity; });
+  auto locked = [&](Clause* c) {
+    const Lit first = c->lits[0];
+    return value(first) == LBool::kTrue &&
+           reason_[static_cast<std::size_t>(first.var())] == c;
+  };
+  std::vector<std::unique_ptr<Clause>> kept;
+  kept.reserve(learnts_.size());
+  const std::size_t drop_target = learnts_.size() / 2;
+  std::size_t dropped = 0;
+  for (auto& c : learnts_) {
+    if (dropped < drop_target && c->size() > 2 && !locked(c.get())) {
+      detach_clause(c.get());
+      ++dropped;
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+void Solver::rebuild_order_heap() {
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
+  for (Var v = 0; v < num_vars(); ++v)
+    if (value(v) == LBool::kUndef) heap_insert(v);
+}
+
+LBool Solver::solve() { return solve({}); }
+
+LBool Solver::solve(const std::vector<Lit>& assumptions) {
+  model_.clear();
+  if (!ok_) return LBool::kFalse;
+  rebuild_order_heap();
+
+  std::int64_t conflicts_since_restart = 0;
+  std::int64_t restart_limit =
+      options_.restart_base * luby(stats_.restarts);
+  const std::int64_t conflict_budget =
+      options_.conflict_limit < 0
+          ? -1
+          : stats_.conflicts + options_.conflict_limit;
+
+  LBool result = LBool::kUndef;
+  while (result == LBool::kUndef) {
+    Clause* conflict = propagate();
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        ok_ = false;
+        result = LBool::kFalse;
+        break;
+      }
+      std::vector<Lit> learnt;
+      int bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], nullptr);
+      } else {
+        auto c = std::make_unique<Clause>();
+        c->lits = std::move(learnt);
+        c->learnt = true;
+        c->activity = clause_inc_;
+        attach_clause(c.get());
+        enqueue(c->lits[0], c.get());
+        stats_.learnt_literals += c->size();
+        learnts_.push_back(std::move(c));
+        ++stats_.learnt_clauses;
+      }
+      decay_var_activity();
+      decay_clause_activity();
+      if (learnts_.size() >= max_learnts_) {
+        reduce_db();
+        max_learnts_ = max_learnts_ + max_learnts_ / 2;
+      }
+      if (conflict_budget >= 0 && stats_.conflicts >= conflict_budget) {
+        backtrack(0);
+        return LBool::kUndef;
+      }
+    } else {
+      if (options_.use_restarts && conflicts_since_restart >= restart_limit) {
+        ++stats_.restarts;
+        conflicts_since_restart = 0;
+        restart_limit = options_.restart_base * luby(stats_.restarts);
+        backtrack(0);
+        continue;
+      }
+      // Extend with assumptions first, then a free decision.
+      Lit next;
+      bool next_set = false;
+      while (decision_level() < static_cast<int>(assumptions.size())) {
+        const Lit p = assumptions[static_cast<std::size_t>(decision_level())];
+        if (value(p) == LBool::kTrue) {
+          trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+        } else if (value(p) == LBool::kFalse) {
+          result = LBool::kFalse;  // assumptions contradict the formula
+          break;
+        } else {
+          next = p;
+          next_set = true;
+          break;
+        }
+      }
+      if (result != LBool::kUndef) break;
+      if (!next_set) {
+        next = pick_branch_lit();
+        if (next.x < 0) {
+          // Complete assignment: record the model.
+          model_ = assigns_;
+          result = LBool::kTrue;
+          break;
+        }
+        ++stats_.decisions;
+      }
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      enqueue(next, nullptr);
+    }
+  }
+  backtrack(0);
+  return result;
+}
+
+bool Solver::model_satisfies_formula() const {
+  if (model_.empty()) return false;
+  for (const auto& c : clauses_) {
+    bool sat = false;
+    for (const Lit p : c->lits) {
+      const LBool v = model_[static_cast<std::size_t>(p.var())] ^ p.sign();
+      if (v == LBool::kTrue) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+// ---- order heap ---------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void Solver::heap_update(Var v) {
+  const int i = heap_pos_[static_cast<std::size_t>(v)];
+  heap_up(i);
+  heap_down(i);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_up(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (!heap_less(heap_[static_cast<std::size_t>(parent)], v)) break;
+    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
+    heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_down(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_less(heap_[static_cast<std::size_t>(child)],
+                                   heap_[static_cast<std::size_t>(child + 1)]))
+      ++child;
+    if (!heap_less(v, heap_[static_cast<std::size_t>(child)])) break;
+    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
+    heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+}  // namespace l2l::sat

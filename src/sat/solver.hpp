@@ -1,0 +1,147 @@
+#pragma once
+// A conflict-driven clause-learning (CDCL) SAT solver in the style of
+// MiniSat [8] -- the engine the MOOC deployed as a cloud tool portal.
+//
+// Features: two-watched-literal propagation, VSIDS decision heuristic with
+// phase saving, first-UIP conflict analysis with recursive clause
+// minimization (the cheap local variant), Luby-sequence restarts, and
+// activity-driven learnt-clause database reduction. VSIDS and restarts can
+// be disabled individually -- the perf bench uses this as an ablation.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace l2l::sat {
+
+struct SolverOptions {
+  bool use_vsids = true;     ///< false: pick the lowest-index unassigned var
+  bool use_restarts = true;  ///< false: never restart
+  bool use_phase_saving = true;
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  int restart_base = 100;        ///< conflicts per Luby unit
+  std::int64_t conflict_limit = -1;  ///< -1 = no limit (solve returns kUndef)
+};
+
+struct SolverStats {
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learnt_clauses = 0;
+  std::int64_t learnt_literals = 0;
+  std::int64_t db_reductions = 0;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Create a fresh variable; returns its index.
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Ensure variables [0, n) exist.
+  void reserve_vars(int n);
+
+  /// Add a clause (OR of literals). Returns false if the formula is already
+  /// unsatisfiable at level 0 (e.g. an empty clause was derived).
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::vector<Lit>(lits));
+  }
+  bool add_unit(Lit p) { return add_clause({p}); }
+
+  int num_clauses() const { return static_cast<int>(clauses_.size()); }
+
+  /// Solve the formula. kTrue = SAT, kFalse = UNSAT, kUndef = conflict
+  /// limit hit.
+  LBool solve();
+
+  /// Solve under assumptions (temporary unit decisions). The solver state
+  /// remains usable afterwards, enabling incremental queries.
+  LBool solve(const std::vector<Lit>& assumptions);
+
+  /// After solve() == kTrue: the value of each variable.
+  const std::vector<LBool>& model() const { return model_; }
+  bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)] == LBool::kTrue; }
+
+  /// Check a model against every original clause (test/debug aid).
+  bool model_satisfies_formula() const;
+
+  const SolverStats& stats() const { return stats_; }
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  LBool value(Lit p) const {
+    return assigns_[static_cast<std::size_t>(p.var())] ^ p.sign();
+  }
+  LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  void attach_clause(Clause* c);
+  void detach_clause(Clause* c);
+  bool enqueue(Lit p, Clause* reason);
+  Clause* propagate();
+  void analyze(Clause* conflict, std::vector<Lit>& out_learnt, int& out_level);
+  bool lit_redundant(Lit p, std::uint32_t ab_levels);
+  void backtrack(int level);
+  Lit pick_branch_lit();
+  void bump_var(Var v);
+  void decay_var_activity();
+  void bump_clause(Clause* c);
+  void decay_clause_activity();
+  void reduce_db();
+  void rebuild_order_heap();
+
+  // Order heap (max-heap on activity) -------------------------------
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_up(int i);
+  void heap_down(int i);
+  bool heap_less(Var a, Var b) const {
+    return activity_[static_cast<std::size_t>(a)] < activity_[static_cast<std::size_t>(b)];
+  }
+
+  SolverOptions options_;
+  SolverStats stats_;
+
+  std::vector<std::unique_ptr<Clause>> clauses_;
+  std::vector<std::unique_ptr<Clause>> learnts_;
+  std::vector<std::vector<Clause*>> watches_;  // indexed by Lit::index()
+
+  std::vector<LBool> assigns_;
+  std::vector<bool> polarity_;      // saved phase (true = last was negated)
+  std::vector<double> activity_;
+  std::vector<Clause*> reason_;
+  std::vector<int> level_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<int> heap_;       // heap of vars
+  std::vector<int> heap_pos_;   // var -> position in heap_ or -1
+
+  std::vector<LBool> model_;
+  std::vector<char> seen_;  // scratch for analyze()
+
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  bool ok_ = true;  // false once UNSAT at level 0
+  std::size_t max_learnts_ = 4096;
+};
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,...
+std::int64_t luby(std::int64_t i);
+
+}  // namespace l2l::sat

@@ -1,0 +1,52 @@
+#pragma once
+// Core SAT types: variables, literals, ternary values, clauses.
+
+#include <cstdint>
+#include <vector>
+
+namespace l2l::sat {
+
+using Var = int;  ///< 0-based variable index
+
+/// A literal: variable plus sign, packed as 2*var + (negated ? 1 : 0).
+struct Lit {
+  int x = -2;
+
+  Lit() = default;
+  Lit(Var v, bool negated) : x(2 * v + (negated ? 1 : 0)) {}
+
+  Var var() const { return x >> 1; }
+  bool sign() const { return x & 1; }  ///< true = negated
+  Lit operator~() const {
+    Lit q;
+    q.x = x ^ 1;
+    return q;
+  }
+  /// Dense index for watch lists.
+  int index() const { return x; }
+  bool operator==(const Lit&) const = default;
+  bool operator<(const Lit& o) const { return x < o.x; }
+};
+
+inline Lit mk_lit(Var v, bool negated = false) { return Lit(v, negated); }
+
+/// Ternary logic value.
+enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+inline LBool operator^(LBool v, bool flip) {
+  if (v == LBool::kUndef) return v;
+  return lbool_from((v == LBool::kTrue) != flip);
+}
+
+struct Clause {
+  std::vector<Lit> lits;
+  bool learnt = false;
+  double activity = 0.0;
+
+  int size() const { return static_cast<int>(lits.size()); }
+  Lit& operator[](int i) { return lits[static_cast<std::size_t>(i)]; }
+  Lit operator[](int i) const { return lits[static_cast<std::size_t>(i)]; }
+};
+
+}  // namespace l2l::sat

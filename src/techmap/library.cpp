@@ -1,0 +1,134 @@
+#include "techmap/library.hpp"
+
+namespace l2l::techmap {
+
+std::unique_ptr<Pattern> Pattern::leaf_of(int i) {
+  auto p = std::make_unique<Pattern>();
+  p->kind = Kind::kLeaf;
+  p->leaf = i;
+  return p;
+}
+
+std::unique_ptr<Pattern> Pattern::inv(std::unique_ptr<Pattern> a) {
+  auto p = std::make_unique<Pattern>();
+  p->kind = Kind::kInv;
+  p->kids.push_back(std::move(a));
+  return p;
+}
+
+std::unique_ptr<Pattern> Pattern::nand(std::unique_ptr<Pattern> a,
+                                       std::unique_ptr<Pattern> b) {
+  auto p = std::make_unique<Pattern>();
+  p->kind = Kind::kNand;
+  p->kids.push_back(std::move(a));
+  p->kids.push_back(std::move(b));
+  return p;
+}
+
+const Cell* Library::find(const std::string& name) const {
+  for (const auto& c : cells)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+namespace {
+
+using P = Pattern;
+
+Cell make_cell(std::string name, int inputs, double area, double delay,
+               const std::string& sop) {
+  Cell c;
+  c.name = std::move(name);
+  c.num_inputs = inputs;
+  c.area = area;
+  c.delay = delay;
+  c.function = cubes::Cover::parse(inputs, sop);
+  return c;
+}
+
+}  // namespace
+
+Library nand2_inv_library() {
+  Library lib;
+  {
+    Cell inv = make_cell("INV", 1, 2, 1.0, "0\n");
+    inv.patterns.push_back(P::inv(P::leaf_of(0)));
+    lib.cells.push_back(std::move(inv));
+  }
+  {
+    Cell nand2 = make_cell("NAND2", 2, 3, 1.0, "0-\n-0\n");
+    nand2.patterns.push_back(P::nand(P::leaf_of(0), P::leaf_of(1)));
+    lib.cells.push_back(std::move(nand2));
+  }
+  return lib;
+}
+
+Library default_library() {
+  Library lib = nand2_inv_library();
+  {
+    // NAND3 = (abc)' : NAND(INV(NAND(a,b)), c)
+    Cell c = make_cell("NAND3", 3, 4, 1.1, "0--\n-0-\n--0\n");
+    c.patterns.push_back(
+        P::nand(P::inv(P::nand(P::leaf_of(0), P::leaf_of(1))), P::leaf_of(2)));
+    c.patterns.push_back(
+        P::nand(P::leaf_of(2), P::inv(P::nand(P::leaf_of(0), P::leaf_of(1)))));
+    lib.cells.push_back(std::move(c));
+  }
+  {
+    // NAND4 = (abcd)': balanced and chain shapes.
+    Cell c = make_cell("NAND4", 4, 5, 1.2, "0---\n-0--\n--0-\n---0\n");
+    c.patterns.push_back(
+        P::nand(P::inv(P::nand(P::leaf_of(0), P::leaf_of(1))),
+                P::inv(P::nand(P::leaf_of(2), P::leaf_of(3)))));
+    c.patterns.push_back(P::nand(
+        P::inv(P::nand(P::inv(P::nand(P::leaf_of(0), P::leaf_of(1))),
+                       P::leaf_of(2))),
+        P::leaf_of(3)));
+    lib.cells.push_back(std::move(c));
+  }
+  {
+    // AND2 = ab : INV(NAND(a,b))
+    Cell c = make_cell("AND2", 2, 4, 1.4, "11\n");
+    c.patterns.push_back(P::inv(P::nand(P::leaf_of(0), P::leaf_of(1))));
+    lib.cells.push_back(std::move(c));
+  }
+  {
+    // OR2 = a+b : NAND(INV(a), INV(b))
+    Cell c = make_cell("OR2", 2, 4, 1.4, "1-\n-1\n");
+    c.patterns.push_back(P::nand(P::inv(P::leaf_of(0)), P::inv(P::leaf_of(1))));
+    lib.cells.push_back(std::move(c));
+  }
+  {
+    // NOR2 = (a+b)' : INV(NAND(INV(a), INV(b)))
+    Cell c = make_cell("NOR2", 2, 4, 1.4, "00\n");
+    c.patterns.push_back(
+        P::inv(P::nand(P::inv(P::leaf_of(0)), P::inv(P::leaf_of(1)))));
+    lib.cells.push_back(std::move(c));
+  }
+  {
+    // AOI21 = (ab + c)' : INV(NAND(NAND(a,b), INV(c)))
+    Cell c = make_cell("AOI21", 3, 4, 1.6, "0-0\n-00\n");
+    c.patterns.push_back(P::inv(
+        P::nand(P::nand(P::leaf_of(0), P::leaf_of(1)), P::inv(P::leaf_of(2)))));
+    lib.cells.push_back(std::move(c));
+  }
+  {
+    // AOI22 = (ab + cd)' : INV(NAND(NAND(a,b), NAND(c,d)))
+    Cell c = make_cell("AOI22", 4, 5, 1.8, "0-0-\n0--0\n-00-\n-0-0\n");
+    c.patterns.push_back(P::inv(P::nand(P::nand(P::leaf_of(0), P::leaf_of(1)),
+                                        P::nand(P::leaf_of(2), P::leaf_of(3)))));
+    lib.cells.push_back(std::move(c));
+  }
+  {
+    // XOR2 = ab' + a'b : NAND(NAND(a, INV(b)), NAND(INV(a), b)).
+    // Leaves repeat: both 0-leaves must bind to the same subject node.
+    Cell c = make_cell("XOR2", 2, 5, 1.9, "10\n01\n");
+    c.patterns.push_back(
+        P::nand(P::nand(P::leaf_of(0), P::inv(P::leaf_of(1))),
+                P::nand(P::inv(P::leaf_of(0)), P::leaf_of(1))));
+    lib.cells.push_back(std::move(c));
+  }
+  return lib;
+}
+
+}  // namespace l2l::techmap

@@ -1,0 +1,54 @@
+#pragma once
+// Standard-cell library model for tree-covering technology mapping
+// (Week 5: "Technology Mapping (recursive tree covering)").
+//
+// Each cell carries one or more *pattern trees* over the NAND2/INV subject
+// basis. Pattern leaves are numbered; a leaf number may repeat (e.g. XOR),
+// in which case all occurrences must bind to the same subject node.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cubes/cover.hpp"
+
+namespace l2l::techmap {
+
+/// A node of a pattern tree.
+struct Pattern {
+  enum class Kind { kLeaf, kInv, kNand };
+  Kind kind = Kind::kLeaf;
+  int leaf = 0;                                  ///< for kLeaf: input index
+  std::vector<std::unique_ptr<Pattern>> kids;    ///< 1 for INV, 2 for NAND
+
+  static std::unique_ptr<Pattern> leaf_of(int i);
+  static std::unique_ptr<Pattern> inv(std::unique_ptr<Pattern> a);
+  static std::unique_ptr<Pattern> nand(std::unique_ptr<Pattern> a,
+                                       std::unique_ptr<Pattern> b);
+};
+
+struct Cell {
+  std::string name;
+  int num_inputs = 0;
+  double area = 0.0;
+  double delay = 0.0;  ///< constant pin-to-pin delay (load-independent)
+  /// Cell function as an SOP over inputs 0..num_inputs-1.
+  cubes::Cover function;
+  /// Alternative pattern trees matching this cell.
+  std::vector<std::unique_ptr<Pattern>> patterns;
+};
+
+struct Library {
+  std::vector<Cell> cells;
+  const Cell* find(const std::string& name) const;
+};
+
+/// The course's teaching library: INV, NAND2..NAND4, AND2, OR2, NOR2,
+/// AOI21, AOI22, XOR2. Areas/delays follow the classic lecture numbers.
+Library default_library();
+
+/// A degenerate library with only INV and NAND2 (ablation baseline: what
+/// the subject graph costs with no pattern sharing).
+Library nand2_inv_library();
+
+}  // namespace l2l::techmap

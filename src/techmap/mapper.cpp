@@ -1,0 +1,193 @@
+#include "techmap/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace l2l::techmap {
+namespace {
+
+struct Match {
+  const Cell* cell = nullptr;
+  std::vector<int> leaves;  // subject node per cell input
+};
+
+/// Try to match `pat` rooted at subject node `n`. Internal pattern nodes
+/// may only bind single-fanout subject nodes (tree-covering boundary rule),
+/// except at the match root. Repeated pattern leaves must bind consistently.
+bool try_match(const SubjectGraph& g, const Pattern& pat, int n, bool is_root,
+               std::vector<int>& binding) {
+  const auto& sn = g.nodes[static_cast<std::size_t>(n)];
+  if (pat.kind == Pattern::Kind::kLeaf) {
+    auto& slot = binding[static_cast<std::size_t>(pat.leaf)];
+    if (slot >= 0 && slot != n) return false;
+    slot = n;
+    return true;
+  }
+  if (!is_root && sn.fanout_count > 1) return false;  // boundary: leaf only
+  if (pat.kind == Pattern::Kind::kInv) {
+    if (sn.kind != SubjectNode::Kind::kInv) return false;
+    return try_match(g, *pat.kids[0], sn.a, false, binding);
+  }
+  // NAND: try both input orders, undoing bindings between attempts.
+  if (sn.kind != SubjectNode::Kind::kNand) return false;
+  const auto saved = binding;
+  if (try_match(g, *pat.kids[0], sn.a, false, binding) &&
+      try_match(g, *pat.kids[1], sn.b, false, binding))
+    return true;
+  binding = saved;
+  if (try_match(g, *pat.kids[0], sn.b, false, binding) &&
+      try_match(g, *pat.kids[1], sn.a, false, binding))
+    return true;
+  binding = saved;
+  return false;
+}
+
+std::vector<Match> matches_at(const SubjectGraph& g, const Library& lib, int n) {
+  std::vector<Match> out;
+  const auto& sn = g.nodes[static_cast<std::size_t>(n)];
+  if (sn.kind != SubjectNode::Kind::kInv && sn.kind != SubjectNode::Kind::kNand)
+    return out;
+  for (const auto& cell : lib.cells) {
+    for (const auto& pat : cell.patterns) {
+      std::vector<int> binding(static_cast<std::size_t>(cell.num_inputs), -1);
+      if (try_match(g, *pat, n, true, binding)) {
+        // All leaves must be bound (patterns use every input).
+        if (std::all_of(binding.begin(), binding.end(),
+                        [](int x) { return x >= 0; }))
+          out.push_back({&cell, binding});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MapResult map_subject_graph(const SubjectGraph& g, const Library& lib,
+                            MapObjective objective) {
+  if (!lib.find("INV") || !lib.find("NAND2"))
+    throw std::invalid_argument("map: library must contain INV and NAND2");
+
+  const std::size_t n_nodes = g.nodes.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best_cost(n_nodes, kInf);
+  std::vector<Match> best_match(n_nodes);
+
+  auto is_gate = [&](int n) {
+    const auto k = g.nodes[static_cast<std::size_t>(n)].kind;
+    return k == SubjectNode::Kind::kInv || k == SubjectNode::Kind::kNand;
+  };
+  auto boundary = [&](int n) {
+    return !is_gate(n) ||
+           g.nodes[static_cast<std::size_t>(n)].fanout_count > 1;
+  };
+
+  // Index order is topological (builders append bottom-up).
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    if (!is_gate(static_cast<int>(n))) {
+      best_cost[n] = 0.0;  // inputs/constants are free leaves
+      continue;
+    }
+    for (auto& m : matches_at(g, lib, static_cast<int>(n))) {
+      double cost = objective == MapObjective::kArea ? m.cell->area
+                                                     : m.cell->delay;
+      for (const int leaf : m.leaves) {
+        const double leaf_cost =
+            objective == MapObjective::kArea
+                ? (boundary(leaf) ? 0.0 : best_cost[static_cast<std::size_t>(leaf)])
+                : best_cost[static_cast<std::size_t>(leaf)];
+        if (objective == MapObjective::kArea)
+          cost += leaf_cost;
+        else
+          cost = std::max(cost, m.cell->delay + leaf_cost);
+      }
+      if (cost < best_cost[n]) {
+        best_cost[n] = cost;
+        best_match[n] = std::move(m);
+      }
+    }
+    if (best_cost[n] == kInf)
+      throw std::logic_error("map: no match found for a subject node");
+  }
+
+  // Collect the roots actually needed: outputs plus, transitively, every
+  // match leaf that is itself a gate.
+  MapResult result;
+  network::Network& out = result.netlist;
+  std::vector<network::NodeId> signal(n_nodes, network::kNoNode);
+
+  for (std::size_t i = 0; i < g.inputs.size(); ++i)
+    signal[static_cast<std::size_t>(g.inputs[i])] =
+        out.add_input(g.nodes[static_cast<std::size_t>(g.inputs[i])].name);
+
+  int gate_counter = 0;
+  auto realize = [&](auto&& self, int n) -> network::NodeId {
+    auto& sig = signal[static_cast<std::size_t>(n)];
+    if (sig != network::kNoNode) return sig;
+    const auto& sn = g.nodes[static_cast<std::size_t>(n)];
+    if (sn.kind == SubjectNode::Kind::kConst) {
+      sig = out.add_constant(util::format("const%d", gate_counter++),
+                             sn.const_value);
+      return sig;
+    }
+    const Match& m = best_match[static_cast<std::size_t>(n)];
+    std::vector<network::NodeId> fanins;
+    fanins.reserve(m.leaves.size());
+    for (const int leaf : m.leaves) fanins.push_back(self(self, leaf));
+    const auto name = util::format("g%d_%s", gate_counter++, m.cell->name.c_str());
+    sig = out.add_logic(name, std::move(fanins), m.cell->function);
+    result.gates.push_back({m.cell->name, n, m.leaves});
+    result.total_area += m.cell->area;
+    return sig;
+  };
+
+  for (std::size_t o = 0; o < g.outputs.size(); ++o) {
+    const network::NodeId driver = realize(realize, g.outputs[o]);
+    const std::string& want = g.output_names[o];
+    if (out.node(driver).name == want && out.node(driver).type ==
+                                             network::NodeType::kLogic) {
+      out.mark_output(driver);
+    } else {
+      // Buffer to give the output its interface name.
+      const auto buf = out.add_logic(want, {driver},
+                                     cubes::Cover::parse(1, "1\n"));
+      out.mark_output(buf);
+    }
+  }
+
+  // Critical delay over the mapped netlist (constant cell delays; the
+  // output interface buffers are free).
+  std::map<std::string, double> delay_of;
+  for (const auto& c : lib.cells) delay_of[c.name] = c.delay;
+  std::vector<double> arrival(static_cast<std::size_t>(out.num_nodes()), 0.0);
+  for (const network::NodeId id : out.topological_order()) {
+    const auto& node = out.node(id);
+    if (node.type == network::NodeType::kInput) continue;
+    double in_arrival = 0.0;
+    for (const network::NodeId f : node.fanins)
+      in_arrival = std::max(in_arrival, arrival[static_cast<std::size_t>(f)]);
+    // Gate names are "g<i>_<CELL>"; interface buffers and constants add 0.
+    double d = 0.0;
+    const auto underscore = node.name.find('_');
+    if (underscore != std::string::npos) {
+      const auto it = delay_of.find(node.name.substr(underscore + 1));
+      if (it != delay_of.end()) d = it->second;
+    }
+    arrival[static_cast<std::size_t>(id)] = in_arrival + d;
+  }
+  for (const network::NodeId o : out.outputs())
+    result.critical_delay =
+        std::max(result.critical_delay, arrival[static_cast<std::size_t>(o)]);
+  return result;
+}
+
+MapResult technology_map(const network::Network& net, const Library& lib,
+                         MapObjective objective) {
+  return map_subject_graph(build_subject_graph(net), lib, objective);
+}
+
+}  // namespace l2l::techmap

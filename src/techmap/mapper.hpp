@@ -1,0 +1,42 @@
+#pragma once
+// DP tree covering over the subject graph: the classic "recursive tree
+// covering" algorithm the course teaches in Week 5. Multi-fanout subject
+// nodes are covering boundaries; within a tree, each node picks the
+// library match minimizing area (or arrival time in delay mode).
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "techmap/library.hpp"
+#include "techmap/subject_graph.hpp"
+
+namespace l2l::techmap {
+
+enum class MapObjective { kArea, kDelay };
+
+struct GateInstance {
+  std::string cell;             ///< library cell name
+  int root = -1;                ///< subject node implemented by this gate
+  std::vector<int> leaves;      ///< subject nodes feeding each cell input
+};
+
+struct MapResult {
+  std::vector<GateInstance> gates;
+  double total_area = 0.0;
+  double critical_delay = 0.0;  ///< max arrival over outputs (cell delays)
+  /// The mapped netlist: inputs mirror the source network; one logic node
+  /// per gate instance; outputs carry the source output names.
+  network::Network netlist;
+};
+
+/// Map a subject graph against a library. Throws std::invalid_argument if
+/// the library cannot implement some node (it must contain INV and NAND2).
+MapResult map_subject_graph(const SubjectGraph& g, const Library& lib,
+                            MapObjective objective);
+
+/// Convenience: factor + decompose + map a logic network.
+MapResult technology_map(const network::Network& net, const Library& lib,
+                         MapObjective objective = MapObjective::kArea);
+
+}  // namespace l2l::techmap

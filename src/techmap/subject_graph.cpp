@@ -1,0 +1,217 @@
+#include "techmap/subject_graph.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "mls/factor.hpp"
+#include "mls/sop.hpp"
+
+namespace l2l::techmap {
+
+int SubjectGraph::num_nand() const {
+  int n = 0;
+  for (const auto& s : nodes)
+    if (s.kind == SubjectNode::Kind::kNand) ++n;
+  return n;
+}
+
+int SubjectGraph::num_inv() const {
+  int n = 0;
+  for (const auto& s : nodes)
+    if (s.kind == SubjectNode::Kind::kInv) ++n;
+  return n;
+}
+
+std::vector<bool> SubjectGraph::simulate(
+    const std::vector<bool>& input_values) const {
+  std::vector<bool> v(nodes.size(), false);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    v[static_cast<std::size_t>(inputs[i])] = input_values[i];
+  // Nodes are created bottom-up, so index order is topological.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& n = nodes[i];
+    switch (n.kind) {
+      case SubjectNode::Kind::kInput:
+        break;
+      case SubjectNode::Kind::kConst:
+        v[i] = n.const_value;
+        break;
+      case SubjectNode::Kind::kInv:
+        v[i] = !v[static_cast<std::size_t>(n.a)];
+        break;
+      case SubjectNode::Kind::kNand:
+        v[i] = !(v[static_cast<std::size_t>(n.a)] &&
+                 v[static_cast<std::size_t>(n.b)]);
+        break;
+    }
+  }
+  return v;
+}
+
+namespace {
+
+/// Structural-hashing builder for the NAND/INV basis.
+class Builder {
+ public:
+  explicit Builder(SubjectGraph& g) : g_(g) {}
+
+  int input(const std::string& name) {
+    g_.nodes.push_back({SubjectNode::Kind::kInput, -1, -1, false, 0, name});
+    return static_cast<int>(g_.nodes.size()) - 1;
+  }
+
+  int constant(bool v) {
+    const auto key = std::make_tuple(-2, v ? 1 : 0, 0);
+    if (auto it = hash_.find(key); it != hash_.end()) return it->second;
+    g_.nodes.push_back({SubjectNode::Kind::kConst, -1, -1, v, 0, ""});
+    const int id = static_cast<int>(g_.nodes.size()) - 1;
+    hash_.emplace(key, id);
+    return id;
+  }
+
+  int inv(int a) {
+    // INV(INV(x)) = x.
+    if (g_.nodes[static_cast<std::size_t>(a)].kind == SubjectNode::Kind::kInv)
+      return g_.nodes[static_cast<std::size_t>(a)].a;
+    if (g_.nodes[static_cast<std::size_t>(a)].kind == SubjectNode::Kind::kConst)
+      return constant(!g_.nodes[static_cast<std::size_t>(a)].const_value);
+    const auto key = std::make_tuple(-1, a, 0);
+    if (auto it = hash_.find(key); it != hash_.end()) return it->second;
+    g_.nodes.push_back({SubjectNode::Kind::kInv, a, -1, false, 0, ""});
+    const int id = static_cast<int>(g_.nodes.size()) - 1;
+    hash_.emplace(key, id);
+    return id;
+  }
+
+  int nand(int a, int b) {
+    auto kind_of = [&](int x) { return g_.nodes[static_cast<std::size_t>(x)].kind; };
+    if (kind_of(a) == SubjectNode::Kind::kConst)
+      return g_.nodes[static_cast<std::size_t>(a)].const_value ? inv(b)
+                                                               : constant(true);
+    if (kind_of(b) == SubjectNode::Kind::kConst)
+      return g_.nodes[static_cast<std::size_t>(b)].const_value ? inv(a)
+                                                               : constant(true);
+    if (a > b) std::swap(a, b);  // commutative canonical order
+    const auto key = std::make_tuple(a, b, 1);
+    if (auto it = hash_.find(key); it != hash_.end()) return it->second;
+    g_.nodes.push_back({SubjectNode::Kind::kNand, a, b, false, 0, ""});
+    const int id = static_cast<int>(g_.nodes.size()) - 1;
+    hash_.emplace(key, id);
+    return id;
+  }
+
+  int and2(int a, int b) { return inv(nand(a, b)); }
+  int or2(int a, int b) { return nand(inv(a), inv(b)); }
+
+ private:
+  SubjectGraph& g_;
+  std::map<std::tuple<int, int, int>, int> hash_;
+};
+
+}  // namespace
+
+SubjectGraph build_subject_graph(const network::Network& net) {
+  SubjectGraph g;
+  Builder b(g);
+
+  std::vector<int> subject_of(static_cast<std::size_t>(net.num_nodes()), -1);
+  for (const network::NodeId id : net.inputs()) {
+    const int s = b.input(net.node(id).name);
+    subject_of[static_cast<std::size_t>(id)] = s;
+    g.inputs.push_back(s);
+  }
+
+  for (const network::NodeId id : net.topological_order()) {
+    const auto& n = net.node(id);
+    if (n.type == network::NodeType::kInput) continue;
+
+    const mls::Sop sop = mls::sop_of_node(net, id);
+    const mls::Expr e = mls::factor(sop);
+
+    // Recursively decompose the factored expression, balancing n-ary
+    // AND/OR into 2-input trees.
+    auto decompose = [&](auto&& self, const mls::Expr& x) -> int {
+      switch (x.kind) {
+        case mls::Expr::Kind::kConst0:
+          return b.constant(false);
+        case mls::Expr::Kind::kConst1:
+          return b.constant(true);
+        case mls::Expr::Kind::kLit: {
+          const int s =
+              subject_of[static_cast<std::size_t>(mls::glit_signal(x.lit))];
+          if (s < 0)
+            throw std::logic_error("subject graph: fanin not yet built");
+          return mls::glit_negated(x.lit) ? b.inv(s) : s;
+        }
+        case mls::Expr::Kind::kAnd:
+        case mls::Expr::Kind::kOr: {
+          std::vector<int> kids;
+          kids.reserve(x.operands.size());
+          for (const auto& k : x.operands) kids.push_back(self(self, k));
+          // Balanced reduction keeps depth logarithmic.
+          while (kids.size() > 1) {
+            std::vector<int> next;
+            for (std::size_t i = 0; i + 1 < kids.size(); i += 2)
+              next.push_back(x.kind == mls::Expr::Kind::kAnd
+                                 ? b.and2(kids[i], kids[i + 1])
+                                 : b.or2(kids[i], kids[i + 1]));
+            if (kids.size() % 2) next.push_back(kids.back());
+            kids = std::move(next);
+          }
+          return kids[0];
+        }
+      }
+      return -1;
+    };
+    subject_of[static_cast<std::size_t>(id)] = decompose(decompose, e);
+  }
+
+  for (const network::NodeId o : net.outputs()) {
+    g.outputs.push_back(subject_of[static_cast<std::size_t>(o)]);
+    g.output_names.push_back(net.node(o).name);
+  }
+
+  // Prune nodes unreachable from the outputs (the structural-hashing
+  // builder can leave dead inverters behind when INV(INV(x)) collapses);
+  // dead nodes would otherwise inflate fanout counts and create spurious
+  // covering boundaries. Inputs are interface and always kept.
+  std::vector<bool> live(g.nodes.size(), false);
+  {
+    std::vector<int> stack(g.outputs.begin(), g.outputs.end());
+    for (const int i : g.inputs) stack.push_back(i);
+    while (!stack.empty()) {
+      const int n = stack.back();
+      stack.pop_back();
+      if (live[static_cast<std::size_t>(n)]) continue;
+      live[static_cast<std::size_t>(n)] = true;
+      const auto& sn = g.nodes[static_cast<std::size_t>(n)];
+      if (sn.a >= 0) stack.push_back(sn.a);
+      if (sn.b >= 0) stack.push_back(sn.b);
+    }
+  }
+  std::vector<int> remap(g.nodes.size(), -1);
+  std::vector<SubjectNode> kept;
+  kept.reserve(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (!live[i]) continue;
+    remap[i] = static_cast<int>(kept.size());
+    SubjectNode n = g.nodes[i];
+    if (n.a >= 0) n.a = remap[static_cast<std::size_t>(n.a)];
+    if (n.b >= 0) n.b = remap[static_cast<std::size_t>(n.b)];
+    kept.push_back(std::move(n));
+  }
+  g.nodes = std::move(kept);
+  for (int& o : g.outputs) o = remap[static_cast<std::size_t>(o)];
+  for (int& i : g.inputs) i = remap[static_cast<std::size_t>(i)];
+
+  // Fanout counts (outputs count as fanout so internal cover boundaries
+  // respect output visibility).
+  for (const auto& n : g.nodes) {
+    if (n.a >= 0) ++g.nodes[static_cast<std::size_t>(n.a)].fanout_count;
+    if (n.b >= 0) ++g.nodes[static_cast<std::size_t>(n.b)].fanout_count;
+  }
+  for (const int o : g.outputs) ++g.nodes[static_cast<std::size_t>(o)].fanout_count;
+  return g;
+}
+
+}  // namespace l2l::techmap

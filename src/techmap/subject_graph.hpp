@@ -1,0 +1,44 @@
+#pragma once
+// Subject-graph construction: decompose an arbitrary logic network into
+// the canonical NAND2/INV basis that tree covering matches against.
+// Nodes are structurally hashed, so shared subexpressions converge.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace l2l::techmap {
+
+struct SubjectNode {
+  enum class Kind { kInput, kInv, kNand, kConst };
+  Kind kind = Kind::kInput;
+  int a = -1, b = -1;       ///< fanins (a only for INV)
+  bool const_value = false; ///< for kConst
+  int fanout_count = 0;     ///< filled after construction
+  std::string name;         ///< for inputs: network name
+};
+
+struct SubjectGraph {
+  std::vector<SubjectNode> nodes;
+  /// For each primary output of the source network: subject node index.
+  std::vector<int> outputs;
+  std::vector<std::string> output_names;
+  /// For each primary input of the source network: subject node index.
+  std::vector<int> inputs;
+
+  int num_nand() const;
+  int num_inv() const;
+
+  /// Evaluate on a primary-input assignment (inputs() order of the source
+  /// network). Test/verification helper.
+  std::vector<bool> simulate(const std::vector<bool>& input_values) const;
+};
+
+/// Build the subject graph. Every node SOP is algebraically factored first
+/// (mls::factor), then the factored form is decomposed into 2-input NANDs
+/// and inverters with structural hashing.
+SubjectGraph build_subject_graph(const network::Network& net);
+
+}  // namespace l2l::techmap

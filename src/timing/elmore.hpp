@@ -1,0 +1,56 @@
+#pragma once
+// Elmore wire-delay analysis (the second half of Week 8): first-moment
+// delay of an RC tree, plus construction of RC trees from routed nets.
+
+#include <vector>
+
+#include "route/router.hpp"
+
+namespace l2l::timing {
+
+/// An RC tree. Node 0 is the root (driver); each other node has a parent,
+/// the resistance of the edge from its parent, and a node capacitance.
+struct RcTree {
+  struct RcNode {
+    int parent = -1;
+    double resistance = 0.0;  ///< edge from parent (root: 0)
+    double capacitance = 0.0;
+  };
+  std::vector<RcNode> nodes;
+
+  /// Structural check (single root at 0, parents precede children).
+  void validate() const;
+};
+
+/// Elmore delay from the root to every node:
+///   delay(i) = sum over edges e on the root->i path of R_e * Cdown(e),
+/// where Cdown(e) is the total capacitance in the subtree below e.
+std::vector<double> elmore_delays(const RcTree& tree);
+
+/// Total downstream capacitance seen at the root (the driver load).
+double total_capacitance(const RcTree& tree);
+
+/// Wire parasitics per grid unit for RC extraction from routed nets.
+struct WireParasitics {
+  double r_per_unit = 1.0;
+  double c_per_unit = 2.0;
+  double via_r = 4.0;
+  double via_c = 1.0;
+  double sink_c = 5.0;  ///< extra load at each sink pin
+};
+
+/// Build an RC tree from a routed net's cells. `source` must be one of the
+/// net's cells; `sinks` are the remaining pins (each gets sink_c added).
+/// The tree follows grid adjacency (BFS from the source).
+RcTree rc_tree_from_route(const route::NetRoute& net,
+                          const route::GridPoint& source,
+                          const std::vector<route::GridPoint>& sinks,
+                          const WireParasitics& par = {});
+
+/// Elmore delay from source to each sink of a routed net.
+std::vector<double> net_sink_delays(const route::NetRoute& net,
+                                    const route::GridPoint& source,
+                                    const std::vector<route::GridPoint>& sinks,
+                                    const WireParasitics& par = {});
+
+}  // namespace l2l::timing

@@ -1,0 +1,115 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace l2l::timing {
+
+using network::Network;
+using network::NodeId;
+using network::NodeType;
+
+std::vector<double> unit_delays(const Network& net, double unit) {
+  std::vector<double> d(static_cast<std::size_t>(net.num_nodes()), 0.0);
+  for (NodeId id = 0; id < net.num_nodes(); ++id)
+    if (!net.is_dead(id) && net.node(id).type == NodeType::kLogic)
+      d[static_cast<std::size_t>(id)] = unit;
+  return d;
+}
+
+std::vector<double> cell_delays(const Network& net, const techmap::Library& lib,
+                                double default_delay) {
+  std::vector<double> d(static_cast<std::size_t>(net.num_nodes()),
+                        default_delay);
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.is_dead(id) || net.node(id).type != NodeType::kLogic) {
+      d[static_cast<std::size_t>(id)] = 0.0;
+      continue;
+    }
+    const auto& name = net.node(id).name;
+    const auto underscore = name.find('_');
+    if (underscore == std::string::npos) continue;
+    if (const auto* cell = lib.find(name.substr(underscore + 1)))
+      d[static_cast<std::size_t>(id)] = cell->delay;
+  }
+  return d;
+}
+
+TimingResult analyze(const Network& net, const std::vector<double>& node_delay,
+                     double required_time) {
+  if (node_delay.size() != static_cast<std::size_t>(net.num_nodes()))
+    throw std::invalid_argument("analyze: delay vector size mismatch");
+
+  TimingResult res;
+  const auto n = static_cast<std::size_t>(net.num_nodes());
+  res.arrival.assign(n, 0.0);
+  res.required.assign(n, std::numeric_limits<double>::infinity());
+  res.slack.assign(n, 0.0);
+
+  const auto order = net.topological_order();
+
+  // Forward: arrival = max fanin arrival + own delay.
+  for (const NodeId id : order) {
+    const auto& node = net.node(id);
+    double in = 0.0;
+    for (const NodeId f : node.fanins)
+      in = std::max(in, res.arrival[static_cast<std::size_t>(f)]);
+    res.arrival[static_cast<std::size_t>(id)] =
+        in + node_delay[static_cast<std::size_t>(id)];
+  }
+  for (const NodeId o : net.outputs())
+    res.critical_delay =
+        std::max(res.critical_delay, res.arrival[static_cast<std::size_t>(o)]);
+
+  // Backward: required = min over fanouts (required(fo) - delay(fo)).
+  const double rt = required_time < 0 ? res.critical_delay : required_time;
+  for (const NodeId o : net.outputs())
+    res.required[static_cast<std::size_t>(o)] = rt;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    const auto& node = net.node(id);
+    const double own_req = res.required[static_cast<std::size_t>(id)];
+    for (const NodeId f : node.fanins) {
+      auto& fr = res.required[static_cast<std::size_t>(f)];
+      fr = std::min(fr, own_req - node_delay[static_cast<std::size_t>(id)]);
+    }
+  }
+  // Unconstrained nodes (no path to an output) get zero slack vs self.
+  res.worst_slack = std::numeric_limits<double>::infinity();
+  for (const NodeId id : order) {
+    auto& req = res.required[static_cast<std::size_t>(id)];
+    if (req == std::numeric_limits<double>::infinity())
+      req = res.arrival[static_cast<std::size_t>(id)];
+    res.slack[static_cast<std::size_t>(id)] =
+        req - res.arrival[static_cast<std::size_t>(id)];
+    res.worst_slack =
+        std::min(res.worst_slack, res.slack[static_cast<std::size_t>(id)]);
+  }
+
+  // Critical path: walk back from the worst output along worst-arrival
+  // fanins.
+  NodeId worst = network::kNoNode;
+  for (const NodeId o : net.outputs())
+    if (worst == network::kNoNode ||
+        res.arrival[static_cast<std::size_t>(o)] >
+            res.arrival[static_cast<std::size_t>(worst)])
+      worst = o;
+  std::vector<NodeId> path;
+  while (worst != network::kNoNode) {
+    path.push_back(worst);
+    const auto& node = net.node(worst);
+    NodeId next = network::kNoNode;
+    for (const NodeId f : node.fanins)
+      if (next == network::kNoNode ||
+          res.arrival[static_cast<std::size_t>(f)] >
+              res.arrival[static_cast<std::size_t>(next)])
+        next = f;
+    worst = next;
+  }
+  std::reverse(path.begin(), path.end());
+  res.critical_path = std::move(path);
+  return res;
+}
+
+}  // namespace l2l::timing

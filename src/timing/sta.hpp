@@ -1,0 +1,38 @@
+#pragma once
+// Logic-level static timing analysis (Week 8: "Timing"): forward arrival
+// times, backward required times, slack, and critical-path extraction on
+// a combinational logic network.
+
+#include <vector>
+
+#include "network/network.hpp"
+#include "techmap/library.hpp"
+
+namespace l2l::timing {
+
+struct TimingResult {
+  std::vector<double> arrival;   ///< per node id
+  std::vector<double> required;  ///< per node id
+  std::vector<double> slack;     ///< per node id (required - arrival)
+  double critical_delay = 0.0;   ///< max arrival over outputs
+  /// One critical path, inputs-to-output order (node ids).
+  std::vector<network::NodeId> critical_path;
+  double worst_slack = 0.0;
+};
+
+/// Unit delay model: every logic node contributes `unit` delay.
+std::vector<double> unit_delays(const network::Network& net, double unit = 1.0);
+
+/// Library delay model for mapped netlists: node named "g<i>_<CELL>" gets
+/// that cell's delay; other logic nodes get `default_delay`.
+std::vector<double> cell_delays(const network::Network& net,
+                                const techmap::Library& lib,
+                                double default_delay = 0.0);
+
+/// Run STA. `node_delay` is indexed by node id; inputs arrive at t=0.
+/// `required_time` < 0 means "use the critical delay" (worst slack 0).
+TimingResult analyze(const network::Network& net,
+                     const std::vector<double>& node_delay,
+                     double required_time = -1.0);
+
+}  // namespace l2l::timing

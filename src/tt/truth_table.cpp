@@ -1,0 +1,175 @@
+#include "tt/truth_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace l2l::tt {
+namespace {
+
+constexpr int kWordBits = 64;
+
+std::size_t words_for(int num_vars) {
+  const std::uint64_t bits = 1ull << num_vars;
+  return static_cast<std::size_t>((bits + kWordBits - 1) / kWordBits);
+}
+
+// Mask of valid bits in the last word for functions of < 6 variables.
+std::uint64_t tail_mask(int num_vars) {
+  const std::uint64_t bits = 1ull << num_vars;
+  return bits >= kWordBits ? ~0ull : (1ull << bits) - 1;
+}
+
+}  // namespace
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 0 || num_vars > 26)
+    throw std::invalid_argument("TruthTable: num_vars out of range [0,26]");
+  words_.assign(words_for(num_vars), 0);
+}
+
+TruthTable TruthTable::from_bits(const std::string& bits) {
+  if (bits.empty() || (bits.size() & (bits.size() - 1)) != 0)
+    throw std::invalid_argument("TruthTable::from_bits: length must be 2^n");
+  const int n = std::countr_zero(bits.size());
+  TruthTable t(n);
+  for (std::size_t m = 0; m < bits.size(); ++m) {
+    if (bits[m] == '1')
+      t.set(m, true);
+    else if (bits[m] != '0')
+      throw std::invalid_argument("TruthTable::from_bits: bits must be 0/1");
+  }
+  return t;
+}
+
+TruthTable TruthTable::variable(int num_vars, int i) {
+  if (i < 0 || i >= num_vars)
+    throw std::invalid_argument("TruthTable::variable: index out of range");
+  TruthTable t(num_vars);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m)
+    if ((m >> i) & 1) t.set(m, true);
+  return t;
+}
+
+TruthTable TruthTable::constant(int num_vars, bool value) {
+  TruthTable t(num_vars);
+  if (value) {
+    for (auto& w : t.words_) w = ~0ull;
+    t.words_.back() &= tail_mask(num_vars);
+  }
+  return t;
+}
+
+TruthTable TruthTable::random(int num_vars, util::Rng& rng) {
+  TruthTable t(num_vars);
+  for (auto& w : t.words_) w = rng.next_u64();
+  t.words_.back() &= tail_mask(num_vars);
+  return t;
+}
+
+bool TruthTable::get(std::uint64_t minterm) const {
+  return (words_[minterm / kWordBits] >> (minterm % kWordBits)) & 1;
+}
+
+void TruthTable::set(std::uint64_t minterm, bool value) {
+  const std::uint64_t mask = 1ull << (minterm % kWordBits);
+  if (value)
+    words_[minterm / kWordBits] |= mask;
+  else
+    words_[minterm / kWordBits] &= ~mask;
+}
+
+std::uint64_t TruthTable::count_ones() const {
+  std::uint64_t n = 0;
+  for (auto w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+  return n;
+}
+
+bool TruthTable::is_constant_zero() const {
+  for (auto w : words_)
+    if (w) return false;
+  return true;
+}
+
+bool TruthTable::is_constant_one() const {
+  return count_ones() == num_minterms();
+}
+
+bool TruthTable::is_independent_of(int i) const {
+  return cofactor(i, false) == cofactor(i, true);
+}
+
+TruthTable TruthTable::cofactor(int i, bool value) const {
+  if (i < 0 || i >= num_vars_)
+    throw std::invalid_argument("TruthTable::cofactor: index out of range");
+  TruthTable out(num_vars_);
+  const std::uint64_t stride = 1ull << i;
+  for (std::uint64_t m = 0; m < num_minterms(); ++m) {
+    // Project m onto the half-space x_i = value, then copy to both halves.
+    const std::uint64_t src = value ? (m | stride) : (m & ~stride);
+    if (get(src)) out.set(m, true);
+  }
+  return out;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable out(num_vars_);
+  for (std::size_t k = 0; k < words_.size(); ++k) out.words_[k] = ~words_[k];
+  out.words_.back() &= tail_mask(num_vars_);
+  return out;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  check_same_arity(o);
+  TruthTable out(num_vars_);
+  for (std::size_t k = 0; k < words_.size(); ++k)
+    out.words_[k] = words_[k] & o.words_[k];
+  return out;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  check_same_arity(o);
+  TruthTable out(num_vars_);
+  for (std::size_t k = 0; k < words_.size(); ++k)
+    out.words_[k] = words_[k] | o.words_[k];
+  return out;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  check_same_arity(o);
+  TruthTable out(num_vars_);
+  for (std::size_t k = 0; k < words_.size(); ++k)
+    out.words_[k] = words_[k] ^ o.words_[k];
+  return out;
+}
+
+bool TruthTable::operator==(const TruthTable& o) const {
+  return num_vars_ == o.num_vars_ && words_ == o.words_;
+}
+
+bool TruthTable::implies(const TruthTable& o) const {
+  check_same_arity(o);
+  for (std::size_t k = 0; k < words_.size(); ++k)
+    if (words_[k] & ~o.words_[k]) return false;
+  return true;
+}
+
+std::string TruthTable::to_bits() const {
+  std::string out(num_minterms(), '0');
+  for (std::uint64_t m = 0; m < num_minterms(); ++m)
+    if (get(m)) out[m] = '1';
+  return out;
+}
+
+std::vector<std::uint64_t> TruthTable::minterms() const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t m = 0; m < num_minterms(); ++m)
+    if (get(m)) out.push_back(m);
+  return out;
+}
+
+void TruthTable::check_same_arity(const TruthTable& o) const {
+  if (num_vars_ != o.num_vars_)
+    throw std::invalid_argument("TruthTable: arity mismatch");
+}
+
+}  // namespace l2l::tt

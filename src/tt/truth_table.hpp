@@ -1,0 +1,89 @@
+#pragma once
+// Explicit truth tables.
+//
+// A TruthTable stores the complete function table of a Boolean function of
+// n variables as a packed bit vector of 2^n entries. It is deliberately
+// exponential: its job in this repository is to be the *semantics oracle*
+// that every symbolic representation (cube covers, BDDs, CNF, logic
+// networks) is property-tested against, and to implement small exact
+// operations (e.g. Quine-McCluskey minterm enumeration).
+//
+// Variable 0 is the least-significant index bit: minterm m has variable i
+// equal to bit i of m.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace l2l::tt {
+
+class TruthTable {
+ public:
+  /// The all-zero function of `num_vars` variables (num_vars <= 26).
+  explicit TruthTable(int num_vars = 0);
+
+  /// Build from a minterm string, LSB first: "0110" is XOR of 2 vars.
+  /// Length must be a power of two.
+  static TruthTable from_bits(const std::string& bits);
+
+  /// The projection function x_i over n variables.
+  static TruthTable variable(int num_vars, int i);
+
+  /// Constant function.
+  static TruthTable constant(int num_vars, bool value);
+
+  /// Uniformly random function (deterministic given the Rng state).
+  static TruthTable random(int num_vars, util::Rng& rng);
+
+  int num_vars() const { return num_vars_; }
+  std::uint64_t num_minterms() const { return 1ull << num_vars_; }
+
+  bool get(std::uint64_t minterm) const;
+  void set(std::uint64_t minterm, bool value);
+
+  /// Number of minterms where the function is 1.
+  std::uint64_t count_ones() const;
+
+  bool is_constant_zero() const;
+  bool is_constant_one() const;
+
+  /// True if the function does not depend on variable i.
+  bool is_independent_of(int i) const;
+
+  /// Positive/negative cofactor with respect to variable i (same num_vars;
+  /// the result is independent of variable i).
+  TruthTable cofactor(int i, bool value) const;
+
+  /// Existential / universal quantification of variable i.
+  TruthTable exists(int i) const { return cofactor(i, false) | cofactor(i, true); }
+  TruthTable forall(int i) const { return cofactor(i, false) & cofactor(i, true); }
+
+  /// Boolean difference d f / d x_i = f_xi XOR f_xi'.
+  TruthTable boolean_difference(int i) const {
+    return cofactor(i, false) ^ cofactor(i, true);
+  }
+
+  TruthTable operator~() const;
+  TruthTable operator&(const TruthTable& o) const;
+  TruthTable operator|(const TruthTable& o) const;
+  TruthTable operator^(const TruthTable& o) const;
+  bool operator==(const TruthTable& o) const;
+
+  /// True if this implies o (this <= o pointwise).
+  bool implies(const TruthTable& o) const;
+
+  /// Minterm string, LSB first (inverse of from_bits).
+  std::string to_bits() const;
+
+  /// All minterms where the function is 1, ascending.
+  std::vector<std::uint64_t> minterms() const;
+
+ private:
+  void check_same_arity(const TruthTable& o) const;
+  int num_vars_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace l2l::tt

@@ -1,0 +1,68 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace l2l::util {
+
+std::string render_bar_chart(const std::vector<BarDatum>& data,
+                             const BarChartOptions& opts) {
+  double maxv = 0.0;
+  std::size_t label_w = static_cast<std::size_t>(opts.label_width);
+  for (const auto& d : data) {
+    maxv = std::max(maxv, d.value);
+    if (opts.label_width == 0) label_w = std::max(label_w, d.label.size());
+  }
+  std::string out;
+  for (const auto& d : data) {
+    std::string line = d.label;
+    line.resize(label_w, ' ');
+    line += " |";
+    const int bar =
+        maxv > 0 ? static_cast<int>(std::lround(d.value / maxv * opts.width))
+                 : 0;
+    line.append(static_cast<std::size_t>(bar), opts.fill);
+    if (opts.show_value) {
+      line += format(" %.6g", d.value);
+      line += opts.value_suffix;
+    }
+    line += '\n';
+    out += line;
+  }
+  return out;
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < widths.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = emit_row(header);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows) out += emit_row(row);
+  return out;
+}
+
+}  // namespace l2l::util

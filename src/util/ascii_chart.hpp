@@ -1,0 +1,32 @@
+#pragma once
+// ASCII rendering of simple bar charts and tables. The paper's figures are
+// bar charts (Fig 1, Fig 2, Fig 9) and tabular funnels (Fig 8, Fig 10);
+// the figure benches use this to print the same series in a terminal.
+
+#include <string>
+#include <vector>
+
+namespace l2l::util {
+
+struct BarDatum {
+  std::string label;
+  double value = 0.0;
+};
+
+struct BarChartOptions {
+  int width = 50;            ///< max bar width in characters
+  char fill = '#';           ///< bar fill character
+  bool show_value = true;    ///< append the numeric value after the bar
+  int label_width = 0;       ///< 0 = auto (widest label)
+  std::string value_suffix;  ///< e.g. " min"
+};
+
+/// Render a horizontal bar chart, one row per datum, scaled to the max value.
+std::string render_bar_chart(const std::vector<BarDatum>& data,
+                             const BarChartOptions& opts = {});
+
+/// Render a table with a header row; columns are padded to the widest cell.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace l2l::util

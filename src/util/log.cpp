@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace l2l::util {
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %.*s\n", tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace l2l::util

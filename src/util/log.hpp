@@ -1,0 +1,23 @@
+#pragma once
+// Minimal severity-tagged logging to stderr. Tools and examples use this
+// for progress reporting; the library core never logs on the hot path.
+
+#include <string_view>
+
+namespace l2l::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the minimum level that is actually emitted (default: kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line: "[level] message\n" to stderr if level passes the filter.
+void log(LogLevel level, std::string_view msg);
+
+inline void log_debug(std::string_view msg) { log(LogLevel::kDebug, msg); }
+inline void log_info(std::string_view msg) { log(LogLevel::kInfo, msg); }
+inline void log_warn(std::string_view msg) { log(LogLevel::kWarn, msg); }
+inline void log_error(std::string_view msg) { log(LogLevel::kError, msg); }
+
+}  // namespace l2l::util

@@ -1,0 +1,31 @@
+#pragma once
+// Small string utilities shared by the text-based tool front-ends
+// (BLIF/PLA/DIMACS parsers, the kbdd/sis script interpreters, graders).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace l2l::util {
+
+/// Split on any run of the given delimiter characters; empty tokens are
+/// dropped (the behaviour every whitespace-separated EDA text format wants).
+std::vector<std::string> split(std::string_view s,
+                               std::string_view delims = " \t\r\n");
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lower-casing (formats in this repo are ASCII by construction).
+std::string to_lower(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join tokens with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace l2l::util

@@ -1,0 +1,154 @@
+#include "viz/svg.hpp"
+
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace l2l::viz {
+namespace {
+
+std::string svg_header(int w, int h) {
+  return util::format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\">\n"
+      "<rect width=\"%d\" height=\"%d\" fill=\"#fafafa\"/>\n",
+      w, h, w, h, w, h);
+}
+
+/// Deterministic categorical color per net id.
+std::string net_color(int id) {
+  static const char* kPalette[] = {"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+                                   "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+                                   "#bcbd22", "#17becf"};
+  return kPalette[static_cast<std::size_t>(id) % 10];
+}
+
+}  // namespace
+
+std::string placement_svg(const gen::PlacementProblem& problem,
+                          const place::Grid& grid,
+                          const place::GridPlacement& placement,
+                          const SvgOptions& opt) {
+  const double sx = opt.cell_pixels * grid.width /
+                    std::max(1, grid.sites_per_row) / (grid.width / grid.sites_per_row);
+  (void)sx;
+  const int px = opt.cell_pixels;
+  const int w = grid.sites_per_row * px;
+  const int h = grid.rows * px;
+  std::string out = svg_header(w + 2 * px, h + 2 * px);
+  out += util::format("<g transform=\"translate(%d,%d)\">\n", px, px);
+
+  if (opt.show_grid) {
+    for (int r = 0; r <= grid.rows; ++r)
+      out += util::format(
+          "<line x1=\"0\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#ddd\"/>\n",
+          r * px, w, r * px);
+    for (int c = 0; c <= grid.sites_per_row; ++c)
+      out += util::format(
+          "<line x1=\"%d\" y1=\"0\" x2=\"%d\" y2=\"%d\" stroke=\"#ddd\"/>\n",
+          c * px, c * px, h);
+  }
+
+  // Net bounding boxes (light).
+  const auto cont = placement.to_continuous(grid);
+  for (std::size_t n = 0; n < problem.nets.size(); ++n) {
+    double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+    for (const auto& pin : problem.nets[n]) {
+      double x, y;
+      if (pin.is_pad) {
+        x = problem.pads[static_cast<std::size_t>(pin.index)].x;
+        y = problem.pads[static_cast<std::size_t>(pin.index)].y;
+      } else {
+        x = cont.x[static_cast<std::size_t>(pin.index)];
+        y = cont.y[static_cast<std::size_t>(pin.index)];
+      }
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+    out += util::format(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+        "fill=\"none\" stroke=\"%s\" stroke-opacity=\"0.25\"/>\n",
+        xmin / grid.width * w, ymin / grid.height * h,
+        (xmax - xmin) / grid.width * w, (ymax - ymin) / grid.height * h,
+        net_color(static_cast<int>(n)).c_str());
+  }
+
+  // Cells.
+  for (std::size_t c = 0; c < placement.col.size(); ++c) {
+    out += util::format(
+        "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#4477aa\" "
+        "stroke=\"#223\" rx=\"1\"><title>cell %d</title></rect>\n",
+        placement.col[c] * px + 1, placement.row[c] * px + 1, px - 2, px - 2,
+        static_cast<int>(c));
+  }
+  // Pads.
+  for (const auto& pad : problem.pads) {
+    const double x = pad.x / grid.width * w;
+    const double y = pad.y / grid.height * h;
+    out += util::format(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%d\" height=\"%d\" "
+        "fill=\"#cc3311\" transform=\"rotate(45 %.1f %.1f)\">"
+        "<title>%s</title></rect>\n",
+        x - px / 3.0, y - px / 3.0, 2 * px / 3, 2 * px / 3, x, y,
+        pad.name.c_str());
+  }
+  out += "</g>\n</svg>\n";
+  return out;
+}
+
+std::string routing_svg(const gen::RoutingProblem& problem,
+                        const route::RouteSolution& solution,
+                        const SvgOptions& opt) {
+  const int px = opt.cell_pixels;
+  const int w = problem.width * px;
+  const int h = problem.height * px;
+  std::string out = svg_header(w, h);
+
+  // Obstacles (both layers, darker when stacked).
+  for (int layer = 0; layer < problem.num_layers; ++layer)
+    for (int y = 0; y < problem.height; ++y)
+      for (int x = 0; x < problem.width; ++x)
+        if (problem.blocked[static_cast<std::size_t>(layer)]
+                           [static_cast<std::size_t>(y) * static_cast<std::size_t>(problem.width) +
+                            static_cast<std::size_t>(x)])
+          out += util::format(
+              "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+              "fill=\"#333\" fill-opacity=\"0.5\"/>\n",
+              x * px, (problem.height - 1 - y) * px, px, px);
+
+  // Wires: layer 0 solid, layer 1 translucent; vias as circles.
+  for (const auto& net : solution.nets) {
+    const auto color = net_color(net.net_id);
+    std::set<std::pair<int, int>> l0, l1;
+    for (const auto& c : net.cells) {
+      (c.layer == 0 ? l0 : l1).insert({c.x, c.y});
+      out += util::format(
+          "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" "
+          "fill-opacity=\"%s\"/>\n",
+          c.x * px, (problem.height - 1 - c.y) * px, px, px, color.c_str(),
+          c.layer == 0 ? "0.9" : "0.45");
+    }
+    for (const auto& [x, y] : l0)
+      if (l1.count({x, y}))
+        out += util::format(
+            "<circle cx=\"%d\" cy=\"%d\" r=\"%d\" fill=\"none\" "
+            "stroke=\"black\"/>\n",
+            x * px + px / 2, (problem.height - 1 - y) * px + px / 2, px / 3);
+  }
+  // Pins.
+  if (opt.show_pins) {
+    for (const auto& net : problem.nets)
+      for (const auto& pin : net.pins)
+        out += util::format(
+            "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" "
+            "stroke=\"black\" stroke-width=\"1.5\"><title>net %d</title></rect>\n",
+            pin.x * px + 1, (problem.height - 1 - pin.y) * px + 1, px - 2,
+            px - 2, net.id);
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace l2l::viz

@@ -1,0 +1,33 @@
+#pragma once
+// SVG layout rendering -- the repository's stand-in for the MOOC's
+// browser-based HTML5 layout viewer (§2.2, [16]): "it is just impossible
+// to build layout tools if one cannot see the layout results". Drop the
+// emitted .svg into any browser.
+
+#include <string>
+
+#include "place/legalize.hpp"
+#include "route/router.hpp"
+
+namespace l2l::viz {
+
+struct SvgOptions {
+  int cell_pixels = 10;   ///< pixels per grid unit
+  bool show_grid = false;
+  bool show_pins = true;
+};
+
+/// Render a legalized placement: cells as boxes, pads as diamonds, nets as
+/// light bounding-box outlines.
+std::string placement_svg(const gen::PlacementProblem& problem,
+                          const place::Grid& grid,
+                          const place::GridPlacement& placement,
+                          const SvgOptions& opt = {});
+
+/// Render a routed solution: layer 0 wires in one hue, layer 1 in another,
+/// vias as circles, obstacles dark, pins as squares.
+std::string routing_svg(const gen::RoutingProblem& problem,
+                        const route::RouteSolution& solution,
+                        const SvgOptions& opt = {});
+
+}  // namespace l2l::viz

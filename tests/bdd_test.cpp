@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+#include "bdd/reorder.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::bdd {
+namespace {
+
+using tt::TruthTable;
+
+// Build a BDD for an arbitrary truth table by Shannon expansion (test
+// helper; deliberately independent of the package's ITE machinery).
+Bdd from_truth_table(Manager& mgr, const TruthTable& f) {
+  Bdd r = mgr.zero();
+  for (const auto m : f.minterms()) {
+    Bdd cube = mgr.one();
+    for (int v = 0; v < f.num_vars(); ++v)
+      cube = cube & (((m >> v) & 1) ? mgr.var(v) : mgr.nvar(v));
+    r = r | cube;
+  }
+  return r;
+}
+
+TEST(Bdd, ConstantsAreDistinctAndComplementary) {
+  Manager mgr(2);
+  EXPECT_TRUE(mgr.one().is_one());
+  EXPECT_TRUE(mgr.zero().is_zero());
+  EXPECT_FALSE(mgr.one() == mgr.zero());
+  EXPECT_TRUE((!mgr.one()) == mgr.zero());
+}
+
+TEST(Bdd, VariableSemantics) {
+  Manager mgr(3);
+  const auto x1 = mgr.var(1);
+  EXPECT_EQ(x1.to_truth_table(), TruthTable::variable(3, 1));
+  EXPECT_EQ(mgr.nvar(1).to_truth_table(), ~TruthTable::variable(3, 1));
+  EXPECT_EQ(x1.top_var(), 1);
+  EXPECT_THROW(mgr.var(3), std::invalid_argument);
+}
+
+TEST(Bdd, CanonicityGivesPointerEquality) {
+  Manager mgr(3);
+  // (x0 & x1) | (x0 & x2)  ==  x0 & (x1 | x2): same canonical BDD.
+  const auto a = (mgr.var(0) & mgr.var(1)) | (mgr.var(0) & mgr.var(2));
+  const auto b = mgr.var(0) & (mgr.var(1) | mgr.var(2));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Bdd, ComplementIsConstantTime) {
+  Manager mgr(4);
+  const auto f = (mgr.var(0) & mgr.var(1)) ^ mgr.var(2);
+  const auto before = mgr.num_allocated_nodes();
+  const auto g = !f;
+  EXPECT_EQ(mgr.num_allocated_nodes(), before);  // negation arc: no new nodes
+  EXPECT_EQ(g.to_truth_table(), ~f.to_truth_table());
+}
+
+TEST(Bdd, OperatorsMatchOracleRandomized) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    Manager mgr(4);
+    const auto ft = TruthTable::random(4, rng);
+    const auto gt = TruthTable::random(4, rng);
+    const auto f = from_truth_table(mgr, ft);
+    const auto g = from_truth_table(mgr, gt);
+    EXPECT_EQ((f & g).to_truth_table(), ft & gt);
+    EXPECT_EQ((f | g).to_truth_table(), ft | gt);
+    EXPECT_EQ((f ^ g).to_truth_table(), ft ^ gt);
+    EXPECT_EQ((!f).to_truth_table(), ~ft);
+  }
+}
+
+TEST(Bdd, IteMatchesOracle) {
+  util::Rng rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    Manager mgr(4);
+    const auto ft = TruthTable::random(4, rng);
+    const auto gt = TruthTable::random(4, rng);
+    const auto ht = TruthTable::random(4, rng);
+    const auto r = from_truth_table(mgr, ft)
+                       .ite(from_truth_table(mgr, gt), from_truth_table(mgr, ht));
+    EXPECT_EQ(r.to_truth_table(), (ft & gt) | (~ft & ht));
+  }
+}
+
+TEST(Bdd, CofactorComposeQuantify) {
+  util::Rng rng(33);
+  for (int trial = 0; trial < 15; ++trial) {
+    Manager mgr(4);
+    const auto ft = TruthTable::random(4, rng);
+    const auto gt = TruthTable::random(4, rng);
+    const auto f = from_truth_table(mgr, ft);
+    const auto g = from_truth_table(mgr, gt);
+    for (int v = 0; v < 4; ++v) {
+      EXPECT_EQ(f.cofactor(v, true).to_truth_table(), ft.cofactor(v, true));
+      EXPECT_EQ(f.cofactor(v, false).to_truth_table(), ft.cofactor(v, false));
+      EXPECT_EQ(f.exists(v).to_truth_table(), ft.exists(v));
+      EXPECT_EQ(f.forall(v).to_truth_table(), ft.forall(v));
+      EXPECT_EQ(f.boolean_difference(v).to_truth_table(),
+                ft.boolean_difference(v));
+      // compose: f[x_v <- g] pointwise.
+      const auto composed = f.compose(v, g).to_truth_table();
+      const auto x = TruthTable::variable(4, v);
+      const auto expect =
+          (gt & ft.cofactor(v, true)) | (~gt & ft.cofactor(v, false));
+      EXPECT_EQ(composed, expect);
+    }
+  }
+}
+
+TEST(Bdd, MultiVarQuantification) {
+  Manager mgr(3);
+  const auto f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  EXPECT_TRUE(f.exists({0, 1, 2}).is_one());
+  EXPECT_TRUE(f.forall({0, 1, 2}).is_zero());
+  // forall x2 . f  =  x0 & x1  (must hold when x2=0).
+  EXPECT_TRUE(f.forall(2) == (mgr.var(0) & mgr.var(1)));
+}
+
+TEST(Bdd, ImpliesAndTautologyChecks) {
+  Manager mgr(3);
+  const auto f = mgr.var(0) & mgr.var(1);
+  const auto g = mgr.var(0);
+  EXPECT_TRUE(f.implies(g));
+  EXPECT_FALSE(g.implies(f));
+  EXPECT_TRUE((f | !f).is_one());
+  EXPECT_TRUE((f & !f).is_zero());
+}
+
+TEST(Bdd, SatCountMatchesOracle) {
+  util::Rng rng(34);
+  for (int trial = 0; trial < 25; ++trial) {
+    Manager mgr(5);
+    const auto ft = TruthTable::random(5, rng);
+    EXPECT_EQ(from_truth_table(mgr, ft).sat_count(), ft.count_ones());
+  }
+}
+
+TEST(Bdd, SatCountConstants) {
+  Manager mgr(6);
+  EXPECT_EQ(mgr.one().sat_count(), 64u);
+  EXPECT_EQ(mgr.zero().sat_count(), 0u);
+  EXPECT_EQ(mgr.var(3).sat_count(), 32u);
+}
+
+TEST(Bdd, OneSatFindsSatisfyingAssignment) {
+  util::Rng rng(35);
+  for (int trial = 0; trial < 25; ++trial) {
+    Manager mgr(5);
+    const auto ft = TruthTable::random(5, rng);
+    const auto f = from_truth_table(mgr, ft);
+    const auto sat = f.one_sat();
+    if (ft.is_constant_zero()) {
+      EXPECT_FALSE(sat.has_value());
+      continue;
+    }
+    ASSERT_TRUE(sat.has_value());
+    // Complete don't-cares to 0 and evaluate.
+    std::vector<bool> a(5);
+    for (int v = 0; v < 5; ++v) a[static_cast<std::size_t>(v)] = (*sat)[static_cast<std::size_t>(v)] == 1;
+    EXPECT_TRUE(f.eval(a));
+  }
+}
+
+TEST(Bdd, SupportListsDependentVars) {
+  Manager mgr(5);
+  const auto f = (mgr.var(1) & mgr.var(3)) | mgr.var(1);
+  EXPECT_EQ(f.support(), (std::vector<int>{1}));  // absorbs to x1
+  const auto g = mgr.var(0) ^ mgr.var(4);
+  EXPECT_EQ(g.support(), (std::vector<int>{0, 4}));
+  EXPECT_TRUE(mgr.one().support().empty());
+}
+
+TEST(Bdd, SizeOfXorChainIsLinear) {
+  // XOR of n variables has exactly n nodes with complement edges.
+  Manager mgr(8);
+  Bdd f = mgr.zero();
+  for (int v = 0; v < 8; ++v) f = f ^ mgr.var(v);
+  EXPECT_EQ(f.size(), 8u);
+}
+
+TEST(Bdd, SharedDagSizeCountsOnce) {
+  Manager mgr(4);
+  const auto f = mgr.var(0) & mgr.var(1);
+  const auto g = f | mgr.var(2);
+  EXPECT_LE(dag_size({f, g}), f.size() + g.size());
+  EXPECT_GE(dag_size({f, g}), g.size());
+}
+
+TEST(Bdd, GarbageCollectReclaimsDeadNodes) {
+  Manager mgr(10);
+  {
+    Bdd f = mgr.one();
+    for (int v = 0; v < 10; ++v) f = f & mgr.var(v);
+    EXPECT_GT(mgr.num_live_nodes(), 0u);
+  }
+  // All handles dropped: nodes are dead, a GC reclaims them.
+  mgr.garbage_collect();
+  EXPECT_EQ(mgr.num_live_nodes(), 0u);
+  EXPECT_GT(mgr.gc_count(), 0);
+  // The manager is still usable after collection.
+  const auto g = mgr.var(0) | mgr.var(9);
+  EXPECT_EQ(g.sat_count(), 768u);  // 3/4 of 2^10
+}
+
+TEST(Bdd, HandleCopySemantics) {
+  Manager mgr(2);
+  Bdd a = mgr.var(0);
+  Bdd b = a;           // copy
+  Bdd c = std::move(a);  // move leaves a null
+  EXPECT_TRUE(a.is_null());
+  EXPECT_TRUE(b == c);
+  b = b;  // self-assignment safe
+  EXPECT_FALSE(b.is_null());
+  EXPECT_THROW(a.sat_count(), std::logic_error);
+}
+
+TEST(Bdd, MixingManagersThrows) {
+  Manager m1(2), m2(2);
+  EXPECT_THROW(m1.var(0) & m2.var(0), std::logic_error);
+}
+
+TEST(Bdd, DotExportMentionsAllNodes) {
+  Manager mgr(3);
+  const auto f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  const auto dot = f.to_dot("f");
+  EXPECT_NE(dot.find("digraph f"), std::string::npos);
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("x2"), std::string::npos);
+}
+
+// ---- Reordering -------------------------------------------------------
+
+TEST(Reorder, IdentityOrderPreservesSize) {
+  Manager mgr(4);
+  const auto f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3));
+  const auto res = reorder_with_order({f}, {0, 1, 2, 3});
+  EXPECT_EQ(res.size_before, res.size_after);
+  EXPECT_EQ(res.roots[0].to_truth_table(), f.to_truth_table());
+}
+
+TEST(Reorder, PermutedFunctionIsConsistent) {
+  Manager mgr(4);
+  const auto f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3));
+  const std::vector<int> order{3, 1, 0, 2};
+  const auto res = reorder_with_order({f}, order);
+  // Check semantics: new var k = old var order[k].
+  const auto ft = f.to_truth_table();
+  const auto gt = res.roots[0].to_truth_table();
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    std::uint64_t pm = 0;  // permuted minterm index
+    for (int k = 0; k < 4; ++k)
+      if ((m >> order[static_cast<std::size_t>(k)]) & 1) pm |= 1ull << k;
+    EXPECT_EQ(gt.get(pm), ft.get(m));
+  }
+}
+
+TEST(Reorder, InterleavedComparatorShrinksUnderGoodOrder) {
+  // f = (a0<=>b0)(a1<=>b1)(a2<=>b2) with vars a0 a1 a2 b0 b1 b2: the
+  // blocked order is exponential, the interleaved order is linear.
+  constexpr int kBits = 3;
+  Manager mgr(2 * kBits);
+  Bdd f = mgr.one();
+  for (int i = 0; i < kBits; ++i)
+    f = f & !(mgr.var(i) ^ mgr.var(kBits + i));
+  const std::vector<int> interleaved{0, 3, 1, 4, 2, 5};
+  const auto res = reorder_with_order({f}, interleaved);
+  EXPECT_LT(res.size_after, res.size_before);
+}
+
+TEST(Reorder, SiftNeverIncreasesSize) {
+  util::Rng rng(36);
+  for (int trial = 0; trial < 5; ++trial) {
+    Manager mgr(6);
+    const auto ft = TruthTable::random(6, rng);
+    const auto f = from_truth_table(mgr, ft);
+    const auto res = sift({f});
+    EXPECT_LE(res.size_after, res.size_before);
+  }
+}
+
+TEST(Reorder, SiftFindsInterleavedOrderForComparator) {
+  constexpr int kBits = 4;
+  Manager mgr(2 * kBits);
+  Bdd f = mgr.one();
+  for (int i = 0; i < kBits; ++i)
+    f = f & !(mgr.var(i) ^ mgr.var(kBits + i));
+  const auto res = sift({f});
+  // The optimal interleaved order gives 2 nodes/bit + terminal-side nodes;
+  // blocked order needs ~3 * 2^kBits. Sifting must find something linear.
+  EXPECT_LE(res.size_after, static_cast<std::size_t>(3 * kBits + 2));
+}
+
+TEST(Reorder, RejectsBadPermutations) {
+  Manager mgr(3);
+  const auto f = mgr.var(0);
+  EXPECT_THROW(reorder_with_order({f}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(reorder_with_order({f}, {0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(reorder_with_order({}, {}), std::invalid_argument);
+}
+
+// Parameterized: XOR chains of every width keep linear size and correct
+// sat counts (2^{n-1} satisfying assignments).
+class XorChainTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XorChainTest, LinearSizeAndHalfSatCount) {
+  const int n = GetParam();
+  Manager mgr(n);
+  Bdd f = mgr.zero();
+  for (int v = 0; v < n; ++v) f = f ^ mgr.var(v);
+  EXPECT_EQ(f.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(f.sat_count(), 1ull << (n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, XorChainTest, ::testing::Values(1, 2, 4, 8, 12, 16));
+
+}  // namespace
+}  // namespace l2l::bdd

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "cubes/urp.hpp"
+#include "espresso/minimize.hpp"
+#include "espresso/pla.hpp"
+#include "espresso/qm.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::espresso {
+namespace {
+
+using cubes::Cover;
+using cubes::Cube;
+using tt::TruthTable;
+
+Cover random_cover(int n, int k, util::Rng& rng) {
+  Cover f(n);
+  for (int i = 0; i < k; ++i) {
+    Cube c(n);
+    for (int v = 0; v < n; ++v) {
+      switch (rng.next_below(3)) {
+        case 0: c.set_code(v, cubes::Pcn::kNeg); break;
+        case 1: c.set_code(v, cubes::Pcn::kPos); break;
+        default: break;
+      }
+    }
+    f.add(std::move(c));
+  }
+  return f;
+}
+
+// Is every cube of g a prime implicant of the function on | dc?
+bool all_cubes_prime(const Cover& g, const Cover& on, const Cover& dc) {
+  const Cover allowed = on | dc;
+  for (const auto& c : g.cubes()) {
+    if (!cubes::cover_contains_cube(allowed, c)) return false;
+    for (int v = 0; v < c.num_vars(); ++v) {
+      if (c.code(v) == cubes::Pcn::kDontCare) continue;
+      Cube raised = c;
+      raised.set_code(v, cubes::Pcn::kDontCare);
+      if (cubes::cover_contains_cube(allowed, raised)) return false;  // not maximal
+    }
+  }
+  return true;
+}
+
+TEST(Expand, ProducesPrimes) {
+  util::Rng rng(51);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto f = random_cover(4, 3, rng);
+    if (f.empty()) continue;
+    const Cover dc(4);
+    const auto off = cubes::complement(f);
+    const auto e = expand(f, off);
+    EXPECT_TRUE(is_legal_implementation(e, f, dc)) << f.to_string();
+    EXPECT_TRUE(all_cubes_prime(e, f, dc)) << f.to_string();
+  }
+}
+
+TEST(Irredundant, RemovesRedundantCube) {
+  // y + xz + xy: the consensus cube xz... actually xy is inside y. Check
+  // the textbook case: f = x + x'y + y -> x + y (x'y redundant).
+  const auto f = Cover::parse(2, "1-\n01\n-1\n");
+  const auto r = irredundant(f, Cover(2));
+  EXPECT_TRUE(cubes::covers_equal(r, f));
+  EXPECT_LE(r.size(), 2);
+}
+
+TEST(Irredundant, ResultHasNoRedundantCubes) {
+  util::Rng rng(52);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto f = random_cover(4, 5, rng);
+    const auto r = irredundant(f, Cover(4));
+    EXPECT_TRUE(cubes::covers_equal(r, f));
+    // Each remaining cube must NOT be covered by the others.
+    for (int i = 0; i < r.size(); ++i) {
+      Cover rest(4);
+      for (int j = 0; j < r.size(); ++j)
+        if (j != i) rest.add(r.cube(j));
+      EXPECT_FALSE(cubes::cover_contains_cube(rest, r.cube(i)));
+    }
+  }
+}
+
+TEST(Reduce, PreservesFunction) {
+  util::Rng rng(53);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto f = random_cover(4, 4, rng);
+    const auto r = reduce(f, Cover(4));
+    EXPECT_TRUE(cubes::covers_equal(r, f)) << f.to_string();
+  }
+}
+
+TEST(Minimize, TextbookExamples) {
+  // f = a'b' + a'b + ab' = a' + b'  (2 cubes, 2 literals)
+  const auto f = Cover::parse(2, "00\n01\n10\n");
+  const auto m = minimize(f);
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_EQ(m.num_literals(), 2);
+  EXPECT_TRUE(cubes::covers_equal(m, f));
+
+  // Full cover of 2 vars -> single universal cube.
+  const auto g = Cover::parse(2, "00\n01\n10\n11\n");
+  const auto mg = minimize(g);
+  EXPECT_EQ(mg.size(), 1);
+  EXPECT_TRUE(mg.cube(0).is_universal());
+}
+
+TEST(Minimize, UsesDontCares) {
+  // ON = {11}, DC = {10, 01}: minimal result is a single-literal cube.
+  const auto on = Cover::parse(2, "11\n");
+  const auto dc = Cover::parse(2, "10\n01\n");
+  const auto m = minimize(on, dc);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_EQ(m.cube(0).num_literals(), 1);
+  EXPECT_TRUE(is_legal_implementation(m, on, dc));
+}
+
+TEST(Minimize, LegalAndNeverWorseRandomized) {
+  util::Rng rng(54);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(3));
+    const auto f = random_cover(n, 2 + static_cast<int>(rng.next_below(6)), rng);
+    if (f.empty()) continue;
+    const auto dc = random_cover(n, static_cast<int>(rng.next_below(3)), rng);
+    MinimizeStats stats;
+    const auto m = minimize(f, dc, {}, &stats);
+    EXPECT_TRUE(is_legal_implementation(m, f, dc))
+        << "F:\n" << f.to_string() << "DC:\n" << dc.to_string();
+    EXPECT_LE(m.size(), stats.initial_cubes);
+    EXPECT_GE(stats.iterations, 1);
+  }
+}
+
+TEST(Minimize, EmptyAndTautology) {
+  EXPECT_TRUE(minimize(Cover(3)).empty());
+  const auto taut = minimize(Cover::universal(3));
+  EXPECT_EQ(taut.size(), 1);
+  EXPECT_TRUE(taut.cube(0).is_universal());
+}
+
+TEST(Qm, AllPrimesOfXor) {
+  // XOR has exactly 2 primes (the two minterm cubes) in 2 vars.
+  const auto f = Cover::parse(2, "01\n10\n");
+  const auto primes = all_primes(f, Cover(2));
+  EXPECT_EQ(primes.size(), 2u);
+}
+
+TEST(Qm, AllPrimesTextbook) {
+  // f(a,b,c) = sum m(0,1,2,5,6,7): classic cyclic function, 6 primes.
+  Cover f(3);
+  for (const std::uint64_t m : {0, 1, 2, 5, 6, 7}) {
+    Cube c(3);
+    for (int v = 0; v < 3; ++v)
+      c.set_code(v, ((m >> v) & 1) ? cubes::Pcn::kPos : cubes::Pcn::kNeg);
+    f.add(std::move(c));
+  }
+  const auto primes = all_primes(f, Cover(3));
+  EXPECT_EQ(primes.size(), 6u);
+  // Exact cover of the cycle needs 3 cubes.
+  ExactStats stats;
+  const auto exact = exact_minimize(f, Cover(3), &stats);
+  EXPECT_EQ(exact.size(), 3);
+  EXPECT_TRUE(cubes::covers_equal(exact, f));
+  EXPECT_GT(stats.branch_nodes, 0);  // the cyclic core forced branching
+}
+
+TEST(Qm, PrimesAreActuallyPrime) {
+  util::Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto f = random_cover(4, 4, rng);
+    if (f.empty()) continue;
+    const auto primes = all_primes(f, Cover(4));
+    Cover pc(4, primes);
+    EXPECT_TRUE(all_cubes_prime(pc, f, Cover(4)));
+  }
+}
+
+TEST(Qm, ExactMatchesFunctionRandomized) {
+  util::Rng rng(56);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(2));
+    const auto ft = TruthTable::random(n, rng);
+    const auto f = Cover::from_truth_table(ft);
+    const auto m = exact_minimize(f);
+    EXPECT_EQ(m.to_truth_table(), ft);
+  }
+}
+
+TEST(Qm, ExactNeverWorseThanHeuristic) {
+  util::Rng rng(57);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto ft = TruthTable::random(4, rng);
+    const auto f = Cover::from_truth_table(ft);
+    if (f.empty()) continue;
+    const auto heuristic = minimize(f);
+    const auto exact = exact_minimize(f);
+    EXPECT_LE(exact.size(), heuristic.size());
+  }
+}
+
+TEST(Qm, ExactWithDontCares) {
+  const auto on = Cover::parse(3, "111\n");
+  const auto dc = Cover::parse(3, "110\n101\n011\n");
+  const auto m = exact_minimize(on, dc);
+  // With those DCs, a single 1-literal or 2-literal cube suffices.
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_TRUE(is_legal_implementation(m, on, dc));
+}
+
+TEST(Pla, ParseBasic) {
+  const auto pla = parse_pla(
+      ".i 3\n.o 2\n.ilb a b c\n.ob f g\n"
+      "11- 10\n--1 01\n1-1 1-\n.e\n");
+  EXPECT_EQ(pla.num_inputs, 3);
+  EXPECT_EQ(pla.num_outputs(), 2);
+  EXPECT_EQ(pla.input_names[1], "b");
+  EXPECT_EQ(pla.outputs[0].name, "f");
+  EXPECT_EQ(pla.outputs[0].on.size(), 2);  // "11- 10" and "1-1 1-"
+  EXPECT_EQ(pla.outputs[1].on.size(), 1);
+  EXPECT_EQ(pla.outputs[1].dc.size(), 1);  // "1-1 1-" marks DC for output 1
+}
+
+TEST(Pla, ParseErrors) {
+  EXPECT_THROW(parse_pla("11 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n111 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n11 11\n"), std::invalid_argument);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n11 x\n"), std::invalid_argument);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.bogus\n"), std::invalid_argument);
+}
+
+TEST(Pla, WriteParseRoundTrip) {
+  const auto pla = parse_pla(".i 2\n.o 1\n11 1\n0- 1\n10 -\n.e\n");
+  const auto again = parse_pla(write_pla(pla));
+  EXPECT_EQ(again.num_inputs, 2);
+  ASSERT_EQ(again.num_outputs(), 1);
+  EXPECT_TRUE(cubes::covers_equal(again.outputs[0].on, pla.outputs[0].on));
+  EXPECT_TRUE(cubes::covers_equal(again.outputs[0].dc, pla.outputs[0].dc));
+}
+
+TEST(Pla, MinimizeWholeFile) {
+  // Minimize each output of a small PLA and verify legality.
+  const auto pla = parse_pla(
+      ".i 3\n.o 2\n"
+      "000 10\n001 10\n010 10\n101 01\n111 01\n110 0-\n.e\n");
+  for (const auto& out : pla.outputs) {
+    const auto m = minimize(out.on, out.dc);
+    EXPECT_TRUE(is_legal_implementation(m, out.on, out.dc));
+    EXPECT_LE(m.size(), out.on.size());
+  }
+}
+
+// Property sweep: heuristic and exact minimization agree with the original
+// function for every arity 2..5 on random dense/sparse inputs.
+class MinimizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizeSweep, HeuristicPreservesFunction) {
+  const int n = GetParam();
+  util::Rng rng(500 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto ft = TruthTable::random(n, rng);
+    const auto f = Cover::from_truth_table(ft);
+    EXPECT_EQ(minimize(f).to_truth_table(), ft);
+  }
+}
+
+TEST_P(MinimizeSweep, SinglePassAblationStillLegal) {
+  const int n = GetParam();
+  util::Rng rng(600 + static_cast<std::uint64_t>(n));
+  MinimizeOptions opt;
+  opt.single_pass = true;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto ft = TruthTable::random(n, rng);
+    const auto f = Cover::from_truth_table(ft);
+    const auto m = minimize(f, Cover(n), opt, nullptr);
+    EXPECT_EQ(m.to_truth_table(), ft);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, MinimizeSweep, ::testing::Range(2, 6));
+
+}  // namespace
+}  // namespace l2l::espresso

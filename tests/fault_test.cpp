@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "fault/atpg.hpp"
+#include "fault/faults.hpp"
+#include "fault/simulator.hpp"
+#include "gen/function_gen.hpp"
+#include "network/blif.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::fault {
+namespace {
+
+using network::Network;
+using network::parse_blif;
+
+Network and_gate() {
+  return parse_blif(
+      ".model a\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n");
+}
+
+TEST(Faults, EnumerationAndNames) {
+  const auto net = and_gate();
+  const auto faults = enumerate_faults(net);
+  EXPECT_EQ(faults.size(), 6u);  // 3 nodes x 2 polarities
+  EXPECT_NE(faults[0].to_string(net).find("stuck-at-0"), std::string::npos);
+}
+
+TEST(Faults, CollapseDropsBufferFaults) {
+  const auto net = parse_blif(
+      ".model b\n.inputs a\n.outputs y\n"
+      ".names a t\n1 1\n"   // buffer
+      ".names t y\n0 1\n"   // inverter
+      ".end\n");
+  const auto all = enumerate_faults(net);
+  const auto collapsed = collapse_faults(net, all);
+  EXPECT_LT(collapsed.size(), all.size());
+}
+
+TEST(Simulator, AndGateTruth) {
+  const auto net = and_gate();
+  const auto y = *net.find("y");
+  // Pattern (1,1) detects y stuck-at-0; (0,1)/(1,0)/(0,0) detect y s-a-1.
+  FaultSimResult r1 = simulate_faults(net, {{y, false}}, {{true, true}});
+  EXPECT_EQ(r1.detected, 1);
+  FaultSimResult r2 = simulate_faults(net, {{y, false}}, {{false, true}});
+  EXPECT_EQ(r2.detected, 0);
+  FaultSimResult r3 = simulate_faults(net, {{y, true}}, {{false, true}});
+  EXPECT_EQ(r3.detected, 1);
+}
+
+TEST(Simulator, InputFaults) {
+  const auto net = and_gate();
+  const auto a = *net.find("a");
+  // a stuck-at-0 detected by (1,1) only.
+  EXPECT_EQ(simulate_faults(net, {{a, false}}, {{true, true}}).detected, 1);
+  EXPECT_EQ(simulate_faults(net, {{a, false}}, {{true, false}}).detected, 0);
+  // a stuck-at-1 detected by (0,1).
+  EXPECT_EQ(simulate_faults(net, {{a, true}}, {{false, true}}).detected, 1);
+}
+
+TEST(Simulator, ExhaustivePatternsDetectAllAdderFaults) {
+  const auto net = gen::adder_network(2);
+  const auto faults = enumerate_faults(net);
+  std::vector<std::vector<bool>> patterns;
+  for (int m = 0; m < 32; ++m) {
+    std::vector<bool> p;
+    for (int i = 0; i < 5; ++i) p.push_back((m >> i) & 1);
+    patterns.push_back(p);
+  }
+  const auto res = simulate_faults(net, faults, patterns);
+  // The adder is irredundant: exhaustive patterns detect every fault.
+  EXPECT_EQ(res.detected, res.total_faults) << res.undetected.size();
+  EXPECT_DOUBLE_EQ(res.coverage(), 1.0);
+}
+
+TEST(Simulator, MoreRandomPatternsNeverLowerCoverage) {
+  const auto net = gen::adder_network(3);
+  const auto faults = enumerate_faults(net);
+  util::Rng r1(31), r2(31);
+  const auto few = random_pattern_coverage(net, faults, 4, r1);
+  const auto many = random_pattern_coverage(net, faults, 64, r2);
+  EXPECT_GE(many.coverage(), few.coverage());
+  EXPECT_GT(many.coverage(), 0.9);
+}
+
+TEST(Simulator, PatternArityChecked) {
+  const auto net = and_gate();
+  EXPECT_THROW(simulate_faults(net, enumerate_faults(net), {{true}}),
+               std::invalid_argument);
+}
+
+TEST(Atpg, GeneratesVerifiedTestsForAdder) {
+  const auto net = gen::adder_network(2);
+  const auto faults = enumerate_faults(net);
+  const auto res = run_atpg(net, faults);
+  // Irredundant circuit: every fault testable; every vector verified.
+  EXPECT_EQ(res.untestable, 0);
+  EXPECT_EQ(res.testable, static_cast<int>(faults.size()));
+  for (const auto& [fault, vec] : res.tests) {
+    const auto check = simulate_faults(net, {fault}, {vec});
+    EXPECT_EQ(check.detected, 1) << fault.to_string(net);
+  }
+}
+
+TEST(Atpg, ProvesRedundantFaultUntestable) {
+  // y = a + a'b == a + b: the a' literal is redundant... build the
+  // classic redundancy: y = ab + a'c + bc (consensus term bc redundant):
+  // a stuck fault inside the bc term region... Use a simpler guaranteed
+  // redundancy: t = a AND a' (constant 0) feeding an OR.
+  const auto net = parse_blif(
+      ".model r\n.inputs a b\n.outputs y\n"
+      ".names a na\n0 1\n"
+      ".names a na t\n11 1\n"   // t = a & a' == 0 always
+      ".names t b y\n1- 1\n-1 1\n"  // y = t + b == b
+      ".end\n");
+  const auto t = *net.find("t");
+  // t stuck-at-0 is undetectable (t is always 0 anyway).
+  const auto res = run_atpg(net, {{t, false}});
+  EXPECT_EQ(res.untestable, 1);
+  // t stuck-at-1 IS detectable (set b=0, y flips).
+  const auto res2 = run_atpg(net, {{t, true}});
+  EXPECT_EQ(res2.testable, 1);
+}
+
+TEST(Atpg, SingleFaultApi) {
+  const auto net = and_gate();
+  const auto y = *net.find("y");
+  const auto vec = generate_test(net, {y, false});
+  ASSERT_TRUE(vec.has_value());
+  EXPECT_TRUE((*vec)[0] && (*vec)[1]);  // only (1,1) activates y s-a-0
+}
+
+TEST(Atpg, CoverageClosureLoop) {
+  // Random patterns first, ATPG for the leftovers: total coverage 100%
+  // minus provably redundant faults.
+  const auto net = gen::adder_network(2);
+  const auto faults = enumerate_faults(net);
+  util::Rng rng(33);
+  const auto sim = random_pattern_coverage(net, faults, 8, rng);
+  const auto atpg = run_atpg(net, sim.undetected);
+  EXPECT_EQ(atpg.untestable, 0);
+  EXPECT_EQ(sim.detected + atpg.testable, static_cast<int>(faults.size()));
+}
+
+}  // namespace
+}  // namespace l2l::fault

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/function_gen.hpp"
+#include "gen/placement_gen.hpp"
+#include "gen/routing_gen.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::gen {
+namespace {
+
+TEST(PlacementGen, RespectsOptions) {
+  util::Rng rng(111);
+  PlacementGenOptions opt;
+  opt.num_cells = 100;
+  opt.num_pads = 20;
+  const auto p = generate_placement(opt, rng);
+  EXPECT_EQ(p.num_cells, 100);
+  EXPECT_EQ(p.pads.size(), 20u);
+  EXPECT_GE(p.nets.size(), 100u);
+  p.validate();
+}
+
+TEST(PlacementGen, PadsOnBoundary) {
+  util::Rng rng(112);
+  const auto p = generate_placement({}, rng);
+  for (const auto& pad : p.pads) {
+    const bool on_edge = pad.x == 0.0 || pad.y == 0.0 ||
+                         pad.x == p.width || pad.y == p.height;
+    EXPECT_TRUE(on_edge) << pad.name;
+  }
+}
+
+TEST(PlacementGen, NetDegreesSane) {
+  util::Rng rng(113);
+  const auto p = generate_placement({}, rng);
+  double total = 0;
+  for (const auto& net : p.nets) {
+    EXPECT_GE(net.size(), 2u);
+    EXPECT_LE(net.size(), 13u);
+    total += static_cast<double>(net.size());
+  }
+  const double mean = total / static_cast<double>(p.nets.size());
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 5.0);
+}
+
+TEST(RoutingGen, ValidPins) {
+  util::Rng rng(114);
+  RoutingGenOptions opt;
+  opt.num_nets = 30;
+  opt.max_pins_per_net = 4;
+  const auto p = generate_routing(opt, rng);
+  EXPECT_EQ(p.nets.size(), 30u);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& net : p.nets) {
+    EXPECT_GE(net.pins.size(), 2u);
+    for (const auto& pin : net.pins) {
+      EXPECT_TRUE(p.in_bounds(pin));
+      EXPECT_FALSE(p.is_blocked(pin));
+      EXPECT_TRUE(seen.insert({pin.x, pin.y}).second) << "pin collision";
+    }
+  }
+}
+
+TEST(RoutingGen, ObstacleFractionApproximate) {
+  util::Rng rng(115);
+  RoutingGenOptions opt;
+  opt.obstacle_fraction = 0.10;
+  const auto p = generate_routing(opt, rng);
+  std::size_t blocked = 0;
+  for (const auto& layer : p.blocked)
+    for (const bool b : layer) blocked += b;
+  const double frac = static_cast<double>(blocked) /
+                      (2.0 * p.width * p.height);
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.12);
+}
+
+TEST(FunctionGen, AdderComputesAddition) {
+  const auto net = adder_network(4);
+  EXPECT_EQ(net.inputs().size(), 9u);
+  EXPECT_EQ(net.outputs().size(), 5u);
+  for (int a = 0; a < 16; a += 3) {
+    for (int b = 0; b < 16; b += 5) {
+      std::vector<bool> in;
+      for (int i = 0; i < 4; ++i) in.push_back((a >> i) & 1);
+      for (int i = 0; i < 4; ++i) in.push_back((b >> i) & 1);
+      in.push_back(false);
+      const auto vals = net.simulate(in);
+      int sum = 0;
+      for (int i = 0; i < 5; ++i)
+        if (vals[static_cast<std::size_t>(net.outputs()[static_cast<std::size_t>(i)])])
+          sum |= 1 << i;
+      EXPECT_EQ(sum, a + b);
+    }
+  }
+}
+
+TEST(FunctionGen, ParityIsXor) {
+  const auto net = parity_network(5);
+  for (int m = 0; m < 32; ++m) {
+    std::vector<bool> in;
+    int ones = 0;
+    for (int i = 0; i < 5; ++i) {
+      in.push_back((m >> i) & 1);
+      ones += (m >> i) & 1;
+    }
+    const auto vals = net.simulate(in);
+    EXPECT_EQ(vals[static_cast<std::size_t>(net.outputs()[0])], ones % 2 == 1);
+  }
+}
+
+TEST(FunctionGen, MuxSelects) {
+  const auto net = mux_network(2);
+  EXPECT_EQ(net.inputs().size(), 6u);  // 2 select + 4 data
+  for (int sel = 0; sel < 4; ++sel) {
+    for (int data = 0; data < 16; data += 7) {
+      std::vector<bool> in;
+      for (int s = 0; s < 2; ++s) in.push_back((sel >> s) & 1);
+      for (int d = 0; d < 4; ++d) in.push_back((data >> d) & 1);
+      const auto vals = net.simulate(in);
+      EXPECT_EQ(vals[static_cast<std::size_t>(net.outputs()[0])],
+                ((data >> sel) & 1) != 0);
+    }
+  }
+}
+
+TEST(FunctionGen, RandomNetworkIsValid) {
+  util::Rng rng(116);
+  const auto net = random_network({}, rng);
+  net.validate();
+  EXPECT_EQ(net.inputs().size(), 8u);
+  EXPECT_EQ(net.outputs().size(), 4u);
+}
+
+}  // namespace
+}  // namespace l2l::gen

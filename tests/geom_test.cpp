@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "gen/routing_gen.hpp"
+#include "geom/drc.hpp"
+#include "geom/extract.hpp"
+#include "geom/scanline.hpp"
+#include "route/router.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::geom {
+namespace {
+
+TEST(Rect, OverlapAndGap) {
+  const Rect a{0, 0, 2, 2, 0, 0};
+  const Rect b{2, 2, 4, 4, 0, 1};
+  const Rect c{4, 0, 5, 1, 0, 2};
+  const Rect d{0, 0, 2, 2, 1, 3};  // other layer
+  EXPECT_TRUE(a.overlaps(b));  // corner touch counts (closed rects)
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(a.overlaps(d));
+  EXPECT_EQ(a.gap(c), 2);  // x gap: cells 3..3 between
+  EXPECT_EQ(a.gap(b), 0);
+  EXPECT_EQ(a.area(), 9);
+}
+
+TEST(Scanline, FindsAllOverlapsBruteForceAgreement) {
+  util::Rng rng(221);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Rect> rects;
+    for (int k = 0; k < 30; ++k) {
+      Rect r;
+      r.x1 = static_cast<int>(rng.next_below(40));
+      r.y1 = static_cast<int>(rng.next_below(40));
+      r.x2 = r.x1 + static_cast<int>(rng.next_below(8));
+      r.y2 = r.y1 + static_cast<int>(rng.next_below(8));
+      r.layer = static_cast<int>(rng.next_below(2));
+      r.owner = k;
+      rects.push_back(r);
+    }
+    auto scan = overlapping_pairs(rects);
+    std::vector<std::pair<int, int>> brute;
+    for (int i = 0; i < 30; ++i)
+      for (int j = i + 1; j < 30; ++j)
+        if (rects[static_cast<std::size_t>(i)].overlaps(rects[static_cast<std::size_t>(j)]))
+          brute.emplace_back(i, j);
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(scan, brute) << "trial " << trial;
+  }
+}
+
+TEST(Scanline, SpacingViolations) {
+  // Rects spanning x 0..1 and 3..4: one empty column between, boundary
+  // gap 2. Violation iff 0 < gap < min_space.
+  std::vector<Rect> rects{{0, 0, 1, 1, 0, 0}, {3, 0, 4, 1, 0, 1}};
+  EXPECT_TRUE(spacing_violations(rects, 1).empty());
+  EXPECT_TRUE(spacing_violations(rects, 2).empty());
+  EXPECT_EQ(spacing_violations(rects, 3).size(), 1u);
+  // Same owner: never a violation.
+  rects[1].owner = 0;
+  EXPECT_TRUE(spacing_violations(rects, 3).empty());
+}
+
+TEST(Drc, RoutedSolutionsAreClean) {
+  util::Rng rng(222);
+  gen::RoutingGenOptions opt;
+  opt.width = opt.height = 32;
+  opt.num_nets = 16;
+  const auto p = gen::generate_routing(opt, rng);
+  const auto sol = route::route_all(p);
+  const auto drc = check_drc(sol);
+  EXPECT_TRUE(drc.clean()) << drc.report();
+  EXPECT_GT(drc.rect_count, 0);
+}
+
+TEST(Drc, DetectsInjectedShort) {
+  route::RouteSolution sol;
+  route::NetRoute a, b;
+  a.net_id = 0;
+  a.cells = {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  b.net_id = 1;
+  b.cells = {{2, 0, 0}, {3, 0, 0}};  // shares (2,0,0) with net 0
+  sol.nets = {a, b};
+  const auto drc = check_drc(sol);
+  ASSERT_EQ(drc.violations.size(), 1u);
+  EXPECT_EQ(drc.violations[0].kind, DrcViolation::Kind::kShort);
+  EXPECT_NE(drc.report().find("SHORT"), std::string::npos);
+}
+
+TEST(Drc, SpacingRuleWidensViolations) {
+  route::RouteSolution sol;
+  route::NetRoute a, b;
+  a.net_id = 0;
+  a.cells = {{0, 0, 0}, {1, 0, 0}};
+  b.net_id = 1;
+  b.cells = {{0, 2, 0}, {1, 2, 0}};  // 1 empty row between
+  sol.nets = {a, b};
+  EXPECT_TRUE(check_drc(sol, 1).clean());
+  EXPECT_FALSE(check_drc(sol, 3).clean());
+}
+
+TEST(Drc, RectMergingIsMaximal) {
+  route::RouteSolution sol;
+  route::NetRoute a;
+  a.net_id = 0;
+  for (int x = 0; x < 10; ++x) a.cells.push_back({x, 5, 0});
+  sol.nets = {a};
+  const auto rects = rects_from_solution(sol);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0].x1, 0);
+  EXPECT_EQ(rects[0].x2, 9);
+}
+
+TEST(Extract, ComponentsMatchNets) {
+  util::Rng rng(223);
+  gen::RoutingGenOptions opt;
+  opt.width = opt.height = 32;
+  opt.num_nets = 12;
+  opt.max_pins_per_net = 4;
+  const auto p = gen::generate_routing(opt, rng);
+  const auto sol = route::route_all(p);
+  const auto ext = extract_connectivity(sol);
+  // Every routed net = exactly one component; total components = routed nets.
+  int routed = 0;
+  for (const auto& net : sol.nets) routed += net.routed;
+  EXPECT_EQ(ext.num_components, routed);
+}
+
+TEST(Lvs, CleanOnRouterOutput) {
+  util::Rng rng(224);
+  gen::RoutingGenOptions opt;
+  opt.width = opt.height = 24;
+  opt.num_nets = 10;
+  const auto p = gen::generate_routing(opt, rng);
+  const auto sol = route::route_all(p);
+  const auto r = lvs(p, sol);
+  EXPECT_TRUE(r.clean) << r.report();
+}
+
+TEST(Lvs, DetectsOpen) {
+  gen::RoutingProblem p;
+  p.width = p.height = 8;
+  p.num_layers = 2;
+  p.blocked.assign(2, std::vector<bool>(64, false));
+  p.nets.push_back({0, {{0, 0, 0}, {5, 0, 0}}});
+  route::RouteSolution sol;
+  route::NetRoute broken;
+  broken.net_id = 0;
+  broken.routed = true;
+  // Gap at x=3: two disconnected islands.
+  broken.cells = {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {4, 0, 0}, {5, 0, 0}};
+  sol.nets = {broken};
+  const auto r = lvs(p, sol);
+  EXPECT_FALSE(r.clean);
+  ASSERT_EQ(r.opens.size(), 1u);
+  EXPECT_EQ(r.opens[0], 0);
+  EXPECT_NE(r.report().find("open"), std::string::npos);
+}
+
+TEST(Lvs, DetectsShort) {
+  gen::RoutingProblem p;
+  p.width = p.height = 8;
+  p.num_layers = 2;
+  p.blocked.assign(2, std::vector<bool>(64, false));
+  p.nets.push_back({0, {{0, 0, 0}, {2, 0, 0}}});
+  p.nets.push_back({1, {{0, 1, 0}, {2, 1, 0}}});
+  route::RouteSolution sol;
+  route::NetRoute a, b;
+  a.net_id = 0;
+  a.routed = true;
+  a.cells = {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  b.net_id = 1;
+  b.routed = true;
+  b.cells = {{0, 1, 0}, {1, 1, 0}, {2, 1, 0}, {1, 0, 0}};  // touches net 0
+  sol.nets = {a, b};
+  const auto r = lvs(p, sol);
+  EXPECT_FALSE(r.clean);
+  ASSERT_EQ(r.shorts.size(), 1u);
+  EXPECT_EQ(r.shorts[0], (std::pair<int, int>{0, 1}));
+}
+
+TEST(Lvs, ViasConnectAcrossLayers) {
+  gen::RoutingProblem p;
+  p.width = p.height = 8;
+  p.num_layers = 2;
+  p.blocked.assign(2, std::vector<bool>(64, false));
+  p.nets.push_back({0, {{0, 0, 0}, {3, 0, 1}}});
+  route::RouteSolution sol;
+  route::NetRoute a;
+  a.net_id = 0;
+  a.routed = true;
+  a.cells = {{0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {2, 0, 1}, {3, 0, 1}};
+  sol.nets = {a};
+  EXPECT_TRUE(lvs(p, sol).clean);
+  // Remove the via landing: now an open.
+  a.cells = {{0, 0, 0}, {1, 0, 0}, {2, 0, 1}, {3, 0, 1}};
+  sol.nets = {a};
+  EXPECT_FALSE(lvs(p, sol).clean);
+}
+
+}  // namespace
+}  // namespace l2l::geom

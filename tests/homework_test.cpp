@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "cubes/urp.hpp"
+#include "cubes/cover.hpp"
+#include "homework/quiz.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::homework {
+namespace {
+
+TEST(Quiz, DeterministicPerSeed) {
+  for (int week = 1; week <= 8; ++week) {
+    const auto a = weekly_assignment(week, 42, 3);
+    const auto b = weekly_assignment(week, 42, 3);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].question, b[k].question);
+      EXPECT_EQ(a[k].answer, b[k].answer);
+    }
+  }
+}
+
+TEST(Quiz, SeedsIndividualize) {
+  // "Aggressive randomization": different student tokens get different
+  // problems (allow occasional collisions; require most to differ).
+  int distinct = 0;
+  const auto base = weekly_assignment(2, 1, 1);
+  for (std::uint64_t seed = 2; seed < 12; ++seed) {
+    const auto other = weekly_assignment(2, seed, 1);
+    distinct += other[0].question != base[0].question;
+  }
+  EXPECT_GE(distinct, 8);
+}
+
+TEST(Quiz, UrpAnswersAreCorrect) {
+  util::Rng rng(301);
+  int yes = 0, no = 0;
+  for (int k = 0; k < 30; ++k) {
+    const auto q = urp_tautology_quiz(rng);
+    (q.answer == "yes" ? yes : no)++;
+    EXPECT_TRUE(q.answer == "yes" || q.answer == "no");
+    EXPECT_NE(q.question.find("tautology"), std::string::npos);
+  }
+  // Both outcomes occur in the pool (the over-supply property).
+  EXPECT_GT(yes, 0);
+  EXPECT_GT(no, 0);
+}
+
+TEST(Quiz, SatAnswersBothOutcomes) {
+  util::Rng rng(302);
+  int sat = 0, unsat = 0;
+  for (int k = 0; k < 30; ++k) {
+    const auto q = sat_quiz(rng);
+    (q.answer == "sat" ? sat : unsat)++;
+  }
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+}
+
+TEST(Quiz, PlacementClosedForm) {
+  util::Rng rng(303);
+  const auto q = placement_quiz(rng);
+  // The answer is parseable and inside the die.
+  const double x = std::stod(q.answer);
+  EXPECT_GE(x, 0.0);
+  EXPECT_LE(x, 50.0 * 4);
+}
+
+TEST(Quiz, RoutingAnswerPositiveOrUnroutable) {
+  util::Rng rng(304);
+  for (int k = 0; k < 5; ++k) {
+    const auto q = routing_quiz(rng);
+    if (q.answer != "unroutable") EXPECT_GT(std::stod(q.answer), 0.0);
+  }
+}
+
+TEST(Quiz, GraderNormalizes) {
+  Quiz q;
+  q.answer = "Yes";
+  EXPECT_TRUE(grade_answer(q, " yes "));
+  EXPECT_TRUE(grade_answer(q, "YES"));
+  EXPECT_FALSE(grade_answer(q, "no"));
+  q.answer = "13.33";
+  EXPECT_TRUE(grade_answer(q, "13.33"));
+  EXPECT_FALSE(grade_answer(q, "13.3"));
+}
+
+TEST(Quiz, WeekValidation) {
+  EXPECT_THROW(weekly_assignment(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(weekly_assignment(9, 1, 1), std::invalid_argument);
+}
+
+TEST(Quiz, AllWeeksProduceNonEmptyQuizzes) {
+  for (int week = 1; week <= 8; ++week) {
+    const auto a = weekly_assignment(week, 7, 2);
+    ASSERT_EQ(a.size(), 2u) << week;
+    for (const auto& q : a) {
+      EXPECT_FALSE(q.question.empty());
+      EXPECT_FALSE(q.answer.empty());
+      EXPECT_FALSE(q.topic.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace l2l::homework

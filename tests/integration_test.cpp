@@ -1,0 +1,188 @@
+// Cross-module integration tests: the same question answered by two
+// independent engines must agree (URP vs BDD vs SAT vs truth tables),
+// and multi-stage pipelines must preserve functionality end to end.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+#include "cubes/urp.hpp"
+#include "espresso/minimize.hpp"
+#include "espresso/pla.hpp"
+#include "gen/function_gen.hpp"
+#include "mls/script.hpp"
+#include "network/blif.hpp"
+#include "network/cnf.hpp"
+#include "network/equivalence.hpp"
+#include "repair/repair.hpp"
+#include "sat/solver.hpp"
+#include "techmap/mapper.hpp"
+#include "util/rng.hpp"
+
+namespace l2l {
+namespace {
+
+// Build a BDD for a cube cover.
+bdd::Bdd cover_to_bdd(const cubes::Cover& f, bdd::Manager& mgr) {
+  bdd::Bdd r = mgr.zero();
+  for (const auto& c : f.cubes()) {
+    bdd::Bdd term = mgr.one();
+    for (int v = 0; v < f.num_vars(); ++v) {
+      if (c.code(v) == cubes::Pcn::kPos) term = term & mgr.var(v);
+      if (c.code(v) == cubes::Pcn::kNeg) term = term & mgr.nvar(v);
+    }
+    r = r | term;
+  }
+  return r;
+}
+
+TEST(CrossCheck, UrpAndBddAgreeOnTautologyAndComplement) {
+  util::Rng rng(201);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto f = gen::random_cover(5, 1 + static_cast<int>(rng.next_below(7)), rng);
+    bdd::Manager mgr(5);
+    const auto fb = cover_to_bdd(f, mgr);
+    EXPECT_EQ(cubes::is_tautology(f), fb.is_one());
+    const auto fc = cubes::complement(f);
+    EXPECT_TRUE(cover_to_bdd(fc, mgr) == !fb);
+  }
+}
+
+TEST(CrossCheck, BddSatCountVsSatEnumeration) {
+  // Count models of a CNF with BDDs, check one SAT model satisfies it.
+  util::Rng rng(202);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nv = 6;
+    std::vector<std::vector<sat::Lit>> clauses;
+    bdd::Manager mgr(nv);
+    bdd::Bdd formula = mgr.one();
+    for (int k = 0; k < 10; ++k) {
+      std::vector<sat::Lit> clause;
+      bdd::Bdd cb = mgr.zero();
+      for (int j = 0; j < 3; ++j) {
+        const int v = static_cast<int>(rng.next_below(nv));
+        const bool neg = rng.next_bool();
+        clause.push_back(sat::Lit(v, neg));
+        cb = cb | (neg ? mgr.nvar(v) : mgr.var(v));
+      }
+      clauses.push_back(clause);
+      formula = formula & cb;
+    }
+    sat::Solver solver;
+    solver.reserve_vars(nv);
+    bool consistent = true;
+    for (const auto& c : clauses) consistent = solver.add_clause(c) && consistent;
+    const auto verdict = consistent ? solver.solve() : sat::LBool::kFalse;
+    EXPECT_EQ(verdict == sat::LBool::kTrue, !formula.is_zero());
+    if (verdict == sat::LBool::kTrue) {
+      std::vector<bool> model;
+      for (int v = 0; v < nv; ++v) model.push_back(solver.model_value(v));
+      EXPECT_TRUE(formula.eval(model));
+    }
+  }
+}
+
+TEST(CrossCheck, EquivalenceMethodsAgreeOnMutants) {
+  // For each mutant network, BDD-based and SAT-based checking must return
+  // the same verdict.
+  util::Rng rng(203);
+  gen::NetworkGenOptions gopt;
+  gopt.num_inputs = 5;
+  gopt.num_nodes = 8;
+  gopt.num_outputs = 2;
+  int disagreements = 0, inequivalent_seen = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto spec = gen::random_network(gopt, rng);
+    auto mutant = network::parse_blif(network::write_blif(spec));
+    if (trial % 2 == 0) repair::inject_error(mutant, rng);
+    const auto r1 =
+        network::check_equivalence(spec, mutant, network::EquivalenceMethod::kBdd);
+    const auto r2 =
+        network::check_equivalence(spec, mutant, network::EquivalenceMethod::kSat);
+    if (r1.equivalent != r2.equivalent) ++disagreements;
+    if (!r1.equivalent) ++inequivalent_seen;
+  }
+  EXPECT_EQ(disagreements, 0);
+  EXPECT_GT(inequivalent_seen, 0);  // the sweep exercised the UNSAT side too
+}
+
+TEST(Pipeline, PlaThroughEspressoStaysEquivalent) {
+  // PLA -> minimize -> rebuild as network -> equivalence vs original.
+  const auto pla = espresso::parse_pla(
+      ".i 4\n.o 2\n"
+      "0000 10\n0001 10\n0011 10\n0111 11\n1111 01\n1001 01\n1011 0-\n.e\n");
+  for (const auto& out : pla.outputs) {
+    const auto minimized = espresso::minimize(out.on, out.dc);
+    EXPECT_TRUE(espresso::is_legal_implementation(minimized, out.on, out.dc));
+  }
+}
+
+TEST(Pipeline, OptimizeThenMapThenVerify) {
+  util::Rng rng(204);
+  gen::NetworkGenOptions gopt;
+  gopt.num_inputs = 6;
+  gopt.num_nodes = 14;
+  gopt.num_outputs = 3;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto original = gen::random_network(gopt, rng);
+    auto work = network::parse_blif(network::write_blif(original));
+    mls::optimize(work);
+    const auto mapped =
+        techmap::technology_map(work, techmap::default_library(),
+                                techmap::MapObjective::kArea);
+    // Transitivity: original == optimized == mapped.
+    EXPECT_TRUE(network::check_equivalence(original, work,
+                                           network::EquivalenceMethod::kBdd)
+                    .equivalent);
+    EXPECT_TRUE(network::check_equivalence(original, mapped.netlist,
+                                           network::EquivalenceMethod::kSat)
+                    .equivalent);
+  }
+}
+
+TEST(Pipeline, RepairAfterOptimizationStillWorks) {
+  // Optimize a network, corrupt the optimized version, repair against the
+  // *original* spec.
+  util::Rng rng(205);
+  const auto spec = gen::adder_network(2);
+  auto impl = network::parse_blif(network::write_blif(spec));
+  mls::optimize(impl);
+  repair::inject_error(impl, rng);
+  if (!network::check_equivalence(impl, spec, network::EquivalenceMethod::kBdd)
+           .equivalent) {
+    const auto r = repair::repair_network(impl, spec);
+    if (r) {
+      EXPECT_TRUE(network::check_equivalence(impl, spec,
+                                             network::EquivalenceMethod::kBdd)
+                      .equivalent);
+    }
+    // (Single-gate repair may genuinely be impossible after optimization
+    // restructuring; no repair found is an acceptable outcome.)
+  }
+}
+
+TEST(Pipeline, TseitinModelsMatchSimulation64) {
+  // Random network: SAT-enumerate some models and check against the
+  // bit-parallel simulator.
+  util::Rng rng(206);
+  gen::NetworkGenOptions gopt;
+  gopt.num_inputs = 5;
+  gopt.num_nodes = 10;
+  const auto net = gen::random_network(gopt, rng);
+  sat::Solver solver;
+  const auto map = network::encode_network(net, solver);
+  ASSERT_EQ(solver.solve(), sat::LBool::kTrue);
+  std::vector<std::uint64_t> words(net.inputs().size(), 0);
+  // One pattern: the SAT model's input assignment in bit 0.
+  for (std::size_t i = 0; i < net.inputs().size(); ++i)
+    if (solver.model_value(map.node_var[static_cast<std::size_t>(net.inputs()[i])]))
+      words[i] |= 1;
+  const auto sim = net.simulate64(words);
+  for (network::NodeId id = 0; id < net.num_nodes(); ++id)
+    EXPECT_EQ(sim[static_cast<std::size_t>(id)] & 1,
+              static_cast<std::uint64_t>(
+                  solver.model_value(map.node_var[static_cast<std::size_t>(id)])));
+}
+
+}  // namespace
+}  // namespace l2l

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cg.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::linalg {
+namespace {
+
+// Random SPD system: A = M^T M + n*I (diagonally boosted), b random.
+std::pair<DenseMatrix, std::vector<double>> random_spd(int n, util::Rng& rng) {
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m.at(i, j) = rng.next_gaussian();
+  DenseMatrix a(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double s = i == j ? n : 0.0;
+      for (int k = 0; k < n; ++k) s += m.at(k, i) * m.at(k, j);
+      a.at(i, j) = s;
+    }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.next_gaussian();
+  return {a, b};
+}
+
+SparseMatrix to_sparse(const DenseMatrix& a) {
+  SparseMatrix s(a.rows());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j)
+      if (a.at(i, j) != 0.0) s.add(i, j, a.at(i, j));
+  s.compress();
+  return s;
+}
+
+double residual(const DenseMatrix& a, const std::vector<double>& x,
+                const std::vector<double>& b) {
+  double worst = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    double acc = -b[static_cast<std::size_t>(i)];
+    for (int j = 0; j < a.cols(); ++j)
+      acc += a.at(i, j) * x[static_cast<std::size_t>(j)];
+    worst = std::max(worst, std::abs(acc));
+  }
+  return worst;
+}
+
+TEST(Sparse, BuildAndMultiply) {
+  SparseMatrix a(3);
+  a.add(0, 0, 2.0);
+  a.add(0, 1, -1.0);
+  a.add(1, 0, -1.0);
+  a.add(1, 1, 2.0);
+  a.add(2, 2, 1.0);
+  a.add(0, 0, 1.0);  // duplicate accumulates -> 3.0
+  a.compress();
+  EXPECT_EQ(a.nnz(), 5u);
+  EXPECT_TRUE(a.is_symmetric());
+  std::vector<double> y;
+  a.multiply({1.0, 2.0, 3.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0 - 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+  EXPECT_EQ(a.diagonal(), (std::vector<double>{3.0, 2.0, 1.0}));
+}
+
+TEST(Sparse, ErrorsAndEdgeCases) {
+  SparseMatrix a(2);
+  EXPECT_THROW(a.add(2, 0, 1.0), std::invalid_argument);
+  std::vector<double> y;
+  EXPECT_THROW(a.multiply({1.0, 2.0}, y), std::logic_error);
+  a.add(0, 0, 1.0);
+  a.compress();
+  EXPECT_THROW(a.add(0, 0, 1.0), std::logic_error);
+  EXPECT_THROW(a.compress(), std::logic_error);
+  EXPECT_THROW(a.multiply({1.0}, y), std::invalid_argument);
+}
+
+TEST(Sparse, EmptyRowsHandled) {
+  SparseMatrix a(4);
+  a.add(3, 3, 5.0);  // rows 0..2 empty
+  a.compress();
+  std::vector<double> y;
+  a.multiply({1, 1, 1, 2}, y);
+  EXPECT_EQ(y, (std::vector<double>{0, 0, 0, 10}));
+}
+
+TEST(Sparse, AsymmetryDetected) {
+  SparseMatrix a(2);
+  a.add(0, 1, 1.0);
+  a.compress();
+  EXPECT_FALSE(a.is_symmetric());
+}
+
+TEST(Gauss, SolvesSmallSystem) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto x = solve_gauss(a, {5, 10});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Gauss, SingularReturnsNullopt) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_FALSE(solve_gauss(a, {1, 2}).has_value());
+}
+
+TEST(Gauss, NeedsPivoting) {
+  // Zero in the (0,0) position forces a row swap.
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  const auto x = solve_gauss(a, {3, 7});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Cholesky, MatchesGaussOnSpd) {
+  util::Rng rng(81);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto [a, b] = random_spd(8, rng);
+    const auto xc = solve_cholesky(a, b);
+    const auto xg = solve_gauss(a, b);
+    ASSERT_TRUE(xc.has_value());
+    ASSERT_TRUE(xg.has_value());
+    for (int i = 0; i < 8; ++i)
+      EXPECT_NEAR((*xc)[static_cast<std::size_t>(i)],
+                  (*xg)[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = -1;
+  EXPECT_FALSE(solve_cholesky(a, {1, 1}).has_value());
+}
+
+TEST(Cg, SolvesLaplacianChain) {
+  // 1-D Laplacian with Dirichlet boundary: classic placement-like system.
+  const int n = 50;
+  SparseMatrix a(n);
+  for (int i = 0; i < n; ++i) {
+    a.add(i, i, 2.0);
+    if (i > 0) a.add(i, i - 1, -1.0);
+    if (i + 1 < n) a.add(i, i + 1, -1.0);
+  }
+  a.compress();
+  std::vector<double> b(n, 0.0);
+  b[0] = 1.0;  // boundary pull
+  const auto res = conjugate_gradient(a, b);
+  EXPECT_TRUE(res.converged);
+  // Exact solution: x_i = (n - i) / (n + 1).
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(res.x[static_cast<std::size_t>(i)],
+                static_cast<double>(n - i) / (n + 1), 1e-6);
+}
+
+TEST(Cg, MatchesDenseOnRandomSpd) {
+  util::Rng rng(82);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto [a, b] = random_spd(12, rng);
+    const auto xd = solve_cholesky(a, b);
+    const auto res = conjugate_gradient(to_sparse(a), b);
+    ASSERT_TRUE(xd.has_value());
+    EXPECT_TRUE(res.converged);
+    for (int i = 0; i < 12; ++i)
+      EXPECT_NEAR(res.x[static_cast<std::size_t>(i)],
+                  (*xd)[static_cast<std::size_t>(i)], 1e-6);
+    EXPECT_LT(residual(a, res.x, b), 1e-6);
+  }
+}
+
+TEST(Cg, ZeroRhsIsZeroSolution) {
+  SparseMatrix a(3);
+  for (int i = 0; i < 3; ++i) a.add(i, i, 1.0);
+  a.compress();
+  const auto res = conjugate_gradient(a, {0, 0, 0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_EQ(res.x, (std::vector<double>{0, 0, 0}));
+}
+
+TEST(Cg, PreconditionerReducesIterations) {
+  // Badly scaled diagonal system: Jacobi preconditioning should fix it.
+  const int n = 100;
+  SparseMatrix a(n);
+  for (int i = 0; i < n; ++i) {
+    a.add(i, i, i % 2 == 0 ? 1.0 : 1e4);
+    if (i > 0) a.add(i, i - 1, -0.1);
+    if (i + 1 < n) a.add(i, i + 1, -0.1);
+  }
+  a.compress();
+  std::vector<double> b(n, 1.0);
+  CgOptions plain;
+  plain.jacobi_preconditioner = false;
+  CgOptions jacobi;
+  const auto r0 = conjugate_gradient(a, b, plain);
+  const auto r1 = conjugate_gradient(a, b, jacobi);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_LE(r1.iterations, r0.iterations);
+}
+
+TEST(Cg, IterationLimitReported) {
+  const int n = 200;
+  SparseMatrix a(n);
+  for (int i = 0; i < n; ++i) {
+    a.add(i, i, 2.0);
+    if (i > 0) a.add(i, i - 1, -1.0);
+    if (i + 1 < n) a.add(i, i + 1, -1.0);
+  }
+  a.compress();
+  CgOptions opt;
+  opt.max_iterations = 3;
+  const auto res = conjugate_gradient(a, std::vector<double>(n, 1.0), opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 3);
+}
+
+}  // namespace
+}  // namespace l2l::linalg

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "network/bdd_build.hpp"
+#include "network/blif.hpp"
+#include "network/cnf.hpp"
+#include "network/equivalence.hpp"
+#include "network/network.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::network {
+namespace {
+
+// A full adder: sum = a^b^cin, cout = ab + cin(a^b).
+Network full_adder() {
+  Network net("full_adder");
+  const auto a = net.add_input("a");
+  const auto b = net.add_input("b");
+  const auto cin = net.add_input("cin");
+  const auto axb =
+      net.add_logic("axb", {a, b}, cubes::Cover::parse(2, "10\n01\n"));
+  const auto sum =
+      net.add_logic("sum", {axb, cin}, cubes::Cover::parse(2, "10\n01\n"));
+  const auto cout = net.add_logic(
+      "cout", {a, b, cin, axb}, cubes::Cover::parse(4, "11--\n--11\n"));
+  net.mark_output(sum);
+  net.mark_output(cout);
+  return net;
+}
+
+TEST(Network, BuildAndQuery) {
+  const auto net = full_adder();
+  EXPECT_EQ(net.inputs().size(), 3u);
+  EXPECT_EQ(net.outputs().size(), 2u);
+  EXPECT_EQ(net.num_logic_nodes(), 3);
+  EXPECT_TRUE(net.find("axb").has_value());
+  EXPECT_FALSE(net.find("nope").has_value());
+  net.validate();
+}
+
+TEST(Network, DuplicateNamesRejected) {
+  Network net;
+  net.add_input("a");
+  EXPECT_THROW(net.add_input("a"), std::invalid_argument);
+  EXPECT_THROW(net.add_logic("a", {}, cubes::Cover(0)), std::invalid_argument);
+}
+
+TEST(Network, ArityMismatchRejected) {
+  Network net;
+  const auto a = net.add_input("a");
+  EXPECT_THROW(net.add_logic("y", {a}, cubes::Cover(2)), std::invalid_argument);
+}
+
+TEST(Network, TopologicalOrderRespectsEdges) {
+  const auto net = full_adder();
+  const auto order = net.topological_order();
+  std::vector<int> pos(static_cast<std::size_t>(net.num_nodes()));
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  for (NodeId id = 0; id < net.num_nodes(); ++id)
+    for (const NodeId f : net.node(id).fanins)
+      EXPECT_LT(pos[static_cast<std::size_t>(f)], pos[static_cast<std::size_t>(id)]);
+}
+
+TEST(Network, LevelsOfFullAdder) {
+  const auto net = full_adder();
+  const auto lvl = net.levels();
+  EXPECT_EQ(lvl[static_cast<std::size_t>(*net.find("a"))], 0);
+  EXPECT_EQ(lvl[static_cast<std::size_t>(*net.find("axb"))], 1);
+  EXPECT_EQ(lvl[static_cast<std::size_t>(*net.find("sum"))], 2);
+  EXPECT_EQ(lvl[static_cast<std::size_t>(*net.find("cout"))], 2);
+}
+
+TEST(Network, SimulateFullAdderTruth) {
+  const auto net = full_adder();
+  for (int m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1, cin = (m >> 2) & 1;
+    const auto vals = net.simulate({a, b, cin});
+    const int total = a + b + cin;
+    EXPECT_EQ(vals[static_cast<std::size_t>(net.outputs()[0])], total % 2 == 1) << m;
+    EXPECT_EQ(vals[static_cast<std::size_t>(net.outputs()[1])], total >= 2) << m;
+  }
+}
+
+TEST(Network, Simulate64MatchesScalar) {
+  const auto net = full_adder();
+  // Encode all 8 input patterns into the low 8 bits of each word.
+  std::vector<std::uint64_t> words(3, 0);
+  for (int m = 0; m < 8; ++m)
+    for (int i = 0; i < 3; ++i)
+      if ((m >> i) & 1) words[static_cast<std::size_t>(i)] |= 1ull << m;
+  const auto wide = net.simulate64(words);
+  for (int m = 0; m < 8; ++m) {
+    const auto vals =
+        net.simulate({static_cast<bool>(m & 1), static_cast<bool>((m >> 1) & 1),
+                      static_cast<bool>((m >> 2) & 1)});
+    for (NodeId id = 0; id < net.num_nodes(); ++id)
+      EXPECT_EQ((wide[static_cast<std::size_t>(id)] >> m) & 1,
+                static_cast<std::uint64_t>(vals[static_cast<std::size_t>(id)]));
+  }
+}
+
+TEST(Network, ConstantNodes) {
+  Network net;
+  const auto one = net.add_constant("one", true);
+  const auto zero = net.add_constant("zero", false);
+  net.mark_output(one);
+  net.mark_output(zero);
+  const auto vals = net.simulate({});
+  EXPECT_TRUE(vals[static_cast<std::size_t>(one)]);
+  EXPECT_FALSE(vals[static_cast<std::size_t>(zero)]);
+}
+
+TEST(Network, SweepRemovesDanglingLogic) {
+  Network net;
+  const auto a = net.add_input("a");
+  const auto used = net.add_logic("used", {a}, cubes::Cover::parse(1, "0\n"));
+  net.add_logic("unused", {a}, cubes::Cover::parse(1, "1\n"));
+  net.mark_output(used);
+  EXPECT_EQ(net.sweep_dangling(), 1);
+  EXPECT_TRUE(net.is_dead(*net.find("unused") ? 2 : 2));
+  net.validate();
+  EXPECT_EQ(net.num_logic_nodes(), 1);
+}
+
+TEST(Network, CycleDetected) {
+  Network net;
+  const auto a = net.add_input("a");
+  const auto x = net.add_logic("x", {a}, cubes::Cover::parse(1, "1\n"));
+  const auto y = net.add_logic("y", {x}, cubes::Cover::parse(1, "1\n"));
+  net.replace_fanin(x, a, y);  // x <- y <- x
+  EXPECT_THROW(net.topological_order(), std::logic_error);
+}
+
+TEST(Blif, ParseFullAdder) {
+  const auto net = parse_blif(
+      ".model fa\n"
+      ".inputs a b cin\n"
+      ".outputs sum cout\n"
+      ".names a b axb\n10 1\n01 1\n"
+      ".names axb cin sum\n10 1\n01 1\n"
+      ".names a b cin cout\n11- 1\n1-1 1\n-11 1\n"
+      ".end\n");
+  EXPECT_EQ(net.model_name(), "fa");
+  for (int m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1, cin = (m >> 2) & 1;
+    const auto vals = net.simulate({a, b, cin});
+    const int total = a + b + cin;
+    EXPECT_EQ(vals[static_cast<std::size_t>(net.outputs()[0])], total % 2 == 1);
+    EXPECT_EQ(vals[static_cast<std::size_t>(net.outputs()[1])], total >= 2);
+  }
+}
+
+TEST(Blif, OutOfOrderBlocksResolved) {
+  const auto net = parse_blif(
+      ".model ooo\n.inputs a\n.outputs y\n"
+      ".names m y\n1 1\n"   // y depends on m, defined later
+      ".names a m\n0 1\n"
+      ".end\n");
+  const auto vals = net.simulate({true});
+  EXPECT_FALSE(vals[static_cast<std::size_t>(net.outputs()[0])]);
+}
+
+TEST(Blif, ZeroOutputColumnMeansOffset) {
+  // .names with 0-rows: the ON-set is the complement of the given rows.
+  const auto net = parse_blif(
+      ".model inv\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n");
+  EXPECT_TRUE(net.simulate({false})[static_cast<std::size_t>(net.outputs()[0])]);
+  EXPECT_FALSE(net.simulate({true})[static_cast<std::size_t>(net.outputs()[0])]);
+}
+
+TEST(Blif, ConstantBlocks) {
+  const auto net = parse_blif(
+      ".model c\n.inputs\n.outputs one zero\n"
+      ".names one\n1\n"
+      ".names zero\n"
+      ".end\n");
+  const auto vals = net.simulate({});
+  EXPECT_TRUE(vals[static_cast<std::size_t>(net.outputs()[0])]);
+  EXPECT_FALSE(vals[static_cast<std::size_t>(net.outputs()[1])]);
+}
+
+TEST(Blif, LineContinuation) {
+  const auto net = parse_blif(
+      ".model k\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n");
+  EXPECT_EQ(net.inputs().size(), 2u);
+}
+
+TEST(Blif, Errors) {
+  EXPECT_THROW(parse_blif(".model m\n.latch a b\n.end\n"), std::invalid_argument);
+  EXPECT_THROW(parse_blif("11 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_blif(".model m\n.inputs a\n.outputs y\n.end\n"),
+               std::invalid_argument);  // undriven output
+  EXPECT_THROW(parse_blif(".model m\n.inputs a\n.outputs y\n"
+                          ".names a y\n11 1\n.end\n"),
+               std::invalid_argument);  // cube width mismatch
+  EXPECT_THROW(parse_blif(".model m\n.inputs a\n.outputs y\n"
+                          ".names a y\n1 1\n0 0\n.end\n"),
+               std::invalid_argument);  // mixed output column
+}
+
+TEST(Blif, WriteParseRoundTripPreservesFunction) {
+  const auto net = full_adder();
+  const auto again = parse_blif(write_blif(net));
+  const auto res = check_equivalence(net, again, EquivalenceMethod::kBdd);
+  EXPECT_TRUE(res.equivalent);
+}
+
+TEST(Bdds, FullAdderOutputsMatchSimulation) {
+  const auto net = full_adder();
+  bdd::Manager mgr(3);
+  const auto bdds = build_bdds(net, mgr);
+  for (int m = 0; m < 8; ++m) {
+    std::vector<bool> in{static_cast<bool>(m & 1), static_cast<bool>((m >> 1) & 1),
+                         static_cast<bool>((m >> 2) & 1)};
+    const auto vals = net.simulate(in);
+    for (std::size_t o = 0; o < net.outputs().size(); ++o)
+      EXPECT_EQ(bdds.outputs[o].eval(in),
+                vals[static_cast<std::size_t>(net.outputs()[o])]);
+  }
+}
+
+TEST(Cnf, EncodingConsistentWithSimulation) {
+  const auto net = full_adder();
+  util::Rng rng(61);
+  for (int trial = 0; trial < 8; ++trial) {
+    sat::Solver solver;
+    const auto map = encode_network(net, solver);
+    // Pin the inputs to a random pattern; outputs must propagate to match.
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < 3; ++i) in.push_back(rng.next_bool());
+    for (std::size_t i = 0; i < 3; ++i)
+      solver.add_unit(sat::mk_lit(map.node_var[static_cast<std::size_t>(net.inputs()[i])], !in[i]));
+    ASSERT_EQ(solver.solve(), sat::LBool::kTrue);
+    const auto vals = net.simulate(in);
+    for (NodeId id = 0; id < net.num_nodes(); ++id)
+      EXPECT_EQ(solver.model_value(map.node_var[static_cast<std::size_t>(id)]),
+                vals[static_cast<std::size_t>(id)]);
+  }
+}
+
+TEST(Equivalence, IdenticalNetworksEquivalentBothMethods) {
+  const auto a = full_adder();
+  const auto b = full_adder();
+  EXPECT_TRUE(check_equivalence(a, b, EquivalenceMethod::kBdd).equivalent);
+  EXPECT_TRUE(check_equivalence(a, b, EquivalenceMethod::kSat).equivalent);
+}
+
+TEST(Equivalence, StructurallyDifferentButEquivalent) {
+  // cout via the axb shortcut vs. the flat 3-cube version.
+  const auto a = full_adder();
+  const auto b = parse_blif(
+      ".model fa\n.inputs a b cin\n.outputs sum cout\n"
+      ".names a b cin sum\n100 1\n010 1\n001 1\n111 1\n"
+      ".names a b cin cout\n11- 1\n1-1 1\n-11 1\n.end\n");
+  EXPECT_TRUE(check_equivalence(a, b, EquivalenceMethod::kBdd).equivalent);
+  EXPECT_TRUE(check_equivalence(a, b, EquivalenceMethod::kSat).equivalent);
+}
+
+TEST(Equivalence, DetectsBugWithCounterexample) {
+  const auto a = full_adder();
+  // Buggy adder: cout missing one cube.
+  const auto b = parse_blif(
+      ".model fa\n.inputs a b cin\n.outputs sum cout\n"
+      ".names a b cin sum\n100 1\n010 1\n001 1\n111 1\n"
+      ".names a b cin cout\n11- 1\n1-1 1\n.end\n");
+  for (const auto method : {EquivalenceMethod::kBdd, EquivalenceMethod::kSat}) {
+    const auto res = check_equivalence(a, b, method);
+    EXPECT_FALSE(res.equivalent);
+    EXPECT_EQ(res.failing_output, "cout");
+    ASSERT_TRUE(res.counterexample.has_value());
+    // The counterexample must actually distinguish the two networks.
+    const auto va = a.simulate(*res.counterexample);
+    const auto vb = b.simulate(*res.counterexample);
+    EXPECT_NE(va[static_cast<std::size_t>(a.outputs()[1])],
+              vb[static_cast<std::size_t>(b.outputs()[1])]);
+  }
+}
+
+TEST(Equivalence, InterfaceMismatchThrows) {
+  Network a;
+  a.mark_output(a.add_input("x"));
+  Network b;
+  b.mark_output(b.add_input("y"));
+  EXPECT_THROW(check_equivalence(a, b, EquivalenceMethod::kBdd),
+               std::invalid_argument);
+}
+
+// Property: random networks survive BLIF round-trips and both equivalence
+// methods agree with each other.
+class RandomNetworkTest : public ::testing::TestWithParam<int> {};
+
+Network random_network(int num_inputs, int num_nodes, util::Rng& rng) {
+  Network net("rand");
+  std::vector<NodeId> pool;
+  for (int i = 0; i < num_inputs; ++i)
+    pool.push_back(net.add_input(util::format("i%d", i)));
+  for (int k = 0; k < num_nodes; ++k) {
+    const int arity = 1 + static_cast<int>(rng.next_below(3));
+    std::vector<NodeId> fanins;
+    for (int j = 0; j < arity; ++j)
+      fanins.push_back(pool[static_cast<std::size_t>(rng.next_below(pool.size()))]);
+    cubes::Cover cover(arity);
+    const int ncubes = 1 + static_cast<int>(rng.next_below(3));
+    for (int c = 0; c < ncubes; ++c) {
+      cubes::Cube cube(arity);
+      for (int v = 0; v < arity; ++v) {
+        switch (rng.next_below(3)) {
+          case 0: cube.set_code(v, cubes::Pcn::kNeg); break;
+          case 1: cube.set_code(v, cubes::Pcn::kPos); break;
+          default: break;
+        }
+      }
+      cover.add(std::move(cube));
+    }
+    pool.push_back(net.add_logic(util::format("n%d", k), std::move(fanins),
+                                 std::move(cover)));
+  }
+  // Mark the last few nodes as outputs.
+  for (int k = 0; k < 3; ++k)
+    net.mark_output(pool[pool.size() - 1 - static_cast<std::size_t>(k)]);
+  return net;
+}
+
+TEST_P(RandomNetworkTest, BlifRoundTripAndMethodsAgree) {
+  util::Rng rng(700 + static_cast<std::uint64_t>(GetParam()));
+  const auto net = random_network(4, 8, rng);
+  const auto again = parse_blif(write_blif(net));
+  const auto r1 = check_equivalence(net, again, EquivalenceMethod::kBdd);
+  const auto r2 = check_equivalence(net, again, EquivalenceMethod::kSat);
+  EXPECT_TRUE(r1.equivalent);
+  EXPECT_TRUE(r2.equivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace l2l::network

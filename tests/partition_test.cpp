@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "gen/placement_gen.hpp"
+#include "partition/fm.hpp"
+#include "partition/hypergraph.hpp"
+#include "partition/kl.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::partition {
+namespace {
+
+// Two dense clusters joined by a few bridge nets: optimal cut = bridges.
+Hypergraph two_clusters(int cluster_size, int bridges) {
+  std::vector<std::vector<int>> nets;
+  for (int k = 0; k + 1 < cluster_size; ++k) {
+    nets.push_back({k, k + 1});
+    nets.push_back({cluster_size + k, cluster_size + k + 1});
+    if (k + 2 < cluster_size) {
+      nets.push_back({k, k + 2});
+      nets.push_back({cluster_size + k, cluster_size + k + 2});
+    }
+  }
+  for (int b = 0; b < bridges; ++b)
+    nets.push_back({b, cluster_size + b});
+  return Hypergraph::from_nets(2 * cluster_size, std::move(nets));
+}
+
+TEST(Hypergraph, Construction) {
+  const auto g = Hypergraph::from_nets(4, {{0, 1}, {1, 2, 3}, {2, 2}, {3}});
+  EXPECT_EQ(g.num_cells, 4);
+  EXPECT_EQ(g.nets.size(), 2u);  // degenerate nets dropped
+  EXPECT_EQ(g.nets_of[1].size(), 2u);
+  EXPECT_THROW(Hypergraph::from_nets(2, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(Hypergraph, CutSize) {
+  const auto g = Hypergraph::from_nets(4, {{0, 1}, {2, 3}, {1, 2}});
+  Bipartition p;
+  p.side = {false, false, true, true};
+  EXPECT_EQ(cut_size(g, p), 1);
+  p.side = {false, true, false, true};
+  EXPECT_EQ(cut_size(g, p), 3);
+}
+
+TEST(Hypergraph, RandomBipartitionBalanced) {
+  util::Rng rng(211);
+  const auto g = two_clusters(10, 2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto p = random_bipartition(g, rng);
+    EXPECT_TRUE(is_balanced(p, 0));
+  }
+}
+
+TEST(Fm, FindsTheClusterCut) {
+  util::Rng rng(212);
+  const auto g = two_clusters(16, 3);
+  FmStats stats;
+  const auto p = fm_partition(g, rng, {}, &stats);
+  EXPECT_TRUE(is_balanced(p, 2));
+  // Optimal is 3 (the bridges); FM must get close from a random start.
+  EXPECT_LE(stats.final_cut, 6);
+  EXPECT_LT(stats.final_cut, stats.initial_cut);
+  EXPECT_GE(stats.passes, 1);
+}
+
+TEST(Fm, NeverWorsensAndStaysBalanced) {
+  util::Rng rng(213);
+  gen::PlacementGenOptions gopt;
+  gopt.num_cells = 120;
+  const auto prob = gen::generate_placement(gopt, rng);
+  const auto g = Hypergraph::from_placement(prob);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto start = random_bipartition(g, rng);
+    const int before = cut_size(g, start);
+    FmStats stats;
+    const auto refined = fm_refine(g, start, {}, &stats);
+    EXPECT_LE(stats.final_cut, before);
+    EXPECT_EQ(cut_size(g, refined), stats.final_cut);
+    EXPECT_TRUE(is_balanced(refined, 2));
+  }
+}
+
+TEST(Fm, RespectsBalanceTolerance) {
+  util::Rng rng(214);
+  const auto g = two_clusters(8, 1);
+  FmOptions opt;
+  opt.balance_tolerance = 4;
+  const auto p = fm_partition(g, rng, opt);
+  EXPECT_TRUE(is_balanced(p, 4));
+}
+
+TEST(Kl, ImprovesTwoClusterCut) {
+  util::Rng rng(215);
+  const auto g = two_clusters(8, 2);
+  const auto start = random_bipartition(g, rng);
+  KlStats stats;
+  const auto p = kl_refine(g, start, 8, &stats);
+  EXPECT_LE(stats.final_cut, stats.initial_cut);
+  EXPECT_TRUE(is_balanced(p, 0));  // swaps preserve exact balance
+  EXPECT_LE(stats.final_cut, 5);
+}
+
+TEST(FmVsKl, FmAtLeastAsGoodOnClusters) {
+  util::Rng rng(216);
+  const auto g = two_clusters(12, 2);
+  int fm_total = 0, kl_total = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto start = random_bipartition(g, rng);
+    FmStats fs;
+    fm_refine(g, start, {}, &fs);
+    KlStats ks;
+    kl_refine(g, start, 8, &ks);
+    fm_total += fs.final_cut;
+    kl_total += ks.final_cut;
+  }
+  EXPECT_LE(fm_total, kl_total + 2);  // FM should not lose meaningfully
+}
+
+// Property: FM cut equals recomputed cut (internal bookkeeping integrity)
+// across seeds and sizes.
+class FmPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmPropertyTest, InternalCutBookkeepingConsistent) {
+  util::Rng rng(1300 + static_cast<std::uint64_t>(GetParam()));
+  gen::PlacementGenOptions gopt;
+  gopt.num_cells = 40 + GetParam() * 20;
+  const auto prob = gen::generate_placement(gopt, rng);
+  const auto g = Hypergraph::from_placement(prob);
+  FmStats stats;
+  const auto p = fm_partition(g, rng, {}, &stats);
+  EXPECT_EQ(cut_size(g, p), stats.final_cut);
+  EXPECT_TRUE(is_balanced(p, 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace l2l::partition

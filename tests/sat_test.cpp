@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::sat {
+namespace {
+
+// Brute-force SAT check of a clause list (oracle for property tests).
+bool brute_force_sat(int num_vars, const std::vector<std::vector<Lit>>& cls) {
+  for (std::uint64_t m = 0; m < (1ull << num_vars); ++m) {
+    bool all = true;
+    for (const auto& c : cls) {
+      bool any = false;
+      for (const Lit p : c) {
+        const bool v = (m >> p.var()) & 1;
+        if (v != p.sign()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+// Pigeonhole principle CNF: n+1 pigeons into n holes -- classically UNSAT
+// and exponential for resolution; small n keeps it fast.
+void add_pigeonhole(Solver& s, int holes) {
+  const int pigeons = holes + 1;
+  // var(p, h) = p * holes + h
+  s.reserve_vars(pigeons * holes);
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> at_least;
+    for (int h = 0; h < holes; ++h) at_least.push_back(mk_lit(p * holes + h));
+    s.add_clause(at_least);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause({~mk_lit(p1 * holes + h), ~mk_lit(p2 * holes + h)});
+}
+
+TEST(Lit, EncodingRoundTrip) {
+  const Lit p = mk_lit(5, true);
+  EXPECT_EQ(p.var(), 5);
+  EXPECT_TRUE(p.sign());
+  EXPECT_EQ((~p).var(), 5);
+  EXPECT_FALSE((~p).sign());
+  EXPECT_EQ(~~p, p);
+}
+
+TEST(Luby, FirstTerms) {
+  const std::vector<std::int64_t> expect{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8};
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ(luby(static_cast<std::int64_t>(i)), expect[i]) << i;
+}
+
+TEST(Solver, TrivialSat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({mk_lit(a)});
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_satisfies_formula());
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({mk_lit(a)});
+  EXPECT_FALSE(s.add_clause({~mk_lit(a)}));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  s.new_var();
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(Solver, TautologyClausesIgnored) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause({mk_lit(a), ~mk_lit(a)}));
+  EXPECT_EQ(s.num_clauses(), 0);
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(Solver, DuplicateLiteralsDeduped) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({mk_lit(a), mk_lit(a), mk_lit(b)});
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(Solver, UnitPropagationChain) {
+  // a, a->b, b->c, c->d: all forced true without decisions.
+  Solver s;
+  s.reserve_vars(4);
+  s.add_clause({mk_lit(0)});
+  s.add_clause({~mk_lit(0), mk_lit(1)});
+  s.add_clause({~mk_lit(1), mk_lit(2)});
+  s.add_clause({~mk_lit(2), mk_lit(3)});
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  for (Var v = 0; v < 4; ++v) EXPECT_TRUE(s.model_value(v));
+  EXPECT_EQ(s.stats().decisions, 0);
+}
+
+TEST(Solver, XorChainSat) {
+  // (a xor b xor c) = 1 encoded as CNF; satisfiable with odd parity.
+  Solver s;
+  s.reserve_vars(3);
+  s.add_clause({mk_lit(0), mk_lit(1), mk_lit(2)});
+  s.add_clause({mk_lit(0), ~mk_lit(1), ~mk_lit(2)});
+  s.add_clause({~mk_lit(0), mk_lit(1), ~mk_lit(2)});
+  s.add_clause({~mk_lit(0), ~mk_lit(1), mk_lit(2)});
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_TRUE(s.model_value(0) ^ s.model_value(1) ^ s.model_value(2));
+}
+
+TEST(Solver, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 5; ++holes) {
+    Solver s;
+    add_pigeonhole(s, holes);
+    EXPECT_EQ(s.solve(), LBool::kFalse) << "holes=" << holes;
+    EXPECT_GT(s.stats().conflicts, 0);
+  }
+}
+
+TEST(Solver, PigeonholeSatWhenEqual) {
+  // n pigeons, n holes is satisfiable: drop the extra pigeon's clauses.
+  Solver s;
+  const int n = 4;
+  s.reserve_vars(n * n);
+  for (int p = 0; p < n; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < n; ++h) c.push_back(mk_lit(p * n + h));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < n; ++h)
+    for (int p1 = 0; p1 < n; ++p1)
+      for (int p2 = p1 + 1; p2 < n; ++p2)
+        s.add_clause({~mk_lit(p1 * n + h), ~mk_lit(p2 * n + h)});
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_TRUE(s.model_satisfies_formula());
+}
+
+TEST(Solver, RandomFormulasMatchBruteForce) {
+  util::Rng rng(41);
+  int sat_count = 0, unsat_count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nv = 4 + static_cast<int>(rng.next_below(5));     // 4..8 vars
+    const int nc = static_cast<int>(rng.next_below(40)) + nv;  // near threshold
+    std::vector<std::vector<Lit>> cls;
+    for (int i = 0; i < nc; ++i) {
+      std::vector<Lit> c;
+      for (int k = 0; k < 3; ++k)
+        c.push_back(Lit(static_cast<Var>(rng.next_below(static_cast<std::uint64_t>(nv))),
+                        rng.next_bool()));
+      cls.push_back(c);
+    }
+    Solver s;
+    s.reserve_vars(nv);
+    bool ok = true;
+    for (const auto& c : cls) ok = s.add_clause(c) && ok;
+    const bool expect = brute_force_sat(nv, cls);
+    const LBool got = ok ? s.solve() : LBool::kFalse;
+    EXPECT_EQ(got == LBool::kTrue, expect) << "trial " << trial;
+    if (got == LBool::kTrue) {
+      EXPECT_TRUE(s.model_satisfies_formula());
+      ++sat_count;
+    } else {
+      ++unsat_count;
+    }
+  }
+  EXPECT_GT(sat_count, 10);
+  EXPECT_GT(unsat_count, 10);
+}
+
+TEST(Solver, AblationsStillCorrect) {
+  // VSIDS off / restarts off must not change answers, only performance.
+  for (const bool vsids : {false, true}) {
+    for (const bool restarts : {false, true}) {
+      SolverOptions opt;
+      opt.use_vsids = vsids;
+      opt.use_restarts = restarts;
+      Solver s(opt);
+      add_pigeonhole(s, 4);
+      EXPECT_EQ(s.solve(), LBool::kFalse);
+    }
+  }
+}
+
+TEST(Solver, ConflictLimitReturnsUndef) {
+  SolverOptions opt;
+  opt.conflict_limit = 1;
+  Solver s(opt);
+  add_pigeonhole(s, 5);
+  EXPECT_EQ(s.solve(), LBool::kUndef);
+}
+
+TEST(Solver, IncrementalSolveWithAssumptions) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({mk_lit(a), mk_lit(b)});
+  EXPECT_EQ(s.solve({~mk_lit(a)}), LBool::kTrue);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.solve({~mk_lit(a), ~mk_lit(b)}), LBool::kFalse);
+  // Solver still usable: without assumptions it is satisfiable.
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+TEST(Solver, IncrementalAddClauseBetweenSolves) {
+  Solver s;
+  s.reserve_vars(2);
+  s.add_clause({mk_lit(0), mk_lit(1)});
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+  s.add_clause({~mk_lit(0)});
+  s.add_clause({~mk_lit(1)});
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(Solver, AddClauseValidatesVariables) {
+  Solver s;
+  s.new_var();
+  EXPECT_THROW(s.add_clause({mk_lit(3)}), std::invalid_argument);
+}
+
+TEST(Solver, LearnsClausesOnHardInstance) {
+  Solver s;
+  add_pigeonhole(s, 5);
+  s.solve();
+  EXPECT_GT(s.stats().learnt_clauses, 0);
+  EXPECT_GT(s.stats().propagations, 0);
+}
+
+TEST(Dimacs, ParseBasic) {
+  const auto f = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(f.num_vars, 3);
+  ASSERT_EQ(f.clauses.size(), 2u);
+  EXPECT_EQ(f.clauses[0][0], mk_lit(0, false));
+  EXPECT_EQ(f.clauses[0][1], mk_lit(1, true));
+}
+
+TEST(Dimacs, ParseMultiLineClause) {
+  const auto f = parse_dimacs("p cnf 2 1\n1\n-2\n0\n");
+  ASSERT_EQ(f.clauses.size(), 1u);
+  EXPECT_EQ(f.clauses[0].size(), 2u);
+}
+
+TEST(Dimacs, ParseErrors) {
+  EXPECT_THROW(parse_dimacs("1 2 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_dimacs("p cnf 1 1\n2 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_dimacs("p cnf 2 5\n1 0\n"), std::invalid_argument);
+}
+
+TEST(Dimacs, WriteParseRoundTrip) {
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{mk_lit(0), ~mk_lit(2)}, {mk_lit(1)}};
+  const auto g = parse_dimacs(write_dimacs(f));
+  EXPECT_EQ(g.num_vars, f.num_vars);
+  EXPECT_EQ(g.clauses, f.clauses);
+}
+
+TEST(Dimacs, EndToEndSolve) {
+  const auto f = parse_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n");
+  Solver s;
+  ASSERT_TRUE(load_into_solver(f, s));
+  const auto r = s.solve();
+  EXPECT_EQ(r, LBool::kTrue);
+  const auto text = result_text(s, r);
+  EXPECT_NE(text.find("SATISFIABLE"), std::string::npos);
+  EXPECT_NE(text.find(" 2 "), std::string::npos);  // var 2 must be true
+}
+
+// Parameterized sweep: random instances at several clause/var ratios keep
+// solver agreement with brute force (the classic phase-transition sweep).
+class RatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioTest, AgreesWithBruteForce) {
+  const double ratio = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(ratio * 1000));
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nv = 6;
+    const int nc = static_cast<int>(ratio * nv);
+    std::vector<std::vector<Lit>> cls;
+    for (int i = 0; i < nc; ++i) {
+      std::vector<Lit> c;
+      while (c.size() < 3) {
+        const Lit p(static_cast<Var>(rng.next_below(nv)), rng.next_bool());
+        bool dup = false;
+        for (const Lit q : c) dup |= q.var() == p.var();
+        if (!dup) c.push_back(p);
+      }
+      cls.push_back(c);
+    }
+    Solver s;
+    s.reserve_vars(nv);
+    bool ok = true;
+    for (const auto& c : cls) ok = s.add_clause(c) && ok;
+    const LBool got = ok ? s.solve() : LBool::kFalse;
+    EXPECT_EQ(got == LBool::kTrue, brute_force_sat(nv, cls));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClauseVarRatios, RatioTest,
+                         ::testing::Values(1.0, 2.0, 3.0, 4.3, 6.0, 8.0));
+
+}  // namespace
+}  // namespace l2l::sat

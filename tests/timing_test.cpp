@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "gen/function_gen.hpp"
+#include "route/router.hpp"
+#include "techmap/mapper.hpp"
+#include "timing/elmore.hpp"
+#include "timing/sta.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::timing {
+namespace {
+
+using network::Network;
+using network::NodeId;
+
+TEST(Sta, ChainDelays) {
+  // a -> n1 -> n2 -> n3 (unit delays): critical delay 3.
+  Network net;
+  const auto a = net.add_input("a");
+  auto prev = a;
+  for (int k = 0; k < 3; ++k)
+    prev = net.add_logic("n" + std::to_string(k), {prev},
+                         cubes::Cover::parse(1, "1\n"));
+  net.mark_output(prev);
+  const auto res = analyze(net, unit_delays(net));
+  EXPECT_DOUBLE_EQ(res.critical_delay, 3.0);
+  EXPECT_DOUBLE_EQ(res.arrival[static_cast<std::size_t>(a)], 0.0);
+  EXPECT_DOUBLE_EQ(res.worst_slack, 0.0);
+  EXPECT_EQ(res.critical_path.size(), 4u);
+  EXPECT_EQ(res.critical_path.front(), a);
+  EXPECT_EQ(res.critical_path.back(), prev);
+}
+
+TEST(Sta, ReconvergentPathsTakeMax) {
+  // a feeds a short path (1 gate) and a long path (3 gates) into y.
+  Network net;
+  const auto a = net.add_input("a");
+  const auto s = net.add_logic("s", {a}, cubes::Cover::parse(1, "1\n"));
+  const auto l1 = net.add_logic("l1", {a}, cubes::Cover::parse(1, "0\n"));
+  const auto l2 = net.add_logic("l2", {l1}, cubes::Cover::parse(1, "0\n"));
+  const auto y =
+      net.add_logic("y", {s, l2}, cubes::Cover::parse(2, "11\n"));
+  net.mark_output(y);
+  const auto res = analyze(net, unit_delays(net));
+  EXPECT_DOUBLE_EQ(res.critical_delay, 3.0);
+  // The short branch has slack 2 at node s... s arrives at 1, required at
+  // critical (3) minus delay(y)=1 -> 2, slack 1.
+  EXPECT_DOUBLE_EQ(res.slack[static_cast<std::size_t>(s)], 1.0);
+  EXPECT_DOUBLE_EQ(res.slack[static_cast<std::size_t>(l1)], 0.0);
+  EXPECT_DOUBLE_EQ(res.slack[static_cast<std::size_t>(l2)], 0.0);
+}
+
+TEST(Sta, RequiredTimeGivesNegativeSlack) {
+  Network net;
+  const auto a = net.add_input("a");
+  auto prev = a;
+  for (int k = 0; k < 4; ++k)
+    prev = net.add_logic("n" + std::to_string(k), {prev},
+                         cubes::Cover::parse(1, "1\n"));
+  net.mark_output(prev);
+  const auto res = analyze(net, unit_delays(net), 2.0);
+  EXPECT_DOUBLE_EQ(res.worst_slack, -2.0);
+}
+
+TEST(Sta, CellDelaysFromMappedNetlist) {
+  const auto net = gen::adder_network(2);
+  const auto lib = techmap::default_library();
+  const auto mapped = techmap::technology_map(net, lib,
+                                              techmap::MapObjective::kDelay);
+  const auto delays = cell_delays(mapped.netlist, lib);
+  const auto res = analyze(mapped.netlist, delays);
+  // STA must agree with the mapper's own critical-delay computation.
+  EXPECT_NEAR(res.critical_delay, mapped.critical_delay, 1e-9);
+}
+
+TEST(Sta, DelayVectorSizeChecked) {
+  Network net;
+  net.mark_output(net.add_input("a"));
+  EXPECT_THROW(analyze(net, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Elmore, SingleSegment) {
+  // Root -- R=2, C=3 node: delay = 2*3 = 6.
+  RcTree t;
+  t.nodes.push_back({-1, 0.0, 0.0});
+  t.nodes.push_back({0, 2.0, 3.0});
+  const auto d = elmore_delays(t);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 6.0);
+  EXPECT_DOUBLE_EQ(total_capacitance(t), 3.0);
+}
+
+TEST(Elmore, ClassicLadder) {
+  // R1=1,C1=1; R2=1,C2=1 chain:
+  // delay(1) = R1*(C1+C2) = 2; delay(2) = delay(1) + R2*C2 = 3.
+  RcTree t;
+  t.nodes.push_back({-1, 0.0, 0.0});
+  t.nodes.push_back({0, 1.0, 1.0});
+  t.nodes.push_back({1, 1.0, 1.0});
+  const auto d = elmore_delays(t);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+TEST(Elmore, BranchingTree) {
+  //      root
+  //       | R=1, C=1          (node 1)
+  //   left: R=1,C=2  right: R=2,C=1   (nodes 2 and 3)
+  RcTree t;
+  t.nodes.push_back({-1, 0.0, 0.0});
+  t.nodes.push_back({0, 1.0, 1.0});
+  t.nodes.push_back({1, 1.0, 2.0});
+  t.nodes.push_back({1, 2.0, 1.0});
+  const auto d = elmore_delays(t);
+  EXPECT_DOUBLE_EQ(d[1], 1.0 * (1 + 2 + 1));  // all downstream C
+  EXPECT_DOUBLE_EQ(d[2], d[1] + 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(d[3], d[1] + 2.0 * 1.0);
+}
+
+TEST(Elmore, ValidationRejectsBadTrees) {
+  RcTree empty;
+  EXPECT_THROW(elmore_delays(empty), std::logic_error);
+  RcTree bad;
+  bad.nodes.push_back({-1, 0, 0});
+  bad.nodes.push_back({5, 1, 1});  // parent after child
+  EXPECT_THROW(elmore_delays(bad), std::logic_error);
+}
+
+TEST(Elmore, FromRoutedNetStraightWire) {
+  route::NetRoute net;
+  net.net_id = 0;
+  for (int x = 0; x <= 4; ++x) net.cells.push_back({x, 0, 0});
+  WireParasitics par;
+  par.r_per_unit = 1.0;
+  par.c_per_unit = 1.0;
+  par.sink_c = 0.0;
+  const auto d = net_sink_delays(net, {0, 0, 0}, {{4, 0, 0}}, par);
+  ASSERT_EQ(d.size(), 1u);
+  // Ladder of 4 RC segments: delay = sum_{k=1..4} k = ... computed from
+  // downstream caps: R*(4) + R*(3) + R*(2) + R*(1) = 10.
+  EXPECT_DOUBLE_EQ(d[0], 10.0);
+}
+
+TEST(Elmore, ViasCostMore) {
+  route::NetRoute flat, via;
+  flat.net_id = 0;
+  via.net_id = 1;
+  for (int x = 0; x <= 2; ++x) flat.cells.push_back({x, 0, 0});
+  via.cells = {{0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {2, 0, 1}};
+  WireParasitics par;
+  const auto df = net_sink_delays(flat, {0, 0, 0}, {{2, 0, 0}}, par);
+  const auto dv = net_sink_delays(via, {0, 0, 0}, {{2, 0, 1}}, par);
+  EXPECT_GT(dv[0], df[0]);
+}
+
+TEST(Elmore, RealRoutedNetDelaysPositiveAndOrdered) {
+  util::Rng rng(131);
+  gen::RoutingGenOptions gopt;
+  gopt.width = 24;
+  gopt.height = 24;
+  gopt.num_nets = 6;
+  gopt.max_pins_per_net = 4;
+  const auto p = gen::generate_routing(gopt, rng);
+  const auto sol = route::route_all(p);
+  for (std::size_t n = 0; n < p.nets.size(); ++n) {
+    if (!sol.nets[n].routed) continue;
+    const auto& pins = p.nets[n].pins;
+    std::vector<route::GridPoint> sinks(pins.begin() + 1, pins.end());
+    const auto d = net_sink_delays(sol.nets[n], pins[0], sinks);
+    for (const double delay : d) EXPECT_GT(delay, 0.0);
+  }
+}
+
+TEST(Elmore, SourceMustBeOnNet) {
+  route::NetRoute net;
+  net.cells = {{0, 0, 0}};
+  EXPECT_THROW(net_sink_delays(net, {5, 5, 0}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace l2l::timing

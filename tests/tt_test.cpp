@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace l2l::tt {
+namespace {
+
+TEST(TruthTable, DefaultIsZero) {
+  TruthTable f(3);
+  EXPECT_TRUE(f.is_constant_zero());
+  EXPECT_EQ(f.count_ones(), 0u);
+  EXPECT_EQ(f.num_minterms(), 8u);
+}
+
+TEST(TruthTable, FromBitsRoundTrip) {
+  const auto f = TruthTable::from_bits("0110");
+  EXPECT_EQ(f.to_bits(), "0110");
+  EXPECT_EQ(f.num_vars(), 2);
+  EXPECT_FALSE(f.get(0));
+  EXPECT_TRUE(f.get(1));
+}
+
+TEST(TruthTable, FromBitsRejectsNonPowerOfTwo) {
+  EXPECT_THROW(TruthTable::from_bits("011"), std::invalid_argument);
+  EXPECT_THROW(TruthTable::from_bits("01a1"), std::invalid_argument);
+}
+
+TEST(TruthTable, VariableProjection) {
+  const auto x1 = TruthTable::variable(3, 1);
+  for (std::uint64_t m = 0; m < 8; ++m) EXPECT_EQ(x1.get(m), ((m >> 1) & 1) != 0);
+}
+
+TEST(TruthTable, ConstantOne) {
+  const auto one = TruthTable::constant(4, true);
+  EXPECT_TRUE(one.is_constant_one());
+  EXPECT_EQ(one.count_ones(), 16u);
+}
+
+TEST(TruthTable, XorOfVariables) {
+  const auto f = TruthTable::variable(2, 0) ^ TruthTable::variable(2, 1);
+  EXPECT_EQ(f.to_bits(), "0110");
+}
+
+TEST(TruthTable, DeMorgan) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto f = TruthTable::random(4, rng);
+    const auto g = TruthTable::random(4, rng);
+    EXPECT_EQ(~(f & g), ~f | ~g);
+    EXPECT_EQ(~(f | g), ~f & ~g);
+  }
+}
+
+TEST(TruthTable, DoubleComplementIsIdentity) {
+  util::Rng rng(2);
+  const auto f = TruthTable::random(5, rng);
+  EXPECT_EQ(~~f, f);
+}
+
+TEST(TruthTable, CofactorShannon) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto f = TruthTable::random(5, rng);
+    for (int v = 0; v < 5; ++v) {
+      const auto x = TruthTable::variable(5, v);
+      // Shannon expansion: f = x f_x + x' f_x'
+      const auto rebuilt =
+          (x & f.cofactor(v, true)) | (~x & f.cofactor(v, false));
+      EXPECT_EQ(rebuilt, f);
+    }
+  }
+}
+
+TEST(TruthTable, CofactorIndependence) {
+  util::Rng rng(4);
+  const auto f = TruthTable::random(4, rng);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_TRUE(f.cofactor(v, true).is_independent_of(v));
+    EXPECT_TRUE(f.cofactor(v, false).is_independent_of(v));
+  }
+}
+
+TEST(TruthTable, QuantificationBracketsFunction) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto f = TruthTable::random(4, rng);
+    for (int v = 0; v < 4; ++v) {
+      EXPECT_TRUE(f.forall(v).implies(f));
+      EXPECT_TRUE(f.implies(f.exists(v)));
+    }
+  }
+}
+
+TEST(TruthTable, BooleanDifferenceDetectsDependence) {
+  // f = x0 x1: df/dx0 = x1.
+  const auto f = TruthTable::variable(2, 0) & TruthTable::variable(2, 1);
+  EXPECT_EQ(f.boolean_difference(0), TruthTable::variable(2, 1));
+  // Constant functions have zero difference everywhere.
+  const auto one = TruthTable::constant(3, true);
+  for (int v = 0; v < 3; ++v)
+    EXPECT_TRUE(one.boolean_difference(v).is_constant_zero());
+}
+
+TEST(TruthTable, ImpliesIsPartialOrder) {
+  util::Rng rng(6);
+  const auto f = TruthTable::random(4, rng);
+  const auto g = TruthTable::random(4, rng);
+  EXPECT_TRUE((f & g).implies(f));
+  EXPECT_TRUE(f.implies(f | g));
+  EXPECT_TRUE(f.implies(f));
+}
+
+TEST(TruthTable, MintermsMatchCountOnes) {
+  util::Rng rng(7);
+  const auto f = TruthTable::random(6, rng);
+  EXPECT_EQ(f.minterms().size(), f.count_ones());
+  for (const auto m : f.minterms()) EXPECT_TRUE(f.get(m));
+}
+
+TEST(TruthTable, LargeArityWordBoundaries) {
+  // 8 vars = 256 bits = 4 words; exercise cross-word behaviour.
+  util::Rng rng(8);
+  const auto f = TruthTable::random(8, rng);
+  EXPECT_EQ((f ^ f).count_ones(), 0u);
+  EXPECT_EQ((f ^ ~f).count_ones(), 256u);
+}
+
+TEST(TruthTable, ArityMismatchThrows) {
+  const TruthTable f(2), g(3);
+  EXPECT_THROW(f & g, std::invalid_argument);
+  EXPECT_THROW(f ^ g, std::invalid_argument);
+}
+
+TEST(TruthTable, ZeroVarTables) {
+  const auto zero = TruthTable::constant(0, false);
+  const auto one = TruthTable::constant(0, true);
+  EXPECT_TRUE(zero.is_constant_zero());
+  EXPECT_TRUE(one.is_constant_one());
+  EXPECT_EQ(one.num_minterms(), 1u);
+}
+
+}  // namespace
+}  // namespace l2l::tt

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/ascii_chart.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMeanNearZero) {
+  Rng r(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.next_gaussian();
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng r(99);
+  const auto a = r.next_u64();
+  r.next_u64();
+  r.reseed(99);
+  EXPECT_EQ(r.next_u64(), a);
+}
+
+TEST(Strings, SplitBasic) {
+  const auto t = split("a b  c\t d\n");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[3], "d");
+}
+
+TEST(Strings, SplitEmpty) { EXPECT_TRUE(split("  \t ").empty()); }
+
+TEST(Strings, SplitCustomDelims) {
+  const auto t = split("a,b;;c", ",;");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "b");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \r\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("AbC-1"), "abc-1"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with(".model foo", ".model"));
+  EXPECT_FALSE(starts_with(".mod", ".model"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(AsciiChart, BarChartScalesToMax) {
+  const auto s = render_bar_chart({{"a", 10}, {"bb", 5}}, [] { util::BarChartOptions o; o.width = 10; return o; }());
+  // The max bar is exactly `width` fills; half value gets half the fill.
+  EXPECT_NE(s.find("a  |########## 10"), std::string::npos);
+  EXPECT_NE(s.find("bb |##### 5"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChart) {
+  EXPECT_EQ(render_bar_chart({}), "");
+}
+
+TEST(AsciiChart, ZeroValuesNoBars) {
+  const auto s = render_bar_chart({{"a", 0}}, [] { util::BarChartOptions o; o.width = 10; return o; }());
+  EXPECT_EQ(s.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, TablePadsColumns) {
+  const auto s = render_table({"name", "n"}, {{"x", "1"}, {"longer", "22"}});
+  EXPECT_NE(s.find("name    n"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace l2l::util

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "gen/placement_gen.hpp"
+#include "gen/routing_gen.hpp"
+#include "place/legalize.hpp"
+#include "place/quadratic.hpp"
+#include "route/router.hpp"
+#include "util/rng.hpp"
+#include "viz/svg.hpp"
+
+namespace l2l::viz {
+namespace {
+
+TEST(Svg, PlacementRendersAllCellsAndPads) {
+  util::Rng rng(231);
+  gen::PlacementGenOptions opt;
+  opt.num_cells = 40;
+  opt.num_pads = 8;
+  const auto p = gen::generate_placement(opt, rng);
+  const place::Grid grid{8, 8, p.width, p.height};
+  const auto gp = place::legalize(p, place::place_quadratic(p), grid);
+  const auto svg = placement_svg(p, grid, gp);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per cell (identifiable by the title element).
+  std::size_t cells = 0, pos = 0;
+  while ((pos = svg.find("<title>cell", pos)) != std::string::npos) {
+    ++cells;
+    pos += 10;
+  }
+  EXPECT_EQ(cells, 40u);
+  EXPECT_NE(svg.find("p0"), std::string::npos);  // pad names present
+}
+
+TEST(Svg, RoutingRendersWiresViasAndObstacles) {
+  util::Rng rng(232);
+  gen::RoutingGenOptions opt;
+  opt.width = opt.height = 16;
+  opt.num_nets = 6;
+  const auto p = gen::generate_routing(opt, rng);
+  const auto sol = route::route_all(p);
+  const auto svg = routing_svg(p, sol);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("fill-opacity=\"0.5\""), std::string::npos);  // obstacle
+  EXPECT_NE(svg.find("net 0"), std::string::npos);                 // pin title
+  // Vias present iff any net crosses layers.
+  bool has_via_net = false;
+  for (const auto& net : sol.nets) has_via_net |= route::count_vias(net) > 0;
+  EXPECT_EQ(svg.find("<circle") != std::string::npos, has_via_net);
+}
+
+TEST(Svg, GridOptionDrawsLines) {
+  util::Rng rng(233);
+  gen::PlacementGenOptions popt;
+  popt.num_cells = 10;
+  const auto p = gen::generate_placement(popt, rng);
+  const place::Grid grid{4, 4, p.width, p.height};
+  const auto gp = place::legalize(p, place::place_quadratic(p), grid);
+  SvgOptions opt;
+  opt.show_grid = true;
+  const auto svg = placement_svg(p, grid, gp, opt);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+}
+
+TEST(Svg, DeterministicOutput) {
+  util::Rng r1(234), r2(234);
+  gen::RoutingGenOptions opt;
+  opt.width = opt.height = 12;
+  opt.num_nets = 4;
+  const auto p1 = gen::generate_routing(opt, r1);
+  const auto p2 = gen::generate_routing(opt, r2);
+  EXPECT_EQ(routing_svg(p1, route::route_all(p1)),
+            routing_svg(p2, route::route_all(p2)));
+}
+
+}  // namespace
+}  // namespace l2l::viz

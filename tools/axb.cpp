@@ -1,0 +1,94 @@
+// axb: the MOOC's "simple custom solver for linear systems" (Fig. 4),
+// deployed so students could experiment with quadratic-placement
+// formulations. Text format:
+//
+//   n
+//   a11 a12 ... a1n
+//   ...
+//   an1 ... ann
+//   b1 ... bn
+//
+// Solves A x = b with Gaussian elimination (partial pivoting); with
+// --cg uses conjugate gradient (requires symmetric positive definite A).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "linalg/cg.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+
+int main(int argc, char** argv) {
+  bool use_cg = false;
+  std::string path;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--cg")
+      use_cg = true;
+    else
+      path = arg;
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!path.empty()) {
+    file.open(path);
+    if (!file) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    in = &file;
+  }
+
+  int n = 0;
+  if (!(*in >> n) || n <= 0) {
+    std::cerr << "error: bad dimension\n";
+    return 2;
+  }
+  l2l::linalg::DenseMatrix a(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (!(*in >> a.at(i, j))) {
+        std::cerr << "error: matrix entries missing\n";
+        return 2;
+      }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b)
+    if (!(*in >> v)) {
+      std::cerr << "error: rhs entries missing\n";
+      return 2;
+    }
+
+  if (use_cg) {
+    l2l::linalg::SparseMatrix s(n);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        if (a.at(i, j) != 0.0) s.add(i, j, a.at(i, j));
+    s.compress();
+    if (!s.is_symmetric(1e-9)) {
+      std::cerr << "error: --cg requires a symmetric matrix\n";
+      return 2;
+    }
+    const auto res = l2l::linalg::conjugate_gradient(s, b);
+    if (!res.converged) {
+      std::cerr << "error: CG did not converge (residual " << res.residual
+                << ")\n";
+      return 1;
+    }
+    std::cout << "x =";
+    for (const double v : res.x) std::cout << " " << v;
+    std::cout << "\n# cg iterations " << res.iterations << "\n";
+    return 0;
+  }
+
+  const auto x = l2l::linalg::solve_gauss(a, b);
+  if (!x) {
+    std::cerr << "error: singular matrix\n";
+    return 1;
+  }
+  std::cout << "x =";
+  for (const double v : *x) std::cout << " " << v;
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// espresso_lite: two-level minimizer front-end (the Espresso [9,10] portal
+// workalike). Reads a PLA from a file argument or stdin, minimizes every
+// output (heuristic by default, exact Quine-McCluskey with --exact), and
+// writes the minimized PLA to stdout.
+//
+// Flags: --exact, --stats, --single-pass (ablation).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "espresso/minimize.hpp"
+#include "espresso/pla.hpp"
+#include "espresso/qm.hpp"
+
+int main(int argc, char** argv) {
+  bool exact = false, show_stats = false, single_pass = false;
+  std::string path;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--exact")
+      exact = true;
+    else if (arg == "--stats")
+      show_stats = true;
+    else if (arg == "--single-pass")
+      single_pass = true;
+    else
+      path = arg;
+  }
+
+  std::string text;
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  }
+
+  try {
+    auto pla = l2l::espresso::parse_pla(text);
+    for (auto& out : pla.outputs) {
+      const int before_cubes = out.on.size();
+      const int before_lits = out.on.num_literals();
+      if (exact) {
+        out.on = l2l::espresso::exact_minimize(out.on, out.dc, nullptr);
+      } else {
+        l2l::espresso::MinimizeOptions mopt;
+        mopt.single_pass = single_pass;
+        out.on = l2l::espresso::minimize(out.on, out.dc, mopt, nullptr);
+      }
+      out.dc = l2l::cubes::Cover(pla.num_inputs);  // consumed by minimization
+      if (show_stats)
+        std::cerr << "# " << out.name << ": " << before_cubes << " cubes/"
+                  << before_lits << " lits -> " << out.on.size() << "/"
+                  << out.on.num_literals() << "\n";
+    }
+    std::cout << l2l::espresso::write_pla(pla);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,67 @@
+// minisat_lite: DIMACS CNF SAT solver front-end (the MOOC's miniSAT [8]
+// portal workalike). Reads DIMACS from a file argument or stdin; prints
+// SATISFIABLE with a model line, or UNSATISFIABLE, plus solver statistics.
+//
+// Flags: --no-vsids --no-restarts (heuristic ablations), --stats.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+
+int main(int argc, char** argv) {
+  l2l::sat::SolverOptions opt;
+  bool show_stats = false;
+  std::string path;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--no-vsids")
+      opt.use_vsids = false;
+    else if (arg == "--no-restarts")
+      opt.use_restarts = false;
+    else if (arg == "--stats")
+      show_stats = true;
+    else
+      path = arg;
+  }
+
+  std::string text;
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  }
+
+  try {
+    const auto formula = l2l::sat::parse_dimacs(text);
+    l2l::sat::Solver solver(opt);
+    l2l::sat::LBool result = l2l::sat::LBool::kFalse;
+    if (l2l::sat::load_into_solver(formula, solver)) result = solver.solve();
+    std::cout << l2l::sat::result_text(solver, result);
+    if (show_stats) {
+      const auto& s = solver.stats();
+      std::cout << "c decisions " << s.decisions << " propagations "
+                << s.propagations << " conflicts " << s.conflicts
+                << " restarts " << s.restarts << " learnts "
+                << s.learnt_clauses << "\n";
+    }
+    return result == l2l::sat::LBool::kTrue ? 10
+           : result == l2l::sat::LBool::kFalse ? 20
+                                               : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

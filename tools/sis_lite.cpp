@@ -1,0 +1,143 @@
+// sis_lite: multi-level logic optimization scripting environment in the
+// spirit of SIS [11] -- the MOOC's multi-level portal. Reads commands from
+// a script file or stdin; the working network is loaded with read_blif.
+//
+// Commands:
+//   read_blif <file>         load a network (or `read_blif -` + inline
+//                            BLIF terminated by `.end`)
+//   write_blif [file]        dump the network (default stdout)
+//   print_stats              nodes / literals / levels
+//   print_factor <node>      factored form of one node
+//   sweep | eliminate [N] | gkx | gcx | resub | simplify | full_simplify
+//   script.algebraic         the canned optimization script
+//   map [-delay]             technology map and report area/delay
+//   quit
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mls/factor.hpp"
+#include "mls/passes.hpp"
+#include "mls/script.hpp"
+#include "mls/sop.hpp"
+#include "network/blif.hpp"
+#include "techmap/mapper.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using l2l::network::Network;
+
+int run(std::istream& in, std::ostream& out) {
+  Network net;
+  bool loaded = false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto t = std::string(l2l::util::trim(line));
+    if (t.empty() || t[0] == '#') continue;
+    const auto tok = l2l::util::split(t);
+    try {
+      if (tok[0] == "read_blif") {
+        if (tok.size() < 2) throw std::runtime_error("read_blif needs a file");
+        std::string text;
+        if (tok[1] == "-") {
+          std::string bl;
+          while (std::getline(in, bl)) {
+            text += bl + "\n";
+            if (std::string(l2l::util::trim(bl)) == ".end") break;
+          }
+        } else {
+          std::ifstream f(tok[1]);
+          if (!f) throw std::runtime_error("cannot open " + tok[1]);
+          std::ostringstream ss;
+          ss << f.rdbuf();
+          text = ss.str();
+        }
+        net = l2l::network::parse_blif(text);
+        loaded = true;
+        out << "read " << net.model_name() << ": " << net.inputs().size()
+            << " inputs, " << net.outputs().size() << " outputs, "
+            << net.num_logic_nodes() << " nodes\n";
+        continue;
+      }
+      if (!loaded) throw std::runtime_error("no network loaded");
+      if (tok[0] == "write_blif") {
+        const auto text = l2l::network::write_blif(net);
+        if (tok.size() > 1) {
+          std::ofstream f(tok[1]);
+          f << text;
+          out << "wrote " << tok[1] << "\n";
+        } else {
+          out << text;
+        }
+      } else if (tok[0] == "print_stats") {
+        int max_level = 0;
+        for (const int l : net.levels()) max_level = std::max(max_level, l);
+        out << net.model_name() << ": nodes " << net.num_logic_nodes()
+            << ", literals " << net.num_literals() << ", levels "
+            << max_level << "\n";
+      } else if (tok[0] == "print_factor") {
+        const auto id = net.find(tok.at(1));
+        if (!id) throw std::runtime_error("unknown node " + tok[1]);
+        const auto sop = l2l::mls::sop_of_node(net, *id);
+        const auto expr = l2l::mls::factor(sop);
+        out << tok[1] << " = " << l2l::mls::expr_to_string(net, expr) << "  ("
+            << l2l::mls::expr_literals(expr) << " literals factored, "
+            << l2l::mls::sop_literals(sop) << " flat)\n";
+      } else if (tok[0] == "sweep") {
+        out << "swept " << l2l::mls::sweep(net) << " nodes\n";
+      } else if (tok[0] == "eliminate") {
+        const int threshold = tok.size() > 1 ? std::stoi(tok[1]) : 0;
+        out << "eliminated " << l2l::mls::eliminate(net, threshold)
+            << " nodes\n";
+      } else if (tok[0] == "gkx") {
+        out << "extracted " << l2l::mls::extract_kernels(net) << " kernels\n";
+      } else if (tok[0] == "gcx") {
+        out << "extracted " << l2l::mls::extract_cubes(net) << " cubes\n";
+      } else if (tok[0] == "resub") {
+        out << "resubstituted " << l2l::mls::resubstitute(net) << " nodes\n";
+      } else if (tok[0] == "simplify") {
+        out << "saved " << l2l::mls::simplify_nodes(net) << " literals\n";
+      } else if (tok[0] == "full_simplify") {
+        out << "saved " << l2l::mls::simplify_with_sdc(net)
+            << " literals (with SDC)\n";
+      } else if (tok[0] == "script.algebraic") {
+        const auto stats = l2l::mls::optimize(net);
+        out << stats.to_string() << "\n";
+      } else if (tok[0] == "map") {
+        const auto obj = tok.size() > 1 && tok[1] == "-delay"
+                             ? l2l::techmap::MapObjective::kDelay
+                             : l2l::techmap::MapObjective::kArea;
+        const auto res = l2l::techmap::technology_map(
+            net, l2l::techmap::default_library(), obj);
+        out << "mapped: " << res.gates.size() << " gates, area "
+            << res.total_area << ", delay " << res.critical_delay << "\n";
+      } else if (tok[0] == "quit" || tok[0] == "exit") {
+        break;
+      } else {
+        throw std::runtime_error("unknown command " + tok[0]);
+      }
+    } catch (const std::exception& e) {
+      out << "error on line " << lineno << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    return run(in, std::cout);
+  }
+  return run(std::cin, std::cout);
+}
