@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_concept_map.dir/fig01_concept_map.cpp.o"
+  "CMakeFiles/fig01_concept_map.dir/fig01_concept_map.cpp.o.d"
+  "fig01_concept_map"
+  "fig01_concept_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_concept_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_lectures.dir/fig02_lectures.cpp.o"
+  "CMakeFiles/fig02_lectures.dir/fig02_lectures.cpp.o.d"
+  "fig02_lectures"
+  "fig02_lectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_lectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

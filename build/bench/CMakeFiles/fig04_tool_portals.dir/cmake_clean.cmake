@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_tool_portals.dir/fig04_tool_portals.cpp.o"
+  "CMakeFiles/fig04_tool_portals.dir/fig04_tool_portals.cpp.o.d"
+  "fig04_tool_portals"
+  "fig04_tool_portals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_tool_portals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_projects.dir/fig05_projects.cpp.o"
+  "CMakeFiles/fig05_projects.dir/fig05_projects.cpp.o.d"
+  "fig05_projects"
+  "fig05_projects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_projects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

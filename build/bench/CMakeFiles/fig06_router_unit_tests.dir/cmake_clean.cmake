@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_router_unit_tests.dir/fig06_router_unit_tests.cpp.o"
+  "CMakeFiles/fig06_router_unit_tests.dir/fig06_router_unit_tests.cpp.o.d"
+  "fig06_router_unit_tests"
+  "fig06_router_unit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_router_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

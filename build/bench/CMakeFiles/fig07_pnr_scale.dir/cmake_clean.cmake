@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pnr_scale.dir/fig07_pnr_scale.cpp.o"
+  "CMakeFiles/fig07_pnr_scale.dir/fig07_pnr_scale.cpp.o.d"
+  "fig07_pnr_scale"
+  "fig07_pnr_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pnr_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

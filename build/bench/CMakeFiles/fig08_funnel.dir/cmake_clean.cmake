@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_funnel.dir/fig08_funnel.cpp.o"
+  "CMakeFiles/fig08_funnel.dir/fig08_funnel.cpp.o.d"
+  "fig08_funnel"
+  "fig08_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_viewers.dir/fig09_viewers.cpp.o"
+  "CMakeFiles/fig09_viewers.dir/fig09_viewers.cpp.o.d"
+  "fig09_viewers"
+  "fig09_viewers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_viewers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_demographics.dir/fig10_demographics.cpp.o"
+  "CMakeFiles/fig10_demographics.dir/fig10_demographics.cpp.o.d"
+  "fig10_demographics"
+  "fig10_demographics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_demographics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_wordcloud.dir/fig11_wordcloud.cpp.o"
+  "CMakeFiles/fig11_wordcloud.dir/fig11_wordcloud.cpp.o.d"
+  "fig11_wordcloud"
+  "fig11_wordcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_wordcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

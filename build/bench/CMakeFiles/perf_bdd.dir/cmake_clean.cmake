@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_bdd.dir/perf_bdd.cpp.o"
+  "CMakeFiles/perf_bdd.dir/perf_bdd.cpp.o.d"
+  "perf_bdd"
+  "perf_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_espresso.dir/perf_espresso.cpp.o"
+  "CMakeFiles/perf_espresso.dir/perf_espresso.cpp.o.d"
+  "perf_espresso"
+  "perf_espresso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_espresso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

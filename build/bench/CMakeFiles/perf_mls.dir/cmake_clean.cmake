@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_mls.dir/perf_mls.cpp.o"
+  "CMakeFiles/perf_mls.dir/perf_mls.cpp.o.d"
+  "perf_mls"
+  "perf_mls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_mls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_place.dir/perf_place.cpp.o"
+  "CMakeFiles/perf_place.dir/perf_place.cpp.o.d"
+  "perf_place"
+  "perf_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

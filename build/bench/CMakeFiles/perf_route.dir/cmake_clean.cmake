@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_route.dir/perf_route.cpp.o"
+  "CMakeFiles/perf_route.dir/perf_route.cpp.o.d"
+  "perf_route"
+  "perf_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

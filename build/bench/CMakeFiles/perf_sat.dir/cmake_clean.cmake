@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sat.dir/perf_sat.cpp.o"
+  "CMakeFiles/perf_sat.dir/perf_sat.cpp.o.d"
+  "perf_sat"
+  "perf_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_timing.dir/perf_timing.cpp.o"
+  "CMakeFiles/perf_timing.dir/perf_timing.cpp.o.d"
+  "perf_timing"
+  "perf_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

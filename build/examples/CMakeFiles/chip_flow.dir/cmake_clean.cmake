@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_flow.dir/chip_flow.cpp.o"
+  "CMakeFiles/chip_flow.dir/chip_flow.cpp.o.d"
+  "chip_flow"
+  "chip_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

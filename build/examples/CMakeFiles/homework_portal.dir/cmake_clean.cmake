@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework_portal.dir/homework_portal.cpp.o"
+  "CMakeFiles/homework_portal.dir/homework_portal.cpp.o.d"
+  "homework_portal"
+  "homework_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_showcase.dir/project_showcase.cpp.o"
+  "CMakeFiles/project_showcase.dir/project_showcase.cpp.o.d"
+  "project_showcase"
+  "project_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

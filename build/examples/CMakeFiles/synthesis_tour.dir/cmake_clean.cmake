@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_tour.dir/synthesis_tour.cpp.o"
+  "CMakeFiles/synthesis_tour.dir/synthesis_tour.cpp.o.d"
+  "synthesis_tour"
+  "synthesis_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

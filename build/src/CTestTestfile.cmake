@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tt")
+subdirs("cubes")
+subdirs("bdd")
+subdirs("sat")
+subdirs("espresso")
+subdirs("network")
+subdirs("mls")
+subdirs("techmap")
+subdirs("linalg")
+subdirs("gen")
+subdirs("place")
+subdirs("route")
+subdirs("timing")
+subdirs("repair")
+subdirs("grader")
+subdirs("mooc")
+subdirs("flow")
+subdirs("partition")
+subdirs("geom")
+subdirs("fault")
+subdirs("viz")
+subdirs("homework")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/l2l_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/l2l_bdd.dir/manager.cpp.o"
+  "CMakeFiles/l2l_bdd.dir/manager.cpp.o.d"
+  "CMakeFiles/l2l_bdd.dir/reorder.cpp.o"
+  "CMakeFiles/l2l_bdd.dir/reorder.cpp.o.d"
+  "libl2l_bdd.a"
+  "libl2l_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cubes/cover.cpp" "src/cubes/CMakeFiles/l2l_cubes.dir/cover.cpp.o" "gcc" "src/cubes/CMakeFiles/l2l_cubes.dir/cover.cpp.o.d"
+  "/root/repo/src/cubes/cube.cpp" "src/cubes/CMakeFiles/l2l_cubes.dir/cube.cpp.o" "gcc" "src/cubes/CMakeFiles/l2l_cubes.dir/cube.cpp.o.d"
+  "/root/repo/src/cubes/urp.cpp" "src/cubes/CMakeFiles/l2l_cubes.dir/urp.cpp.o" "gcc" "src/cubes/CMakeFiles/l2l_cubes.dir/urp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/l2l_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/l2l_tt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

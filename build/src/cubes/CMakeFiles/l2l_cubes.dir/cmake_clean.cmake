@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_cubes.dir/cover.cpp.o"
+  "CMakeFiles/l2l_cubes.dir/cover.cpp.o.d"
+  "CMakeFiles/l2l_cubes.dir/cube.cpp.o"
+  "CMakeFiles/l2l_cubes.dir/cube.cpp.o.d"
+  "CMakeFiles/l2l_cubes.dir/urp.cpp.o"
+  "CMakeFiles/l2l_cubes.dir/urp.cpp.o.d"
+  "libl2l_cubes.a"
+  "libl2l_cubes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_cubes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_espresso.dir/minimize.cpp.o"
+  "CMakeFiles/l2l_espresso.dir/minimize.cpp.o.d"
+  "CMakeFiles/l2l_espresso.dir/pla.cpp.o"
+  "CMakeFiles/l2l_espresso.dir/pla.cpp.o.d"
+  "CMakeFiles/l2l_espresso.dir/qm.cpp.o"
+  "CMakeFiles/l2l_espresso.dir/qm.cpp.o.d"
+  "libl2l_espresso.a"
+  "libl2l_espresso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_espresso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_fault.dir/atpg.cpp.o"
+  "CMakeFiles/l2l_fault.dir/atpg.cpp.o.d"
+  "CMakeFiles/l2l_fault.dir/faults.cpp.o"
+  "CMakeFiles/l2l_fault.dir/faults.cpp.o.d"
+  "CMakeFiles/l2l_fault.dir/simulator.cpp.o"
+  "CMakeFiles/l2l_fault.dir/simulator.cpp.o.d"
+  "libl2l_fault.a"
+  "libl2l_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_flow.dir/flow.cpp.o"
+  "CMakeFiles/l2l_flow.dir/flow.cpp.o.d"
+  "libl2l_flow.a"
+  "libl2l_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

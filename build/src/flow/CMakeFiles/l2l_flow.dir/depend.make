@@ -1,0 +1,2 @@
+# Empty dependencies file for l2l_flow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_gen.dir/function_gen.cpp.o"
+  "CMakeFiles/l2l_gen.dir/function_gen.cpp.o.d"
+  "CMakeFiles/l2l_gen.dir/placement_gen.cpp.o"
+  "CMakeFiles/l2l_gen.dir/placement_gen.cpp.o.d"
+  "CMakeFiles/l2l_gen.dir/routing_gen.cpp.o"
+  "CMakeFiles/l2l_gen.dir/routing_gen.cpp.o.d"
+  "libl2l_gen.a"
+  "libl2l_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

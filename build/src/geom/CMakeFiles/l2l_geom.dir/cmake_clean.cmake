@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_geom.dir/drc.cpp.o"
+  "CMakeFiles/l2l_geom.dir/drc.cpp.o.d"
+  "CMakeFiles/l2l_geom.dir/extract.cpp.o"
+  "CMakeFiles/l2l_geom.dir/extract.cpp.o.d"
+  "CMakeFiles/l2l_geom.dir/scanline.cpp.o"
+  "CMakeFiles/l2l_geom.dir/scanline.cpp.o.d"
+  "libl2l_geom.a"
+  "libl2l_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_grader.dir/place_grader.cpp.o"
+  "CMakeFiles/l2l_grader.dir/place_grader.cpp.o.d"
+  "CMakeFiles/l2l_grader.dir/route_grader.cpp.o"
+  "CMakeFiles/l2l_grader.dir/route_grader.cpp.o.d"
+  "libl2l_grader.a"
+  "libl2l_grader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_grader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_homework.dir/quiz.cpp.o"
+  "CMakeFiles/l2l_homework.dir/quiz.cpp.o.d"
+  "libl2l_homework.a"
+  "libl2l_homework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_homework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

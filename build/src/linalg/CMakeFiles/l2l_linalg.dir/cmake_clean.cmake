@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_linalg.dir/cg.cpp.o"
+  "CMakeFiles/l2l_linalg.dir/cg.cpp.o.d"
+  "CMakeFiles/l2l_linalg.dir/dense.cpp.o"
+  "CMakeFiles/l2l_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/l2l_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/l2l_linalg.dir/sparse.cpp.o.d"
+  "libl2l_linalg.a"
+  "libl2l_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

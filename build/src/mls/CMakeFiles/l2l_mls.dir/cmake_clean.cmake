@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_mls.dir/factor.cpp.o"
+  "CMakeFiles/l2l_mls.dir/factor.cpp.o.d"
+  "CMakeFiles/l2l_mls.dir/kernels.cpp.o"
+  "CMakeFiles/l2l_mls.dir/kernels.cpp.o.d"
+  "CMakeFiles/l2l_mls.dir/passes.cpp.o"
+  "CMakeFiles/l2l_mls.dir/passes.cpp.o.d"
+  "CMakeFiles/l2l_mls.dir/script.cpp.o"
+  "CMakeFiles/l2l_mls.dir/script.cpp.o.d"
+  "CMakeFiles/l2l_mls.dir/sop.cpp.o"
+  "CMakeFiles/l2l_mls.dir/sop.cpp.o.d"
+  "libl2l_mls.a"
+  "libl2l_mls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_mls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mooc/cohort.cpp" "src/mooc/CMakeFiles/l2l_mooc.dir/cohort.cpp.o" "gcc" "src/mooc/CMakeFiles/l2l_mooc.dir/cohort.cpp.o.d"
+  "/root/repo/src/mooc/datasets.cpp" "src/mooc/CMakeFiles/l2l_mooc.dir/datasets.cpp.o" "gcc" "src/mooc/CMakeFiles/l2l_mooc.dir/datasets.cpp.o.d"
+  "/root/repo/src/mooc/wordcloud.cpp" "src/mooc/CMakeFiles/l2l_mooc.dir/wordcloud.cpp.o" "gcc" "src/mooc/CMakeFiles/l2l_mooc.dir/wordcloud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/l2l_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

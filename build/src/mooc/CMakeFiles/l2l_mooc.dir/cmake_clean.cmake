@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_mooc.dir/cohort.cpp.o"
+  "CMakeFiles/l2l_mooc.dir/cohort.cpp.o.d"
+  "CMakeFiles/l2l_mooc.dir/datasets.cpp.o"
+  "CMakeFiles/l2l_mooc.dir/datasets.cpp.o.d"
+  "CMakeFiles/l2l_mooc.dir/wordcloud.cpp.o"
+  "CMakeFiles/l2l_mooc.dir/wordcloud.cpp.o.d"
+  "libl2l_mooc.a"
+  "libl2l_mooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_mooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

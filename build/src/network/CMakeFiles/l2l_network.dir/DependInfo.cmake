@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/bdd_build.cpp" "src/network/CMakeFiles/l2l_network.dir/bdd_build.cpp.o" "gcc" "src/network/CMakeFiles/l2l_network.dir/bdd_build.cpp.o.d"
+  "/root/repo/src/network/blif.cpp" "src/network/CMakeFiles/l2l_network.dir/blif.cpp.o" "gcc" "src/network/CMakeFiles/l2l_network.dir/blif.cpp.o.d"
+  "/root/repo/src/network/cnf.cpp" "src/network/CMakeFiles/l2l_network.dir/cnf.cpp.o" "gcc" "src/network/CMakeFiles/l2l_network.dir/cnf.cpp.o.d"
+  "/root/repo/src/network/equivalence.cpp" "src/network/CMakeFiles/l2l_network.dir/equivalence.cpp.o" "gcc" "src/network/CMakeFiles/l2l_network.dir/equivalence.cpp.o.d"
+  "/root/repo/src/network/network.cpp" "src/network/CMakeFiles/l2l_network.dir/network.cpp.o" "gcc" "src/network/CMakeFiles/l2l_network.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cubes/CMakeFiles/l2l_cubes.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/l2l_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/l2l_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/l2l_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/l2l_tt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_network.dir/bdd_build.cpp.o"
+  "CMakeFiles/l2l_network.dir/bdd_build.cpp.o.d"
+  "CMakeFiles/l2l_network.dir/blif.cpp.o"
+  "CMakeFiles/l2l_network.dir/blif.cpp.o.d"
+  "CMakeFiles/l2l_network.dir/cnf.cpp.o"
+  "CMakeFiles/l2l_network.dir/cnf.cpp.o.d"
+  "CMakeFiles/l2l_network.dir/equivalence.cpp.o"
+  "CMakeFiles/l2l_network.dir/equivalence.cpp.o.d"
+  "CMakeFiles/l2l_network.dir/network.cpp.o"
+  "CMakeFiles/l2l_network.dir/network.cpp.o.d"
+  "libl2l_network.a"
+  "libl2l_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

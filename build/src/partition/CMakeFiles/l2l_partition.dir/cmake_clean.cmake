@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_partition.dir/fm.cpp.o"
+  "CMakeFiles/l2l_partition.dir/fm.cpp.o.d"
+  "CMakeFiles/l2l_partition.dir/hypergraph.cpp.o"
+  "CMakeFiles/l2l_partition.dir/hypergraph.cpp.o.d"
+  "CMakeFiles/l2l_partition.dir/kl.cpp.o"
+  "CMakeFiles/l2l_partition.dir/kl.cpp.o.d"
+  "libl2l_partition.a"
+  "libl2l_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

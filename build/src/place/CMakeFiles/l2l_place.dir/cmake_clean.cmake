@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_place.dir/annealing.cpp.o"
+  "CMakeFiles/l2l_place.dir/annealing.cpp.o.d"
+  "CMakeFiles/l2l_place.dir/legalize.cpp.o"
+  "CMakeFiles/l2l_place.dir/legalize.cpp.o.d"
+  "CMakeFiles/l2l_place.dir/quadratic.cpp.o"
+  "CMakeFiles/l2l_place.dir/quadratic.cpp.o.d"
+  "CMakeFiles/l2l_place.dir/wirelength.cpp.o"
+  "CMakeFiles/l2l_place.dir/wirelength.cpp.o.d"
+  "libl2l_place.a"
+  "libl2l_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

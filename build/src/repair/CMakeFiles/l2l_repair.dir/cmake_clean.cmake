@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_repair.dir/repair.cpp.o"
+  "CMakeFiles/l2l_repair.dir/repair.cpp.o.d"
+  "libl2l_repair.a"
+  "libl2l_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_route.dir/maze.cpp.o"
+  "CMakeFiles/l2l_route.dir/maze.cpp.o.d"
+  "CMakeFiles/l2l_route.dir/router.cpp.o"
+  "CMakeFiles/l2l_route.dir/router.cpp.o.d"
+  "CMakeFiles/l2l_route.dir/solution.cpp.o"
+  "CMakeFiles/l2l_route.dir/solution.cpp.o.d"
+  "libl2l_route.a"
+  "libl2l_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/l2l_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/l2l_sat.dir/solver.cpp.o"
+  "CMakeFiles/l2l_sat.dir/solver.cpp.o.d"
+  "libl2l_sat.a"
+  "libl2l_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_techmap.dir/library.cpp.o"
+  "CMakeFiles/l2l_techmap.dir/library.cpp.o.d"
+  "CMakeFiles/l2l_techmap.dir/mapper.cpp.o"
+  "CMakeFiles/l2l_techmap.dir/mapper.cpp.o.d"
+  "CMakeFiles/l2l_techmap.dir/subject_graph.cpp.o"
+  "CMakeFiles/l2l_techmap.dir/subject_graph.cpp.o.d"
+  "libl2l_techmap.a"
+  "libl2l_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

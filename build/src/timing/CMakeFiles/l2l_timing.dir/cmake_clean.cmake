@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_timing.dir/elmore.cpp.o"
+  "CMakeFiles/l2l_timing.dir/elmore.cpp.o.d"
+  "CMakeFiles/l2l_timing.dir/sta.cpp.o"
+  "CMakeFiles/l2l_timing.dir/sta.cpp.o.d"
+  "libl2l_timing.a"
+  "libl2l_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

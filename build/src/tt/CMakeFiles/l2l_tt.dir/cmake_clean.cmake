@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_tt.dir/truth_table.cpp.o"
+  "CMakeFiles/l2l_tt.dir/truth_table.cpp.o.d"
+  "libl2l_tt.a"
+  "libl2l_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/l2l_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/l2l_util.dir/log.cpp.o"
+  "CMakeFiles/l2l_util.dir/log.cpp.o.d"
+  "CMakeFiles/l2l_util.dir/rng.cpp.o"
+  "CMakeFiles/l2l_util.dir/rng.cpp.o.d"
+  "CMakeFiles/l2l_util.dir/strings.cpp.o"
+  "CMakeFiles/l2l_util.dir/strings.cpp.o.d"
+  "libl2l_util.a"
+  "libl2l_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2l_viz.dir/svg.cpp.o"
+  "CMakeFiles/l2l_viz.dir/svg.cpp.o.d"
+  "libl2l_viz.a"
+  "libl2l_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2l_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubes_test.dir/cubes_test.cpp.o"
+  "CMakeFiles/cubes_test.dir/cubes_test.cpp.o.d"
+  "cubes_test"
+  "cubes_test.pdb"
+  "cubes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/espresso_test.cpp" "tests/CMakeFiles/espresso_test.dir/espresso_test.cpp.o" "gcc" "tests/CMakeFiles/espresso_test.dir/espresso_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/espresso/CMakeFiles/l2l_espresso.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/l2l_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cubes/CMakeFiles/l2l_cubes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/l2l_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

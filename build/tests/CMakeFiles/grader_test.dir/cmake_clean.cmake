@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grader_test.dir/grader_test.cpp.o"
+  "CMakeFiles/grader_test.dir/grader_test.cpp.o.d"
+  "grader_test"
+  "grader_test.pdb"
+  "grader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

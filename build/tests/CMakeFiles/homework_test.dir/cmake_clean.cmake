@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework_test.dir/homework_test.cpp.o"
+  "CMakeFiles/homework_test.dir/homework_test.cpp.o.d"
+  "homework_test"
+  "homework_test.pdb"
+  "homework_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

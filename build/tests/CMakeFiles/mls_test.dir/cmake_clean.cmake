@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mls_test.dir/mls_test.cpp.o"
+  "CMakeFiles/mls_test.dir/mls_test.cpp.o.d"
+  "mls_test"
+  "mls_test.pdb"
+  "mls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

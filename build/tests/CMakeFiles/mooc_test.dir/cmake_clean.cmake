@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mooc_test.dir/mooc_test.cpp.o"
+  "CMakeFiles/mooc_test.dir/mooc_test.cpp.o.d"
+  "mooc_test"
+  "mooc_test.pdb"
+  "mooc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mooc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

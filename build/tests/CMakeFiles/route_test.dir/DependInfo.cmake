@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/route_test.cpp" "tests/CMakeFiles/route_test.dir/route_test.cpp.o" "gcc" "tests/CMakeFiles/route_test.dir/route_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/l2l_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/l2l_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/l2l_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/cubes/CMakeFiles/l2l_cubes.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/l2l_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/l2l_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/l2l_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/l2l_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

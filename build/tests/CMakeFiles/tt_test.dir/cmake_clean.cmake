@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_test.dir/tt_test.cpp.o"
+  "CMakeFiles/tt_test.dir/tt_test.cpp.o.d"
+  "tt_test"
+  "tt_test.pdb"
+  "tt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axb.dir/axb.cpp.o"
+  "CMakeFiles/axb.dir/axb.cpp.o.d"
+  "axb"
+  "axb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

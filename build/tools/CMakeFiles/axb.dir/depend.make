@@ -1,0 +1,2 @@
+# Empty dependencies file for axb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espresso_lite.dir/espresso_lite.cpp.o"
+  "CMakeFiles/espresso_lite.dir/espresso_lite.cpp.o.d"
+  "espresso_lite"
+  "espresso_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espresso_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbdd_lite.dir/kbdd_lite.cpp.o"
+  "CMakeFiles/kbdd_lite.dir/kbdd_lite.cpp.o.d"
+  "kbdd_lite"
+  "kbdd_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbdd_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/minisat_lite.cpp" "tools/CMakeFiles/minisat_lite.dir/minisat_lite.cpp.o" "gcc" "tools/CMakeFiles/minisat_lite.dir/minisat_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/l2l_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/l2l_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minisat_lite.dir/minisat_lite.cpp.o"
+  "CMakeFiles/minisat_lite.dir/minisat_lite.cpp.o.d"
+  "minisat_lite"
+  "minisat_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minisat_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for minisat_lite.
+# This may be replaced when dependencies are built.

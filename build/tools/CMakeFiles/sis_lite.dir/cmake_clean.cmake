@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sis_lite.dir/sis_lite.cpp.o"
+  "CMakeFiles/sis_lite.dir/sis_lite.cpp.o.d"
+  "sis_lite"
+  "sis_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sis_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_kbdd_smoke "sh" "-c" "printf 'var a b c\\nf = (a & b) | !c\\nsatcount f\\nsize f\\n' | /root/repo/build/tools/kbdd_lite | grep -q 'satisfying'")
+set_tests_properties(tool_kbdd_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_minisat_smoke "sh" "-c" "printf 'p cnf 2 2\\n1 2 0\\n-1 2 0\\n' | /root/repo/build/tools/minisat_lite | grep -q SATISFIABLE")
+set_tests_properties(tool_minisat_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_minisat_unsat "sh" "-c" "printf 'p cnf 1 2\\n1 0\\n-1 0\\n' | /root/repo/build/tools/minisat_lite | grep -q UNSATISFIABLE")
+set_tests_properties(tool_minisat_unsat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_espresso_smoke "sh" "-c" "printf '.i 2\\n.o 1\\n00 1\\n01 1\\n10 1\\n11 1\\n.e\\n' | /root/repo/build/tools/espresso_lite | grep -q '.p 1'")
+set_tests_properties(tool_espresso_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sis_smoke "sh" "-c" "printf 'read_blif -\\n.model t\\n.inputs a b\\n.outputs y\\n.names a b y\\n11 1\\n.end\\nprint_stats\\nscript.algebraic\\nquit\\n' | /root/repo/build/tools/sis_lite | grep -q 'literals'")
+set_tests_properties(tool_sis_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_axb_smoke "sh" "-c" "printf '2\\n2 -1\\n-1 2\\n0 3\\n' | /root/repo/build/tools/axb | grep -q 'x ='")
+set_tests_properties(tool_axb_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sis_sample "sh" "-c" "/root/repo/build/tools/sis_lite data/sample.sis | grep -q 'mapped:'")
+set_tests_properties(tool_sis_sample PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_kbdd_sample "sh" "-c" "/root/repo/build/tools/kbdd_lite data/sample.kbdd | grep -q 'EQUAL'")
+set_tests_properties(tool_kbdd_sample PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;37;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_minisat_sample "sh" "-c" "/root/repo/build/tools/minisat_lite data/sample.cnf | grep -q 'SATISFIABLE'")
+set_tests_properties(tool_minisat_sample PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_espresso_sample "sh" "-c" "/root/repo/build/tools/espresso_lite data/sample.pla --exact | grep -q '.e'")
+set_tests_properties(tool_espresso_sample PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_axb_sample "sh" "-c" "/root/repo/build/tools/axb data/sample.axb --cg | grep -q 'x ='")
+set_tests_properties(tool_axb_sample PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;46;add_test;/root/repo/tools/CMakeLists.txt;0;")
