@@ -1,5 +1,6 @@
 // Placement benchmarks + ablations: clique vs star net models, recursion
-// depth, and annealing vs pure greedy descent.
+// depth, annealing vs pure greedy descent, and multi-thread scaling of
+// the quadratic solve (parallel SpMV + chunk-ordered CG reductions).
 
 #include <benchmark/benchmark.h>
 
@@ -8,6 +9,7 @@
 #include "place/legalize.hpp"
 #include "place/quadratic.hpp"
 #include "place/wirelength.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -56,6 +58,30 @@ void BM_RecursionDepth(benchmark::State& state) {
   (void)h;
 }
 BENCHMARK(BM_RecursionDepth)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PlaceThreadScaling(benchmark::State& state) {
+  // Thread scaling of the full recursive quadratic placement on the
+  // largest generated netlist. The hpwl counter must be thread-invariant.
+  const int threads = static_cast<int>(state.range(0));
+  const auto p = problem(3000, 15);
+  util::set_num_threads(threads);
+  double h = 0;
+  for (auto _ : state) {
+    const auto pl = place::place_quadratic(p);
+    h = place::hpwl(p, pl);
+  }
+  util::set_num_threads(0);
+  state.counters["threads"] = threads;
+  state.counters["hpwl"] = h;
+}
+BENCHMARK(BM_PlaceThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AnnealVsGreedy(benchmark::State& state) {
   const bool greedy = state.range(0) != 0;

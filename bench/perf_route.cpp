@@ -1,11 +1,13 @@
 // Router benchmarks + ablations: A* vs Dijkstra search effort, the
-// preferred-direction penalty's effect on vias/quality, via-cost sweeps.
+// preferred-direction penalty's effect on vias/quality, via-cost sweeps,
+// and multi-thread scaling of the negotiated-congestion router.
 
 #include <benchmark/benchmark.h>
 
 #include "gen/routing_gen.hpp"
 #include "route/maze.hpp"
 #include "route/router.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -93,6 +95,35 @@ void BM_NegotiatedVsSequential(benchmark::State& state) {
   state.SetLabel(negotiated ? "negotiated congestion" : "sequential rip-up");
 }
 BENCHMARK(BM_NegotiatedVsSequential)->Arg(1)->Arg(0)->Iterations(1);
+
+void BM_RouteThreadScaling(benchmark::State& state) {
+  // The tentpole measurement: negotiated routing on the largest generated
+  // die at 1/2/4/8 threads. Wall-clock (real time) is the speedup metric;
+  // the routed/wire counters double as a determinism cross-check -- they
+  // must not move with the thread count.
+  const int threads = static_cast<int>(state.range(0));
+  const auto p = problem(128, 160, 27);
+  util::set_num_threads(threads);
+  int routed = 0;
+  double wire = 0;
+  for (auto _ : state) {
+    const auto sol = route::route_all(p);
+    routed = sol.stats.routed;
+    wire = sol.stats.total_wire;
+  }
+  util::set_num_threads(0);
+  state.counters["threads"] = threads;
+  state.counters["routed"] = routed;
+  state.counters["wire"] = wire;
+}
+BENCHMARK(BM_RouteThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GridScaling(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));

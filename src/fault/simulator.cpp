@@ -1,6 +1,10 @@
 #include "fault/simulator.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+
+#include "util/parallel.hpp"
 
 namespace l2l::fault {
 
@@ -47,35 +51,62 @@ FaultSimResult simulate_faults(const Network& net,
                                const std::vector<std::vector<bool>>& patterns) {
   FaultSimResult res;
   res.total_faults = static_cast<int>(faults.size());
-  std::vector<bool> detected(faults.size(), false);
   const auto order = net.topological_order();
 
+  // Pack the pattern batches and run the good machine once, up front; the
+  // per-fault work then only reads this shared state.
+  struct Batch {
+    std::vector<std::uint64_t> words;
+    std::uint64_t live_mask = 0;
+    std::vector<std::uint64_t> good;
+  };
+  std::vector<Batch> batches;
+  batches.reserve((patterns.size() + 63) / 64);
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
-    std::vector<std::uint64_t> words(net.inputs().size(), 0);
+    Batch batch;
+    batch.words.assign(net.inputs().size(), 0);
     for (std::size_t k = 0; k < count; ++k) {
       const auto& pat = patterns[base + k];
       if (pat.size() != net.inputs().size())
         throw std::invalid_argument("simulate_faults: pattern arity mismatch");
       for (std::size_t i = 0; i < pat.size(); ++i)
-        if (pat[i]) words[i] |= 1ull << k;
+        if (pat[i]) batch.words[i] |= 1ull << k;
     }
-    const std::uint64_t live_mask =
-        count == 64 ? ~0ull : ((1ull << count) - 1);
-
-    const auto good = net.simulate64(words);
-    for (std::size_t f = 0; f < faults.size(); ++f) {
-      if (detected[f]) continue;
-      const auto bad = simulate_with_fault(net, order, words, faults[f]);
-      for (const NodeId o : net.outputs()) {
-        if ((good[static_cast<std::size_t>(o)] ^
-             bad[static_cast<std::size_t>(o)]) & live_mask) {
-          detected[f] = true;
-          break;
-        }
-      }
-    }
+    batch.live_mask = count == 64 ? ~0ull : ((1ull << count) - 1);
+    batch.good = net.simulate64(batch.words);
+    batches.push_back(std::move(batch));
   }
+
+  // Faults are independent: partition the fault list across the workers.
+  // Each lane writes only its own detected[] bytes (uint8_t, not the
+  // bit-packed vector<bool>, so neighbouring writes never share a byte);
+  // the per-worker results merge into the output sequentially in fault
+  // order below, so the report is identical at any thread count.
+  std::vector<std::uint8_t> detected(faults.size(), 0);
+  constexpr std::int64_t kFaultGrain = 4;
+  util::parallel_for(
+      0, static_cast<std::int64_t>(faults.size()), kFaultGrain,
+      [&](std::int64_t f) {
+        for (const auto& batch : batches) {
+          const auto bad =
+              simulate_with_fault(net, order, batch.words,
+                                  faults[static_cast<std::size_t>(f)]);
+          bool hit = false;
+          for (const NodeId o : net.outputs()) {
+            if ((batch.good[static_cast<std::size_t>(o)] ^
+                 bad[static_cast<std::size_t>(o)]) & batch.live_mask) {
+              hit = true;
+              break;
+            }
+          }
+          if (hit) {
+            detected[static_cast<std::size_t>(f)] = 1;
+            break;  // first detecting batch suffices, as before
+          }
+        }
+      });
+
   for (std::size_t f = 0; f < faults.size(); ++f) {
     if (detected[f])
       ++res.detected;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "place/wirelength.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace l2l::grader {
@@ -85,6 +86,20 @@ PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
     return g;
   }
   return grade_placement(problem, grid, gp, reference_hpwl);
+}
+
+std::vector<PlaceGrade> grade_placement_batch(
+    const gen::PlacementProblem& problem, const place::Grid& grid,
+    const std::vector<std::string>& submissions, double reference_hpwl) {
+  std::vector<PlaceGrade> grades(submissions.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(submissions.size()), 1,
+      [&](std::int64_t s) {
+        const auto i = static_cast<std::size_t>(s);
+        grades[i] =
+            grade_placement_text(problem, grid, submissions[i], reference_hpwl);
+      });
+  return grades;
 }
 
 }  // namespace l2l::grader

@@ -5,6 +5,7 @@
 // gates the score, wirelength earns the quality points).
 
 #include <string>
+#include <vector>
 
 #include "place/legalize.hpp"
 
@@ -38,5 +39,12 @@ PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
                                 const place::Grid& grid,
                                 const std::string& text,
                                 double reference_hpwl);
+
+/// Score many independent submissions against the same problem, spread
+/// across the worker pool. Result order matches submission order and is
+/// identical at any L2L_THREADS.
+std::vector<PlaceGrade> grade_placement_batch(
+    const gen::PlacementProblem& problem, const place::Grid& grid,
+    const std::vector<std::string>& submissions, double reference_hpwl);
 
 }  // namespace l2l::grader

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace l2l::grader {
@@ -125,6 +126,18 @@ RouteGrade grade_routing_text(const gen::RoutingProblem& problem,
     return g;
   }
   return grade_routing(problem, sol);
+}
+
+std::vector<RouteGrade> grade_routing_batch(
+    const gen::RoutingProblem& problem,
+    const std::vector<std::string>& submissions) {
+  std::vector<RouteGrade> grades(submissions.size());
+  util::parallel_for(0, static_cast<std::int64_t>(submissions.size()), 1,
+                     [&](std::int64_t s) {
+                       const auto i = static_cast<std::size_t>(s);
+                       grades[i] = grade_routing_text(problem, submissions[i]);
+                     });
+  return grades;
 }
 
 }  // namespace l2l::grader

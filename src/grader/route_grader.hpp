@@ -39,4 +39,11 @@ RouteGrade grade_routing(const gen::RoutingProblem& problem,
 RouteGrade grade_routing_text(const gen::RoutingProblem& problem,
                               const std::string& solution_text);
 
+/// Score many independent submissions against the same problem, spread
+/// across the worker pool (the MOOC's planet-scale grading queue). The
+/// result vector is in submission order and identical at any L2L_THREADS.
+std::vector<RouteGrade> grade_routing_batch(
+    const gen::RoutingProblem& problem,
+    const std::vector<std::string>& submissions);
+
 }  // namespace l2l::grader

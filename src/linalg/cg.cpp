@@ -3,13 +3,28 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace l2l::linalg {
 namespace {
 
+/// Vector-op chunk size: large enough that small placer systems run
+/// inline, small enough that the big bench systems split across lanes.
+constexpr std::int64_t kGrain = 4096;
+
+/// Chunked dot product: per-chunk partials summed in chunk order, so the
+/// value is bit-identical at any thread count (the chunking is fixed by
+/// kGrain, not by the lane count).
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return util::parallel_reduce<double>(
+      0, static_cast<std::int64_t>(a.size()), kGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i)
+          s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+        return s;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 }  // namespace
@@ -35,6 +50,7 @@ CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
       precond[i] = d[i] > 0.0 ? 1.0 / d[i] : 1.0;
   }
 
+  const auto sn = static_cast<std::int64_t>(n);
   std::vector<double> r = b;  // r = b - A*0
   std::vector<double> z(n), p(n), ap(n);
   for (std::size_t i = 0; i < n; ++i) z[i] = precond[i] * r[i];
@@ -46,21 +62,37 @@ CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
     const double pap = dot(p, ap);
     if (pap <= 0.0) break;  // not SPD (or p in null space): bail out
     const double alpha = rz / pap;
-    for (std::size_t i = 0; i < n; ++i) {
-      res.x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    }
+    util::parallel_for_chunks(0, sn, kGrain,
+                              [&](std::int64_t lo, std::int64_t hi) {
+                                for (std::int64_t k = lo; k < hi; ++k) {
+                                  const auto i = static_cast<std::size_t>(k);
+                                  res.x[i] += alpha * p[i];
+                                  r[i] -= alpha * ap[i];
+                                }
+                              });
     res.iterations = it + 1;
     res.residual = std::sqrt(dot(r, r)) / bnorm;
     if (res.residual < options.tolerance) {
       res.converged = true;
       return res;
     }
-    for (std::size_t i = 0; i < n; ++i) z[i] = precond[i] * r[i];
+    util::parallel_for_chunks(0, sn, kGrain,
+                              [&](std::int64_t lo, std::int64_t hi) {
+                                for (std::int64_t k = lo; k < hi; ++k) {
+                                  const auto i = static_cast<std::size_t>(k);
+                                  z[i] = precond[i] * r[i];
+                                }
+                              });
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    util::parallel_for_chunks(0, sn, kGrain,
+                              [&](std::int64_t lo, std::int64_t hi) {
+                                for (std::int64_t k = lo; k < hi; ++k) {
+                                  const auto i = static_cast<std::size_t>(k);
+                                  p[i] = z[i] + beta * p[i];
+                                }
+                              });
   }
   return res;
 }

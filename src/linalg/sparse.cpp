@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/parallel.hpp"
 
 namespace l2l::linalg {
 
@@ -28,6 +29,8 @@ void SparseMatrix::compress() {
     return ti_[a] != ti_[b] ? ti_[a] < ti_[b] : tj_[a] < tj_[b];
   });
   row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  col_.reserve(ti_.size());
+  values_.reserve(ti_.size());
   int last_row = 0;
   int last_col = -1;
   for (const std::size_t k : order) {
@@ -58,14 +61,21 @@ void SparseMatrix::multiply(const std::vector<double>& x,
   if (static_cast<int>(x.size()) != n_)
     throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
   y.assign(static_cast<std::size_t>(n_), 0.0);
-  for (int i = 0; i < n_; ++i) {
-    double acc = 0.0;
-    for (int k = row_ptr_[static_cast<std::size_t>(i)];
-         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
-      acc += values_[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])];
-    y[static_cast<std::size_t>(i)] = acc;
-  }
+  // Row-chunked SpMV: rows are independent, each chunk writes a disjoint
+  // span of y, and per-row arithmetic is unchanged, so the product is
+  // exact-identical at any thread count.
+  constexpr std::int64_t kRowGrain = 256;
+  util::parallel_for_chunks(0, n_, kRowGrain, [&](std::int64_t r0,
+                                                  std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      double acc = 0.0;
+      for (int k = row_ptr_[static_cast<std::size_t>(i)];
+           k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+        acc += values_[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])];
+      y[static_cast<std::size_t>(i)] = acc;
+    }
+  });
 }
 
 std::vector<double> SparseMatrix::diagonal() const {
@@ -81,16 +91,48 @@ std::vector<double> SparseMatrix::diagonal() const {
 
 bool SparseMatrix::is_symmetric(double tol) const {
   if (!compressed_) throw std::logic_error("SparseMatrix: not compressed");
-  std::map<std::pair<int, int>, double> entries;
+  // CSR iteration is already (row, col)-sorted; sort the transposed
+  // triplets the same way and compare the two streams with two pointers.
+  // An entry missing from one side compares against zero.
+  struct Entry {
+    int i, j;
+    double v;
+  };
+  std::vector<Entry> fwd, rev;
+  fwd.reserve(values_.size());
+  rev.reserve(values_.size());
   for (int i = 0; i < n_; ++i)
     for (int k = row_ptr_[static_cast<std::size_t>(i)];
-         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
-      entries[{i, col_[static_cast<std::size_t>(k)]}] =
-          values_[static_cast<std::size_t>(k)];
-  for (const auto& [ij, v] : entries) {
-    const auto it = entries.find({ij.second, ij.first});
-    const double w = it == entries.end() ? 0.0 : it->second;
-    if (std::abs(v - w) > tol) return false;
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = col_[static_cast<std::size_t>(k)];
+      const double v = values_[static_cast<std::size_t>(k)];
+      fwd.push_back({i, j, v});
+      rev.push_back({j, i, v});
+    }
+  std::sort(rev.begin(), rev.end(), [](const Entry& a, const Entry& b) {
+    return a.i != b.i ? a.i < b.i : a.j < b.j;
+  });
+  std::size_t a = 0, b = 0;
+  while (a < fwd.size() || b < rev.size()) {
+    const bool take_a =
+        b == rev.size() ||
+        (a < fwd.size() && (fwd[a].i != rev[b].i ? fwd[a].i < rev[b].i
+                                                 : fwd[a].j < rev[b].j));
+    const bool take_b =
+        a == fwd.size() ||
+        (b < rev.size() && (rev[b].i != fwd[a].i ? rev[b].i < fwd[a].i
+                                                 : rev[b].j < fwd[a].j));
+    if (take_a) {
+      if (std::abs(fwd[a].v) > tol) return false;  // A[i][j] vs missing A[j][i]
+      ++a;
+    } else if (take_b) {
+      if (std::abs(rev[b].v) > tol) return false;
+      ++b;
+    } else {
+      if (std::abs(fwd[a].v - rev[b].v) > tol) return false;
+      ++a;
+      ++b;
+    }
   }
   return true;
 }

@@ -58,18 +58,57 @@ std::optional<PathResult> find_path(const Occupancy& occ,
     return g;
   };
 
+  if (targets.empty()) return std::nullopt;
+
   std::vector<bool> is_target(n_points, false);
   for (const auto& t : targets) is_target[point_index(t)] = true;
 
   // A* heuristic: cheapest possible remaining cost = manhattan distance to
   // the closest target times the unit wire cost (admissible: every step
-  // costs at least `wire`; vias only add).
+  // costs at least `wire`; vias only add). A single target is a closed
+  // form; for multi-target calls the per-(x,y) nearest-target distance is
+  // precomputed once by multi-source BFS on the (unobstructed) plane
+  // instead of scanning every target on every push.
+  const std::size_t plane = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+  std::vector<int> target_dist;
+  if (costs.use_astar && targets.size() > 1) {
+    target_dist.assign(plane, -1);
+    std::vector<std::size_t> frontier;
+    for (const auto& t : targets) {
+      const std::size_t xy = static_cast<std::size_t>(t.y) * static_cast<std::size_t>(w) +
+                             static_cast<std::size_t>(t.x);
+      if (target_dist[xy] != 0) {
+        target_dist[xy] = 0;
+        frontier.push_back(xy);
+      }
+    }
+    for (int d = 1; !frontier.empty(); ++d) {
+      std::vector<std::size_t> next;
+      for (const std::size_t xy : frontier) {
+        const int x = static_cast<int>(xy % static_cast<std::size_t>(w));
+        const int y = static_cast<int>(xy / static_cast<std::size_t>(w));
+        for (int k = 0; k < 4; ++k) {
+          const int nx = x + kDx[k], ny = y + kDy[k];
+          if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+          const std::size_t nxy = static_cast<std::size_t>(ny) * static_cast<std::size_t>(w) +
+                                  static_cast<std::size_t>(nx);
+          if (target_dist[nxy] < 0) {
+            target_dist[nxy] = d;
+            next.push_back(nxy);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
   auto heuristic = [&](const GridPoint& g) -> double {
     if (!costs.use_astar) return 0.0;
-    int best = std::numeric_limits<int>::max();
-    for (const auto& t : targets)
-      best = std::min(best, std::abs(g.x - t.x) + std::abs(g.y - t.y));
-    return best * costs.wire;
+    if (!target_dist.empty())
+      return target_dist[static_cast<std::size_t>(g.y) * static_cast<std::size_t>(w) +
+                         static_cast<std::size_t>(g.x)] *
+             costs.wire;
+    const auto& t = targets.front();
+    return (std::abs(g.x - t.x) + std::abs(g.y - t.y)) * costs.wire;
   };
 
   auto passable = [&](const GridPoint& g) {

@@ -1,8 +1,12 @@
 #include "route/router.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 #include <set>
+
+#include "util/parallel.hpp"
 
 namespace l2l::route {
 namespace {
@@ -65,6 +69,17 @@ namespace {
 /// priced by growing present-sharing and history penalties until every
 /// cell has one owner (or the iteration budget runs out, after which the
 /// still-shared nets fall back to hard sequential routing).
+///
+/// Each iteration selects a rip-up set (unrouted nets plus the losing
+/// sharers of each overused cell; the first net in routing order holds)
+/// and routes it against a snapshot of the usage/history state taken at
+/// the iteration's start. Chunks of the set route concurrently on
+/// worker-local copies of the grids -- Gauss-Seidel within a chunk,
+/// Jacobi across chunks -- and commit in ascending net order. Chunk
+/// boundaries are fixed by the grain, never the lane count, so the
+/// solution is bit-identical at any L2L_THREADS value. Small rip-up sets
+/// and stall-escape sweeps run sequentially with live commits, which is
+/// what finally untangles the last contested cells.
 RouteSolution route_negotiated(const gen::RoutingProblem& p,
                                const RouterOptions& opt) {
   RouteSolution sol;
@@ -100,54 +115,217 @@ RouteSolution route_negotiated(const gen::RoutingProblem& p,
     return net_span(p.nets[a]) < net_span(p.nets[b]);
   });
 
-  std::vector<double> extra(n_points, 0.0);
+  std::vector<double> extra_base(n_points, 0.0);
+  std::vector<bool> have_route(p.nets.size(), false);
   bool converged = false;
+  // Stall escape: if the overused-cell count stops shrinking, the frozen
+  // clean routes are boxing the contested nets in. One full sequential
+  // sweep (every net, live commit -- the classic algorithm) lets the
+  // surrounding nets shift and make room. Both the counter and the sweep
+  // are thread-count independent.
+  constexpr int kStallLimit = 2;
+  std::size_t best_over = static_cast<std::size_t>(-1);
+  int stall = 0;
   for (int iter = 0; iter < opt.max_negotiation_iterations; ++iter) {
     sol.stats.negotiation_iterations = iter + 1;
     const double present = opt.present_factor * (iter + 1);
+    // Snapshot penalty field for this iteration: everyone's current wires.
+    for (std::size_t i = 0; i < n_points; ++i)
+      extra_base[i] = history[i] + present * usage[i];
+
+    // Rip-up set: nets not yet routed plus the *losing* sharers of each
+    // overused cell. The first net in routing order that uses a contested
+    // cell holds its route; everyone else on that cell rips up. The hold
+    // policy keeps the asymmetry that makes sequential negotiation
+    // converge — without it, all sharers would flee the same snapshot to
+    // the same alternative cell and oscillate. Clean nets keep their
+    // wires, which also bounds per-iteration work.
+    std::vector<std::int32_t> holder(n_points, -1);
     for (const std::size_t n : order) {
       if (!reachable[n]) continue;
-      // Remove this net's previous wires from the sharing counts.
-      for (const auto& c : wires[n]) --usage[idx(c)];
-      wires[n].clear();
-      // Penalty field reflecting everyone else's current wires.
-      for (std::size_t i = 0; i < n_points; ++i)
-        extra[i] = history[i] + present * usage[i];
+      for (const auto& c : wires[n]) {
+        const std::size_t i = idx(c);
+        if (usage[i] > 1 && holder[i] < 0)
+          holder[i] = static_cast<std::int32_t>(n);
+      }
+    }
+    // Escalate on stall, and always spend the final budget iterations
+    // on full sweeps so a budget-limited run ends with the same cleanup
+    // the classic algorithm would have applied.
+    const bool escalate = stall >= kStallLimit ||
+                          iter + 2 >= opt.max_negotiation_iterations;
+    if (escalate) stall = 0;
+    std::vector<std::size_t> active;
+    active.reserve(p.nets.size());
+    for (const std::size_t n : order) {
+      if (!reachable[n]) continue;
+      bool rip = escalate || !have_route[n];
+      for (std::size_t w = 0; !rip && w < wires[n].size(); ++w) {
+        const std::size_t i = idx(wires[n][w]);
+        rip = usage[i] > 1 && holder[i] != static_cast<std::int32_t>(n);
+      }
+      if (rip) active.push_back(n);
+    }
 
-      std::vector<GridPoint> tree{p.nets[n].pins.front()};
-      std::vector<GridPoint> claimed;
-      bool ok = true;
-      for (std::size_t k = 1; k < p.nets[n].pins.size(); ++k) {
-        const auto path = find_path(occ, tree, {p.nets[n].pins[k]},
-                                    p.nets[n].id, opt.costs, &extra);
-        if (!path) {
-          ok = false;
-          break;
+    if (std::getenv("L2L_ROUTE_DEBUG")) {
+      std::size_t over = 0;
+      for (std::size_t i = 0; i < n_points; ++i) over += usage[i] > 1;
+      std::fprintf(stderr, "iter=%d active=%zu overused=%zu\n", iter,
+                   active.size(), over);
+    }
+
+    // Small rip-up sets (the negotiation tail, where a handful of nets
+    // contest a handful of cells) resolve with live Gauss-Seidel commits:
+    // each net sees the routes the previous nets just picked, which is
+    // what breaks the final stand-offs that snapshot routing can only
+    // escape through history build-up. The trigger depends only on the
+    // set size, so the schedule is identical at any thread count.
+    constexpr std::size_t kSequentialTail = 16;
+    if (escalate || (!active.empty() && active.size() <= kSequentialTail)) {
+      for (const std::size_t n : active) {
+        for (const auto& c : wires[n]) {
+          const std::size_t i = idx(c);
+          --usage[i];
+          extra_base[i] = history[i] + present * usage[i];
         }
-        sol.stats.expansions += path->expansions;
-        for (const auto& c : path->cells) {
-          if (occ.at(c) != p.nets[n].id) {
-            occ.set(c, p.nets[n].id);  // temporary: lets the net reuse itself
-            claimed.push_back(c);
+        wires[n].clear();
+        std::vector<GridPoint> tree{p.nets[n].pins.front()};
+        std::vector<GridPoint> claimed;
+        bool ok = true;
+        for (std::size_t k = 1; k < p.nets[n].pins.size(); ++k) {
+          const auto path = find_path(occ, tree, {p.nets[n].pins[k]},
+                                      p.nets[n].id, opt.costs, &extra_base);
+          if (!path) {
+            ok = false;
+            break;
           }
-          tree.push_back(c);
+          sol.stats.expansions += path->expansions;
+          for (const auto& c : path->cells) {
+            if (occ.at(c) != p.nets[n].id) {
+              occ.set(c, p.nets[n].id);  // temporary: reuse own tree
+              claimed.push_back(c);
+            }
+            tree.push_back(c);
+          }
+        }
+        for (const auto& c : claimed) occ.set(c, Occupancy::kFree);
+        have_route[n] = ok;
+        if (!ok) {
+          reachable[n] = false;
+          continue;
+        }
+        wires[n] = std::move(claimed);
+        for (const auto& c : wires[n]) {
+          const std::size_t i = idx(c);
+          ++usage[i];
+          extra_base[i] = history[i] + present * usage[i];
         }
       }
-      // Release the temporary marks; record wires in the sharing counts.
-      for (const auto& c : claimed) occ.set(c, Occupancy::kFree);
-      if (!ok) {
+      std::size_t over_tail = 0;
+      for (std::size_t i = 0; i < n_points; ++i) over_tail += usage[i] > 1;
+      if (over_tail == 0) {
+        converged = true;
+        break;
+      }
+      if (over_tail >= best_over) {
+        ++stall;
+      } else {
+        best_over = over_tail;
+        stall = 0;
+      }
+      for (std::size_t i = 0; i < n_points; ++i)
+        if (usage[i] > 1) history[i] += opt.history_increment;
+      ++sol.stats.ripups;
+      continue;
+    }
+
+    struct NetAttempt {
+      bool attempted = false;
+      bool ok = false;
+      std::vector<GridPoint> new_wires;
+      long long expansions = 0;
+    };
+    std::vector<NetAttempt> attempts(p.nets.size());
+
+    // Route the rip-up set concurrently. Each chunk works on private
+    // copies of the occupancy grid (for the transient self-marks that let
+    // a net reuse its growing tree) and the penalty field. Within a chunk
+    // the nets run Gauss-Seidel: each net's old wires are unpriced and its
+    // new wires priced into the chunk-private field before the next net
+    // routes, so chunk-mates never pile onto the same corridor. Chunk
+    // boundaries come from the grain, never the lane count, and the chunk
+    // state depends only on the snapshot plus the chunk's own nets -- so
+    // the result is identical no matter which worker routes which chunk.
+    constexpr std::int64_t kNetGrain = 8;
+    util::parallel_for_chunks(
+        0, static_cast<std::int64_t>(active.size()), kNetGrain,
+        [&](std::int64_t cb, std::int64_t ce) {
+          Occupancy socc = occ;
+          std::vector<double> sextra = extra_base;
+          for (std::int64_t t = cb; t < ce; ++t) {
+            const std::size_t n = active[static_cast<std::size_t>(t)];
+            auto& at = attempts[n];
+            at.attempted = true;
+            for (const auto& c : wires[n]) sextra[idx(c)] -= present;
+            std::vector<GridPoint> tree{p.nets[n].pins.front()};
+            std::vector<GridPoint> claimed;
+            bool ok = true;
+            for (std::size_t k = 1; k < p.nets[n].pins.size(); ++k) {
+              const auto path = find_path(socc, tree, {p.nets[n].pins[k]},
+                                          p.nets[n].id, opt.costs, &sextra);
+              if (!path) {
+                ok = false;
+                break;
+              }
+              at.expansions += path->expansions;
+              for (const auto& c : path->cells) {
+                if (socc.at(c) != p.nets[n].id) {
+                  socc.set(c, p.nets[n].id);  // temporary: reuse own tree
+                  claimed.push_back(c);
+                }
+                tree.push_back(c);
+              }
+            }
+            for (const auto& c : claimed) socc.set(c, Occupancy::kFree);
+            at.ok = ok;
+            if (ok) {
+              // Chunk-local commit: the next chunk-mate prices these wires.
+              for (const auto& c : claimed) sextra[idx(c)] += present;
+              at.new_wires = std::move(claimed);
+            } else {
+              // Re-price the old wires we removed above.
+              for (const auto& c : wires[n]) sextra[idx(c)] += present;
+            }
+          }
+        });
+
+    // Commit in ascending net order: update the sharing counts from the
+    // attempts. Results are already fixed; this order pins the stats.
+    for (std::size_t n = 0; n < p.nets.size(); ++n) {
+      auto& at = attempts[n];
+      if (!at.attempted) continue;
+      sol.stats.expansions += at.expansions;
+      for (const auto& c : wires[n]) --usage[idx(c)];
+      wires[n].clear();
+      have_route[n] = at.ok;
+      if (!at.ok) {
         reachable[n] = false;  // blocked even with sharing: truly unroutable
         continue;
       }
-      wires[n] = std::move(claimed);
+      wires[n] = std::move(at.new_wires);
       for (const auto& c : wires[n]) ++usage[idx(c)];
     }
-    bool overused = false;
-    for (std::size_t i = 0; i < n_points && !overused; ++i)
-      overused = usage[i] > 1;
-    if (!overused) {
+    std::size_t over = 0;
+    for (std::size_t i = 0; i < n_points; ++i) over += usage[i] > 1;
+    if (over == 0) {
       converged = true;
       break;
+    }
+    if (over >= best_over) {
+      ++stall;
+    } else {
+      best_over = over;
+      stall = 0;
     }
     for (std::size_t i = 0; i < n_points; ++i)
       if (usage[i] > 1) history[i] += opt.history_increment;

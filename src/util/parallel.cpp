@@ -1,0 +1,213 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace l2l::util {
+namespace {
+
+/// Set while a lane is executing pool work: reentrant parallel calls from
+/// inside a task run inline instead of re-entering the (busy) pool.
+thread_local bool t_in_parallel = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct Job {
+    const std::function<void(int)>* task = nullptr;
+    int total = 0;
+    std::atomic<int> next{0};       // next unclaimed task index
+    std::atomic<int> remaining{0};  // tasks not yet finished
+    int refs = 0;  // workers currently attached (guarded by Impl::mutex)
+    std::mutex err_mutex;
+    int err_index = std::numeric_limits<int>::max();
+    std::exception_ptr error;
+  };
+
+  std::mutex mutex;
+  std::condition_variable work_cv;  // wakes workers on a new job / shutdown
+  std::condition_variable done_cv;  // wakes the caller when a job drains
+  Job* job = nullptr;
+  std::uint64_t epoch = 0;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  void process(Job& j) {
+    t_in_parallel = true;
+    for (;;) {
+      const int i = j.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= j.total) break;
+      try {
+        (*j.task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(j.err_mutex);
+        if (i < j.err_index) {
+          j.err_index = i;
+          j.error = std::current_exception();
+        }
+      }
+      if (j.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mutex);
+        done_cv.notify_all();
+      }
+    }
+    t_in_parallel = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* j = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mutex);
+        work_cv.wait(lk, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+        j = job;
+        if (j) ++j->refs;  // keep the caller's stack Job alive for us
+      }
+      if (j) {
+        process(*j);
+        std::lock_guard<std::mutex> lk(mutex);
+        --j->refs;
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) : impl_(std::make_unique<Impl>()) {
+  if (num_threads < 1) num_threads = 1;
+  impl_->workers.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int t = 1; t < num_threads; ++t)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+int ThreadPool::size() const {
+  return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::run(int num_tasks, const std::function<void(int)>& task) {
+  if (num_tasks <= 0) return;
+  if (t_in_parallel || impl_->workers.empty()) {
+    // Nested use or single-lane pool: run inline, first failure wins
+    // (ascending order, so it is also the lowest-index failure).
+    for (int i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  Impl::Job job;
+  job.task = &task;
+  job.total = num_tasks;
+  job.remaining.store(num_tasks, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mutex);
+    impl_->job = &job;
+    ++impl_->epoch;
+  }
+  impl_->work_cv.notify_all();
+  impl_->process(job);  // the caller is a lane too
+  {
+    std::unique_lock<std::mutex> lk(impl_->mutex);
+    impl_->done_cv.wait(lk, [&] {
+      return job.remaining.load(std::memory_order_acquire) == 0 &&
+             job.refs == 0;
+    });
+    impl_->job = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+
+int resolve_thread_count() {
+  if (const char* env = std::getenv("L2L_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_count = 0;  // 0 = not yet resolved
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  if (g_count == 0) g_count = resolve_thread_count();
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_count);
+  return *g_pool;
+}
+
+}  // namespace
+
+int num_threads() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  if (g_count == 0) g_count = resolve_thread_count();
+  return g_count;
+}
+
+void set_num_threads(int n) {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  g_count = n >= 1 ? n : resolve_thread_count();
+  g_pool.reset();
+}
+
+void parallel_for_chunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t n_chunks = (end - begin + grain - 1) / grain;
+  if (n_chunks == 1 || t_in_parallel || num_threads() == 1) {
+    for (std::int64_t b = begin; b < end; b += grain)
+      fn(b, std::min(end, b + grain));
+    return;
+  }
+  const std::int64_t max_tasks =
+      static_cast<std::int64_t>(std::numeric_limits<int>::max());
+  const std::int64_t tasks = std::min(n_chunks, max_tasks);
+  if (tasks < n_chunks) {
+    // Astronomically many chunks: fold several per task, same boundaries.
+    const std::int64_t per_task = (n_chunks + tasks - 1) / tasks;
+    global_pool().run(static_cast<int>(tasks), [&](int t) {
+      const std::int64_t first = static_cast<std::int64_t>(t) * per_task;
+      const std::int64_t last = std::min(first + per_task, n_chunks);
+      for (std::int64_t c = first; c < last; ++c) {
+        const std::int64_t b = begin + c * grain;
+        fn(b, std::min(end, b + grain));
+      }
+    });
+    return;
+  }
+  global_pool().run(static_cast<int>(tasks), [&](int c) {
+    const std::int64_t b = begin + static_cast<std::int64_t>(c) * grain;
+    fn(b, std::min(end, b + grain));
+  });
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t)>& fn) {
+  parallel_for_chunks(begin, end, grain,
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) fn(i);
+                      });
+}
+
+}  // namespace l2l::util

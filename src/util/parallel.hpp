@@ -1,0 +1,82 @@
+#pragma once
+// Fixed-size thread pool plus parallel_for / parallel_reduce facades: the
+// concurrency substrate behind the multi-threaded router, placer solver,
+// fault simulator, and batch graders. Chunk boundaries depend only on the
+// grain (never on the thread count), and chunk partials are combined in
+// chunk order, so every parallel result is bit-identical for any value of
+// L2L_THREADS -- determinism is the substrate's contract, not an accident.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace l2l::util {
+
+/// Fixed pool of `num_threads - 1` workers; the calling thread is the
+/// remaining lane. run() hands out task indices through a shared counter
+/// and blocks until every task finished. The lowest-index exception is
+/// rethrown on the caller.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, calling thread included.
+  int size() const;
+
+  /// Execute task(0) ... task(num_tasks - 1) across the lanes. Reentrant
+  /// calls from inside a task run inline on the calling lane (nested-use
+  /// guard), so library code may parallelize without deadlock risk.
+  void run(int num_tasks, const std::function<void(int)>& task);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Effective thread count: L2L_THREADS when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+int num_threads();
+
+/// Override the thread count (n >= 1) or re-resolve it from the
+/// environment (n <= 0). Rebuilds the shared pool; call between parallel
+/// regions only (tests and benchmarks use this to sweep thread counts).
+void set_num_threads(int n);
+
+/// Invoke fn(chunk_begin, chunk_end) for consecutive [begin, end) chunks
+/// of at most `grain` indices. Chunks run concurrently; a single chunk
+/// (or a 1-thread pool, or a nested call) runs inline on the caller.
+void parallel_for_chunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Element-wise facade over parallel_for_chunks: fn(i) for i in [begin, end).
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t)>& fn);
+
+/// Deterministic reduction: `chunk(b, e)` maps each grain-sized chunk to a
+/// partial value; partials are combined with `combine` in ascending chunk
+/// order on the calling thread. Because the chunking is grain-defined, the
+/// result (floating point included) is identical at any thread count.
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  T identity, ChunkFn chunk, CombineFn combine) {
+  if (end <= begin) return identity;
+  if (grain < 1) grain = 1;
+  const std::int64_t n_chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> partial(static_cast<std::size_t>(n_chunks), identity);
+  parallel_for_chunks(begin, end, grain,
+                      [&](std::int64_t b, std::int64_t e) {
+                        partial[static_cast<std::size_t>((b - begin) / grain)] =
+                            chunk(b, e);
+                      });
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace l2l::util

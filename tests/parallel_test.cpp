@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace l2l::util {
+namespace {
+
+/// Restores the default (env/hardware) thread count after each test so the
+/// suite's tests cannot leak overrides into each other.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+};
+
+TEST_F(ParallelTest, ForCoversEveryIndexExactlyOnce) {
+  set_num_threads(4);
+  constexpr int kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, kN, 64, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1);
+}
+
+TEST_F(ParallelTest, ChunksTileTheRangeExactly) {
+  set_num_threads(3);
+  std::atomic<std::int64_t> total{0};
+  parallel_for_chunks(5, 1001, 37, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_LT(b, e);
+    EXPECT_LE(e - b, 37);
+    EXPECT_EQ((b - 5) % 37, 0);  // grain-aligned: thread-count independent
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 1001 - 5);
+}
+
+TEST_F(ParallelTest, EmptyAndReversedRangesAreNoOps) {
+  int calls = 0;
+  parallel_for(0, 0, 8, [&](std::int64_t) { ++calls; });
+  parallel_for(10, 3, 8, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ParallelTest, LowestIndexExceptionPropagates) {
+  set_num_threads(4);
+  try {
+    parallel_for(0, 512, 1, [&](std::int64_t i) {
+      if (i == 37 || i == 400)
+        throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 37");
+  }
+}
+
+TEST_F(ParallelTest, WorkContinuesAfterException) {
+  // An exception must not wedge the pool: the same pool instance serves
+  // later parallel regions.
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(0, 64, 1,
+                            [](std::int64_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  parallel_for(0, 64, 1, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST_F(ParallelTest, NestedUseRunsInlineWithoutDeadlock) {
+  set_num_threads(4);
+  std::vector<std::atomic<int>> hits(256);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, 16, 1, [&](std::int64_t outer) {
+    const auto id = std::this_thread::get_id();
+    parallel_for(0, 16, 1, [&](std::int64_t inner) {
+      // Inner region must run on the same lane (inline fallback).
+      EXPECT_EQ(std::this_thread::get_id(), id);
+      hits[static_cast<std::size_t>(outer * 16 + inner)].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, SingleThreadRunsOnCaller) {
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  parallel_for(0, 100, 4, [&](std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST_F(ParallelTest, EnvOverrideControlsDefault) {
+  ASSERT_EQ(setenv("L2L_THREADS", "3", 1), 0);
+  set_num_threads(0);  // re-resolve from the environment
+  EXPECT_EQ(num_threads(), 3);
+  ASSERT_EQ(setenv("L2L_THREADS", "not-a-number", 1), 0);
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);  // falls back to hardware_concurrency
+  ASSERT_EQ(unsetenv("L2L_THREADS"), 0);
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);
+}
+
+TEST_F(ParallelTest, PoolConstructsAndShutsDownRepeatedly) {
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> sum{0};
+    pool.run(100, [&](int i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }  // destructor joins all workers each round
+  ThreadPool idle(8);  // shutdown with no job ever run
+  ThreadPool one(1);
+  int x = 0;
+  one.run(3, [&](int) { ++x; });  // single-lane pool runs inline
+  EXPECT_EQ(x, 3);
+}
+
+TEST_F(ParallelTest, ReduceIsBitIdenticalAcrossThreadCounts) {
+  // Awkward magnitudes so that any re-association would change the sum.
+  std::vector<double> v(40'000);
+  double seed = 1.0;
+  for (auto& x : v) {
+    seed = seed * 1.0000001 + 0.1;
+    x = seed * ((static_cast<int>(seed) % 2) ? 1e-7 : 1e7);
+  }
+  auto sum_at = [&](int threads) {
+    set_num_threads(threads);
+    return parallel_reduce<double>(
+        0, static_cast<std::int64_t>(v.size()), 1024, 0.0,
+        [&](std::int64_t b, std::int64_t e) {
+          double s = 0.0;
+          for (std::int64_t i = b; i < e; ++i)
+            s += v[static_cast<std::size_t>(i)];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double s1 = sum_at(1);
+  const double s2 = sum_at(2);
+  const double s8 = sum_at(8);
+  EXPECT_EQ(s1, s2);  // exact: chunking is grain-defined, not lane-defined
+  EXPECT_EQ(s1, s8);
+}
+
+}  // namespace
+}  // namespace l2l::util

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Run every perf bench and record machine-readable results as
+# BENCH_<name>.json (google-benchmark JSON, one file per binary), so the
+# bench trajectory can be tracked across commits. Usage:
+#   tools/run_benches.sh [build-dir] [output-dir]
+# Thread-scaling benches honour L2L_THREADS internally (they sweep 1/2/4/8
+# regardless of the ambient setting).
+set -eu
+
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+
+if [ ! -d "${build_dir}/bench" ]; then
+  echo "error: ${build_dir}/bench not found (build the project first)" >&2
+  exit 1
+fi
+
+for bench in "${build_dir}"/bench/perf_*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  out="${out_dir}/BENCH_${name#perf_}.json"
+  echo "== ${name} -> ${out}"
+  "${bench}" --benchmark_format=json --benchmark_out="${out}" \
+             --benchmark_out_format=json
+done
