@@ -38,6 +38,14 @@ Edge Manager::make_node(std::uint32_t var, Edge lo, Edge hi) {
   if (auto it = unique_.find(key); it != unique_.end())
     return Edge::make(it->second, false);
 
+  // Resource guard: only *fresh* allocations consume budget, so cache
+  // hits (the common case) stay free and the node count is the step unit.
+  if (budget_ && (!budget_->consume(1) || budget_->exhausted())) {
+    auto status = budget_->status();
+    if (status.ok()) status = util::Status::budget("BDD node budget exhausted");
+    throw util::BudgetExceededError(std::move(status));
+  }
+
   std::uint32_t idx;
   if (!free_.empty()) {
     idx = free_.back();

@@ -28,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/budget.hpp"
+
 namespace l2l::bdd {
 
 class Bdd;
@@ -75,6 +77,16 @@ class Manager {
 
   /// Number of garbage collections performed (for tests/stats).
   int gc_count() const { return gc_count_; }
+
+  /// Install a resource guard (not owned; clear with nullptr). Each
+  /// freshly allocated node consumes one budget step; the deadline and
+  /// cancellation token are polled on the same path. When the guard
+  /// trips, the in-flight operation unwinds with util::BudgetExceededError
+  /// -- already-interned nodes stay valid and unreferenced intermediates
+  /// are reclaimed by the next garbage_collect(), so the manager remains
+  /// fully usable afterwards.
+  void set_budget(const util::Budget* budget) { budget_ = budget; }
+  const util::Budget* budget() const { return budget_; }
 
  private:
   friend class Bdd;
@@ -152,6 +164,7 @@ class Manager {
   int num_vars_ = 0;
   int gc_count_ = 0;
   std::size_t gc_threshold_ = 1 << 16;
+  const util::Budget* budget_ = nullptr;
 };
 
 }  // namespace l2l::bdd

@@ -14,16 +14,30 @@ Pla parse_pla(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   bool saw_i = false;
+  // The .i/.o headers size allocations; a hostile ".o 2000000000" (or a
+  // negative count wrapping to a huge size_t) must be rejected here.
+  constexpr int kMaxPlanes = 4096;
+  auto parse_header_count = [&](const std::vector<std::string>& tok,
+                                const char* what) {
+    if (tok.size() < 2)
+      throw std::invalid_argument(std::string("PLA: ") + what +
+                                  " needs a count");
+    const auto v = util::parse_int(tok[1]);
+    if (!v || *v < 0 || *v > kMaxPlanes)
+      throw std::invalid_argument(std::string("PLA: bad ") + what +
+                                  " count '" + tok[1] + "'");
+    return *v;
+  };
   while (std::getline(in, line)) {
     auto t = std::string(util::trim(line));
     if (t.empty() || t[0] == '#') continue;
     if (t[0] == '.') {
       const auto tok = util::split(t);
       if (tok[0] == ".i") {
-        pla.num_inputs = std::stoi(tok.at(1));
+        pla.num_inputs = parse_header_count(tok, ".i");
         saw_i = true;
       } else if (tok[0] == ".o") {
-        declared_outputs = std::stoi(tok.at(1));
+        declared_outputs = parse_header_count(tok, ".o");
         pla.outputs.resize(static_cast<std::size_t>(declared_outputs));
         for (int k = 0; k < declared_outputs; ++k) {
           pla.outputs[static_cast<std::size_t>(k)].on = cubes::Cover(pla.num_inputs);

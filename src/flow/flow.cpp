@@ -38,10 +38,27 @@ std::string FlowResult::report() const {
   return out;
 }
 
-FlowResult run_flow(const Network& input, const FlowOptions& opt) {
-  FlowResult res;
+namespace {
+
+/// Flow body. Fills `res` stage by stage; returns early (leaving `res`
+/// partially filled and status set) when the resource guard trips at a
+/// stage boundary. run_flow() wraps this with the exception barrier.
+void run_flow_impl(const Network& input, const FlowOptions& opt,
+                   FlowResult& res) {
+  // One budget step per completed stage; the placer and router also carry
+  // the guard internally so a deadline can stop them mid-stage.
+  auto stage_ok = [&](const char* next_stage) {
+    if (!opt.budget) return true;
+    if (opt.budget->consume(1) && !opt.budget->exhausted()) return true;
+    res.status = opt.budget->status();
+    if (res.status.ok())
+      res.status = util::Status::budget("flow stage budget exhausted");
+    res.stopped_stage = next_stage;
+    return false;
+  };
 
   // ---- Logic optimization (Weeks 3-4) ----------------------------------
+  if (!stage_ok("synthesis")) return;
   Network net = network::parse_blif(network::write_blif(input));
   res.literals_before = net.num_literals();
   if (opt.optimize_logic) {
@@ -52,6 +69,7 @@ FlowResult run_flow(const Network& input, const FlowOptions& opt) {
   res.literals_after = net.num_literals();
 
   // ---- Technology mapping (Week 5) --------------------------------------
+  if (!stage_ok("mapping")) return;
   const auto lib = techmap::default_library();
   res.mapped = techmap::technology_map(net, lib, opt.objective);
   const Network& mapped = res.mapped.netlist;
@@ -140,12 +158,16 @@ FlowResult run_flow(const Network& input, const FlowOptions& opt) {
   }
 
   // ---- Place (Week 6) ----------------------------------------------------
+  if (!stage_ok("placement")) return;
   res.grid = place::Grid{side_cells, side_cells, prob.width, prob.height};
-  const auto continuous = place::place_quadratic(prob);
+  place::QuadraticOptions qopt;
+  qopt.budget = opt.budget;
+  const auto continuous = place::place_quadratic(prob, qopt);
   res.placement = place::legalize(prob, continuous, res.grid);
   res.hpwl = place::hpwl(prob, res.placement.to_continuous(res.grid));
 
   // ---- Routing problem construction (Week 7) -----------------------------
+  if (!stage_ok("routing")) return;
   const int resolution = opt.route_grid_per_site;
   auto& rp = res.routing_problem;
   rp.width = side_cells * resolution;
@@ -198,9 +220,11 @@ FlowResult run_flow(const Network& input, const FlowOptions& opt) {
   // ---- Route -------------------------------------------------------------
   route::RouterOptions ropt;
   ropt.max_ripup_iterations = opt.route_ripup_iterations;
+  ropt.budget = opt.budget;
   res.routing = route::route_all(rp, ropt);
 
   // ---- Timing (Week 8): gate delays + Elmore wire delay ------------------
+  if (!stage_ok("timing")) return;
   auto delays = timing::cell_delays(mapped, lib);
   res.gate_delay = timing::analyze(mapped, delays).critical_delay;
   timing::WireParasitics par;
@@ -225,6 +249,22 @@ FlowResult run_flow(const Network& input, const FlowOptions& opt) {
       delays[static_cast<std::size_t>(driver)] += worst;
   }
   res.timing = timing::analyze(mapped, delays);
+}
+
+}  // namespace
+
+FlowResult run_flow(const Network& input, const FlowOptions& opt) {
+  FlowResult res;
+  try {
+    run_flow_impl(input, opt, res);
+  } catch (const util::BudgetExceededError& e) {
+    // A guard tripped inside a stage (e.g. a deadline mid-placement).
+    if (res.status.ok()) res.status = e.status();
+    if (res.stopped_stage.empty()) res.stopped_stage = "(mid-stage)";
+  } catch (const std::exception& e) {
+    res.status = util::Status::internal(e.what());
+    if (res.stopped_stage.empty()) res.stopped_stage = "(mid-stage)";
+  }
   return res;
 }
 

@@ -21,6 +21,7 @@
 #include "route/router.hpp"
 #include "techmap/mapper.hpp"
 #include "timing/sta.hpp"
+#include "util/budget.hpp"
 
 namespace l2l::flow {
 
@@ -31,6 +32,12 @@ struct FlowOptions {
   int route_grid_per_site = 5;   ///< routing-grid resolution per site
   int route_ripup_iterations = 6;
   std::uint64_t seed = 1;
+  /// Optional resource guard (not owned; must outlive run_flow), checked
+  /// at every stage boundary and forwarded into the placer and router so
+  /// the long-running stages stop mid-work too. On exhaustion run_flow
+  /// returns the stages completed so far with FlowResult::status non-ok
+  /// and stopped_stage naming the first stage that did not finish.
+  const util::Budget* budget = nullptr;
 };
 
 struct FlowResult {
@@ -52,10 +59,18 @@ struct FlowResult {
   double gate_delay = 0.0;   ///< STA with cell delays only
   double worst_wire_delay = 0.0;
 
+  /// kOk when the flow ran to completion; otherwise why it stopped early
+  /// (budget/deadline/cancellation, or kInternalError on an unexpected
+  /// exception). Stages before stopped_stage hold valid results.
+  util::Status status;
+  std::string stopped_stage;  ///< first stage that did not finish
+
   std::string report() const;
 };
 
-/// Run the whole flow on a logic network.
+/// Run the whole flow on a logic network. Never throws: resource-guard
+/// trips and internal errors are reported via FlowResult::status with the
+/// completed stages' results intact.
 FlowResult run_flow(const network::Network& input, const FlowOptions& opt = {});
 
 }  // namespace l2l::flow

@@ -1,0 +1,27 @@
+#pragma once
+// Shared controls for the batch grading entry points. The batch graders
+// are the unattended half of the MOOC service: one hostile submission must
+// never take down (or stall) the whole queue, so each submission runs
+// isolated -- its own resource guard, its own exception barrier, and a
+// bounded retry loop for transient failures.
+
+#include <cstdint>
+
+namespace l2l::grader {
+
+struct BatchOptions {
+  /// Per-submission wall-clock limit in ms (< 0 = none). Wall-clock trips
+  /// are nondeterministic; step_limit is the reproducible guard.
+  std::int64_t time_limit_ms = -1;
+  /// Per-submission step budget (< 0 = none); graders consume one step
+  /// per net/cell checked, so the stop point is deterministic.
+  std::int64_t step_limit = -1;
+  /// Total attempts per submission (>= 1). Retries only fire when grading
+  /// threw -- a transient failure -- never on a deterministic outcome like
+  /// a parse error or an exhausted step budget.
+  int max_attempts = 1;
+  /// Delay before the first retry, doubling per subsequent attempt.
+  int backoff_base_ms = 1;
+};
+
+}  // namespace l2l::grader

@@ -1,7 +1,9 @@
 #include "grader/place_grader.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "place/wirelength.hpp"
 #include "util/parallel.hpp"
@@ -17,30 +19,71 @@ std::string write_placement_text(const place::GridPlacement& gp) {
   return out;
 }
 
-place::GridPlacement parse_placement_text(const std::string& text,
-                                          int num_cells) {
-  place::GridPlacement gp;
+ParsedPlacement parse_placement_diagnostics(const std::string& text,
+                                            int num_cells) {
+  ParsedPlacement out;
+  auto& gp = out.placement;
   gp.col.assign(static_cast<std::size_t>(num_cells), -1);
   gp.row.assign(static_cast<std::size_t>(num_cells), -1);
   std::istringstream in(text);
   std::string line;
+  int lineno = 0;
+  auto diag = [&](std::string msg) {
+    const auto pos = line.find_first_not_of(" \t\r\n");
+    const int col = pos == std::string::npos ? 1 : static_cast<int>(pos) + 1;
+    out.diagnostics.push_back(util::make_error(lineno, col, std::move(msg)));
+  };
+  auto excerpt = [](std::string_view t) {
+    constexpr std::size_t kMax = 60;
+    return std::string(t.size() <= kMax ? t : t.substr(0, kMax));
+  };
   while (std::getline(in, line)) {
+    ++lineno;
     const auto t = util::trim(line);
     if (t.empty() || t[0] == '#') continue;
     const auto tok = util::split(t);
-    if (tok.size() != 4 || tok[0] != "cell")
-      throw std::invalid_argument("placement: bad line '" + std::string(t) + "'");
-    const int c = std::stoi(tok[1]);
-    if (c < 0 || c >= num_cells)
-      throw std::invalid_argument("placement: cell index out of range");
-    gp.col[static_cast<std::size_t>(c)] = std::stoi(tok[2]);
-    gp.row[static_cast<std::size_t>(c)] = std::stoi(tok[3]);
+    if (tok.size() != 4 || tok[0] != "cell") {
+      diag("placement: bad line '" + excerpt(t) + "'");
+      continue;
+    }
+    const auto c = util::parse_int(tok[1]);
+    const auto col = util::parse_int(tok[2]);
+    const auto row = util::parse_int(tok[3]);
+    if (!c || !col || !row) {
+      diag("placement: bad number in '" + excerpt(t) + "'");
+      continue;
+    }
+    if (*c < 0 || *c >= num_cells) {
+      diag(util::format("placement: cell index %d out of range [0, %d)", *c,
+                        num_cells));
+      continue;
+    }
+    if (gp.col[static_cast<std::size_t>(*c)] >= 0)
+      diag(util::format("placement: cell %d assigned twice", *c));
+    gp.col[static_cast<std::size_t>(*c)] = *col;
+    gp.row[static_cast<std::size_t>(*c)] = *row;
   }
+  int missing = 0;
+  int first_missing = -1;
   for (int c = 0; c < num_cells; ++c)
-    if (gp.col[static_cast<std::size_t>(c)] < 0)
-      throw std::invalid_argument(
-          util::format("placement: cell %d missing", c));
-  return gp;
+    if (gp.col[static_cast<std::size_t>(c)] < 0) {
+      ++missing;
+      if (first_missing < 0) first_missing = c;
+    }
+  if (missing > 0)
+    out.diagnostics.push_back(util::make_error(
+        0, 0,
+        util::format("placement: cell %d missing (%d cells unassigned)",
+                     first_missing, missing)));
+  return out;
+}
+
+place::GridPlacement parse_placement_text(const std::string& text,
+                                          int num_cells) {
+  auto parsed = parse_placement_diagnostics(text, num_cells);
+  if (!parsed.clean())
+    throw std::invalid_argument(parsed.diagnostics.front().to_string());
+  return std::move(parsed.placement);
 }
 
 PlaceGrade grade_placement(const gen::PlacementProblem& problem,
@@ -75,29 +118,54 @@ PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
                                 const place::Grid& grid,
                                 const std::string& text,
                                 double reference_hpwl) {
-  place::GridPlacement gp;
-  try {
-    gp = parse_placement_text(text, problem.num_cells);
-  } catch (const std::exception& e) {
+  auto parsed = parse_placement_diagnostics(text, problem.num_cells);
+  if (!parsed.clean()) {
+    // Placement has no per-net partial credit (a single missing cell makes
+    // the whole assignment illegal), so parse problems gate the score --
+    // but the student still gets every malformed line in one report.
     PlaceGrade g;
-    g.reason = e.what();
-    g.report = util::format("PLACEMENT GRADE: parse error (%s), score 0\n",
-                            e.what());
+    g.diagnostics = std::move(parsed.diagnostics);
+    g.reason = g.diagnostics.front().to_string();
+    g.report = util::format("PLACEMENT GRADE: parse error (%d problem(s)), "
+                            "score 0\n",
+                            static_cast<int>(g.diagnostics.size()));
+    g.report += util::render_diagnostics(g.diagnostics);
     return g;
   }
-  return grade_placement(problem, grid, gp, reference_hpwl);
+  return grade_placement(problem, grid, parsed.placement, reference_hpwl);
 }
 
 std::vector<PlaceGrade> grade_placement_batch(
     const gen::PlacementProblem& problem, const place::Grid& grid,
-    const std::vector<std::string>& submissions, double reference_hpwl) {
+    const std::vector<std::string>& submissions, double reference_hpwl,
+    const BatchOptions& opt) {
   std::vector<PlaceGrade> grades(submissions.size());
   util::parallel_for(
       0, static_cast<std::int64_t>(submissions.size()), 1,
       [&](std::int64_t s) {
         const auto i = static_cast<std::size_t>(s);
-        grades[i] =
-            grade_placement_text(problem, grid, submissions[i], reference_hpwl);
+        const int attempts = std::max(1, opt.max_attempts);
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          if (attempt > 0 && opt.backoff_base_ms > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<std::int64_t>(opt.backoff_base_ms)
+                << (attempt - 1)));
+          try {
+            grades[i] = grade_placement_text(problem, grid, submissions[i],
+                                             reference_hpwl);
+            break;  // deterministic outcome: retrying cannot change it
+          } catch (const std::exception& e) {
+            grades[i] = PlaceGrade{};
+            grades[i].status = util::Status::internal(e.what());
+            grades[i].report = util::format(
+                "PLACEMENT GRADE: internal error (%s), score 0\n", e.what());
+          } catch (...) {
+            grades[i] = PlaceGrade{};
+            grades[i].status = util::Status::internal("unknown error");
+            grades[i].report =
+                "PLACEMENT GRADE: internal error (unknown), score 0\n";
+          }
+        }
       });
   return grades;
 }

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "grader/batch.hpp"
 #include "place/legalize.hpp"
+#include "util/status.hpp"
 
 namespace l2l::grader {
 
@@ -21,10 +23,34 @@ struct PlaceGrade {
   /// points scaled by reference_hpwl / hpwl (capped at 1).
   double score = 0.0;
   std::string report;
+  /// Every malformed line found in one pass (a student fixing a bulk
+  /// export learns all their mistakes from a single upload, not one per
+  /// resubmission).
+  std::vector<util::Diagnostic> diagnostics;
+  /// Non-ok when grading itself failed (internal error in the batch path).
+  util::Status status;
 };
 
 /// Placement solution text: one "cell <index> <col> <row>" line per cell.
 std::string write_placement_text(const place::GridPlacement& gp);
+
+/// Result of the collecting parse below. The placement holds every cell
+/// that parsed cleanly; cells on malformed or out-of-range lines stay at
+/// the -1 sentinel.
+struct ParsedPlacement {
+  place::GridPlacement placement;
+  std::vector<util::Diagnostic> diagnostics;  ///< empty = clean parse
+
+  bool clean() const { return diagnostics.empty(); }
+};
+
+/// Tolerant parse reporting ALL malformed lines in one pass (line- and
+/// column-anchored). Never throws.
+ParsedPlacement parse_placement_diagnostics(const std::string& text,
+                                            int num_cells);
+
+/// Strict parse: throws std::invalid_argument carrying the first
+/// diagnostic when anything is malformed or missing.
 place::GridPlacement parse_placement_text(const std::string& text,
                                           int num_cells);
 
@@ -34,7 +60,8 @@ PlaceGrade grade_placement(const gen::PlacementProblem& problem,
                            const place::GridPlacement& gp,
                            double reference_hpwl);
 
-/// Text-in/text-out variant; parse errors score 0.
+/// Text-in/text-out variant; never throws. Parse errors score 0 with
+/// every malformed line reported (see ParsedPlacement).
 PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
                                 const place::Grid& grid,
                                 const std::string& text,
@@ -42,9 +69,11 @@ PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
 
 /// Score many independent submissions against the same problem, spread
 /// across the worker pool. Result order matches submission order and is
-/// identical at any L2L_THREADS.
+/// identical at any L2L_THREADS. Each submission is isolated: exception
+/// barrier plus a bounded retry loop (see BatchOptions).
 std::vector<PlaceGrade> grade_placement_batch(
     const gen::PlacementProblem& problem, const place::Grid& grid,
-    const std::vector<std::string>& submissions, double reference_hpwl);
+    const std::vector<std::string>& submissions, double reference_hpwl,
+    const BatchOptions& opt = {});
 
 }  // namespace l2l::grader

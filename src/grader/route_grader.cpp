@@ -1,7 +1,9 @@
 #include "grader/route_grader.hpp"
 
+#include <chrono>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -11,7 +13,8 @@ namespace l2l::grader {
 using gen::GridPoint;
 
 RouteGrade grade_routing(const gen::RoutingProblem& problem,
-                         const route::RouteSolution& solution) {
+                         const route::RouteSolution& solution,
+                         const util::Budget* budget) {
   RouteGrade g;
   g.total_nets = static_cast<int>(problem.nets.size());
 
@@ -23,6 +26,14 @@ RouteGrade grade_routing(const gen::RoutingProblem& problem,
   std::map<GridPoint, int> owner;
 
   for (const auto& pnet : problem.nets) {
+    // Resource guard: one step per net graded. Exhaustion keeps the
+    // grades computed so far; ungraded nets earn nothing.
+    if (budget && (!budget->consume(1) || budget->exhausted())) {
+      g.status = budget->status();
+      if (g.status.ok())
+        g.status = util::Status::budget("grading budget exhausted");
+      break;
+    }
     NetGrade ng;
     ng.net_id = pnet.id;
     const auto it = by_id.find(pnet.id);
@@ -100,6 +111,9 @@ RouteGrade grade_routing(const gen::RoutingProblem& problem,
 
   g.report = util::format("ROUTING GRADE: %d/%d nets legal, score %.1f\n",
                           g.legal_nets, g.total_nets, g.score);
+  if (!g.status.ok())
+    g.report += util::format("grading stopped early: %s\n",
+                             g.status.to_string().c_str());
   g.report += util::format("total wirelength %d, total vias %d\n",
                            g.total_wirelength, g.total_vias);
   for (const auto& ng : g.nets) {
@@ -114,29 +128,61 @@ RouteGrade grade_routing(const gen::RoutingProblem& problem,
 }
 
 RouteGrade grade_routing_text(const gen::RoutingProblem& problem,
-                              const std::string& solution_text) {
-  route::RouteSolution sol;
-  try {
-    sol = route::parse_solution(solution_text);
-  } catch (const std::exception& e) {
-    RouteGrade g;
-    g.total_nets = static_cast<int>(problem.nets.size());
-    g.report = util::format("ROUTING GRADE: parse error (%s), score 0\n",
-                            e.what());
-    return g;
+                              const std::string& solution_text,
+                              const util::Budget* budget) {
+  const auto parsed = route::parse_solution_lenient(solution_text);
+  RouteGrade g = grade_routing(problem, parsed.solution, budget);
+  if (!parsed.clean()) {
+    g.diagnostics = parsed.diagnostics;
+    // Partial credit stands on the salvaged nets; the header makes the
+    // parse failure unmissable and the anchored list tells the student
+    // exactly which lines to fix.
+    std::string head = util::format(
+        "parse error: %d malformed region(s); well-formed nets still "
+        "graded\n",
+        static_cast<int>(parsed.diagnostics.size()));
+    head += util::render_diagnostics(parsed.diagnostics);
+    g.report = head + g.report;
   }
-  return grade_routing(problem, sol);
+  return g;
 }
 
 std::vector<RouteGrade> grade_routing_batch(
     const gen::RoutingProblem& problem,
-    const std::vector<std::string>& submissions) {
+    const std::vector<std::string>& submissions, const BatchOptions& opt) {
   std::vector<RouteGrade> grades(submissions.size());
-  util::parallel_for(0, static_cast<std::int64_t>(submissions.size()), 1,
-                     [&](std::int64_t s) {
-                       const auto i = static_cast<std::size_t>(s);
-                       grades[i] = grade_routing_text(problem, submissions[i]);
-                     });
+  util::parallel_for(
+      0, static_cast<std::int64_t>(submissions.size()), 1,
+      [&](std::int64_t s) {
+        const auto i = static_cast<std::size_t>(s);
+        const int attempts = std::max(1, opt.max_attempts);
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          if (attempt > 0 && opt.backoff_base_ms > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<std::int64_t>(opt.backoff_base_ms) << (attempt - 1)));
+          util::Budget guard;
+          if (opt.step_limit >= 0) guard.set_step_limit(opt.step_limit);
+          if (opt.time_limit_ms >= 0) guard.set_deadline_ms(opt.time_limit_ms);
+          const util::Budget* budget =
+              guard.has_step_limit() || guard.has_deadline() ? &guard : nullptr;
+          try {
+            grades[i] = grade_routing_text(problem, submissions[i], budget);
+            break;  // deterministic outcome: retrying cannot change it
+          } catch (const std::exception& e) {
+            grades[i] = RouteGrade{};
+            grades[i].total_nets = static_cast<int>(problem.nets.size());
+            grades[i].status = util::Status::internal(e.what());
+            grades[i].report = util::format(
+                "ROUTING GRADE: internal error (%s), score 0\n", e.what());
+          } catch (...) {
+            grades[i] = RouteGrade{};
+            grades[i].total_nets = static_cast<int>(problem.nets.size());
+            grades[i].status = util::Status::internal("unknown error");
+            grades[i].report =
+                "ROUTING GRADE: internal error (unknown), score 0\n";
+          }
+        }
+      });
   return grades;
 }
 

@@ -7,7 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "grader/batch.hpp"
 #include "route/solution.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
 
 namespace l2l::grader {
 
@@ -29,21 +32,37 @@ struct RouteGrade {
   double score = 0.0;
   /// Human-readable report (the "webpage" of the portal architecture).
   std::string report;
+  /// Line/column-anchored parse findings for the student. A submission
+  /// can carry diagnostics AND partial credit: independently well-formed
+  /// nets are salvaged and graded even when other blocks are garbage.
+  std::vector<util::Diagnostic> diagnostics;
+  /// Non-ok when grading itself was cut short (budget) or failed
+  /// (internal error); parse problems are diagnostics, not status.
+  util::Status status;
 };
 
-/// Grade a parsed solution against the problem.
+/// Grade a parsed solution against the problem. Never throws. The
+/// optional resource guard consumes one step per net graded; exhaustion
+/// stops grading with the nets checked so far scored and status set.
 RouteGrade grade_routing(const gen::RoutingProblem& problem,
-                         const route::RouteSolution& solution);
+                         const route::RouteSolution& solution,
+                         const util::Budget* budget = nullptr);
 
-/// Text-in/text-out variant: parse, grade, report. Parse errors grade 0.
+/// Text-in/text-out variant: parse (leniently), grade, report. Never
+/// throws. Malformed blocks become diagnostics; salvageable nets still
+/// earn partial credit. A fully unparsable submission scores 0 with a
+/// "parse error" report.
 RouteGrade grade_routing_text(const gen::RoutingProblem& problem,
-                              const std::string& solution_text);
+                              const std::string& solution_text,
+                              const util::Budget* budget = nullptr);
 
 /// Score many independent submissions against the same problem, spread
 /// across the worker pool (the MOOC's planet-scale grading queue). The
 /// result vector is in submission order and identical at any L2L_THREADS.
+/// Each submission is isolated: its own resource guard and exception
+/// barrier, plus a bounded retry loop (see BatchOptions).
 std::vector<RouteGrade> grade_routing_batch(
     const gen::RoutingProblem& problem,
-    const std::vector<std::string>& submissions);
+    const std::vector<std::string>& submissions, const BatchOptions& opt = {});
 
 }  // namespace l2l::grader

@@ -58,6 +58,7 @@ CgResult conjugate_gradient(const SparseMatrix& a, const std::vector<double>& b,
   double rz = dot(r, z);
 
   for (int it = 0; it < options.max_iterations; ++it) {
+    if (options.budget && options.budget->exhausted()) break;
     a.multiply(p, ap);
     const double pap = dot(p, ap);
     if (pap <= 0.0) break;  // not SPD (or p in null space): bail out

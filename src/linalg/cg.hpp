@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "linalg/sparse.hpp"
+#include "util/budget.hpp"
 
 namespace l2l::linalg {
 
@@ -12,6 +13,12 @@ struct CgOptions {
   int max_iterations = 1000;
   double tolerance = 1e-10;  ///< relative residual ||r|| / ||b||
   bool jacobi_preconditioner = true;
+  /// Optional resource guard (not owned), polled once per CG iteration.
+  /// CG never consumes steps itself -- callers charge steps at their own
+  /// granularity (the placer charges per region solve) -- so a tripped
+  /// guard simply stops iterating and returns the best iterate so far
+  /// with converged = false.
+  const util::Budget* budget = nullptr;
 };
 
 struct CgResult {

@@ -1,0 +1,132 @@
+#include "mooc/grading_queue.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::mooc {
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer. Good enough to turn
+/// (seed, submission, attempt) into an independent uniform draw.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t seed, std::uint64_t submission,
+                 std::uint64_t attempt, std::uint64_t salt) {
+  std::uint64_t h = splitmix64(seed ^ splitmix64(submission ^ salt));
+  h = splitmix64(h ^ attempt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+QueueResult drain_queue(const std::vector<std::string>& submissions,
+                        const GradeFn& grade, const QueueOptions& opt) {
+  QueueResult res;
+  res.outcomes.resize(submissions.size());
+  // Per-submission tallies filled in parallel, folded into stats after the
+  // barrier so the totals never depend on commit order.
+  struct Tally {
+    int transients = 0;
+    int stalls = 0;
+  };
+  std::vector<Tally> tallies(submissions.size());
+
+  util::parallel_for(
+      0, static_cast<std::int64_t>(submissions.size()), 1,
+      [&](std::int64_t s) {
+        const auto i = static_cast<std::size_t>(s);
+        auto& out = res.outcomes[i];
+        const int max_attempts = 1 + std::max(0, opt.max_retries);
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          ++out.attempts;
+          if (attempt > 0)
+            out.backoff_ticks += opt.backoff_base_ticks << (attempt - 1);
+
+          // Injected worker faults, decided by hash alone so the outcome
+          // is identical regardless of which lane runs this submission.
+          const auto ui = static_cast<std::uint64_t>(i);
+          const auto ua = static_cast<std::uint64_t>(attempt);
+          if (uniform01(opt.fault_seed, ui, ua, 0x7261776bull) <
+              opt.transient_fault_rate) {
+            ++tallies[i].transients;
+            out.status = util::Status::internal("injected transient fault");
+            out.diagnostic = util::format(
+                "worker crashed on attempt %d (injected)", attempt + 1);
+            continue;  // retry
+          }
+          if (uniform01(opt.fault_seed, ui, ua, 0x7374616cull) <
+              opt.stall_rate) {
+            ++tallies[i].stalls;
+            out.status = util::Status::timeout("injected worker stall");
+            out.diagnostic = util::format(
+                "worker stalled on attempt %d (injected)", attempt + 1);
+            continue;  // retry
+          }
+
+          util::Budget guard;
+          if (opt.step_limit >= 0) guard.set_step_limit(opt.step_limit);
+          if (opt.time_limit_ms >= 0) guard.set_deadline_ms(opt.time_limit_ms);
+          try {
+            const double score = grade(submissions[i], guard);
+            if (guard.exhausted()) {
+              // Deterministic resource exhaustion: the same submission
+              // would exhaust the same budget again, so don't retry.
+              out.kind = OutcomeKind::kBudget;
+              out.status = guard.status();
+              out.diagnostic = "submission exceeded its grading budget";
+              return;
+            }
+            out.kind = OutcomeKind::kGraded;
+            out.score = score;
+            out.status = util::Status::okay();
+            out.diagnostic.clear();
+            return;
+          } catch (const util::BudgetExceededError& e) {
+            out.kind = OutcomeKind::kBudget;
+            out.status = e.status();
+            out.diagnostic = "submission exceeded its grading budget";
+            return;  // deterministic: no retry
+          } catch (const std::exception& e) {
+            // Poison input: grading threw. Retried (the throw could have
+            // been environmental), converted to kFailed when retries run
+            // out.
+            out.status = util::Status::internal(e.what());
+            out.diagnostic =
+                util::format("grader error: %s", e.what());
+            continue;
+          } catch (...) {
+            out.status = util::Status::internal("unknown grader error");
+            out.diagnostic = "grader error: unknown";
+            continue;
+          }
+        }
+        // All attempts consumed without a graded result.
+        out.kind = out.status.code == util::StatusCode::kInternalError &&
+                           out.diagnostic.rfind("grader error", 0) == 0
+                       ? OutcomeKind::kFailed
+                       : OutcomeKind::kExhausted;
+      });
+
+  for (std::size_t i = 0; i < submissions.size(); ++i) {
+    const auto& out = res.outcomes[i];
+    res.stats.total_attempts += out.attempts;
+    res.stats.injected_transients += tallies[i].transients;
+    res.stats.injected_stalls += tallies[i].stalls;
+    switch (out.kind) {
+      case OutcomeKind::kGraded: ++res.stats.graded; break;
+      case OutcomeKind::kFailed: ++res.stats.failed; break;
+      case OutcomeKind::kBudget: ++res.stats.budget_exceeded; break;
+      case OutcomeKind::kExhausted: ++res.stats.retries_exhausted; break;
+    }
+  }
+  return res;
+}
+
+}  // namespace l2l::mooc

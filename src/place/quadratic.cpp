@@ -25,6 +25,16 @@ void solve_region(const gen::PlacementProblem& p, const QuadraticOptions& opt,
                   const std::vector<int>& cells, const Region& region,
                   Placement& pl, QuadraticStats* stats) {
   if (cells.empty()) return;
+  // Resource guard: one step per region solve. An exhausted guard leaves
+  // the cells at their coarser parent-level coordinates.
+  if (opt.budget && (!opt.budget->consume(1) || opt.budget->exhausted())) {
+    if (stats && stats->status.ok()) {
+      stats->status = opt.budget->status();
+      if (stats->status.ok())
+        stats->status = util::Status::budget("placement region budget exhausted");
+    }
+    return;
+  }
   std::vector<int> var_of(static_cast<std::size_t>(p.num_cells), -1);
   for (std::size_t k = 0; k < cells.size(); ++k)
     var_of[static_cast<std::size_t>(cells[k])] = static_cast<int>(k);
@@ -126,6 +136,7 @@ void solve_region(const gen::PlacementProblem& p, const QuadraticOptions& opt,
   linalg::CgOptions cg;
   cg.tolerance = opt.cg_tolerance;
   cg.max_iterations = 4 * num_vars + 100;
+  cg.budget = opt.budget;  // CG polls the deadline, never consumes steps
   const auto rx = linalg::conjugate_gradient(ax, bx, cg);
   const auto ry = linalg::conjugate_gradient(ax, by, cg);
   if (stats) {
@@ -148,6 +159,9 @@ void recurse(const gen::PlacementProblem& p, const QuadraticOptions& opt,
   if (static_cast<int>(cells.size()) <= opt.min_region_cells ||
       level >= opt.max_levels)
     return;
+  // Stop partitioning once the guard has tripped: the placement so far is
+  // the coarse result we hand back.
+  if (opt.budget && opt.budget->exhausted()) return;
 
   // Alternate cut direction; split the *cells* at the median so both
   // halves hold equal area, and the *region* at its geometric middle.

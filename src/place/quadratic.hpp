@@ -10,6 +10,7 @@
 
 #include "gen/placement_gen.hpp"
 #include "place/wirelength.hpp"
+#include "util/budget.hpp"
 
 namespace l2l::place {
 
@@ -23,12 +24,20 @@ struct QuadraticOptions {
   int min_region_cells = 8;  ///< stop recursion below this many cells
   int max_levels = 8;
   double cg_tolerance = 1e-8;
+  /// Optional resource guard (not owned; must outlive the call). Each
+  /// region solve consumes one budget step; the CG inner loop polls the
+  /// same guard's deadline per iteration. On exhaustion the recursion
+  /// stops refining and the coarser parent-level placement is returned;
+  /// QuadraticStats::status records why. Step-limited runs stop at a
+  /// deterministic region.
+  const util::Budget* budget = nullptr;
 };
 
 struct QuadraticStats {
   int regions_solved = 0;
   int levels = 0;
   int cg_iterations_total = 0;
+  util::Status status;  ///< non-ok when a resource guard stopped refinement
 };
 
 /// Global (unconstrained) quadratic solve only -- one Ax=b per axis.

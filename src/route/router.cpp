@@ -127,6 +127,15 @@ RouteSolution route_negotiated(const gen::RoutingProblem& p,
   std::size_t best_over = static_cast<std::size_t>(-1);
   int stall = 0;
   for (int iter = 0; iter < opt.max_negotiation_iterations; ++iter) {
+    // Resource guard: one step per negotiation iteration. On exhaustion
+    // break to finalization -- clean nets keep their wires, so a cut-short
+    // run still returns every net routed so far.
+    if (opt.budget && (!opt.budget->consume(1) || opt.budget->exhausted())) {
+      sol.status = opt.budget->status();
+      if (sol.status.ok())
+        sol.status = util::Status::budget("routing iteration budget exhausted");
+      break;
+    }
     sol.stats.negotiation_iterations = iter + 1;
     const double present = opt.present_factor * (iter + 1);
     // Snapshot penalty field for this iteration: everyone's current wires.
@@ -420,6 +429,14 @@ RouteSolution route_all(const gen::RoutingProblem& p, const RouterOptions& opt) 
   std::vector<std::size_t> pending = order;
   for (int iter = 0; iter <= opt.max_ripup_iterations && !pending.empty();
        ++iter) {
+    // Resource guard: one step per rip-up iteration (mirrors the
+    // negotiated path). Nets already committed stay routed.
+    if (opt.budget && (!opt.budget->consume(1) || opt.budget->exhausted())) {
+      sol.status = opt.budget->status();
+      if (sol.status.ok())
+        sol.status = util::Status::budget("routing iteration budget exhausted");
+      break;
+    }
     std::vector<std::size_t> failed;
     for (const std::size_t n : pending) {
       auto r = route_net(p.nets[n], occ, opt.costs, sol.stats);

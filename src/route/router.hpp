@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "route/maze.hpp"
+#include "util/budget.hpp"
 #include "util/rng.hpp"
 
 namespace l2l::route {
@@ -41,11 +42,19 @@ struct RouterOptions {
   /// Sequential-mode (negotiated = false) rip-up budget; also the budget
   /// of the hard fallback pass when negotiation fails to converge.
   int max_ripup_iterations = 3;
+  /// Optional resource guard (not owned; must outlive route_all). Each
+  /// negotiation / rip-up iteration consumes one budget step; the deadline
+  /// and cancellation token are polled at the same boundary. On exhaustion
+  /// the router breaks to finalization and returns a partial solution
+  /// (clean nets keep their routes) with RouteSolution::status explaining
+  /// why. Step-limited runs stop at a deterministic iteration.
+  const util::Budget* budget = nullptr;
 };
 
 struct RouteSolution {
   std::vector<NetRoute> nets;  ///< in problem net order
   RouteStats stats;
+  util::Status status;  ///< non-ok when a resource guard cut routing short
 };
 
 /// Route every net of the problem.

@@ -1,5 +1,6 @@
 #include "route/solution.hpp"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -18,44 +19,129 @@ std::string write_solution(const RouteSolution& sol) {
   return out;
 }
 
-RouteSolution parse_solution(const std::string& text) {
-  RouteSolution sol;
+namespace {
+
+/// 1-based column of the first non-blank character of `raw`.
+int content_column(const std::string& raw) {
+  const auto pos = raw.find_first_not_of(" \t\r\n");
+  return pos == std::string::npos ? 1 : static_cast<int>(pos) + 1;
+}
+
+/// Truncate a hostile line for embedding in a message (submissions may
+/// contain megabyte-long lines; diagnostics must stay readable).
+std::string excerpt(const std::string& t) {
+  constexpr std::size_t kMax = 60;
+  if (t.size() <= kMax) return t;
+  return t.substr(0, kMax) + "...";
+}
+
+}  // namespace
+
+ParsedSolution parse_solution_lenient(const std::string& text) {
+  ParsedSolution out;
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line))
-    throw std::invalid_argument("solution: empty file");
-  const int declared = std::stoi(std::string(util::trim(line)));
-  NetRoute* current = nullptr;
+  int lineno = 0;
+  bool have_header = false;
+  NetRoute current;
+  bool in_block = false;
+  bool poisoned = false;  // current block had a malformed line: drop it
+
+  auto diag = [&](const std::string& raw, std::string msg) {
+    out.diagnostics.push_back(
+        util::make_error(lineno, content_column(raw), std::move(msg)));
+  };
+
   while (std::getline(in, line)) {
+    ++lineno;
     const auto t = std::string(util::trim(line));
     if (t.empty()) continue;
-    if (util::starts_with(t, "net ")) {
-      sol.nets.emplace_back();
-      current = &sol.nets.back();
-      current->net_id = std::stoi(t.substr(4));
+    const bool is_net_header = util::starts_with(t, "net ");
+    if (!have_header && !is_net_header) {
+      have_header = true;
+      if (const auto n = util::parse_int(t)) {
+        out.declared_nets = *n;
+      } else {
+        diag(line, "expected net count, got '" + excerpt(t) + "'");
+      }
+      continue;
+    }
+    have_header = true;
+    if (is_net_header) {
+      if (in_block) {
+        diag(line, "new net before '!' terminator; previous net dropped");
+      }
+      current = NetRoute{};
+      in_block = true;
+      poisoned = false;
+      if (const auto id = util::parse_int(util::trim(t.substr(4)))) {
+        current.net_id = *id;
+      } else {
+        diag(line, "bad net id in '" + excerpt(t) + "'");
+        poisoned = true;
+      }
       continue;
     }
     if (t == "!") {
-      if (!current) throw std::invalid_argument("solution: '!' before net");
-      current->routed = !current->cells.empty();
-      current = nullptr;
+      if (!in_block) {
+        diag(line, "'!' before any net");
+        continue;
+      }
+      if (!poisoned) {
+        current.routed = !current.cells.empty();
+        out.solution.nets.push_back(std::move(current));
+      }
+      current = NetRoute{};
+      in_block = false;
+      poisoned = false;
       continue;
     }
     if (t.front() == '(') {
-      if (!current) throw std::invalid_argument("solution: cell before net");
+      if (!in_block) {
+        diag(line, "cell outside a net block");
+        continue;
+      }
       const auto tok = util::split(t, "() \t");
-      if (tok.size() != 3)
-        throw std::invalid_argument("solution: bad cell line '" + t + "'");
-      current->cells.push_back(
-          {std::stoi(tok[0]), std::stoi(tok[1]), std::stoi(tok[2])});
+      std::optional<int> x, y, l;
+      if (tok.size() == 3) {
+        x = util::parse_int(tok[0]);
+        y = util::parse_int(tok[1]);
+        l = util::parse_int(tok[2]);
+      }
+      if (!x || !y || !l) {
+        diag(line, "bad cell line '" + excerpt(t) + "'");
+        poisoned = true;
+        continue;
+      }
+      if (!poisoned) current.cells.push_back({*x, *y, *l});
       continue;
     }
-    throw std::invalid_argument("solution: unrecognized line '" + t + "'");
+    diag(line, "unrecognized line '" + excerpt(t) + "'");
+    if (in_block) poisoned = true;
   }
-  if (current) throw std::invalid_argument("solution: missing final '!'");
-  if (static_cast<int>(sol.nets.size()) != declared)
-    throw std::invalid_argument("solution: net count mismatch");
-  return sol;
+  if (in_block)
+    diag(line, "missing final '!'; last net dropped");
+  if (!have_header)
+    out.diagnostics.push_back(util::make_error(0, 0, "empty file"));
+  else if (out.declared_nets >= 0 &&
+           out.declared_nets != static_cast<int>(out.solution.nets.size()) &&
+           out.diagnostics.empty())
+    out.diagnostics.push_back(util::make_error(
+        1, 1,
+        util::format("net count mismatch: header declares %d, file has %d",
+                     out.declared_nets,
+                     static_cast<int>(out.solution.nets.size()))));
+  return out;
+}
+
+RouteSolution parse_solution(const std::string& text) {
+  auto parsed = parse_solution_lenient(text);
+  if (parsed.declared_nets < 0 && parsed.diagnostics.empty())
+    parsed.diagnostics.push_back(util::make_error(0, 0, "missing net count"));
+  if (!parsed.diagnostics.empty())
+    throw std::invalid_argument("solution: " +
+                                parsed.diagnostics.front().to_string());
+  return std::move(parsed.solution);
 }
 
 std::string write_problem(const gen::RoutingProblem& p) {
@@ -93,20 +179,49 @@ gen::RoutingProblem parse_problem(const std::string& text) {
     }
     throw std::invalid_argument("problem: unexpected end of file");
   };
+  auto parse_count = [](const std::vector<std::string>& tok, std::size_t i) {
+    const auto v = util::parse_int(tok[i]);
+    if (!v || *v < 0)
+      throw std::invalid_argument("problem: bad count '" + tok[i] + "'");
+    return *v;
+  };
   auto parse_point = [&](const std::string& t) {
     const auto tok = util::split(t, "() \t");
-    if (tok.size() != 3)
-      throw std::invalid_argument("problem: bad point '" + t + "'");
-    return gen::GridPoint{std::stoi(tok[0]), std::stoi(tok[1]), std::stoi(tok[2])};
+    std::optional<int> x, y, l;
+    if (tok.size() == 3) {
+      x = util::parse_int(tok[0]);
+      y = util::parse_int(tok[1]);
+      l = util::parse_int(tok[2]);
+    }
+    if (!x || !y || !l)
+      throw std::invalid_argument("problem: bad point '" + excerpt(t) + "'");
+    return gen::GridPoint{*x, *y, *l};
   };
 
   {
     const auto tok = util::split(next_line());
     if (tok.size() != 4 || tok[0] != "grid")
       throw std::invalid_argument("problem: missing grid header");
-    p.width = std::stoi(tok[1]);
-    p.height = std::stoi(tok[2]);
-    p.num_layers = std::stoi(tok[3]);
+    const auto w = util::parse_int(tok[1]);
+    const auto h = util::parse_int(tok[2]);
+    const auto nl = util::parse_int(tok[3]);
+    if (!w || !h || !nl)
+      throw std::invalid_argument("problem: bad grid header");
+    // Sanity caps: a hostile header must not be able to trigger a
+    // multi-gigabyte allocation (or a negative->huge size_t wrap) before
+    // any real validation happens.
+    constexpr int kMaxSide = 1 << 16;
+    constexpr int kMaxLayers = 64;
+    constexpr long long kMaxCells = 1LL << 26;  // 64M points across layers
+    if (*w < 1 || *h < 1 || *w > kMaxSide || *h > kMaxSide)
+      throw std::invalid_argument("problem: grid dimensions out of range");
+    if (*nl < 1 || *nl > kMaxLayers)
+      throw std::invalid_argument("problem: layer count out of range");
+    if (static_cast<long long>(*w) * *h * *nl > kMaxCells)
+      throw std::invalid_argument("problem: grid too large");
+    p.width = *w;
+    p.height = *h;
+    p.num_layers = *nl;
     p.blocked.assign(static_cast<std::size_t>(p.num_layers),
                      std::vector<bool>(static_cast<std::size_t>(p.width) *
                                            static_cast<std::size_t>(p.height),
@@ -116,7 +231,7 @@ gen::RoutingProblem parse_problem(const std::string& text) {
     const auto tok = util::split(next_line());
     if (tok.size() != 2 || tok[0] != "obstacles")
       throw std::invalid_argument("problem: missing obstacles header");
-    const int count = std::stoi(tok[1]);
+    const int count = parse_count(tok, 1);
     for (int k = 0; k < count; ++k) {
       const auto g = parse_point(next_line());
       if (!p.in_bounds(g))
@@ -130,14 +245,16 @@ gen::RoutingProblem parse_problem(const std::string& text) {
     const auto tok = util::split(next_line());
     if (tok.size() != 2 || tok[0] != "nets")
       throw std::invalid_argument("problem: missing nets header");
-    const int count = std::stoi(tok[1]);
+    const int count = parse_count(tok, 1);
     for (int k = 0; k < count; ++k) {
       const auto head = util::split(next_line());
       if (head.size() != 3 || head[0] != "net")
         throw std::invalid_argument("problem: bad net header");
       gen::RoutingNet net;
-      net.id = std::stoi(head[1]);
-      const int pins = std::stoi(head[2]);
+      const auto id = util::parse_int(head[1]);
+      if (!id) throw std::invalid_argument("problem: bad net id");
+      net.id = *id;
+      const int pins = parse_count(head, 2);
       for (int q = 0; q < pins; ++q) {
         const auto g = parse_point(next_line());
         if (!p.in_bounds(g))

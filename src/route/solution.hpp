@@ -11,8 +11,10 @@
 // plus a problem writer so tools can round-trip benchmarks.
 
 #include <string>
+#include <vector>
 
 #include "route/router.hpp"
+#include "util/status.hpp"
 
 namespace l2l::route {
 
@@ -20,7 +22,24 @@ namespace l2l::route {
 /// are emitted with no cells so graders can assign partial credit).
 std::string write_solution(const RouteSolution& sol);
 
-/// Parse a solution file. Throws std::invalid_argument on malformed text.
+/// Result of the tolerant parse below: every independently well-formed
+/// `net ... !` block is salvaged into `solution`; each malformed region
+/// produces one line/column-anchored diagnostic and poisons only its own
+/// block, so a typo on net 3 never costs a student credit for net 7.
+struct ParsedSolution {
+  RouteSolution solution;                     ///< salvaged nets only
+  std::vector<util::Diagnostic> diagnostics;  ///< empty = clean parse
+  int declared_nets = -1;                     ///< header count, -1 if absent
+
+  bool clean() const { return diagnostics.empty(); }
+};
+
+/// Tolerant parse of a solution file. Never throws.
+ParsedSolution parse_solution_lenient(const std::string& text);
+
+/// Strict parse. Throws std::invalid_argument on any malformed text
+/// (thin wrapper over parse_solution_lenient for round-trip callers that
+/// want hard failures, e.g. tests and tools reading their own output).
 RouteSolution parse_solution(const std::string& text);
 
 /// Serialize a routing problem (grid, obstacles, nets) as ASCII text.

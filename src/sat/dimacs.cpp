@@ -1,5 +1,6 @@
 #include "sat/dimacs.hpp"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -22,19 +23,34 @@ CnfFormula parse_dimacs(const std::string& text) {
       const auto tok = util::split(t);
       if (tok.size() != 4 || tok[1] != "cnf")
         throw std::invalid_argument("DIMACS: malformed problem line");
-      f.num_vars = std::stoi(tok[2]);
-      declared_clauses = std::stoi(tok[3]);
+      const auto nv = util::parse_int(tok[2]);
+      const auto nc = util::parse_int(tok[3]);
+      if (!nv || !nc || *nv < 0 || *nc < 0)
+        throw std::invalid_argument("DIMACS: bad counts in problem line");
+      // Sanity cap: the header sizes solver allocations up front, so a
+      // hostile "p cnf 2000000000 1" must be rejected here, not OOM later.
+      constexpr int kMaxVars = 1 << 24;
+      if (*nv > kMaxVars)
+        throw std::invalid_argument("DIMACS: variable count out of range");
+      f.num_vars = *nv;
+      declared_clauses = *nc;
       have_header = true;
       continue;
     }
     if (!have_header)
       throw std::invalid_argument("DIMACS: clause before problem line");
     for (const auto& tok : util::split(t)) {
-      const int v = std::stoi(tok);
+      const auto lit = util::parse_int(tok);
+      if (!lit)
+        throw std::invalid_argument("DIMACS: bad literal '" + tok + "'");
+      const int v = *lit;
       if (v == 0) {
         f.clauses.push_back(current);
         current.clear();
       } else {
+        // Guard abs() against INT_MIN before computing the variable.
+        if (v == std::numeric_limits<int>::min())
+          throw std::invalid_argument("DIMACS: literal out of declared range");
         const int var = std::abs(v) - 1;
         if (var >= f.num_vars)
           throw std::invalid_argument("DIMACS: literal out of declared range");

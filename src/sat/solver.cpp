@@ -309,6 +309,7 @@ LBool Solver::solve() { return solve({}); }
 
 LBool Solver::solve(const std::vector<Lit>& assumptions) {
   model_.clear();
+  stop_reason_ = util::Status::okay();
   if (!ok_) return LBool::kFalse;
   rebuild_order_heap();
 
@@ -319,6 +320,14 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
       options_.conflict_limit < 0
           ? -1
           : stats_.conflicts + options_.conflict_limit;
+  const util::Budget* budget = options_.budget;
+  // Propagations already charged to the budget; the delta is consumed at
+  // each conflict so the stop point is a deterministic conflict boundary.
+  std::int64_t charged_props = stats_.propagations;
+  if (budget && budget->exhausted()) {
+    stop_reason_ = budget->status();
+    return LBool::kUndef;
+  }
 
   LBool result = LBool::kUndef;
   while (result == LBool::kUndef) {
@@ -355,8 +364,20 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
         max_learnts_ = max_learnts_ + max_learnts_ / 2;
       }
       if (conflict_budget >= 0 && stats_.conflicts >= conflict_budget) {
+        stop_reason_ = util::Status::budget("conflict limit reached");
         backtrack(0);
         return LBool::kUndef;
+      }
+      if (budget) {
+        const bool steps_ok = budget->consume(stats_.propagations - charged_props);
+        charged_props = stats_.propagations;
+        if (!steps_ok || budget->exhausted()) {
+          stop_reason_ = budget->status();
+          if (stop_reason_.ok())  // consume() crossed the limit this call
+            stop_reason_ = util::Status::budget("propagation budget exhausted");
+          backtrack(0);
+          return LBool::kUndef;
+        }
       }
     } else {
       if (options_.use_restarts && conflicts_since_restart >= restart_limit) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sat/types.hpp"
+#include "util/budget.hpp"
 
 namespace l2l::sat {
 
@@ -25,6 +26,12 @@ struct SolverOptions {
   double clause_decay = 0.999;
   int restart_base = 100;        ///< conflicts per Luby unit
   std::int64_t conflict_limit = -1;  ///< -1 = no limit (solve returns kUndef)
+  /// Optional resource guard (not owned; must outlive solve()). Consumes
+  /// one budget step per propagation, checked at conflict boundaries so a
+  /// step-limited run stops at a deterministic point; the deadline and
+  /// cancellation token are polled there too. Exhaustion returns kUndef
+  /// with stop_reason() explaining why.
+  const util::Budget* budget = nullptr;
 };
 
 struct SolverStats {
@@ -80,6 +87,11 @@ class Solver {
   const SolverStats& stats() const { return stats_; }
   const SolverOptions& options() const { return options_; }
 
+  /// Why the last solve() returned kUndef (kOk after kTrue/kFalse):
+  /// kBudgetExceeded (conflict limit or budget steps), kTimeout, or
+  /// kCancelled.
+  const util::Status& stop_reason() const { return stop_reason_; }
+
  private:
   LBool value(Lit p) const {
     return assigns_[static_cast<std::size_t>(p.var())] ^ p.sign();
@@ -115,6 +127,7 @@ class Solver {
 
   SolverOptions options_;
   SolverStats stats_;
+  util::Status stop_reason_;
 
   std::vector<std::unique_ptr<Clause>> clauses_;
   std::vector<std::unique_ptr<Clause>> learnts_;

@@ -1,0 +1,117 @@
+#include "util/budget.hpp"
+
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace l2l::util {
+namespace {
+/// Steady-clock reads per exhausted() poll: one read every stride calls.
+constexpr std::int64_t kClockStride = 64;
+}  // namespace
+
+Budget::Budget() = default;
+
+Budget::Budget(Budget&& other) noexcept
+    : deadline_(other.deadline_),
+      has_deadline_(other.has_deadline_),
+      step_limit_(other.step_limit_),
+      steps_used_(other.steps_used_.load(std::memory_order_relaxed)),
+      polls_(other.polls_.load(std::memory_order_relaxed)),
+      deadline_tripped_(
+          other.deadline_tripped_.load(std::memory_order_relaxed)),
+      token_(std::move(other.token_)) {}
+
+Budget& Budget::operator=(Budget&& other) noexcept {
+  deadline_ = other.deadline_;
+  has_deadline_ = other.has_deadline_;
+  step_limit_ = other.step_limit_;
+  steps_used_.store(other.steps_used_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  polls_.store(other.polls_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  deadline_tripped_.store(
+      other.deadline_tripped_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  token_ = std::move(other.token_);
+  return *this;
+}
+
+Budget& Budget::set_deadline_ms(std::int64_t ms) {
+  deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  has_deadline_ = true;
+  deadline_tripped_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
+Budget& Budget::set_step_limit(std::int64_t steps) {
+  step_limit_ = steps < 0 ? -1 : steps;
+  return *this;
+}
+
+Budget& Budget::set_cancel_token(std::shared_ptr<CancelToken> token) {
+  token_ = std::move(token);
+  return *this;
+}
+
+const std::shared_ptr<CancelToken>& Budget::cancel_token() {
+  if (!token_) token_ = std::make_shared<CancelToken>();
+  return token_;
+}
+
+void Budget::cancel() { cancel_token()->cancel(); }
+
+bool Budget::consume(std::int64_t n) const {
+  const std::int64_t used =
+      steps_used_.fetch_add(n, std::memory_order_relaxed) + n;
+  return step_limit_ < 0 || used <= step_limit_;
+}
+
+std::int64_t Budget::steps_used() const {
+  return steps_used_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Budget::steps_remaining() const {
+  if (step_limit_ < 0) return std::numeric_limits<std::int64_t>::max();
+  const std::int64_t left = step_limit_ - steps_used();
+  return left > 0 ? left : 0;
+}
+
+bool Budget::deadline_passed() const {
+  if (!has_deadline_) return false;
+  if (deadline_tripped_.load(std::memory_order_relaxed)) return true;
+  // Amortize the clock read; the first poll always reads so that an
+  // already-expired deadline is seen before any work happens.
+  const std::int64_t p = polls_.fetch_add(1, std::memory_order_relaxed);
+  if (p % kClockStride != 0) return false;
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    deadline_tripped_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool Budget::exhausted() const {
+  if (token_ && token_->cancelled()) return true;
+  if (step_limit_ >= 0 && steps_used() >= step_limit_) return true;
+  return deadline_passed();
+}
+
+Status Budget::status() const {
+  if (token_ && token_->cancelled())
+    return Status::cancelled("cancellation token fired");
+  if (step_limit_ >= 0 && steps_used() >= step_limit_)
+    return Status::budget(
+        format("step limit %lld reached", static_cast<long long>(step_limit_)));
+  if (has_deadline_ && deadline_tripped_.load(std::memory_order_relaxed))
+    return Status::timeout("wall-clock deadline passed");
+  // Re-read the clock directly (not amortized) so status() after a slow
+  // final step reports the truth even if exhausted() was never polled.
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    deadline_tripped_.store(true, std::memory_order_relaxed);
+    return Status::timeout("wall-clock deadline passed");
+  }
+  return Status::okay();
+}
+
+}  // namespace l2l::util

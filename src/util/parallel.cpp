@@ -20,6 +20,7 @@ thread_local bool t_in_parallel = false;
 struct ThreadPool::Impl {
   struct Job {
     const std::function<void(int)>* task = nullptr;
+    const CancelToken* cancel = nullptr;
     int total = 0;
     std::atomic<int> next{0};       // next unclaimed task index
     std::atomic<int> remaining{0};  // tasks not yet finished
@@ -43,7 +44,9 @@ struct ThreadPool::Impl {
       const int i = j.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= j.total) break;
       try {
-        (*j.task)(i);
+        // A fired token drains the counter without running the bodies, so
+        // the job completes promptly and the bookkeeping stays exact.
+        if (!j.cancel || !j.cancel->cancelled()) (*j.task)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lk(j.err_mutex);
         if (i < j.err_index) {
@@ -101,16 +104,21 @@ int ThreadPool::size() const {
   return static_cast<int>(impl_->workers.size()) + 1;
 }
 
-void ThreadPool::run(int num_tasks, const std::function<void(int)>& task) {
+void ThreadPool::run(int num_tasks, const std::function<void(int)>& task,
+                     const CancelToken* cancel) {
   if (num_tasks <= 0) return;
   if (t_in_parallel || impl_->workers.empty()) {
     // Nested use or single-lane pool: run inline, first failure wins
     // (ascending order, so it is also the lowest-index failure).
-    for (int i = 0; i < num_tasks; ++i) task(i);
+    for (int i = 0; i < num_tasks; ++i) {
+      if (cancel && cancel->cancelled()) break;
+      task(i);
+    }
     return;
   }
   Impl::Job job;
   job.task = &task;
+  job.cancel = cancel;
   job.total = num_tasks;
   job.remaining.store(num_tasks, std::memory_order_relaxed);
   {
@@ -171,13 +179,16 @@ void set_num_threads(int n) {
 
 void parallel_for_chunks(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    const CancelToken* cancel) {
   if (end <= begin) return;
   if (grain < 1) grain = 1;
   const std::int64_t n_chunks = (end - begin + grain - 1) / grain;
   if (n_chunks == 1 || t_in_parallel || num_threads() == 1) {
-    for (std::int64_t b = begin; b < end; b += grain)
+    for (std::int64_t b = begin; b < end; b += grain) {
+      if (cancel && cancel->cancelled()) return;
       fn(b, std::min(end, b + grain));
+    }
     return;
   }
   const std::int64_t max_tasks =
@@ -190,24 +201,27 @@ void parallel_for_chunks(
       const std::int64_t first = static_cast<std::int64_t>(t) * per_task;
       const std::int64_t last = std::min(first + per_task, n_chunks);
       for (std::int64_t c = first; c < last; ++c) {
+        if (cancel && cancel->cancelled()) return;
         const std::int64_t b = begin + c * grain;
         fn(b, std::min(end, b + grain));
       }
-    });
+    }, cancel);
     return;
   }
   global_pool().run(static_cast<int>(tasks), [&](int c) {
     const std::int64_t b = begin + static_cast<std::int64_t>(c) * grain;
     fn(b, std::min(end, b + grain));
-  });
+  }, cancel);
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t)>& fn) {
+                  const std::function<void(std::int64_t)>& fn,
+                  const CancelToken* cancel) {
   parallel_for_chunks(begin, end, grain,
                       [&](std::int64_t b, std::int64_t e) {
                         for (std::int64_t i = b; i < e; ++i) fn(i);
-                      });
+                      },
+                      cancel);
 }
 
 }  // namespace l2l::util

@@ -6,12 +6,30 @@
 // chunk order, so every parallel result is bit-identical for any value of
 // L2L_THREADS -- determinism is the substrate's contract, not an accident.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 namespace l2l::util {
+
+/// Cooperative cancellation flag shared between a controller (which calls
+/// cancel(), typically from another thread or a deadline check) and the
+/// workers of a parallel region, which poll cancelled() between tasks.
+/// Once fired the flag stays set; a cancelled parallel_for abandons its
+/// remaining tasks, so the caller must discard the partial results.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+  void reset() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
 
 /// Fixed pool of `num_threads - 1` workers; the calling thread is the
 /// remaining lane. run() hands out task indices through a shared counter
@@ -31,7 +49,11 @@ class ThreadPool {
   /// Execute task(0) ... task(num_tasks - 1) across the lanes. Reentrant
   /// calls from inside a task run inline on the calling lane (nested-use
   /// guard), so library code may parallelize without deadlock risk.
-  void run(int num_tasks, const std::function<void(int)>& task);
+  /// When `cancel` is non-null and fires, lanes keep draining the index
+  /// counter but stop executing task bodies -- the call still returns
+  /// promptly and no lane is left blocked.
+  void run(int num_tasks, const std::function<void(int)>& task,
+           const CancelToken* cancel = nullptr);
 
  private:
   struct Impl;
@@ -50,13 +72,17 @@ void set_num_threads(int n);
 /// Invoke fn(chunk_begin, chunk_end) for consecutive [begin, end) chunks
 /// of at most `grain` indices. Chunks run concurrently; a single chunk
 /// (or a 1-thread pool, or a nested call) runs inline on the caller.
+/// A fired `cancel` token skips the chunks not yet started (partial
+/// output -- only meaningful when the caller is abandoning the result).
 void parallel_for_chunks(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t)>& fn);
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    const CancelToken* cancel = nullptr);
 
 /// Element-wise facade over parallel_for_chunks: fn(i) for i in [begin, end).
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t)>& fn);
+                  const std::function<void(std::int64_t)>& fn,
+                  const CancelToken* cancel = nullptr);
 
 /// Deterministic reduction: `chunk(b, e)` maps each grain-sized chunk to a
 /// partial value; partials are combined with `combine` in ascending chunk

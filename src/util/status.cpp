@@ -1,0 +1,76 @@
+#include "util/status.hpp"
+
+#include "util/strings.hpp"
+
+namespace l2l::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kBudgetExceeded: return "budget-exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kParseError: return "parse-error";
+    case StatusCode::kInvalidInput: return "invalid-input";
+    case StatusCode::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (message.empty()) return status_code_name(code);
+  return std::string(status_code_name(code)) + ": " + message;
+}
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "error";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::string out;
+  if (line > 0) {
+    out += format("line %d", line);
+    if (column > 0) out += format(", col %d", column);
+    out += ": ";
+  }
+  out += severity_name(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+Diagnostic make_error(int line, int column, std::string message) {
+  return Diagnostic{Severity::kError, line, column, std::move(message)};
+}
+
+Diagnostic make_warning(int line, int column, std::string message) {
+  return Diagnostic{Severity::kWarning, line, column, std::move(message)};
+}
+
+std::string render_diagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) out += "  " + d.to_string() + "\n";
+  return out;
+}
+
+int exit_code_for(const Status& status) {
+  switch (status.code) {
+    case StatusCode::kOk: return kExitOk;
+    case StatusCode::kTimeout:
+    case StatusCode::kBudgetExceeded:
+    case StatusCode::kCancelled: return kExitBudget;
+    case StatusCode::kParseError: return kExitParse;
+    case StatusCode::kInvalidInput: return kExitParse;
+    case StatusCode::kInternalError: return kExitInternal;
+  }
+  return kExitInternal;
+}
+
+}  // namespace l2l::util

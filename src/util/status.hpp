@@ -1,0 +1,109 @@
+#pragma once
+// Structured error reporting for the grading service: a Status is the
+// machine-readable outcome of an engine run (ok / timeout / budget / parse
+// error / ...), and a Diagnostic is a line/column-anchored message a
+// grader or tool front-end can show a student. The MOOC's operational
+// contract -- arbitrary hostile submissions, graded unattended -- means
+// nothing in the grading path may abort; everything funnels into these
+// two types instead.
+//
+// The tools/ front-ends map StatusCode to a fixed exit-code convention
+// (documented in DESIGN.md "Failure model & resource guards"):
+//   0 success, 1 processing failure, 2 usage/IO error, 3 malformed input,
+//   4 resource budget exceeded, 5 internal error.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace l2l::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kTimeout,          ///< wall-clock deadline passed
+  kBudgetExceeded,   ///< step / node / iteration budget exhausted
+  kCancelled,        ///< cooperative cancellation token fired
+  kParseError,       ///< malformed input text
+  kInvalidInput,     ///< well-formed text, semantically impossible values
+  kInternalError,    ///< unexpected exception escaped an engine
+};
+
+const char* status_code_name(StatusCode code);
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  /// "kTimeout: stage 'route' exceeded 50ms" style rendering.
+  std::string to_string() const;
+
+  static Status okay() { return {}; }
+  static Status timeout(std::string msg) {
+    return {StatusCode::kTimeout, std::move(msg)};
+  }
+  static Status budget(std::string msg) {
+    return {StatusCode::kBudgetExceeded, std::move(msg)};
+  }
+  static Status cancelled(std::string msg) {
+    return {StatusCode::kCancelled, std::move(msg)};
+  }
+  static Status parse_error(std::string msg) {
+    return {StatusCode::kParseError, std::move(msg)};
+  }
+  static Status invalid(std::string msg) {
+    return {StatusCode::kInvalidInput, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternalError, std::move(msg)};
+  }
+};
+
+enum class Severity { kError, kWarning, kNote };
+
+/// One anchored finding in a student submission. line/column are 1-based;
+/// 0 means "not attributable to a position" (e.g. a file-level problem).
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  /// "line 12, col 7: error: bad cell index" (position parts omitted
+  /// when unknown).
+  std::string to_string() const;
+};
+
+Diagnostic make_error(int line, int column, std::string message);
+Diagnostic make_warning(int line, int column, std::string message);
+
+/// Render a diagnostic list one-per-line (the "one upload, full feedback"
+/// report block appended to grader output).
+std::string render_diagnostics(const std::vector<Diagnostic>& diags);
+
+/// Thrown by engines that unwind via exceptions when their Budget runs
+/// out (the BDD manager: recursion makes a return-code unwind invasive).
+/// API boundaries catch it and convert back to a Status.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  explicit BudgetExceededError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Shared tool exit-code convention (see header comment).
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitFail = 1,
+  kExitUsage = 2,
+  kExitParse = 3,
+  kExitBudget = 4,
+  kExitInternal = 5,
+};
+
+int exit_code_for(const Status& status);
+
+}  // namespace l2l::util

@@ -1,8 +1,11 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <limits>
 
 namespace l2l::util {
 
@@ -60,6 +63,40 @@ std::string format(const char* fmt, ...) {
   }
   va_end(args);
   return out;
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_integral(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  if (s.front() == '+') s.remove_prefix(1);  // from_chars rejects '+'
+  T value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<int> parse_int(std::string_view s) {
+  return parse_integral<int>(s);
+}
+
+std::optional<long long> parse_int64(std::string_view s) {
+  return parse_integral<long long>(s);
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  if (s.front() == '+') s.remove_prefix(1);
+  double value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
 }
 
 }  // namespace l2l::util

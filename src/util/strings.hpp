@@ -2,6 +2,7 @@
 // Small string utilities shared by the text-based tool front-ends
 // (BLIF/PLA/DIMACS parsers, the kbdd/sis script interpreters, graders).
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,5 +28,16 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Exception-free integer parse: the whole token must be a decimal integer
+/// that fits an int, else nullopt. The hardened parsers use this instead
+/// of std::stoi, which throws on garbage and on overflow.
+std::optional<int> parse_int(std::string_view s);
+
+/// Exception-free i64 parse (same contract as parse_int).
+std::optional<long long> parse_int64(std::string_view s);
+
+/// Exception-free floating-point parse: whole token, finite result.
+std::optional<double> parse_double(std::string_view s);
 
 }  // namespace l2l::util

@@ -1,0 +1,10 @@
+2
+net 0
+(0 0 0)
+(1 0 zebra)
+!
+net 1
+(0 1 0)
+(1 1 0)
+!
+net before terminator is fine but this line is not

@@ -18,10 +18,12 @@
 #include "grader/place_grader.hpp"
 #include "grader/route_grader.hpp"
 #include "linalg/cg.hpp"
+#include "mooc/grading_queue.hpp"
 #include "place/legalize.hpp"
 #include "place/quadratic.hpp"
 #include "route/router.hpp"
 #include "route/solution.hpp"
+#include "util/budget.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -167,6 +169,113 @@ TEST_F(DeterminismTest, BatchGradingIsThreadCountInvariant) {
       EXPECT_EQ(all[s][i].score, all[0][i].score);
       EXPECT_EQ(all[s][i].report, all[0][i].report);
     }
+  }
+}
+
+// A step-limited Budget is part of the determinism contract: the limit is
+// consumed at algorithmic boundaries (negotiation iterations, region
+// solves), never per wall-clock tick, so a guarded run that stops early
+// must stop at the SAME point -- bit-identical partial results -- at any
+// thread count. A grader that cuts a submission off must cut it off at
+// the same net on every machine.
+
+TEST_F(DeterminismTest, StepLimitedRouterIsThreadCountInvariant) {
+  util::Rng rng(2029);
+  gen::RoutingGenOptions gopt;
+  gopt.width = gopt.height = 40;
+  gopt.num_nets = 36;
+  const auto p = gen::generate_routing(gopt, rng);
+
+  std::vector<route::RouteSolution> sols;
+  for (const int t : kThreadCounts) {
+    util::set_num_threads(t);
+    const auto budget = util::Budget::with_step_limit(2);
+    route::RouterOptions opt;
+    opt.budget = &budget;
+    sols.push_back(route::route_all(p, opt));
+  }
+  for (std::size_t s = 1; s < sols.size(); ++s) {
+    EXPECT_EQ(sols[s].status.code, sols[0].status.code);
+    EXPECT_FALSE(sols[s].status.ok());  // the tiny budget really tripped
+    // The partial solution -- what a grader would score -- is identical.
+    EXPECT_EQ(route::write_solution(sols[s]), route::write_solution(sols[0]))
+        << "budget-limited partial solution differs at " << kThreadCounts[s]
+        << " threads";
+  }
+}
+
+TEST_F(DeterminismTest, StepLimitedPlacerIsThreadCountInvariant) {
+  util::Rng rng(2030);
+  gen::PlacementGenOptions gopt;
+  gopt.num_cells = 300;
+  const auto p = gen::generate_placement(gopt, rng);
+
+  std::vector<place::Placement> placements;
+  std::vector<place::QuadraticStats> stats;
+  for (const int t : kThreadCounts) {
+    util::set_num_threads(t);
+    const auto budget = util::Budget::with_step_limit(3);
+    place::QuadraticOptions opt;
+    opt.budget = &budget;
+    place::QuadraticStats st;
+    placements.push_back(place::place_quadratic(p, opt, &st));
+    stats.push_back(st);
+  }
+  for (std::size_t s = 1; s < placements.size(); ++s) {
+    EXPECT_EQ(stats[s].status.code, stats[0].status.code);
+    EXPECT_FALSE(stats[s].status.ok());
+    ASSERT_EQ(placements[s].x.size(), placements[0].x.size());
+    for (std::size_t c = 0; c < placements[0].x.size(); ++c) {
+      EXPECT_EQ(placements[s].x[c], placements[0].x[c]) << "cell " << c;
+      EXPECT_EQ(placements[s].y[c], placements[0].y[c]) << "cell " << c;
+    }
+  }
+}
+
+TEST_F(DeterminismTest, FaultInjectedQueueDrainIsThreadCountInvariant) {
+  std::vector<std::string> subs;
+  for (int i = 0; i < 24; ++i) subs.push_back(std::to_string(i));
+  mooc::QueueOptions qopt;
+  qopt.fault_seed = 99;
+  qopt.transient_fault_rate = 0.3;
+  qopt.stall_rate = 0.15;
+  qopt.max_retries = 3;
+  qopt.step_limit = 10;
+  const auto grade = [](const std::string& s, const util::Budget& budget) {
+    // Submission k consumes k steps: some submissions blow the budget,
+    // deterministically.
+    const int k = std::stoi(s);
+    for (int q = 0; q < k; ++q)
+      if (!budget.consume(1)) break;
+    return static_cast<double>(k);
+  };
+
+  std::vector<mooc::QueueResult> runs;
+  for (const int t : kThreadCounts) {
+    util::set_num_threads(t);
+    runs.push_back(mooc::drain_queue(subs, grade, qopt));
+  }
+  for (std::size_t s = 1; s < runs.size(); ++s) {
+    ASSERT_EQ(runs[s].outcomes.size(), runs[0].outcomes.size());
+    for (std::size_t i = 0; i < runs[0].outcomes.size(); ++i) {
+      const auto& a = runs[0].outcomes[i];
+      const auto& b = runs[s].outcomes[i];
+      EXPECT_EQ(b.kind, a.kind) << "submission " << i;
+      EXPECT_EQ(b.score, a.score) << "submission " << i;
+      EXPECT_EQ(b.attempts, a.attempts) << "submission " << i;
+      EXPECT_EQ(b.backoff_ticks, a.backoff_ticks) << "submission " << i;
+      EXPECT_EQ(b.status.code, a.status.code) << "submission " << i;
+      EXPECT_EQ(b.diagnostic, a.diagnostic) << "submission " << i;
+    }
+    EXPECT_EQ(runs[s].stats.graded, runs[0].stats.graded);
+    EXPECT_EQ(runs[s].stats.failed, runs[0].stats.failed);
+    EXPECT_EQ(runs[s].stats.budget_exceeded, runs[0].stats.budget_exceeded);
+    EXPECT_EQ(runs[s].stats.retries_exhausted,
+              runs[0].stats.retries_exhausted);
+    EXPECT_EQ(runs[s].stats.total_attempts, runs[0].stats.total_attempts);
+    EXPECT_EQ(runs[s].stats.injected_transients,
+              runs[0].stats.injected_transients);
+    EXPECT_EQ(runs[s].stats.injected_stalls, runs[0].stats.injected_stalls);
   }
 }
 

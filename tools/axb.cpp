@@ -10,6 +10,10 @@
 //
 // Solves A x = b with Gaussian elimination (partial pivoting); with
 // --cg uses conjugate gradient (requires symmetric positive definite A).
+//
+// Exit codes follow the shared convention (util/status.hpp): 0 ok,
+// 1 solve failure, 2 usage/IO, 3 malformed input, 4 budget exceeded,
+// 5 internal error.
 
 #include <fstream>
 #include <iostream>
@@ -18,16 +22,37 @@
 #include "linalg/cg.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/sparse.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int fail(const l2l::util::Status& status) {
+  std::cerr << "error: " << status.to_string() << "\n";
+  return l2l::util::exit_code_for(status);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   bool use_cg = false;
+  std::int64_t time_limit_ms = -1;
   std::string path;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg == "--cg")
+    if (arg == "--cg") {
       use_cg = true;
-    else
+    } else if (arg == "--time-limit-ms") {
+      if (k + 1 >= argc)
+        return fail(l2l::util::Status::invalid("--time-limit-ms needs a value"));
+      const auto v = l2l::util::parse_int64(argv[++k]);
+      if (!v || *v < 0)
+        return fail(l2l::util::Status::invalid("bad --time-limit-ms value"));
+      time_limit_ms = *v;
+    } else {
       path = arg;
+    }
   }
 
   std::ifstream file;
@@ -36,29 +61,32 @@ int main(int argc, char** argv) {
     file.open(path);
     if (!file) {
       std::cerr << "cannot open " << path << "\n";
-      return 2;
+      return l2l::util::kExitUsage;
     }
     in = &file;
   }
 
+  // The dimension sizes an n*n dense allocation, so it is validated
+  // before any memory is touched: a submission declaring n = 10^9 gets a
+  // diagnostic, not an OOM abort.
+  constexpr int kMaxDim = 4096;
   int n = 0;
-  if (!(*in >> n) || n <= 0) {
-    std::cerr << "error: bad dimension\n";
-    return 2;
-  }
+  if (!(*in >> n))
+    return fail(l2l::util::Status::parse_error("bad or missing dimension"));
+  if (n <= 0 || n > kMaxDim)
+    return fail(l2l::util::Status::invalid(
+        l2l::util::format("dimension %d out of range [1, %d]", n, kMaxDim)));
   l2l::linalg::DenseMatrix a(n, n);
   for (int i = 0; i < n; ++i)
     for (int j = 0; j < n; ++j)
-      if (!(*in >> a.at(i, j))) {
-        std::cerr << "error: matrix entries missing\n";
-        return 2;
-      }
+      if (!(*in >> a.at(i, j)))
+        return fail(l2l::util::Status::parse_error(l2l::util::format(
+            "matrix entry (%d, %d) missing or not a number", i, j)));
   std::vector<double> b(static_cast<std::size_t>(n));
-  for (auto& v : b)
-    if (!(*in >> v)) {
-      std::cerr << "error: rhs entries missing\n";
-      return 2;
-    }
+  for (std::size_t i = 0; i < b.size(); ++i)
+    if (!(*in >> b[i]))
+      return fail(l2l::util::Status::parse_error(l2l::util::format(
+          "rhs entry %d missing or not a number", static_cast<int>(i))));
 
   if (use_cg) {
     l2l::linalg::SparseMatrix s(n);
@@ -66,29 +94,42 @@ int main(int argc, char** argv) {
       for (int j = 0; j < n; ++j)
         if (a.at(i, j) != 0.0) s.add(i, j, a.at(i, j));
     s.compress();
-    if (!s.is_symmetric(1e-9)) {
-      std::cerr << "error: --cg requires a symmetric matrix\n";
-      return 2;
+    if (!s.is_symmetric(1e-9))
+      return fail(
+          l2l::util::Status::invalid("--cg requires a symmetric matrix"));
+    l2l::util::Budget budget;
+    l2l::linalg::CgOptions cgopt;
+    if (time_limit_ms >= 0) {
+      budget.set_deadline_ms(time_limit_ms);
+      cgopt.budget = &budget;
     }
-    const auto res = l2l::linalg::conjugate_gradient(s, b);
+    const auto res = l2l::linalg::conjugate_gradient(s, b, cgopt);
     if (!res.converged) {
+      if (time_limit_ms >= 0 && budget.exhausted()) return fail(budget.status());
       std::cerr << "error: CG did not converge (residual " << res.residual
                 << ")\n";
-      return 1;
+      return l2l::util::kExitFail;
     }
     std::cout << "x =";
     for (const double v : res.x) std::cout << " " << v;
     std::cout << "\n# cg iterations " << res.iterations << "\n";
-    return 0;
+    return l2l::util::kExitOk;
   }
 
   const auto x = l2l::linalg::solve_gauss(a, b);
   if (!x) {
     std::cerr << "error: singular matrix\n";
-    return 1;
+    return l2l::util::kExitFail;
   }
   std::cout << "x =";
   for (const double v : *x) std::cout << " " << v;
   std::cout << "\n";
-  return 0;
+  return l2l::util::kExitOk;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
+            << "\n";
+  return l2l::util::kExitInternal;
+} catch (...) {
+  std::cerr << "error: internal-error: unknown\n";
+  return l2l::util::kExitInternal;
 }

@@ -4,6 +4,8 @@
 // writes the minimized PLA to stdout.
 //
 // Flags: --exact, --stats, --single-pass (ablation).
+//
+// Exit codes: 0 ok, 2 usage/IO, 3 malformed PLA, 5 internal error.
 
 #include <fstream>
 #include <iostream>
@@ -12,8 +14,9 @@
 #include "espresso/minimize.hpp"
 #include "espresso/pla.hpp"
 #include "espresso/qm.hpp"
+#include "util/status.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   bool exact = false, show_stats = false, single_pass = false;
   std::string path;
   for (int k = 1; k < argc; ++k) {
@@ -44,8 +47,15 @@ int main(int argc, char** argv) {
     text = ss.str();
   }
 
+  l2l::espresso::Pla pla;
   try {
-    auto pla = l2l::espresso::parse_pla(text);
+    pla = l2l::espresso::parse_pla(text);
+  } catch (const std::exception& e) {
+    std::cerr << "error: "
+              << l2l::util::Status::parse_error(e.what()).to_string() << "\n";
+    return l2l::util::kExitParse;
+  }
+  {
     for (auto& out : pla.outputs) {
       const int before_cubes = out.on.size();
       const int before_lits = out.on.num_literals();
@@ -63,9 +73,13 @@ int main(int argc, char** argv) {
                   << out.on.num_literals() << "\n";
     }
     std::cout << l2l::espresso::write_pla(pla);
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    return l2l::util::kExitOk;
   }
+} catch (const std::exception& e) {
+  std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
+            << "\n";
+  return l2l::util::kExitInternal;
+} catch (...) {
+  std::cerr << "error: internal-error: unknown\n";
+  return l2l::util::kExitInternal;
 }

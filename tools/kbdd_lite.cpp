@@ -14,7 +14,11 @@
 //   exists <f> <var> / forall <f> <var>  quantify, result in `it`
 //   dot <f>                Graphviz DOT dump
 //
-// Usage: kbdd_lite [script-file]   (default: stdin)
+// Usage: kbdd_lite [--node-limit N] [--time-limit-ms N] [script-file]
+// (default input: stdin)
+//
+// Exit codes: 0 ok, 2 usage/IO, 3 malformed script, 4 resource budget
+// exceeded (node/time limit), 5 internal error.
 
 #include <fstream>
 #include <iostream>
@@ -24,6 +28,8 @@
 
 #include "bdd/bdd.hpp"
 #include "bdd/manager.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -33,6 +39,8 @@ using l2l::bdd::Manager;
 
 class Calculator {
  public:
+  void set_budget(const l2l::util::Budget* budget) { mgr_.set_budget(budget); }
+
   int run(std::istream& in, std::ostream& out) {
     std::string line;
     int lineno = 0;
@@ -42,12 +50,15 @@ class Calculator {
       if (t.empty() || t[0] == '#') continue;
       try {
         execute(t, out);
+      } catch (const l2l::util::BudgetExceededError& e) {
+        out << "error on line " << lineno << ": " << e.what() << "\n";
+        return l2l::util::exit_code_for(e.status());
       } catch (const std::exception& e) {
         out << "error on line " << lineno << ": " << e.what() << "\n";
-        return 1;
+        return l2l::util::kExitParse;
       }
     }
-    return 0;
+    return l2l::util::kExitOk;
   }
 
  private:
@@ -215,15 +226,47 @@ class Calculator {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Calculator calc;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  l2l::util::Budget budget;
+  bool have_budget = false;
+  std::string path;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--node-limit" || arg == "--time-limit-ms") {
+      if (k + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        return l2l::util::kExitUsage;
+      }
+      const auto v = l2l::util::parse_int64(argv[++k]);
+      if (!v || *v < 0) {
+        std::cerr << "error: bad " << arg << " value\n";
+        return l2l::util::kExitUsage;
+      }
+      if (arg == "--node-limit")
+        budget.set_step_limit(*v);
+      else
+        budget.set_deadline_ms(*v);
+      have_budget = true;
+    } else {
+      path = arg;
+    }
+  }
+  if (have_budget) calc.set_budget(&budget);
+  if (!path.empty()) {
+    std::ifstream in(path);
     if (!in) {
-      std::cerr << "cannot open " << argv[1] << "\n";
-      return 2;
+      std::cerr << "cannot open " << path << "\n";
+      return l2l::util::kExitUsage;
     }
     return calc.run(in, std::cout);
   }
   return calc.run(std::cin, std::cout);
+} catch (const std::exception& e) {
+  std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
+            << "\n";
+  return l2l::util::kExitInternal;
+} catch (...) {
+  std::cerr << "error: internal-error: unknown\n";
+  return l2l::util::kExitInternal;
 }

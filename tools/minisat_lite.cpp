@@ -2,7 +2,13 @@
 // portal workalike). Reads DIMACS from a file argument or stdin; prints
 // SATISFIABLE with a model line, or UNSATISFIABLE, plus solver statistics.
 //
-// Flags: --no-vsids --no-restarts (heuristic ablations), --stats.
+// Flags: --no-vsids --no-restarts (heuristic ablations), --stats,
+// --time-limit-ms N / --prop-limit N (resource guards; an INDETERMINATE
+// result from an exhausted guard exits 4).
+//
+// Exit codes: 10 SAT, 20 UNSAT (the MiniSat convention), plus the shared
+// convention for everything else: 2 usage/IO, 3 malformed input, 4 budget
+// exceeded, 5 internal error.
 
 #include <fstream>
 #include <iostream>
@@ -11,22 +17,49 @@
 
 #include "sat/dimacs.hpp"
 #include "sat/solver.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int fail(const l2l::util::Status& status) {
+  std::cerr << "error: " << status.to_string() << "\n";
+  return l2l::util::exit_code_for(status);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   l2l::sat::SolverOptions opt;
+  l2l::util::Budget budget;
   bool show_stats = false;
+  bool have_budget = false;
   std::string path;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg == "--no-vsids")
+    if (arg == "--no-vsids") {
       opt.use_vsids = false;
-    else if (arg == "--no-restarts")
+    } else if (arg == "--no-restarts") {
       opt.use_restarts = false;
-    else if (arg == "--stats")
+    } else if (arg == "--stats") {
       show_stats = true;
-    else
+    } else if (arg == "--time-limit-ms" || arg == "--prop-limit") {
+      if (k + 1 >= argc)
+        return fail(l2l::util::Status::invalid(arg + " needs a value"));
+      const auto v = l2l::util::parse_int64(argv[++k]);
+      if (!v || *v < 0)
+        return fail(l2l::util::Status::invalid("bad " + arg + " value"));
+      if (arg == "--time-limit-ms")
+        budget.set_deadline_ms(*v);
+      else
+        budget.set_step_limit(*v);
+      have_budget = true;
+    } else {
       path = arg;
+    }
   }
+  if (have_budget) opt.budget = &budget;
 
   std::string text;
   if (!path.empty()) {
@@ -44,24 +77,34 @@ int main(int argc, char** argv) {
     text = ss.str();
   }
 
+  l2l::sat::CnfFormula formula;
   try {
-    const auto formula = l2l::sat::parse_dimacs(text);
-    l2l::sat::Solver solver(opt);
-    l2l::sat::LBool result = l2l::sat::LBool::kFalse;
-    if (l2l::sat::load_into_solver(formula, solver)) result = solver.solve();
-    std::cout << l2l::sat::result_text(solver, result);
-    if (show_stats) {
-      const auto& s = solver.stats();
-      std::cout << "c decisions " << s.decisions << " propagations "
-                << s.propagations << " conflicts " << s.conflicts
-                << " restarts " << s.restarts << " learnts "
-                << s.learnt_clauses << "\n";
-    }
-    return result == l2l::sat::LBool::kTrue ? 10
-           : result == l2l::sat::LBool::kFalse ? 20
-                                               : 0;
+    formula = l2l::sat::parse_dimacs(text);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    return fail(l2l::util::Status::parse_error(e.what()));
   }
+  l2l::sat::Solver solver(opt);
+  l2l::sat::LBool result = l2l::sat::LBool::kFalse;
+  if (l2l::sat::load_into_solver(formula, solver)) result = solver.solve();
+  std::cout << l2l::sat::result_text(solver, result);
+  if (show_stats) {
+    const auto& s = solver.stats();
+    std::cout << "c decisions " << s.decisions << " propagations "
+              << s.propagations << " conflicts " << s.conflicts
+              << " restarts " << s.restarts << " learnts "
+              << s.learnt_clauses << "\n";
+  }
+  if (result == l2l::sat::LBool::kTrue) return 10;
+  if (result == l2l::sat::LBool::kFalse) return 20;
+  // INDETERMINATE: report why the solver stopped. A tripped resource
+  // guard exits 4 so grading scripts can tell "slow" from "wrong".
+  if (!solver.stop_reason().ok()) return fail(solver.stop_reason());
+  return l2l::util::kExitOk;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
+            << "\n";
+  return l2l::util::kExitInternal;
+} catch (...) {
+  std::cerr << "error: internal-error: unknown\n";
+  return l2l::util::kExitInternal;
 }
