@@ -1,0 +1,120 @@
+// Observability layer benchmarks: what a counter bump, a histogram
+// observation, and a span cost when metrics are enabled, and -- the
+// number DESIGN.md's zero-cost-when-disabled claim rests on -- what they
+// cost with L2L_OBS off. Also measures snapshot/export, the sequential
+// merge the deterministic contract pays once per report.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace l2l;
+
+void BM_CounterEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  for (auto _ : state) obs::count("bench.counter");
+  state.SetItemsProcessed(state.iterations());
+  obs::Registry::global().reset();
+}
+BENCHMARK(BM_CounterEnabled);
+
+void BM_CounterDisabled(benchmark::State& state) {
+  // The kill-switch path: one relaxed atomic load, no shard touch.
+  obs::set_enabled(false);
+  for (auto _ : state) obs::count("bench.counter");
+  state.SetItemsProcessed(state.iterations());
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+}
+BENCHMARK(BM_CounterDisabled);
+
+void BM_HistogramEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  std::int64_t v = 0;
+  for (auto _ : state) obs::observe("bench.hist", ++v & 1023);
+  state.SetItemsProcessed(state.iterations());
+  obs::Registry::global().reset();
+}
+BENCHMARK(BM_HistogramEnabled);
+
+void BM_HistogramDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  std::int64_t v = 0;
+  for (auto _ : state) obs::observe("bench.hist", ++v & 1023);
+  state.SetItemsProcessed(state.iterations());
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+}
+BENCHMARK(BM_HistogramDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::set_enabled(true);
+  obs::Tracer::global().reset();
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SnapshotMerge(benchmark::State& state) {
+  // Fold `threads` populated shards into one deterministic snapshot.
+  const int threads = static_cast<int>(state.range(0));
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  util::set_num_threads(threads);
+  util::parallel_for(0, 4096, 64, [](std::int64_t i) {
+    obs::count("bench.merge." + std::to_string(i % 32));
+    obs::observe("bench.merge.hist", i);
+  });
+  for (auto _ : state) {
+    auto snap = obs::Registry::global().snapshot();
+    benchmark::DoNotOptimize(snap.counters.size());
+  }
+  util::set_num_threads(0);
+  state.counters["threads"] = threads;
+  obs::Registry::global().reset();
+}
+BENCHMARK(BM_SnapshotMerge)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DeterministicExport(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  for (int i = 0; i < 64; ++i) {
+    obs::count("bench.export." + std::to_string(i), i + 1);
+    obs::observe("bench.export.hist", i * i);
+  }
+  for (auto _ : state) {
+    std::string text = obs::Registry::global().export_deterministic_text();
+    benchmark::DoNotOptimize(text.data());
+  }
+  obs::Registry::global().reset();
+}
+BENCHMARK(BM_DeterministicExport);
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bdd/bdd.hpp"
+#include "obs/metrics.hpp"
 
 namespace l2l::bdd {
 
@@ -10,6 +11,21 @@ Manager::Manager(int num_vars) : num_vars_(num_vars) {
   if (num_vars < 0) throw std::invalid_argument("Manager: negative num_vars");
   // Slot 0 is the constant-1 terminal.
   nodes_.push_back(Node{kLevelTerminal, Edge{}, Edge{}, 1});
+}
+
+Manager::~Manager() { flush_metrics(); }
+
+void Manager::flush_metrics() {
+  if (!obs::enabled()) {
+    flushed_ = stats_;  // keep the baseline current so re-enabling is sane
+    return;
+  }
+  obs::count("bdd.nodes_created", stats_.nodes_created - flushed_.nodes_created);
+  obs::count("bdd.unique_hits", stats_.unique_hits - flushed_.unique_hits);
+  obs::count("bdd.cache_lookups", stats_.cache_lookups - flushed_.cache_lookups);
+  obs::count("bdd.cache_hits", stats_.cache_hits - flushed_.cache_hits);
+  obs::count("bdd.gc_runs", stats_.gc_runs - flushed_.gc_runs);
+  flushed_ = stats_;
 }
 
 int Manager::new_var() { return num_vars_++; }
@@ -35,8 +51,10 @@ Edge Manager::make_node(std::uint32_t var, Edge lo, Edge hi) {
   if (hi.complemented()) return !make_node(var, !lo, !hi);
 
   const UniqueKey key{var, lo.bits, hi.bits};
-  if (auto it = unique_.find(key); it != unique_.end())
+  if (auto it = unique_.find(key); it != unique_.end()) {
+    ++stats_.unique_hits;
     return Edge::make(it->second, false);
+  }
 
   // Resource guard: only *fresh* allocations consume budget, so cache
   // hits (the common case) stay free and the node count is the step unit.
@@ -56,6 +74,7 @@ Edge Manager::make_node(std::uint32_t var, Edge lo, Edge hi) {
     nodes_.push_back(Node{var, lo, hi, 0});
   }
   unique_.emplace(key, idx);
+  ++stats_.nodes_created;
   return Edge::make(idx, false);
 }
 
@@ -93,8 +112,11 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
   }
 
   const IteKey key{f.bits, g.bits, h.bits};
-  if (auto it = computed_.find(key); it != computed_.end())
+  ++stats_.cache_lookups;
+  if (auto it = computed_.find(key); it != computed_.end()) {
+    ++stats_.cache_hits;
     return complement_result ? !it->second : it->second;
+  }
 
   const std::uint32_t top =
       std::min(level_of(f), std::min(level_of(g), level_of(h)));
@@ -195,6 +217,7 @@ std::size_t Manager::num_live_nodes() const {
 
 void Manager::garbage_collect() {
   ++gc_count_;
+  ++stats_.gc_runs;
   std::vector<bool> mark(nodes_.size(), false);
   mark[kTerminal] = true;
   std::vector<std::uint32_t> stack;

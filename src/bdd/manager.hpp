@@ -34,6 +34,17 @@ namespace l2l::bdd {
 
 class Bdd;
 
+/// Cheap local tallies kept by the manager's hot paths (one integer
+/// increment each -- no registry calls in make_node/ite). Deltas are
+/// flushed to the obs registry by flush_metrics() and the destructor.
+struct ManagerStats {
+  std::int64_t nodes_created = 0;   ///< fresh unique-table insertions
+  std::int64_t unique_hits = 0;     ///< make_node served from unique table
+  std::int64_t cache_lookups = 0;   ///< computed-table probes in ite()
+  std::int64_t cache_hits = 0;      ///< computed-table hits in ite()
+  std::int64_t gc_runs = 0;         ///< garbage collections
+};
+
 /// An edge into the shared DAG: node index with a complement bit in bit 0.
 struct Edge {
   std::uint32_t bits = 0;
@@ -51,6 +62,7 @@ class Manager {
  public:
   /// `num_vars` may grow later via new_var().
   explicit Manager(int num_vars = 0);
+  ~Manager();
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
@@ -87,6 +99,14 @@ class Manager {
   /// fully usable afterwards.
   void set_budget(const util::Budget* budget) { budget_ = budget; }
   const util::Budget* budget() const { return budget_; }
+
+  /// Lifetime tallies of this manager's hot paths (monotone).
+  const ManagerStats& stats() const { return stats_; }
+
+  /// Push the delta since the last flush into the obs registry
+  /// (bdd.nodes_created, bdd.cache_hits, ...). Also called by the
+  /// destructor, so short-lived managers report without ceremony.
+  void flush_metrics();
 
  private:
   friend class Bdd;
@@ -165,6 +185,8 @@ class Manager {
   int gc_count_ = 0;
   std::size_t gc_threshold_ = 1 << 16;
   const util::Budget* budget_ = nullptr;
+  ManagerStats stats_;
+  ManagerStats flushed_;  // values already pushed to the obs registry
 };
 
 }  // namespace l2l::bdd

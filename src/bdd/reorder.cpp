@@ -5,6 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace l2l::bdd {
 namespace {
 
@@ -84,11 +87,14 @@ ReorderResult Reorderer::with_order(const std::vector<Bdd>& roots,
 
 ReorderResult reorder_with_order(const std::vector<Bdd>& roots,
                                  const std::vector<int>& order) {
+  obs::count("bdd.reorder.rebuilds");
   return Reorderer::with_order(roots, order);
 }
 
 ReorderResult sift(const std::vector<Bdd>& roots, int max_passes) {
   if (roots.empty()) throw std::invalid_argument("sift: no roots");
+  obs::ScopedSpan span("bdd.sift");
+  obs::count("bdd.reorder.sift_calls");
   const int n = roots.front().manager()->num_vars();
   std::vector<int> best_order(static_cast<std::size_t>(n));
   std::iota(best_order.begin(), best_order.end(), 0);
@@ -96,6 +102,7 @@ ReorderResult sift(const std::vector<Bdd>& roots, int max_passes) {
   const std::size_t original_size = best_size;
 
   for (int pass = 0; pass < max_passes; ++pass) {
+    obs::count("bdd.reorder.passes");
     bool improved = false;
     for (int v = 0; v < n; ++v) {
       // Try variable v at every position of the current best order.

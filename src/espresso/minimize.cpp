@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "cubes/urp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace l2l::espresso {
 
@@ -145,6 +147,14 @@ Cover minimize(const Cover& f, const Cover& dc, const MinimizeOptions& options,
   local.final_cubes = g.size();
   local.final_literals = g.num_literals();
   if (stats) *stats = local;
+  if (obs::enabled()) {
+    obs::count("espresso.minimize_calls");
+    obs::count("espresso.iterations", local.iterations);
+    obs::count("espresso.cubes_in", local.initial_cubes);
+    obs::count("espresso.cubes_out", local.final_cubes);
+    obs::observe("espresso.literals_saved",
+                 std::max(0, local.initial_literals - local.final_literals));
+  }
   return g;
 }
 

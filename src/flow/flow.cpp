@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "mls/script.hpp"
 #include "network/blif.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "place/quadratic.hpp"
 #include "place/wirelength.hpp"
 #include "timing/elmore.hpp"
@@ -57,8 +61,13 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
     return false;
   };
 
+  // Per-stage spans: emplace closes the previous stage's span before
+  // opening the next, so the Chrome trace shows back-to-back intervals.
+  std::optional<obs::ScopedSpan> stage_span;
+
   // ---- Logic optimization (Weeks 3-4) ----------------------------------
   if (!stage_ok("synthesis")) return;
+  stage_span.emplace("flow.stage.synthesis", "flow");
   Network net = network::parse_blif(network::write_blif(input));
   res.literals_before = net.num_literals();
   if (opt.optimize_logic) {
@@ -67,9 +76,12 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
     mls::optimize(net, sopt);
   }
   res.literals_after = net.num_literals();
+  obs::gauge_set("flow.literals_before", res.literals_before);
+  obs::gauge_set("flow.literals_after", res.literals_after);
 
   // ---- Technology mapping (Week 5) --------------------------------------
   if (!stage_ok("mapping")) return;
+  stage_span.emplace("flow.stage.mapping", "flow");
   const auto lib = techmap::default_library();
   res.mapped = techmap::technology_map(net, lib, opt.objective);
   const Network& mapped = res.mapped.netlist;
@@ -157,8 +169,12 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
       }
   }
 
+  obs::gauge_set("flow.mapped_gates",
+                 static_cast<std::int64_t>(res.mapped.gates.size()));
+
   // ---- Place (Week 6) ----------------------------------------------------
   if (!stage_ok("placement")) return;
+  stage_span.emplace("flow.stage.placement", "flow");
   res.grid = place::Grid{side_cells, side_cells, prob.width, prob.height};
   place::QuadraticOptions qopt;
   qopt.budget = opt.budget;
@@ -168,6 +184,7 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
 
   // ---- Routing problem construction (Week 7) -----------------------------
   if (!stage_ok("routing")) return;
+  stage_span.emplace("flow.stage.routing", "flow");
   const int resolution = opt.route_grid_per_site;
   auto& rp = res.routing_problem;
   rp.width = side_cells * resolution;
@@ -225,6 +242,7 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
 
   // ---- Timing (Week 8): gate delays + Elmore wire delay ------------------
   if (!stage_ok("timing")) return;
+  stage_span.emplace("flow.stage.timing", "flow");
   auto delays = timing::cell_delays(mapped, lib);
   res.gate_delay = timing::analyze(mapped, delays).critical_delay;
   timing::WireParasitics par;
@@ -254,6 +272,8 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
 }  // namespace
 
 FlowResult run_flow(const Network& input, const FlowOptions& opt) {
+  obs::ScopedSpan span("flow.run", "flow");
+  obs::count("flow.runs");
   FlowResult res;
   try {
     run_flow_impl(input, opt, res);

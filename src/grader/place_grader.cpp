@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "place/wirelength.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -90,6 +92,7 @@ PlaceGrade grade_placement(const gen::PlacementProblem& problem,
                            const place::Grid& grid,
                            const place::GridPlacement& gp,
                            double reference_hpwl) {
+  obs::ScopedSpan span("grader.place.grade", "grader");
   PlaceGrade g;
   if (static_cast<int>(gp.col.size()) != problem.num_cells) {
     g.reason = "wrong cell count";
@@ -139,13 +142,19 @@ std::vector<PlaceGrade> grade_placement_batch(
     const gen::PlacementProblem& problem, const place::Grid& grid,
     const std::vector<std::string>& submissions, double reference_hpwl,
     const BatchOptions& opt) {
+  obs::ScopedSpan span("grader.place.batch", "grader");
+  obs::count("grader.place.batch_calls");
+  obs::count("grader.place.submissions",
+             static_cast<std::int64_t>(submissions.size()));
   std::vector<PlaceGrade> grades(submissions.size());
   util::parallel_for(
       0, static_cast<std::int64_t>(submissions.size()), 1,
       [&](std::int64_t s) {
         const auto i = static_cast<std::size_t>(s);
+        obs::ScopedSpan sub_span("grader.place.submission", "grader");
         const int attempts = std::max(1, opt.max_attempts);
         for (int attempt = 0; attempt < attempts; ++attempt) {
+          if (attempt > 0) obs::count("grader.place.retries");
           if (attempt > 0 && opt.backoff_base_ms > 0)
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 static_cast<std::int64_t>(opt.backoff_base_ms)
@@ -167,6 +176,14 @@ std::vector<PlaceGrade> grade_placement_batch(
           }
         }
       });
+  // Sequential epilogue: outcome tallies in submission order.
+  if (obs::enabled()) {
+    std::int64_t failed = 0;
+    for (const auto& g : grades) failed += g.status.ok() ? 0 : 1;
+    obs::count("grader.place.failed", failed);
+    obs::count("grader.place.graded",
+               static_cast<std::int64_t>(grades.size()) - failed);
+  }
   return grades;
 }
 

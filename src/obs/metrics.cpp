@@ -1,0 +1,208 @@
+#include "obs/metrics.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace l2l::obs {
+
+namespace {
+
+std::atomic<int> g_enabled{-1};  // -1 = not yet resolved from env
+
+bool resolve_enabled_from_env() {
+  const char* v = std::getenv("L2L_OBS");
+  if (v == nullptr) return true;
+  std::string s(v);
+  return !(s == "0" || s == "off" || s == "false" || s == "no");
+}
+
+}  // namespace
+
+bool enabled() {
+  int e = g_enabled.load(std::memory_order_relaxed);
+  if (e < 0) {
+    e = resolve_enabled_from_env() ? 1 : 0;
+    g_enabled.store(e, std::memory_order_relaxed);
+  }
+  return e != 0;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::int64_t histogram_bucket_bound(int i) {
+  if (i < 0) return 0;
+  if (i >= kHistogramBuckets - 1)
+    return std::numeric_limits<std::int64_t>::max();
+  return std::int64_t{1} << i;
+}
+
+int histogram_bucket_index(std::int64_t v) {
+  if (v <= 1) return 0;
+  // Smallest i with v <= 2^i; 64 - clz(v - 1) for v >= 2.
+  int i = 64 - std::countl_zero(static_cast<std::uint64_t>(v - 1));
+  return i < kHistogramBuckets - 1 ? i : kHistogramBuckets - 1;
+}
+
+// ---- registry -----------------------------------------------------------
+
+struct Registry::Shard {
+  std::mutex mu;  // uncontended on the owning thread's hot path
+  std::map<std::string, std::int64_t, std::less<>> counters;
+  std::map<std::string, std::int64_t, std::less<>> gauge_maxes;
+  std::map<std::string, HistogramData, std::less<>> histograms;
+};
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+// Per-thread cache of (registry id -> shard). Keyed by id, not address,
+// so a destroyed-and-reallocated registry can never alias a stale entry.
+struct ShardCacheEntry {
+  std::uint64_t registry_id = 0;
+  void* shard = nullptr;  // Registry::Shard* (type is private to Registry)
+};
+thread_local ShardCacheEntry t_shard_cache;
+
+}  // namespace
+
+Registry::Registry() : id_(g_next_registry_id.fetch_add(1)) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: threads may outlive exit
+  return *r;
+}
+
+Registry::Shard& Registry::local_shard() {
+  if (t_shard_cache.registry_id == id_ && t_shard_cache.shard != nullptr)
+    return *static_cast<Shard*>(t_shard_cache.shard);
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* s = shards_.back().get();
+  t_shard_cache = {id_, s};
+  return *s;
+}
+
+void Registry::count(std::string_view name, std::int64_t delta) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end())
+    s.counters.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void Registry::gauge_set(std::string_view name, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+void Registry::gauge_max(std::string_view name, std::int64_t value) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.gauge_maxes.find(name);
+  if (it == s.gauge_maxes.end())
+    s.gauge_maxes.emplace(std::string(name), value);
+  else if (value > it->second)
+    it->second = value;
+}
+
+void Registry::observe(std::string_view name, std::int64_t value) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    HistogramData h;
+    h.observe(value);
+    s.histograms.emplace(std::string(name), h);
+  } else {
+    it->second.observe(value);
+  }
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.gauges = gauges_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> slock(shard->mu);
+    for (const auto& [name, v] : shard->counters) out.counters[name] += v;
+    for (const auto& [name, v] : shard->gauge_maxes) {
+      auto it = out.gauges.find(name);
+      if (it == out.gauges.end())
+        out.gauges.emplace(name, v);
+      else if (v > it->second)
+        it->second = v;
+    }
+    for (const auto& [name, h] : shard->histograms)
+      out.histograms[name].merge(h);
+  }
+  return out;
+}
+
+std::string Registry::export_deterministic_text() const {
+  Snapshot snap = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters)
+    os << "counter " << name << ' ' << v << '\n';
+  for (const auto& [name, v] : snap.gauges)
+    os << "gauge " << name << ' ' << v << '\n';
+  for (const auto& [name, h] : snap.histograms) {
+    os << "histogram " << name << " count " << h.count << " sum " << h.sum;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      const std::int64_t n = h.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      os << " le";
+      if (i >= kHistogramBuckets - 1)
+        os << "_inf";
+      else
+        os << histogram_bucket_bound(i);
+      os << ':' << n;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.clear();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> slock(shard->mu);
+    shard->counters.clear();
+    shard->gauge_maxes.clear();
+    shard->histograms.clear();
+  }
+}
+
+// ---- free helpers -------------------------------------------------------
+
+void count(std::string_view name, std::int64_t delta) {
+  if (!enabled()) return;
+  Registry::global().count(name, delta);
+}
+
+void gauge_set(std::string_view name, std::int64_t value) {
+  if (!enabled()) return;
+  Registry::global().gauge_set(name, value);
+}
+
+void gauge_max(std::string_view name, std::int64_t value) {
+  if (!enabled()) return;
+  Registry::global().gauge_max(name, value);
+}
+
+void observe(std::string_view name, std::int64_t value) {
+  if (!enabled()) return;
+  Registry::global().observe(name, value);
+}
+
+}  // namespace l2l::obs

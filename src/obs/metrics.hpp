@@ -1,0 +1,152 @@
+#pragma once
+// Deterministic metrics for every engine and service: named counters,
+// gauges, and fixed-bucket histograms collected into per-thread shards.
+//
+// The MOOC's operators ran five cloud tools and two project graders at
+// planet scale; understanding *why* a submission was slow, retried, or
+// budget-killed needs per-stage numbers that are comparable across
+// machines. The design contract mirrors the threading substrate's:
+//
+//   **Every deterministic metric is bit-identical at any L2L_THREADS.**
+//
+// Three rules deliver it:
+//
+//  1. Engines update metrics at deterministic algorithmic boundaries
+//     (end of a solve, a negotiation iteration, a region solve, a
+//     submission fold) -- inner loops keep accumulating into their cheap
+//     local stats structs and flush the delta once, so instrumentation
+//     costs nothing per iteration.
+//  2. Counter, gauge-max, and histogram merges are commutative integer
+//     sums/maxes over per-thread shards, so the totals cannot depend on
+//     which lane did the work. Plain gauge_set is last-write and therefore
+//     only legal from sequential program points.
+//  3. Export renders names in sorted order, so the deterministic section
+//     of the report is byte-stable (a golden file can pin it down).
+//
+// Wall-clock durations are *never* part of the deterministic export; they
+// live in the span tracer (trace.hpp) and in the separate
+// "nondeterministic" report section.
+//
+// Kill switch: L2L_OBS=0 disables collection at runtime. The flag is read
+// once and cached; every entry point checks it once per flush/span, never
+// per inner-loop increment.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace l2l::obs {
+
+/// Collection on/off. Defaults to on; L2L_OBS=0 in the environment turns
+/// it off (read once, cached).
+bool enabled();
+
+/// Test/bench override of the cached kill switch.
+void set_enabled(bool on);
+
+// ---- histograms ---------------------------------------------------------
+
+/// Fixed power-of-two bucket edges: bucket i < kHistogramBuckets-1 counts
+/// values <= 2^i; the last bucket is the overflow (+inf) bucket. Fixed
+/// edges make shard merges element-wise integer sums.
+inline constexpr int kHistogramBuckets = 22;
+
+/// Upper bound of bucket i (1, 2, 4, ..., 2^20); the last bucket has no
+/// bound (returns INT64_MAX).
+std::int64_t histogram_bucket_bound(int i);
+
+/// Index of the bucket that counts `v` (values < 1 land in bucket 0).
+int histogram_bucket_index(std::int64_t v);
+
+struct HistogramData {
+  std::array<std::int64_t, kHistogramBuckets> buckets{};
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+
+  void observe(std::int64_t v) {
+    buckets[static_cast<std::size_t>(histogram_bucket_index(v))] += 1;
+    count += 1;
+    sum += v;
+  }
+  void merge(const HistogramData& o) {
+    for (int i = 0; i < kHistogramBuckets; ++i)
+      buckets[static_cast<std::size_t>(i)] +=
+          o.buckets[static_cast<std::size_t>(i)];
+    count += o.count;
+    sum += o.sum;
+  }
+};
+
+// ---- registry -----------------------------------------------------------
+
+/// A merged, name-sorted view of the registry at one instant.
+struct Snapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// The metrics store. Each mutating call lands in the calling thread's
+/// shard (created on first touch, guarded by an uncontended per-shard
+/// mutex); snapshot() locks the shard list and folds every shard with
+/// commutative merges, then sorts by name -- so both the values and the
+/// rendered bytes are independent of the thread schedule.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every engine reports into.
+  static Registry& global();
+
+  /// Add `delta` to counter `name` (monotone event tallies).
+  void count(std::string_view name, std::int64_t delta = 1);
+
+  /// Set gauge `name` (point-in-time value). Last write wins, so only
+  /// call from sequential program points; use gauge_max under parallelism.
+  void gauge_set(std::string_view name, std::int64_t value);
+
+  /// Raise gauge `name` to at least `value` (commutative, parallel-safe).
+  void gauge_max(std::string_view name, std::int64_t value);
+
+  /// Record `value` into histogram `name`.
+  void observe(std::string_view name, std::int64_t value);
+
+  /// Merged view of every shard.
+  Snapshot snapshot() const;
+
+  /// The deterministic report section: counters, gauges, and histograms,
+  /// one per line, sorted by name. Byte-identical at any L2L_THREADS for
+  /// a deterministic workload -- this is what the golden-file test pins.
+  std::string export_deterministic_text() const;
+
+  /// Drop every recorded value (shards stay registered for their threads).
+  void reset();
+
+ private:
+  struct Shard;
+  Shard& local_shard();
+
+  const std::uint64_t id_;  // distinguishes registries in thread caches
+  mutable std::mutex mu_;   // guards shards_ and gauges
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, std::int64_t> gauges_;
+};
+
+// ---- convenience entry points on the global registry --------------------
+// All of them are no-ops when the kill switch is off; the check is one
+// cached boolean load.
+
+void count(std::string_view name, std::int64_t delta = 1);
+void gauge_set(std::string_view name, std::int64_t value);
+void gauge_max(std::string_view name, std::int64_t value);
+void observe(std::string_view name, std::int64_t value);
+
+}  // namespace l2l::obs

@@ -1,0 +1,217 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace l2l::obs {
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  struct Shard {
+    std::mutex mu;
+    int tid = 0;
+    std::vector<SpanEvent> events;
+  };
+
+  std::mutex mu;  // guards shards and anchor
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  std::uint64_t epoch = 1;  // bumped by reset() to invalidate thread caches
+  std::uint64_t id = 0;
+
+  Shard& local_shard();
+};
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+struct TraceShardCacheEntry {
+  std::uint64_t tracer_id = 0;
+  std::uint64_t epoch = 0;
+  void* shard = nullptr;  // Tracer::Impl::Shard* (type is private)
+};
+thread_local TraceShardCacheEntry t_trace_cache;
+
+}  // namespace
+
+Tracer::Impl::Shard& Tracer::Impl::local_shard() {
+  if (t_trace_cache.tracer_id == id && t_trace_cache.epoch == epoch &&
+      t_trace_cache.shard != nullptr)
+    return *static_cast<Shard*>(t_trace_cache.shard);
+  std::lock_guard<std::mutex> lock(mu);
+  shards.push_back(std::make_unique<Shard>());
+  Shard* s = shards.back().get();
+  s->tid = static_cast<int>(shards.size());
+  t_trace_cache = {id, epoch, s};
+  return *s;
+}
+
+Tracer::Tracer() : impl_(new Impl()) {
+  impl_->id = g_next_tracer_id.fetch_add(1);
+}
+
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // leaked: threads may outlive exit
+  return *t;
+}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - impl_->anchor)
+      .count();
+}
+
+void Tracer::record(std::string_view name, std::string_view category,
+                    std::int64_t start_us, std::int64_t duration_us) {
+  Impl::Shard& s = impl_->local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.events.size() >= kMaxEventsPerShard) {
+    obs::count("obs.trace.dropped");
+    return;
+  }
+  SpanEvent e;
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.start_us = start_us;
+  e.duration_us = duration_us;
+  e.tid = s.tid;
+  s.events.push_back(std::move(e));
+}
+
+std::string Tracer::chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> slock(shard->mu);
+    for (const SpanEvent& e : shard->events) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      append_json_escaped(out, e.name);
+      out += "\",\"cat\":\"";
+      append_json_escaped(out, e.category.empty() ? "l2l" : e.category);
+      out += "\",\"ph\":\"X\",\"ts\":";
+      out += std::to_string(e.start_us);
+      out += ",\"dur\":";
+      out += std::to_string(e.duration_us);
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(e.tid);
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::text() const {
+  std::map<std::string, SpanTotal> totals;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& shard : impl_->shards) {
+      std::lock_guard<std::mutex> slock(shard->mu);
+      for (const SpanEvent& e : shard->events) {
+        SpanTotal& t = totals[e.name];
+        t.count += 1;
+        t.total_us += e.duration_us;
+      }
+    }
+  }
+  std::ostringstream os;
+  for (const auto& [name, t] : totals)
+    os << "span " << name << " count " << t.count << " total_us "
+       << t.total_us << '\n';
+  return os.str();
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->shards.clear();
+  impl_->anchor = std::chrono::steady_clock::now();
+  impl_->epoch += 1;  // any cached shard pointer is now stale
+}
+
+// ---- ScopedSpan ---------------------------------------------------------
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category) {
+  if (!enabled()) return;
+  active_ = true;
+  name_ = std::string(name);
+  category_ = std::string(category);
+  start_us_ = Tracer::global().now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::int64_t end = Tracer::global().now_us();
+  Tracer::global().record(name_, category_, start_us_, end - start_us_);
+  // Span counts are deterministic (one per scope entered); only the
+  // durations above are wall-clock.
+  Registry::global().count(std::string("span.") + name_);
+}
+
+// ---- combined report + file export --------------------------------------
+
+std::string metrics_report() {
+  std::string out = Registry::global().export_deterministic_text();
+  out += "# nondeterministic\n";
+  out += Tracer::global().text();
+  return out;
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << metrics_report();
+  return static_cast<bool>(f);
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << Tracer::global().chrome_json();
+  return static_cast<bool>(f);
+}
+
+ExportOnExit::~ExportOnExit() {
+  if (!metrics_path.empty()) write_metrics_file(metrics_path);
+  if (!trace_path.empty()) write_trace_file(trace_path);
+}
+
+}  // namespace l2l::obs

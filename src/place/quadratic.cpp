@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "linalg/cg.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace l2l::place {
 namespace {
@@ -143,6 +145,21 @@ void solve_region(const gen::PlacementProblem& p, const QuadraticOptions& opt,
     ++stats->regions_solved;
     stats->cg_iterations_total += rx.iterations + ry.iterations;
   }
+  // Region solves happen sequentially on the caller's thread (the CG
+  // inside is what parallelizes), so direct registry updates here are
+  // deterministic. The residual trajectory is recorded as -log2(residual)
+  // so tighter convergence lands in higher buckets.
+  if (obs::enabled()) {
+    const std::int64_t iters = rx.iterations + ry.iterations;
+    obs::count("place.regions_solved");
+    obs::count("place.cg_iterations", iters);
+    obs::observe("place.cg_iterations_per_region", iters);
+    const double res = std::max(rx.residual, ry.residual);
+    std::int64_t negexp = 0;
+    if (res > 0.0 && std::isfinite(res))
+      negexp = std::max(0, -std::ilogb(res));
+    obs::observe("place.cg_residual_negexp", negexp);
+  }
   for (std::size_t k = 0; k < cells.size(); ++k) {
     pl.x[static_cast<std::size_t>(cells[k])] =
         clamp(rx.x[k], region.xmin, region.xmax);
@@ -210,6 +227,8 @@ Placement solve_global(const gen::PlacementProblem& p,
 
 Placement place_quadratic(const gen::PlacementProblem& p,
                           const QuadraticOptions& opt, QuadraticStats* stats) {
+  obs::ScopedSpan span("place.quadratic");
+  obs::count("place.calls");
   Placement pl;
   pl.x.assign(static_cast<std::size_t>(p.num_cells), p.width / 2);
   pl.y.assign(static_cast<std::size_t>(p.num_cells), p.height / 2);

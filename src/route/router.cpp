@@ -6,10 +6,38 @@
 #include <numeric>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace l2l::route {
 namespace {
+
+// Flushes the route's local RouteStats to the metrics registry on every
+// exit path (convergence, stall, budget). Inner loops only touch
+// sol.stats; obs sees one batched update per routing call.
+class RouteMetricsFlusher {
+ public:
+  RouteMetricsFlusher(const RouteStats& stats, std::string_view span_name)
+      : stats_(obs::enabled() ? &stats : nullptr), span_(span_name) {}
+  ~RouteMetricsFlusher() {
+    if (stats_ == nullptr) return;
+    obs::count("route.calls");
+    obs::count("route.nets_routed", stats_->routed);
+    obs::count("route.nets_failed", stats_->failed);
+    obs::count("route.ripups", stats_->ripups);
+    obs::count("route.negotiation_iterations", stats_->negotiation_iterations);
+    obs::count("route.expansions", stats_->expansions);
+    obs::count("route.vias", stats_->total_vias);
+    obs::count("route.wire_cells",
+               static_cast<std::int64_t>(stats_->total_wire));
+    obs::observe("route.expansions_per_call", stats_->expansions);
+  }
+
+ private:
+  const RouteStats* stats_;  // null when collection is disabled
+  obs::ScopedSpan span_;
+};
 
 /// Bounding-box half-perimeter of a net's pins: routing order heuristic.
 int net_span(const gen::RoutingNet& net) {
@@ -83,6 +111,7 @@ namespace {
 RouteSolution route_negotiated(const gen::RoutingProblem& p,
                                const RouterOptions& opt) {
   RouteSolution sol;
+  RouteMetricsFlusher metrics(sol.stats, "route.negotiated");
   sol.nets.resize(p.nets.size());
   for (std::size_t n = 0; n < p.nets.size(); ++n)
     sol.nets[n].net_id = p.nets[n].id;
@@ -232,6 +261,7 @@ RouteSolution route_negotiated(const gen::RoutingProblem& p,
       }
       std::size_t over_tail = 0;
       for (std::size_t i = 0; i < n_points; ++i) over_tail += usage[i] > 1;
+      obs::count("route.overflow", static_cast<std::int64_t>(over_tail));
       if (over_tail == 0) {
         converged = true;
         break;
@@ -326,6 +356,7 @@ RouteSolution route_negotiated(const gen::RoutingProblem& p,
     }
     std::size_t over = 0;
     for (std::size_t i = 0; i < n_points; ++i) over += usage[i] > 1;
+    obs::count("route.overflow", static_cast<std::int64_t>(over));
     if (over == 0) {
       converged = true;
       break;
@@ -406,6 +437,7 @@ int count_vias(const NetRoute& net) {
 RouteSolution route_all(const gen::RoutingProblem& p, const RouterOptions& opt) {
   if (opt.negotiated) return route_negotiated(p, opt);
   RouteSolution sol;
+  RouteMetricsFlusher metrics(sol.stats, "route.route_all");
   sol.nets.resize(p.nets.size());
   for (std::size_t n = 0; n < p.nets.size(); ++n)
     sol.nets[n].net_id = p.nets[n].id;

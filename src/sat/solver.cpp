@@ -3,7 +3,44 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace l2l::sat {
+
+namespace {
+
+// Flushes the delta of the solver's local SolverStats to the metrics
+// registry on every exit path of solve() (normal, conflict-limit, budget).
+// The inner loops only touch stats_; obs sees one batched update per call.
+class SolveMetricsFlusher {
+ public:
+  SolveMetricsFlusher(const SolverStats& stats)
+      : stats_(obs::enabled() ? &stats : nullptr),
+        base_(stats),
+        span_("sat.solve") {}
+  ~SolveMetricsFlusher() {
+    if (stats_ == nullptr) return;
+    obs::count("sat.solve_calls");
+    obs::count("sat.decisions", stats_->decisions - base_.decisions);
+    obs::count("sat.propagations", stats_->propagations - base_.propagations);
+    obs::count("sat.conflicts", stats_->conflicts - base_.conflicts);
+    obs::count("sat.restarts", stats_->restarts - base_.restarts);
+    obs::count("sat.learnt_clauses",
+               stats_->learnt_clauses - base_.learnt_clauses);
+    obs::count("sat.db_reductions",
+               stats_->db_reductions - base_.db_reductions);
+    obs::observe("sat.conflicts_per_solve",
+                 stats_->conflicts - base_.conflicts);
+  }
+
+ private:
+  const SolverStats* stats_;  // null when collection is disabled
+  SolverStats base_;
+  obs::ScopedSpan span_;
+};
+
+}  // namespace
 
 std::int64_t luby(std::int64_t i) {
   // Find the finite subsequence containing index i and its position.
@@ -308,6 +345,7 @@ void Solver::rebuild_order_heap() {
 LBool Solver::solve() { return solve({}); }
 
 LBool Solver::solve(const std::vector<Lit>& assumptions) {
+  SolveMetricsFlusher metrics(stats_);
   model_.clear();
   stop_reason_ = util::Status::okay();
   if (!ok_) return LBool::kFalse;

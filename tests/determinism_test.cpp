@@ -7,11 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "fault/faults.hpp"
 #include "fault/simulator.hpp"
+#include "flow/flow.hpp"
 #include "gen/function_gen.hpp"
 #include "gen/placement_gen.hpp"
 #include "gen/routing_gen.hpp"
@@ -19,6 +23,9 @@
 #include "grader/route_grader.hpp"
 #include "linalg/cg.hpp"
 #include "mooc/grading_queue.hpp"
+#include "network/blif.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "place/legalize.hpp"
 #include "place/quadratic.hpp"
 #include "route/router.hpp"
@@ -277,6 +284,85 @@ TEST_F(DeterminismTest, FaultInjectedQueueDrainIsThreadCountInvariant) {
               runs[0].stats.injected_transients);
     EXPECT_EQ(runs[s].stats.injected_stalls, runs[0].stats.injected_stalls);
   }
+}
+
+// ---- observability layer ------------------------------------------------
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The counters-only slice of the metrics export: the part of the
+/// deterministic contract the golden file pins down (gauges and histogram
+/// residual buckets stay out so the golden survives FP-flag variance).
+std::string counters_only_export() {
+  std::string out;
+  for (const auto& [name, v] : obs::Registry::global().snapshot().counters)
+    out += "counter " + name + " " + std::to_string(v) + "\n";
+  return out;
+}
+
+/// Runs the full flow on data/fulladder.blif with a clean registry and
+/// returns the counters-only export.
+std::string full_flow_counters(int threads) {
+  const std::string blif = read_file_or_empty(L2L_REPO_DATA_DIR
+                                              "/fulladder.blif");
+  EXPECT_FALSE(blif.empty()) << "cannot read data/fulladder.blif";
+  util::set_num_threads(threads);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  const auto net = network::parse_blif(blif);
+  const auto res = flow::run_flow(net, flow::FlowOptions{});
+  EXPECT_TRUE(res.status.ok()) << res.status.to_string();
+  return counters_only_export();
+}
+
+TEST_F(DeterminismTest, FullFlowMetricsCountersAreThreadCountInvariant) {
+  obs::set_enabled(true);
+  std::vector<std::string> exports;
+  for (const int t : kThreadCounts) exports.push_back(full_flow_counters(t));
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  ASSERT_EQ(exports.size(), 3u);
+  EXPECT_FALSE(exports[0].empty());
+  EXPECT_EQ(exports[0], exports[1]) << "threads 1 vs 2";
+  EXPECT_EQ(exports[0], exports[2]) << "threads 1 vs 8";
+  // The flow actually reported: stage spans and engine counters present.
+  EXPECT_NE(exports[0].find("counter flow.runs 1"), std::string::npos);
+  EXPECT_NE(exports[0].find("counter span.flow.stage.routing 1"),
+            std::string::npos);
+  EXPECT_NE(exports[0].find("counter place.regions_solved"),
+            std::string::npos);
+  EXPECT_NE(exports[0].find("counter route.calls 1"), std::string::npos);
+}
+
+// The same export must match the checked-in golden file byte for byte --
+// an unannounced change to any engine's deterministic counters (or to the
+// export format) fails here first. To regenerate after an intentional
+// change, run this test alone with L2L_UPDATE_GOLDEN=1 in the
+// environment and commit the rewritten
+// tests/data/golden/fulladder_metrics.txt.
+TEST_F(DeterminismTest, FullFlowMetricsMatchGoldenFile) {
+  obs::set_enabled(true);
+  const std::string got = full_flow_counters(2);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  const std::string golden_path =
+      L2L_TEST_DATA_DIR "/golden/fulladder_metrics.txt";
+  if (std::getenv("L2L_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << got;
+    GTEST_SKIP() << "golden file regenerated";
+  }
+  const std::string want = read_file_or_empty(golden_path);
+  ASSERT_FALSE(want.empty())
+      << "missing golden file tests/data/golden/fulladder_metrics.txt";
+  EXPECT_EQ(got, want) << "actual:\n" << got;
 }
 
 }  // namespace

@@ -1,0 +1,289 @@
+// Differential/property tier (ctest label `diff`): ~200 seeded random
+// functions from gen::random_cover, cross-checked across four independent
+// implementations of Boolean semantics:
+//
+//   truth table   -- Cover::to_truth_table(), the ground-truth oracle
+//   BDD           -- an OR-of-AND build through bdd::Manager, read back
+//                    via Bdd::to_truth_table()
+//   SAT           -- a Tseitin encoding of the cover into l2l::sat,
+//                    checked for satisfiability, tautology, and
+//                    (via assumption miters) equivalence
+//   espresso      -- minimize() output must stay equivalent to its input
+//                    (and stay within the don't-care bounds when a DC
+//                    cover is supplied)
+//
+// A disagreement anywhere is shrunk to a minimal failing cover -- greedy
+// cube removal, then literal widening -- and printed with its seed, so a
+// red run hands the debugger a two-line reproduction, not a 40-cube blob.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+#include "cubes/cover.hpp"
+#include "espresso/minimize.hpp"
+#include "gen/function_gen.hpp"
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using l2l::cubes::Cover;
+using l2l::cubes::Cube;
+using l2l::cubes::Pcn;
+using l2l::tt::TruthTable;
+
+// ---- BDD oracle ---------------------------------------------------------
+
+l2l::bdd::Bdd bdd_from_cover(l2l::bdd::Manager& mgr, const Cover& f) {
+  l2l::bdd::Bdd out = mgr.zero();
+  for (const Cube& c : f.cubes()) {
+    l2l::bdd::Bdd product = mgr.one();
+    for (int v = 0; v < f.num_vars(); ++v) {
+      switch (c.code(v)) {
+        case Pcn::kPos: product = product & mgr.var(v); break;
+        case Pcn::kNeg: product = product & mgr.nvar(v); break;
+        case Pcn::kEmpty: product = mgr.zero(); break;
+        case Pcn::kDontCare: break;
+      }
+    }
+    out = out | product;
+  }
+  return out;
+}
+
+// ---- SAT oracle ---------------------------------------------------------
+
+/// Tseitin-encodes `f` into `solver` over input vars 0..num_vars-1
+/// (created by the caller) and returns the literal representing the
+/// cover's output: aux var c_j <-> AND(literals of cube j), output
+/// <-> OR(c_j).
+l2l::sat::Lit encode_cover(l2l::sat::Solver& solver, const Cover& f) {
+  using l2l::sat::Lit;
+  const l2l::sat::Var out = solver.new_var();
+  std::vector<Lit> any_cube;  // out -> c_1 | ... | c_m
+  any_cube.push_back(Lit(out, true));
+  for (const Cube& c : f.cubes()) {
+    bool contradiction = false;
+    std::vector<Lit> lits;
+    for (int v = 0; v < f.num_vars(); ++v) {
+      switch (c.code(v)) {
+        case Pcn::kPos: lits.push_back(Lit(v, false)); break;
+        case Pcn::kNeg: lits.push_back(Lit(v, true)); break;
+        case Pcn::kEmpty: contradiction = true; break;
+        case Pcn::kDontCare: break;
+      }
+    }
+    if (contradiction) continue;
+    const l2l::sat::Var cj = solver.new_var();
+    std::vector<Lit> reverse;  // lits all true -> c_j
+    reverse.push_back(Lit(cj, false));
+    for (const Lit& l : lits) {
+      solver.add_clause({Lit(cj, true), l});  // c_j -> each literal
+      reverse.push_back(~l);
+    }
+    solver.add_clause(reverse);
+    solver.add_clause({Lit(cj, true), Lit(out, false)});  // c_j -> out
+    any_cube.push_back(Lit(cj, false));
+  }
+  solver.add_clause(any_cube);
+  return Lit(out, false);
+}
+
+struct SatOracle {
+  l2l::sat::Solver solver;
+  l2l::sat::Lit out{0, false};
+
+  explicit SatOracle(const Cover& f) {
+    for (int v = 0; v < f.num_vars(); ++v) solver.new_var();
+    out = encode_cover(solver, f);
+  }
+  bool satisfiable() {
+    return solver.solve({out}) == l2l::sat::LBool::kTrue;
+  }
+  bool tautology() {
+    return solver.solve({l2l::sat::Lit(out.var(), true)}) ==
+           l2l::sat::LBool::kFalse;
+  }
+};
+
+/// SAT-checked equivalence of two covers over the same inputs: encode
+/// both into one solver and probe both difference directions with
+/// assumptions. UNSAT both ways <=> equivalent.
+bool sat_equivalent(const Cover& a, const Cover& b) {
+  using l2l::sat::Lit;
+  l2l::sat::Solver solver;
+  for (int v = 0; v < a.num_vars(); ++v) solver.new_var();
+  const Lit fa = encode_cover(solver, a);
+  const Lit fb = encode_cover(solver, b);
+  if (solver.solve({fa, Lit(fb.var(), true)}) == l2l::sat::LBool::kTrue)
+    return false;  // a & !b satisfiable
+  if (solver.solve({Lit(fa.var(), true), fb}) == l2l::sat::LBool::kTrue)
+    return false;  // !a & b satisfiable
+  return true;
+}
+
+// ---- the cross-check ----------------------------------------------------
+
+/// Runs every differential property on `f` (with optional don't-care
+/// cover `dc` for the espresso legality check). Returns std::nullopt when
+/// all oracles agree, else a description of the first disagreement.
+std::optional<std::string> cross_check(const Cover& f, const Cover* dc) {
+  const TruthTable want = f.to_truth_table();
+
+  // BDD vs truth table.
+  {
+    l2l::bdd::Manager mgr(f.num_vars());
+    const TruthTable got = bdd_from_cover(mgr, f).to_truth_table();
+    if (!(got == want)) return "BDD truth table != cover truth table";
+  }
+
+  // SAT vs truth table.
+  {
+    SatOracle sat(f);
+    if (sat.satisfiable() != !want.is_constant_zero())
+      return "SAT satisfiability disagrees with truth table";
+    if (sat.tautology() != want.is_constant_one())
+      return "SAT tautology check disagrees with truth table";
+  }
+
+  // espresso::minimize must preserve the function exactly (empty DC)...
+  {
+    const Cover g = l2l::espresso::minimize(f);
+    if (!(g.to_truth_table() == want))
+      return "espresso cover truth table != input truth table";
+    if (!sat_equivalent(f, g))
+      return "SAT miter says espresso cover != input";
+    if (!l2l::espresso::is_legal_implementation(g, f, Cover(f.num_vars())))
+      return "espresso cover fails is_legal_implementation (no DC)";
+  }
+
+  // ...and stay within [f \ dc, f | dc] when a DC cover is given.
+  if (dc != nullptr) {
+    const Cover g =
+        l2l::espresso::minimize(f, *dc, l2l::espresso::MinimizeOptions{},
+                                nullptr);
+    if (!l2l::espresso::is_legal_implementation(g, f, *dc))
+      return "espresso cover fails is_legal_implementation (with DC)";
+    const TruthTable got = g.to_truth_table();
+    const TruthTable dct = dc->to_truth_table();
+    for (std::uint64_t m = 0; m < want.num_minterms(); ++m) {
+      if (dct.get(m)) continue;  // don't-care point: either value legal
+      if (got.get(m) != want.get(m))
+        return "espresso cover leaves the DC bounds";
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- shrinking ----------------------------------------------------------
+
+/// Greedily shrinks `f` while `cross_check(f, dc)` still fails: first
+/// whole-cube removal, then widening single literals to don't-care. The
+/// result is locally minimal -- removing any one cube or literal makes
+/// the failure disappear.
+Cover shrink_failure(Cover f, const Cover* dc) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Cube removal.
+    for (int i = 0; i < f.size(); ++i) {
+      std::vector<Cube> keep;
+      for (int j = 0; j < f.size(); ++j)
+        if (j != i) keep.push_back(f.cubes()[static_cast<std::size_t>(j)]);
+      Cover candidate(f.num_vars(), keep);
+      if (cross_check(candidate, dc).has_value()) {
+        f = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    // Literal widening.
+    for (int i = 0; i < f.size() && !changed; ++i) {
+      for (int v = 0; v < f.num_vars() && !changed; ++v) {
+        const Cube& c = f.cubes()[static_cast<std::size_t>(i)];
+        if (c.code(v) == Pcn::kDontCare) continue;
+        std::vector<Cube> cubes = f.cubes();
+        cubes[static_cast<std::size_t>(i)].set_code(v, Pcn::kDontCare);
+        Cover candidate(f.num_vars(), std::move(cubes));
+        if (cross_check(candidate, dc).has_value()) {
+          f = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return f;
+}
+
+// ---- the 200-seed sweep -------------------------------------------------
+
+TEST(DifferentialTest, TwoHundredRandomFunctionsAgreeAcrossEngines) {
+  int checked = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    l2l::util::Rng rng(0xd1ffull * 1000003ull + seed);
+    const int num_vars = 3 + static_cast<int>(rng.next_below(4));   // 3..6
+    const int num_cubes = 1 + static_cast<int>(rng.next_below(8));  // 1..8
+    const Cover f = l2l::gen::random_cover(num_vars, num_cubes, rng);
+    // A small random DC cover on every other seed exercises the
+    // minimize-with-DC legality bounds.
+    std::optional<Cover> dc;
+    if (seed % 2 == 1)
+      dc = l2l::gen::random_cover(num_vars,
+                                  static_cast<int>(rng.next_below(3)), rng);
+    const Cover* dcp = dc ? &*dc : nullptr;
+
+    const auto failure = cross_check(f, dcp);
+    if (failure.has_value()) {
+      const Cover minimal = shrink_failure(f, dcp);
+      const auto why = cross_check(minimal, dcp);
+      FAIL() << "seed " << seed << ": " << *failure
+             << "\nminimal failing cover (" << minimal.num_vars()
+             << " vars):\n"
+             << minimal.to_string()
+             << (dc ? "with DC cover:\n" + dc->to_string() : std::string())
+             << "shrunk failure: " << why.value_or(*failure);
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 200);
+}
+
+// Directed corner cases the random sweep is unlikely to hit exactly.
+TEST(DifferentialTest, ConstantAndSingleLiteralCovers) {
+  // Constant 0 (empty cover) and constant 1 (universal cube).
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_EQ(cross_check(Cover(n), nullptr), std::nullopt) << "empty, n=" << n;
+    EXPECT_EQ(cross_check(Cover::universal(n), nullptr), std::nullopt)
+        << "universal, n=" << n;
+    // Each single positive / negative literal.
+    for (int v = 0; v < n; ++v) {
+      Cube pos(n), neg(n);
+      pos.set_code(v, Pcn::kPos);
+      neg.set_code(v, Pcn::kNeg);
+      EXPECT_EQ(cross_check(Cover(n, {pos}), nullptr), std::nullopt);
+      EXPECT_EQ(cross_check(Cover(n, {neg}), nullptr), std::nullopt);
+    }
+  }
+}
+
+// A cover whose cubes together form a tautology without any single cube
+// being universal -- the classic SAT-tautology trap.
+TEST(DifferentialTest, NonObviousTautology) {
+  const int n = 2;
+  Cube a(n), b(n);
+  a.set_code(0, Pcn::kPos);
+  b.set_code(0, Pcn::kNeg);
+  const Cover f(n, {a, b});  // x0 | !x0 == 1
+  ASSERT_TRUE(f.to_truth_table().is_constant_one());
+  EXPECT_EQ(cross_check(f, nullptr), std::nullopt);
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Tests for the observability layer (src/obs): registry semantics,
+// histogram bucket edges, shard-merge determinism at 1/2/8 threads, and
+// trace JSON well-formedness.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace obs = l2l::obs;
+
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::Registry::global().reset();
+    obs::Tracer::global().reset();
+  }
+  void TearDown() override {
+    obs::Registry::global().reset();
+    obs::Tracer::global().reset();
+    obs::set_enabled(true);
+    l2l::util::set_num_threads(0);
+  }
+};
+
+// ---- registry semantics -------------------------------------------------
+
+TEST_F(ObsTest, CountersAccumulate) {
+  obs::count("a", 2);
+  obs::count("a", 3);
+  obs::count("b");
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 5);
+  EXPECT_EQ(snap.counters.at("b"), 1);
+}
+
+TEST_F(ObsTest, GaugeSetLastWriteAndGaugeMax) {
+  obs::gauge_set("g", 7);
+  obs::gauge_set("g", 3);
+  obs::gauge_max("m", 4);
+  obs::gauge_max("m", 9);
+  obs::gauge_max("m", 2);
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.gauges.at("g"), 3);
+  EXPECT_EQ(snap.gauges.at("m"), 9);
+}
+
+TEST_F(ObsTest, ResetClearsEverything) {
+  obs::count("a");
+  obs::gauge_set("g", 1);
+  obs::observe("h", 5);
+  obs::Registry::global().reset();
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(ObsTest, KillSwitchDropsUpdates) {
+  obs::set_enabled(false);
+  obs::count("a");
+  obs::observe("h", 1);
+  { obs::ScopedSpan span("s"); }
+  obs::set_enabled(true);
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.count("a"), 0u);
+  EXPECT_EQ(snap.counters.count("span.s"), 0u);
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+// ---- histogram bucket edges ---------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketEdges) {
+  // Bucket i counts values <= 2^i; values < 1 land in bucket 0.
+  EXPECT_EQ(obs::histogram_bucket_index(-5), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(0), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(1), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(2), 1);
+  EXPECT_EQ(obs::histogram_bucket_index(3), 2);
+  EXPECT_EQ(obs::histogram_bucket_index(4), 2);
+  EXPECT_EQ(obs::histogram_bucket_index(5), 3);
+  EXPECT_EQ(obs::histogram_bucket_index(1024), 10);
+  EXPECT_EQ(obs::histogram_bucket_index(1025), 11);
+  // The overflow bucket catches everything past the last finite bound.
+  EXPECT_EQ(obs::histogram_bucket_index((std::int64_t{1} << 20) + 1),
+            obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::histogram_bucket_index(std::int64_t{1} << 40),
+            obs::kHistogramBuckets - 1);
+  // Bounds line up with the indexing rule: v = bound(i) indexes bucket i.
+  for (int i = 0; i < obs::kHistogramBuckets - 1; ++i)
+    EXPECT_EQ(obs::histogram_bucket_index(obs::histogram_bucket_bound(i)), i)
+        << "bucket " << i;
+}
+
+TEST_F(ObsTest, HistogramCountAndSum) {
+  obs::observe("h", 1);
+  obs::observe("h", 2);
+  obs::observe("h", 100);
+  const auto snap = obs::Registry::global().snapshot();
+  const auto& h = snap.histograms.at("h");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_EQ(h.sum, 103);
+  EXPECT_EQ(h.buckets[0], 1);  // value 1
+  EXPECT_EQ(h.buckets[1], 1);  // value 2
+  EXPECT_EQ(h.buckets[7], 1);  // 100 <= 128
+}
+
+// ---- shard-merge determinism --------------------------------------------
+
+// The same deterministic parallel workload must export byte-identical
+// counters at any thread count: every lane's increments are commutative
+// sums, and the export sorts by name.
+TEST_F(ObsTest, ExportIsIdenticalAcrossThreadCounts) {
+  const int kThreadCounts[] = {1, 2, 8};
+  std::vector<std::string> exports;
+  for (const int threads : kThreadCounts) {
+    l2l::util::set_num_threads(threads);
+    obs::Registry::global().reset();
+    l2l::util::parallel_for(0, 1000, 16, [](std::int64_t i) {
+      obs::count("work.items");
+      obs::count(i % 2 == 0 ? "work.even" : "work.odd");
+      obs::observe("work.value", i);
+      obs::gauge_max("work.max_index", i);
+    });
+    exports.push_back(obs::Registry::global().export_deterministic_text());
+  }
+  ASSERT_EQ(exports.size(), 3u);
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_EQ(exports[0], exports[2]);
+  // Sanity: the export actually contains the workload's totals.
+  EXPECT_NE(exports[0].find("counter work.items 1000"), std::string::npos);
+  EXPECT_NE(exports[0].find("counter work.even 500"), std::string::npos);
+  EXPECT_NE(exports[0].find("gauge work.max_index 999"), std::string::npos);
+}
+
+TEST_F(ObsTest, ShardsMergeAcrossExplicitThreads) {
+  // Raw std::threads (not the pool): every thread gets its own shard and
+  // the snapshot folds them all.
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t)
+    ts.emplace_back([] {
+      for (int i = 0; i < 100; ++i) obs::count("threads.ticks");
+    });
+  for (auto& t : ts) t.join();
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("threads.ticks"), 800);
+}
+
+// ---- span tracer --------------------------------------------------------
+
+TEST_F(ObsTest, SpanCountsAreDeterministicCounters) {
+  { obs::ScopedSpan a("alpha"); }
+  { obs::ScopedSpan a("alpha"); }
+  { obs::ScopedSpan b("beta", "cat"); }
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("span.alpha"), 2);
+  EXPECT_EQ(snap.counters.at("span.beta"), 1);
+  const std::string text = obs::Tracer::global().text();
+  EXPECT_NE(text.find("span alpha count 2"), std::string::npos);
+  EXPECT_NE(text.find("span beta count 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, DurationsStayOutOfDeterministicExport) {
+  { obs::ScopedSpan a("alpha"); }
+  const std::string det = obs::Registry::global().export_deterministic_text();
+  EXPECT_EQ(det.find("total_us"), std::string::npos);
+  const std::string report = obs::metrics_report();
+  const auto split = report.find("# nondeterministic");
+  ASSERT_NE(split, std::string::npos);
+  // Durations appear only after the nondeterministic marker.
+  EXPECT_EQ(report.substr(0, split).find("total_us"), std::string::npos);
+  EXPECT_NE(report.substr(split).find("total_us"), std::string::npos);
+}
+
+// Minimal JSON validator: enough to catch unbalanced structure and
+// unescaped quotes in the fixed-shape trace we emit.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c == '\n') {
+        return false;  // raw newline inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST_F(ObsTest, ChromeTraceJsonWellFormed) {
+  { obs::ScopedSpan a("alpha", "cat"); }
+  {
+    // Hostile span name: quotes, backslashes, newline, control char.
+    obs::ScopedSpan b("we\"ird\\na\nme\x01", "c\"at");
+  }
+  const std::string json = obs::Tracer::global().chrome_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+}
+
+TEST_F(ObsTest, EmptyTraceIsStillValidJson) {
+  const std::string json = obs::Tracer::global().chrome_json();
+  EXPECT_EQ(json, "{\"traceEvents\":[]}");
+}
+
+TEST_F(ObsTest, TraceEventsLandOnPerThreadTracks) {
+  l2l::util::set_num_threads(4);
+  l2l::util::parallel_for(0, 64, 1, [](std::int64_t) {
+    obs::ScopedSpan s("work");
+  });
+  // Deterministic count regardless of how lanes split the work...
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("span.work"), 64);
+  // ...and every event carries a positive tid.
+  const std::string json = obs::Tracer::global().chrome_json();
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+}
+
+}  // namespace

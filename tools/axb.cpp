@@ -22,6 +22,7 @@
 #include "linalg/cg.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/trace.hpp"
 #include "util/budget.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
@@ -36,6 +37,7 @@ int fail(const l2l::util::Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  l2l::obs::ExportOnExit obs_export;
   bool use_cg = false;
   std::int64_t time_limit_ms = -1;
   std::string path;
@@ -50,6 +52,11 @@ int main(int argc, char** argv) try {
       if (!v || *v < 0)
         return fail(l2l::util::Status::invalid("bad --time-limit-ms value"));
       time_limit_ms = *v;
+    } else if (arg == "--metrics" || arg == "--trace") {
+      if (k + 1 >= argc)
+        return fail(l2l::util::Status::invalid(arg + " needs a value"));
+      (arg == "--metrics" ? obs_export.metrics_path
+                          : obs_export.trace_path) = argv[++k];
     } else {
       path = arg;
     }

@@ -3,7 +3,8 @@
 // output (heuristic by default, exact Quine-McCluskey with --exact), and
 // writes the minimized PLA to stdout.
 //
-// Flags: --exact, --stats, --single-pass (ablation).
+// Flags: --exact, --stats, --single-pass (ablation), --metrics FILE /
+// --trace FILE (observability export).
 //
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed PLA, 5 internal error.
 
@@ -14,9 +15,11 @@
 #include "espresso/minimize.hpp"
 #include "espresso/pla.hpp"
 #include "espresso/qm.hpp"
+#include "obs/trace.hpp"
 #include "util/status.hpp"
 
 int main(int argc, char** argv) try {
+  l2l::obs::ExportOnExit obs_export;
   bool exact = false, show_stats = false, single_pass = false;
   std::string path;
   for (int k = 1; k < argc; ++k) {
@@ -27,7 +30,14 @@ int main(int argc, char** argv) try {
       show_stats = true;
     else if (arg == "--single-pass")
       single_pass = true;
-    else
+    else if (arg == "--metrics" || arg == "--trace") {
+      if (k + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        return l2l::util::kExitUsage;
+      }
+      (arg == "--metrics" ? obs_export.metrics_path
+                          : obs_export.trace_path) = argv[++k];
+    } else
       path = arg;
   }
 

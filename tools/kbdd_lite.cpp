@@ -14,8 +14,8 @@
 //   exists <f> <var> / forall <f> <var>  quantify, result in `it`
 //   dot <f>                Graphviz DOT dump
 //
-// Usage: kbdd_lite [--node-limit N] [--time-limit-ms N] [script-file]
-// (default input: stdin)
+// Usage: kbdd_lite [--node-limit N] [--time-limit-ms N]
+// [--metrics FILE] [--trace FILE] [script-file] (default input: stdin)
 //
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed script, 4 resource budget
 // exceeded (node/time limit), 5 internal error.
@@ -28,6 +28,7 @@
 
 #include "bdd/bdd.hpp"
 #include "bdd/manager.hpp"
+#include "obs/trace.hpp"
 #include "util/budget.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
@@ -227,6 +228,7 @@ class Calculator {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  l2l::obs::ExportOnExit obs_export;
   Calculator calc;
   l2l::util::Budget budget;
   bool have_budget = false;
@@ -248,6 +250,13 @@ int main(int argc, char** argv) try {
       else
         budget.set_deadline_ms(*v);
       have_budget = true;
+    } else if (arg == "--metrics" || arg == "--trace") {
+      if (k + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        return l2l::util::kExitUsage;
+      }
+      (arg == "--metrics" ? obs_export.metrics_path
+                          : obs_export.trace_path) = argv[++k];
     } else {
       path = arg;
     }

@@ -4,7 +4,8 @@
 //
 // Flags: --no-vsids --no-restarts (heuristic ablations), --stats,
 // --time-limit-ms N / --prop-limit N (resource guards; an INDETERMINATE
-// result from an exhausted guard exits 4).
+// result from an exhausted guard exits 4), --metrics FILE / --trace FILE
+// (observability export, written on every exit path).
 //
 // Exit codes: 10 SAT, 20 UNSAT (the MiniSat convention), plus the shared
 // convention for everything else: 2 usage/IO, 3 malformed input, 4 budget
@@ -15,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/solver.hpp"
 #include "util/budget.hpp"
@@ -31,6 +33,7 @@ int fail(const l2l::util::Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  l2l::obs::ExportOnExit obs_export;
   l2l::sat::SolverOptions opt;
   l2l::util::Budget budget;
   bool show_stats = false;
@@ -55,6 +58,11 @@ int main(int argc, char** argv) try {
       else
         budget.set_step_limit(*v);
       have_budget = true;
+    } else if (arg == "--metrics" || arg == "--trace") {
+      if (k + 1 >= argc)
+        return fail(l2l::util::Status::invalid(arg + " needs a value"));
+      (arg == "--metrics" ? obs_export.metrics_path
+                          : obs_export.trace_path) = argv[++k];
     } else {
       path = arg;
     }

@@ -5,7 +5,10 @@
 #   tools/run_benches.sh [build-dir] [output-dir]
 # Thread-scaling benches honour L2L_THREADS internally (they sweep 1/2/4/8
 # regardless of the ambient setting).
-set -eu
+#
+# Every bench runs even if an earlier one fails; the script exits non-zero
+# if ANY bench did, so CI cannot green-wash a crashing binary.
+set -u
 
 build_dir="${1:-build}"
 out_dir="${2:-.}"
@@ -15,11 +18,20 @@ if [ ! -d "${build_dir}/bench" ]; then
   exit 1
 fi
 
+failed=""
 for bench in "${build_dir}"/bench/perf_*; do
   [ -x "${bench}" ] || continue
   name="$(basename "${bench}")"
   out="${out_dir}/BENCH_${name#perf_}.json"
   echo "== ${name} -> ${out}"
-  "${bench}" --benchmark_format=json --benchmark_out="${out}" \
-             --benchmark_out_format=json
+  if ! "${bench}" --benchmark_format=json --benchmark_out="${out}" \
+                  --benchmark_out_format=json; then
+    echo "error: ${name} exited $?" >&2
+    failed="${failed} ${name}"
+  fi
 done
+
+if [ -n "${failed}" ]; then
+  echo "error: failing benches:${failed}" >&2
+  exit 1
+fi

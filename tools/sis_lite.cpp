@@ -13,6 +13,9 @@
 //   map [-delay]             technology map and report area/delay
 //   quit
 //
+// Usage: sis_lite [--metrics FILE] [--trace FILE] [script-file]
+// (default input: stdin)
+//
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed script or BLIF, 5 internal
 // error.
 
@@ -25,6 +28,7 @@
 #include "mls/script.hpp"
 #include "mls/sop.hpp"
 #include "network/blif.hpp"
+#include "obs/trace.hpp"
 #include "techmap/mapper.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
@@ -142,10 +146,25 @@ int run(std::istream& in, std::ostream& out) {
 }  // namespace
 
 int main(int argc, char** argv) try {
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  l2l::obs::ExportOnExit obs_export;
+  std::string path;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--metrics" || arg == "--trace") {
+      if (k + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        return l2l::util::kExitUsage;
+      }
+      (arg == "--metrics" ? obs_export.metrics_path
+                          : obs_export.trace_path) = argv[++k];
+    } else {
+      path = arg;
+    }
+  }
+  if (!path.empty()) {
+    std::ifstream in(path);
     if (!in) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      std::cerr << "cannot open " << path << "\n";
       return l2l::util::kExitUsage;
     }
     return run(in, std::cout);
