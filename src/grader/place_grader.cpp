@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "place/wirelength.hpp"
@@ -121,21 +122,37 @@ PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
                                 const place::Grid& grid,
                                 const std::string& text,
                                 double reference_hpwl) {
+  // Pre-grade lint: the L2L-Lxxx pack with the full assignment context.
+  // Findings ride along in the report (rule IDs included) but never touch
+  // the score -- grading below stays byte-for-byte what it always was for
+  // clean submissions, which have zero findings.
+  const auto lint_findings = lint::lint_placement(
+      text, {problem.num_cells, grid.sites_per_row, grid.rows});
+
+  PlaceGrade g;
   auto parsed = parse_placement_diagnostics(text, problem.num_cells);
   if (!parsed.clean()) {
     // Placement has no per-net partial credit (a single missing cell makes
     // the whole assignment illegal), so parse problems gate the score --
     // but the student still gets every malformed line in one report.
-    PlaceGrade g;
     g.diagnostics = std::move(parsed.diagnostics);
     g.reason = g.diagnostics.front().to_string();
     g.report = util::format("PLACEMENT GRADE: parse error (%d problem(s)), "
                             "score 0\n",
                             static_cast<int>(g.diagnostics.size()));
     g.report += util::render_diagnostics(g.diagnostics);
-    return g;
+  } else {
+    g = grade_placement(problem, grid, parsed.placement, reference_hpwl);
   }
-  return grade_placement(problem, grid, parsed.placement, reference_hpwl);
+  if (!lint_findings.empty()) {
+    g.lint = lint::to_diagnostics(lint_findings);
+    std::string head =
+        util::format("lint: %d finding(s) before grading\n",
+                     static_cast<int>(lint_findings.size()));
+    head += util::render_diagnostics(g.lint);
+    g.report = head + g.report;
+  }
+  return g;
 }
 
 std::vector<PlaceGrade> grade_placement_batch(

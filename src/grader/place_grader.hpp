@@ -27,6 +27,9 @@ struct PlaceGrade {
   /// export learns all their mistakes from a single upload, not one per
   /// resubmission).
   std::vector<util::Diagnostic> diagnostics;
+  /// Pre-grade lint findings (L2L-Lxxx rule pack), prepended to the
+  /// report. Lint never changes the score; a clean submission has none.
+  std::vector<util::Diagnostic> lint;
   /// Non-ok when grading itself failed (internal error in the batch path).
   util::Status status;
 };

@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -145,6 +146,19 @@ RouteGrade grade_routing_text(const gen::RoutingProblem& problem,
         "graded\n",
         static_cast<int>(parsed.diagnostics.size()));
     head += util::render_diagnostics(parsed.diagnostics);
+    g.report = head + g.report;
+  }
+  // Pre-grade lint: the L2L-Sxxx pack with the problem so the geometric
+  // rules fire too. Stable rule IDs ride along in the report; the score
+  // above is untouched, and a clean submission has zero findings.
+  const auto lint_findings =
+      lint::lint_route_solution(solution_text, &problem);
+  if (!lint_findings.empty()) {
+    g.lint = lint::to_diagnostics(lint_findings);
+    std::string head =
+        util::format("lint: %d finding(s) before grading\n",
+                     static_cast<int>(lint_findings.size()));
+    head += util::render_diagnostics(g.lint);
     g.report = head + g.report;
   }
   return g;

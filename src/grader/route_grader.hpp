@@ -36,6 +36,9 @@ struct RouteGrade {
   /// can carry diagnostics AND partial credit: independently well-formed
   /// nets are salvaged and graded even when other blocks are garbage.
   std::vector<util::Diagnostic> diagnostics;
+  /// Pre-grade lint findings (L2L-Sxxx rule pack, run with the problem so
+  /// the geometric rules fire). Lint never changes the score.
+  std::vector<util::Diagnostic> lint;
   /// Non-ok when grading itself was cut short (budget) or failed
   /// (internal error); parse problems are diagnostics, not status.
   util::Status status;

@@ -49,6 +49,26 @@ QueueResult drain_queue(const std::vector<std::string>& submissions,
         // lane's grading intervals, retries included in one span.
         obs::ScopedSpan sub_span("mooc.queue.submission", "mooc");
         auto& out = res.outcomes[i];
+
+        // Pre-grade lint: deterministic, so it runs once -- a submission
+        // that lints dirty will lint dirty on every retry too. Errors
+        // reject before any grading attempt is spent.
+        if (opt.lint) {
+          const auto findings = opt.lint(submissions[i]);
+          bool fatal = false;
+          for (const auto& d : findings)
+            fatal = fatal || d.severity == util::Severity::kError;
+          if (fatal) {
+            out.kind = OutcomeKind::kRejected;
+            out.status = util::Status::parse_error("rejected by lint");
+            out.diagnostic =
+                util::format("lint rejected the submission (%d finding(s)):\n",
+                             static_cast<int>(findings.size())) +
+                util::render_diagnostics(findings);
+            return;
+          }
+        }
+
         const int max_attempts = 1 + std::max(0, opt.max_retries);
         for (int attempt = 0; attempt < max_attempts; ++attempt) {
           ++out.attempts;
@@ -130,6 +150,7 @@ QueueResult drain_queue(const std::vector<std::string>& submissions,
       case OutcomeKind::kFailed: ++res.stats.failed; break;
       case OutcomeKind::kBudget: ++res.stats.budget_exceeded; break;
       case OutcomeKind::kExhausted: ++res.stats.retries_exhausted; break;
+      case OutcomeKind::kRejected: ++res.stats.lint_rejected; break;
     }
   }
   // Metrics flush from the sequential fold: every number below comes from
@@ -142,6 +163,7 @@ QueueResult drain_queue(const std::vector<std::string>& submissions,
     obs::count("mooc.queue.failed", res.stats.failed);
     obs::count("mooc.queue.budget_exceeded", res.stats.budget_exceeded);
     obs::count("mooc.queue.retries_exhausted", res.stats.retries_exhausted);
+    obs::count("mooc.queue.lint_rejected", res.stats.lint_rejected);
     obs::count("mooc.queue.attempts", res.stats.total_attempts);
     obs::count("mooc.queue.transients", res.stats.injected_transients);
     obs::count("mooc.queue.stalls", res.stats.injected_stalls);

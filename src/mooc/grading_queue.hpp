@@ -46,6 +46,13 @@ struct QueueOptions {
   std::uint64_t fault_seed = 0;
   double transient_fault_rate = 0.0;  ///< worker "crash" before grading
   double stall_rate = 0.0;            ///< worker "stall" (times out, retried)
+  /// Optional pre-grade lint stage (e.g. a l2l::lint rule pack bound to
+  /// the assignment's format). Runs once per submission before the first
+  /// grading attempt; any error-severity diagnostic rejects the
+  /// submission (kRejected) without spending a grading attempt, and the
+  /// rendered findings land in the outcome's diagnostic. Deterministic,
+  /// so rejection is never retried.
+  std::function<std::vector<util::Diagnostic>(const std::string&)> lint;
 };
 
 enum class OutcomeKind {
@@ -53,6 +60,7 @@ enum class OutcomeKind {
   kFailed,        ///< callback threw on every attempt (poison input)
   kBudget,        ///< per-submission budget exhausted (not retried)
   kExhausted,     ///< injected faults on every attempt; retries spent
+  kRejected,      ///< pre-grade lint found errors; grading never ran
 };
 
 struct SubmissionOutcome {
@@ -69,6 +77,7 @@ struct QueueStats {
   int failed = 0;
   int budget_exceeded = 0;
   int retries_exhausted = 0;
+  int lint_rejected = 0;
   int total_attempts = 0;
   int injected_transients = 0;
   int injected_stalls = 0;

@@ -12,38 +12,56 @@ namespace {
 /// One .names block accumulated during parsing.
 struct NamesBlock {
   std::vector<std::string> signals;  // fanin names + output name (last)
-  std::vector<std::string> cube_lines;
+  std::vector<std::pair<std::string, int>> cube_lines;  // text + line no.
+  int line = 0;  // the .names directive's line
 };
+
+std::string excerpt(std::string_view t) {
+  constexpr std::size_t kMax = 60;
+  if (t.size() <= kMax) return std::string(t);
+  return std::string(t.substr(0, kMax)) + "...";
+}
 
 }  // namespace
 
-Network parse_blif(const std::string& text) {
+ParsedBlif parse_blif_lenient(const std::string& text) {
+  ParsedBlif out;
+  auto diag = [&](int line, std::string msg) {
+    out.diagnostics.push_back(util::make_error(line, line > 0 ? 1 : 0,
+                                               std::move(msg)));
+  };
+
   std::string model = "top";
   std::vector<std::string> input_names;
   std::vector<std::string> output_names;
   std::vector<NamesBlock> blocks;
 
-  // Pass 1: tokenize into directives with continuation (\) support.
+  // Pass 1: tokenize into directives with continuation (\) support. Each
+  // logical line keeps the physical line number it started on, so every
+  // diagnostic below lands where the student's editor can jump to.
   std::istringstream in(text);
   std::string line, pending;
-  std::vector<std::string> lines;
+  int lineno = 0, pending_line = 0;
+  std::vector<std::pair<std::string, int>> lines;
   while (std::getline(in, line)) {
+    ++lineno;
     auto t = std::string(util::trim(line));
     const auto hash = t.find('#');
     if (hash != std::string::npos) t = std::string(util::trim(t.substr(0, hash)));
     if (t.empty()) continue;
+    if (pending.empty()) pending_line = lineno;
     if (t.back() == '\\') {
       pending += t.substr(0, t.size() - 1) + " ";
       continue;
     }
-    lines.push_back(pending + t);
+    lines.emplace_back(pending + t, pending_line);
     pending.clear();
   }
   if (!pending.empty())
-    throw std::invalid_argument("BLIF: dangling line continuation");
+    diag(pending_line, "BLIF: dangling line continuation");
 
   NamesBlock* current = nullptr;
-  for (const auto& l : lines) {
+  for (const auto& [l, ln] : lines) {
     if (l[0] == '.') {
       const auto tok = util::split(l);
       current = nullptr;
@@ -54,27 +72,37 @@ Network parse_blif(const std::string& text) {
       } else if (tok[0] == ".outputs") {
         output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
       } else if (tok[0] == ".names") {
-        if (tok.size() < 2)
-          throw std::invalid_argument("BLIF: .names needs an output signal");
-        blocks.push_back(NamesBlock{{tok.begin() + 1, tok.end()}, {}});
+        if (tok.size() < 2) {
+          diag(ln, "BLIF: .names needs an output signal");
+          continue;
+        }
+        blocks.push_back(NamesBlock{{tok.begin() + 1, tok.end()}, {}, ln});
         current = &blocks.back();
       } else if (tok[0] == ".end") {
         break;
       } else if (tok[0] == ".latch") {
-        throw std::invalid_argument(
-            "BLIF: sequential elements (.latch) are not supported");
+        diag(ln, "BLIF: sequential elements (.latch) are not supported");
       } else {
-        throw std::invalid_argument("BLIF: unsupported directive " + tok[0]);
+        diag(ln, "BLIF: unsupported directive " + tok[0]);
       }
       continue;
     }
-    if (!current)
-      throw std::invalid_argument("BLIF: cube line outside a .names block");
-    current->cube_lines.push_back(l);
+    if (!current) {
+      diag(ln, "BLIF: cube line outside a .names block");
+      continue;
+    }
+    current->cube_lines.emplace_back(l, ln);
   }
 
-  Network net(model);
-  for (const auto& n : input_names) net.add_input(n);
+  Network& net = out.network;
+  net = Network(model);
+  for (const auto& n : input_names) {
+    if (net.find(n)) {
+      diag(0, "BLIF: duplicate input " + n);
+      continue;
+    }
+    net.add_input(n);
+  }
 
   // Create logic nodes in dependency order: blocks may reference each other
   // in any order, so iterate until all are placed (detects cycles).
@@ -97,52 +125,109 @@ Network parse_blif(const std::string& text) {
         fanins.push_back(*id);
       }
       if (!ready) continue;
+      if (net.find(blk.signals.back())) {
+        // Multiply-driven (or shadowing an input): the first driver wins,
+        // this block is dropped so the network stays well-formed.
+        diag(blk.line,
+             "BLIF: signal '" + blk.signals.back() + "' driven twice");
+        placed[b] = true;
+        --remaining;
+        progress = true;
+        continue;
+      }
 
       // Parse cube lines: "<inputs> <0|1>" (or just "<0|1>" for arity 0).
       cubes::Cover on(arity);
       cubes::Cover off(arity);
-      for (const auto& cl : blk.cube_lines) {
+      bool rows_ok = true;
+      for (const auto& [cl, cl_line] : blk.cube_lines) {
         const auto tok = util::split(cl);
         std::string in_plane, out_char;
         if (arity == 0) {
-          if (tok.size() != 1)
-            throw std::invalid_argument("BLIF: bad constant cube line");
+          if (tok.size() != 1) {
+            diag(cl_line, "BLIF: bad constant cube line");
+            rows_ok = false;
+            continue;
+          }
           out_char = tok[0];
         } else {
-          if (tok.size() != 2)
-            throw std::invalid_argument("BLIF: bad cube line '" + cl + "'");
+          if (tok.size() != 2) {
+            diag(cl_line, "BLIF: bad cube line '" + excerpt(cl) + "'");
+            rows_ok = false;
+            continue;
+          }
           in_plane = tok[0];
           out_char = tok[1];
-          if (static_cast<int>(in_plane.size()) != arity)
-            throw std::invalid_argument("BLIF: cube width mismatch in '" + cl + "'");
+          if (static_cast<int>(in_plane.size()) != arity) {
+            diag(cl_line,
+                 "BLIF: cube width mismatch in '" + excerpt(cl) + "'");
+            rows_ok = false;
+            continue;
+          }
         }
-        if (out_char != "0" && out_char != "1")
-          throw std::invalid_argument("BLIF: output column must be 0 or 1");
-        auto& target = out_char == "1" ? on : off;
-        target.add(arity == 0 ? cubes::Cube(0) : cubes::Cube::parse(in_plane));
+        if (out_char != "0" && out_char != "1") {
+          diag(cl_line, "BLIF: output column must be 0 or 1");
+          rows_ok = false;
+          continue;
+        }
+        try {
+          auto& target = out_char == "1" ? on : off;
+          target.add(arity == 0 ? cubes::Cube(0)
+                                : cubes::Cube::parse(in_plane));
+        } catch (const std::exception& e) {
+          diag(cl_line, std::string("BLIF: ") + e.what());
+          rows_ok = false;
+        }
       }
-      if (!on.empty() && !off.empty())
-        throw std::invalid_argument(
-            "BLIF: mixed 0/1 output columns in one .names block");
-      // BLIF semantics: 0-rows describe the OFF-set; ON = complement.
-      cubes::Cover cover = !off.empty() ? cubes::complement(off) : on;
-      net.add_logic(blk.signals.back(), std::move(fanins), std::move(cover));
+      if (!on.empty() && !off.empty()) {
+        diag(blk.line, "BLIF: mixed 0/1 output columns in one .names block");
+        rows_ok = false;
+      }
+      if (rows_ok) {
+        // BLIF semantics: 0-rows describe the OFF-set; ON = complement.
+        cubes::Cover cover = !off.empty() ? cubes::complement(off) : on;
+        net.add_logic(blk.signals.back(), std::move(fanins),
+                      std::move(cover));
+      }
+      // A block with bad rows is dropped (its output stays undriven and is
+      // reported below if anything needs it), but parsing continues.
       placed[b] = true;
       --remaining;
       progress = true;
     }
-    if (!progress)
-      throw std::invalid_argument(
-          "BLIF: unresolvable signal references (cycle or missing driver)");
+    if (!progress) {
+      int first_line = 0;
+      for (std::size_t b = 0; b < blocks.size(); ++b)
+        if (!placed[b]) {
+          if (first_line == 0) first_line = blocks[b].line;
+        }
+      diag(first_line,
+           "BLIF: unresolvable signal references (cycle or missing driver)");
+      break;
+    }
   }
 
   for (const auto& n : output_names) {
     const auto id = net.find(n);
-    if (!id) throw std::invalid_argument("BLIF: undriven output " + n);
+    if (!id) {
+      diag(0, "BLIF: undriven output " + n);
+      continue;
+    }
     net.mark_output(*id);
   }
-  net.validate();
-  return net;
+  try {
+    net.validate();
+  } catch (const std::exception& e) {
+    diag(0, std::string("BLIF: ") + e.what());
+  }
+  return out;
+}
+
+Network parse_blif(const std::string& text) {
+  auto parsed = parse_blif_lenient(text);
+  if (!parsed.clean())
+    throw std::invalid_argument(parsed.diagnostics.front().to_string());
+  return std::move(parsed.network);
 }
 
 std::string write_blif(const Network& net) {

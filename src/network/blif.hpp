@@ -5,13 +5,31 @@
 // (latches are rejected; the course scoped sequential logic out, see §2.1).
 
 #include <string>
+#include <vector>
 
 #include "network/network.hpp"
+#include "util/status.hpp"
 
 namespace l2l::network {
 
-/// Parse BLIF text into a Network. Throws std::invalid_argument on
-/// malformed input or unsupported constructs.
+/// Result of the collecting parse below: every salvageable construct
+/// lands in the network, every defect in a line-anchored diagnostic.
+struct ParsedBlif {
+  Network network;
+  std::vector<util::Diagnostic> diagnostics;  ///< empty = clean parse
+
+  bool clean() const { return diagnostics.empty(); }
+};
+
+/// Tolerant parse reporting ALL defects in one pass (a student fixing a
+/// hand-written netlist learns every mistake from a single upload).
+/// Never throws on malformed input: bad cube rows, unknown directives,
+/// multiply-driven or undriven signals, and cycles each become a
+/// diagnostic while the rest of the network is salvaged.
+ParsedBlif parse_blif_lenient(const std::string& text);
+
+/// Strict parse: throws std::invalid_argument carrying the first
+/// diagnostic when anything is malformed or unsupported.
 Network parse_blif(const std::string& text);
 
 /// Serialize a network to BLIF (dead nodes skipped).

@@ -22,6 +22,7 @@
 #include "grader/place_grader.hpp"
 #include "grader/route_grader.hpp"
 #include "linalg/cg.hpp"
+#include "lint/lint.hpp"
 #include "mooc/grading_queue.hpp"
 #include "network/blif.hpp"
 #include "obs/metrics.hpp"
@@ -33,6 +34,7 @@
 #include "util/budget.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace l2l {
 namespace {
@@ -251,7 +253,7 @@ TEST_F(DeterminismTest, FaultInjectedQueueDrainIsThreadCountInvariant) {
   const auto grade = [](const std::string& s, const util::Budget& budget) {
     // Submission k consumes k steps: some submissions blow the budget,
     // deterministically.
-    const int k = std::stoi(s);
+    const int k = util::parse_int(s).value();
     for (int q = 0; q < k; ++q)
       if (!budget.consume(1)) break;
     return static_cast<double>(k);
@@ -338,6 +340,47 @@ TEST_F(DeterminismTest, FullFlowMetricsCountersAreThreadCountInvariant) {
   EXPECT_NE(exports[0].find("counter place.regions_solved"),
             std::string::npos);
   EXPECT_NE(exports[0].find("counter route.calls 1"), std::string::npos);
+}
+
+// ---- lint ---------------------------------------------------------------
+
+TEST_F(DeterminismTest, LintReportIsThreadCountInvariant) {
+  // lint_files fans each artifact out to a worker; the rendered report
+  // (text and JSON) must come back byte-identical at any L2L_THREADS --
+  // the pre-grade lint pass feeds student-visible reports, so it lives
+  // under the same contract as the engines. The batch mixes the repo's
+  // own clean artifacts with the hostile corpus.
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (const char* rel :
+       {L2L_REPO_DATA_DIR "/fulladder.blif", L2L_REPO_DATA_DIR "/sample.pla",
+        L2L_REPO_DATA_DIR "/sample.cnf", L2L_REPO_DATA_DIR "/sample.kbdd",
+        L2L_REPO_DATA_DIR "/sample.axb",
+        L2L_TEST_DATA_DIR "/hostile/garbage.blif",
+        L2L_TEST_DATA_DIR "/hostile/bad_literals.cnf",
+        L2L_TEST_DATA_DIR "/hostile/truncated.pla",
+        L2L_TEST_DATA_DIR "/hostile/bad_placement.txt",
+        L2L_TEST_DATA_DIR "/hostile/binary.junk"}) {
+    const std::string text = read_file_or_empty(rel);
+    ASSERT_FALSE(text.empty()) << "cannot read " << rel;
+    batch.emplace_back(rel, text);
+  }
+
+  std::vector<std::string> texts, jsons;
+  for (const int t : kThreadCounts) {
+    util::set_num_threads(t);
+    const auto report = lint::lint_files(batch);
+    texts.push_back(report.to_text());
+    jsons.push_back(report.to_json());
+  }
+  for (size_t s = 1; s < texts.size(); ++s) {
+    EXPECT_EQ(texts[s], texts[0])
+        << "lint text differs at " << kThreadCounts[s] << " threads";
+    EXPECT_EQ(jsons[s], jsons[0])
+        << "lint json differs at " << kThreadCounts[s] << " threads";
+  }
+  // The batch genuinely exercised both sides of the gate.
+  EXPECT_NE(texts[0].find("error"), std::string::npos);
+  EXPECT_NE(texts[0].find("lint: 10 file(s)"), std::string::npos);
 }
 
 // The same export must match the checked-in golden file byte for byte --

@@ -4,6 +4,7 @@
 #include "cubes/cover.hpp"
 #include "homework/quiz.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace l2l::homework {
 namespace {
@@ -61,7 +62,7 @@ TEST(Quiz, PlacementClosedForm) {
   util::Rng rng(303);
   const auto q = placement_quiz(rng);
   // The answer is parseable and inside the die.
-  const double x = std::stod(q.answer);
+  const double x = util::parse_double(q.answer).value();
   EXPECT_GE(x, 0.0);
   EXPECT_LE(x, 50.0 * 4);
 }
@@ -70,7 +71,7 @@ TEST(Quiz, RoutingAnswerPositiveOrUnroutable) {
   util::Rng rng(304);
   for (int k = 0; k < 5; ++k) {
     const auto q = routing_quiz(rng);
-    if (q.answer != "unroutable") EXPECT_GT(std::stod(q.answer), 0.0);
+    if (q.answer != "unroutable") EXPECT_GT(util::parse_double(q.answer).value(), 0.0);
   }
 }
 

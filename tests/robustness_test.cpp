@@ -44,6 +44,7 @@
 #include "util/budget.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
+#include "util/strings.hpp"
 
 namespace l2l {
 namespace {
@@ -383,7 +384,7 @@ TEST(Budgets, CancellationStopsTheRouterFromOutside) {
 // 4. The fault-injected grading queue degrades gracefully.
 
 double parse_score(const std::string& s) {
-  return static_cast<double>(std::stoi(s.substr(1)));
+  return static_cast<double>(util::parse_int(s.substr(1)).value());
 }
 
 TEST(GradingQueue, CleanQueueGradesEverything) {

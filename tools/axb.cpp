@@ -10,6 +10,8 @@
 //
 // Solves A x = b with Gaussian elimination (partial pivoting); with
 // --cg uses conjugate gradient (requires symmetric positive definite A).
+// --lint runs the L2L-Axxx rule pack first (shape + symmetry pre-check);
+// findings print as '# lint:' lines on stderr, lint errors exit 3.
 //
 // Exit codes follow the shared convention (util/status.hpp): 0 ok,
 // 1 solve failure, 2 usage/IO, 3 malformed input, 4 budget exceeded,
@@ -22,6 +24,7 @@
 #include "linalg/cg.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/sparse.hpp"
+#include "lint/lint.hpp"
 #include "obs/trace.hpp"
 #include "util/budget.hpp"
 #include "util/status.hpp"
@@ -39,12 +42,15 @@ int fail(const l2l::util::Status& status) {
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
   bool use_cg = false;
+  bool lint = false;
   std::int64_t time_limit_ms = -1;
   std::string path;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
     if (arg == "--cg") {
       use_cg = true;
+    } else if (arg == "--lint") {
+      lint = true;
     } else if (arg == "--time-limit-ms") {
       if (k + 1 >= argc)
         return fail(l2l::util::Status::invalid("--time-limit-ms needs a value"));
@@ -71,6 +77,22 @@ int main(int argc, char** argv) try {
       return l2l::util::kExitUsage;
     }
     in = &file;
+  }
+
+  std::istringstream buffered;
+  if (lint) {
+    std::ostringstream ss;
+    ss << in->rdbuf();
+    const auto findings = l2l::lint::lint_axb(ss.str());
+    bool fatal = false;
+    for (const auto& f : findings) {
+      std::cerr << "# lint: " << f.to_string() << "\n";
+      fatal = fatal || f.severity == l2l::util::Severity::kError;
+    }
+    if (fatal)
+      return fail(l2l::util::Status::parse_error("lint found errors"));
+    buffered.str(ss.str());
+    in = &buffered;
   }
 
   // The dimension sizes an n*n dense allocation, so it is validated

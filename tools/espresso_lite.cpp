@@ -3,7 +3,9 @@
 // output (heuristic by default, exact Quine-McCluskey with --exact), and
 // writes the minimized PLA to stdout.
 //
-// Flags: --exact, --stats, --single-pass (ablation), --metrics FILE /
+// Flags: --exact, --stats, --single-pass (ablation), --lint (run the
+// L2L-Pxxx rule pack first; findings print as '# lint:' lines on stderr
+// and lint errors exit 3 before minimization), --metrics FILE /
 // --trace FILE (observability export).
 //
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed PLA, 5 internal error.
@@ -15,16 +17,19 @@
 #include "espresso/minimize.hpp"
 #include "espresso/pla.hpp"
 #include "espresso/qm.hpp"
+#include "lint/lint.hpp"
 #include "obs/trace.hpp"
 #include "util/status.hpp"
 
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
-  bool exact = false, show_stats = false, single_pass = false;
+  bool exact = false, show_stats = false, single_pass = false, lint = false;
   std::string path;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg == "--exact")
+    if (arg == "--lint")
+      lint = true;
+    else if (arg == "--exact")
       exact = true;
     else if (arg == "--stats")
       show_stats = true;
@@ -55,6 +60,22 @@ int main(int argc, char** argv) try {
     std::ostringstream ss;
     ss << std::cin.rdbuf();
     text = ss.str();
+  }
+
+  if (lint) {
+    const auto findings = l2l::lint::lint_pla(text);
+    bool fatal = false;
+    for (const auto& f : findings) {
+      std::cerr << "# lint: " << f.to_string() << "\n";
+      fatal = fatal || f.severity == l2l::util::Severity::kError;
+    }
+    if (fatal) {
+      std::cerr << "error: "
+                << l2l::util::Status::parse_error("lint found errors")
+                       .to_string()
+                << "\n";
+      return l2l::util::kExitParse;
+    }
   }
 
   l2l::espresso::Pla pla;

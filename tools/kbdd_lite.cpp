@@ -14,8 +14,10 @@
 //   exists <f> <var> / forall <f> <var>  quantify, result in `it`
 //   dot <f>                Graphviz DOT dump
 //
-// Usage: kbdd_lite [--node-limit N] [--time-limit-ms N]
-// [--metrics FILE] [--trace FILE] [script-file] (default input: stdin)
+// Usage: kbdd_lite [--lint] [--node-limit N] [--time-limit-ms N]
+// [--metrics FILE] [--trace FILE] [script-file] (default input: stdin).
+// --lint runs the L2L-Kxxx rule pack over the whole script before any
+// BDD is built; lint errors exit 3 without executing a command.
 //
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed script, 4 resource budget
 // exceeded (node/time limit), 5 internal error.
@@ -28,6 +30,7 @@
 
 #include "bdd/bdd.hpp"
 #include "bdd/manager.hpp"
+#include "lint/lint.hpp"
 #include "obs/trace.hpp"
 #include "util/budget.hpp"
 #include "util/status.hpp"
@@ -232,10 +235,13 @@ int main(int argc, char** argv) try {
   Calculator calc;
   l2l::util::Budget budget;
   bool have_budget = false;
+  bool lint = false;
   std::string path;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg == "--node-limit" || arg == "--time-limit-ms") {
+    if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--node-limit" || arg == "--time-limit-ms") {
       if (k + 1 >= argc) {
         std::cerr << "error: " << arg << " needs a value\n";
         return l2l::util::kExitUsage;
@@ -262,15 +268,41 @@ int main(int argc, char** argv) try {
     }
   }
   if (have_budget) calc.set_budget(&budget);
-  if (!path.empty()) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "cannot open " << path << "\n";
-      return l2l::util::kExitUsage;
+
+  // --lint wants the whole script up front, so buffer the input; the
+  // calculator then replays the same bytes.
+  std::string text;
+  {
+    std::ostringstream ss;
+    if (!path.empty()) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        return l2l::util::kExitUsage;
+      }
+      ss << in.rdbuf();
+    } else {
+      ss << std::cin.rdbuf();
     }
-    return calc.run(in, std::cout);
+    text = ss.str();
   }
-  return calc.run(std::cin, std::cout);
+  if (lint) {
+    const auto findings = l2l::lint::lint_kbdd_script(text);
+    bool fatal = false;
+    for (const auto& f : findings) {
+      std::cout << "lint: " << f.to_string() << "\n";
+      fatal = fatal || f.severity == l2l::util::Severity::kError;
+    }
+    if (fatal) {
+      std::cerr << "error: "
+                << l2l::util::Status::parse_error("lint found errors")
+                       .to_string()
+                << "\n";
+      return l2l::util::kExitParse;
+    }
+  }
+  std::istringstream in(text);
+  return calc.run(in, std::cout);
 } catch (const std::exception& e) {
   std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
             << "\n";

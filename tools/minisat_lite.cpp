@@ -4,7 +4,9 @@
 //
 // Flags: --no-vsids --no-restarts (heuristic ablations), --stats,
 // --time-limit-ms N / --prop-limit N (resource guards; an INDETERMINATE
-// result from an exhausted guard exits 4), --metrics FILE / --trace FILE
+// result from an exhausted guard exits 4), --lint (run the L2L-Cxxx rule
+// pack first; findings print as 'c lint:' comment lines and lint errors
+// exit 3 before the solver starts), --metrics FILE / --trace FILE
 // (observability export, written on every exit path).
 //
 // Exit codes: 10 SAT, 20 UNSAT (the MiniSat convention), plus the shared
@@ -16,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "lint/lint.hpp"
 #include "obs/trace.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/solver.hpp"
@@ -38,10 +41,13 @@ int main(int argc, char** argv) try {
   l2l::util::Budget budget;
   bool show_stats = false;
   bool have_budget = false;
+  bool lint = false;
   std::string path;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg == "--no-vsids") {
+    if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--no-vsids") {
       opt.use_vsids = false;
     } else if (arg == "--no-restarts") {
       opt.use_restarts = false;
@@ -83,6 +89,17 @@ int main(int argc, char** argv) try {
     std::ostringstream ss;
     ss << std::cin.rdbuf();
     text = ss.str();
+  }
+
+  if (lint) {
+    const auto findings = l2l::lint::lint_cnf(text);
+    bool fatal = false;
+    for (const auto& f : findings) {
+      std::cout << "c lint: " << f.to_string() << "\n";
+      fatal = fatal || f.severity == l2l::util::Severity::kError;
+    }
+    if (fatal)
+      return fail(l2l::util::Status::parse_error("lint found errors"));
   }
 
   l2l::sat::CnfFormula formula;

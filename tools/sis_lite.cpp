@@ -13,8 +13,9 @@
 //   map [-delay]             technology map and report area/delay
 //   quit
 //
-// Usage: sis_lite [--metrics FILE] [--trace FILE] [script-file]
-// (default input: stdin)
+// Usage: sis_lite [--lint] [--metrics FILE] [--trace FILE] [script-file]
+// (default input: stdin). --lint runs the L2L-Bxxx rule pack on every
+// network read_blif loads; lint errors abort with exit 3 before parsing.
 //
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed script or BLIF, 5 internal
 // error.
@@ -23,6 +24,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "lint/lint.hpp"
 #include "mls/factor.hpp"
 #include "mls/passes.hpp"
 #include "mls/script.hpp"
@@ -37,7 +39,7 @@ namespace {
 
 using l2l::network::Network;
 
-int run(std::istream& in, std::ostream& out) {
+int run(std::istream& in, std::ostream& out, bool lint) {
   Network net;
   bool loaded = false;
   std::string line;
@@ -63,6 +65,15 @@ int run(std::istream& in, std::ostream& out) {
           std::ostringstream ss;
           ss << f.rdbuf();
           text = ss.str();
+        }
+        if (lint) {
+          const auto findings = l2l::lint::lint_blif(text);
+          bool fatal = false;
+          for (const auto& f : findings) {
+            out << "lint: " << f.to_string() << "\n";
+            fatal = fatal || f.severity == l2l::util::Severity::kError;
+          }
+          if (fatal) throw std::runtime_error("lint found errors in " + tok[1]);
         }
         net = l2l::network::parse_blif(text);
         loaded = true;
@@ -148,9 +159,12 @@ int run(std::istream& in, std::ostream& out) {
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
   std::string path;
+  bool lint = false;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg == "--metrics" || arg == "--trace") {
+    if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--metrics" || arg == "--trace") {
       if (k + 1 >= argc) {
         std::cerr << "error: " << arg << " needs a value\n";
         return l2l::util::kExitUsage;
@@ -167,9 +181,9 @@ int main(int argc, char** argv) try {
       std::cerr << "cannot open " << path << "\n";
       return l2l::util::kExitUsage;
     }
-    return run(in, std::cout);
+    return run(in, std::cout, lint);
   }
-  return run(std::cin, std::cout);
+  return run(std::cin, std::cout, lint);
 } catch (const std::exception& e) {
   std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
             << "\n";
