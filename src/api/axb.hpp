@@ -1,0 +1,35 @@
+#pragma once
+// Linear-system facade (the axb portal, Fig. 4 of the paper): parses the
+// "n / A / b" text, solves with Gaussian elimination or conjugate
+// gradient, and returns the exact stdout/stderr text the tool prints.
+//
+// Engine id "axb". CG under a wall-clock deadline bypasses the cache;
+// everything else is deterministic and cacheable.
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace l2l::api {
+
+struct AxbRequest {
+  std::string input;  ///< the "n / A / b" text
+  bool use_cg = false;
+  std::int64_t time_limit_ms = -1;  ///< CG only; >= 0 disables cache
+  bool use_cache = true;
+};
+
+struct AxbResult {
+  std::string output;        ///< "x = ..." solution text (stdout)
+  std::string error_output;  ///< full "error: ..." line(s) (stderr)
+  /// 0 ok, 1 solve failure (singular / CG divergence), 3 malformed
+  /// input, 4 budget exceeded.
+  int exit_code = 0;
+  util::Status status;
+  bool cached = false;
+};
+
+AxbResult solve_axb(const AxbRequest& req);
+
+}  // namespace l2l::api

@@ -1,0 +1,38 @@
+#pragma once
+// BDD facade: runs a kbdd_lite calculator script and returns everything
+// the calculator printed. The script interpreter itself (variable
+// environment, expression parser, the command set documented in
+// tools/kbdd_lite.cpp) lives behind this facade so the tool main is just
+// flag handling + I/O.
+//
+// Engine id "bdd". Node-limited runs are deterministic and cacheable
+// (node_limit joins the config digest); wall-clock-limited runs bypass
+// the cache.
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace l2l::api {
+
+struct BddScriptRequest {
+  std::string script;
+  std::int64_t node_limit = -1;     ///< -1 = unlimited (budget steps)
+  std::int64_t time_limit_ms = -1;  ///< -1 = unlimited; >= 0 disables cache
+  bool use_cache = true;
+};
+
+struct BddScriptResult {
+  /// Everything the calculator printed, error lines included (the portal
+  /// prints script errors to stdout, anchored "error on line N: ...").
+  std::string output;
+  /// 0 ok, 3 malformed script, 4 resource budget exceeded.
+  int exit_code = 0;
+  util::Status status;
+  bool cached = false;
+};
+
+BddScriptResult run_bdd_script(const BddScriptRequest& req);
+
+}  // namespace l2l::api

@@ -1,0 +1,57 @@
+#include "api/detail.hpp"
+
+namespace l2l::api::detail {
+
+void append_status(std::string& out, const util::Status& status) {
+  cache::append_i64(out, static_cast<std::int64_t>(status.code));
+  cache::append_record(out, status.message);
+}
+
+bool read_status(cache::RecordReader& in, util::Status& status) {
+  std::int64_t code = 0;
+  std::string message;
+  if (!in.next_i64(code) || !in.next_string(message)) return false;
+  if (code < 0 || code > static_cast<std::int64_t>(
+                             util::StatusCode::kInternalError))
+    return false;
+  status.code = static_cast<util::StatusCode>(code);
+  status.message = std::move(message);
+  return true;
+}
+
+void append_diagnostics(std::string& out,
+                        const std::vector<util::Diagnostic>& diags) {
+  cache::append_i64(out, static_cast<std::int64_t>(diags.size()));
+  for (const auto& d : diags) {
+    cache::append_i64(out, static_cast<std::int64_t>(d.severity));
+    cache::append_i64(out, d.line);
+    cache::append_i64(out, d.column);
+    cache::append_record(out, d.message);
+  }
+}
+
+bool read_diagnostics(cache::RecordReader& in,
+                      std::vector<util::Diagnostic>& diags) {
+  std::int64_t count = 0;
+  if (!in.next_i64(count) || count < 0) return false;
+  diags.clear();
+  for (std::int64_t k = 0; k < count; ++k) {
+    std::int64_t severity = 0, line = 0, column = 0;
+    std::string message;
+    if (!in.next_i64(severity) || !in.next_i64(line) ||
+        !in.next_i64(column) || !in.next_string(message))
+      return false;
+    if (severity < 0 ||
+        severity > static_cast<std::int64_t>(util::Severity::kNote))
+      return false;
+    util::Diagnostic d;
+    d.severity = static_cast<util::Severity>(severity);
+    d.line = static_cast<int>(line);
+    d.column = static_cast<int>(column);
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+  }
+  return true;
+}
+
+}  // namespace l2l::api::detail

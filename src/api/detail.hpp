@@ -1,0 +1,29 @@
+#pragma once
+// Shared plumbing for the engine facades in src/api/: serialization of
+// the cross-cutting value types (Status, Diagnostic) into the cache's
+// length-prefixed record format, and the one cache round-trip helper
+// every facade repeats (lookup; on miss compute + insert).
+//
+// Internal to the api module -- tools and subsystems include the facade
+// headers (or the l2l/api.hpp umbrella), never this.
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "util/status.hpp"
+
+namespace l2l::api::detail {
+
+/// Append a Status as (code, message) records.
+void append_status(std::string& out, const util::Status& status);
+bool read_status(cache::RecordReader& in, util::Status& status);
+
+/// Append a Diagnostic list as (count, then per-entry severity/line/
+/// column/message) records.
+void append_diagnostics(std::string& out,
+                        const std::vector<util::Diagnostic>& diags);
+bool read_diagnostics(cache::RecordReader& in,
+                      std::vector<util::Diagnostic>& diags);
+
+}  // namespace l2l::api::detail

@@ -1,0 +1,35 @@
+#pragma once
+// Two-level minimization facade (the espresso_lite portal). Takes the
+// whole PLA text, minimizes every output (heuristic or exact), returns
+// the minimized PLA plus the per-output "# name: cubes/lits -> ..."
+// stats block the tool prints on stderr.
+//
+// Engine id "espresso". Minimization is fully deterministic, so every
+// request is cacheable.
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace l2l::api {
+
+struct EspressoRequest {
+  std::string pla;
+  bool exact = false;        ///< Quine-McCluskey instead of the heuristic
+  bool single_pass = false;  ///< ablation: one expand/reduce pass
+  bool show_stats = false;   ///< fill EspressoResult::stats_output
+  bool use_cache = true;
+};
+
+struct EspressoResult {
+  std::string output;        ///< minimized PLA text (stdout)
+  std::string stats_output;  ///< "# <name>: ..." lines (stderr), or empty
+  /// 0 ok, 3 malformed PLA.
+  int exit_code = 0;
+  util::Status status;
+  bool cached = false;
+};
+
+EspressoResult minimize_pla(const EspressoRequest& req);
+
+}  // namespace l2l::api

@@ -1,0 +1,120 @@
+#include "api/mls.hpp"
+
+#include "api/detail.hpp"
+#include "cache/cache.hpp"
+#include "network/blif.hpp"
+
+namespace l2l::api {
+
+namespace {
+
+constexpr std::uint64_t kMlsFormatVersion = 1;
+
+cache::Digest128 config_digest(const mls::ScriptOptions& opt) {
+  cache::Hasher h;
+  h.u64(kMlsFormatVersion)
+      .i32(opt.eliminate_threshold)
+      .boolean(opt.use_sdc_simplify)
+      .i32(opt.passes);
+  return h.finish();
+}
+
+void append_stats(std::string& out, const mls::ScriptStats& s) {
+  cache::append_i64(out, s.literals_before);
+  cache::append_i64(out, s.literals_after);
+  cache::append_i64(out, s.nodes_before);
+  cache::append_i64(out, s.nodes_after);
+  cache::append_i64(out, s.swept);
+  cache::append_i64(out, s.eliminated);
+  cache::append_i64(out, s.kernels_extracted);
+  cache::append_i64(out, s.cubes_extracted);
+  cache::append_i64(out, s.resubstitutions);
+}
+
+bool read_stats(cache::RecordReader& in, mls::ScriptStats& s) {
+  std::int64_t v[9];
+  for (auto& f : v)
+    if (!in.next_i64(f)) return false;
+  s.literals_before = static_cast<int>(v[0]);
+  s.literals_after = static_cast<int>(v[1]);
+  s.nodes_before = static_cast<int>(v[2]);
+  s.nodes_after = static_cast<int>(v[3]);
+  s.swept = static_cast<int>(v[4]);
+  s.eliminated = static_cast<int>(v[5]);
+  s.kernels_extracted = static_cast<int>(v[6]);
+  s.cubes_extracted = static_cast<int>(v[7]);
+  s.resubstitutions = static_cast<int>(v[8]);
+  return true;
+}
+
+std::string serialize(const std::string& blif, const mls::ScriptStats& s) {
+  std::string out;
+  cache::append_record(out, blif);
+  append_stats(out, s);
+  return out;
+}
+
+bool deserialize(std::string_view bytes, std::string& blif,
+                 mls::ScriptStats& s) {
+  cache::RecordReader in(bytes);
+  return in.next_string(blif) && read_stats(in, s) && in.complete();
+}
+
+}  // namespace
+
+MlsResult optimize_blif(const MlsRequest& req) {
+  MlsResult res;
+  const bool cacheable = req.use_cache && cache::enabled();
+  cache::CacheKey key;
+  if (cacheable) {
+    key.engine = "mls";
+    key.input = cache::digest_bytes(req.blif);
+    key.config = config_digest(req.options);
+    if (const auto hit = cache::Cache::global().lookup(key)) {
+      if (deserialize(*hit, res.blif, res.stats)) {
+        res.cached = true;
+        return res;
+      }
+    }
+  }
+  network::Network net;
+  try {
+    net = network::parse_blif(req.blif);
+  } catch (const std::exception& e) {
+    res.status = util::Status::parse_error(e.what());
+    return res;
+  }
+  res.stats = mls::optimize(net, req.options);
+  res.blif = network::write_blif(net);
+  if (cacheable) cache::Cache::global().insert(key, serialize(res.blif, res.stats));
+  return res;
+}
+
+MlsNetworkResult optimize_network(network::Network& net,
+                                  const mls::ScriptOptions& opt,
+                                  bool use_cache) {
+  MlsNetworkResult res;
+  const bool cacheable = use_cache && cache::enabled();
+  cache::CacheKey key;
+  if (cacheable) {
+    key.engine = "mls";
+    key.input = cache::digest_bytes(network::write_blif(net));
+    key.config = config_digest(opt);
+    if (const auto hit = cache::Cache::global().lookup(key)) {
+      std::string blif;
+      if (deserialize(*hit, blif, res.stats)) {
+        net = network::parse_blif(blif);
+        res.cached = true;
+        return res;
+      }
+    }
+  }
+  // Miss: optimize in place -- bit-for-bit the uncached code path.
+  res.stats = mls::optimize(net, opt);
+  if (cacheable)
+    cache::Cache::global().insert(key,
+                                  serialize(network::write_blif(net), res.stats));
+  return res;
+}
+
+}  // namespace l2l::api

@@ -1,0 +1,94 @@
+#include "api/place.hpp"
+
+#include "cache/cache.hpp"
+#include "place/wirelength.hpp"
+
+namespace l2l::api {
+
+namespace {
+
+constexpr std::uint64_t kPlaceFormatVersion = 1;
+
+cache::Digest128 config_digest(const PlaceRequest& req) {
+  cache::Hasher h;
+  h.u64(kPlaceFormatVersion)
+      .i32(req.grid.rows)
+      .i32(req.grid.sites_per_row)
+      .f64(req.grid.width)
+      .f64(req.grid.height)
+      .i32(static_cast<int>(req.options.net_model))
+      .i32(req.options.min_region_cells)
+      .i32(req.options.max_levels)
+      .f64(req.options.cg_tolerance);
+  return h.finish();
+}
+
+std::string serialize(const PlaceResult& res) {
+  std::string out;
+  cache::append_i64(out, static_cast<std::int64_t>(res.placement.col.size()));
+  for (const int c : res.placement.col) cache::append_i64(out, c);
+  for (const int r : res.placement.row) cache::append_i64(out, r);
+  cache::append_f64(out, res.hpwl);
+  return out;
+}
+
+bool deserialize(std::string_view bytes, PlaceResult& res) {
+  cache::RecordReader in(bytes);
+  std::int64_t n = 0;
+  if (!in.next_i64(n) || n < 0) return false;
+  res.placement.col.resize(static_cast<std::size_t>(n));
+  res.placement.row.resize(static_cast<std::size_t>(n));
+  for (auto& c : res.placement.col) {
+    std::int64_t v = 0;
+    if (!in.next_i64(v)) return false;
+    c = static_cast<int>(v);
+  }
+  for (auto& r : res.placement.row) {
+    std::int64_t v = 0;
+    if (!in.next_i64(v)) return false;
+    r = static_cast<int>(v);
+  }
+  return in.next_f64(res.hpwl) && in.complete();
+}
+
+}  // namespace
+
+PlaceResult place_and_legalize(const gen::PlacementProblem& problem,
+                               const PlaceRequest& req) {
+  const bool cacheable =
+      req.use_cache && cache::enabled() && req.options.budget == nullptr;
+  cache::CacheKey key;
+  if (cacheable) {
+    key.engine = "place";
+    key.input = placement_problem_digest(problem);
+    key.config = config_digest(req);
+    if (const auto hit = cache::Cache::global().lookup(key)) {
+      PlaceResult res;
+      if (deserialize(*hit, res)) {
+        res.cached = true;
+        return res;
+      }
+    }
+  }
+  PlaceResult res;
+  const auto continuous = place::place_quadratic(problem, req.options);
+  res.placement = place::legalize(problem, continuous, req.grid);
+  res.hpwl = place::hpwl(problem, res.placement.to_continuous(req.grid));
+  if (cacheable) cache::Cache::global().insert(key, serialize(res));
+  return res;
+}
+
+cache::Digest128 placement_problem_digest(const gen::PlacementProblem& p) {
+  cache::Hasher h;
+  h.i32(p.num_cells).f64(p.width).f64(p.height);
+  h.i64(static_cast<std::int64_t>(p.pads.size()));
+  for (const auto& pad : p.pads) h.f64(pad.x).f64(pad.y).str(pad.name);
+  h.i64(static_cast<std::int64_t>(p.nets.size()));
+  for (const auto& net : p.nets) {
+    h.i64(static_cast<std::int64_t>(net.size()));
+    for (const auto& pin : net) h.boolean(pin.is_pad).i32(pin.index);
+  }
+  return h.finish();
+}
+
+}  // namespace l2l::api

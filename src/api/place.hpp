@@ -1,0 +1,36 @@
+#pragma once
+// Placement facade: quadratic placement + legalization + HPWL in one
+// call (the flow's placement stage). The facade owns the problem digest
+// (placement_problem_digest) and the config digest over the grid and
+// every QuadraticOptions knob.
+//
+// Engine id "place". A request carrying a Budget pointer bypasses the
+// cache: the guard's trip point under a deadline is not reproducible.
+
+#include "cache/digest.hpp"
+#include "gen/placement_gen.hpp"
+#include "place/legalize.hpp"
+#include "place/quadratic.hpp"
+
+namespace l2l::api {
+
+struct PlaceRequest {
+  place::Grid grid;
+  place::QuadraticOptions options;  ///< non-null budget disables caching
+  bool use_cache = true;
+};
+
+struct PlaceResult {
+  place::GridPlacement placement;
+  double hpwl = 0.0;
+  bool cached = false;
+};
+
+PlaceResult place_and_legalize(const gen::PlacementProblem& problem,
+                               const PlaceRequest& req);
+
+/// Canonical digest of a placement problem (cells, pads, nets, die).
+/// Shared with the placement grader facade so both key the same way.
+cache::Digest128 placement_problem_digest(const gen::PlacementProblem& p);
+
+}  // namespace l2l::api

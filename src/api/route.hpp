@@ -1,0 +1,33 @@
+#pragma once
+// Routing facade: route_all behind a content-addressed key (the flow's
+// routing stage). The problem digest hashes the canonical write_problem
+// text; the config digest covers every RouterOptions/RouteCosts knob.
+//
+// Engine id "route". A request carrying a Budget pointer bypasses the
+// cache (deadline trip points are not reproducible); the deterministic
+// iteration limits are part of the config digest.
+
+#include "cache/digest.hpp"
+#include "gen/routing_gen.hpp"
+#include "route/router.hpp"
+
+namespace l2l::api {
+
+struct RouteRequest {
+  route::RouterOptions options;  ///< non-null budget disables caching
+  bool use_cache = true;
+};
+
+struct RouteResult {
+  route::RouteSolution solution;
+  bool cached = false;
+};
+
+RouteResult route_nets(const gen::RoutingProblem& problem,
+                       const RouteRequest& req);
+
+/// Canonical digest of a routing problem (write_problem text). Shared
+/// with the routing grader facade so both key the same way.
+cache::Digest128 routing_problem_digest(const gen::RoutingProblem& p);
+
+}  // namespace l2l::api

@@ -1,0 +1,114 @@
+#include "api/sat.hpp"
+
+#include <sstream>
+
+#include "api/detail.hpp"
+#include "cache/cache.hpp"
+#include "sat/dimacs.hpp"
+#include "util/budget.hpp"
+
+namespace l2l::api {
+
+namespace {
+
+constexpr std::uint64_t kSatFormatVersion = 1;
+
+std::string serialize(const SatResult& res) {
+  std::string out;
+  cache::append_record(out, res.output);
+  cache::append_i64(out, res.exit_code);
+  detail::append_status(out, res.status);
+  return out;
+}
+
+bool deserialize(std::string_view bytes, SatResult& res) {
+  cache::RecordReader in(bytes);
+  std::int64_t exit_code = 0;
+  if (!in.next_string(res.output) || !in.next_i64(exit_code) ||
+      !detail::read_status(in, res.status) || !in.complete())
+    return false;
+  res.exit_code = static_cast<int>(exit_code);
+  return true;
+}
+
+SatResult run_solver(const SatRequest& req) {
+  SatResult res;
+  sat::SolverOptions opt = req.options;
+  util::Budget budget;
+  if (req.time_limit_ms >= 0 || req.prop_limit >= 0) {
+    if (req.time_limit_ms >= 0) budget.set_deadline_ms(req.time_limit_ms);
+    if (req.prop_limit >= 0) budget.set_step_limit(req.prop_limit);
+    opt.budget = &budget;
+  }
+
+  sat::CnfFormula formula;
+  try {
+    formula = sat::parse_dimacs(req.dimacs);
+  } catch (const std::exception& e) {
+    res.status = util::Status::parse_error(e.what());
+    res.exit_code = util::exit_code_for(res.status);
+    return res;
+  }
+  sat::Solver solver(opt);
+  sat::LBool result = sat::LBool::kFalse;
+  if (sat::load_into_solver(formula, solver)) result = solver.solve();
+  std::ostringstream out;
+  out << sat::result_text(solver, result);
+  if (req.show_stats) {
+    const auto& s = solver.stats();
+    out << "c decisions " << s.decisions << " propagations " << s.propagations
+        << " conflicts " << s.conflicts << " restarts " << s.restarts
+        << " learnts " << s.learnt_clauses << "\n";
+  }
+  res.output = out.str();
+  if (result == sat::LBool::kTrue) {
+    res.exit_code = util::kExitSat;
+  } else if (result == sat::LBool::kFalse) {
+    res.exit_code = util::kExitUnsat;
+  } else if (!solver.stop_reason().ok()) {
+    res.status = solver.stop_reason();
+    res.exit_code = util::exit_code_for(res.status);
+  } else {
+    res.exit_code = util::kExitOk;
+  }
+  return res;
+}
+
+}  // namespace
+
+SatResult solve_sat(const SatRequest& req) {
+  // A wall-clock deadline (or an external budget the caller wired into
+  // options) makes the stopping point non-reproducible: bypass the cache.
+  const bool cacheable = req.use_cache && cache::enabled() &&
+                         req.time_limit_ms < 0 &&
+                         req.options.budget == nullptr;
+  cache::CacheKey key;
+  if (cacheable) {
+    key.engine = "sat";
+    key.input = cache::digest_bytes(req.dimacs);
+    cache::Hasher h;
+    h.u64(kSatFormatVersion)
+        .boolean(req.options.use_vsids)
+        .boolean(req.options.use_restarts)
+        .boolean(req.options.use_phase_saving)
+        .f64(req.options.var_decay)
+        .f64(req.options.clause_decay)
+        .i32(req.options.restart_base)
+        .i64(req.options.conflict_limit)
+        .i64(req.prop_limit)
+        .boolean(req.show_stats);
+    key.config = h.finish();
+    if (const auto hit = cache::Cache::global().lookup(key)) {
+      SatResult res;
+      if (deserialize(*hit, res)) {
+        res.cached = true;
+        return res;
+      }
+    }
+  }
+  SatResult res = run_solver(req);
+  if (cacheable) cache::Cache::global().insert(key, serialize(res));
+  return res;
+}
+
+}  // namespace l2l::api

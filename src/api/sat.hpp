@@ -1,0 +1,44 @@
+#pragma once
+// SAT facade: the one entry point behind the minisat_lite portal. A
+// SatRequest carries the DIMACS text plus every knob that changes the
+// answer; the facade owns cache keying (engine id "sat") so callers
+// never hand-roll digests. Results replayed from the cache are
+// byte-identical to a fresh solve, including the exit code.
+//
+// Wall-clock-limited requests (time_limit_ms >= 0) bypass the cache:
+// where a deadline stops the solver is not reproducible, so such
+// results are never stored or replayed. The deterministic guards
+// (prop_limit, conflict_limit) are part of the config digest instead.
+
+#include <cstdint>
+#include <string>
+
+#include "sat/solver.hpp"
+#include "util/status.hpp"
+
+namespace l2l::api {
+
+struct SatRequest {
+  std::string dimacs;          ///< the canonical input text
+  sat::SolverOptions options;  ///< heuristics + deterministic limits
+  std::int64_t prop_limit = -1;     ///< -1 = unlimited (budget steps)
+  std::int64_t time_limit_ms = -1;  ///< -1 = unlimited; >= 0 disables cache
+  bool show_stats = false;          ///< append the "c decisions ..." line
+  bool use_cache = true;
+};
+
+struct SatResult {
+  /// Exactly what minisat_lite prints to stdout: the result/model text
+  /// plus the optional stats comment line.
+  std::string output;
+  /// 10 SAT, 20 UNSAT, 0 clean indeterminate, else the shared exit table
+  /// applied to `status`.
+  int exit_code = 0;
+  /// Non-ok on parse errors and tripped resource guards.
+  util::Status status;
+  bool cached = false;
+};
+
+SatResult solve_sat(const SatRequest& req);
+
+}  // namespace l2l::api

@@ -1,0 +1,117 @@
+#include "cache/digest.hpp"
+
+#include <cstring>
+
+namespace l2l::cache {
+
+namespace {
+
+// Odd multiplicative constants per lane (from the splitmix64/xxh family);
+// the exact values are part of the on-disk format -- changing them is a
+// cache-version bump, not a tweak.
+constexpr std::uint64_t kMulA = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kMulB = 0xc2b2ae3d27d4eb4full;
+constexpr std::uint64_t kInitA = 0x8c773be1f6bb3cc1ull;
+constexpr std::uint64_t kInitB = 0x5851f42d4c957f2dull;
+
+std::uint64_t splitmix64_fin(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int s) {
+  return (v << s) | (v >> (64 - s));
+}
+
+}  // namespace
+
+std::string Digest128::hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t w = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const auto byte = static_cast<unsigned>((w >> shift) & 0xff);
+    out[static_cast<std::size_t>(2 * i)] = kHex[byte >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = kHex[byte & 0xf];
+  }
+  return out;
+}
+
+Hasher::Hasher() : a_(kInitA), b_(kInitB) {}
+
+void Hasher::absorb_word(std::uint64_t w) {
+  a_ = rotl(a_ ^ (w * kMulA), 29) * kMulB;
+  b_ = rotl(b_ ^ (w * kMulB), 31) * kMulA;
+}
+
+Hasher& Hasher::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  total_ += n;
+  // Fill a partial chunk left over from the previous call first.
+  while (pending_n_ > 0 && pending_n_ < 8 && n > 0) {
+    pending_[pending_n_++] = *p++;
+    --n;
+  }
+  if (pending_n_ == 8) {
+    std::uint64_t w = 0;
+    for (int i = 7; i >= 0; --i) w = (w << 8) | pending_[i];  // little-endian
+    absorb_word(w);
+    pending_n_ = 0;
+  }
+  while (n >= 8) {
+    std::uint64_t w = 0;
+    for (int i = 7; i >= 0; --i) w = (w << 8) | p[i];  // little-endian
+    absorb_word(w);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    pending_[pending_n_++] = *p++;
+    --n;
+  }
+  return *this;
+}
+
+Hasher& Hasher::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+Hasher& Hasher::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return bytes(buf, 8);
+}
+
+Hasher& Hasher::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return u64(bits);
+}
+
+Digest128 Hasher::finish() {
+  // Flush the tail chunk zero-padded; the total length absorbed below
+  // keeps ("a") and ("a\0") distinct.
+  if (pending_n_ > 0) {
+    std::uint64_t w = 0;
+    for (std::size_t i = pending_n_; i-- > 0;) w = (w << 8) | pending_[i];
+    absorb_word(w);
+    pending_n_ = 0;
+  }
+  const std::uint64_t len = total_;
+  Digest128 d;
+  d.hi = splitmix64_fin(a_ ^ rotl(b_, 17) ^ (len * kMulA));
+  d.lo = splitmix64_fin(b_ ^ rotl(a_, 23) ^ (len * kMulB) ^ d.hi);
+  return d;
+}
+
+Digest128 digest_bytes(std::string_view data) {
+  Hasher h;
+  h.bytes(data.data(), data.size());
+  return h.finish();
+}
+
+}  // namespace l2l::cache

@@ -1,0 +1,82 @@
+#pragma once
+// Seedless, platform-stable 128-bit content digest -- the keying primitive
+// of the result cache. The MOOC dedup contract ("the same submission is
+// graded once, planet-wide") needs a digest that is:
+//
+//   * seedless and process-independent, so a key computed today matches a
+//     key computed by another worker tomorrow (the persistent tier depends
+//     on this -- file names ARE digests);
+//   * byte-order defined (input bytes are consumed little-endian
+//     explicitly, not via memcpy-of-host-words), so x86 and ARM workers
+//     agree;
+//   * wide enough (128 bits) that accidental collisions across tens of
+//     millions of submissions are out of the picture.
+//
+// The construction is two independent 64-bit lanes over 8-byte chunks,
+// each lane a multiply-xorshift absorb with its own odd constants,
+// cross-mixed and finalized with the splitmix64 finalizer. This is not a
+// cryptographic hash -- students cannot poison the cache because the value
+// stored under a key is the *output of grading that exact content*; a
+// collision merely replays another submission's honest report.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace l2l::cache {
+
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest128&) const = default;
+  bool operator<(const Digest128& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+
+  /// 32 lowercase hex chars (hi then lo) -- the persistent tier's file
+  /// name component, and the form golden tests pin.
+  std::string hex() const;
+};
+
+/// Incremental hasher. Feed any mix of raw bytes and typed fields; typed
+/// appends are length/tag-framed so ("ab","c") never collides with
+/// ("a","bc") and an empty string is distinguishable from an absent field.
+class Hasher {
+ public:
+  Hasher();
+
+  /// Raw bytes, no framing (building block for the typed appends).
+  Hasher& bytes(const void* data, std::size_t n);
+
+  /// Length-framed string: appends the size then the bytes.
+  Hasher& str(std::string_view s);
+
+  /// Fixed-width little-endian integer.
+  Hasher& u64(std::uint64_t v);
+  Hasher& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Hasher& i32(std::int32_t v) {
+    return u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  Hasher& boolean(bool v) { return u64(v ? 1 : 0); }
+
+  /// Bit-exact double (IEEE-754 bits, not a decimal rendering).
+  Hasher& f64(double v);
+
+  /// Finish and return the digest. The hasher may not be reused after.
+  Digest128 finish();
+
+ private:
+  void absorb_word(std::uint64_t w);
+
+  std::uint64_t a_, b_;
+  std::uint64_t total_ = 0;
+  unsigned char pending_[8];
+  std::size_t pending_n_ = 0;
+};
+
+/// One-shot convenience over Hasher::bytes.
+Digest128 digest_bytes(std::string_view data);
+
+}  // namespace l2l::cache

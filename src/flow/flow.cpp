@@ -7,12 +7,13 @@
 #include <optional>
 #include <set>
 
+#include "api/mls.hpp"
+#include "api/place.hpp"
+#include "api/route.hpp"
 #include "mls/script.hpp"
 #include "network/blif.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "place/quadratic.hpp"
-#include "place/wirelength.hpp"
 #include "timing/elmore.hpp"
 #include "util/strings.hpp"
 
@@ -73,7 +74,7 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
   if (opt.optimize_logic) {
     mls::ScriptOptions sopt;
     sopt.use_sdc_simplify = static_cast<int>(net.inputs().size()) <= 16;
-    mls::optimize(net, sopt);
+    api::optimize_network(net, sopt);
   }
   res.literals_after = net.num_literals();
   obs::gauge_set("flow.literals_before", res.literals_before);
@@ -176,11 +177,12 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
   if (!stage_ok("placement")) return;
   stage_span.emplace("flow.stage.placement", "flow");
   res.grid = place::Grid{side_cells, side_cells, prob.width, prob.height};
-  place::QuadraticOptions qopt;
-  qopt.budget = opt.budget;
-  const auto continuous = place::place_quadratic(prob, qopt);
-  res.placement = place::legalize(prob, continuous, res.grid);
-  res.hpwl = place::hpwl(prob, res.placement.to_continuous(res.grid));
+  api::PlaceRequest preq;
+  preq.grid = res.grid;
+  preq.options.budget = opt.budget;
+  const auto placed = api::place_and_legalize(prob, preq);
+  res.placement = placed.placement;
+  res.hpwl = placed.hpwl;
 
   // ---- Routing problem construction (Week 7) -----------------------------
   if (!stage_ok("routing")) return;
@@ -235,10 +237,10 @@ void run_flow_impl(const Network& input, const FlowOptions& opt,
   }
 
   // ---- Route -------------------------------------------------------------
-  route::RouterOptions ropt;
-  ropt.max_ripup_iterations = opt.route_ripup_iterations;
-  ropt.budget = opt.budget;
-  res.routing = route::route_all(rp, ropt);
+  api::RouteRequest rreq;
+  rreq.options.max_ripup_iterations = opt.route_ripup_iterations;
+  rreq.options.budget = opt.budget;
+  res.routing = api::route_nets(rp, rreq).solution;
 
   // ---- Timing (Week 8): gate delays + Elmore wire delay ------------------
   if (!stage_ok("timing")) return;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <sstream>
+#include <string_view>
 #include <thread>
 
+#include "cache/cache.hpp"
 #include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -164,10 +167,24 @@ std::vector<PlaceGrade> grade_placement_batch(
   obs::count("grader.place.submissions",
              static_cast<std::int64_t>(submissions.size()));
   std::vector<PlaceGrade> grades(submissions.size());
+  // Intra-batch dedup, same scheme as grade_routing_batch: sequential
+  // exact-text pre-pass, grade each unique submission once, copy the
+  // rest. L2L_CACHE=0 (or a wall-clock limit) grades everything.
+  std::vector<std::size_t> canonical(submissions.size());
+  const bool dedup = cache::enabled() && opt.time_limit_ms < 0;
+  {
+    std::map<std::string_view, std::size_t> first;
+    for (std::size_t i = 0; i < submissions.size(); ++i)
+      canonical[i] =
+          dedup ? first.emplace(submissions[i], i).first->second : i;
+  }
+  std::vector<std::size_t> work;
+  for (std::size_t i = 0; i < submissions.size(); ++i)
+    if (canonical[i] == i) work.push_back(i);
   util::parallel_for(
-      0, static_cast<std::int64_t>(submissions.size()), 1,
+      0, static_cast<std::int64_t>(work.size()), 1,
       [&](std::int64_t s) {
-        const auto i = static_cast<std::size_t>(s);
+        const auto i = work[static_cast<std::size_t>(s)];
         obs::ScopedSpan sub_span("grader.place.submission", "grader");
         const int attempts = std::max(1, opt.max_attempts);
         for (int attempt = 0; attempt < attempts; ++attempt) {
@@ -193,8 +210,16 @@ std::vector<PlaceGrade> grade_placement_batch(
           }
         }
       });
-  // Sequential epilogue: outcome tallies in submission order.
+  // Sequential epilogue: replay duplicates, then outcome tallies in
+  // submission order.
+  std::int64_t deduped = 0;
+  for (std::size_t i = 0; i < submissions.size(); ++i)
+    if (canonical[i] != i) {
+      grades[i] = grades[canonical[i]];
+      ++deduped;
+    }
   if (obs::enabled()) {
+    if (dedup) obs::count("grader.place.deduped", deduped);
     std::int64_t failed = 0;
     for (const auto& g : grades) failed += g.status.ok() ? 0 : 1;
     obs::count("grader.place.failed", failed);

@@ -1,0 +1,89 @@
+#include "util/arg_parser.hpp"
+
+#include "util/strings.hpp"
+
+namespace l2l::util {
+
+void ArgParser::flag(std::string name, bool* target, std::string help) {
+  Spec s;
+  s.name = std::move(name);
+  s.bool_target = target;
+  s.help = std::move(help);
+  specs_.push_back(std::move(s));
+}
+
+void ArgParser::value(std::string name, std::string* target,
+                      std::string help) {
+  value_fn(
+      std::move(name),
+      [target](const std::string& v) {
+        *target = v;
+        return Status::okay();
+      },
+      std::move(help));
+}
+
+void ArgParser::int64_value(std::string name, std::int64_t* target,
+                            std::string help) {
+  const std::string flag_name = name;
+  value_fn(
+      std::move(name),
+      [target, flag_name](const std::string& v) {
+        const auto parsed = parse_int64(v);
+        if (!parsed || *parsed < 0)
+          return Status::invalid("bad " + flag_name + " value");
+        *target = *parsed;
+        return Status::okay();
+      },
+      std::move(help));
+}
+
+void ArgParser::value_fn(std::string name,
+                         std::function<Status(const std::string&)> fn,
+                         std::string help) {
+  Spec s;
+  s.name = std::move(name);
+  s.takes_value = true;
+  s.consume = std::move(fn);
+  s.help = std::move(help);
+  specs_.push_back(std::move(s));
+}
+
+Status ArgParser::parse(int argc, char** argv) {
+  positionals_.clear();
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    const Spec* match = nullptr;
+    for (const auto& s : specs_)
+      if (s.name == arg) {
+        match = &s;
+        break;
+      }
+    if (match == nullptr) {
+      if (starts_with(arg, "--"))
+        return Status::invalid("unknown flag " + arg);
+      positionals_.push_back(arg);
+      continue;
+    }
+    if (!match->takes_value) {
+      *match->bool_target = true;
+      continue;
+    }
+    if (k + 1 >= argc) return Status::invalid(arg + " needs a value");
+    if (const Status st = match->consume(argv[++k]); !st.ok()) return st;
+  }
+  return Status::okay();
+}
+
+std::string ArgParser::help_text() const {
+  std::string out;
+  for (const auto& s : specs_) {
+    out += "  " + s.name;
+    if (s.takes_value) out += " <value>";
+    if (!s.help.empty()) out += "  -- " + s.help;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace l2l::util

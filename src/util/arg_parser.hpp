@@ -1,0 +1,62 @@
+#pragma once
+// Declarative command-line parsing for the tools/* front-ends. Before
+// this existed each of the five portal mains hand-rolled the same
+// `for (k = 1; k < argc; ...)` loop over the same shared flags
+// (--metrics/--trace/--lint/--time-limit-ms/...), so adding one flag
+// meant five slightly-divergent edits. A parser instance owns a flag
+// table; tools register their specific flags plus the shared pack from
+// tools/common_cli.hpp, then call parse().
+//
+// Deliberately tiny: boolean flags, value flags (string / validated
+// non-negative i64), and positionals. Errors come back as util::Status
+// (kInvalidInput) so mains keep their exception-free contract.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace l2l::util {
+
+class ArgParser {
+ public:
+  /// --name (no value): sets *target.
+  void flag(std::string name, bool* target, std::string help = {});
+
+  /// --name VALUE: stores the raw string.
+  void value(std::string name, std::string* target, std::string help = {});
+
+  /// --name N: exception-free parse, rejects negatives; stores into
+  /// *target (callers use -1 as "unset").
+  void int64_value(std::string name, std::int64_t* target,
+                   std::string help = {});
+
+  /// --name VALUE with a custom consumer; return non-ok to reject.
+  void value_fn(std::string name, std::function<Status(const std::string&)> fn,
+                std::string help = {});
+
+  /// Parse argv[1..). Unknown "--flags" are errors; everything else is
+  /// collected into positionals(). Stops with kInvalidInput on a flag
+  /// missing its value or failing validation.
+  Status parse(int argc, char** argv);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// One "  --flag   help" line per registered flag, registration order.
+  std::string help_text() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    bool takes_value = false;
+    bool* bool_target = nullptr;
+    std::function<Status(const std::string&)> consume;
+    std::string help;
+  };
+  std::vector<Spec> specs_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace l2l::util

@@ -1,0 +1,34 @@
+#pragma once
+// The shared tool exit-code table -- one copy, used by every tools/* main
+// and by the grading scripts that classify portal failures. Documented in
+// DESIGN.md "Failure model & resource guards":
+//
+//   0 success, 1 processing failure (e.g. singular matrix, CG divergence),
+//   2 usage / IO error, 3 malformed input, 4 resource budget exceeded,
+//   5 internal error.
+//
+// minisat_lite layers the MiniSat convention on top: 10 SAT, 20 UNSAT.
+
+namespace l2l::util {
+
+struct Status;  // status.hpp
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitFail = 1,
+  kExitUsage = 2,
+  kExitParse = 3,
+  kExitBudget = 4,
+  kExitInternal = 5,
+};
+
+/// MiniSat's historical result codes, used only by minisat_lite.
+enum MinisatExitCode : int {
+  kExitSat = 10,
+  kExitUnsat = 20,
+};
+
+/// StatusCode -> exit code under the table above.
+int exit_code_for(const Status& status);
+
+}  // namespace l2l::util

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "util/exit_codes.hpp"  // the shared tool exit-code table
+
 namespace l2l::util {
 
 enum class StatusCode {
@@ -93,17 +95,5 @@ class BudgetExceededError : public std::runtime_error {
  private:
   Status status_;
 };
-
-/// Shared tool exit-code convention (see header comment).
-enum ExitCode : int {
-  kExitOk = 0,
-  kExitFail = 1,
-  kExitUsage = 2,
-  kExitParse = 3,
-  kExitBudget = 4,
-  kExitInternal = 5,
-};
-
-int exit_code_for(const Status& status);
 
 }  // namespace l2l::util

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "fault/faults.hpp"
 #include "fault/simulator.hpp"
 #include "flow/flow.hpp"
@@ -308,8 +309,11 @@ std::string counters_only_export() {
   return out;
 }
 
-/// Runs the full flow on data/fulladder.blif with a clean registry and
-/// returns the counters-only export.
+/// Runs the full flow on data/fulladder.blif with a clean registry and a
+/// cold result cache, and returns the counters-only export. The cache
+/// clear keeps every run cold: without it the second run would replay
+/// the synthesis/placement/routing results and the engine counters would
+/// vanish from the export.
 std::string full_flow_counters(int threads) {
   const std::string blif = read_file_or_empty(L2L_REPO_DATA_DIR
                                               "/fulladder.blif");
@@ -317,6 +321,7 @@ std::string full_flow_counters(int threads) {
   util::set_num_threads(threads);
   obs::Registry::global().reset();
   obs::Tracer::global().reset();
+  cache::Cache::global().clear();
   const auto net = network::parse_blif(blif);
   const auto res = flow::run_flow(net, flow::FlowOptions{});
   EXPECT_TRUE(res.status.ok()) << res.status.to_string();
@@ -406,6 +411,97 @@ TEST_F(DeterminismTest, FullFlowMetricsMatchGoldenFile) {
   ASSERT_FALSE(want.empty())
       << "missing golden file tests/data/golden/fulladder_metrics.txt";
   EXPECT_EQ(got, want) << "actual:\n" << got;
+}
+
+// ---- result cache -------------------------------------------------------
+
+// The cache contract: a warm run replays engine results byte-for-byte.
+// One cold flow fills the cache; re-runs at every thread count must
+// reproduce the placement, routing, and HPWL exactly (the HPWL compare is
+// ==, not near -- the serialized f64 round-trips its IEEE bits).
+TEST_F(DeterminismTest, FullFlowColdAndWarmRunsAreByteIdentical) {
+  const std::string blif = read_file_or_empty(L2L_REPO_DATA_DIR
+                                              "/fulladder.blif");
+  ASSERT_FALSE(blif.empty()) << "cannot read data/fulladder.blif";
+  const auto net = network::parse_blif(blif);
+
+  cache::Cache::global().clear();
+  util::set_num_threads(1);
+  const auto cold = flow::run_flow(net, flow::FlowOptions{});
+  ASSERT_TRUE(cold.status.ok()) << cold.status.to_string();
+
+  for (const int t : kThreadCounts) {
+    util::set_num_threads(t);
+    const auto warm = flow::run_flow(net, flow::FlowOptions{});
+    ASSERT_TRUE(warm.status.ok()) << warm.status.to_string();
+    EXPECT_EQ(warm.literals_after, cold.literals_after) << t << " threads";
+    EXPECT_EQ(warm.placement.col, cold.placement.col) << t << " threads";
+    EXPECT_EQ(warm.placement.row, cold.placement.row) << t << " threads";
+    EXPECT_EQ(warm.hpwl, cold.hpwl) << t << " threads";
+    EXPECT_EQ(route::write_solution(warm.routing),
+              route::write_solution(cold.routing))
+        << t << " threads";
+  }
+  cache::Cache::global().clear();
+}
+
+// L2L_CACHE=0 equivalence: with the kill switch down, back-to-back flows
+// re-run every engine and the metrics export mentions no cache counters
+// at all -- byte-identical to the pre-cache codebase.
+TEST_F(DeterminismTest, CacheKillSwitchRestoresUncachedCounters) {
+  obs::set_enabled(true);
+  cache::set_enabled(false);
+  const auto first = full_flow_counters(2);
+  const auto second = full_flow_counters(2);
+  cache::set_enabled(true);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.find("counter cache."), std::string::npos)
+      << "cache counters leaked into the kill-switch export:\n" << first;
+  EXPECT_NE(first.find("counter route.calls 1"), std::string::npos);
+  EXPECT_NE(first.find("counter place.calls 1"), std::string::npos);
+}
+
+// Cross-drain replay: a re-drain of the same cohort under the same
+// cache_domain answers every unique submission from the cache, at any
+// thread count, with outcomes byte-identical to the cold drain.
+TEST_F(DeterminismTest, QueueWarmRedrainReplaysByteIdenticalOutcomes) {
+  std::vector<std::string> subs;
+  for (int i = 0; i < 30; ++i) subs.push_back("sub" + std::to_string(i % 10));
+  mooc::QueueOptions qopt;
+  qopt.cache_domain = "determinism-test.queue";
+  qopt.step_limit = 100;
+  const auto grade = [](const std::string& s, const util::Budget&) {
+    return static_cast<double>(s.size());
+  };
+
+  cache::Cache::global().clear();
+  util::set_num_threads(1);
+  const auto cold = mooc::drain_queue(subs, grade, qopt);
+  EXPECT_EQ(cold.stats.cache_hits, 0);
+  EXPECT_EQ(cold.stats.deduped, 20);  // 10 unique, each uploaded 3x
+
+  for (const int t : kThreadCounts) {
+    util::set_num_threads(t);
+    const auto warm = mooc::drain_queue(subs, grade, qopt);
+    EXPECT_EQ(warm.stats.cache_hits, 10) << t << " threads";
+    EXPECT_EQ(warm.stats.graded, cold.stats.graded) << t << " threads";
+    EXPECT_EQ(warm.stats.total_attempts, cold.stats.total_attempts)
+        << t << " threads";
+    ASSERT_EQ(warm.outcomes.size(), cold.outcomes.size());
+    for (std::size_t i = 0; i < cold.outcomes.size(); ++i) {
+      EXPECT_EQ(warm.outcomes[i].kind, cold.outcomes[i].kind) << i;
+      EXPECT_EQ(warm.outcomes[i].score, cold.outcomes[i].score) << i;
+      EXPECT_EQ(warm.outcomes[i].attempts, cold.outcomes[i].attempts) << i;
+      EXPECT_EQ(warm.outcomes[i].backoff_ticks, cold.outcomes[i].backoff_ticks)
+          << i;
+      EXPECT_EQ(warm.outcomes[i].status.code, cold.outcomes[i].status.code)
+          << i;
+      EXPECT_EQ(warm.outcomes[i].diagnostic, cold.outcomes[i].diagnostic) << i;
+    }
+  }
+  cache::Cache::global().clear();
 }
 
 }  // namespace

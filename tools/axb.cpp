@@ -10,25 +10,26 @@
 //
 // Solves A x = b with Gaussian elimination (partial pivoting); with
 // --cg uses conjugate gradient (requires symmetric positive definite A).
+// The solve goes through api::solve_axb, so identical systems replay
+// from the result cache -- including failure outcomes like "singular
+// matrix", which carry the same stderr text and exit code either way.
 // --lint runs the L2L-Axxx rule pack first (shape + symmetry pre-check);
 // findings print as '# lint:' lines on stderr, lint errors exit 3.
+// Shared pack: --metrics/--trace/--cache/--no-cache/--cache-dir.
 //
 // Exit codes follow the shared convention (util/status.hpp): 0 ok,
 // 1 solve failure, 2 usage/IO, 3 malformed input, 4 budget exceeded,
 // 5 internal error.
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
+#include <string>
 
-#include "linalg/cg.hpp"
-#include "linalg/dense.hpp"
-#include "linalg/sparse.hpp"
+#include "api/axb.hpp"
+#include "common_cli.hpp"
 #include "lint/lint.hpp"
 #include "obs/trace.hpp"
-#include "util/budget.hpp"
+#include "util/arg_parser.hpp"
 #include "util/status.hpp"
-#include "util/strings.hpp"
 
 namespace {
 
@@ -41,49 +42,22 @@ int fail(const l2l::util::Status& status) {
 
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
-  bool use_cg = false;
-  bool lint = false;
-  std::int64_t time_limit_ms = -1;
-  std::string path;
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    if (arg == "--cg") {
-      use_cg = true;
-    } else if (arg == "--lint") {
-      lint = true;
-    } else if (arg == "--time-limit-ms") {
-      if (k + 1 >= argc)
-        return fail(l2l::util::Status::invalid("--time-limit-ms needs a value"));
-      const auto v = l2l::util::parse_int64(argv[++k]);
-      if (!v || *v < 0)
-        return fail(l2l::util::Status::invalid("bad --time-limit-ms value"));
-      time_limit_ms = *v;
-    } else if (arg == "--metrics" || arg == "--trace") {
-      if (k + 1 >= argc)
-        return fail(l2l::util::Status::invalid(arg + " needs a value"));
-      (arg == "--metrics" ? obs_export.metrics_path
-                          : obs_export.trace_path) = argv[++k];
-    } else {
-      path = arg;
-    }
-  }
+  l2l::api::AxbRequest req;
+  l2l::tools::CommonFlags common;
 
-  std::ifstream file;
-  std::istream* in = &std::cin;
-  if (!path.empty()) {
-    file.open(path);
-    if (!file) {
-      std::cerr << "cannot open " << path << "\n";
-      return l2l::util::kExitUsage;
-    }
-    in = &file;
-  }
+  l2l::util::ArgParser parser;
+  l2l::tools::add_common_flags(parser, common, obs_export);
+  parser.flag("--cg", &req.use_cg, "conjugate gradient (needs symmetric A)");
+  parser.int64_value("--time-limit-ms", &req.time_limit_ms,
+                     "wall-clock budget (disables the result cache)");
+  if (const auto st = parser.parse(argc, argv); !st.ok()) return fail(st);
+  l2l::tools::apply_cache_flags(common);
 
-  std::istringstream buffered;
-  if (lint) {
-    std::ostringstream ss;
-    ss << in->rdbuf();
-    const auto findings = l2l::lint::lint_axb(ss.str());
+  if (!l2l::tools::read_input_text(parser, req.input))
+    return l2l::util::kExitUsage;
+
+  if (common.lint) {
+    const auto findings = l2l::lint::lint_axb(req.input);
     bool fatal = false;
     for (const auto& f : findings) {
       std::cerr << "# lint: " << f.to_string() << "\n";
@@ -91,69 +65,12 @@ int main(int argc, char** argv) try {
     }
     if (fatal)
       return fail(l2l::util::Status::parse_error("lint found errors"));
-    buffered.str(ss.str());
-    in = &buffered;
   }
 
-  // The dimension sizes an n*n dense allocation, so it is validated
-  // before any memory is touched: a submission declaring n = 10^9 gets a
-  // diagnostic, not an OOM abort.
-  constexpr int kMaxDim = 4096;
-  int n = 0;
-  if (!(*in >> n))
-    return fail(l2l::util::Status::parse_error("bad or missing dimension"));
-  if (n <= 0 || n > kMaxDim)
-    return fail(l2l::util::Status::invalid(
-        l2l::util::format("dimension %d out of range [1, %d]", n, kMaxDim)));
-  l2l::linalg::DenseMatrix a(n, n);
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < n; ++j)
-      if (!(*in >> a.at(i, j)))
-        return fail(l2l::util::Status::parse_error(l2l::util::format(
-            "matrix entry (%d, %d) missing or not a number", i, j)));
-  std::vector<double> b(static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < b.size(); ++i)
-    if (!(*in >> b[i]))
-      return fail(l2l::util::Status::parse_error(l2l::util::format(
-          "rhs entry %d missing or not a number", static_cast<int>(i))));
-
-  if (use_cg) {
-    l2l::linalg::SparseMatrix s(n);
-    for (int i = 0; i < n; ++i)
-      for (int j = 0; j < n; ++j)
-        if (a.at(i, j) != 0.0) s.add(i, j, a.at(i, j));
-    s.compress();
-    if (!s.is_symmetric(1e-9))
-      return fail(
-          l2l::util::Status::invalid("--cg requires a symmetric matrix"));
-    l2l::util::Budget budget;
-    l2l::linalg::CgOptions cgopt;
-    if (time_limit_ms >= 0) {
-      budget.set_deadline_ms(time_limit_ms);
-      cgopt.budget = &budget;
-    }
-    const auto res = l2l::linalg::conjugate_gradient(s, b, cgopt);
-    if (!res.converged) {
-      if (time_limit_ms >= 0 && budget.exhausted()) return fail(budget.status());
-      std::cerr << "error: CG did not converge (residual " << res.residual
-                << ")\n";
-      return l2l::util::kExitFail;
-    }
-    std::cout << "x =";
-    for (const double v : res.x) std::cout << " " << v;
-    std::cout << "\n# cg iterations " << res.iterations << "\n";
-    return l2l::util::kExitOk;
-  }
-
-  const auto x = l2l::linalg::solve_gauss(a, b);
-  if (!x) {
-    std::cerr << "error: singular matrix\n";
-    return l2l::util::kExitFail;
-  }
-  std::cout << "x =";
-  for (const double v : *x) std::cout << " " << v;
-  std::cout << "\n";
-  return l2l::util::kExitOk;
+  const auto res = l2l::api::solve_axb(req);
+  std::cout << res.output;
+  std::cerr << res.error_output;
+  return res.exit_code;
 } catch (const std::exception& e) {
   std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
             << "\n";

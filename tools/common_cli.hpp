@@ -1,0 +1,77 @@
+#pragma once
+// The shared flag pack for the tools/* portal mains. Every portal
+// accepts the same cross-cutting flags; before util::ArgParser existed
+// each main hand-rolled the same parsing loop. Registering the pack:
+//
+//   --lint            run the input rule pack before the engine
+//   --metrics FILE    deterministic metrics export on every exit path
+//   --trace FILE      Chrome trace export on every exit path
+//   --cache           force the result cache on (overrides L2L_CACHE=0)
+//   --no-cache        disable the result cache for this run
+//   --cache-dir DIR   persistent cache tier (same as L2L_CACHE_DIR)
+//
+// Tool-specific flags (budgets, heuristics) stay in each main.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "obs/trace.hpp"
+#include "util/arg_parser.hpp"
+
+namespace l2l::tools {
+
+struct CommonFlags {
+  bool lint = false;
+  bool cache_on = false;
+  bool no_cache = false;
+  std::string cache_dir;
+};
+
+inline void add_common_flags(util::ArgParser& parser, CommonFlags& flags,
+                             obs::ExportOnExit& obs_export) {
+  parser.flag("--lint", &flags.lint, "run the input rule pack first");
+  parser.value("--metrics", &obs_export.metrics_path,
+               "write deterministic metrics to FILE");
+  parser.value("--trace", &obs_export.trace_path,
+               "write a Chrome trace to FILE");
+  parser.flag("--cache", &flags.cache_on,
+              "force the result cache on (overrides L2L_CACHE=0)");
+  parser.flag("--no-cache", &flags.no_cache,
+              "disable the result cache for this run");
+  parser.value("--cache-dir", &flags.cache_dir,
+               "persistent result-cache directory (same as L2L_CACHE_DIR)");
+}
+
+/// Apply the cache flags after parse(). --no-cache wins over --cache.
+inline void apply_cache_flags(const CommonFlags& flags) {
+  if (flags.cache_on) cache::set_enabled(true);
+  if (flags.no_cache) cache::set_enabled(false);
+  if (!flags.cache_dir.empty())
+    cache::Cache::global().set_disk_dir(flags.cache_dir);
+}
+
+/// Input convention shared by every portal: the first positional names a
+/// file, no positional means stdin. False = unreadable file, after
+/// printing the canonical "cannot open X" line to stderr (caller exits
+/// kExitUsage).
+inline bool read_input_text(const util::ArgParser& parser, std::string& text) {
+  std::ostringstream ss;
+  if (!parser.positionals().empty()) {
+    const auto& path = parser.positionals().front();
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return false;
+    }
+    ss << in.rdbuf();
+  } else {
+    ss << std::cin.rdbuf();
+  }
+  text = ss.str();
+  return true;
+}
+
+}  // namespace l2l::tools

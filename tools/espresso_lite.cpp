@@ -1,69 +1,48 @@
 // espresso_lite: two-level minimizer front-end (the Espresso [9,10] portal
 // workalike). Reads a PLA from a file argument or stdin, minimizes every
 // output (heuristic by default, exact Quine-McCluskey with --exact), and
-// writes the minimized PLA to stdout.
+// writes the minimized PLA to stdout. The minimization goes through
+// api::minimize_pla, so identical PLAs replay from the result cache.
 //
 // Flags: --exact, --stats, --single-pass (ablation), --lint (run the
 // L2L-Pxxx rule pack first; findings print as '# lint:' lines on stderr
-// and lint errors exit 3 before minimization), --metrics FILE /
-// --trace FILE (observability export).
+// and lint errors exit 3 before minimization), plus the shared pack from
+// tools/common_cli.hpp (--metrics/--trace/--cache/--no-cache/--cache-dir).
 //
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed PLA, 5 internal error.
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
+#include <string>
 
-#include "espresso/minimize.hpp"
-#include "espresso/pla.hpp"
-#include "espresso/qm.hpp"
+#include "api/espresso.hpp"
+#include "common_cli.hpp"
 #include "lint/lint.hpp"
 #include "obs/trace.hpp"
+#include "util/arg_parser.hpp"
 #include "util/status.hpp"
 
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
-  bool exact = false, show_stats = false, single_pass = false, lint = false;
-  std::string path;
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    if (arg == "--lint")
-      lint = true;
-    else if (arg == "--exact")
-      exact = true;
-    else if (arg == "--stats")
-      show_stats = true;
-    else if (arg == "--single-pass")
-      single_pass = true;
-    else if (arg == "--metrics" || arg == "--trace") {
-      if (k + 1 >= argc) {
-        std::cerr << "error: " << arg << " needs a value\n";
-        return l2l::util::kExitUsage;
-      }
-      (arg == "--metrics" ? obs_export.metrics_path
-                          : obs_export.trace_path) = argv[++k];
-    } else
-      path = arg;
-  }
+  l2l::api::EspressoRequest req;
+  l2l::tools::CommonFlags common;
 
-  std::string text;
-  if (!path.empty()) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "cannot open " << path << "\n";
-      return 2;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    text = ss.str();
-  } else {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
+  l2l::util::ArgParser parser;
+  l2l::tools::add_common_flags(parser, common, obs_export);
+  parser.flag("--exact", &req.exact, "exact Quine-McCluskey minimization");
+  parser.flag("--stats", &req.show_stats, "per-output cube/literal stats");
+  parser.flag("--single-pass", &req.single_pass,
+              "ablation: one expand/reduce pass");
+  if (const auto st = parser.parse(argc, argv); !st.ok()) {
+    std::cerr << "error: " << st.message << "\n";
+    return l2l::util::kExitUsage;
   }
+  l2l::tools::apply_cache_flags(common);
 
-  if (lint) {
-    const auto findings = l2l::lint::lint_pla(text);
+  if (!l2l::tools::read_input_text(parser, req.pla))
+    return l2l::util::kExitUsage;
+
+  if (common.lint) {
+    const auto findings = l2l::lint::lint_pla(req.pla);
     bool fatal = false;
     for (const auto& f : findings) {
       std::cerr << "# lint: " << f.to_string() << "\n";
@@ -78,34 +57,14 @@ int main(int argc, char** argv) try {
     }
   }
 
-  l2l::espresso::Pla pla;
-  try {
-    pla = l2l::espresso::parse_pla(text);
-  } catch (const std::exception& e) {
-    std::cerr << "error: "
-              << l2l::util::Status::parse_error(e.what()).to_string() << "\n";
-    return l2l::util::kExitParse;
+  const auto res = l2l::api::minimize_pla(req);
+  if (!res.status.ok()) {
+    std::cerr << "error: " << res.status.to_string() << "\n";
+    return res.exit_code;
   }
-  {
-    for (auto& out : pla.outputs) {
-      const int before_cubes = out.on.size();
-      const int before_lits = out.on.num_literals();
-      if (exact) {
-        out.on = l2l::espresso::exact_minimize(out.on, out.dc, nullptr);
-      } else {
-        l2l::espresso::MinimizeOptions mopt;
-        mopt.single_pass = single_pass;
-        out.on = l2l::espresso::minimize(out.on, out.dc, mopt, nullptr);
-      }
-      out.dc = l2l::cubes::Cover(pla.num_inputs);  // consumed by minimization
-      if (show_stats)
-        std::cerr << "# " << out.name << ": " << before_cubes << " cubes/"
-                  << before_lits << " lits -> " << out.on.size() << "/"
-                  << out.on.num_literals() << "\n";
-    }
-    std::cout << l2l::espresso::write_pla(pla);
-    return l2l::util::kExitOk;
-  }
+  std::cerr << res.stats_output;
+  std::cout << res.output;
+  return res.exit_code;
 } catch (const std::exception& e) {
   std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
             << "\n";

@@ -1,5 +1,8 @@
 // kbdd_lite: a BDD-based Boolean calculator with a scripting language, in
 // the spirit of CMU's kbdd [7] that the MOOC deployed as a cloud portal.
+// The calculator itself lives behind api::run_bdd_script (src/api/bdd.cpp),
+// so identical scripts replay from the result cache byte-for-byte; this
+// main owns only the flags, the lint pre-pass, and the I/O.
 //
 // Script language (one command per line; '#' comments):
 //   var a b c ...          declare variables (order = declaration order)
@@ -15,279 +18,45 @@
 //   dot <f>                Graphviz DOT dump
 //
 // Usage: kbdd_lite [--lint] [--node-limit N] [--time-limit-ms N]
-// [--metrics FILE] [--trace FILE] [script-file] (default input: stdin).
-// --lint runs the L2L-Kxxx rule pack over the whole script before any
-// BDD is built; lint errors exit 3 without executing a command.
+// [shared pack: --metrics/--trace/--cache/--no-cache/--cache-dir]
+// [script-file] (default input: stdin). --lint runs the L2L-Kxxx rule
+// pack over the whole script before any BDD is built; lint errors exit 3
+// without executing a command.
 //
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed script, 4 resource budget
 // exceeded (node/time limit), 5 internal error.
 
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <sstream>
-#include <stdexcept>
+#include <string>
 
-#include "bdd/bdd.hpp"
-#include "bdd/manager.hpp"
+#include "api/bdd.hpp"
+#include "common_cli.hpp"
 #include "lint/lint.hpp"
 #include "obs/trace.hpp"
-#include "util/budget.hpp"
+#include "util/arg_parser.hpp"
 #include "util/status.hpp"
-#include "util/strings.hpp"
-
-namespace {
-
-using l2l::bdd::Bdd;
-using l2l::bdd::Manager;
-
-class Calculator {
- public:
-  void set_budget(const l2l::util::Budget* budget) { mgr_.set_budget(budget); }
-
-  int run(std::istream& in, std::ostream& out) {
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-      ++lineno;
-      const auto t = std::string(l2l::util::trim(line));
-      if (t.empty() || t[0] == '#') continue;
-      try {
-        execute(t, out);
-      } catch (const l2l::util::BudgetExceededError& e) {
-        out << "error on line " << lineno << ": " << e.what() << "\n";
-        return l2l::util::exit_code_for(e.status());
-      } catch (const std::exception& e) {
-        out << "error on line " << lineno << ": " << e.what() << "\n";
-        return l2l::util::kExitParse;
-      }
-    }
-    return l2l::util::kExitOk;
-  }
-
- private:
-  void execute(const std::string& cmd, std::ostream& out) {
-    const auto tok = l2l::util::split(cmd);
-    if (tok[0] == "var") {
-      for (std::size_t k = 1; k < tok.size(); ++k) {
-        if (vars_.count(tok[k])) throw std::runtime_error("duplicate var " + tok[k]);
-        vars_[tok[k]] = mgr_.new_var();
-        order_.push_back(tok[k]);
-      }
-      return;
-    }
-    if (tok.size() >= 3 && tok[1] == "=") {
-      std::string expr;
-      for (std::size_t k = 2; k < tok.size(); ++k) expr += tok[k] + " ";
-      fns_.insert_or_assign(tok[0], parse_expr(expr));
-      return;
-    }
-    if (tok[0] == "print") {
-      const Bdd f = lookup(tok.at(1));
-      if (mgr_.num_vars() > 12) throw std::runtime_error("too many vars to print");
-      out << "minterms of " << tok[1] << ":";
-      std::vector<bool> a(static_cast<std::size_t>(mgr_.num_vars()));
-      for (std::uint64_t m = 0; m < (1ull << mgr_.num_vars()); ++m) {
-        for (int v = 0; v < mgr_.num_vars(); ++v) a[static_cast<std::size_t>(v)] = (m >> v) & 1;
-        if (f.eval(a)) out << " " << m;
-      }
-      out << "\n";
-      return;
-    }
-    if (tok[0] == "satcount") {
-      out << tok.at(1) << " has " << lookup(tok[1]).sat_count()
-          << " satisfying assignments\n";
-      return;
-    }
-    if (tok[0] == "onesat") {
-      const auto s = lookup(tok.at(1)).one_sat();
-      if (!s) {
-        out << tok[1] << " UNSAT\n";
-        return;
-      }
-      out << tok[1] << " SAT:";
-      for (std::size_t v = 0; v < s->size(); ++v) {
-        if ((*s)[v] < 0) continue;
-        out << " " << order_[v] << "=" << static_cast<int>((*s)[v]);
-      }
-      out << "\n";
-      return;
-    }
-    if (tok[0] == "equal") {
-      out << tok.at(1) << " and " << tok.at(2) << " are "
-          << (lookup(tok[1]) == lookup(tok[2]) ? "EQUAL" : "NOT EQUAL") << "\n";
-      return;
-    }
-    if (tok[0] == "size") {
-      out << tok.at(1) << " has " << lookup(tok[1]).size() << " BDD nodes\n";
-      return;
-    }
-    if (tok[0] == "support") {
-      out << "support(" << tok.at(1) << "):";
-      for (const int v : lookup(tok[1]).support())
-        out << " " << order_[static_cast<std::size_t>(v)];
-      out << "\n";
-      return;
-    }
-    if (tok[0] == "cofactor") {
-      fns_.insert_or_assign(
-          "it", lookup(tok.at(1)).cofactor(var_index(tok.at(2)), tok.at(3) == "1"));
-      out << "it = cofactor\n";
-      return;
-    }
-    if (tok[0] == "exists" || tok[0] == "forall") {
-      const Bdd f = lookup(tok.at(1));
-      const int v = var_index(tok.at(2));
-      fns_.insert_or_assign("it",
-                            tok[0] == "exists" ? f.exists(v) : f.forall(v));
-      out << "it = " << tok[0] << "\n";
-      return;
-    }
-    if (tok[0] == "dot") {
-      out << lookup(tok.at(1)).to_dot(tok[1]);
-      return;
-    }
-    throw std::runtime_error("unknown command " + tok[0]);
-  }
-
-  int var_index(const std::string& name) const {
-    const auto it = vars_.find(name);
-    if (it == vars_.end()) throw std::runtime_error("unknown var " + name);
-    return it->second;
-  }
-
-  Bdd lookup(const std::string& name) {
-    if (const auto it = fns_.find(name); it != fns_.end()) return it->second;
-    if (const auto it = vars_.find(name); it != vars_.end())
-      return mgr_.var(it->second);
-    throw std::runtime_error("unknown function " + name);
-  }
-
-  // Recursive descent over:  or := xor ('|' xor)* ; xor := and ('^' and)* ;
-  // and := unary ('&' unary)* ; unary := '!' unary | atom.
-  Bdd parse_expr(const std::string& text) {
-    pos_ = 0;
-    text_ = text;
-    Bdd r = parse_or();
-    skip_ws();
-    if (pos_ != text_.size()) throw std::runtime_error("trailing junk in expr");
-    return r;
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-  }
-  bool eat(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  Bdd parse_or() {
-    Bdd r = parse_xor();
-    while (eat('|')) r = r | parse_xor();
-    return r;
-  }
-  Bdd parse_xor() {
-    Bdd r = parse_and();
-    while (eat('^')) r = r ^ parse_and();
-    return r;
-  }
-  Bdd parse_and() {
-    Bdd r = parse_unary();
-    while (eat('&')) r = r & parse_unary();
-    return r;
-  }
-  Bdd parse_unary() {
-    if (eat('!')) return !parse_unary();
-    if (eat('(')) {
-      Bdd r = parse_or();
-      if (!eat(')')) throw std::runtime_error("missing ')'");
-      return r;
-    }
-    skip_ws();
-    if (pos_ < text_.size() && (text_[pos_] == '0' || text_[pos_] == '1')) {
-      const bool one = text_[pos_] == '1';
-      ++pos_;
-      return one ? mgr_.one() : mgr_.zero();
-    }
-    std::string name;
-    while (pos_ < text_.size() &&
-           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
-      name += text_[pos_++];
-    if (name.empty()) throw std::runtime_error("expected identifier");
-    return lookup(name);
-  }
-
-  Manager mgr_{0};
-  std::map<std::string, int> vars_;
-  std::vector<std::string> order_;
-  std::map<std::string, Bdd> fns_;
-  std::string text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
-  Calculator calc;
-  l2l::util::Budget budget;
-  bool have_budget = false;
-  bool lint = false;
-  std::string path;
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    if (arg == "--lint") {
-      lint = true;
-    } else if (arg == "--node-limit" || arg == "--time-limit-ms") {
-      if (k + 1 >= argc) {
-        std::cerr << "error: " << arg << " needs a value\n";
-        return l2l::util::kExitUsage;
-      }
-      const auto v = l2l::util::parse_int64(argv[++k]);
-      if (!v || *v < 0) {
-        std::cerr << "error: bad " << arg << " value\n";
-        return l2l::util::kExitUsage;
-      }
-      if (arg == "--node-limit")
-        budget.set_step_limit(*v);
-      else
-        budget.set_deadline_ms(*v);
-      have_budget = true;
-    } else if (arg == "--metrics" || arg == "--trace") {
-      if (k + 1 >= argc) {
-        std::cerr << "error: " << arg << " needs a value\n";
-        return l2l::util::kExitUsage;
-      }
-      (arg == "--metrics" ? obs_export.metrics_path
-                          : obs_export.trace_path) = argv[++k];
-    } else {
-      path = arg;
-    }
-  }
-  if (have_budget) calc.set_budget(&budget);
+  l2l::api::BddScriptRequest req;
+  l2l::tools::CommonFlags common;
 
-  // --lint wants the whole script up front, so buffer the input; the
-  // calculator then replays the same bytes.
-  std::string text;
-  {
-    std::ostringstream ss;
-    if (!path.empty()) {
-      std::ifstream in(path);
-      if (!in) {
-        std::cerr << "cannot open " << path << "\n";
-        return l2l::util::kExitUsage;
-      }
-      ss << in.rdbuf();
-    } else {
-      ss << std::cin.rdbuf();
-    }
-    text = ss.str();
+  l2l::util::ArgParser parser;
+  l2l::tools::add_common_flags(parser, common, obs_export);
+  parser.int64_value("--node-limit", &req.node_limit, "BDD node budget");
+  parser.int64_value("--time-limit-ms", &req.time_limit_ms,
+                     "wall-clock budget (disables the result cache)");
+  if (const auto st = parser.parse(argc, argv); !st.ok()) {
+    std::cerr << "error: " << st.message << "\n";
+    return l2l::util::kExitUsage;
   }
-  if (lint) {
-    const auto findings = l2l::lint::lint_kbdd_script(text);
+  l2l::tools::apply_cache_flags(common);
+
+  if (!l2l::tools::read_input_text(parser, req.script))
+    return l2l::util::kExitUsage;
+
+  if (common.lint) {
+    const auto findings = l2l::lint::lint_kbdd_script(req.script);
     bool fatal = false;
     for (const auto& f : findings) {
       std::cout << "lint: " << f.to_string() << "\n";
@@ -301,8 +70,10 @@ int main(int argc, char** argv) try {
       return l2l::util::kExitParse;
     }
   }
-  std::istringstream in(text);
-  return calc.run(in, std::cout);
+
+  const auto res = l2l::api::run_bdd_script(req);
+  std::cout << res.output;
+  return res.exit_code;
 } catch (const std::exception& e) {
   std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
             << "\n";

@@ -1,30 +1,29 @@
 // minisat_lite: DIMACS CNF SAT solver front-end (the MOOC's miniSAT [8]
 // portal workalike). Reads DIMACS from a file argument or stdin; prints
 // SATISFIABLE with a model line, or UNSATISFIABLE, plus solver statistics.
+// The engine call goes through api::solve_sat, so repeated identical
+// inputs replay from the result cache byte-for-byte.
 //
 // Flags: --no-vsids --no-restarts (heuristic ablations), --stats,
 // --time-limit-ms N / --prop-limit N (resource guards; an INDETERMINATE
 // result from an exhausted guard exits 4), --lint (run the L2L-Cxxx rule
 // pack first; findings print as 'c lint:' comment lines and lint errors
-// exit 3 before the solver starts), --metrics FILE / --trace FILE
-// (observability export, written on every exit path).
+// exit 3 before the solver starts), plus the shared pack from
+// tools/common_cli.hpp (--metrics/--trace/--cache/--no-cache/--cache-dir).
 //
 // Exit codes: 10 SAT, 20 UNSAT (the MiniSat convention), plus the shared
 // convention for everything else: 2 usage/IO, 3 malformed input, 4 budget
 // exceeded, 5 internal error.
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
+#include "api/sat.hpp"
+#include "common_cli.hpp"
 #include "lint/lint.hpp"
 #include "obs/trace.hpp"
-#include "sat/dimacs.hpp"
-#include "sat/solver.hpp"
-#include "util/budget.hpp"
+#include "util/arg_parser.hpp"
 #include "util/status.hpp"
-#include "util/strings.hpp"
 
 namespace {
 
@@ -37,62 +36,29 @@ int fail(const l2l::util::Status& status) {
 
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
-  l2l::sat::SolverOptions opt;
-  l2l::util::Budget budget;
-  bool show_stats = false;
-  bool have_budget = false;
-  bool lint = false;
-  std::string path;
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    if (arg == "--lint") {
-      lint = true;
-    } else if (arg == "--no-vsids") {
-      opt.use_vsids = false;
-    } else if (arg == "--no-restarts") {
-      opt.use_restarts = false;
-    } else if (arg == "--stats") {
-      show_stats = true;
-    } else if (arg == "--time-limit-ms" || arg == "--prop-limit") {
-      if (k + 1 >= argc)
-        return fail(l2l::util::Status::invalid(arg + " needs a value"));
-      const auto v = l2l::util::parse_int64(argv[++k]);
-      if (!v || *v < 0)
-        return fail(l2l::util::Status::invalid("bad " + arg + " value"));
-      if (arg == "--time-limit-ms")
-        budget.set_deadline_ms(*v);
-      else
-        budget.set_step_limit(*v);
-      have_budget = true;
-    } else if (arg == "--metrics" || arg == "--trace") {
-      if (k + 1 >= argc)
-        return fail(l2l::util::Status::invalid(arg + " needs a value"));
-      (arg == "--metrics" ? obs_export.metrics_path
-                          : obs_export.trace_path) = argv[++k];
-    } else {
-      path = arg;
-    }
-  }
-  if (have_budget) opt.budget = &budget;
+  l2l::api::SatRequest req;
+  l2l::tools::CommonFlags common;
+  bool no_vsids = false;
+  bool no_restarts = false;
 
-  std::string text;
-  if (!path.empty()) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "cannot open " << path << "\n";
-      return 2;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    text = ss.str();
-  } else {
-    std::ostringstream ss;
-    ss << std::cin.rdbuf();
-    text = ss.str();
-  }
+  l2l::util::ArgParser parser;
+  l2l::tools::add_common_flags(parser, common, obs_export);
+  parser.flag("--no-vsids", &no_vsids, "disable the VSIDS decision heuristic");
+  parser.flag("--no-restarts", &no_restarts, "disable Luby restarts");
+  parser.flag("--stats", &req.show_stats, "print the solver statistics line");
+  parser.int64_value("--time-limit-ms", &req.time_limit_ms,
+                     "wall-clock budget (disables the result cache)");
+  parser.int64_value("--prop-limit", &req.prop_limit, "propagation budget");
+  if (const auto st = parser.parse(argc, argv); !st.ok()) return fail(st);
+  l2l::tools::apply_cache_flags(common);
+  req.options.use_vsids = !no_vsids;
+  req.options.use_restarts = !no_restarts;
 
-  if (lint) {
-    const auto findings = l2l::lint::lint_cnf(text);
+  if (!l2l::tools::read_input_text(parser, req.dimacs))
+    return l2l::util::kExitUsage;
+
+  if (common.lint) {
+    const auto findings = l2l::lint::lint_cnf(req.dimacs);
     bool fatal = false;
     for (const auto& f : findings) {
       std::cout << "c lint: " << f.to_string() << "\n";
@@ -102,29 +68,10 @@ int main(int argc, char** argv) try {
       return fail(l2l::util::Status::parse_error("lint found errors"));
   }
 
-  l2l::sat::CnfFormula formula;
-  try {
-    formula = l2l::sat::parse_dimacs(text);
-  } catch (const std::exception& e) {
-    return fail(l2l::util::Status::parse_error(e.what()));
-  }
-  l2l::sat::Solver solver(opt);
-  l2l::sat::LBool result = l2l::sat::LBool::kFalse;
-  if (l2l::sat::load_into_solver(formula, solver)) result = solver.solve();
-  std::cout << l2l::sat::result_text(solver, result);
-  if (show_stats) {
-    const auto& s = solver.stats();
-    std::cout << "c decisions " << s.decisions << " propagations "
-              << s.propagations << " conflicts " << s.conflicts
-              << " restarts " << s.restarts << " learnts "
-              << s.learnt_clauses << "\n";
-  }
-  if (result == l2l::sat::LBool::kTrue) return 10;
-  if (result == l2l::sat::LBool::kFalse) return 20;
-  // INDETERMINATE: report why the solver stopped. A tripped resource
-  // guard exits 4 so grading scripts can tell "slow" from "wrong".
-  if (!solver.stop_reason().ok()) return fail(solver.stop_reason());
-  return l2l::util::kExitOk;
+  const auto res = l2l::api::solve_sat(req);
+  std::cout << res.output;
+  if (!res.status.ok()) return fail(res.status);
+  return res.exit_code;
 } catch (const std::exception& e) {
   std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
             << "\n";

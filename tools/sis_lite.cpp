@@ -9,13 +9,16 @@
 //   print_stats              nodes / literals / levels
 //   print_factor <node>      factored form of one node
 //   sweep | eliminate [N] | gkx | gcx | resub | simplify | full_simplify
-//   script.algebraic         the canned optimization script
+//   script.algebraic         the canned optimization script (runs through
+//                            api::optimize_network, so the result cache
+//                            replays identical networks)
 //   map [-delay]             technology map and report area/delay
 //   quit
 //
-// Usage: sis_lite [--lint] [--metrics FILE] [--trace FILE] [script-file]
-// (default input: stdin). --lint runs the L2L-Bxxx rule pack on every
-// network read_blif loads; lint errors abort with exit 3 before parsing.
+// Usage: sis_lite [--lint] [shared pack: --metrics/--trace/--cache/
+// --no-cache/--cache-dir] [script-file] (default input: stdin). --lint
+// runs the L2L-Bxxx rule pack on every network read_blif loads; lint
+// errors abort with exit 3 before parsing.
 //
 // Exit codes: 0 ok, 2 usage/IO, 3 malformed script or BLIF, 5 internal
 // error.
@@ -24,6 +27,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "api/mls.hpp"
+#include "common_cli.hpp"
 #include "lint/lint.hpp"
 #include "mls/factor.hpp"
 #include "mls/passes.hpp"
@@ -32,6 +37,7 @@
 #include "network/blif.hpp"
 #include "obs/trace.hpp"
 #include "techmap/mapper.hpp"
+#include "util/arg_parser.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
 
@@ -129,8 +135,9 @@ int run(std::istream& in, std::ostream& out, bool lint) {
         out << "saved " << l2l::mls::simplify_with_sdc(net)
             << " literals (with SDC)\n";
       } else if (tok[0] == "script.algebraic") {
-        const auto stats = l2l::mls::optimize(net);
-        out << stats.to_string() << "\n";
+        const auto res =
+            l2l::api::optimize_network(net, l2l::mls::ScriptOptions{});
+        out << res.stats.to_string() << "\n";
       } else if (tok[0] == "map") {
         const auto obj = tok.size() > 1 && tok[1] == "-delay"
                              ? l2l::techmap::MapObjective::kDelay
@@ -158,32 +165,29 @@ int run(std::istream& in, std::ostream& out, bool lint) {
 
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
-  std::string path;
-  bool lint = false;
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    if (arg == "--lint") {
-      lint = true;
-    } else if (arg == "--metrics" || arg == "--trace") {
-      if (k + 1 >= argc) {
-        std::cerr << "error: " << arg << " needs a value\n";
-        return l2l::util::kExitUsage;
-      }
-      (arg == "--metrics" ? obs_export.metrics_path
-                          : obs_export.trace_path) = argv[++k];
-    } else {
-      path = arg;
-    }
+  l2l::tools::CommonFlags common;
+
+  l2l::util::ArgParser parser;
+  l2l::tools::add_common_flags(parser, common, obs_export);
+  if (const auto st = parser.parse(argc, argv); !st.ok()) {
+    std::cerr << "error: " << st.message << "\n";
+    return l2l::util::kExitUsage;
   }
-  if (!path.empty()) {
+  l2l::tools::apply_cache_flags(common);
+
+  // The interpreter streams its input (read_blif - consumes the lines
+  // that follow), so the file/stdin choice stays a live stream here
+  // instead of going through read_input_text.
+  if (!parser.positionals().empty()) {
+    const auto& path = parser.positionals().front();
     std::ifstream in(path);
     if (!in) {
       std::cerr << "cannot open " << path << "\n";
       return l2l::util::kExitUsage;
     }
-    return run(in, std::cout, lint);
+    return run(in, std::cout, common.lint);
   }
-  return run(std::cin, std::cout, lint);
+  return run(std::cin, std::cout, common.lint);
 } catch (const std::exception& e) {
   std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
             << "\n";
