@@ -1,8 +1,13 @@
 // Two-level minimization benchmarks: the espresso loop vs. the exact
-// Quine-McCluskey baseline, and the single-pass (no REDUCE) ablation.
+// Quine-McCluskey baseline, the single-pass (no REDUCE) ablation, and the
+// raw cube-kernel microbenches that track the PCN data-layout trajectory
+// (see DESIGN.md "Data layout & kernels").
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "cubes/cube.hpp"
 #include "espresso/minimize.hpp"
 #include "espresso/qm.hpp"
 #include "gen/function_gen.hpp"
@@ -12,6 +17,78 @@
 namespace {
 
 using namespace l2l;
+
+/// Deterministic random cube set: every position uniformly neg/pos/dc.
+std::vector<cubes::Cube> random_cubes(int vars, int count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<cubes::Cube> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    cubes::Cube c(vars);
+    for (int v = 0; v < vars; ++v)
+      c.set_code(v, static_cast<cubes::Pcn>(rng.next_below(3) + 1));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void BM_CubeKernels(benchmark::State& state) {
+  // The inner-loop quartet every espresso pass leans on: intersect,
+  // distance, contains, num_literals, over all consecutive pairs of a
+  // 256-cube set. Arg = arity; 224 crosses several 32-var word boundaries.
+  const int vars = static_cast<int>(state.range(0));
+  const auto cs = random_cubes(vars, 256, 7);
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + 1 < cs.size(); ++i) {
+      const auto& a = cs[i];
+      const auto& b = cs[i + 1];
+      acc += a.distance(b);
+      acc += a.contains(b) ? 1 : 0;
+      const auto x = a.intersect(b);
+      acc += x.num_literals();
+      acc += x.is_empty() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cs.size() - 1) * 4);
+}
+BENCHMARK(BM_CubeKernels)->Arg(16)->Arg(64)->Arg(224);
+
+void BM_CubeConsensus(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  const auto cs = random_cubes(vars, 256, 11);
+  std::int64_t merged = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + 1 < cs.size(); ++i)
+      if (auto c = cs[i].consensus(cs[i + 1])) merged += c->num_literals();
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_CubeConsensus)->Arg(16)->Arg(64)->Arg(224);
+
+void BM_CoverContainment(benchmark::State& state) {
+  // remove_contained_cubes is the O(n^2) contains() stress: sparse cubes
+  // (mostly don't-care) so containment actually fires.
+  const int vars = static_cast<int>(state.range(0));
+  util::Rng rng(13);
+  cubes::Cover base(vars);
+  for (int i = 0; i < 192; ++i) {
+    cubes::Cube c(vars);
+    for (int k = 0; k < 4; ++k)
+      c.set_code(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(vars))),
+                 rng.next_bool() ? cubes::Pcn::kPos : cubes::Pcn::kNeg);
+    base.add(std::move(c));
+  }
+  for (auto _ : state) {
+    cubes::Cover work = base;
+    work.remove_contained_cubes();
+    benchmark::DoNotOptimize(work.size());
+  }
+  state.counters["cubes"] = base.size();
+}
+BENCHMARK(BM_CoverContainment)->Arg(16)->Arg(64)->Arg(224);
 
 void BM_EspressoHeuristic(benchmark::State& state) {
   const int vars = static_cast<int>(state.range(0));

@@ -96,4 +96,56 @@ void BM_UnitPropagationThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_UnitPropagationThroughput)->Arg(1000)->Arg(10000);
 
+void BM_WidePropagation(benchmark::State& state) {
+  // Wide ternary implication layers: every assignment visits a long
+  // watcher list, so this is the cache-miss profile the clause-arena +
+  // blocker-watch layout targets (most visits end at the blocker).
+  const int layers = static_cast<int>(state.range(0));
+  const int width = 16;
+  for (auto _ : state) {
+    sat::Solver s;
+    s.reserve_vars(layers * width);
+    for (int l = 0; l + 1 < layers; ++l)
+      for (int a = 0; a < width; ++a)
+        for (int b = 0; b < width; ++b)
+          s.add_clause({~sat::mk_lit(l * width + a), ~sat::mk_lit(l * width + b),
+                        sat::mk_lit((l + 1) * width + (a + b) % width)});
+    for (int a = 0; a < width; ++a) s.add_clause({sat::mk_lit(a)});
+    benchmark::DoNotOptimize(s.solve());
+    state.counters["propagations"] =
+        static_cast<double>(s.stats().propagations);
+  }
+}
+BENCHMARK(BM_WidePropagation)->Arg(16)->Arg(64);
+
+void BM_ClauseIngestion(benchmark::State& state) {
+  // add_clause throughput on a pre-generated 3-SAT instance: measures
+  // per-clause allocation churn (unique_ptr-per-clause vs. one arena).
+  const int vars = static_cast<int>(state.range(0));
+  util::Rng rng(42);
+  std::vector<std::vector<sat::Lit>> clauses;
+  const int n_clauses = 4 * vars;
+  clauses.reserve(static_cast<std::size_t>(n_clauses));
+  for (int k = 0; k < n_clauses; ++k) {
+    std::vector<sat::Lit> c;
+    while (c.size() < 3) {
+      const sat::Lit p(
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(vars))),
+          rng.next_bool());
+      bool dup = false;
+      for (const auto q : c) dup |= q.var() == p.var();
+      if (!dup) c.push_back(p);
+    }
+    clauses.push_back(std::move(c));
+  }
+  for (auto _ : state) {
+    sat::Solver s;
+    s.reserve_vars(vars);
+    for (const auto& c : clauses) s.add_clause(c);
+    benchmark::DoNotOptimize(s.num_clauses());
+  }
+  state.SetItemsProcessed(state.iterations() * n_clauses);
+}
+BENCHMARK(BM_ClauseIngestion)->Arg(2000)->Arg(20000);
+
 }  // namespace

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <set>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "util/flat_map.hpp"
 #include "util/strings.hpp"
 
 namespace l2l::bdd {
@@ -139,7 +138,7 @@ std::uint64_t Bdd::sat_count() const {
   // count(node) = #sat assignments of the *uncomplemented* function rooted
   // at node, over variables [level(node), n). Complemented edges are
   // handled by 2^k - count.
-  std::unordered_map<std::uint32_t, std::uint64_t> memo;
+  util::FlatMap<std::uint32_t, std::uint64_t> memo(0);  // keys: node >= 1
   auto count_edge = [&](auto&& self, Edge e,
                         std::uint32_t from_level) -> std::uint64_t {
     const std::uint32_t lvl = std::min<std::uint32_t>(
@@ -148,13 +147,12 @@ std::uint64_t Bdd::sat_count() const {
     if (mgr_->is_terminal(e)) {
       raw = 1ull << (n - lvl);
     } else {
-      auto it = memo.find(e.node());
-      if (it != memo.end()) {
-        raw = it->second;
+      if (const std::uint64_t* found = memo.find(e.node())) {
+        raw = *found;
       } else {
         const auto& node = mgr_->nodes_[e.node()];
         raw = self(self, node.lo, lvl + 1) + self(self, node.hi, lvl + 1);
-        memo.emplace(e.node(), raw);
+        memo.insert(e.node(), raw);
       }
     }
     if (e.complemented()) raw = (1ull << (n - lvl)) - raw;
@@ -205,13 +203,13 @@ bool Bdd::eval(const std::vector<bool>& assignment) const {
 std::vector<int> Bdd::support() const {
   check_valid();
   std::set<int> vars;
-  std::unordered_set<std::uint32_t> seen;
+  util::FlatSet<std::uint32_t> seen(0);  // node indices are >= 1
   std::vector<std::uint32_t> stack;
   if (!mgr_->is_terminal(e_)) stack.push_back(e_.node());
   while (!stack.empty()) {
     const std::uint32_t n = stack.back();
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
+    if (!seen.insert(n)) continue;
     const auto& node = mgr_->nodes_[n];
     vars.insert(static_cast<int>(node.var));
     if (node.lo.node() != Manager::kTerminal) stack.push_back(node.lo.node());
@@ -241,7 +239,7 @@ std::string Bdd::to_dot(const std::string& name) const {
   check_valid();
   std::string out = "digraph " + name + " {\n  rankdir=TB;\n";
   out += "  t1 [label=\"1\", shape=box];\n";
-  std::unordered_set<std::uint32_t> seen;
+  util::FlatSet<std::uint32_t> seen(0);
   std::vector<std::uint32_t> stack;
   auto edge_str = [&](Edge e) {
     return e.node() == Manager::kTerminal
@@ -255,7 +253,7 @@ std::string Bdd::to_dot(const std::string& name) const {
   while (!stack.empty()) {
     const std::uint32_t n = stack.back();
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
+    if (!seen.insert(n)) continue;
     const auto& node = mgr_->nodes_[n];
     out += util::format("  n%u [label=\"x%u\", shape=circle];\n", n, node.var);
     out += util::format("  n%u -> %s [style=%s];\n", n,
@@ -272,7 +270,7 @@ std::string Bdd::to_dot(const std::string& name) const {
 }
 
 std::size_t dag_size(const std::vector<Bdd>& roots) {
-  std::unordered_set<std::uint32_t> seen;
+  util::FlatSet<std::uint32_t> seen(0);
   std::vector<std::uint32_t> stack;
   for (const auto& r : roots) {
     r.check_valid();
@@ -283,7 +281,7 @@ std::size_t dag_size(const std::vector<Bdd>& roots) {
   while (!stack.empty()) {
     const std::uint32_t n = stack.back();
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
+    if (!seen.insert(n)) continue;
     ++count;
     const auto& node = mgr->nodes_[n];
     if (node.lo.node() != Manager::kTerminal) stack.push_back(node.lo.node());

@@ -51,9 +51,9 @@ Edge Manager::make_node(std::uint32_t var, Edge lo, Edge hi) {
   if (hi.complemented()) return !make_node(var, !lo, !hi);
 
   const UniqueKey key{var, lo.bits, hi.bits};
-  if (auto it = unique_.find(key); it != unique_.end()) {
+  if (const std::uint32_t* found = unique_.find(key)) {
     ++stats_.unique_hits;
-    return Edge::make(it->second, false);
+    return Edge::make(*found, false);
   }
 
   // Resource guard: only *fresh* allocations consume budget, so cache
@@ -73,7 +73,7 @@ Edge Manager::make_node(std::uint32_t var, Edge lo, Edge hi) {
     idx = static_cast<std::uint32_t>(nodes_.size());
     nodes_.push_back(Node{var, lo, hi, 0});
   }
-  unique_.emplace(key, idx);
+  unique_.insert(key, idx);
   ++stats_.nodes_created;
   return Edge::make(idx, false);
 }
@@ -113,9 +113,9 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
 
   const IteKey key{f.bits, g.bits, h.bits};
   ++stats_.cache_lookups;
-  if (auto it = computed_.find(key); it != computed_.end()) {
+  if (const Edge* found = computed_.find(key)) {
     ++stats_.cache_hits;
-    return complement_result ? !it->second : it->second;
+    return complement_result ? !*found : *found;
   }
 
   const std::uint32_t top =
@@ -125,26 +125,27 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
   const Edge r1 = ite(top_cofactor(f, top, true), top_cofactor(g, top, true),
                       top_cofactor(h, top, true));
   const Edge r = make_node(top, r0, r1);
-  computed_.emplace(key, r);
+  computed_.insert(key, r);
   return complement_result ? !r : r;
 }
 
 Edge Manager::restrict_var(Edge f, std::uint32_t var, bool phase) {
   if (level_of(f) > var) return f;  // f does not depend on variables above
   if (level_of(f) == var) return top_cofactor(f, var, phase);
-  // Recurse; small local memo keyed by edge bits.
-  std::unordered_map<std::uint32_t, Edge> memo;
-  // Memoize on uncomplemented edges; complement distributes over restrict.
+  // Recurse; small local memo keyed by edge bits. Memoize on
+  // uncomplemented edges (bits >= 2 here, so 0 is a safe empty sentinel);
+  // complement distributes over restrict.
+  util::FlatMap<std::uint32_t, Edge> memo(0);
   auto rec = [&](auto&& self, Edge e) -> Edge {
     if (level_of(e) > var) return e;
     if (level_of(e) == var) return top_cofactor(e, var, phase);
     const bool c = e.complemented();
     const Edge base = c ? !e : e;
-    if (auto it = memo.find(base.bits); it != memo.end())
-      return c ? !it->second : it->second;
+    if (const Edge* found = memo.find(base.bits))
+      return c ? !*found : *found;
     const Node& n = nodes_[base.node()];
     const Edge r = make_node(n.var, self(self, n.lo), self(self, n.hi));
-    memo.emplace(base.bits, r);
+    memo.insert(base.bits, r);
     return c ? !r : r;
   };
   return rec(rec, f);
@@ -232,14 +233,20 @@ void Manager::garbage_collect() {
     if (!mark[node.lo.node()]) stack.push_back(node.lo.node());
     if (!mark[node.hi.node()]) stack.push_back(node.hi.node());
   }
-  // Sweep: release unmarked nodes that are not already on the free list.
+  // Sweep: the flat unique table has no tombstones, so instead of erasing
+  // dead entries it is cleared and rebuilt from the marked nodes -- this
+  // also re-packs the probe chains. The computed table is cleared in
+  // place, keeping its capacity.
   std::vector<bool> is_free(nodes_.size(), false);
   for (std::uint32_t f : free_) is_free[f] = true;
+  unique_.clear();
   for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    if (mark[i] || is_free[i]) continue;
-    const Node& node = nodes_[i];
-    unique_.erase(UniqueKey{node.var, node.lo.bits, node.hi.bits});
-    free_.push_back(i);
+    if (mark[i]) {
+      const Node& node = nodes_[i];
+      unique_.insert(UniqueKey{node.var, node.lo.bits, node.hi.bits}, i);
+    } else if (!is_free[i]) {
+      free_.push_back(i);
+    }
   }
   computed_.clear();
 }

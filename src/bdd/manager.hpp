@@ -25,10 +25,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "util/budget.hpp"
+#include "util/flat_map.hpp"
 
 namespace l2l::bdd {
 
@@ -119,17 +119,22 @@ class Manager {
     std::uint32_t ref = 0;  // external handle references only
   };
 
+  // Flat-table keys (see util/flat_map.hpp). The all-zero triples serve
+  // as the tables' empty-slot sentinels: a unique key with lo == hi is
+  // never stored (make_node collapses it), and a computed key's first
+  // component is a normalized ITE argument -- uncomplemented and
+  // non-terminal, so its edge bits are always >= 2.
   struct UniqueKey {
     std::uint32_t var;
     std::uint32_t lo, hi;
     bool operator==(const UniqueKey&) const = default;
   };
   struct UniqueKeyHash {
-    std::size_t operator()(const UniqueKey& k) const {
+    std::uint64_t operator()(const UniqueKey& k) const {
       std::uint64_t h = k.var;
       h = h * 0x9e3779b97f4a7c15ull + k.lo;
       h = h * 0x9e3779b97f4a7c15ull + k.hi;
-      return static_cast<std::size_t>(h ^ (h >> 32));
+      return h ^ (h >> 32);
     }
   };
   struct IteKey {
@@ -137,11 +142,11 @@ class Manager {
     bool operator==(const IteKey&) const = default;
   };
   struct IteKeyHash {
-    std::size_t operator()(const IteKey& k) const {
+    std::uint64_t operator()(const IteKey& k) const {
       std::uint64_t h = k.f;
       h = h * 0x9e3779b97f4a7c15ull + k.g;
       h = h * 0x9e3779b97f4a7c15ull + k.h;
-      return static_cast<std::size_t>(h ^ (h >> 32));
+      return h ^ (h >> 32);
     }
   };
 
@@ -179,8 +184,9 @@ class Manager {
 
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> free_;
-  std::unordered_map<UniqueKey, std::uint32_t, UniqueKeyHash> unique_;
-  std::unordered_map<IteKey, Edge, IteKeyHash> computed_;
+  util::FlatMap<UniqueKey, std::uint32_t, UniqueKeyHash> unique_{
+      UniqueKey{0, 0, 0}};
+  util::FlatMap<IteKey, Edge, IteKeyHash> computed_{IteKey{0, 0, 0}};
   int num_vars_ = 0;
   int gc_count_ = 0;
   std::size_t gc_threshold_ = 1 << 16;

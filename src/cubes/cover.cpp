@@ -15,6 +15,9 @@ Cover::Cover(int num_vars, std::vector<Cube> cubes) : num_vars_(num_vars) {
 
 Cover Cover::parse(int num_vars, const std::string& text) {
   Cover out(num_vars);
+  out.reserve(static_cast<int>(
+                  std::count(text.begin(), text.end(), '\n')) +
+              1);
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
@@ -36,6 +39,7 @@ Cover Cover::universal(int num_vars) {
 
 Cover Cover::from_truth_table(const tt::TruthTable& f) {
   Cover out(f.num_vars());
+  out.reserve(static_cast<int>(f.minterms().size()));
   for (std::uint64_t m : f.minterms()) {
     Cube c(f.num_vars());
     for (int v = 0; v < f.num_vars(); ++v)
@@ -61,6 +65,7 @@ Cover Cover::operator|(const Cover& o) const {
   if (num_vars_ != o.num_vars_)
     throw std::invalid_argument("Cover::operator|: arity mismatch");
   Cover out = *this;
+  out.reserve(size() + o.size());
   for (const auto& c : o.cubes_) out.add(c);
   return out;
 }
@@ -69,6 +74,8 @@ Cover Cover::operator&(const Cover& o) const {
   if (num_vars_ != o.num_vars_)
     throw std::invalid_argument("Cover::operator&: arity mismatch");
   Cover out(num_vars_);
+  out.reserve(static_cast<int>(
+      std::min<std::size_t>(cubes_.size() * o.cubes_.size(), 4096)));
   for (const auto& a : cubes_)
     for (const auto& b : o.cubes_) out.add(a.intersect(b));
   return out;
@@ -76,6 +83,7 @@ Cover Cover::operator&(const Cover& o) const {
 
 Cover Cover::cofactor(int var, bool phase) const {
   Cover out(num_vars_);
+  out.reserve(size());
   for (const auto& c : cubes_)
     if (auto cf = c.cofactor(var, phase)) out.add(std::move(*cf));
   return out;

@@ -38,6 +38,9 @@ class Cover {
   /// Append a cube; cubes that are already empty are silently dropped.
   void add(Cube c);
 
+  /// Pre-size the cube list (building paths know their upper bounds).
+  void reserve(int n) { cubes_.reserve(static_cast<std::size_t>(n)); }
+
   /// Total literal count across all cubes -- the classic 2-level cost.
   int num_literals() const;
 

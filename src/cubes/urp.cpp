@@ -10,6 +10,7 @@ namespace {
 /// Merge step of the URP: x'·f0 + x·f1, re-attaching the splitting literal.
 Cover merge_shannon(int var, const Cover& f0, const Cover& f1) {
   Cover out(f0.num_vars());
+  out.reserve(f0.size() + f1.size());
   for (const auto& c : f0.cubes()) {
     Cube withLit = c;
     withLit.set_code(var, Pcn::kNeg);
@@ -161,6 +162,7 @@ Cover simplify(const Cover& f) {
   // both appear they merge; remove_contained_cubes plus a consensus sweep
   // handles the common cases cheaply.
   Cover lifted(f.num_vars());
+  lifted.reserve(merged.size());
   for (const auto& c : merged.cubes()) {
     Cube dropped = c;
     dropped.set_code(v, Pcn::kDontCare);

@@ -21,16 +21,12 @@ bool intersects(const Cube& c, const Cover& r) {
   return false;
 }
 
-/// Smallest cube containing every cube of g (the "supercube").
+/// Smallest cube containing every cube of g (the "supercube"):
+/// positionwise OR, one word-parallel or_with per cube.
 Cube supercube(const Cover& g) {
-  Cube s(g.num_vars());
-  if (g.empty()) return s;  // callers guard; universal as a safe default
-  for (int v = 0; v < g.num_vars(); ++v) {
-    auto acc = static_cast<std::uint8_t>(0);
-    for (const auto& c : g.cubes())
-      acc |= static_cast<std::uint8_t>(c.code(v));
-    s.set_code(v, static_cast<Pcn>(acc));
-  }
+  if (g.empty()) return Cube(g.num_vars());  // callers guard; universal
+  Cube s = g.cube(0);
+  for (int i = 1; i < g.size(); ++i) s.or_with(g.cube(i));
   return s;
 }
 

@@ -1,5 +1,6 @@
 #include "sat/dimacs.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -34,6 +35,11 @@ CnfFormula parse_dimacs(const std::string& text) {
         throw std::invalid_argument("DIMACS: variable count out of range");
       f.num_vars = *nv;
       declared_clauses = *nc;
+      // Clause count is capped implicitly by the input size (every clause
+      // costs at least its terminating "0" token), so reserving up to a
+      // modest bound keeps hostile headers from over-allocating.
+      f.clauses.reserve(static_cast<std::size_t>(
+          std::min(*nc, 1 << 20)));
       have_header = true;
       continue;
     }
@@ -79,6 +85,13 @@ std::string write_dimacs(const CnfFormula& f) {
 
 bool load_into_solver(const CnfFormula& f, Solver& solver) {
   solver.reserve_vars(f.num_vars);
+  // Literal-count pre-pass: one arena reservation up front means clause
+  // ingestion never reallocates the clause store.
+  std::int64_t total_lits = 0;
+  for (const auto& clause : f.clauses)
+    total_lits += static_cast<std::int64_t>(clause.size());
+  solver.reserve_clauses(total_lits,
+                         static_cast<std::int64_t>(f.clauses.size()));
   for (const auto& clause : f.clauses)
     if (!solver.add_clause(clause)) return false;
   return true;

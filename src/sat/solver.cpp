@@ -65,7 +65,7 @@ Var Solver::new_var() {
   assigns_.push_back(LBool::kUndef);
   polarity_.push_back(true);
   activity_.push_back(0.0);
-  reason_.push_back(nullptr);
+  reason_.push_back(kInvalidClauseRef);
   level_.push_back(0);
   seen_.push_back(0);
   heap_pos_.push_back(-1);
@@ -77,6 +77,12 @@ Var Solver::new_var() {
 
 void Solver::reserve_vars(int n) {
   while (num_vars() < n) new_var();
+}
+
+void Solver::reserve_clauses(std::int64_t total_lits,
+                             std::int64_t num_clauses) {
+  arena_.reserve(static_cast<std::size_t>(total_lits + num_clauses));
+  clauses_.reserve(static_cast<std::size_t>(num_clauses));
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
@@ -103,30 +109,34 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return false;
   }
   if (kept.size() == 1) {
-    if (!enqueue(kept[0], nullptr)) ok_ = false;
-    if (ok_ && propagate() != nullptr) ok_ = false;
+    if (!enqueue(kept[0], kInvalidClauseRef)) ok_ = false;
+    if (ok_ && propagate() != kInvalidClauseRef) ok_ = false;
     return ok_;
   }
-  auto c = std::make_unique<Clause>();
-  c->lits = std::move(kept);
-  attach_clause(c.get());
-  clauses_.push_back(std::move(c));
+  const ClauseRef c =
+      arena_.alloc(kept.data(), static_cast<int>(kept.size()), false);
+  attach_clause(c);
+  clauses_.push_back(c);
   return true;
 }
 
-void Solver::attach_clause(Clause* c) {
-  watches_[static_cast<std::size_t>(c->lits[0].index())].push_back(c);
-  watches_[static_cast<std::size_t>(c->lits[1].index())].push_back(c);
+void Solver::attach_clause(ClauseRef c) {
+  const Lit l0 = arena_.lit(c, 0);
+  const Lit l1 = arena_.lit(c, 1);
+  // Each watch carries the other watched literal as its initial blocker.
+  watches_[static_cast<std::size_t>(l0.index())].push_back({c, l1});
+  watches_[static_cast<std::size_t>(l1.index())].push_back({c, l0});
 }
 
-void Solver::detach_clause(Clause* c) {
+void Solver::detach_clause(ClauseRef c) {
   for (int k = 0; k < 2; ++k) {
-    auto& ws = watches_[static_cast<std::size_t>(c->lits[static_cast<std::size_t>(k)].index())];
-    ws.erase(std::find(ws.begin(), ws.end(), c));
+    auto& ws = watches_[static_cast<std::size_t>(arena_.lit(c, k).index())];
+    ws.erase(std::find_if(ws.begin(), ws.end(),
+                          [c](const Watcher& w) { return w.cref == c; }));
   }
 }
 
-bool Solver::enqueue(Lit p, Clause* reason) {
+bool Solver::enqueue(Lit p, ClauseRef reason) {
   if (value(p) != LBool::kUndef) return value(p) == LBool::kTrue;
   const auto v = static_cast<std::size_t>(p.var());
   assigns_[v] = lbool_from(!p.sign());
@@ -136,7 +146,7 @@ bool Solver::enqueue(Lit p, Clause* reason) {
   return true;
 }
 
-Clause* Solver::propagate() {
+ClauseRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
@@ -144,27 +154,41 @@ Clause* Solver::propagate() {
     auto& ws = watches_[static_cast<std::size_t>(false_lit.index())];
     std::size_t i = 0, j = 0;
     while (i < ws.size()) {
-      Clause* c = ws[i++];
-      auto& ls = c->lits;
+      const Watcher w = ws[i++];
+      // Fast path: the blocker is true, the clause is satisfied -- skip it
+      // without touching the clause body at all.
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[j++] = w;
+        continue;
+      }
+      const ClauseRef c = w.cref;
       // Put the falsified literal at position 1.
-      if (ls[0] == false_lit) std::swap(ls[0], ls[1]);
-      const Lit first = ls[0];
-      if (value(first) == LBool::kTrue) {
-        ws[j++] = c;  // clause already satisfied
+      if (arena_.lit(c, 0) == false_lit) {
+        arena_.set_lit(c, 0, arena_.lit(c, 1));
+        arena_.set_lit(c, 1, false_lit);
+      }
+      const Lit first = arena_.lit(c, 0);
+      const Watcher keep{c, first};
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        ws[j++] = keep;  // clause already satisfied
         continue;
       }
       // Look for a non-false literal to watch instead.
       bool moved = false;
-      for (std::size_t k = 2; k < ls.size(); ++k) {
-        if (value(ls[k]) != LBool::kFalse) {
-          std::swap(ls[1], ls[k]);
-          watches_[static_cast<std::size_t>(ls[1].index())].push_back(c);
+      const int size = arena_.size(c);
+      for (int k = 2; k < size; ++k) {
+        const Lit lk = arena_.lit(c, k);
+        if (value(lk) != LBool::kFalse) {
+          arena_.set_lit(c, 1, lk);
+          arena_.set_lit(c, k, false_lit);
+          watches_[static_cast<std::size_t>(lk.index())].push_back(
+              {c, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;  // watch migrated; drop from this list
-      ws[j++] = c;
+      ws[j++] = keep;
       if (value(first) == LBool::kFalse) {
         // Conflict: compact the list and halt propagation.
         while (i < ws.size()) ws[j++] = ws[i++];
@@ -176,10 +200,10 @@ Clause* Solver::propagate() {
     }
     ws.resize(j);
   }
-  return nullptr;
+  return kInvalidClauseRef;
 }
 
-void Solver::analyze(Clause* conflict, std::vector<Lit>& out_learnt,
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
                      int& out_level) {
   out_learnt.clear();
   out_learnt.push_back(Lit());  // slot for the asserting literal
@@ -187,10 +211,12 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& out_learnt,
   Lit p;
   std::size_t index = trail_.size();
 
-  Clause* c = conflict;
+  ClauseRef c = conflict;
   do {
     bump_clause(c);
-    for (const Lit q : c->lits) {
+    const int size = arena_.size(c);
+    for (int n = 0; n < size; ++n) {
+      const Lit q = arena_.lit(c, n);
       if (q == p) continue;  // skip the resolved-on literal
       const auto v = static_cast<std::size_t>(q.var());
       if (!seen_[v] && level_[v] > 0) {
@@ -219,10 +245,12 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& out_learnt,
   std::size_t kept = 1;
   for (std::size_t n = 1; n < out_learnt.size(); ++n) {
     const Lit q = out_learnt[n];
-    Clause* r = reason_[static_cast<std::size_t>(q.var())];
-    bool redundant = r != nullptr;
-    if (r != nullptr) {
-      for (const Lit x : r->lits) {
+    const ClauseRef r = reason_[static_cast<std::size_t>(q.var())];
+    bool redundant = r != kInvalidClauseRef;
+    if (r != kInvalidClauseRef) {
+      const int rsize = arena_.size(r);
+      for (int k = 0; k < rsize; ++k) {
+        const Lit x = arena_.lit(r, k);
         if (x.var() == q.var()) continue;
         const auto xv = static_cast<std::size_t>(x.var());
         if (!seen_[xv] && level_[xv] > 0) {
@@ -258,7 +286,7 @@ void Solver::backtrack(int target_level) {
     const Lit p = trail_[k - 1];
     const auto v = static_cast<std::size_t>(p.var());
     assigns_[v] = LBool::kUndef;
-    reason_[v] = nullptr;
+    reason_[v] = kInvalidClauseRef;
     if (options_.use_phase_saving) polarity_[v] = p.sign();
     if (heap_pos_[v] < 0) heap_insert(p.var());
   }
@@ -300,11 +328,13 @@ void Solver::bump_var(Var v) {
 
 void Solver::decay_var_activity() { var_inc_ /= options_.var_decay; }
 
-void Solver::bump_clause(Clause* c) {
-  if (!c->learnt) return;
-  c->activity += clause_inc_;
-  if (c->activity > 1e20) {
-    for (auto& cl : learnts_) cl->activity *= 1e-20;
+void Solver::bump_clause(ClauseRef c) {
+  if (!arena_.learnt(c)) return;
+  const double a = arena_.activity(c) + clause_inc_;
+  arena_.set_activity(c, a);
+  if (a > 1e20) {
+    for (const ClauseRef cl : learnts_)
+      arena_.set_activity(cl, arena_.activity(cl) * 1e-20);
     clause_inc_ *= 1e-20;
   }
 }
@@ -314,25 +344,45 @@ void Solver::decay_clause_activity() { clause_inc_ /= options_.clause_decay; }
 void Solver::reduce_db() {
   ++stats_.db_reductions;
   std::sort(learnts_.begin(), learnts_.end(),
-            [](const auto& a, const auto& b) { return a->activity < b->activity; });
-  auto locked = [&](Clause* c) {
-    const Lit first = c->lits[0];
+            [this](ClauseRef a, ClauseRef b) {
+              return arena_.activity(a) < arena_.activity(b);
+            });
+  auto locked = [&](ClauseRef c) {
+    const Lit first = arena_.lit(c, 0);
     return value(first) == LBool::kTrue &&
            reason_[static_cast<std::size_t>(first.var())] == c;
   };
-  std::vector<std::unique_ptr<Clause>> kept;
+  std::vector<ClauseRef> kept;
   kept.reserve(learnts_.size());
   const std::size_t drop_target = learnts_.size() / 2;
   std::size_t dropped = 0;
-  for (auto& c : learnts_) {
-    if (dropped < drop_target && c->size() > 2 && !locked(c.get())) {
-      detach_clause(c.get());
+  for (const ClauseRef c : learnts_) {
+    if (dropped < drop_target && arena_.size(c) > 2 && !locked(c)) {
+      detach_clause(c);
+      arena_.free(c);
       ++dropped;
     } else {
-      kept.push_back(std::move(c));
+      kept.push_back(c);
     }
   }
   learnts_ = std::move(kept);
+  // Compact once a fifth of the arena is dead clause bodies.
+  if (arena_.wasted_words() > arena_.used_words() / 5) compact_arena();
+}
+
+void Solver::compact_arena() {
+  ++stats_.arena_compactions;
+  ClauseArena to;
+  to.reserve(arena_.used_words() - arena_.wasted_words());
+  // Live clauses move in deterministic order (problem clauses, then
+  // learnts); watches and reasons then resolve through forwarding refs.
+  for (ClauseRef& c : clauses_) c = arena_.reloc(c, to);
+  for (ClauseRef& c : learnts_) c = arena_.reloc(c, to);
+  for (auto& ws : watches_)
+    for (Watcher& w : ws) w.cref = arena_.reloc(w.cref, to);
+  for (ClauseRef& r : reason_)
+    if (r != kInvalidClauseRef) r = arena_.reloc(r, to);
+  arena_ = std::move(to);
 }
 
 void Solver::rebuild_order_heap() {
@@ -369,8 +419,8 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
 
   LBool result = LBool::kUndef;
   while (result == LBool::kUndef) {
-    Clause* conflict = propagate();
-    if (conflict != nullptr) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kInvalidClauseRef) {
       ++stats_.conflicts;
       ++conflicts_since_restart;
       if (decision_level() == 0) {
@@ -383,16 +433,15 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
       analyze(conflict, learnt, bt_level);
       backtrack(bt_level);
       if (learnt.size() == 1) {
-        enqueue(learnt[0], nullptr);
+        enqueue(learnt[0], kInvalidClauseRef);
       } else {
-        auto c = std::make_unique<Clause>();
-        c->lits = std::move(learnt);
-        c->learnt = true;
-        c->activity = clause_inc_;
-        attach_clause(c.get());
-        enqueue(c->lits[0], c.get());
-        stats_.learnt_literals += c->size();
-        learnts_.push_back(std::move(c));
+        const ClauseRef c =
+            arena_.alloc(learnt.data(), static_cast<int>(learnt.size()), true);
+        arena_.set_activity(c, clause_inc_);
+        attach_clause(c);
+        enqueue(arena_.lit(c, 0), c);
+        stats_.learnt_literals += arena_.size(c);
+        learnts_.push_back(c);
         ++stats_.learnt_clauses;
       }
       decay_var_activity();
@@ -453,7 +502,7 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
         ++stats_.decisions;
       }
       trail_lim_.push_back(static_cast<int>(trail_.size()));
-      enqueue(next, nullptr);
+      enqueue(next, kInvalidClauseRef);
     }
   }
   backtrack(0);
@@ -462,9 +511,11 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
 
 bool Solver::model_satisfies_formula() const {
   if (model_.empty()) return false;
-  for (const auto& c : clauses_) {
+  for (const ClauseRef c : clauses_) {
     bool sat = false;
-    for (const Lit p : c->lits) {
+    const int size = arena_.size(c);
+    for (int k = 0; k < size; ++k) {
+      const Lit p = arena_.lit(c, k);
       const LBool v = model_[static_cast<std::size_t>(p.var())] ^ p.sign();
       if (v == LBool::kTrue) {
         sat = true;

@@ -2,14 +2,18 @@
 // A conflict-driven clause-learning (CDCL) SAT solver in the style of
 // MiniSat [8] -- the engine the MOOC deployed as a cloud tool portal.
 //
-// Features: two-watched-literal propagation, VSIDS decision heuristic with
-// phase saving, first-UIP conflict analysis with recursive clause
-// minimization (the cheap local variant), Luby-sequence restarts, and
-// activity-driven learnt-clause database reduction. VSIDS and restarts can
-// be disabled individually -- the perf bench uses this as an ablation.
+// Features: two-watched-literal propagation with blocker literals, VSIDS
+// decision heuristic with phase saving, first-UIP conflict analysis with
+// recursive clause minimization (the cheap local variant), Luby-sequence
+// restarts, and activity-driven learnt-clause database reduction. VSIDS
+// and restarts can be disabled individually -- the perf bench uses this
+// as an ablation.
+//
+// Clause storage is a contiguous uint32 arena (sat/types.hpp): watcher
+// lists and reason slots hold 32-bit ClauseRefs, and the arena is
+// compacted after learnt-clause reduction once a fifth of it is garbage.
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <vector>
 
@@ -42,6 +46,7 @@ struct SolverStats {
   std::int64_t learnt_clauses = 0;
   std::int64_t learnt_literals = 0;
   std::int64_t db_reductions = 0;
+  std::int64_t arena_compactions = 0;
 };
 
 class Solver {
@@ -58,6 +63,11 @@ class Solver {
 
   /// Ensure variables [0, n) exist.
   void reserve_vars(int n);
+
+  /// Size the clause arena for a known ingestion (e.g. a parsed DIMACS
+  /// file): `total_lits` literals spread over `num_clauses` clauses means
+  /// at most one arena word per literal plus one header word per clause.
+  void reserve_clauses(std::int64_t total_lits, std::int64_t num_clauses);
 
   /// Add a clause (OR of literals). Returns false if the formula is already
   /// unsatisfiable at level 0 (e.g. an empty clause was derived).
@@ -99,19 +109,20 @@ class Solver {
   LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
 
-  void attach_clause(Clause* c);
-  void detach_clause(Clause* c);
-  bool enqueue(Lit p, Clause* reason);
-  Clause* propagate();
-  void analyze(Clause* conflict, std::vector<Lit>& out_learnt, int& out_level);
-  bool lit_redundant(Lit p, std::uint32_t ab_levels);
+  void attach_clause(ClauseRef c);
+  void detach_clause(ClauseRef c);
+  bool enqueue(Lit p, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
+               int& out_level);
   void backtrack(int level);
   Lit pick_branch_lit();
   void bump_var(Var v);
   void decay_var_activity();
-  void bump_clause(Clause* c);
+  void bump_clause(ClauseRef c);
   void decay_clause_activity();
   void reduce_db();
+  void compact_arena();
   void rebuild_order_heap();
 
   // Order heap (max-heap on activity) -------------------------------
@@ -129,14 +140,15 @@ class Solver {
   SolverStats stats_;
   util::Status stop_reason_;
 
-  std::vector<std::unique_ptr<Clause>> clauses_;
-  std::vector<std::unique_ptr<Clause>> learnts_;
-  std::vector<std::vector<Clause*>> watches_;  // indexed by Lit::index()
+  ClauseArena arena_;
+  std::vector<ClauseRef> clauses_;
+  std::vector<ClauseRef> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
 
   std::vector<LBool> assigns_;
   std::vector<bool> polarity_;      // saved phase (true = last was negated)
   std::vector<double> activity_;
-  std::vector<Clause*> reason_;
+  std::vector<ClauseRef> reason_;   // kInvalidClauseRef = decision / none
   std::vector<int> level_;
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;

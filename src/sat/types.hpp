@@ -1,6 +1,20 @@
 #pragma once
-// Core SAT types: variables, literals, ternary values, clauses.
+// Core SAT types: variables, literals, ternary values, and the clause
+// arena.
+//
+// Clauses live in one contiguous uint32 arena (ClauseArena) and are named
+// by 32-bit word offsets (ClauseRef) instead of heap pointers -- the
+// MiniSat RegionAllocator layout. This halves the size of watcher entries
+// and reason slots, removes the per-clause malloc, and makes learnt-clause
+// reduction compactable: live clauses are copied front-to-back into a
+// fresh arena and the old headers turn into forwarding references.
+//
+// Per-clause layout, in uint32 words:
+//   [header] [activity lo, activity hi]? [lit 0] [lit 1] ... [lit n-1]
+// header bit 0 = learnt (activity words present), bit 1 = relocated
+// (remaining bits are then the forwarding ClauseRef), bits 2+ = size.
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -39,14 +53,95 @@ inline LBool operator^(LBool v, bool flip) {
   return lbool_from((v == LBool::kTrue) != flip);
 }
 
-struct Clause {
-  std::vector<Lit> lits;
-  bool learnt = false;
-  double activity = 0.0;
+/// Word offset of a clause inside the arena.
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kInvalidClauseRef = 0xFFFFFFFFu;
 
-  int size() const { return static_cast<int>(lits.size()); }
-  Lit& operator[](int i) { return lits[static_cast<std::size_t>(i)]; }
-  Lit operator[](int i) const { return lits[static_cast<std::size_t>(i)]; }
+class ClauseArena {
+ public:
+  /// Append a clause; returns its ref. Literal order is preserved.
+  ClauseRef alloc(const Lit* lits, int size, bool learnt) {
+    const auto cr = static_cast<ClauseRef>(mem_.size());
+    mem_.push_back((static_cast<std::uint32_t>(size) << 2) |
+                   (learnt ? 1u : 0u));
+    if (learnt) {
+      mem_.push_back(0);
+      mem_.push_back(0);
+    }
+    for (int i = 0; i < size; ++i)
+      mem_.push_back(std::bit_cast<std::uint32_t>(lits[i]));
+    return cr;
+  }
+
+  int size(ClauseRef c) const {
+    return static_cast<int>(mem_[c] >> 2);
+  }
+  bool learnt(ClauseRef c) const { return (mem_[c] & 1u) != 0; }
+
+  Lit lit(ClauseRef c, int i) const {
+    return std::bit_cast<Lit>(mem_[lit_base(c) + static_cast<std::size_t>(i)]);
+  }
+  void set_lit(ClauseRef c, int i, Lit p) {
+    mem_[lit_base(c) + static_cast<std::size_t>(i)] =
+        std::bit_cast<std::uint32_t>(p);
+  }
+
+  /// Learnt-clause activity, stored bit-exact across two words so the
+  /// reduce_db sort sees the same doubles a heap clause would carry.
+  double activity(ClauseRef c) const {
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(mem_[c + 1]) |
+        (static_cast<std::uint64_t>(mem_[c + 2]) << 32);
+    return std::bit_cast<double>(bits);
+  }
+  void set_activity(ClauseRef c, double a) {
+    const auto bits = std::bit_cast<std::uint64_t>(a);
+    mem_[c + 1] = static_cast<std::uint32_t>(bits);
+    mem_[c + 2] = static_cast<std::uint32_t>(bits >> 32);
+  }
+
+  /// Mark a detached clause's words as garbage (compaction accounting).
+  void free(ClauseRef c) { wasted_ += clause_words(c); }
+
+  std::size_t used_words() const { return mem_.size(); }
+  std::size_t wasted_words() const { return wasted_; }
+  void reserve(std::size_t words) { mem_.reserve(words); }
+
+  // Compaction (relocAll): move a clause into `to`, leaving a forwarding
+  // ref behind so later references (watches, reasons) resolve to the copy.
+  ClauseRef reloc(ClauseRef c, ClauseArena& to) {
+    if ((mem_[c] & 2u) != 0) return mem_[c] >> 2;  // already moved
+    const int n = size(c);
+    const bool l = learnt(c);
+    const auto nc = static_cast<ClauseRef>(to.mem_.size());
+    const std::size_t words = clause_words(c);
+    to.mem_.insert(to.mem_.end(), mem_.begin() + c,
+                   mem_.begin() + static_cast<std::ptrdiff_t>(c + words));
+    (void)n;
+    (void)l;
+    mem_[c] = (nc << 2) | 2u | (mem_[c] & 1u);
+    return nc;
+  }
+
+ private:
+  std::size_t lit_base(ClauseRef c) const {
+    return static_cast<std::size_t>(c) + 1 + ((mem_[c] & 1u) ? 2 : 0);
+  }
+  std::size_t clause_words(ClauseRef c) const {
+    return 1 + ((mem_[c] & 1u) ? 2u : 0u) + (mem_[c] >> 2);
+  }
+
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+};
+
+/// Watch-list entry: the clause plus a "blocker" literal (some other
+/// literal of the clause). If the blocker is already true the clause is
+/// satisfied and propagation skips loading it -- most watcher visits end
+/// here, touching only this 8-byte pair instead of the clause body.
+struct Watcher {
+  ClauseRef cref = kInvalidClauseRef;
+  Lit blocker;
 };
 
 }  // namespace l2l::sat

@@ -1,0 +1,129 @@
+#pragma once
+// Open-addressing hash containers for hot lookup tables.
+//
+// FlatMap/FlatSet keep keys (and values) in one contiguous power-of-two
+// slot array with linear probing -- a lookup is a hash, a mask, and a
+// short forward scan over adjacent memory, versus the per-node chasing of
+// std::unordered_map buckets. There is no erase() and therefore no
+// tombstones: tables that shed entries (e.g. the BDD unique table at GC)
+// clear() and re-insert the survivors, which also re-packs probe chains.
+//
+// The caller designates one key value as the "empty" sentinel that marks
+// unused slots; it must never be inserted. The BDD tables have natural
+// sentinels (an all-zero key would violate their canonical-form
+// invariants), as do node-index memos (index 0 is the terminal, handled
+// before any table probe).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace l2l::util {
+
+/// SplitMix64 finalizer: turns integer keys into well-mixed hashes.
+struct SplitMix64Hash {
+  std::uint64_t operator()(std::uint64_t x) const {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+};
+
+template <typename Key, typename Value, typename Hash = SplitMix64Hash>
+class FlatMap {
+ public:
+  explicit FlatMap(Key empty_key, std::size_t initial_capacity = 16)
+      : empty_(empty_key) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap *= 2;
+    slots_.assign(cap, Slot{empty_, Value{}});
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Pointer to the mapped value, or nullptr when absent. Stays valid
+  /// until the next insert() or clear().
+  Value* find(const Key& k) {
+    std::size_t i = index_of(k);
+    while (!(slots_[i].key == empty_)) {
+      if (slots_[i].key == k) return &slots_[i].value;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return nullptr;
+  }
+  const Value* find(const Key& k) const {
+    return const_cast<FlatMap*>(this)->find(k);
+  }
+
+  /// Insert or overwrite.
+  void insert(const Key& k, const Value& v) {
+    maybe_grow();
+    std::size_t i = index_of(k);
+    while (!(slots_[i].key == empty_)) {
+      if (slots_[i].key == k) {
+        slots_[i].value = v;
+        return;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = Slot{k, v};
+    ++size_;
+  }
+
+  /// Drop every entry, keeping the slot array (and its capacity).
+  void clear() {
+    for (auto& s : slots_) s = Slot{empty_, Value{}};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+  };
+
+  std::size_t index_of(const Key& k) const {
+    return static_cast<std::size_t>(Hash{}(k)) & (slots_.size() - 1);
+  }
+
+  void maybe_grow() {
+    if ((size_ + 1) * 10 < slots_.size() * 7) return;  // < 0.7 load
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{empty_, Value{}});
+    size_ = 0;
+    for (const auto& s : old)
+      if (!(s.key == empty_)) insert(s.key, s.value);
+  }
+
+  std::vector<Slot> slots_;
+  Key empty_;
+  std::size_t size_ = 0;
+};
+
+template <typename Key, typename Hash = SplitMix64Hash>
+class FlatSet {
+  struct Unit {};
+
+ public:
+  explicit FlatSet(Key empty_key, std::size_t initial_capacity = 16)
+      : map_(empty_key, initial_capacity) {}
+
+  std::size_t size() const { return map_.size(); }
+  bool contains(const Key& k) const { return map_.find(k) != nullptr; }
+
+  /// True when k was newly added.
+  bool insert(const Key& k) {
+    if (map_.find(k) != nullptr) return false;
+    map_.insert(k, Unit{});
+    return true;
+  }
+
+  void clear() { map_.clear(); }
+
+ private:
+  FlatMap<Key, Unit, Hash> map_;
+};
+
+}  // namespace l2l::util

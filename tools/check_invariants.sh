@@ -50,10 +50,33 @@ scan() {
       pat="$pattern" >> "$tmp.raw"
 }
 
+scan_in() {
+  # scan_in <rule-name> <extended-regex> <dir-prefix-regex> -- like scan,
+  # but only for files whose path matches the prefix. Used for per-engine
+  # layout invariants that should not constrain the rest of the tree.
+  rule="$1"; pattern="$2"; prefix="$3"
+  scoped=$(echo "$files" | grep -E "$prefix")
+  [ -n "$scoped" ] || return 0
+  # shellcheck disable=SC2086
+  grep -nE "$pattern" $scoped /dev/null 2>/dev/null |
+    awk -v rule="$rule" -F: '{ line=$0; sub(/^[^:]*:[^:]*:/, "", line);
+      gsub(/"([^"\\]|\\.)*"/, "\"\"", line);
+      sub(/\/\/.*/, "", line); sub(/\/\*.*/, "", line);
+      if (line ~ pat) printf "%s:%s: [%s] %s\n", $1, $2, rule, line }' \
+      pat="$pattern" >> "$tmp.raw"
+}
+
 scan no-std-stoi   'std::sto(i|l|ll|ul|ull|f|d|ld)[[:space:]]*\('
 scan no-libc-rand  '(^|[^_[:alnum:]])s?rand[[:space:]]*\(|std::random_device'
 scan no-wall-clock 'system_clock|gettimeofday|[^_[:alnum:]]time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)[[:space:]]*\)'
 scan no-unordered-iteration 'for[[:space:]]*\(.*:.*unordered'
+# Data-layout invariants for the hot engines (PR 6): clauses live in the
+# uint32 arena (sat/types.hpp), never as individually heap-allocated
+# objects, and the BDD/SAT lookup structures are the flat open-addressing
+# tables from util/flat_map.hpp -- node-per-bucket unordered tables undo
+# the cache-locality win the bench trajectory pins down.
+scan_in no-heap-clauses    'unique_ptr<[[:space:]]*Clause' '^src/sat/'
+scan_in no-unordered-tables 'std::unordered_' '^src/(sat|bdd)/'
 
 # Apply the allowlist (literal substrings, comments stripped).
 if [ -f "$allow" ]; then

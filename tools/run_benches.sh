@@ -2,16 +2,29 @@
 # Run every perf bench and record machine-readable results as
 # BENCH_<name>.json (google-benchmark JSON, one file per binary), so the
 # bench trajectory can be tracked across commits. Usage:
-#   tools/run_benches.sh [build-dir] [output-dir]
+#   tools/run_benches.sh [--quick] [build-dir] [output-dir]
 # Thread-scaling benches honour L2L_THREADS internally (they sweep 1/2/4/8
 # regardless of the ambient setting).
+#
+# --quick caps per-case measurement time (0.05 s min-time instead of the
+# google-benchmark 0.5 s default) so a full sweep fits a CI smoke job;
+# fixed-Iterations cases are unaffected. The committed BENCH_*.json
+# trajectory is recorded in quick mode so CI and local runs compare
+# like-for-like (see EXPERIMENTS.md "Raw-speed trajectory").
 #
 # Every bench runs even if an earlier one fails; the script exits non-zero
 # if ANY bench did, so CI cannot green-wash a crashing binary.
 set -u
 
+quick=""
+if [ "${1:-}" = "--quick" ]; then
+  quick="--benchmark_min_time=0.05"
+  shift
+fi
+
 build_dir="${1:-build}"
 out_dir="${2:-.}"
+mkdir -p "${out_dir}" || exit 1
 
 if [ ! -d "${build_dir}/bench" ]; then
   echo "error: ${build_dir}/bench not found (build the project first)" >&2
@@ -24,7 +37,8 @@ for bench in "${build_dir}"/bench/perf_*; do
   name="$(basename "${bench}")"
   out="${out_dir}/BENCH_${name#perf_}.json"
   echo "== ${name} -> ${out}"
-  if ! "${bench}" --benchmark_format=json --benchmark_out="${out}" \
+  # shellcheck disable=SC2086
+  if ! "${bench}" ${quick} --benchmark_format=json --benchmark_out="${out}" \
                   --benchmark_out_format=json; then
     echo "error: ${name} exited $?" >&2
     failed="${failed} ${name}"
