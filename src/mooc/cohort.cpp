@@ -100,4 +100,77 @@ double relative_error(double simulated, double reference) {
   return std::abs(simulated - reference) / std::abs(reference);
 }
 
+SubmissionTrace generate_submission_trace(const TraceOptions& opt,
+                                          util::Rng& rng) {
+  SubmissionTrace trace;
+  trace.ticks = std::max<std::uint32_t>(opt.ticks, 2);
+  trace.num_courses = std::max(opt.num_courses, 1);
+  const auto courses = static_cast<std::uint32_t>(trace.num_courses);
+  const auto pool = static_cast<std::uint32_t>(
+      std::max(opt.unique_bodies_per_course, 1));
+  const auto body_bytes =
+      static_cast<std::size_t>(std::max(opt.body_bytes, 24));
+
+  // The shared body pool: per-course blocks of `pool` distinct uploads.
+  // Students draw from the pool rather than composing fresh text, so the
+  // trace is duplicate-heavy by construction -- the traffic shape the
+  // digest/dedup layer exists for.
+  trace.bodies.reserve(static_cast<std::size_t>(courses) * pool);
+  for (std::uint32_t c = 0; c < courses; ++c) {
+    for (std::uint32_t b = 0; b < pool; ++b) {
+      std::string body = "course " + std::to_string(c) + " solution variant " +
+                         std::to_string(b) + "\n";
+      while (body.size() < body_bytes)
+        body.push_back(static_cast<char>('a' + rng.next_below(26)));
+      trace.bodies.push_back(std::move(body));
+    }
+  }
+
+  // Homework deadlines, one every deadline_every ticks.
+  const std::uint32_t every = std::max<std::uint32_t>(opt.deadline_every, 2);
+  std::vector<std::uint32_t> deadlines;
+  for (std::uint32_t d = every; d < trace.ticks; d += every)
+    deadlines.push_back(d);
+  if (deadlines.empty()) deadlines.push_back(trace.ticks - 1);
+
+  for (int s = 0; s < opt.num_students; ++s) {
+    if (!rng.next_bool(opt.participation_rate)) continue;
+    const auto course = static_cast<std::uint32_t>(rng.next_below(courses));
+    // 1 first attempt + geometric resubmits, capped.
+    int n = 1;
+    while (n < std::max(opt.max_submissions, 1) &&
+           rng.next_bool(opt.resubmit_rate))
+      ++n;
+    const std::uint32_t deadline =
+        deadlines[static_cast<std::size_t>(rng.next_below(deadlines.size()))];
+    // Deadline clustering: the min of two uniform offsets piles arrivals
+    // onto the last few ticks before the deadline (procrastination has a
+    // triangular density, per every grading-ops postmortem ever written).
+    std::uint32_t offset = static_cast<std::uint32_t>(std::min(
+        rng.next_below(every), rng.next_below(every)));
+    std::uint32_t arrival = deadline > offset ? deadline - offset : 0;
+    for (int k = 0; k < n; ++k) {
+      SubmissionEvent ev;
+      ev.course = course;
+      ev.student = static_cast<std::uint32_t>(s);
+      ev.body = course * pool + static_cast<std::uint32_t>(
+                                    rng.next_below(pool));
+      ev.arrival_tick = std::min(arrival, trace.ticks - 1);
+      ev.deadline_tick = std::max(deadline, ev.arrival_tick);
+      ev.lane = k == 0 ? std::uint8_t{0} : std::uint8_t{1};
+      trace.events.push_back(ev);
+      // Resubmits trail the previous attempt by a short think time.
+      arrival += 1 + static_cast<std::uint32_t>(rng.next_below(every / 2 + 1));
+    }
+  }
+
+  // Stable sort keeps generation order inside a tick, so the trace (and
+  // therefore every submission id) is a pure function of (opt, seed).
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const SubmissionEvent& a, const SubmissionEvent& b) {
+                     return a.arrival_tick < b.arrival_tick;
+                   });
+  return trace;
+}
+
 }  // namespace l2l::mooc

@@ -9,6 +9,7 @@
 // model to answer parametric what-ifs (e.g. course length vs. completion,
 // the effect the paper cites for choosing a 10-week course).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -67,5 +68,60 @@ CohortResult simulate_cohort(const CohortOptions& opt, util::Rng& rng);
 
 /// Relative error helper for bench reporting: |sim - ref| / ref.
 double relative_error(double simulated, double reference);
+
+// ---- submission traces ---------------------------------------------------
+// The load generator behind the persistent GradingService
+// (grading_service.hpp): the funnel model above says who participates;
+// this one says *when they upload what*. Scaled to 1M+ students the trace
+// reproduces the operational shape the paper's grading machinery faced --
+// deadline-clustered bursts of duplicate-heavy traffic, resubmissions
+// riding behind first attempts -- as a deterministic function of the seed.
+
+struct TraceOptions {
+  int num_students = 17500;  ///< registrants (paper's funnel top)
+  int num_courses = 1;       ///< courses sharing the grading fleet
+  /// Semester length in scheduler ticks. Arrivals cluster just before
+  /// each homework deadline (every `deadline_every` ticks).
+  std::uint32_t ticks = 200;
+  std::uint32_t deadline_every = 25;
+  /// Probability a registrant submits at all (the funnel's homework leg:
+  /// show_up_rate * homework_rate puts the paper at ~0.079; the default
+  /// is deliberately hotter so service benches stress the queues).
+  double participation_rate = 0.4;
+  /// Submissions per participating student: 1 first attempt plus a
+  /// geometric number of resubmits with this continue probability.
+  double resubmit_rate = 0.55;
+  int max_submissions = 8;
+  /// Uploads draw their bodies from a per-course pool this large --
+  /// small pools give the 90%-duplicate traffic the dedup layer feeds on.
+  int unique_bodies_per_course = 512;
+  int body_bytes = 96;  ///< bytes per pool body (digesting is not free)
+};
+
+/// One upload. `body` indexes SubmissionTrace::bodies (uploads are pooled
+/// so a million-event trace does not hold a million strings); the event's
+/// index in SubmissionTrace::events is its submission id -- ids ascend in
+/// (arrival_tick, generation) order and break every scheduler tie.
+struct SubmissionEvent {
+  std::uint32_t course = 0;
+  std::uint32_t student = 0;
+  std::uint32_t body = 0;
+  std::uint32_t arrival_tick = 0;
+  std::uint32_t deadline_tick = 0;
+  std::uint8_t lane = 0;  ///< 0 = first submit, 1 = resubmit
+};
+
+struct SubmissionTrace {
+  std::vector<SubmissionEvent> events;  ///< sorted by (arrival_tick, id)
+  std::vector<std::string> bodies;      ///< shared body pool
+  std::uint32_t ticks = 0;
+  int num_courses = 1;
+};
+
+/// Generate a trace. Deterministic per (opt, rng seed); events come back
+/// stably sorted by arrival tick so the service's arrival sweep is a
+/// single pointer walk.
+SubmissionTrace generate_submission_trace(const TraceOptions& opt,
+                                          util::Rng& rng);
 
 }  // namespace l2l::mooc

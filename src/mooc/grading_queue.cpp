@@ -1,6 +1,7 @@
 #include "mooc/grading_queue.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "cache/cache.hpp"
@@ -30,14 +31,10 @@ double uniform01(std::uint64_t seed, std::uint64_t submission,
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-struct Tally {
-  int transients = 0;
-  int stalls = 0;
-};
+}  // namespace
 
-/// Pre-grade lint for one submission. True = rejected (outcome filled).
-bool lint_rejects(const std::string& submission, const QueueOptions& opt,
-                  SubmissionOutcome& out) {
+bool lint_pre_grade_rejects(const std::string& submission,
+                            const QueueOptions& opt, SubmissionOutcome& out) {
   if (!opt.lint) return false;
   const auto findings = opt.lint(submission);
   bool fatal = false;
@@ -53,22 +50,30 @@ bool lint_rejects(const std::string& submission, const QueueOptions& opt,
   return true;
 }
 
-/// The per-submission attempt loop: injected faults, budget guard,
-/// exception barrier, bounded retries. Identical whether reached from the
-/// seed path or the deduplicated path -- fault draws are keyed by the
-/// submission's queue index `i`, never by which thread runs it.
-void grade_one(std::size_t i, const std::string& submission,
-               const GradeFn& grade, const QueueOptions& opt,
-               SubmissionOutcome& out, Tally& tally) {
+void grade_one_submission(std::uint64_t fault_key,
+                          const std::string& submission, const GradeFn& grade,
+                          const QueueOptions& opt, SubmissionOutcome& out,
+                          FaultTally& tally) {
   const int max_attempts = 1 + std::max(0, opt.max_retries);
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     ++out.attempts;
-    if (attempt > 0)
-      out.backoff_ticks += opt.backoff_base_ticks << (attempt - 1);
+    if (attempt > 0) {
+      // Exponential backoff with the shift clamped to 30 and the running
+      // total saturated: at max_retries = 64 a naive `base << (attempt-1)`
+      // shifts past the width of int (UB) long before the loop ends.
+      const int shift = std::min(attempt - 1, 30);
+      constexpr auto kMaxTicks =
+          static_cast<std::int64_t>(std::numeric_limits<int>::max());
+      const std::int64_t step = std::min(
+          static_cast<std::int64_t>(opt.backoff_base_ticks) << shift,
+          kMaxTicks);
+      out.backoff_ticks = static_cast<int>(std::min(
+          static_cast<std::int64_t>(out.backoff_ticks) + step, kMaxTicks));
+    }
 
     // Injected worker faults, decided by hash alone so the outcome
     // is identical regardless of which lane runs this submission.
-    const auto ui = static_cast<std::uint64_t>(i);
+    const auto ui = fault_key;
     const auto ua = static_cast<std::uint64_t>(attempt);
     if (uniform01(opt.fault_seed, ui, ua, 0x7261776bull) <
         opt.transient_fault_rate) {
@@ -161,7 +166,9 @@ bool deserialize_outcome(std::string_view bytes, SubmissionOutcome& out) {
   return true;
 }
 
-void fold_stats(QueueResult& res, const std::vector<Tally>& tallies) {
+namespace {
+
+void fold_stats(QueueResult& res, const std::vector<FaultTally>& tallies) {
   for (std::size_t i = 0; i < res.outcomes.size(); ++i) {
     const auto& out = res.outcomes[i];
     res.stats.total_attempts += out.attempts;
@@ -210,7 +217,7 @@ QueueResult drain_uncached(const std::vector<std::string>& submissions,
                            const GradeFn& grade, const QueueOptions& opt) {
   QueueResult res;
   res.outcomes.resize(submissions.size());
-  std::vector<Tally> tallies(submissions.size());
+  std::vector<FaultTally> tallies(submissions.size());
   util::parallel_for(
       0, static_cast<std::int64_t>(submissions.size()), 1,
       [&](std::int64_t s) {
@@ -219,8 +226,9 @@ QueueResult drain_uncached(const std::vector<std::string>& submissions,
         // lane's grading intervals, retries included in one span.
         obs::ScopedSpan sub_span("mooc.queue.submission", "mooc");
         auto& out = res.outcomes[i];
-        if (lint_rejects(submissions[i], opt, out)) return;
-        grade_one(i, submissions[i], grade, opt, out, tallies[i]);
+        if (lint_pre_grade_rejects(submissions[i], opt, out)) return;
+        grade_one_submission(static_cast<std::uint64_t>(i), submissions[i], grade,
+                             opt, out, tallies[i]);
       });
   fold_stats(res, tallies);
   export_metrics(res, submissions.size(), /*cached_path=*/false);
@@ -236,7 +244,7 @@ QueueResult drain_queue(const std::vector<std::string>& submissions,
 
   QueueResult res;
   res.outcomes.resize(submissions.size());
-  std::vector<Tally> tallies(submissions.size());
+  std::vector<FaultTally> tallies(submissions.size());
 
   // Injected faults are keyed by submission index, so two identical
   // submissions legitimately differ in outcome under fault injection:
@@ -259,7 +267,8 @@ QueueResult drain_queue(const std::vector<std::string>& submissions,
       const auto [it, fresh] = first.emplace(digests[i], i);
       canonical[i] = it->second;
       if (fresh) {
-        rejected[i] = lint_rejects(submissions[i], opt, res.outcomes[i]);
+        rejected[i] =
+            lint_pre_grade_rejects(submissions[i], opt, res.outcomes[i]);
       } else if (rejected[canonical[i]]) {
         // Identical resubmission of a rejected upload: replay the
         // verdict without re-running the lint pack.
@@ -310,7 +319,8 @@ QueueResult drain_queue(const std::vector<std::string>& submissions,
       0, static_cast<std::int64_t>(work.size()), 1, [&](std::int64_t s) {
         const auto i = work[static_cast<std::size_t>(s)];
         obs::ScopedSpan sub_span("mooc.queue.submission", "mooc");
-        grade_one(i, submissions[i], grade, opt, res.outcomes[i], tallies[i]);
+        grade_one_submission(static_cast<std::uint64_t>(i), submissions[i], grade,
+                             opt, res.outcomes[i], tallies[i]);
       });
 
   // Sequential epilogue: persist fresh outcomes, then replay duplicates

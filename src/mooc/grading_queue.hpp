@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/budget.hpp"
@@ -31,9 +32,11 @@ struct QueueOptions {
   /// grader exceptions retry; deterministic budget exhaustion does not --
   /// a submission that blew its step budget once will blow it again).
   int max_retries = 2;
-  /// Simulated backoff before retry r: backoff_base_ticks << (r - 1).
-  /// Recorded in the outcome, never slept -- the simulator models the
-  /// schedule, the test asserts it.
+  /// Simulated backoff before retry r: backoff_base_ticks << (r - 1),
+  /// with the shift clamped (and the accumulated total saturated at
+  /// INT_MAX) so max_retries = 64 is well-defined, not UB. Recorded in
+  /// the outcome, never slept -- the simulator models the schedule, the
+  /// test asserts it.
   int backoff_base_ticks = 1;
   /// Per-submission step budget handed to the grading callback (< 0 =
   /// unlimited). Deterministic guard -- see util::Budget.
@@ -109,6 +112,14 @@ struct QueueResult {
   QueueStats stats;
 };
 
+/// Injected-fault counts observed while grading one submission. Kept
+/// separate from SubmissionOutcome so replaying an outcome (dedup, cache)
+/// never replays the fault tallies that were not actually incurred.
+struct FaultTally {
+  int transients = 0;
+  int stalls = 0;
+};
+
 /// The grading callback: score one submission under the given resource
 /// guard. May throw (the queue isolates it); may honor the budget (the
 /// queue checks it afterwards either way).
@@ -128,5 +139,31 @@ using GradeFn =
 /// depends on the thread schedule.
 QueueResult drain_queue(const std::vector<std::string>& submissions,
                         const GradeFn& grade, const QueueOptions& opt = {});
+
+/// One submission through the full attempt loop: injected faults, budget
+/// guard, exception barrier, bounded retries with saturating exponential
+/// backoff. Fault draws are a pure hash of (opt.fault_seed, fault_key,
+/// attempt) -- callers choose a schedule-independent key (drain_queue uses
+/// the queue index, the GradingService the trace-wide submission id), so
+/// the outcome never depends on which worker lane runs it. Shared by
+/// drain_queue and the persistent GradingService (grading_service.hpp).
+void grade_one_submission(std::uint64_t fault_key,
+                          const std::string& submission, const GradeFn& grade,
+                          const QueueOptions& opt, SubmissionOutcome& out,
+                          FaultTally& tally);
+
+/// Pre-grade lint for one submission: runs QueueOptions::lint (when set)
+/// and, on any error-severity finding, fills `out` with the kRejected
+/// verdict and returns true. Pure in the submission bytes, so verdicts
+/// are always replayable. Shared by drain_queue and the GradingService.
+bool lint_pre_grade_rejects(const std::string& submission,
+                            const QueueOptions& opt, SubmissionOutcome& out);
+
+/// The result-cache wire format for a finished outcome (engine ids
+/// "mooc.queue" and "mooc.service" share it). deserialize returns false
+/// on any truncated/corrupt/out-of-range payload -- a failed decode is a
+/// cache miss, never a trusted outcome.
+std::string serialize_outcome(const SubmissionOutcome& out);
+bool deserialize_outcome(std::string_view bytes, SubmissionOutcome& out);
 
 }  // namespace l2l::mooc

@@ -1,0 +1,499 @@
+#include "mooc/grading_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "cache/cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace l2l::mooc {
+namespace {
+
+constexpr std::uint64_t kServiceFormatVersion = 1;
+
+/// One queued submission. `id` is the trace-wide submission id -- it keys
+/// the fault draws (so outcomes are schedule-independent), breaks every
+/// EDF tie, and orders "newest" for the newest-first shed policy.
+struct Entry {
+  std::uint64_t id = 0;
+  std::uint32_t body = 0;
+  std::uint32_t arrival = 0;
+  std::uint32_t deadline = 0;
+  std::uint8_t lane = 0;
+};
+
+/// One priority lane of one course: an EDF index (deadline, id) plus the
+/// id-ordered entry store. Both are ordered containers, so pops and
+/// evictions are total-order decisions -- no hashing, no schedule input.
+struct LaneQueue {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> edf;
+  std::map<std::uint64_t, Entry> by_id;
+
+  std::size_t size() const { return by_id.size(); }
+
+  void insert(const Entry& e) {
+    edf.emplace(e.deadline, e.id);
+    by_id.emplace(e.id, e);
+  }
+
+  Entry take(std::uint64_t id) {
+    auto it = by_id.find(id);
+    Entry e = it->second;
+    by_id.erase(it);
+    edf.erase({e.deadline, e.id});
+    return e;
+  }
+
+  /// Earliest deadline, ties to the smallest submission id.
+  Entry pop_edf() { return take(edf.begin()->second); }
+
+  /// The shed victim under `policy` (never called on an empty lane).
+  Entry evict(ShedPolicy policy) {
+    if (policy == ShedPolicy::kNewestFirst)
+      return take(by_id.rbegin()->first);
+    return pop_edf();  // oldest deadline
+  }
+};
+
+struct CourseState {
+  LaneQueue lanes[2];  // 0 = first submits, 1 = resubmits
+  int admitted_this_tick = 0;
+  // Circuit breaker.
+  bool open = false;
+  int consecutive = 0;
+  std::uint64_t opened_tick = 0;
+
+  std::size_t depth() const { return lanes[0].size() + lanes[1].size(); }
+
+  /// Service order: the first-submit lane outranks resubmits.
+  Entry pop() {
+    return lanes[0].size() ? lanes[0].pop_edf() : lanes[1].pop_edf();
+  }
+
+  /// Shed order: resubmits go first; a first submit is only evicted when
+  /// the resubmit lane is already empty.
+  Entry evict(ShedPolicy policy) {
+    return lanes[1].size() ? lanes[1].evict(policy) : lanes[0].evict(policy);
+  }
+};
+
+/// Full-outcome dedup/replay is sound only when this tick's effective
+/// options are fault-free and wall-clock-free: injected faults are keyed
+/// by submission id, so identical bodies legitimately diverge under them.
+bool tick_is_sound(const QueueOptions& q) {
+  return q.transient_fault_rate == 0.0 && q.stall_rate == 0.0 &&
+         q.time_limit_ms < 0;
+}
+
+Disposition to_disposition(OutcomeKind kind, bool degraded) {
+  if (kind == OutcomeKind::kRejected) return Disposition::kLintRejected;
+  if (degraded) return Disposition::kDegraded;
+  switch (kind) {
+    case OutcomeKind::kGraded: return Disposition::kGraded;
+    case OutcomeKind::kFailed: return Disposition::kFailed;
+    case OutcomeKind::kBudget: return Disposition::kBudget;
+    case OutcomeKind::kExhausted: return Disposition::kExhausted;
+    case OutcomeKind::kRejected: break;  // handled above
+  }
+  return Disposition::kGraded;
+}
+
+}  // namespace
+
+bool parse_shed_policy(const std::string& text, ShedPolicy& out) {
+  if (text == "oldest-deadline") {
+    out = ShedPolicy::kOldestDeadline;
+    return true;
+  }
+  if (text == "newest-first") {
+    out = ShedPolicy::kNewestFirst;
+    return true;
+  }
+  if (text == "none") {
+    out = ShedPolicy::kNone;
+    return true;
+  }
+  return false;
+}
+
+const char* shed_policy_name(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kOldestDeadline: return "oldest-deadline";
+    case ShedPolicy::kNewestFirst: return "newest-first";
+    case ShedPolicy::kNone: return "none";
+  }
+  return "?";
+}
+
+const char* disposition_name(Disposition d) {
+  switch (d) {
+    case Disposition::kGraded: return "graded";
+    case Disposition::kFailed: return "failed";
+    case Disposition::kBudget: return "budget";
+    case Disposition::kExhausted: return "exhausted";
+    case Disposition::kLintRejected: return "lint-rejected";
+    case Disposition::kDegraded: return "degraded";
+    case Disposition::kRejectedQuota: return "rejected-quota";
+    case Disposition::kRejectedFull: return "rejected-full";
+    case Disposition::kShed: return "shed";
+  }
+  return "?";
+}
+
+std::int64_t tick_latency_percentile_us(const ServiceResult& res, double pct) {
+  if (res.tick_duration_us.empty()) return 0;
+  std::vector<std::int64_t> sorted = res.tick_duration_us;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+GradingService::GradingService(ServiceOptions opt, GradeFn grade)
+    : opt_(std::move(opt)), grade_(std::move(grade)) {
+  opt_.queue_cap = std::max(opt_.queue_cap, 1);
+  opt_.admit_quota = std::max(opt_.admit_quota, 0);
+  opt_.service_rate = std::max(opt_.service_rate, 1);
+  opt_.breaker_threshold = std::max(opt_.breaker_threshold, 1);
+  opt_.breaker_probe_interval = std::max(opt_.breaker_probe_interval, 1);
+}
+
+ServiceResult GradingService::run(const SubmissionTrace& trace) const {
+  obs::ScopedSpan run_span("mooc.service.run", "mooc");
+  ServiceResult res;
+  auto& stats = res.stats;
+  const auto& events = trace.events;
+  const int num_courses = std::max(trace.num_courses, 1);
+  if (opt_.record_outcomes) res.outcomes.resize(events.size());
+
+  // The per-tick effective options: the storm window swaps the fault
+  // rates wholesale, everything else rides along unchanged.
+  const QueueOptions& base = opt_.queue;
+  QueueOptions storm = opt_.queue;
+  storm.transient_fault_rate = opt_.storm_transient_rate;
+  storm.stall_rate = opt_.storm_stall_rate;
+
+  // Dedup/replay infrastructure, all consulted and updated at sequential
+  // program points only. Off entirely under the cache kill switch, which
+  // restores the grade-everything service exactly.
+  const bool use_cache = cache::enabled();
+  std::vector<cache::Digest128> body_digests;
+  if (use_cache) {
+    body_digests.reserve(trace.bodies.size());
+    for (const auto& b : trace.bodies)
+      body_digests.push_back(cache::digest_bytes(b));
+  }
+  cache::Digest128 config{};
+  const bool cross_run = use_cache && !opt_.queue.cache_domain.empty();
+  if (cross_run) {
+    cache::Hasher h;
+    h.u64(kServiceFormatVersion)
+        .str(opt_.queue.cache_domain)
+        .i32(opt_.queue.max_retries)
+        .i32(opt_.queue.backoff_base_ticks)
+        .i64(opt_.queue.step_limit)
+        .u64(opt_.queue.fault_seed)
+        .boolean(static_cast<bool>(opt_.queue.lint));
+    config = h.finish();
+  }
+  // Lint verdicts are pure in the submission bytes, so they replay on any
+  // tick; full outcomes replay only across sound ticks.
+  std::map<cache::Digest128, SubmissionOutcome> lint_rejected_memo;
+  std::set<cache::Digest128> lint_clean;
+  std::map<cache::Digest128, SubmissionOutcome> full_done;
+
+  auto record = [&](std::uint64_t id, Disposition d, std::uint8_t lane,
+                    bool replayed, std::uint32_t tick,
+                    const SubmissionOutcome* out) {
+    if (!opt_.record_outcomes) return;
+    auto& slot = res.outcomes[static_cast<std::size_t>(id)];
+    slot.disposition = d;
+    slot.lane = lane;
+    slot.replayed = replayed;
+    slot.final_tick = tick;
+    if (out != nullptr) {
+      slot.attempts = static_cast<std::uint16_t>(
+          std::clamp(out->attempts, 0, 0xffff));
+      slot.status = out->status.code;
+      slot.backoff_ticks = out->backoff_ticks;
+      slot.score = out->score;
+      slot.diagnostic = out->diagnostic;
+    }
+  };
+
+  auto count_serviced = [&](Disposition d, const SubmissionOutcome& out,
+                            std::uint32_t tick, std::uint32_t arrival) {
+    ++stats.admitted;
+    stats.total_attempts += out.attempts;
+    switch (d) {
+      case Disposition::kGraded: ++stats.graded; break;
+      case Disposition::kDegraded: ++stats.degraded; break;
+      case Disposition::kFailed: ++stats.failed; break;
+      case Disposition::kBudget: ++stats.budget_exceeded; break;
+      case Disposition::kExhausted: ++stats.retries_exhausted; break;
+      case Disposition::kLintRejected: ++stats.lint_rejected; break;
+      default: break;  // rejected/shed never reach here
+    }
+    obs::observe("mooc.service.wait_ticks",
+                 static_cast<std::int64_t>(tick) - arrival);
+  };
+
+  std::vector<CourseState> courses(static_cast<std::size_t>(num_courses));
+  struct BatchItem {
+    Entry e;
+    int course = 0;
+    bool degraded = false;
+    bool probe = false;
+  };
+  std::vector<BatchItem> batch;
+  std::vector<SubmissionOutcome> bouts;
+  std::vector<FaultTally> btallies;
+
+  std::size_t next_event = 0;
+  std::int64_t queued = 0;
+  std::uint64_t tick64 = 0;
+  while (next_event < events.size() || queued > 0) {
+    const std::int64_t t0 = obs::Tracer::global().now_us();
+    obs::ScopedSpan tick_span("mooc.service.tick", "mooc");
+    const auto tick = static_cast<std::uint32_t>(tick64);
+    const QueueOptions& qopt =
+        (tick64 >= opt_.storm_begin_tick && tick64 < opt_.storm_end_tick)
+            ? storm
+            : base;
+    const bool sound = tick_is_sound(qopt);
+
+    // ---- arrivals: admission control and backpressure -------------------
+    for (auto& c : courses) c.admitted_this_tick = 0;
+    while (next_event < events.size() &&
+           events[next_event].arrival_tick <= tick) {
+      const auto id = static_cast<std::uint64_t>(next_event);
+      const auto& ev = events[next_event];
+      ++next_event;
+      ++stats.arrivals;
+      auto& course =
+          courses[ev.course % static_cast<std::uint32_t>(num_courses)];
+      if (course.admitted_this_tick >= opt_.admit_quota) {
+        ++stats.rejected_quota;
+        record(id, Disposition::kRejectedQuota, ev.lane, false, tick, nullptr);
+        continue;
+      }
+      ++course.admitted_this_tick;
+      const Entry e{id, ev.body, ev.arrival_tick, ev.deadline_tick, ev.lane};
+      if (course.depth() >= static_cast<std::size_t>(opt_.queue_cap)) {
+        if (opt_.shed_policy == ShedPolicy::kNone) {
+          ++stats.rejected_full;
+          record(id, Disposition::kRejectedFull, ev.lane, false, tick,
+                 nullptr);
+          continue;
+        }
+        // Insert the newcomer first, then evict the policy's victim --
+        // which may be the newcomer itself. Either way the eviction is a
+        // recorded outcome, never a silent drop.
+        course.lanes[e.lane].insert(e);
+        const Entry victim = course.evict(opt_.shed_policy);
+        ++stats.shed;
+        record(victim.id, Disposition::kShed, victim.lane, false, tick,
+               nullptr);
+        continue;
+      }
+      course.lanes[e.lane].insert(e);
+      ++queued;
+    }
+    for (const auto& c : courses) {
+      stats.peak_depth_first = std::max(
+          stats.peak_depth_first, static_cast<std::int64_t>(c.lanes[0].size()));
+      stats.peak_depth_resubmit =
+          std::max(stats.peak_depth_resubmit,
+                   static_cast<std::int64_t>(c.lanes[1].size()));
+    }
+
+    // ---- sequential scheduling: pops, replays, batch assembly ------------
+    batch.clear();
+    for (int ci = 0; ci < num_courses; ++ci) {
+      auto& course = courses[static_cast<std::size_t>(ci)];
+      // Half-open probe: while the breaker is open, the first pop on every
+      // probe_interval-th tick after the trip grades for real; replay is
+      // disallowed for probes so a cache hit can't fake a recovery.
+      bool probe_pending =
+          course.open && tick64 > course.opened_tick &&
+          (tick64 - course.opened_tick) %
+                  static_cast<std::uint64_t>(opt_.breaker_probe_interval) ==
+              0;
+      for (int served = 0; served < opt_.service_rate && course.depth() > 0;
+           ++served) {
+        const Entry e = course.pop();
+        --queued;
+        bool probe = false;
+        bool degraded = false;
+        if (course.open) {
+          if (probe_pending) {
+            probe = true;
+            probe_pending = false;
+          } else {
+            degraded = true;
+          }
+        }
+        if (use_cache && !probe) {
+          const auto& dig = body_digests[e.body];
+          if (const auto it = lint_rejected_memo.find(dig);
+              it != lint_rejected_memo.end()) {
+            ++stats.dedup_hits;
+            count_serviced(Disposition::kLintRejected, it->second, tick,
+                           e.arrival);
+            record(e.id, Disposition::kLintRejected, e.lane, true, tick,
+                   &it->second);
+            continue;
+          }
+          if (degraded) {
+            if (lint_clean.count(dig) != 0) {
+              ++stats.dedup_hits;
+              SubmissionOutcome out;  // lint-only pass: no attempts, ok
+              count_serviced(Disposition::kDegraded, out, tick, e.arrival);
+              record(e.id, Disposition::kDegraded, e.lane, true, tick, &out);
+              continue;
+            }
+          } else if (sound) {
+            if (const auto it = full_done.find(dig); it != full_done.end()) {
+              ++stats.dedup_hits;
+              const Disposition d = to_disposition(it->second.kind, false);
+              count_serviced(d, it->second, tick, e.arrival);
+              record(e.id, d, e.lane, true, tick, &it->second);
+              continue;
+            }
+            if (cross_run) {
+              const cache::CacheKey key{"mooc.service", dig, config};
+              SubmissionOutcome out;
+              if (const auto hit = cache::Cache::global().lookup(key);
+                  hit && deserialize_outcome(*hit, out)) {
+                ++stats.cache_hits;
+                const Disposition d = to_disposition(out.kind, false);
+                count_serviced(d, out, tick, e.arrival);
+                record(e.id, d, e.lane, true, tick, &out);
+                full_done.emplace(dig, std::move(out));
+                continue;
+              }
+            }
+          }
+        }
+        batch.push_back(BatchItem{e, ci, degraded, probe});
+      }
+    }
+
+    // ---- parallel service of the tick's batch ----------------------------
+    // Pre-assigned slots, grain 1; every fault draw is keyed by the
+    // submission id, so the slot contents are lane-schedule-independent.
+    obs::observe("mooc.service.batch_size",
+                 static_cast<std::int64_t>(batch.size()));
+    bouts.assign(batch.size(), SubmissionOutcome{});
+    btallies.assign(batch.size(), FaultTally{});
+    util::parallel_for(
+        0, static_cast<std::int64_t>(batch.size()), 1, [&](std::int64_t s) {
+          const auto i = static_cast<std::size_t>(s);
+          const BatchItem& item = batch[i];
+          const std::string& body = trace.bodies[item.e.body];
+          obs::ScopedSpan grade_span("mooc.service.grade", "mooc");
+          auto& out = bouts[i];
+          if (lint_pre_grade_rejects(body, qopt, out)) return;
+          if (item.degraded) {
+            out.kind = OutcomeKind::kGraded;  // mapped to kDegraded in fold
+            out.status = util::Status::okay();
+            return;
+          }
+          grade_one_submission(item.e.id, body, grade_, qopt, out,
+                               btallies[i]);
+        });
+
+    // ---- sequential fold: stats, memoization, breaker transitions --------
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+      const BatchItem& item = batch[s];
+      auto& out = bouts[s];
+      auto& course = courses[static_cast<std::size_t>(item.course)];
+      stats.injected_transients += btallies[s].transients;
+      stats.injected_stalls += btallies[s].stalls;
+      const Disposition d = to_disposition(out.kind, item.degraded);
+      count_serviced(d, out, tick, item.e.arrival);
+      if (use_cache) {
+        const auto& dig = body_digests[item.e.body];
+        if (out.kind == OutcomeKind::kRejected) {
+          lint_rejected_memo.emplace(dig, out);
+        } else {
+          lint_clean.insert(dig);
+          if (!item.degraded && sound) {
+            if (cross_run)
+              cache::Cache::global().insert({"mooc.service", dig, config},
+                                            serialize_outcome(out));
+            full_done.emplace(dig, out);
+          }
+        }
+      }
+      const bool fault_fail =
+          !item.degraded && out.kind == OutcomeKind::kExhausted;
+      if (!course.open) {
+        if (fault_fail) {
+          if (++course.consecutive >= opt_.breaker_threshold) {
+            course.open = true;
+            course.opened_tick = tick64;
+            course.consecutive = 0;
+            ++stats.breaker_trips;
+          }
+        } else if (!item.degraded) {
+          course.consecutive = 0;
+        }
+      } else if (item.probe) {
+        ++stats.breaker_probes;
+        if (fault_fail) {
+          course.opened_tick = tick64;  // probe failed: restart the schedule
+        } else {
+          course.open = false;
+          course.consecutive = 0;
+          ++stats.breaker_recoveries;
+        }
+      }
+      record(item.e.id, d, item.e.lane, false, tick, &out);
+    }
+
+    ++stats.ticks;
+    res.tick_duration_us.push_back(obs::Tracer::global().now_us() - t0);
+    ++tick64;
+  }
+
+  // Metrics flush, sequential, every name emitted even at zero so the
+  // golden export's shape does not depend on which paths a run exercised.
+  if (obs::enabled()) {
+    obs::count("mooc.service.runs");
+    obs::count("mooc.service.ticks", stats.ticks);
+    obs::count("mooc.service.arrivals", stats.arrivals);
+    obs::count("mooc.service.admitted", stats.admitted);
+    obs::count("mooc.service.rejected.quota", stats.rejected_quota);
+    obs::count("mooc.service.rejected.queue_full", stats.rejected_full);
+    obs::count("mooc.service.shed", stats.shed);
+    obs::count("mooc.service.graded", stats.graded);
+    obs::count("mooc.service.degraded", stats.degraded);
+    obs::count("mooc.service.failed", stats.failed);
+    obs::count("mooc.service.budget_exceeded", stats.budget_exceeded);
+    obs::count("mooc.service.retries_exhausted", stats.retries_exhausted);
+    obs::count("mooc.service.lint_rejected", stats.lint_rejected);
+    obs::count("mooc.service.dedup_hits", stats.dedup_hits);
+    obs::count("mooc.service.cache_hits", stats.cache_hits);
+    obs::count("mooc.service.breaker.trips", stats.breaker_trips);
+    obs::count("mooc.service.breaker.probes", stats.breaker_probes);
+    obs::count("mooc.service.breaker.recoveries", stats.breaker_recoveries);
+    obs::count("mooc.service.attempts", stats.total_attempts);
+    obs::count("mooc.service.transients", stats.injected_transients);
+    obs::count("mooc.service.stalls", stats.injected_stalls);
+    obs::gauge_set("mooc.service.lane.first.peak_depth",
+                   stats.peak_depth_first);
+    obs::gauge_set("mooc.service.lane.resubmit.peak_depth",
+                   stats.peak_depth_resubmit);
+  }
+  return res;
+}
+
+}  // namespace l2l::mooc

@@ -24,7 +24,9 @@
 #include "grader/route_grader.hpp"
 #include "linalg/cg.hpp"
 #include "lint/lint.hpp"
+#include "mooc/cohort.hpp"
 #include "mooc/grading_queue.hpp"
+#include "mooc/grading_service.hpp"
 #include "network/blif.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -410,6 +412,91 @@ TEST_F(DeterminismTest, FullFlowMetricsMatchGoldenFile) {
   const std::string want = read_file_or_empty(golden_path);
   ASSERT_FALSE(want.empty())
       << "missing golden file tests/data/golden/fulladder_metrics.txt";
+  EXPECT_EQ(got, want) << "actual:\n" << got;
+}
+
+// ---- grading service ----------------------------------------------------
+
+/// A small semester that exercises every service path: overload (sheds +
+/// quota rejects), a mid-semester fault storm (breaker trips, degraded
+/// service, probes, recovery), and duplicate-heavy uploads (dedup).
+std::string service_drain_counters(int threads, mooc::ServiceStats* stats) {
+  mooc::TraceOptions topt;
+  topt.num_students = 1500;
+  topt.num_courses = 2;
+  topt.ticks = 80;
+  util::Rng rng(5);
+  const auto trace = mooc::generate_submission_trace(topt, rng);
+
+  mooc::ServiceOptions sopt;
+  sopt.queue_cap = 48;
+  sopt.admit_quota = 32;
+  sopt.service_rate = 8;
+  sopt.breaker_threshold = 4;
+  sopt.breaker_probe_interval = 4;
+  sopt.storm_begin_tick = 20;
+  sopt.storm_end_tick = 40;
+  sopt.storm_transient_rate = 0.95;
+  sopt.storm_stall_rate = 0.3;
+  sopt.queue.max_retries = 1;
+
+  util::set_num_threads(threads);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  cache::Cache::global().clear();
+  const mooc::GradingService service(
+      sopt, [](const std::string& s, const util::Budget&) {
+        return static_cast<double>(s.size() % 101);
+      });
+  const auto res = service.run(trace);
+  EXPECT_TRUE(res.accounting_ok()) << "silent drop at " << threads
+                                   << " threads";
+  if (stats != nullptr) *stats = res.stats;
+  return counters_only_export();
+}
+
+TEST_F(DeterminismTest, ServiceDrainCountersAreThreadCountInvariant) {
+  obs::set_enabled(true);
+  std::vector<std::string> exports;
+  mooc::ServiceStats stats{};
+  for (const int t : kThreadCounts)
+    exports.push_back(service_drain_counters(t, &stats));
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  ASSERT_EQ(exports.size(), 3u);
+  EXPECT_FALSE(exports[0].empty());
+  EXPECT_EQ(exports[0], exports[1]) << "threads 1 vs 2";
+  EXPECT_EQ(exports[0], exports[2]) << "threads 1 vs 8";
+  // The scenario genuinely exercised the overload and breaker machinery.
+  EXPECT_GT(stats.shed, 0);
+  EXPECT_GT(stats.rejected_quota, 0);
+  EXPECT_GT(stats.breaker_trips, 0);
+  EXPECT_GT(stats.degraded, 0);
+  EXPECT_GT(stats.dedup_hits, 0);
+  EXPECT_NE(exports[0].find("counter mooc.service.runs 1"),
+            std::string::npos);
+  EXPECT_NE(exports[0].find("counter mooc.service.shed"), std::string::npos);
+}
+
+// The service's counters-only export, pinned byte for byte. Regenerate
+// after an intentional change with L2L_UPDATE_GOLDEN=1 and commit the
+// rewritten tests/data/golden/service_metrics.txt.
+TEST_F(DeterminismTest, ServiceMetricsMatchGoldenFile) {
+  obs::set_enabled(true);
+  const std::string got = service_drain_counters(2, nullptr);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  const std::string golden_path =
+      L2L_TEST_DATA_DIR "/golden/service_metrics.txt";
+  if (std::getenv("L2L_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << got;
+    GTEST_SKIP() << "golden file regenerated";
+  }
+  const std::string want = read_file_or_empty(golden_path);
+  ASSERT_FALSE(want.empty())
+      << "missing golden file tests/data/golden/service_metrics.txt";
   EXPECT_EQ(got, want) << "actual:\n" << got;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <set>
 
@@ -146,6 +147,59 @@ TEST(Cohort, MoreVideosLowerCompletion) {
   const auto b = simulate_cohort(long_course, r2);
   // Viewers of the *last* video drop with course length.
   EXPECT_GT(a.viewers_per_video.back(), b.viewers_per_video.back());
+}
+
+TEST(SubmissionTrace, DeterministicPerSeedAndSorted) {
+  TraceOptions opt;
+  opt.num_students = 3000;
+  opt.num_courses = 3;
+  util::Rng r1(9), r2(9);
+  const auto a = generate_submission_trace(opt, r1);
+  const auto b = generate_submission_trace(opt, r2);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_FALSE(a.events.empty());
+  EXPECT_EQ(a.bodies, b.bodies);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].course, b.events[i].course);
+    EXPECT_EQ(a.events[i].student, b.events[i].student);
+    EXPECT_EQ(a.events[i].body, b.events[i].body);
+    EXPECT_EQ(a.events[i].arrival_tick, b.events[i].arrival_tick);
+    EXPECT_EQ(a.events[i].deadline_tick, b.events[i].deadline_tick);
+    EXPECT_EQ(a.events[i].lane, b.events[i].lane);
+  }
+  // Sorted by arrival (the service's sweep is a single pointer walk),
+  // every event inside bounds, deadline at or after arrival.
+  for (std::size_t i = 1; i < a.events.size(); ++i)
+    EXPECT_LE(a.events[i - 1].arrival_tick, a.events[i].arrival_tick);
+  for (const auto& ev : a.events) {
+    EXPECT_LT(ev.course, 3u);
+    EXPECT_LT(ev.arrival_tick, a.ticks);
+    EXPECT_GE(ev.deadline_tick, ev.arrival_tick);
+    EXPECT_LT(ev.body, a.bodies.size());
+    EXPECT_LE(ev.lane, 1);
+  }
+}
+
+TEST(SubmissionTrace, LanesFollowFirstSubmitThenResubmits) {
+  TraceOptions opt;
+  opt.num_students = 2000;
+  opt.resubmit_rate = 0.7;
+  util::Rng rng(4);
+  const auto trace = generate_submission_trace(opt, rng);
+  // Per student: exactly one lane-0 first submit, everything else lane 1.
+  std::map<std::uint32_t, int> firsts;
+  int resubmits = 0;
+  for (const auto& ev : trace.events) {
+    if (ev.lane == 0)
+      ++firsts[ev.student];
+    else
+      ++resubmits;
+  }
+  for (const auto& [student, n] : firsts) EXPECT_EQ(n, 1) << student;
+  EXPECT_GT(resubmits, 0);
+  // The pool keeps the trace duplicate-heavy: far more events than
+  // distinct bodies.
+  EXPECT_GT(trace.events.size(), trace.bodies.size());
 }
 
 TEST(WordCloud, CountsAndFilters) {

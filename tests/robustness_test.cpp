@@ -16,9 +16,11 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -32,7 +34,9 @@
 #include "grader/route_grader.hpp"
 #include "linalg/cg.hpp"
 #include "linalg/sparse.hpp"
+#include "mooc/cohort.hpp"
 #include "mooc/grading_queue.hpp"
+#include "mooc/grading_service.hpp"
 #include "network/blif.hpp"
 #include "place/legalize.hpp"
 #include "place/quadratic.hpp"
@@ -42,6 +46,7 @@
 #include "sat/dimacs.hpp"
 #include "sat/solver.hpp"
 #include "util/budget.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
@@ -506,6 +511,250 @@ TEST(GradingQueue, RealGraderBehindTheQueueSurvivesHostileCorpus) {
   for (const auto& out : res.outcomes)
     EXPECT_EQ(out.kind, mooc::OutcomeKind::kGraded);
   EXPECT_DOUBLE_EQ(res.outcomes.back().score, 100.0);
+}
+
+TEST(GradingQueue, BackoffSaturatesAtMaxRetries64) {
+  // Regression: backoff_base_ticks << (attempt - 1) shifted past the
+  // width of int (UB) once retries ran deep. The shift is now clamped
+  // and the accumulated total saturates, so a 64-retry poison drain is
+  // well-defined and finishes with the counter pinned at INT_MAX.
+  mooc::QueueOptions opt;
+  opt.max_retries = 64;
+  opt.backoff_base_ticks = 3;
+  const auto res = mooc::drain_queue(
+      {"poison"}, [](const std::string&, const util::Budget&) -> double {
+        throw std::runtime_error("always fails");
+      },
+      opt);
+  ASSERT_EQ(res.outcomes.size(), 1u);
+  EXPECT_EQ(res.outcomes[0].kind, mooc::OutcomeKind::kFailed);
+  EXPECT_EQ(res.outcomes[0].attempts, 65);  // 1 + 64 retries
+  EXPECT_EQ(res.outcomes[0].backoff_ticks, std::numeric_limits<int>::max());
+}
+
+// ---------------------------------------------------------------------------
+// 5. The persistent grading service survives overload deterministically:
+//    admission rejects are recorded, sheds are recorded, breakers degrade
+//    instead of failing -- and every run is bit-identical at any
+//    L2L_THREADS value, which these tests check by fingerprinting whole
+//    runs at 1/2/8 threads.
+
+/// Hand-built trace: one course, one body string per event so dedup
+/// cannot blur per-event assertions.
+mooc::SubmissionTrace service_trace(
+    std::uint32_t ticks,
+    const std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>>&
+        events /* (arrival, deadline, lane) in arrival order */) {
+  mooc::SubmissionTrace trace;
+  trace.ticks = ticks;
+  trace.num_courses = 1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    trace.bodies.push_back("s" + std::to_string(10 * (i + 1)));
+    mooc::SubmissionEvent ev;
+    ev.body = static_cast<std::uint32_t>(i);
+    ev.arrival_tick = std::get<0>(events[i]);
+    ev.deadline_tick = std::get<1>(events[i]);
+    ev.lane = std::get<2>(events[i]);
+    trace.events.push_back(ev);
+  }
+  return trace;
+}
+
+double service_grade(const std::string& s, const util::Budget&) {
+  return parse_score(s);
+}
+
+/// Everything deterministic about a run, flattened for equality checks
+/// across thread counts.
+std::string service_fingerprint(const mooc::ServiceResult& r) {
+  std::ostringstream ss;
+  const auto& s = r.stats;
+  ss << s.ticks << '/' << s.arrivals << '/' << s.admitted << '/'
+     << s.rejected_quota << '/' << s.rejected_full << '/' << s.shed << '/'
+     << s.graded << '/' << s.degraded << '/' << s.failed << '/'
+     << s.budget_exceeded << '/' << s.retries_exhausted << '/'
+     << s.lint_rejected << '/' << s.dedup_hits << '/' << s.cache_hits << '/'
+     << s.breaker_trips << '/' << s.breaker_probes << '/'
+     << s.breaker_recoveries << '/' << s.total_attempts << '/'
+     << s.injected_transients << '/' << s.injected_stalls << '/'
+     << s.peak_depth_first << '/' << s.peak_depth_resubmit << '\n';
+  for (const auto& o : r.outcomes)
+    ss << static_cast<int>(o.disposition) << ':' << static_cast<int>(o.lane)
+       << ':' << o.replayed << ':' << o.attempts << ':'
+       << static_cast<int>(o.status) << ':' << o.final_tick << ':'
+       << o.backoff_ticks << ':' << o.score << ':' << o.diagnostic.size()
+       << ';';
+  return ss.str();
+}
+
+/// Run the scenario at 1, 2, and 8 threads; assert the runs are
+/// bit-identical and hand back the (shared) result.
+mooc::ServiceResult run_thread_invariant(const mooc::ServiceOptions& opt,
+                                         const mooc::SubmissionTrace& trace,
+                                         mooc::GradeFn grade = service_grade) {
+  const mooc::GradingService service(opt, std::move(grade));
+  mooc::ServiceResult first;
+  std::string first_print;
+  for (const int t : {1, 2, 8}) {
+    util::set_num_threads(t);
+    auto res = service.run(trace);
+    EXPECT_TRUE(res.accounting_ok())
+        << "silent drop at " << t << " threads: admitted " << res.stats.admitted
+        << " + rejected " << res.stats.rejected() << " + shed "
+        << res.stats.shed << " != arrivals " << res.stats.arrivals;
+    const auto print = service_fingerprint(res);
+    if (first_print.empty()) {
+      first = std::move(res);
+      first_print = print;
+    } else {
+      EXPECT_EQ(print, first_print) << "run differs at " << t << " threads";
+    }
+  }
+  util::set_num_threads(0);
+  return first;
+}
+
+TEST(GradingService, AdmissionRejectsBeyondQuota) {
+  // Ten arrivals in one tick against a quota of four: four serviced, six
+  // rejected with a recorded reason -- in submission-id order, because
+  // the arrival sweep is sequential.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>> events;
+  for (int i = 0; i < 10; ++i) events.emplace_back(0, 2, 0);
+  const auto trace = service_trace(3, events);
+  mooc::ServiceOptions opt;
+  opt.admit_quota = 4;
+  opt.queue_cap = 100;
+  opt.service_rate = 100;
+  const auto res = run_thread_invariant(opt, trace);
+  EXPECT_EQ(res.stats.arrivals, 10);
+  EXPECT_EQ(res.stats.admitted, 4);
+  EXPECT_EQ(res.stats.rejected_quota, 6);
+  EXPECT_EQ(res.stats.shed, 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(res.outcomes[static_cast<std::size_t>(i)].disposition,
+              mooc::Disposition::kGraded);
+    EXPECT_DOUBLE_EQ(res.outcomes[static_cast<std::size_t>(i)].score,
+                     10.0 * (i + 1));
+  }
+  for (int i = 4; i < 10; ++i) {
+    const auto& o = res.outcomes[static_cast<std::size_t>(i)];
+    EXPECT_EQ(o.disposition, mooc::Disposition::kRejectedQuota);
+    EXPECT_EQ(o.final_tick, 0u);
+    EXPECT_TRUE(o.diagnostic.empty());
+  }
+}
+
+TEST(GradingService, OverloadShedsResubmitLaneByPolicy) {
+  // One first submit plus three resubmits into a queue of two. The shed
+  // policy picks the victim from the resubmit lane: oldest deadline
+  // first, or the newest arrival, or -- under `none` -- nobody (the
+  // queue rejects at admission instead). Every variant keeps the books.
+  const auto trace = service_trace(8, {{0, 5, 0},    // e0: first submit
+                                       {0, 3, 1},    // e1: resubmit, d=3
+                                       {0, 7, 1},    // e2: resubmit, d=7
+                                       {0, 2, 1}});  // e3: resubmit, d=2
+  mooc::ServiceOptions opt;
+  opt.queue_cap = 2;
+  opt.admit_quota = 100;
+  opt.service_rate = 1;
+
+  opt.shed_policy = mooc::ShedPolicy::kOldestDeadline;
+  auto res = run_thread_invariant(opt, trace);
+  EXPECT_EQ(res.stats.shed, 2);
+  EXPECT_EQ(res.stats.admitted, 2);
+  // e1 (deadline 3) evicted when e2 arrives; e3 (deadline 2) evicts
+  // itself on arrival. The first-submit lane is never touched.
+  EXPECT_EQ(res.outcomes[0].disposition, mooc::Disposition::kGraded);
+  EXPECT_EQ(res.outcomes[1].disposition, mooc::Disposition::kShed);
+  EXPECT_EQ(res.outcomes[2].disposition, mooc::Disposition::kGraded);
+  EXPECT_EQ(res.outcomes[3].disposition, mooc::Disposition::kShed);
+  // Priority lanes: the first submit is serviced before the resubmit.
+  EXPECT_LT(res.outcomes[0].final_tick, res.outcomes[2].final_tick);
+
+  opt.shed_policy = mooc::ShedPolicy::kNewestFirst;
+  res = run_thread_invariant(opt, trace);
+  EXPECT_EQ(res.stats.shed, 2);
+  // Newest arrivals (e2, then e3) leave first; e1 survives.
+  EXPECT_EQ(res.outcomes[1].disposition, mooc::Disposition::kGraded);
+  EXPECT_EQ(res.outcomes[2].disposition, mooc::Disposition::kShed);
+  EXPECT_EQ(res.outcomes[3].disposition, mooc::Disposition::kShed);
+
+  opt.shed_policy = mooc::ShedPolicy::kNone;
+  res = run_thread_invariant(opt, trace);
+  EXPECT_EQ(res.stats.shed, 0);
+  EXPECT_EQ(res.stats.rejected_full, 2);
+  EXPECT_EQ(res.outcomes[2].disposition, mooc::Disposition::kRejectedFull);
+  EXPECT_EQ(res.outcomes[3].disposition, mooc::Disposition::kRejectedFull);
+}
+
+TEST(GradingService, BreakerTripsDegradesThenRecovers) {
+  // One submission per tick into a fault storm covering ticks [0, 12).
+  // With every attempt faulting, two consecutive exhausted outcomes trip
+  // the breaker; the course degrades to lint-only service while open;
+  // half-open probes fail on the deterministic schedule until the storm
+  // passes, then the first clean probe closes the breaker again.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>> events;
+  for (std::uint32_t i = 0; i < 30; ++i) events.emplace_back(i, i + 5, 0);
+  const auto trace = service_trace(40, events);
+  mooc::ServiceOptions opt;
+  opt.service_rate = 1;
+  opt.admit_quota = 10;
+  opt.queue_cap = 100;
+  opt.breaker_threshold = 2;
+  opt.breaker_probe_interval = 2;
+  opt.storm_begin_tick = 0;
+  opt.storm_end_tick = 12;
+  opt.storm_transient_rate = 1.0;
+  opt.queue.max_retries = 1;
+  const auto res = run_thread_invariant(opt, trace);
+
+  EXPECT_EQ(res.stats.breaker_trips, 1);
+  EXPECT_EQ(res.stats.breaker_recoveries, 1);
+  // Probes fire on ticks 3, 5, 7, 9, 11 (failing -- storm) and 13 (clean).
+  EXPECT_EQ(res.stats.breaker_probes, 6);
+  // Exhausted: the two that tripped it plus the five failed probes.
+  EXPECT_EQ(res.stats.retries_exhausted, 7);
+  // Degraded: the non-probe ticks while open during/just after the storm.
+  EXPECT_EQ(res.stats.degraded, 6);
+  EXPECT_EQ(res.stats.graded, 17);
+  EXPECT_EQ(res.stats.admitted, 30);
+
+  EXPECT_EQ(res.outcomes[0].disposition, mooc::Disposition::kExhausted);
+  EXPECT_EQ(res.outcomes[1].disposition, mooc::Disposition::kExhausted);
+  EXPECT_EQ(res.outcomes[2].disposition, mooc::Disposition::kDegraded);
+  EXPECT_EQ(res.outcomes[3].disposition, mooc::Disposition::kExhausted);
+  EXPECT_EQ(res.outcomes[13].disposition, mooc::Disposition::kGraded);
+  EXPECT_EQ(res.outcomes[29].disposition, mooc::Disposition::kGraded);
+}
+
+TEST(GradingService, GeneratedSemesterUnderOverloadNeverDropsSilently) {
+  // The acceptance drill in miniature: a generated deadline-spiked trace
+  // against a queue cap far below the arrival rate. Whatever the mix of
+  // graded/rejected/shed, the books must close exactly -- at any thread
+  // count (run_thread_invariant checks both).
+  mooc::TraceOptions topt;
+  topt.num_students = 4000;
+  topt.num_courses = 3;
+  topt.ticks = 100;
+  util::Rng rng(11);
+  const auto trace = mooc::generate_submission_trace(topt, rng);
+  mooc::ServiceOptions opt;
+  opt.queue_cap = 32;
+  opt.admit_quota = 24;
+  opt.service_rate = 4;
+  opt.storm_begin_tick = 30;
+  opt.storm_end_tick = 60;
+  opt.storm_transient_rate = 0.9;
+  opt.storm_stall_rate = 0.4;
+  const auto res = run_thread_invariant(
+      opt, trace, [](const std::string& s, const util::Budget&) {
+        return static_cast<double>(s.size() % 101);
+      });
+  EXPECT_GT(res.stats.shed, 0);
+  EXPECT_GT(res.stats.rejected_quota, 0);
+  EXPECT_GT(res.stats.graded, 0);
+  EXPECT_EQ(res.stats.arrivals,
+            static_cast<std::int64_t>(trace.events.size()));
 }
 
 }  // namespace
