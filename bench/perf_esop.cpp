@@ -1,0 +1,99 @@
+// Exact-ESOP synthesis benchmarks: the structured-instance SAT workload
+// the eighth engine adds. Parity is the classic hard case (minimum ESOP
+// of x1^...^xn is exactly n, and the UNSAT proof at n-1 is where the
+// conflicts are); the random covers mirror the differential sweep's
+// distribution; the facade pair measures the result-cache hit path the
+// portal serves on duplicate submissions.
+//
+// Recorded as BENCH_esop.{seed.,}json by tools/run_benches.sh (see
+// EXPERIMENTS.md "Exact ESOP synthesis").
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "api/esop.hpp"
+#include "cache/cache.hpp"
+#include "esop/esop.hpp"
+#include "gen/function_gen.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using l2l::tt::TruthTable;
+
+TruthTable parity(int n) {
+  TruthTable f(n);
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m)
+    f.set(m, __builtin_popcountll(m) % 2 == 1);
+  return f;
+}
+
+/// Minimum-ESOP of the n-variable parity: gallop to n, prove UNSAT at
+/// n-1. The proof cost grows steeply with n -- this is the engine's
+/// conflict-heavy regime.
+void BM_EsopParity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TruthTable f = parity(n);
+  std::int64_t terms = 0;
+  for (auto _ : state) {
+    const auto r = l2l::esop::synthesize_minimum(f);
+    terms = r.terms;
+    benchmark::DoNotOptimize(r.cover);
+  }
+  state.counters["terms"] = static_cast<double>(terms);
+}
+BENCHMARK(BM_EsopParity)->DenseRange(2, 5);
+
+/// Random covers at the differential sweep's sizes: the typical-case
+/// latency a grader sees per submission.
+void BM_EsopRandomCover(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  l2l::util::Rng rng(0xe50bull * 1000003ull + static_cast<std::uint64_t>(n));
+  const auto cover = l2l::gen::random_cover(n, 5, rng);
+  const TruthTable f = cover.to_truth_table();
+  for (auto _ : state) {
+    const auto r = l2l::esop::synthesize_minimum(f);
+    benchmark::DoNotOptimize(r.terms);
+  }
+}
+BENCHMARK(BM_EsopRandomCover)->DenseRange(3, 6);
+
+/// The incremental win: one minimal answer needs several SAT queries
+/// (gallop + binary search); this isolates the per-query overhead on a
+/// function whose minimum is mid-bracket.
+void BM_EsopQuerySchedule(benchmark::State& state) {
+  // x0*x1 ^ x2 ^ x3: minimum 3 over 4 vars; gallop 1,2 UNSAT then 4 SAT,
+  // then binary search settles 3.
+  TruthTable f(4);
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+    const bool t = ((m & 3) == 3);
+    f.set(m, t ^ (((m >> 2) & 1) != 0) ^ (((m >> 3) & 1) != 0));
+  }
+  for (auto _ : state) {
+    const auto r = l2l::esop::synthesize_minimum(f);
+    benchmark::DoNotOptimize(r.stats.queries_sat);
+  }
+}
+BENCHMARK(BM_EsopQuerySchedule);
+
+/// Facade cold vs warm: the second identical request replays from the
+/// result cache (engine id "esop") -- the portal's duplicate-submission
+/// path.
+void BM_EsopFacadeWarmCache(benchmark::State& state) {
+  l2l::cache::Cache::global().clear();
+  l2l::cache::set_enabled(true);
+  l2l::api::EsopRequest req;
+  req.input = ".i 4\n.o 1\n1100 1\n0011 1\n1-1- 1\n.e\n";
+  req.show_stats = true;
+  (void)l2l::api::synthesize_esop(req);  // prime
+  for (auto _ : state) {
+    const auto res = l2l::api::synthesize_esop(req);
+    benchmark::DoNotOptimize(res.output);
+  }
+  l2l::cache::Cache::global().clear();
+}
+BENCHMARK(BM_EsopFacadeWarmCache);
+
+}  // namespace

@@ -1,0 +1,47 @@
+#pragma once
+// Exact ESOP synthesis facade (the esop_exact portal) -- the eighth
+// engine behind l2l/api.hpp. Takes either a PLA text (every output is
+// synthesized independently; don't-care cubes are treated as OFF and
+// noted in the stats block) or a single raw truth-table row ("0110",
+// LSB first), finds a minimum-term ESOP per output with the SAT engine
+// in src/esop/, and returns the `.type esop` PLA text plus the
+// per-output "# name: ..." stats block.
+//
+// Engine id "esop". The deterministic guards (max_terms, conflict_limit,
+// prop_limit) are part of the config digest, so budget-limited partial
+// results replay from the cache byte-identically; a wall-clock limit
+// (time_limit_ms >= 0) makes the stopping point non-reproducible and
+// bypasses the cache entirely.
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace l2l::api {
+
+struct EsopRequest {
+  std::string input;           ///< PLA text, or one 0/1 truth-table row
+  int max_terms = -1;          ///< cap on terms per output (-1 = derive)
+  std::int64_t conflict_limit = -1;  ///< per SAT query (-1 = unlimited)
+  std::int64_t prop_limit = -1;      ///< total propagations (budget steps)
+  std::int64_t time_limit_ms = -1;   ///< -1 = unlimited; >= 0 disables cache
+  bool show_stats = false;           ///< fill EsopResult::stats_output
+  bool use_cache = true;
+};
+
+struct EsopResult {
+  std::string output;        ///< `.type esop` PLA text (stdout)
+  std::string stats_output;  ///< "# <name>: ..." lines (stderr), or empty
+  int terms = 0;             ///< total terms across outputs
+  bool minimal = false;      ///< every output proven minimal
+  /// 0 ok, 3 malformed/oversized input, 4 budget/term-cap exhausted,
+  /// 5 internal error (a decoded model failed verification).
+  int exit_code = 0;
+  util::Status status;
+  bool cached = false;
+};
+
+EsopResult synthesize_esop(const EsopRequest& req);
+
+}  // namespace l2l::api

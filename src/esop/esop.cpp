@@ -1,0 +1,417 @@
+#include "esop/esop.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+
+namespace l2l::esop {
+
+namespace {
+
+using cubes::Cover;
+using cubes::Cube;
+using cubes::Pcn;
+using sat::LBool;
+using sat::Lit;
+using sat::Var;
+
+// Flushes the esop.* counters once per synthesize call on every exit
+// path (proved, budget-stopped, rejected, internal). The search loop
+// only touches the local SynthesisStats; obs sees one batched update.
+class SynthMetricsFlusher {
+ public:
+  explicit SynthMetricsFlusher(const SynthesisResult& result)
+      : result_(obs::enabled() ? &result : nullptr), span_("esop.synthesize") {}
+  ~SynthMetricsFlusher() {
+    if (result_ == nullptr) return;
+    const SynthesisStats& s = result_->stats;
+    obs::count("esop.synth_calls");
+    obs::count("esop.queries_sat", s.queries_sat);
+    obs::count("esop.queries_unsat", s.queries_unsat);
+    obs::count("esop.queries_undef", s.queries_undef);
+    obs::count("esop.encoded_terms", s.encoded_terms);
+    obs::count("esop.sat_conflicts", s.conflicts);
+    obs::count("esop.sat_propagations", s.propagations);
+    obs::count("esop.sat_decisions", s.decisions);
+    obs::count("esop.terms_out", result_->terms);
+    obs::count("esop.verify_points", s.verify_points);
+    if (result_->minimal) obs::count("esop.minimal_proven");
+    if (!result_->status.ok()) obs::count("esop.partial_results");
+    obs::observe("esop.terms_per_call", result_->terms);
+    obs::observe("esop.queries_per_call",
+                 s.queries_sat + s.queries_unsat + s.queries_undef);
+  }
+
+ private:
+  const SynthesisResult* result_;  // null when collection is disabled
+  obs::ScopedSpan span_;
+};
+
+/// The incremental CNF encoding. Term levels are appended on demand;
+/// level k's constraint "XOR of terms 1..k equals f" hangs off the
+/// assumption literal sel(k), so one solver serves every query of the
+/// gallop-then-binary-search schedule and keeps its learnt clauses.
+class Encoder {
+ public:
+  Encoder(const tt::TruthTable& f, const SynthesisOptions& opt) : f_(f) {
+    n_ = f.num_vars();
+    m_count_ = f.num_minterms();
+    sat::SolverOptions sopt;
+    sopt.conflict_limit = opt.conflict_limit;
+    sopt.budget = opt.budget;
+    solver_ = std::make_unique<sat::Solver>(sopt);
+  }
+
+  /// Append term levels until `terms` are encoded.
+  void ensure_encoded(int terms) {
+    while (num_levels() < terms) add_level();
+  }
+
+  int num_levels() const { return static_cast<int>(sel_.size()); }
+
+  /// The "<= k terms" query (k <= num_levels()).
+  LBool query(int k) {
+    return solver_->solve({Lit(sel_[static_cast<std::size_t>(k - 1)], false)});
+  }
+
+  /// Decode the current model's first `k` levels into an ESOP cover:
+  /// annihilated terms (both polarity selectors set on some variable)
+  /// are dropped, and XOR-cancelling duplicate cubes are removed in
+  /// pairs -- both are the identity under XOR semantics.
+  Cover decode(int k) const {
+    std::vector<Cube> cubes;
+    for (int j = 0; j < k; ++j) {
+      Cube c(n_);
+      bool dead = false;
+      for (int i = 0; i < n_ && !dead; ++i) {
+        const bool p = solver_->model_value(pos(j, i));
+        const bool q = solver_->model_value(neg(j, i));
+        if (p && q)
+          dead = true;  // annihilated: the term is constant 0
+        else if (p)
+          c.set_code(i, Pcn::kPos);
+        else if (q)
+          c.set_code(i, Pcn::kNeg);
+      }
+      if (!dead) cubes.push_back(c);
+    }
+    // t ^ t == 0: drop duplicate cubes pairwise, keeping one copy of any
+    // odd-multiplicity run. Sorting also canonicalizes the output order.
+    std::sort(cubes.begin(), cubes.end());
+    std::vector<Cube> kept;
+    for (std::size_t i = 0; i < cubes.size();) {
+      std::size_t run = i + 1;
+      while (run < cubes.size() && cubes[run] == cubes[i]) ++run;
+      if ((run - i) % 2 == 1) kept.push_back(cubes[i]);
+      i = run;
+    }
+    return Cover(n_, std::move(kept));
+  }
+
+  const util::Status& stop_reason() const { return solver_->stop_reason(); }
+  const sat::SolverStats& solver_stats() const { return solver_->stats(); }
+  int num_solver_vars() const { return solver_->num_vars(); }
+  int num_solver_clauses() const { return solver_->num_clauses(); }
+
+ private:
+  Var pos(int j, int i) const {
+    return selector_base_[static_cast<std::size_t>(j)] + 2 * i;
+  }
+  Var neg(int j, int i) const {
+    return selector_base_[static_cast<std::size_t>(j)] + 2 * i + 1;
+  }
+
+  /// Encode one more term level: selectors, per-minterm term values,
+  /// the XOR ladder hop, and the level's output assumption.
+  void add_level() {
+    const int j = num_levels();
+    selector_base_.push_back(solver_->num_vars());
+    for (int i = 0; i < n_; ++i) {
+      solver_->new_var();  // pos(j, i)
+      solver_->new_var();  // neg(j, i)
+    }
+    std::vector<Var> term(m_count_);   // t(j, m)
+    std::vector<Var> chain(m_count_);  // c(j, m)
+    for (std::uint64_t m = 0; m < m_count_; ++m)
+      term[static_cast<std::size_t>(m)] = solver_->new_var();
+    if (j == 0) {
+      chain = term;  // c(1, m) is t(1, m): no ladder hop at the base
+    } else {
+      for (std::uint64_t m = 0; m < m_count_; ++m)
+        chain[static_cast<std::size_t>(m)] = solver_->new_var();
+    }
+    const Var sel = solver_->new_var();
+    sel_.push_back(sel);
+
+    std::vector<Lit> all_killers;
+    for (std::uint64_t m = 0; m < m_count_; ++m) {
+      const Lit t(term[static_cast<std::size_t>(m)], false);
+      // t(j,m) <-> no selector kills the term on minterm m. The killer
+      // for variable i is the selector of the phase m does NOT satisfy.
+      all_killers.clear();
+      all_killers.push_back(t);
+      for (int i = 0; i < n_; ++i) {
+        const Var killer = ((m >> i) & 1) ? neg(j, i) : pos(j, i);
+        solver_->add_clause({~t, Lit(killer, true)});
+        all_killers.push_back(Lit(killer, false));
+      }
+      solver_->add_clause(all_killers);
+      const Lit c(chain[static_cast<std::size_t>(m)], false);
+      if (j > 0) {
+        // c(j,m) = c(j-1,m) ^ t(j,m), as the 4-clause biconditional.
+        const Lit prev(prev_chain_[static_cast<std::size_t>(m)], false);
+        solver_->add_clause({~c, prev, t});
+        solver_->add_clause({~c, ~prev, ~t});
+        solver_->add_clause({c, ~prev, t});
+        solver_->add_clause({c, prev, ~t});
+      }
+      // sel(j) -> c(j,m) agrees with f on m.
+      solver_->add_clause({Lit(sel, true), f_.get(m) ? c : ~c});
+    }
+    prev_chain_ = std::move(chain);
+    if (j > 0) add_symmetry_break(j);
+  }
+
+  /// Break the j! term-permutation symmetry: force level j-1's selector
+  /// vector <=_lex level j's. Any ESOP's terms can be sorted into this
+  /// order, and the annihilated all-ones pattern is lex-maximal, so the
+  /// "pad a short ESOP with dead terms" extension that makes the <= k
+  /// query monotone still works -- dead terms sort to the end. The win
+  /// is in the UNSAT proofs: without this, every refutation at k-1 has
+  /// to implicitly refute all (k-1)! orderings of the same cover.
+  ///
+  /// Standard prefix-equality chain over the 2n selector bits: aux e_i
+  /// is forced true while the prefixes agree, and (e_{i-1} & a_i) -> b_i
+  /// enforces the order at the first disagreement.
+  void add_symmetry_break(int j) {
+    Lit eq(0, false);  // e_{i-1}; unused until i > 0
+    for (int i = 0; i < 2 * n_; ++i) {
+      const Lit a(selector_base_[static_cast<std::size_t>(j - 1)] + i, false);
+      const Lit b(selector_base_[static_cast<std::size_t>(j)] + i, false);
+      if (i == 0) {
+        solver_->add_clause({~a, b});
+      } else {
+        solver_->add_clause({~eq, ~a, b});
+      }
+      if (i + 1 == 2 * n_) break;  // e over the full width is never used
+      const Lit next(solver_->new_var(), false);
+      if (i == 0) {
+        // e_1 <- (a_1 = b_1).
+        solver_->add_clause({~a, ~b, next});
+        solver_->add_clause({a, b, next});
+      } else {
+        solver_->add_clause({~eq, ~a, ~b, next});
+        solver_->add_clause({~eq, a, b, next});
+      }
+      eq = next;
+    }
+  }
+
+  const tt::TruthTable& f_;
+  int n_ = 0;
+  std::uint64_t m_count_ = 0;
+  std::unique_ptr<sat::Solver> solver_;
+  std::vector<Var> selector_base_;  // per level: first selector var
+  std::vector<Var> prev_chain_;     // c(j-1, m) for the next ladder hop
+  std::vector<Var> sel_;            // per level: the assumption literal
+};
+
+}  // namespace
+
+bool eval_esop(const Cover& cover, std::uint64_t minterm) {
+  bool v = false;
+  for (const Cube& c : cover.cubes()) v ^= c.eval(minterm);
+  return v;
+}
+
+tt::TruthTable esop_truth_table(const Cover& cover) {
+  tt::TruthTable out(cover.num_vars());
+  for (std::uint64_t m = 0; m < out.num_minterms(); ++m)
+    out.set(m, eval_esop(cover, m));
+  return out;
+}
+
+Cover minterm_esop(const tt::TruthTable& f) {
+  Cover out(f.num_vars());
+  out.reserve(static_cast<int>(f.count_ones()));
+  for (const std::uint64_t m : f.minterms()) {
+    Cube c(f.num_vars());
+    for (int i = 0; i < f.num_vars(); ++i)
+      c.set_code(i, ((m >> i) & 1) ? Pcn::kPos : Pcn::kNeg);
+    out.add(c);
+  }
+  return out;
+}
+
+namespace {
+
+/// Verify a decoded cover point-for-point against f. Any mismatch means
+/// the encoding or decode is broken: the contract is "internal error,
+/// never a wrong answer".
+bool verify_cover(const Cover& cover, const tt::TruthTable& f,
+                  SynthesisStats& stats) {
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+    ++stats.verify_points;
+    if (eval_esop(cover, m) != f.get(m)) return false;
+  }
+  return true;
+}
+
+void absorb_solver_stats(const Encoder& enc, SynthesisResult& result) {
+  result.stats.conflicts = enc.solver_stats().conflicts;
+  result.stats.propagations = enc.solver_stats().propagations;
+  result.stats.decisions = enc.solver_stats().decisions;
+  result.stats.encoded_terms = enc.num_levels();
+  result.stats.solver_vars = enc.num_solver_vars();
+  result.stats.solver_clauses = enc.num_solver_clauses();
+}
+
+}  // namespace
+
+SynthesisResult synthesize_minimum(const tt::TruthTable& f,
+                                   const SynthesisOptions& opt) {
+  SynthesisResult result;
+  SynthMetricsFlusher flusher(result);
+
+  const int n = f.num_vars();
+  if (n > kMaxVars) {
+    result.status = util::Status::invalid(
+        "esop: " + std::to_string(n) + " variables exceeds the cap of " +
+        std::to_string(kMaxVars));
+    return result;
+  }
+  if (f.is_constant_zero()) {
+    result.cover = Cover(n);
+    result.terms = 0;
+    result.minimal = true;
+    result.lower_bound = 0;
+    result.upper_bound = 0;
+    return result;
+  }
+
+  // The canonical minterm cover is the always-feasible starting bracket:
+  // whatever happens below, the caller gets a correct ESOP back.
+  const int on_set = static_cast<int>(f.count_ones());
+  result.cover = minterm_esop(f);
+  result.terms = on_set;
+  result.upper_bound = on_set;
+  result.lower_bound = 1;
+  if (!verify_cover(result.cover, f, result.stats)) {
+    result.status = util::Status::internal("esop: minterm fallback failed verification");
+    return result;
+  }
+
+  int cap = opt.max_terms >= 0 ? opt.max_terms
+                               : std::min(on_set, kDefaultMaxTerms);
+  cap = std::min(cap, on_set);
+  if (cap < 1) {
+    result.status = util::Status::budget(
+        "esop: term cap 0 cannot fit a non-zero function (minimum >= 1)");
+    return result;
+  }
+
+  Encoder enc(f, opt);
+  int lo = 1;        // minimal size is proven to be >= lo
+  int best = on_set; // best achieved size (the fallback, then models)
+  bool have_model = false;
+
+  // Gallop upward (1, 2, 4, ...) until the first SAT level brackets the
+  // minimum from above, then binary-search [lo, best) on the same solver.
+  int probe = 1;
+  while (true) {
+    enc.ensure_encoded(probe);
+    const LBool r = enc.query(probe);
+    if (r == LBool::kUndef) {
+      ++result.stats.queries_undef;
+      absorb_solver_stats(enc, result);
+      result.status = enc.stop_reason().ok()
+                          ? util::Status::budget("esop: solver stopped early")
+                          : enc.stop_reason();
+      return result;  // partial: [lo, on_set] bracket, fallback cover
+    }
+    if (r == LBool::kTrue) {
+      ++result.stats.queries_sat;
+      Cover decoded = enc.decode(probe);
+      if (!verify_cover(decoded, f, result.stats) || decoded.size() < lo) {
+        absorb_solver_stats(enc, result);
+        result.status = util::Status::internal(
+            "esop: decoded model failed verification at k=" +
+            std::to_string(probe));
+        return result;
+      }
+      best = decoded.size();
+      result.cover = std::move(decoded);
+      result.terms = best;
+      result.upper_bound = best;
+      have_model = true;
+      break;
+    }
+    ++result.stats.queries_unsat;
+    lo = probe + 1;
+    result.lower_bound = lo;
+    if (probe >= cap) {
+      absorb_solver_stats(enc, result);
+      if (cap >= on_set) {
+        // The canonical minterm cover IS an ESOP of size on_set, so
+        // UNSAT at on_set can only mean the encoding is wrong.
+        result.status = util::Status::internal(
+            "esop: encoding refuted the canonical minterm cover at k=" +
+            std::to_string(on_set));
+      } else {
+        result.status = util::Status::budget(
+            "esop: term cap " + std::to_string(cap) +
+            " exhausted without a feasible ESOP (minimum >= " +
+            std::to_string(lo) + ")");
+      }
+      return result;
+    }
+    probe = std::min(2 * probe, cap);
+  }
+
+  while (lo < best) {
+    const int mid = lo + (best - lo) / 2;  // lo <= mid < best
+    enc.ensure_encoded(mid);
+    const LBool r = enc.query(mid);
+    if (r == LBool::kUndef) {
+      ++result.stats.queries_undef;
+      absorb_solver_stats(enc, result);
+      result.status = enc.stop_reason().ok()
+                          ? util::Status::budget("esop: solver stopped early")
+                          : enc.stop_reason();
+      result.lower_bound = lo;
+      return result;  // partial: best verified cover so far
+    }
+    if (r == LBool::kTrue) {
+      ++result.stats.queries_sat;
+      Cover decoded = enc.decode(mid);
+      if (!verify_cover(decoded, f, result.stats) || decoded.size() < lo) {
+        absorb_solver_stats(enc, result);
+        result.status = util::Status::internal(
+            "esop: decoded model failed verification at k=" +
+            std::to_string(mid));
+        return result;
+      }
+      best = decoded.size();
+      result.cover = std::move(decoded);
+      result.terms = best;
+      result.upper_bound = best;
+    } else {
+      ++result.stats.queries_unsat;
+      lo = mid + 1;
+    }
+  }
+
+  (void)have_model;
+  result.lower_bound = best;
+  result.minimal = true;
+  absorb_solver_stats(enc, result);
+  return result;
+}
+
+}  // namespace l2l::esop

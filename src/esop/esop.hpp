@@ -1,0 +1,117 @@
+#pragma once
+// SAT-based exact ESOP synthesis -- the eighth engine.
+//
+// An ESOP (exclusive-or sum of products) represents a Boolean function as
+// the XOR of product terms: f = t_1 ^ t_2 ^ ... ^ t_k. This module answers
+// the *exact* question "what is the minimum k for f?" by encoding "does f
+// have an ESOP with <= k terms?" as CNF over selector/polarity variables
+// and solving it with the in-repo CDCL solver (sat::Solver). The search
+// over k runs on ONE incremental solver: each candidate term level adds
+// its clauses once, and a per-level assumption literal activates the
+// constraint "the XOR of the first k terms equals f", so galloping up and
+// binary-searching down reuse every learnt clause.
+//
+// Encoding (per term level j, over an n-variable function with 2^n
+// minterms; see DESIGN.md "Exact synthesis (ESOP)" for the full layout):
+//
+//   pos(j,i), neg(j,i)  selector/polarity vars: x_i / x_i' appears in
+//                       term j. Both set = the term is annihilated
+//                       (constant 0), which is what makes the query
+//                       monotone in k -- an ESOP with < k live terms
+//                       extends to k by adding annihilated terms.
+//   t(j,m)              term j's value on minterm m, defined by
+//                       t <-> AND_i !killer(j,i,m) where killer is the
+//                       selector that zeroes the term on m's phase of i.
+//   c(j,m)              XOR ladder: c(1,m) = t(1,m),
+//                       c(j,m) = c(j-1,m) ^ t(j,m).
+//   sel(j)              level assumption: sel(j) -> (c(j,m) = f(m)) for
+//                       every minterm m. solve({sel(k)}) is the <= k query.
+//
+// The decoded model is ALWAYS re-evaluated against the input truth table
+// before it is returned; a mismatch is an internal error (StatusCode::
+// kInternalError, tool exit 5), never a wrong answer. Budget/conflict
+// exhaustion returns the best verified cover found so far plus proven
+// [lower_bound, upper_bound] brackets -- a partial Status, not a throw.
+//
+// Everything here is sequential and deterministic: no wall-clock reads,
+// no unordered containers, and the esop.* obs counters are flushed once
+// per synthesize call, so exports are byte-identical at any L2L_THREADS.
+
+#include <cstdint>
+
+#include "cubes/cover.hpp"
+#include "tt/truth_table.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
+
+namespace l2l::esop {
+
+/// Hard arity cap: the encoding enumerates all 2^n minterms, so requests
+/// beyond this are rejected up front (StatusCode::kInvalidInput) before
+/// any allocation happens.
+inline constexpr int kMaxVars = 16;
+
+/// Cap on encoded term levels when the caller does not set one: the CNF
+/// grows by O(2^n * n) clauses per level, so a runaway search must stop
+/// at a deterministic point instead of exhausting memory.
+inline constexpr int kDefaultMaxTerms = 128;
+
+struct SynthesisOptions {
+  /// Cap on the number of product terms considered. -1 = derive from the
+  /// function (min of the ON-set size and kDefaultMaxTerms). If the true
+  /// minimum exceeds the cap the result is a partial Status
+  /// (kBudgetExceeded) carrying the canonical minterm fallback cover.
+  int max_terms = -1;
+  /// Conflict cap per SAT query (-1 = unlimited). Deterministic.
+  std::int64_t conflict_limit = -1;
+  /// Optional resource guard threaded into every SAT query (not owned;
+  /// must outlive the call). Step unit: one SAT propagation. A tripped
+  /// guard stops the search at the next conflict boundary.
+  const util::Budget* budget = nullptr;
+};
+
+struct SynthesisStats {
+  int queries_sat = 0;
+  int queries_unsat = 0;
+  int queries_undef = 0;   ///< stopped by conflict limit / budget
+  int encoded_terms = 0;   ///< term levels built into the solver
+  std::int64_t solver_vars = 0;
+  std::int64_t solver_clauses = 0;
+  std::int64_t conflicts = 0;
+  std::int64_t propagations = 0;
+  std::int64_t decisions = 0;
+  std::int64_t verify_points = 0;  ///< minterms re-evaluated during verify
+};
+
+struct SynthesisResult {
+  /// The best verified ESOP found: cubes are XOR-combined (NOT the OR
+  /// semantics of a plain Cover). Present whenever upper_bound >= 0,
+  /// even on budget exhaustion.
+  cubes::Cover cover;
+  int terms = 0;          ///< cover.size(), the achieved term count
+  bool minimal = false;   ///< proven: no ESOP with terms-1 products exists
+  int lower_bound = 0;    ///< proven lower bound on the minimum size
+  int upper_bound = -1;   ///< best achieved size; -1 = nothing found (n/a)
+  /// kOk when minimality was proven; kBudgetExceeded with the partial
+  /// bracket when a guard tripped; kInvalidInput for arity violations;
+  /// kInternalError if a decoded model failed verification.
+  util::Status status;
+  SynthesisStats stats;
+};
+
+/// Find a minimum-term ESOP for `f`. Deterministic for deterministic
+/// options (no wall-clock deadline in the budget).
+SynthesisResult synthesize_minimum(const tt::TruthTable& f,
+                                   const SynthesisOptions& opt = {});
+
+/// Evaluate a cover under ESOP (XOR-of-products) semantics on a minterm.
+bool eval_esop(const cubes::Cover& cover, std::uint64_t minterm);
+
+/// Expand an ESOP cover to its truth table (num_vars must be small).
+tt::TruthTable esop_truth_table(const cubes::Cover& cover);
+
+/// The canonical fallback: one term per ON minterm. Minterms are pairwise
+/// disjoint, so their XOR equals their OR equals f. Always feasible.
+cubes::Cover minterm_esop(const tt::TruthTable& f);
+
+}  // namespace l2l::esop

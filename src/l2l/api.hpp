@@ -9,6 +9,7 @@
 //   api::solve_sat         DIMACS CNF            (minisat_lite portal)
 //   api::run_bdd_script    kbdd calculator       (kbdd_lite portal)
 //   api::minimize_pla      two-level minimizer   (espresso_lite portal)
+//   api::synthesize_esop   exact ESOP synthesis  (esop_exact portal)
 //   api::optimize_blif     algebraic script      (sis_lite portal / flow)
 //   api::solve_axb         A x = b               (axb portal)
 //   api::place_and_legalize  quadratic placement (flow stage)
@@ -20,6 +21,7 @@
 
 #include "api/axb.hpp"
 #include "api/bdd.hpp"
+#include "api/esop.hpp"
 #include "api/espresso.hpp"
 #include "api/grade.hpp"
 #include "api/mls.hpp"

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/esop.hpp"
 #include "cache/cache.hpp"
 #include "fault/faults.hpp"
 #include "fault/simulator.hpp"
@@ -412,6 +413,91 @@ TEST_F(DeterminismTest, FullFlowMetricsMatchGoldenFile) {
   const std::string want = read_file_or_empty(golden_path);
   ASSERT_FALSE(want.empty())
       << "missing golden file tests/data/golden/fulladder_metrics.txt";
+  EXPECT_EQ(got, want) << "actual:\n" << got;
+}
+
+// ---- exact ESOP ---------------------------------------------------------
+
+/// Runs a fixed batch of exact-ESOP syntheses (cold cache, clean
+/// registry) and returns {tool-visible report, counters-only export}.
+/// The batch covers both input formats, a multi-output PLA, and a
+/// deterministic partial (conflict-limited) run, so the esop.* counters
+/// include the sat/unsat/undef query mix.
+std::pair<std::string, std::string> esop_batch_report(int threads) {
+  util::set_num_threads(threads);
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  cache::Cache::global().clear();
+  std::string report;
+  for (const char* input :
+       {"0110100110010110\n",
+        ".i 4\n.o 2\n.ob f g\n1100 10\n0011 10\n1-1- 01\n-1-1 01\n.e\n",
+        ".i 3\n.o 1\n1-- 1\n-1- 1\n--1 1\n.e\n"}) {
+    api::EsopRequest req;
+    req.input = input;
+    req.show_stats = true;
+    req.use_cache = false;
+    const auto res = api::synthesize_esop(req);
+    EXPECT_TRUE(res.status.ok()) << res.status.to_string();
+    report += res.stats_output + res.output;
+  }
+  {
+    api::EsopRequest req;  // conflict-limited: the undef/partial path
+    req.input = "01101001100101101001011001101001\n";
+    req.conflict_limit = 10;
+    req.show_stats = true;
+    req.use_cache = false;
+    const auto res = api::synthesize_esop(req);
+    EXPECT_FALSE(res.status.ok()) << "conflict limit 10 should trip";
+    report += res.stats_output + res.status.to_string() + "\n";
+  }
+  return {report, counters_only_export()};
+}
+
+TEST_F(DeterminismTest, EsopReportAndCountersAreThreadCountInvariant) {
+  obs::set_enabled(true);
+  std::vector<std::pair<std::string, std::string>> runs;
+  for (const int t : kThreadCounts) runs.push_back(esop_batch_report(t));
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  for (std::size_t s = 1; s < runs.size(); ++s) {
+    EXPECT_EQ(runs[s].first, runs[0].first)
+        << "esop report differs at " << kThreadCounts[s] << " threads";
+    EXPECT_EQ(runs[s].second, runs[0].second)
+        << "esop counters differ at " << kThreadCounts[s] << " threads";
+  }
+  // The batch genuinely hit the engine: calls, query mix, proofs.
+  EXPECT_NE(runs[0].second.find("counter esop.synth_calls 5"),
+            std::string::npos)
+      << runs[0].second;
+  EXPECT_NE(runs[0].second.find("counter esop.queries_unsat"),
+            std::string::npos);
+  EXPECT_NE(runs[0].second.find("counter esop.queries_undef 1"),
+            std::string::npos);
+  EXPECT_NE(runs[0].second.find("counter esop.minimal_proven 4"),
+            std::string::npos);
+  EXPECT_NE(runs[0].second.find("counter esop.partial_results 1"),
+            std::string::npos);
+}
+
+// Byte-for-byte golden pin of the esop.* counter export (same protocol
+// as fulladder_metrics.txt: regenerate with L2L_UPDATE_GOLDEN=1 and
+// commit tests/data/golden/esop_metrics.txt).
+TEST_F(DeterminismTest, EsopMetricsMatchGoldenFile) {
+  obs::set_enabled(true);
+  const std::string got = esop_batch_report(2).second;
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  const std::string golden_path = L2L_TEST_DATA_DIR "/golden/esop_metrics.txt";
+  if (std::getenv("L2L_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << got;
+    GTEST_SKIP() << "golden file regenerated";
+  }
+  const std::string want = read_file_or_empty(golden_path);
+  ASSERT_FALSE(want.empty())
+      << "missing golden file tests/data/golden/esop_metrics.txt";
   EXPECT_EQ(got, want) << "actual:\n" << got;
 }
 

@@ -11,6 +11,11 @@
 //   espresso      -- minimize() output must stay equivalent to its input
 //                    (and stay within the don't-care bounds when a DC
 //                    cover is supplied)
+//   exact ESOP    -- esop::synthesize_minimum must return a proven-minimal
+//                    XOR cover that folds back to the same truth table and
+//                    respects the theorem-backed size bounds against the
+//                    minterm fallback and the espresso SOP (its own
+//                    200-seed sweep below)
 //
 // A disagreement anywhere is shrunk to a minimal failing cover -- greedy
 // cube removal, then literal widening -- and printed with its seed, so a
@@ -25,6 +30,7 @@
 #include "bdd/bdd.hpp"
 #include "bdd/manager.hpp"
 #include "cubes/cover.hpp"
+#include "esop/esop.hpp"
 #include "espresso/minimize.hpp"
 #include "gen/function_gen.hpp"
 #include "sat/solver.hpp"
@@ -272,6 +278,167 @@ TEST(DifferentialTest, ConstantAndSingleLiteralCovers) {
       EXPECT_EQ(cross_check(Cover(n, {neg}), nullptr), std::nullopt);
     }
   }
+}
+
+// ---- exact ESOP vs the oracles ------------------------------------------
+
+/// Differential properties of the exact-ESOP engine on one cover:
+///   equivalence  -- XOR-folding the synthesized terms over all minterms
+///                   (esop_truth_table) must reproduce the cover's truth
+///                   table, and the SAT miter must agree in OR semantics
+///                   when the ESOP is re-read as a plain cover of its own
+///                   truth table's minterm expansion;
+///   minimality   -- the proven-minimal flag must be set, and the exact
+///                   term count must respect both theorem-backed upper
+///                   bounds: the |ON|-minterm fallback, and the GF(2)
+///                   inclusion-exclusion expansion of the espresso SOP
+///                   (OR of s cubes == XOR of its <= 2^s - 1 nonempty
+///                   subset products, each of which is a cube). The naive
+///                   "exact ESOP <= espresso SOP size" is NOT a theorem:
+///                   this very harness falsified it and shrank the
+///                   counterexample (see EsopCanExceedSopSize below), so
+///                   the sweep checks the bounds that are actually true.
+std::optional<std::string> esop_check(const Cover& f) {
+  const TruthTable want = f.to_truth_table();
+  const auto r = l2l::esop::synthesize_minimum(want);
+  if (!r.status.ok())
+    return "esop engine returned non-ok on an unguarded run: " +
+           r.status.to_string();
+  if (!r.minimal) return "esop engine did not prove minimality";
+  if (!(l2l::esop::esop_truth_table(r.cover) == want))
+    return "esop XOR-fold truth table != cover truth table";
+  if (r.terms != r.cover.size())
+    return "esop term count disagrees with decoded cover size";
+  const auto on_set = static_cast<long long>(want.count_ones());
+  if (r.terms > on_set)
+    return "exact ESOP (" + std::to_string(r.terms) +
+           " terms) larger than the minterm fallback (" +
+           std::to_string(on_set) + ")";
+  const Cover sop = l2l::espresso::minimize(f);
+  if (!(sop.to_truth_table() == want))
+    return "espresso cover truth table != input truth table";
+  // Subset-product bound, saturated once it can no longer bind.
+  if (sop.size() < 20) {
+    const long long ie_bound = (1ll << sop.size()) - 1;
+    if (r.terms > ie_bound)
+      return "exact ESOP (" + std::to_string(r.terms) +
+             " terms) above the 2^s-1 inclusion-exclusion bound of the " +
+             std::to_string(sop.size()) + "-cube espresso SOP";
+  }
+  return std::nullopt;
+}
+
+/// Same greedy shrink protocol as shrink_failure, but driven by
+/// esop_check: the printed cover is minimal for the ESOP disagreement.
+Cover shrink_esop_failure(Cover f) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < f.size(); ++i) {
+      std::vector<Cube> keep;
+      for (int j = 0; j < f.size(); ++j)
+        if (j != i) keep.push_back(f.cubes()[static_cast<std::size_t>(j)]);
+      Cover candidate(f.num_vars(), keep);
+      if (esop_check(candidate).has_value()) {
+        f = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    for (int i = 0; i < f.size() && !changed; ++i) {
+      for (int v = 0; v < f.num_vars() && !changed; ++v) {
+        const Cube& c = f.cubes()[static_cast<std::size_t>(i)];
+        if (c.code(v) == Pcn::kDontCare) continue;
+        std::vector<Cube> cubes = f.cubes();
+        cubes[static_cast<std::size_t>(i)].set_code(v, Pcn::kDontCare);
+        Cover candidate(f.num_vars(), std::move(cubes));
+        if (esop_check(candidate).has_value()) {
+          f = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return f;
+}
+
+TEST(DifferentialTest, TwoHundredRandomFunctionsExactEsop) {
+  int checked = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    // Same generator discipline as the four-oracle sweep, offset so the
+    // two tests draw different functions.
+    l2l::util::Rng rng(0xe50full * 1000003ull + seed);
+    const int num_vars = 3 + static_cast<int>(rng.next_below(4));   // 3..6
+    const int num_cubes = 1 + static_cast<int>(rng.next_below(8));  // 1..8
+    const Cover f = l2l::gen::random_cover(num_vars, num_cubes, rng);
+
+    const auto failure = esop_check(f);
+    if (failure.has_value()) {
+      const Cover minimal = shrink_esop_failure(f);
+      const auto why = esop_check(minimal);
+      FAIL() << "seed " << seed << ": " << *failure
+             << "\nminimal failing cover (" << minimal.num_vars()
+             << " vars):\n"
+             << minimal.to_string()
+             << "shrunk failure: " << why.value_or(*failure);
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 200);
+}
+
+// Found and shrunk by this harness's first run: the OR of two overlapping
+// products on disjoint supports has a 2-cube SOP but minimum ESOP 3
+// (a | b = a ^ b ^ ab, and a case analysis over the power-of-two ON-set
+// sizes of XOR pairs shows no 2-term ESOP reaches this 7-minterm
+// function). This is the counterexample that killed the naive
+// "exact ESOP <= espresso SOP size" property -- pinned so the corrected
+// sweep bound above never quietly regresses back to the false claim.
+TEST(DifferentialTest, EsopCanExceedSopSize) {
+  Cube a(4), b(4);
+  a.set_code(0, Pcn::kPos);
+  a.set_code(1, Pcn::kNeg);  // x0 !x1
+  b.set_code(2, Pcn::kPos);
+  b.set_code(3, Pcn::kNeg);  // x2 !x3
+  const Cover f(4, {a, b});
+  const Cover sop = l2l::espresso::minimize(f);
+  EXPECT_EQ(sop.size(), 2);
+  const auto r = l2l::esop::synthesize_minimum(f.to_truth_table());
+  ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_TRUE(r.minimal);
+  EXPECT_EQ(r.terms, 3) << "minimum ESOP of two overlapping products";
+  EXPECT_EQ(esop_check(f), std::nullopt)
+      << "the corrected sweep bounds must accept this function";
+}
+
+// Hand-picked ESOP corners: parity (worst case for SOP, linear for ESOP)
+// and majority (same size in both representations).
+TEST(DifferentialTest, EsopDirectedCorners) {
+  // Parity over 4 vars as a cover: 8 disjoint minterm cubes. Espresso
+  // cannot merge any (no two differ in one literal with equal value), so
+  // SOP stays at 8 while the exact ESOP drops to 4.
+  TruthTable par(4);
+  for (std::uint64_t m = 0; m < par.num_minterms(); ++m)
+    par.set(m, __builtin_popcountll(m) % 2 == 1);
+  const auto r = l2l::esop::synthesize_minimum(par);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.terms, 4);
+  EXPECT_TRUE(r.minimal);
+
+  // maj3 = ab | bc | ca = ab ^ bc ^ ca: three terms in both worlds.
+  Cube ab(3), bc(3), ca(3);
+  ab.set_code(0, Pcn::kPos);
+  ab.set_code(1, Pcn::kPos);
+  bc.set_code(1, Pcn::kPos);
+  bc.set_code(2, Pcn::kPos);
+  ca.set_code(2, Pcn::kPos);
+  ca.set_code(0, Pcn::kPos);
+  const Cover maj(3, {ab, bc, ca});
+  EXPECT_EQ(esop_check(maj), std::nullopt);
+  const auto rm = l2l::esop::synthesize_minimum(maj.to_truth_table());
+  ASSERT_TRUE(rm.status.ok());
+  EXPECT_EQ(rm.terms, 3);
 }
 
 // A cover whose cubes together form a tautology without any single cube

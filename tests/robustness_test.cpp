@@ -23,9 +23,12 @@
 #include <tuple>
 #include <vector>
 
+#include "api/esop.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/manager.hpp"
+#include "esop/esop.hpp"
 #include "espresso/pla.hpp"
+#include "tt/truth_table.hpp"
 #include "flow/flow.hpp"
 #include "gen/function_gen.hpp"
 #include "gen/placement_gen.hpp"
@@ -71,7 +74,8 @@ const std::vector<std::string>& corpus() {
       "truncated.cnf",      "huge_header.cnf",  "bad_literals.cnf",
       "truncated.blif",     "garbage.blif",     "truncated.pla",
       "garbage.pla",        "garbage_route.sol", "out_of_range_route.sol",
-      "huge_grid.problem",  "bad_placement.txt", "binary.junk"};
+      "huge_grid.problem",  "bad_placement.txt", "binary.junk",
+      "huge_arity.pla",     "esop_overwide.pla", "esop_contradiction.pla"};
   return kFiles;
 }
 
@@ -95,6 +99,79 @@ void parse_or_typed_throw(const std::string& label, Fn&& fn) {
     EXPECT_FALSE(std::string(e.what()).empty())
         << label << ": exception with no message";
   }
+}
+
+// ---------------------------------------------------------------------------
+// 0. The exact-ESOP facade: hostile text in, typed Status out, never an
+//    allocation proportional to an attacker-chosen header and never a
+//    wrong answer (a failed model verification is exit 5, and the engine
+//    refuses to print it as a result).
+
+TEST(HostileEsop, FacadeSurvivesWholeCorpus) {
+  for (const auto& name : corpus()) {
+    api::EsopRequest req;
+    req.input = load(name);
+    req.use_cache = false;
+    req.max_terms = 8;  // keep even accidentally-valid inputs fast
+    const auto res = api::synthesize_esop(req);
+    EXPECT_TRUE(res.exit_code == util::kExitOk ||
+                res.exit_code == util::kExitParse ||
+                res.exit_code == util::kExitBudget)
+        << name << ": exit " << res.exit_code << " ("
+        << res.status.to_string() << ")";
+  }
+}
+
+TEST(HostileEsop, OversizedArityRejectedBeforeAllocation) {
+  // .i 99999999 dies in PLA header validation; .i 17 parses but must be
+  // refused by the facade's pre-allocation arity gate -- a 2^17 truth
+  // table is never materialized for it.
+  for (const char* name : {"huge_arity.pla", "esop_overwide.pla"}) {
+    api::EsopRequest req;
+    req.input = load(name);
+    req.use_cache = false;
+    const auto res = api::synthesize_esop(req);
+    EXPECT_EQ(res.exit_code, util::kExitParse) << name;
+    EXPECT_FALSE(res.status.ok()) << name;
+  }
+  // The engine's own defensive gate (facade bypassed).
+  const auto r = esop::synthesize_minimum(tt::TruthTable(esop::kMaxVars + 1));
+  EXPECT_EQ(r.status.code, util::StatusCode::kInvalidInput);
+}
+
+TEST(HostileEsop, ContradictoryAndEmptyCoversRejected) {
+  for (const std::string input :
+       {load("esop_contradiction.pla"), std::string(""), std::string("\n\n"),
+        std::string("# only a comment\n")}) {
+    api::EsopRequest req;
+    req.input = input;
+    req.use_cache = false;
+    const auto res = api::synthesize_esop(req);
+    EXPECT_EQ(res.exit_code, util::kExitParse)
+        << "input: " << input.substr(0, 40);
+  }
+}
+
+TEST(HostileEsop, BudgetExhaustionIsPartialStatusNotThrow) {
+  api::EsopRequest req;
+  req.input = "0110100110010110\n";
+  req.prop_limit = 0;
+  req.show_stats = true;
+  req.use_cache = false;
+  const auto res = api::synthesize_esop(req);
+  EXPECT_EQ(res.exit_code, util::kExitBudget);
+  EXPECT_EQ(res.status.code, util::StatusCode::kBudgetExceeded);
+  // The stats channel still reports the proven bracket.
+  EXPECT_NE(res.stats_output.find("partial"), std::string::npos)
+      << res.stats_output;
+}
+
+TEST(HostileEsop, TenMegabytePasteIsRejectedQuickly) {
+  api::EsopRequest req;
+  req.input = ten_megabyte_line();
+  req.use_cache = false;
+  const auto res = api::synthesize_esop(req);
+  EXPECT_EQ(res.exit_code, util::kExitParse);
 }
 
 // ---------------------------------------------------------------------------

@@ -76,7 +76,7 @@ scan no-unordered-iteration 'for[[:space:]]*\(.*:.*unordered'
 # tables from util/flat_map.hpp -- node-per-bucket unordered tables undo
 # the cache-locality win the bench trajectory pins down.
 scan_in no-heap-clauses    'unique_ptr<[[:space:]]*Clause' '^src/sat/'
-scan_in no-unordered-tables 'std::unordered_' '^src/(sat|bdd)/'
+scan_in no-unordered-tables 'std::unordered_' '^src/(sat|bdd|esop)/'
 
 # Apply the allowlist (literal substrings, comments stripped).
 if [ -f "$allow" ]; then
