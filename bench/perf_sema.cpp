@@ -1,0 +1,164 @@
+// Semantic-analyzer benchmarks: the N/C/P passes on growing artifacts,
+// the hostile guard (a 10k-gate SCC ring must diagnose in milliseconds,
+// stack-safe), and analyze_files scaling across the worker pool -- the
+// numbers that justify running sema ahead of every grade, the same
+// position perf_lint argues for the textual layer.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sema/sema.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace l2l;
+
+// A well-formed chain-of-ANDs BLIF with `blocks` logic nodes: acyclic,
+// fully live, no constants -- the zero-findings fast path.
+std::string synthetic_blif(int blocks) {
+  std::string s = ".model chain\n.inputs x0 x1\n.outputs y\n";
+  for (int i = 0; i < blocks; ++i) {
+    const std::string in = i == 0 ? "x0" : "n" + std::to_string(i - 1);
+    const std::string out =
+        i + 1 == blocks ? "y" : "n" + std::to_string(i);
+    s += ".names " + in + " x1 " + out + "\n11 1\n";
+  }
+  s += ".end\n";
+  return s;
+}
+
+// A single `gates`-long combinational ring: one SCC covering the whole
+// file, the worst case for the iterative Tarjan walk.
+std::string synthetic_ring(int gates) {
+  std::string s = ".model ring\n.inputs x\n.outputs y\n";
+  for (int i = 0; i < gates; ++i)
+    s += ".names n" + std::to_string((i + 1) % gates) + " n" +
+         std::to_string(i) + "\n1 1\n";
+  s += ".names n0 y\n1 1\n.end\n";
+  return s;
+}
+
+// A satisfiable-looking random 3-CNF with `clauses` clauses.
+std::string synthetic_cnf(int vars, int clauses, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string s =
+      "p cnf " + std::to_string(vars) + " " + std::to_string(clauses) + "\n";
+  for (int c = 0; c < clauses; ++c) {
+    for (int k = 0; k < 3; ++k) {
+      const int v = 1 + static_cast<int>(rng.next_below(
+                            static_cast<std::uint32_t>(vars)));
+      s += std::to_string(rng.next_below(2) ? v : -v) + " ";
+    }
+    s += "0\n";
+  }
+  return s;
+}
+
+// A random multi-output PLA with `rows` cube rows.
+std::string synthetic_pla(int inputs, int outputs, int rows,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string s = ".i " + std::to_string(inputs) + "\n.o " +
+                  std::to_string(outputs) + "\n";
+  const char in_chars[3] = {'0', '1', '-'};
+  for (int r = 0; r < rows; ++r) {
+    for (int i = 0; i < inputs; ++i) s += in_chars[rng.next_below(3)];
+    s += ' ';
+    for (int o = 0; o < outputs; ++o) s += rng.next_below(4) == 0 ? '1' : '0';
+    s += '\n';
+  }
+  s += ".e\n";
+  return s;
+}
+
+void BM_SemaBlifPass(benchmark::State& state) {
+  const auto text = synthetic_blif(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto analysis = sema::analyze_blif(text);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_SemaBlifPass)->Arg(64)->Arg(512)->Arg(4096);
+
+// The diagnose-never-crash guard: the whole netlist is one SCC. Cost must
+// stay linear in the gate count and the walk must not recurse (the 10k
+// ring in the hostile corpus is this shape).
+void BM_SemaSccRing(benchmark::State& state) {
+  const auto text = synthetic_ring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto analysis = sema::analyze_blif(text);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_SemaSccRing)->Arg(1000)->Arg(10000);
+
+void BM_SemaCnfPass(benchmark::State& state) {
+  const auto text =
+      synthetic_cnf(200, static_cast<int>(state.range(0)), 2026);
+  for (auto _ : state) {
+    auto findings = sema::analyze_cnf(text);
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_SemaCnfPass)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_SemaPlaPass(benchmark::State& state) {
+  const auto text =
+      synthetic_pla(16, 4, static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto findings = sema::analyze_pla(text);
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_SemaPlaPass)->Arg(64)->Arg(512)->Arg(2048);
+
+// Hostile headers: astronomical declared sizes must analyze in time
+// proportional to the bytes present (same promise as the lint packs).
+void BM_SemaHostileHeaders(benchmark::State& state) {
+  const std::vector<std::pair<std::string, std::string>> hostile = {
+      {"huge.cnf", "p cnf 2000000000 2000000000\n1 2 0\n"},
+      {"huge.pla", ".i 1000000\n.o 1000000\n.p 2000000000\n"},
+      {"huge.blif", ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n"},
+  };
+  for (auto _ : state) {
+    auto report = sema::analyze_files(hostile);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SemaHostileHeaders);
+
+// Batch analysis across the pool: Arg is the thread count; the batch is
+// one submission-sized artifact per simulated student.
+void BM_SemaFilesScaling(benchmark::State& state) {
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.emplace_back("hw" + std::to_string(i) + ".blif",
+                       synthetic_blif(256));
+    batch.emplace_back("hw" + std::to_string(i) + ".cnf",
+                       synthetic_cnf(100, 512, 100 + i));
+  }
+  util::set_num_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto report = sema::analyze_files(batch);
+    benchmark::DoNotOptimize(report);
+  }
+  util::set_num_threads(0);
+  state.counters["files"] = static_cast<double>(batch.size());
+}
+BENCHMARK(BM_SemaFilesScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -10,7 +10,10 @@ namespace l2l::api {
 
 namespace {
 
-constexpr std::uint64_t kGradeFormatVersion = 1;
+// v2: Grade records carry the score-neutral sema diagnostics block
+// after the lint block; bumping the version invalidates v1 cache
+// entries instead of misreading them.
+constexpr std::uint64_t kGradeFormatVersion = 2;
 
 void append_route_grade(std::string& out, const grader::RouteGrade& g) {
   cache::append_i64(out, static_cast<std::int64_t>(g.nets.size()));
@@ -29,6 +32,7 @@ void append_route_grade(std::string& out, const grader::RouteGrade& g) {
   cache::append_record(out, g.report);
   detail::append_diagnostics(out, g.diagnostics);
   detail::append_diagnostics(out, g.lint);
+  detail::append_diagnostics(out, g.sema);
   detail::append_status(out, g.status);
 }
 
@@ -55,6 +59,7 @@ bool read_route_grade(cache::RecordReader& in, grader::RouteGrade& g) {
       !in.next_f64(g.score) || !in.next_string(g.report) ||
       !detail::read_diagnostics(in, g.diagnostics) ||
       !detail::read_diagnostics(in, g.lint) ||
+      !detail::read_diagnostics(in, g.sema) ||
       !detail::read_status(in, g.status))
     return false;
   g.legal_nets = static_cast<int>(legal_nets);
@@ -73,6 +78,7 @@ void append_place_grade(std::string& out, const grader::PlaceGrade& g) {
   cache::append_record(out, g.report);
   detail::append_diagnostics(out, g.diagnostics);
   detail::append_diagnostics(out, g.lint);
+  detail::append_diagnostics(out, g.sema);
   detail::append_status(out, g.status);
 }
 
@@ -83,6 +89,7 @@ bool read_place_grade(cache::RecordReader& in, grader::PlaceGrade& g) {
       !in.next_f64(g.score) || !in.next_string(g.report) ||
       !detail::read_diagnostics(in, g.diagnostics) ||
       !detail::read_diagnostics(in, g.lint) ||
+      !detail::read_diagnostics(in, g.sema) ||
       !detail::read_status(in, g.status))
     return false;
   g.legal = legal != 0;

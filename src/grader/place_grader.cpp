@@ -11,6 +11,7 @@
 #include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sema/sema.hpp"
 #include "place/wirelength.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -153,6 +154,19 @@ PlaceGrade grade_placement_text(const gen::PlacementProblem& problem,
         util::format("lint: %d finding(s) before grading\n",
                      static_cast<int>(lint_findings.size()));
     head += util::render_diagnostics(g.lint);
+    g.report = head + g.report;
+  }
+  // Score-neutral semantic findings: sema sniffs the raw upload, so a
+  // netlist/CNF/PLA with semantic defects submitted to this portal is
+  // explained instead of silently mis-parsed. Placement text has no
+  // sema pass -- clean submissions render byte-identically to before.
+  const auto sema_report = sema::analyze_text("<submission>", text);
+  if (!sema_report.findings.empty()) {
+    g.sema = lint::to_diagnostics(sema_report.findings);
+    std::string head =
+        util::format("sema: %d semantic finding(s) before grading\n",
+                     static_cast<int>(g.sema.size()));
+    head += util::render_diagnostics(g.sema);
     g.report = head + g.report;
   }
   return g;

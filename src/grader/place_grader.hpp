@@ -30,6 +30,11 @@ struct PlaceGrade {
   /// Pre-grade lint findings (L2L-Lxxx rule pack), prepended to the
   /// report. Lint never changes the score; a clean submission has none.
   std::vector<util::Diagnostic> lint;
+  /// Pre-grade semantic findings (l2l::sema, format-sniffed on the raw
+  /// upload): fires when a student submits a netlist/CNF/PLA artifact
+  /// with semantic defects to the wrong portal. Never changes the score;
+  /// a placement submission has none.
+  std::vector<util::Diagnostic> sema;
   /// Non-ok when grading itself failed (internal error in the batch path).
   util::Status status;
 };

@@ -10,6 +10,7 @@
 #include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sema/sema.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 
@@ -161,6 +162,18 @@ RouteGrade grade_routing_text(const gen::RoutingProblem& problem,
         util::format("lint: %d finding(s) before grading\n",
                      static_cast<int>(lint_findings.size()));
     head += util::render_diagnostics(g.lint);
+    g.report = head + g.report;
+  }
+  // Score-neutral semantic findings, same contract as the lint block: a
+  // routing solution has no sema pass, so clean submissions render
+  // byte-identically; a misdirected netlist/CNF/PLA gets explained.
+  const auto sema_report = sema::analyze_text("<submission>", solution_text);
+  if (!sema_report.findings.empty()) {
+    g.sema = lint::to_diagnostics(sema_report.findings);
+    std::string head =
+        util::format("sema: %d semantic finding(s) before grading\n",
+                     static_cast<int>(g.sema.size()));
+    head += util::render_diagnostics(g.sema);
     g.report = head + g.report;
   }
   return g;

@@ -39,6 +39,11 @@ struct RouteGrade {
   /// Pre-grade lint findings (L2L-Sxxx rule pack, run with the problem so
   /// the geometric rules fire). Lint never changes the score.
   std::vector<util::Diagnostic> lint;
+  /// Pre-grade semantic findings (l2l::sema, format-sniffed on the raw
+  /// upload): fires when a student submits a netlist/CNF/PLA artifact
+  /// with semantic defects to the wrong portal. Never changes the score;
+  /// a routing submission has none.
+  std::vector<util::Diagnostic> sema;
   /// Non-ok when grading itself was cut short (budget) or failed
   /// (internal error); parse problems are diagnostics, not status.
   util::Status status;

@@ -8,8 +8,6 @@
 
 namespace l2l::lint {
 
-namespace {
-
 const char* severity_name(util::Severity s) {
   switch (s) {
     case util::Severity::kError: return "error";
@@ -18,6 +16,8 @@ const char* severity_name(util::Severity s) {
   }
   return "error";
 }
+
+namespace {
 
 /// JSON string escaping for hostile bytes embedded in messages (control
 /// characters, quotes, backslashes; non-ASCII passes through untouched --

@@ -56,6 +56,10 @@ struct Finding {
 /// order. Stable across thread counts by construction.
 void sort_findings(std::vector<Finding>& findings);
 
+/// "error" / "warning" / "note" -- the render spelling shared by the text
+/// and JSON exporters (and by l2l::sema's registry print).
+const char* severity_name(util::Severity s);
+
 std::vector<util::Diagnostic> to_diagnostics(
     const std::vector<Finding>& findings);
 

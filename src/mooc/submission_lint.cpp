@@ -1,0 +1,19 @@
+#include "mooc/submission_lint.hpp"
+
+#include "sema/sema.hpp"
+
+namespace l2l::mooc {
+
+SubmissionLint sema_submission_lint(bool require_header) {
+  return [require_header](const std::string& body) {
+    std::vector<util::Diagnostic> out;
+    if (require_header && body.rfind("course ", 0) != 0)
+      out.push_back(util::make_error(
+          1, 1, "submission is missing the course header"));
+    auto findings = sema::analyze_submission(body);
+    out.insert(out.end(), findings.begin(), findings.end());
+    return out;
+  };
+}
+
+}  // namespace l2l::mooc

@@ -1,5 +1,6 @@
 #include "network/blif.hpp"
 
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,13 +10,6 @@
 namespace l2l::network {
 namespace {
 
-/// One .names block accumulated during parsing.
-struct NamesBlock {
-  std::vector<std::string> signals;  // fanin names + output name (last)
-  std::vector<std::pair<std::string, int>> cube_lines;  // text + line no.
-  int line = 0;  // the .names directive's line
-};
-
 std::string excerpt(std::string_view t) {
   constexpr std::size_t kMax = 60;
   if (t.size() <= kMax) return std::string(t);
@@ -24,17 +18,12 @@ std::string excerpt(std::string_view t) {
 
 }  // namespace
 
-ParsedBlif parse_blif_lenient(const std::string& text) {
-  ParsedBlif out;
+BlifStructure parse_blif_structure(const std::string& text) {
+  BlifStructure out;
   auto diag = [&](int line, std::string msg) {
     out.diagnostics.push_back(util::make_error(line, line > 0 ? 1 : 0,
                                                std::move(msg)));
   };
-
-  std::string model = "top";
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
-  std::vector<NamesBlock> blocks;
 
   // Pass 1: tokenize into directives with continuation (\) support. Each
   // logical line keeps the physical line number it started on, so every
@@ -60,24 +49,30 @@ ParsedBlif parse_blif_lenient(const std::string& text) {
   if (!pending.empty())
     diag(pending_line, "BLIF: dangling line continuation");
 
-  NamesBlock* current = nullptr;
+  BlifGate* current = nullptr;
   for (const auto& [l, ln] : lines) {
     if (l[0] == '.') {
       const auto tok = util::split(l);
       current = nullptr;
       if (tok[0] == ".model") {
-        if (tok.size() > 1) model = tok[1];
+        if (tok.size() > 1) out.model = tok[1];
       } else if (tok[0] == ".inputs") {
-        input_names.insert(input_names.end(), tok.begin() + 1, tok.end());
+        for (std::size_t k = 1; k < tok.size(); ++k)
+          out.inputs.emplace_back(tok[k], ln);
       } else if (tok[0] == ".outputs") {
-        output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
+        for (std::size_t k = 1; k < tok.size(); ++k)
+          out.outputs.emplace_back(tok[k], ln);
       } else if (tok[0] == ".names") {
         if (tok.size() < 2) {
           diag(ln, "BLIF: .names needs an output signal");
           continue;
         }
-        blocks.push_back(NamesBlock{{tok.begin() + 1, tok.end()}, {}, ln});
-        current = &blocks.back();
+        BlifGate gate;
+        gate.fanins.assign(tok.begin() + 1, tok.end() - 1);
+        gate.output = tok.back();
+        gate.line = ln;
+        out.gates.push_back(std::move(gate));
+        current = &out.gates.back();
       } else if (tok[0] == ".end") {
         break;
       } else if (tok[0] == ".latch") {
@@ -91,16 +86,32 @@ ParsedBlif parse_blif_lenient(const std::string& text) {
       diag(ln, "BLIF: cube line outside a .names block");
       continue;
     }
-    current->cube_lines.emplace_back(l, ln);
+    current->rows.emplace_back(l, ln);
   }
+  return out;
+}
+
+ParsedBlif parse_blif_lenient(const std::string& text) {
+  ParsedBlif out;
+  auto diag = [&](int line, std::string msg) {
+    out.diagnostics.push_back(util::make_error(line, line > 0 ? 1 : 0,
+                                               std::move(msg)));
+  };
+
+  // Pass 1 is shared with the semantic analyzer (see BlifStructure).
+  BlifStructure structure = parse_blif_structure(text);
+  out.diagnostics = structure.diagnostics;
+  const std::vector<BlifGate>& blocks = structure.gates;
 
   Network& net = out.network;
-  net = Network(model);
-  for (const auto& n : input_names) {
+  net = Network(structure.model);
+  std::set<std::string> declared_inputs;
+  for (const auto& [n, ln] : structure.inputs) {
     if (net.find(n)) {
-      diag(0, "BLIF: duplicate input " + n);
+      diag(ln, "BLIF: duplicate input " + n);
       continue;
     }
+    declared_inputs.insert(n);
     net.add_input(n);
   }
 
@@ -113,11 +124,11 @@ ParsedBlif parse_blif_lenient(const std::string& text) {
     for (std::size_t b = 0; b < blocks.size(); ++b) {
       if (placed[b]) continue;
       const auto& blk = blocks[b];
-      const int arity = static_cast<int>(blk.signals.size()) - 1;
+      const int arity = static_cast<int>(blk.fanins.size());
       bool ready = true;
       std::vector<NodeId> fanins;
       for (int k = 0; k < arity; ++k) {
-        const auto id = net.find(blk.signals[static_cast<std::size_t>(k)]);
+        const auto id = net.find(blk.fanins[static_cast<std::size_t>(k)]);
         if (!id) {
           ready = false;
           break;
@@ -125,11 +136,17 @@ ParsedBlif parse_blif_lenient(const std::string& text) {
         fanins.push_back(*id);
       }
       if (!ready) continue;
-      if (net.find(blk.signals.back())) {
-        // Multiply-driven (or shadowing an input): the first driver wins,
-        // this block is dropped so the network stays well-formed.
-        diag(blk.line,
-             "BLIF: signal '" + blk.signals.back() + "' driven twice");
+      if (net.find(blk.output)) {
+        // The first driver wins and this block is dropped so the network
+        // stays well-formed. A .names output that shadows a declared
+        // model input gets its own diagnostic: it is a different mistake
+        // (the "input" was never free), and sema's multi-driven pass
+        // relies on salvaged networks never aliasing an input name.
+        if (declared_inputs.count(blk.output) > 0)
+          diag(blk.line, "BLIF: .names output '" + blk.output +
+                             "' is also a declared model input");
+        else
+          diag(blk.line, "BLIF: signal '" + blk.output + "' driven twice");
         placed[b] = true;
         --remaining;
         progress = true;
@@ -140,7 +157,7 @@ ParsedBlif parse_blif_lenient(const std::string& text) {
       cubes::Cover on(arity);
       cubes::Cover off(arity);
       bool rows_ok = true;
-      for (const auto& [cl, cl_line] : blk.cube_lines) {
+      for (const auto& [cl, cl_line] : blk.rows) {
         const auto tok = util::split(cl);
         std::string in_plane, out_char;
         if (arity == 0) {
@@ -186,8 +203,7 @@ ParsedBlif parse_blif_lenient(const std::string& text) {
       if (rows_ok) {
         // BLIF semantics: 0-rows describe the OFF-set; ON = complement.
         cubes::Cover cover = !off.empty() ? cubes::complement(off) : on;
-        net.add_logic(blk.signals.back(), std::move(fanins),
-                      std::move(cover));
+        net.add_logic(blk.output, std::move(fanins), std::move(cover));
       }
       // A block with bad rows is dropped (its output stays undriven and is
       // reported below if anything needs it), but parsing continues.
@@ -207,10 +223,10 @@ ParsedBlif parse_blif_lenient(const std::string& text) {
     }
   }
 
-  for (const auto& n : output_names) {
+  for (const auto& [n, ln] : structure.outputs) {
     const auto id = net.find(n);
     if (!id) {
-      diag(0, "BLIF: undriven output " + n);
+      diag(ln, "BLIF: undriven output " + n);
       continue;
     }
     net.mark_output(*id);

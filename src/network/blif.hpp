@@ -21,6 +21,38 @@ struct ParsedBlif {
   bool clean() const { return diagnostics.empty(); }
 };
 
+/// One .names block as written: fanin names, the driven output name, and
+/// the raw truth-table rows with the physical line each started on.
+struct BlifGate {
+  std::vector<std::string> fanins;  ///< may be empty (constant block)
+  std::string output;
+  int line = 0;  ///< the .names directive's line (1-based)
+  std::vector<std::pair<std::string, int>> rows;  ///< raw cube rows + lines
+};
+
+/// The name-level structure of a BLIF file: the directive skeleton before
+/// any Network is built. Unlike network::Network -- which is acyclic by
+/// construction (add_logic requires fanins to already exist) -- this view
+/// preserves cycles, multiple drivers, and dangling references exactly as
+/// the student wrote them, so the semantic analyzer (l2l::sema) can
+/// diagnose them with line anchors instead of losing them to salvage.
+struct BlifStructure {
+  std::string model = "top";
+  std::vector<std::pair<std::string, int>> inputs;   ///< name, decl line
+  std::vector<std::pair<std::string, int>> outputs;  ///< name, decl line
+  std::vector<BlifGate> gates;                       ///< in file order
+  /// Pass-1 defects only (dangling continuation, unsupported directives,
+  /// cube rows outside any block). Name-level problems -- cycles, missing
+  /// or duplicate drivers -- are NOT diagnosed here; they are the
+  /// analyzer's and the lenient parser's job.
+  std::vector<util::Diagnostic> diagnostics;
+};
+
+/// Tokenize-and-collect pass shared by parse_blif_lenient and l2l::sema:
+/// continuation-aware logical lines, '#' comments stripped, directives
+/// sorted into the structure above. Never throws.
+BlifStructure parse_blif_structure(const std::string& text);
+
 /// Tolerant parse reporting ALL defects in one pass (a student fixing a
 /// hand-written netlist learns every mistake from a single upload).
 /// Never throws on malformed input: bad cube rows, unknown directives,

@@ -1,0 +1,569 @@
+// The N-pack: semantic analysis of the BLIF name graph. Both entry points
+// (analyze_blif on raw text, analyze_network on a built Network) lower
+// into the same SigGraph so every rule has exactly one implementation;
+// the text path additionally carries line anchors.
+//
+// Algorithms (DESIGN.md "Semantic analysis"):
+//   N001  iterative Tarjan SCC over the signal graph -- iterative because
+//         the hostile corpus includes a 10k-gate single cycle and a
+//         recursive lowlink walk would overflow the stack.
+//   N002-N005  dataflow bookkeeping over driver/reader lists plus one
+//         reverse reachability sweep from the declared outputs.
+//   N006  constant propagation in topological order: substitute known
+//         constants via Cover::cofactor, then `empty` = stuck-at-0 and
+//         `urp::is_tautology` = stuck-at-1. Both checks are exact (a cube
+//         surviving cofactor is satisfiable; URP tautology is semantic),
+//         so a stuck-at verdict is a theorem -- the differential suite
+//         BDD-verifies every one.
+//   N007  structural hashing in topological order: key = canonical
+//         sorted cover text + in-order fanin equivalence classes. The
+//         hash is deliberately order-sensitive in the fanins (AND(a,b)
+//         vs AND(b,a) are NOT merged): commutativity matching is a
+//         synthesis optimization, not a design diagnosis.
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cubes/urp.hpp"
+#include "network/blif.hpp"
+#include "sema/sema.hpp"
+#include "util/strings.hpp"
+
+namespace l2l::sema {
+namespace {
+
+using util::Severity;
+
+/// URP tautology is worst-case exponential in the variable count; past
+/// this arity N006 reports "unknown" instead of spending the budget.
+constexpr int kTautologyArityCap = 20;
+/// complement(off-set) is exponential too; BLIF blocks written with
+/// 0-rows wider than this get an unknown cover (N006/N007 skip them).
+constexpr int kComplementArityCap = 16;
+
+// ---- signal graph -------------------------------------------------------
+
+struct Sig {
+  std::string name;
+  int decl_line = 0;  ///< first declaration or first use (1-based, 0 = none)
+  bool is_input = false;
+  bool is_output = false;
+  std::vector<int> drivers;  ///< gate indices driving this signal
+  std::vector<int> readers;  ///< gate indices reading this signal
+};
+
+struct GateRec {
+  std::vector<int> fanins;  ///< sig ids, in written order
+  int out = -1;             ///< sig id
+  int line = 0;             ///< .names line (0 when built from a Network)
+  /// Resolved ON-set cover over the fanin arity; nullopt when the rows
+  /// were malformed or the complement cap fired (N006/N007 treat the
+  /// gate as an opaque unknown function).
+  std::optional<cubes::Cover> on;
+};
+
+struct SigGraph {
+  std::vector<Sig> sigs;            ///< in first-appearance order
+  std::vector<GateRec> gates;       ///< in file order
+  std::map<std::string, int> by_name;
+
+  int intern(const std::string& name, int line) {
+    auto [it, fresh] = by_name.emplace(name, static_cast<int>(sigs.size()));
+    if (fresh) {
+      Sig s;
+      s.name = name;
+      s.decl_line = line;
+      sigs.push_back(std::move(s));
+    } else if (sigs[static_cast<std::size_t>(it->second)].decl_line == 0) {
+      sigs[static_cast<std::size_t>(it->second)].decl_line = line;
+    }
+    return it->second;
+  }
+};
+
+/// Resolve a BLIF block's raw rows into an ON-set cover (BLIF 0-rows
+/// describe the OFF-set; ON = complement). Malformed rows, mixed output
+/// columns, or a too-wide complement yield nullopt -- sema stays silent
+/// about well-formedness (lint's job) and just forgoes the function.
+std::optional<cubes::Cover> resolve_cover(const network::BlifGate& g) {
+  const int arity = static_cast<int>(g.fanins.size());
+  cubes::Cover on(arity), off(arity);
+  for (const auto& [row, row_line] : g.rows) {
+    (void)row_line;
+    const auto tok = util::split(row);
+    std::string in_plane, out_char;
+    if (arity == 0) {
+      if (tok.size() != 1) return std::nullopt;
+      out_char = tok[0];
+    } else {
+      if (tok.size() != 2) return std::nullopt;
+      in_plane = tok[0];
+      out_char = tok[1];
+      if (static_cast<int>(in_plane.size()) != arity) return std::nullopt;
+      for (const char c : in_plane)
+        if (c != '0' && c != '1' && c != '-') return std::nullopt;
+    }
+    if (out_char != "0" && out_char != "1") return std::nullopt;
+    auto& target = out_char == "1" ? on : off;
+    target.add(arity == 0 ? cubes::Cube(0) : cubes::Cube::parse(in_plane));
+  }
+  if (!on.empty() && !off.empty()) return std::nullopt;
+  if (!off.empty()) {
+    if (arity > kComplementArityCap) return std::nullopt;
+    return cubes::complement(off);
+  }
+  return on;  // possibly empty: the constant-0 block
+}
+
+SigGraph build_from_structure(const network::BlifStructure& st) {
+  SigGraph g;
+  for (const auto& [n, ln] : st.inputs) {
+    const int s = g.intern(n, ln);
+    g.sigs[static_cast<std::size_t>(s)].is_input = true;
+  }
+  for (const auto& [n, ln] : st.outputs) {
+    const int s = g.intern(n, ln);
+    g.sigs[static_cast<std::size_t>(s)].is_output = true;
+  }
+  for (const auto& bg : st.gates) {
+    GateRec rec;
+    const int gi = static_cast<int>(g.gates.size());
+    for (const auto& f : bg.fanins) {
+      const int s = g.intern(f, bg.line);
+      rec.fanins.push_back(s);
+      g.sigs[static_cast<std::size_t>(s)].readers.push_back(gi);
+    }
+    rec.out = g.intern(bg.output, bg.line);
+    g.sigs[static_cast<std::size_t>(rec.out)].drivers.push_back(gi);
+    rec.line = bg.line;
+    rec.on = resolve_cover(bg);
+    g.gates.push_back(std::move(rec));
+  }
+  return g;
+}
+
+SigGraph build_from_network(const network::Network& net) {
+  SigGraph g;
+  for (const network::NodeId id : net.inputs()) {
+    const int s = g.intern(net.node(id).name, 0);
+    g.sigs[static_cast<std::size_t>(s)].is_input = true;
+  }
+  for (network::NodeId id = 0; id < net.num_nodes(); ++id) {
+    const auto& n = net.node(id);
+    if (n.type != network::NodeType::kLogic) continue;
+    GateRec rec;
+    const int gi = static_cast<int>(g.gates.size());
+    for (const network::NodeId f : n.fanins) {
+      const int s = g.intern(net.node(f).name, 0);
+      rec.fanins.push_back(s);
+      g.sigs[static_cast<std::size_t>(s)].readers.push_back(gi);
+    }
+    rec.out = g.intern(n.name, 0);
+    g.sigs[static_cast<std::size_t>(rec.out)].drivers.push_back(gi);
+    rec.on = n.cover;  // Network covers are ON-sets already
+    g.gates.push_back(std::move(rec));
+  }
+  for (const network::NodeId id : net.outputs())
+    g.sigs[static_cast<std::size_t>(g.intern(net.node(id).name, 0))]
+        .is_output = true;
+  return g;
+}
+
+// ---- N001: combinational cycles (iterative Tarjan) ----------------------
+
+/// Tarjan over the signal graph (edge fanin -> output per gate), fully
+/// iterative: an explicit DFS frame stack survives the 10k-signal chain
+/// in the hostile corpus. Returns the SCC id per signal plus the list of
+/// cyclic SCCs (size >= 2, or size 1 with a self-edge), members sorted.
+struct SccResult {
+  std::vector<int> scc_of;             ///< per signal
+  std::vector<std::vector<int>> cyclic;  ///< member sig ids, ascending
+};
+
+SccResult find_cyclic_sccs(const SigGraph& g) {
+  const int n = static_cast<int>(g.sigs.size());
+  // Adjacency: successors of each signal, deduplicated and ordered.
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  std::vector<bool> self_edge(static_cast<std::size_t>(n), false);
+  for (const auto& gate : g.gates)
+    for (const int f : gate.fanins) {
+      succ[static_cast<std::size_t>(f)].push_back(gate.out);
+      if (f == gate.out) self_edge[static_cast<std::size_t>(f)] = true;
+    }
+  for (auto& v : succ) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  SccResult res;
+  res.scc_of.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), -1);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  int next_index = 0, next_scc = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child;  ///< next successor to visit
+  };
+  std::vector<Frame> frames;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      const auto v = static_cast<std::size_t>(fr.v);
+      if (fr.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(fr.v);
+        on_stack[v] = true;
+      }
+      if (fr.child < succ[v].size()) {
+        const int w = succ[v][fr.child++];
+        const auto wu = static_cast<std::size_t>(w);
+        if (index[wu] == -1) {
+          frames.push_back({w, 0});
+        } else if (on_stack[wu]) {
+          lowlink[v] = std::min(lowlink[v], index[wu]);
+        }
+        continue;
+      }
+      // All successors done: close the SCC if v is its root, then fold
+      // our lowlink into the parent frame.
+      if (lowlink[v] == index[v]) {
+        std::vector<int> members;
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          res.scc_of[static_cast<std::size_t>(w)] = next_scc;
+          members.push_back(w);
+          if (w == fr.v) break;
+        }
+        ++next_scc;
+        if (members.size() > 1 || self_edge[v]) {
+          std::sort(members.begin(), members.end());
+          res.cyclic.push_back(std::move(members));
+        }
+      }
+      const int done = fr.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const auto p = static_cast<std::size_t>(frames.back().v);
+        lowlink[p] = std::min(lowlink[p],
+                              lowlink[static_cast<std::size_t>(done)]);
+      }
+    }
+  }
+  return res;
+}
+
+// ---- repeated-fanin reduction -------------------------------------------
+
+/// A gate's function over its *distinct* fanin signals. `.names a a n`
+/// lists the same net twice; positions reading the same signal are never
+/// independent, so the cover is rewritten over unique signals by
+/// intersecting the PCN codes of tied positions (Pos & Neg = kEmpty
+/// drops the cube). This keeps N006 exact -- "a AND NOT a" really is
+/// stuck at 0 -- and makes N007 hash the function the student computed,
+/// not the spelling.
+struct Reduced {
+  std::vector<int> fanins;  ///< unique sig ids, first-occurrence order
+  cubes::Cover on;          ///< over fanins.size() variables
+};
+
+std::optional<Reduced> reduce_gate(const GateRec& gate) {
+  if (!gate.on.has_value()) return std::nullopt;
+  Reduced r;
+  const int arity = static_cast<int>(gate.fanins.size());
+  std::vector<int> pos_map(static_cast<std::size_t>(arity), 0);
+  for (int i = 0; i < arity; ++i) {
+    const int s = gate.fanins[static_cast<std::size_t>(i)];
+    int idx = -1;
+    for (std::size_t k = 0; k < r.fanins.size(); ++k)
+      if (r.fanins[k] == s) idx = static_cast<int>(k);
+    if (idx == -1) {
+      idx = static_cast<int>(r.fanins.size());
+      r.fanins.push_back(s);
+    }
+    pos_map[static_cast<std::size_t>(i)] = idx;
+  }
+  if (static_cast<int>(r.fanins.size()) == arity) {
+    r.on = *gate.on;
+    return r;
+  }
+  cubes::Cover out(static_cast<int>(r.fanins.size()));
+  for (const auto& c : gate.on->cubes()) {
+    cubes::Cube nc(static_cast<int>(r.fanins.size()));
+    bool dead = false;
+    for (int i = 0; i < arity && !dead; ++i) {
+      const int u = pos_map[static_cast<std::size_t>(i)];
+      const cubes::Pcn merged = nc.code(u) & c.code(i);
+      if (merged == cubes::Pcn::kEmpty) {
+        dead = true;
+        break;
+      }
+      nc.set_code(u, merged);
+    }
+    if (!dead) out.add(std::move(nc));
+  }
+  r.on = std::move(out);
+  return r;
+}
+
+// ---- the pass -----------------------------------------------------------
+
+NetworkAnalysis analyze_graph(const SigGraph& g) {
+  NetworkAnalysis out;
+  auto add = [&](const char* rule, Severity sev, int line, std::string msg,
+                 std::string hint) {
+    out.findings.push_back(
+        {rule, sev, line, line > 0 ? 1 : 0, std::move(msg), std::move(hint)});
+  };
+
+  const auto scc = find_cyclic_sccs(g);
+  std::vector<bool> in_cycle(g.sigs.size(), false);
+  for (const auto& members : scc.cyclic) {
+    std::vector<std::string> names;
+    int anchor = 0;
+    for (const int s : members) {
+      const auto& sig = g.sigs[static_cast<std::size_t>(s)];
+      names.push_back(sig.name);
+      in_cycle[static_cast<std::size_t>(s)] = true;
+      // Anchor the finding at the earliest member gate the student wrote.
+      for (const int gi : sig.drivers) {
+        const int ln = g.gates[static_cast<std::size_t>(gi)].line;
+        if (ln > 0 && (anchor == 0 || ln < anchor)) anchor = ln;
+      }
+    }
+    std::sort(names.begin(), names.end());
+    std::string msg = "combinational cycle through " +
+                      std::to_string(names.size()) + " gate(s): ";
+    for (std::size_t k = 0; k < names.size(); ++k) {
+      if (k > 0) msg += ", ";
+      msg += names[k];
+    }
+    add("L2L-N001", Severity::kError, anchor, std::move(msg),
+        "break the loop: a combinational net may not depend on itself");
+  }
+
+  // Dataflow bookkeeping: N002 undriven, N003 multiply-driven, N004
+  // floating. Signals are visited in first-appearance order; the final
+  // sort_findings puts everything into canonical render order anyway.
+  std::vector<bool> floating(g.sigs.size(), false);
+  for (std::size_t s = 0; s < g.sigs.size(); ++s) {
+    const auto& sig = g.sigs[s];
+    const bool used = !sig.readers.empty() || sig.is_output;
+    if (sig.drivers.empty() && !sig.is_input && used) {
+      add("L2L-N002", Severity::kError, sig.decl_line,
+          "net '" + sig.name + "' is used but never driven",
+          "add a .names block driving it or declare it in .inputs");
+    }
+    if (!sig.drivers.empty() && sig.is_input) {
+      const int ln =
+          g.gates[static_cast<std::size_t>(sig.drivers.front())].line;
+      add("L2L-N003", Severity::kError, ln,
+          ".names output '" + sig.name + "' is also a declared model input",
+          "rename the internal net or drop it from .inputs");
+    } else if (sig.drivers.size() > 1) {
+      const int ln =
+          g.gates[static_cast<std::size_t>(sig.drivers[1])].line;
+      add("L2L-N003", Severity::kError, ln,
+          "net '" + sig.name + "' is driven by " +
+              std::to_string(sig.drivers.size()) + " gates",
+          "merge the drivers or rename the extra outputs");
+    }
+    if (sig.drivers.size() == 1 && sig.readers.empty() && !sig.is_output) {
+      const int ln =
+          g.gates[static_cast<std::size_t>(sig.drivers.front())].line;
+      floating[s] = true;
+      add("L2L-N004", Severity::kWarning, ln,
+          "gate output '" + sig.name + "' floats (never read, not an output)",
+          "connect it, declare it in .outputs, or delete the block");
+    }
+  }
+
+  // N005 dead cone: reverse reachability from the declared outputs. Only
+  // meaningful when at least one declared output is actually driven --
+  // otherwise everything would be "dead" and the report would drown the
+  // real defect (the undriven output, already N002). Floating nets
+  // (N004) are trivially outside every cone; one finding is enough.
+  bool any_output_driven = false;
+  for (const auto& sig : g.sigs)
+    if (sig.is_output && !sig.drivers.empty()) any_output_driven = true;
+  if (any_output_driven) {
+    std::vector<bool> live(g.sigs.size(), false);
+    std::vector<int> work;
+    for (std::size_t s = 0; s < g.sigs.size(); ++s)
+      if (g.sigs[s].is_output) {
+        live[s] = true;
+        work.push_back(static_cast<int>(s));
+      }
+    while (!work.empty()) {
+      const auto s = static_cast<std::size_t>(work.back());
+      work.pop_back();
+      for (const int gi : g.sigs[s].drivers)
+        for (const int f : g.gates[static_cast<std::size_t>(gi)].fanins) {
+          const auto fu = static_cast<std::size_t>(f);
+          if (!live[fu]) {
+            live[fu] = true;
+            work.push_back(f);
+          }
+        }
+    }
+    for (const auto& gate : g.gates) {
+      const auto s = static_cast<std::size_t>(gate.out);
+      if (live[s] || floating[s]) continue;
+      add("L2L-N005", Severity::kWarning, gate.line,
+          "gate '" + g.sigs[s].name +
+              "' does not feed any declared output (dead logic)",
+          "delete the dead cone or wire it into an output");
+    }
+  }
+
+  // N006 constant propagation + N007 structural hashing share one
+  // topological sweep over the acyclic portion (Kahn over gate deps;
+  // gates inside an SCC never become ready and are skipped, which is
+  // exactly the "unknown" verdict they deserve).
+  //
+  // const_of: per signal, 0 / 1 when provably constant, -1 otherwise.
+  // class_of: per signal, the structural equivalence class (N007);
+  // fresh ids for inputs and every signal whose function is opaque.
+  std::vector<int> const_of(g.sigs.size(), -1);
+  std::vector<int> class_of(g.sigs.size(), -1);
+  int next_class = 0;
+  for (std::size_t s = 0; s < g.sigs.size(); ++s)
+    class_of[s] = next_class++;  // refined below for hashed gate outputs
+
+  // Gate readiness: number of fanin signals whose value state is not yet
+  // decided. A signal is "decided" once its single driver ran, or
+  // immediately when it has no single well-defined driver (input,
+  // undriven, multi-driven, in-cycle: all decided as "unknown").
+  std::vector<int> gate_of(g.sigs.size(), -1);  ///< sole driver, or -1
+  for (std::size_t s = 0; s < g.sigs.size(); ++s) {
+    const auto& sig = g.sigs[s];
+    if (sig.drivers.size() == 1 && !sig.is_input && !in_cycle[s])
+      gate_of[s] = sig.drivers.front();
+  }
+  std::vector<int> waiting(g.gates.size(), 0);
+  std::vector<std::vector<int>> gate_succ(g.sigs.size());
+  for (std::size_t gi = 0; gi < g.gates.size(); ++gi)
+    for (const int f : g.gates[gi].fanins) {
+      if (gate_of[static_cast<std::size_t>(f)] != -1) {
+        ++waiting[gi];
+        gate_succ[static_cast<std::size_t>(f)].push_back(
+            static_cast<int>(gi));
+      }
+    }
+  std::vector<int> ready;
+  for (std::size_t gi = 0; gi < g.gates.size(); ++gi)
+    if (waiting[gi] == 0 &&
+        gate_of[static_cast<std::size_t>(g.gates[gi].out)] ==
+            static_cast<int>(gi))
+      ready.push_back(static_cast<int>(gi));
+
+  // Structural-hash table: canonical cover text + fanin classes -> the
+  // first gate that defined the shape.
+  std::map<std::string, std::pair<int, int>> shape;  // key -> (gate, class)
+
+  std::vector<std::optional<Reduced>> red(g.gates.size());
+  for (std::size_t gi = 0; gi < g.gates.size(); ++gi)
+    red[gi] = reduce_gate(g.gates[gi]);
+
+  std::size_t cursor = 0;
+  while (cursor < ready.size()) {
+    const auto gi = static_cast<std::size_t>(ready[cursor++]);
+    const auto& gate = g.gates[gi];
+    const auto out_s = static_cast<std::size_t>(gate.out);
+    const int arity = static_cast<int>(gate.fanins.size());
+
+    if (red[gi].has_value()) {
+      const Reduced& rg = *red[gi];
+      const int red_arity = static_cast<int>(rg.fanins.size());
+      // ---- N006: substitute known constants, then decide exactly.
+      cubes::Cover cover = rg.on;
+      bool all_known = true;
+      for (int k = 0; k < red_arity; ++k) {
+        const int cv =
+            const_of[static_cast<std::size_t>(
+                rg.fanins[static_cast<std::size_t>(k)])];
+        if (cv == -1) {
+          all_known = false;
+          continue;
+        }
+        cover = cover.cofactor(k, cv == 1);
+      }
+      std::optional<bool> value;
+      if (cover.empty()) {
+        value = false;  // no satisfiable cube left: constant 0, exactly
+      } else if (all_known || cover.num_vars() <= kTautologyArityCap) {
+        if (cubes::is_tautology(cover)) value = true;
+      }
+      if (value.has_value()) {
+        const_of[out_s] = *value ? 1 : 0;
+        if (arity > 0) {
+          const auto& name = g.sigs[out_s].name;
+          add("L2L-N006", Severity::kWarning, gate.line,
+              "net '" + name + "' is provably stuck at " +
+                  (*value ? "1" : "0"),
+              "replace the gate with a constant or fix its cover");
+          out.stuck_at.emplace_back(name, *value);
+        }
+      }
+
+      // ---- N007: hash the shape (skip constants; a shared constant is
+      // not a design smell the way a duplicated function block is).
+      if (red_arity > 0) {
+        std::string key = rg.on.sorted().to_string();
+        key += '|';
+        for (const int f : rg.fanins) {
+          key += std::to_string(class_of[static_cast<std::size_t>(f)]);
+          key += ',';
+        }
+        auto [it, fresh] =
+            shape.emplace(key, std::pair<int, int>{static_cast<int>(gi),
+                                                   class_of[out_s]});
+        if (!fresh) {
+          const auto& first =
+              g.gates[static_cast<std::size_t>(it->second.first)];
+          class_of[out_s] = it->second.second;
+          add("L2L-N007", Severity::kWarning, gate.line,
+              "gate '" + g.sigs[out_s].name +
+                  "' is structurally identical to gate '" +
+                  g.sigs[static_cast<std::size_t>(first.out)].name + "'",
+              "reuse the existing gate and delete this block");
+        }
+      }
+    }
+
+    // Release dependents.
+    for (const int succ_gate : gate_succ[out_s])
+      if (--waiting[static_cast<std::size_t>(succ_gate)] == 0 &&
+          gate_of[static_cast<std::size_t>(
+              g.gates[static_cast<std::size_t>(succ_gate)].out)] ==
+              succ_gate)
+        ready.push_back(succ_gate);
+  }
+
+  lint::sort_findings(out.findings);
+  std::sort(out.stuck_at.begin(), out.stuck_at.end());
+  return out;
+}
+
+}  // namespace
+
+NetworkAnalysis analyze_blif(const std::string& text) {
+  return analyze_graph(build_from_structure(network::parse_blif_structure(text)));
+}
+
+NetworkAnalysis analyze_network(const network::Network& net) {
+  return analyze_graph(build_from_network(net));
+}
+
+}  // namespace l2l::sema

@@ -1,0 +1,115 @@
+// Registry and dispatch for l2l::sema. Format resolution mirrors
+// lint_text exactly (flag > extension > content sniff) so `--sema`
+// composes with `--format` on every tool; formats without a semantic
+// pass produce a clean report rather than an error -- the flag is
+// uniform across tools by design.
+
+#include "sema/sema.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace l2l::sema {
+
+const std::vector<lint::RuleInfo>& all_rules() {
+  using util::Severity;
+  static const std::vector<lint::RuleInfo> kRules = {
+      // N-pack: BLIF name-graph semantics.
+      {"L2L-N001", Severity::kError,
+       "combinational cycle (Tarjan SCC), members named"},
+      {"L2L-N002", Severity::kError, "net used but never driven"},
+      {"L2L-N003", Severity::kError,
+       "net driven more than once (or a driven model input)"},
+      {"L2L-N004", Severity::kWarning,
+       "gate output never read and not a declared output"},
+      {"L2L-N005", Severity::kWarning,
+       "gate outside every declared output's cone (dead logic)"},
+      {"L2L-N006", Severity::kWarning,
+       "net provably stuck at a constant (exact const-prop)"},
+      {"L2L-N007", Severity::kWarning,
+       "gate structurally identical to an earlier gate"},
+      // C-pack: DIMACS CNF semantics.
+      {"L2L-C101", Severity::kWarning,
+       "clause duplicates an earlier clause modulo literal order"},
+      {"L2L-C102", Severity::kWarning,
+       "tautological clause (contains v and -v)"},
+      {"L2L-C103", Severity::kNote, "pure literal (single-phase variable)"},
+      {"L2L-C104", Severity::kError,
+       "unit propagation alone derives a contradiction"},
+      // P-pack: PLA semantics.
+      {"L2L-P101", Severity::kWarning,
+       "ON-set cube contained in another row (redundant)"},
+      {"L2L-P102", Severity::kError,
+       "intersecting rows give one output both 0 and 1"},
+      {"L2L-P103", Severity::kNote,
+       "don't-care output overlaps the ON-set"},
+  };
+  return kRules;
+}
+
+const lint::RuleInfo* rule_info(std::string_view id) {
+  for (const auto& r : all_rules())
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+bool applies(lint::Format format) {
+  return format == lint::Format::kBlif || format == lint::Format::kCnf ||
+         format == lint::Format::kPla;
+}
+
+lint::FileReport analyze_text(const std::string& name,
+                              const std::string& text, lint::Format format) {
+  lint::FileReport fr;
+  fr.file = name;
+  lint::Format f = format;
+  if (f == lint::Format::kAuto) f = lint::format_from_path(name);
+  if (f == lint::Format::kAuto) f = lint::sniff_format(text);
+  fr.format = f;
+  switch (f) {
+    case lint::Format::kBlif: fr.findings = analyze_blif(text).findings; break;
+    case lint::Format::kCnf: fr.findings = analyze_cnf(text); break;
+    case lint::Format::kPla: fr.findings = analyze_pla(text); break;
+    default: break;  // no semantic pass: clean report, format recorded
+  }
+  lint::sort_findings(fr.findings);
+  // Per-rule tallies: commutative counter sums, so concurrent
+  // analyze_files lanes stay within the deterministic-export contract.
+  if (obs::enabled() && !fr.findings.empty()) {
+    obs::count("sema.findings",
+               static_cast<std::int64_t>(fr.findings.size()));
+    for (const auto& finding : fr.findings)
+      obs::count("sema.rule." + finding.rule);
+  }
+  return fr;
+}
+
+lint::Report analyze_files(
+    const std::vector<std::pair<std::string, std::string>>& named_texts,
+    lint::Format format) {
+  obs::count("sema.files", static_cast<std::int64_t>(named_texts.size()));
+  lint::Report report;
+  report.files.resize(named_texts.size());
+  util::parallel_for(0, static_cast<std::int64_t>(named_texts.size()), 1,
+                     [&](std::int64_t i) {
+                       const auto k = static_cast<std::size_t>(i);
+                       report.files[k] = analyze_text(
+                           named_texts[k].first, named_texts[k].second,
+                           format);
+                     });
+  return report;
+}
+
+std::vector<util::Diagnostic> analyze_submission(const std::string& body) {
+  // Portal submissions may lead with a "course <name> <assignment>"
+  // header line; the artifact proper starts after it.
+  std::string payload = body;
+  if (payload.rfind("course ", 0) == 0) {
+    const auto nl = payload.find('\n');
+    payload = nl == std::string::npos ? std::string() : payload.substr(nl + 1);
+  }
+  const auto fr = analyze_text("<submission>", payload);
+  return lint::to_diagnostics(fr.findings);
+}
+
+}  // namespace l2l::sema

@@ -35,6 +35,7 @@
 #include "place/quadratic.hpp"
 #include "route/router.hpp"
 #include "route/solution.hpp"
+#include "sema/sema.hpp"
 #include "util/budget.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -389,6 +390,77 @@ TEST_F(DeterminismTest, LintReportIsThreadCountInvariant) {
   // The batch genuinely exercised both sides of the gate.
   EXPECT_NE(texts[0].find("error"), std::string::npos);
   EXPECT_NE(texts[0].find("lint: 10 file(s)"), std::string::npos);
+}
+
+// ---- sema ---------------------------------------------------------------
+
+/// The sema determinism batch: clean repo artifacts plus the semantic
+/// half of the hostile corpus (cycles, multi-driven nets, the 10k-gate
+/// SCC ring). Shared by the thread-invariance check and the golden pin.
+std::vector<std::pair<std::string, std::string>> sema_batch() {
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (const char* rel :
+       {L2L_REPO_DATA_DIR "/fulladder.blif", L2L_REPO_DATA_DIR "/sample.pla",
+        L2L_REPO_DATA_DIR "/sample.cnf",
+        L2L_TEST_DATA_DIR "/hostile/cyclic.blif",
+        L2L_TEST_DATA_DIR "/hostile/multi_driven.blif",
+        L2L_TEST_DATA_DIR "/hostile/input_shadow.blif",
+        L2L_TEST_DATA_DIR "/hostile/scc_chain_10k.blif"}) {
+    const std::string text = read_file_or_empty(rel);
+    EXPECT_FALSE(text.empty()) << "cannot read " << rel;
+    batch.emplace_back(rel, text);
+  }
+  return batch;
+}
+
+TEST_F(DeterminismTest, SemaReportIsThreadCountInvariant) {
+  // sema::analyze_files fans out like lint_files and feeds the same
+  // student-visible report renderers, so it lives under the identical
+  // byte-for-byte contract at any L2L_THREADS.
+  const auto batch = sema_batch();
+  std::vector<std::string> texts, jsons;
+  for (const int t : kThreadCounts) {
+    util::set_num_threads(t);
+    const auto report = sema::analyze_files(batch);
+    texts.push_back(report.to_text());
+    jsons.push_back(report.to_json());
+  }
+  for (size_t s = 1; s < texts.size(); ++s) {
+    EXPECT_EQ(texts[s], texts[0])
+        << "sema text differs at " << kThreadCounts[s] << " threads";
+    EXPECT_EQ(jsons[s], jsons[0])
+        << "sema json differs at " << kThreadCounts[s] << " threads";
+  }
+  EXPECT_NE(texts[0].find("L2L-N001"), std::string::npos);
+  EXPECT_NE(texts[0].find("L2L-N003"), std::string::npos);
+}
+
+// Byte-for-byte golden pin of the sema.* counter export (same protocol
+// as the other goldens: L2L_UPDATE_GOLDEN=1 regenerates, then commit
+// tests/data/golden/sema_metrics.txt).
+TEST_F(DeterminismTest, SemaMetricsMatchGoldenFile) {
+  obs::set_enabled(true);
+  util::set_num_threads(2);
+  obs::Registry::global().reset();
+  (void)sema::analyze_files(sema_batch());
+  std::string got;
+  for (const auto& [name, v] :
+       obs::Registry::global().snapshot().counters)
+    if (name.rfind("sema.", 0) == 0)
+      got += "counter " + name + " " + std::to_string(v) + "\n";
+  obs::Registry::global().reset();
+  const std::string golden_path =
+      L2L_TEST_DATA_DIR "/golden/sema_metrics.txt";
+  if (std::getenv("L2L_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << got;
+    GTEST_SKIP() << "golden file regenerated";
+  }
+  const std::string want = read_file_or_empty(golden_path);
+  ASSERT_FALSE(want.empty())
+      << "missing golden file tests/data/golden/sema_metrics.txt";
+  EXPECT_EQ(got, want) << "actual:\n" << got;
 }
 
 // The same export must match the checked-in golden file byte for byte --

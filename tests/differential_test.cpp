@@ -33,7 +33,10 @@
 #include "esop/esop.hpp"
 #include "espresso/minimize.hpp"
 #include "gen/function_gen.hpp"
+#include "network/bdd_build.hpp"
+#include "network/network.hpp"
 #include "sat/solver.hpp"
+#include "sema/sema.hpp"
 #include "sat/types.hpp"
 #include "tt/truth_table.hpp"
 #include "util/rng.hpp"
@@ -451,6 +454,47 @@ TEST(DifferentialTest, NonObviousTautology) {
   const Cover f(n, {a, b});  // x0 | !x0 == 1
   ASSERT_TRUE(f.to_truth_table().is_constant_one());
   EXPECT_EQ(cross_check(f, nullptr), std::nullopt);
+}
+
+// ---- sema stuck-at vs BDD -----------------------------------------------
+
+// The semantic analyzer's L2L-N006 verdicts are claimed to be theorems
+// (exact const-prop: cofactor substitution, then empty-cover = 0 and
+// URP tautology = 1). Sweep 100 seeded random networks and confirm every
+// claimed constant against an independent BDD build -- sema must never
+// cry wolf, because a false stuck-at report would tell a student to
+// delete live logic.
+TEST(DifferentialTest, SemaStuckAtVerdictsAreBddConfirmed) {
+  int verdicts = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    l2l::util::Rng rng(seed);
+    const l2l::gen::NetworkGenOptions opt;  // 8 in, 30 nodes, arity <= 4
+    const auto net = l2l::gen::random_network(opt, rng);
+    const auto analysis = l2l::sema::analyze_network(net);
+    if (analysis.stuck_at.empty()) continue;
+    l2l::bdd::Manager mgr(static_cast<int>(net.inputs().size()));
+    const auto bdds = l2l::network::build_bdds(net, mgr);
+    for (const auto& [name, value] : analysis.stuck_at) {
+      const auto id = net.find(name);
+      ASSERT_TRUE(id.has_value()) << "seed " << seed << ": sema reported "
+                                  << "unknown net '" << name << "'";
+      const auto& f = bdds.node[static_cast<std::size_t>(*id)];
+      if (value) {
+        EXPECT_TRUE(f.is_one())
+            << "seed " << seed << ": '" << name
+            << "' reported stuck-at-1 but its BDD is not constant one";
+      } else {
+        EXPECT_TRUE(f.is_zero())
+            << "seed " << seed << ": '" << name
+            << "' reported stuck-at-0 but its BDD is not constant zero";
+      }
+      ++verdicts;
+    }
+  }
+  // The sweep must actually exercise the claim: random covers produce
+  // constants (an all-don't-care cube is a tautology) often enough that
+  // a zero-verdict run means the generator or the analyzer broke.
+  EXPECT_GT(verdicts, 0) << "no stuck-at verdicts across 100 seeds";
 }
 
 }  // namespace

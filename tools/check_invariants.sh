@@ -76,7 +76,12 @@ scan no-unordered-iteration 'for[[:space:]]*\(.*:.*unordered'
 # tables from util/flat_map.hpp -- node-per-bucket unordered tables undo
 # the cache-locality win the bench trajectory pins down.
 scan_in no-heap-clauses    'unique_ptr<[[:space:]]*Clause' '^src/sat/'
-scan_in no-unordered-tables 'std::unordered_' '^src/(sat|bdd|esop)/'
+scan_in no-unordered-tables 'std::unordered_' '^src/(sat|bdd|esop|sema)/'
+# The semantic analyzer (PR 9) feeds byte-identical reports and golden
+# metric exports; it gets the full determinism pack scoped explicitly so
+# a future relaxation of the global rules cannot silently unpin it.
+scan_in sema-no-stoi       'std::sto(i|l|ll|ul|ull|f|d|ld)[[:space:]]*\(' '^src/sema/'
+scan_in sema-no-wall-clock 'system_clock|gettimeofday|[^_[:alnum:]]time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)[[:space:]]*\)' '^src/sema/'
 
 # Apply the allowlist (literal substrings, comments stripped).
 if [ -f "$allow" ]; then

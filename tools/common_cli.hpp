@@ -4,6 +4,8 @@
 // each main hand-rolled the same parsing loop. Registering the pack:
 //
 //   --lint            run the input rule pack before the engine
+//   --sema            also run the semantic analyzer (l2l::sema) on the
+//                     input; error-severity findings gate like lint's
 //   --metrics FILE    deterministic metrics export on every exit path
 //   --trace FILE      Chrome trace export on every exit path
 //   --cache           force the result cache on (overrides L2L_CACHE=0)
@@ -25,6 +27,7 @@ namespace l2l::tools {
 
 struct CommonFlags {
   bool lint = false;
+  bool sema = false;  ///< semantic analysis (cycles, stuck-ats, ...)
   bool cache_on = false;
   bool no_cache = false;
   std::string cache_dir;
@@ -33,6 +36,8 @@ struct CommonFlags {
 inline void add_common_flags(util::ArgParser& parser, CommonFlags& flags,
                              obs::ExportOnExit& obs_export) {
   parser.flag("--lint", &flags.lint, "run the input rule pack first");
+  parser.flag("--sema", &flags.sema,
+              "run the semantic analyzer on the input first");
   parser.value("--metrics", &obs_export.metrics_path,
                "write deterministic metrics to FILE");
   parser.value("--trace", &obs_export.trace_path,

@@ -18,6 +18,7 @@
 #include "common_cli.hpp"
 #include "lint/lint.hpp"
 #include "obs/trace.hpp"
+#include "sema/sema.hpp"
 #include "util/arg_parser.hpp"
 #include "util/status.hpp"
 
@@ -51,6 +52,21 @@ int main(int argc, char** argv) try {
     if (fatal) {
       std::cerr << "error: "
                 << l2l::util::Status::parse_error("lint found errors")
+                       .to_string()
+                << "\n";
+      return l2l::util::kExitParse;
+    }
+  }
+  if (common.sema) {
+    const auto findings = l2l::sema::analyze_pla(req.pla);
+    bool fatal = false;
+    for (const auto& f : findings) {
+      std::cerr << "# sema: " << f.to_string() << "\n";
+      fatal = fatal || f.severity == l2l::util::Severity::kError;
+    }
+    if (fatal) {
+      std::cerr << "error: "
+                << l2l::util::Status::parse_error("sema found errors")
                        .to_string()
                 << "\n";
       return l2l::util::kExitParse;

@@ -33,6 +33,7 @@
 #include "common_cli.hpp"
 #include "mooc/cohort.hpp"
 #include "mooc/grading_service.hpp"
+#include "mooc/submission_lint.hpp"
 #include "obs/trace.hpp"
 #include "util/arg_parser.hpp"
 #include "util/rng.hpp"
@@ -118,7 +119,13 @@ int main(int argc, char** argv) try {
     sopt.storm_transient_rate = 0.97;
     sopt.storm_stall_rate = 0.5;
   }
-  if (common.lint) {
+  if (common.sema) {
+    // Semantic pre-grade: reject cyclic/contradictory artifacts before
+    // any engine budget is spent. Composes with --lint (the header rule
+    // rides along); verdicts are pure in the bytes, so they replay, and
+    // the breaker-open degraded path still runs the callback.
+    sopt.queue.lint = l2l::mooc::sema_submission_lint(common.lint);
+  } else if (common.lint) {
     // The portal rule for generated uploads: a submission must carry the
     // "course" header line. Pure in the bytes, so verdicts replay.
     sopt.queue.lint = [](const std::string& body) {

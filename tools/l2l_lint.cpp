@@ -11,7 +11,12 @@
 //                   content sniff)
 //   --json          machine-readable report instead of text
 //   --Werror        warnings fail the gate too
-//   --rules         print the rule registry and exit
+//   --sema          also run the semantic analyzer (l2l::sema) on BLIF,
+//                   CNF, and PLA inputs: cycles, undriven/multi-driven
+//                   nets, dead logic, stuck-at constants, duplicate
+//                   gates, redundant cubes, solver-free contradictions
+//   --rules         print the rule registry and exit (--sema appends
+//                   the semantic rules)
 //   --cells N       placement: expected cell count
 //   --grid CxR      placement: sites-per-row x rows region bound
 //   --problem FILE  routing solutions: the problem to check against
@@ -26,6 +31,7 @@
 
 #include "lint/lint.hpp"
 #include "obs/trace.hpp"
+#include "sema/sema.hpp"
 #include "route/solution.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
@@ -35,7 +41,7 @@ namespace {
 int usage(const std::string& msg) {
   std::cerr << "error: " << msg << "\n"
             << "usage: l2l-lint [--format NAME] [--json] [--Werror] "
-               "[--rules]\n"
+               "[--sema] [--rules]\n"
                "                [--cells N] [--grid CxR] [--problem FILE]\n"
                "                [--metrics FILE] [--trace FILE] "
                "[files... | -]\n";
@@ -53,7 +59,7 @@ std::string read_stream(std::istream& in) {
 int main(int argc, char** argv) try {
   l2l::obs::ExportOnExit obs_export;
   l2l::lint::LintOptions opt;
-  bool json = false, werror = false;
+  bool json = false, werror = false, sema = false, rules = false;
   std::string problem_path;
   std::vector<std::string> paths;
   for (int k = 1; k < argc; ++k) {
@@ -65,13 +71,10 @@ int main(int argc, char** argv) try {
       json = true;
     } else if (arg == "--Werror") {
       werror = true;
+    } else if (arg == "--sema") {
+      sema = true;
     } else if (arg == "--rules") {
-      for (const auto& r : l2l::lint::all_rules())
-        std::cout << r.id << "  "
-                  << (r.severity == l2l::util::Severity::kError ? "error  "
-                                                                : "warning")
-                  << "  " << r.summary << "\n";
-      return l2l::util::kExitOk;
+      rules = true;  // handled after the loop so `--rules --sema` works
     } else if (arg == "--format") {
       const char* v = value();
       if (!v) return usage("--format needs a value");
@@ -112,6 +115,17 @@ int main(int argc, char** argv) try {
     }
   }
 
+  if (rules) {
+    auto print = [](const std::vector<l2l::lint::RuleInfo>& rs) {
+      for (const auto& r : rs)
+        std::cout << r.id << "  " << l2l::lint::severity_name(r.severity)
+                  << "  " << r.summary << "\n";
+    };
+    print(l2l::lint::all_rules());
+    if (sema) print(l2l::sema::all_rules());
+    return l2l::util::kExitOk;
+  }
+
   // The routing problem gates the solution pack's geometric rules; a
   // malformed problem file is itself a lintable artifact, so report it
   // through the same machinery instead of dying on the parse.
@@ -145,7 +159,18 @@ int main(int argc, char** argv) try {
     inputs.emplace_back(p, read_stream(in));
   }
 
-  const auto report = l2l::lint::lint_files(inputs, opt);
+  auto report = l2l::lint::lint_files(inputs, opt);
+  if (sema) {
+    // Semantic findings ride in the same report: merge per file and
+    // re-sort into the canonical (line, column, rule) render order.
+    const auto sem = l2l::sema::analyze_files(inputs, opt.format);
+    for (std::size_t k = 0; k < report.files.size(); ++k) {
+      auto& fr = report.files[k];
+      const auto& sf = sem.files[k].findings;
+      fr.findings.insert(fr.findings.end(), sf.begin(), sf.end());
+      l2l::lint::sort_findings(fr.findings);
+    }
+  }
   std::cout << (json ? report.to_json() : report.to_text());
   return report.pass(werror) ? l2l::util::kExitOk : l2l::util::kExitParse;
 } catch (const std::exception& e) {

@@ -22,6 +22,7 @@
 #include "common_cli.hpp"
 #include "lint/lint.hpp"
 #include "obs/trace.hpp"
+#include "sema/sema.hpp"
 #include "util/arg_parser.hpp"
 #include "util/status.hpp"
 
@@ -66,6 +67,16 @@ int main(int argc, char** argv) try {
     }
     if (fatal)
       return fail(l2l::util::Status::parse_error("lint found errors"));
+  }
+  if (common.sema) {
+    const auto findings = l2l::sema::analyze_cnf(req.dimacs);
+    bool fatal = false;
+    for (const auto& f : findings) {
+      std::cout << "c sema: " << f.to_string() << "\n";
+      fatal = fatal || f.severity == l2l::util::Severity::kError;
+    }
+    if (fatal)
+      return fail(l2l::util::Status::parse_error("sema found errors"));
   }
 
   const auto res = l2l::api::solve_sat(req);

@@ -36,6 +36,7 @@
 #include "mls/sop.hpp"
 #include "network/blif.hpp"
 #include "obs/trace.hpp"
+#include "sema/sema.hpp"
 #include "techmap/mapper.hpp"
 #include "util/arg_parser.hpp"
 #include "util/status.hpp"
@@ -45,7 +46,7 @@ namespace {
 
 using l2l::network::Network;
 
-int run(std::istream& in, std::ostream& out, bool lint) {
+int run(std::istream& in, std::ostream& out, bool lint, bool sema) {
   Network net;
   bool loaded = false;
   std::string line;
@@ -80,6 +81,15 @@ int run(std::istream& in, std::ostream& out, bool lint) {
             fatal = fatal || f.severity == l2l::util::Severity::kError;
           }
           if (fatal) throw std::runtime_error("lint found errors in " + tok[1]);
+        }
+        if (sema) {
+          const auto analysis = l2l::sema::analyze_blif(text);
+          bool fatal = false;
+          for (const auto& f : analysis.findings) {
+            out << "sema: " << f.to_string() << "\n";
+            fatal = fatal || f.severity == l2l::util::Severity::kError;
+          }
+          if (fatal) throw std::runtime_error("sema found errors in " + tok[1]);
         }
         net = l2l::network::parse_blif(text);
         loaded = true;
@@ -185,9 +195,9 @@ int main(int argc, char** argv) try {
       std::cerr << "cannot open " << path << "\n";
       return l2l::util::kExitUsage;
     }
-    return run(in, std::cout, common.lint);
+    return run(in, std::cout, common.lint, common.sema);
   }
-  return run(std::cin, std::cout, common.lint);
+  return run(std::cin, std::cout, common.lint, common.sema);
 } catch (const std::exception& e) {
   std::cerr << "error: " << l2l::util::Status::internal(e.what()).to_string()
             << "\n";
