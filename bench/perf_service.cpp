@@ -10,6 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,8 +20,10 @@
 #include "cache/digest.hpp"
 #include "mooc/cohort.hpp"
 #include "mooc/grading_service.hpp"
+#include "mooc/journal.hpp"
 #include "util/budget.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace {
 
@@ -127,6 +132,105 @@ void BM_ServiceDrainFaultStorm(benchmark::State& state) {
   report_service(state, last);
 }
 BENCHMARK(BM_ServiceDrainFaultStorm)->Unit(benchmark::kMillisecond);
+
+/// Journal write overhead: the steady-state drain again, but with every
+/// decision journaled and flushed once per tick. Compare
+/// submissions_per_sec against BM_ServiceDrainSteady -- the durability
+/// tax the crash-recovery contract charges (ISSUE 10 budget: <= 5%).
+void BM_ServiceJournaledDrain(benchmark::State& state) {
+  const auto trace = make_trace(4000, 2, 120);
+  mooc::ServiceOptions sopt;
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "l2l_perf_service_journal.l2lj")
+                        .string();
+  mooc::RunRequest req;
+  req.journal_path = path;
+  mooc::ServiceResult last;
+  std::int64_t journal_bytes = 0;
+  for (auto _ : state) {
+    const mooc::GradingService service(sopt, digest_grade);
+    util::Status st;
+    last = service.run(trace, req, st);
+    if (!st.ok()) {
+      state.SkipWithError(st.to_string().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(last.stats.admitted);
+  }
+  std::error_code ec;
+  journal_bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(path, ec));
+  std::filesystem::remove(path, ec);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.events.size()));
+  state.counters["journal_bytes"] = static_cast<double>(journal_bytes);
+  report_service(state, last);
+}
+BENCHMARK(BM_ServiceJournaledDrain)->Unit(benchmark::kMillisecond);
+
+/// Recovery latency: a semester killed cold at tick 60 of ~120, then
+/// restarted with recover=true. The timed region is the full restarted
+/// process -- journal scan, verified replay of the pre-crash prefix, and
+/// the live completion of the drain. Each iteration restores the halted
+/// journal bytes (outside the timer) so recovery always starts from the
+/// same torn state.
+void BM_ServiceRecovery(benchmark::State& state) {
+  const auto trace = make_trace(4000, 2, 120);
+  mooc::ServiceOptions sopt;
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "l2l_perf_service_recovery.l2lj")
+                        .string();
+  // Prepare the halted journal once; keep its bytes to restore per
+  // iteration (the recover run appends past them).
+  {
+    const mooc::GradingService service(sopt, digest_grade);
+    mooc::RunRequest crash;
+    crash.journal_path = path;
+    crash.halt_after_ticks = 60;
+    util::Status st;
+    (void)service.run(trace, crash, st);
+    if (!st.ok()) {
+      state.SkipWithError(st.to_string().c_str());
+      return;
+    }
+  }
+  std::string halted_bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    halted_bytes = ss.str();
+  }
+  mooc::ServiceResult last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(halted_bytes.data(),
+                static_cast<std::streamsize>(halted_bytes.size()));
+    }
+    state.ResumeTiming();
+    const mooc::GradingService service(sopt, digest_grade);
+    mooc::RunRequest recover;
+    recover.journal_path = path;
+    recover.recover = true;
+    util::Status st;
+    last = service.run(trace, recover, st);
+    if (!st.ok()) {
+      state.SkipWithError(st.to_string().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(last.stats.admitted);
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".quarantine", ec);
+  state.counters["replayed_ticks"] = 60.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.events.size()));
+  report_service(state, last);
+}
+BENCHMARK(BM_ServiceRecovery)->Unit(benchmark::kMillisecond);
 
 /// The headline: a million registered students across four courses, a
 /// queue cap orders of magnitude below the deadline-spike arrival rate,

@@ -126,8 +126,7 @@ AxbResult run_solver(const AxbRequest& req) {
 }  // namespace
 
 AxbResult solve_axb(const AxbRequest& req) {
-  const bool cacheable =
-      req.use_cache && cache::enabled() && req.time_limit_ms < 0;
+  const bool cacheable = req.cacheable() && cache::enabled();
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "axb";

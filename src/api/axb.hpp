@@ -9,15 +9,16 @@
 #include <cstdint>
 #include <string>
 
+#include "api/base.hpp"
 #include "util/status.hpp"
 
 namespace l2l::api {
 
-struct AxbRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp); the
+/// wall-clock deadline is honored by the CG path only.
+struct AxbRequest : RequestBase {
   std::string input;  ///< the "n / A / b" text
   bool use_cg = false;
-  std::int64_t time_limit_ms = -1;  ///< CG only; >= 0 disables cache
-  bool use_cache = true;
 };
 
 struct AxbResult {

@@ -259,8 +259,7 @@ BddScriptResult run_script(const BddScriptRequest& req) {
 }  // namespace
 
 BddScriptResult run_bdd_script(const BddScriptRequest& req) {
-  const bool cacheable =
-      req.use_cache && cache::enabled() && req.time_limit_ms < 0;
+  const bool cacheable = req.cacheable() && cache::enabled();
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "bdd";

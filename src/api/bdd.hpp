@@ -12,15 +12,15 @@
 #include <cstdint>
 #include <string>
 
+#include "api/base.hpp"
 #include "util/status.hpp"
 
 namespace l2l::api {
 
-struct BddScriptRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp).
+struct BddScriptRequest : RequestBase {
   std::string script;
-  std::int64_t node_limit = -1;     ///< -1 = unlimited (budget steps)
-  std::int64_t time_limit_ms = -1;  ///< -1 = unlimited; >= 0 disables cache
-  bool use_cache = true;
+  std::int64_t node_limit = -1;  ///< -1 = unlimited (budget steps)
 };
 
 struct BddScriptResult {

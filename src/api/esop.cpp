@@ -207,8 +207,7 @@ EsopResult synthesize_esop(const EsopRequest& req) {
   // A wall-clock deadline makes the stopping point non-reproducible:
   // never store or replay such results. The deterministic guards
   // (max_terms, conflict_limit, prop_limit) are config-digest inputs.
-  const bool cacheable =
-      req.use_cache && cache::enabled() && req.time_limit_ms < 0;
+  const bool cacheable = req.cacheable() && cache::enabled();
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "esop";

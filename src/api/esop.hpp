@@ -16,18 +16,18 @@
 #include <cstdint>
 #include <string>
 
+#include "api/base.hpp"
 #include "util/status.hpp"
 
 namespace l2l::api {
 
-struct EsopRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp).
+struct EsopRequest : RequestBase {
   std::string input;           ///< PLA text, or one 0/1 truth-table row
   int max_terms = -1;          ///< cap on terms per output (-1 = derive)
   std::int64_t conflict_limit = -1;  ///< per SAT query (-1 = unlimited)
   std::int64_t prop_limit = -1;      ///< total propagations (budget steps)
-  std::int64_t time_limit_ms = -1;   ///< -1 = unlimited; >= 0 disables cache
   bool show_stats = false;           ///< fill EsopResult::stats_output
-  bool use_cache = true;
 };
 
 struct EsopResult {

@@ -71,7 +71,7 @@ EspressoResult run_minimizer(const EspressoRequest& req) {
 }  // namespace
 
 EspressoResult minimize_pla(const EspressoRequest& req) {
-  const bool cacheable = req.use_cache && cache::enabled();
+  const bool cacheable = req.cacheable() && cache::enabled();
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "espresso";

@@ -9,16 +9,19 @@
 
 #include <string>
 
+#include "api/base.hpp"
 #include "util/status.hpp"
 
 namespace l2l::api {
 
-struct EspressoRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp). The
+/// minimizer has no internal wall-clock budget; a time limit only marks
+/// the request uncacheable.
+struct EspressoRequest : RequestBase {
   std::string pla;
   bool exact = false;        ///< Quine-McCluskey instead of the heuristic
   bool single_pass = false;  ///< ablation: one expand/reduce pass
   bool show_stats = false;   ///< fill EspressoResult::stats_output
-  bool use_cache = true;
 };
 
 struct EspressoResult {

@@ -106,8 +106,7 @@ RouteGradeResult grade_route_submission(const gen::RoutingProblem& problem,
 RouteGradeResult grade_route_submission(const gen::RoutingProblem& problem,
                                         const cache::Digest128& problem_digest,
                                         const RouteGradeRequest& req) {
-  const bool cacheable =
-      req.use_cache && cache::enabled() && req.time_limit_ms < 0;
+  const bool cacheable = req.cacheable() && cache::enabled();
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "grader.route";
@@ -155,7 +154,7 @@ PlaceGradeResult grade_place_submission(const gen::PlacementProblem& problem,
                                         const place::Grid& grid,
                                         const cache::Digest128& problem_digest,
                                         const PlaceGradeRequest& req) {
-  const bool cacheable = req.use_cache && cache::enabled();
+  const bool cacheable = req.cacheable() && cache::enabled();
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "grader.place";

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "api/base.hpp"
 #include "cache/digest.hpp"
 #include "gen/placement_gen.hpp"
 #include "gen/routing_gen.hpp"
@@ -21,11 +22,10 @@
 
 namespace l2l::api {
 
-struct RouteGradeRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp).
+struct RouteGradeRequest : RequestBase {
   std::string submission;
-  std::int64_t step_limit = -1;     ///< budget steps (one per net graded)
-  std::int64_t time_limit_ms = -1;  ///< >= 0 disables cache
-  bool use_cache = true;
+  std::int64_t step_limit = -1;  ///< budget steps (one per net graded)
 };
 
 struct RouteGradeResult {
@@ -42,10 +42,12 @@ RouteGradeResult grade_route_submission(const gen::RoutingProblem& problem,
                                         const cache::Digest128& problem_digest,
                                         const RouteGradeRequest& req);
 
-struct PlaceGradeRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp); the
+/// placement grader has no internal wall-clock budget, so a time limit
+/// only marks the request uncacheable.
+struct PlaceGradeRequest : RequestBase {
   std::string submission;
   double reference_hpwl = 0.0;
-  bool use_cache = true;
 };
 
 struct PlaceGradeResult {

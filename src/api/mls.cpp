@@ -64,7 +64,7 @@ bool deserialize(std::string_view bytes, std::string& blif,
 
 MlsResult optimize_blif(const MlsRequest& req) {
   MlsResult res;
-  const bool cacheable = req.use_cache && cache::enabled();
+  const bool cacheable = req.cacheable() && cache::enabled();
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "mls";

@@ -15,16 +15,19 @@
 
 #include <string>
 
+#include "api/base.hpp"
 #include "mls/script.hpp"
 #include "network/network.hpp"
 #include "util/status.hpp"
 
 namespace l2l::api {
 
-struct MlsRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp). The
+/// algebraic script has no internal wall-clock budget; a time limit only
+/// marks the request uncacheable.
+struct MlsRequest : RequestBase {
   std::string blif;  ///< canonical BLIF text of the input network
   mls::ScriptOptions options;
-  bool use_cache = true;
 };
 
 struct MlsResult {

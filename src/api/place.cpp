@@ -55,8 +55,8 @@ bool deserialize(std::string_view bytes, PlaceResult& res) {
 
 PlaceResult place_and_legalize(const gen::PlacementProblem& problem,
                                const PlaceRequest& req) {
-  const bool cacheable =
-      req.use_cache && cache::enabled() && req.options.budget == nullptr;
+  const bool cacheable = req.cacheable() && cache::enabled() &&
+                         req.options.budget == nullptr;
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "place";

@@ -7,6 +7,7 @@
 // Engine id "place". A request carrying a Budget pointer bypasses the
 // cache: the guard's trip point under a deadline is not reproducible.
 
+#include "api/base.hpp"
 #include "cache/digest.hpp"
 #include "gen/placement_gen.hpp"
 #include "place/legalize.hpp"
@@ -14,10 +15,12 @@
 
 namespace l2l::api {
 
-struct PlaceRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp). The
+/// engine's own deadline rides in options.budget; either guard disables
+/// caching.
+struct PlaceRequest : RequestBase {
   place::Grid grid;
   place::QuadraticOptions options;  ///< non-null budget disables caching
-  bool use_cache = true;
 };
 
 struct PlaceResult {

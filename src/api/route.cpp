@@ -95,8 +95,8 @@ bool deserialize(std::string_view bytes, route::RouteSolution& sol) {
 
 RouteResult route_nets(const gen::RoutingProblem& problem,
                        const RouteRequest& req) {
-  const bool cacheable =
-      req.use_cache && cache::enabled() && req.options.budget == nullptr;
+  const bool cacheable = req.cacheable() && cache::enabled() &&
+                         req.options.budget == nullptr;
   cache::CacheKey key;
   if (cacheable) {
     key.engine = "route";

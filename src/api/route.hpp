@@ -7,15 +7,18 @@
 // cache (deadline trip points are not reproducible); the deterministic
 // iteration limits are part of the config digest.
 
+#include "api/base.hpp"
 #include "cache/digest.hpp"
 #include "gen/routing_gen.hpp"
 #include "route/router.hpp"
 
 namespace l2l::api {
 
-struct RouteRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp). The
+/// engine's own deadline rides in options.budget; either guard disables
+/// caching.
+struct RouteRequest : RequestBase {
   route::RouterOptions options;  ///< non-null budget disables caching
-  bool use_cache = true;
 };
 
 struct RouteResult {

@@ -79,8 +79,7 @@ SatResult run_solver(const SatRequest& req) {
 SatResult solve_sat(const SatRequest& req) {
   // A wall-clock deadline (or an external budget the caller wired into
   // options) makes the stopping point non-reproducible: bypass the cache.
-  const bool cacheable = req.use_cache && cache::enabled() &&
-                         req.time_limit_ms < 0 &&
+  const bool cacheable = req.cacheable() && cache::enabled() &&
                          req.options.budget == nullptr;
   cache::CacheKey key;
   if (cacheable) {

@@ -13,18 +13,18 @@
 #include <cstdint>
 #include <string>
 
+#include "api/base.hpp"
 #include "sat/solver.hpp"
 #include "util/status.hpp"
 
 namespace l2l::api {
 
-struct SatRequest {
+/// time_limit_ms / use_cache come from RequestBase (api/base.hpp).
+struct SatRequest : RequestBase {
   std::string dimacs;          ///< the canonical input text
   sat::SolverOptions options;  ///< heuristics + deterministic limits
-  std::int64_t prop_limit = -1;     ///< -1 = unlimited (budget steps)
-  std::int64_t time_limit_ms = -1;  ///< -1 = unlimited; >= 0 disables cache
-  bool show_stats = false;          ///< append the "c decisions ..." line
-  bool use_cache = true;
+  std::int64_t prop_limit = -1;  ///< -1 = unlimited (budget steps)
+  bool show_stats = false;       ///< append the "c decisions ..." line
 };
 
 struct SatResult {

@@ -1,5 +1,6 @@
 #include "cache/digest.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace l2l::cache {
@@ -112,6 +113,25 @@ Digest128 digest_bytes(std::string_view data) {
   Hasher h;
   h.bytes(data.data(), data.size());
   return h.finish();
+}
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  // Table built on first use from the reflected polynomial; byte-at-a-time
+  // is plenty for journal frames (a few hundred bytes each).
+  static const auto kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const char ch : data)
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
 }
 
 }  // namespace l2l::cache

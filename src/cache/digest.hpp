@@ -79,4 +79,14 @@ class Hasher {
 /// One-shot convenience over Hasher::bytes.
 Digest128 digest_bytes(std::string_view data);
 
+/// CRC-32 (the reflected 0xEDB88320 polynomial, as in zlib/gzip) -- the
+/// per-frame integrity check of the grading-service journal. The 128-bit
+/// digest above keys *content* across processes; the CRC's job is only
+/// to reject a torn or bit-flipped frame during journal recovery, where
+/// a 4-byte trailer per frame beats a 16-byte one and the well-known
+/// polynomial makes the on-disk format auditable with standard tools.
+/// Pass the previous return value as `seed` to checksum incrementally
+/// (seed 0 == one-shot over the concatenation).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
 }  // namespace l2l::cache

@@ -18,6 +18,12 @@
 //
 // Caching is controlled per-request (use_cache), globally (L2L_CACHE=0),
 // and persisted across processes with L2L_CACHE_DIR (see README).
+//
+// Every Request struct inherits api::RequestBase (api/base.hpp): the
+// shared wall-clock limit + cache policy, and the one cacheability rule
+// (a time limit marks a result non-reproducible and bypasses the cache).
+
+#include "api/base.hpp"
 
 #include "api/axb.hpp"
 #include "api/bdd.hpp"

@@ -100,6 +100,29 @@ double relative_error(double simulated, double reference) {
   return std::abs(simulated - reference) / std::abs(reference);
 }
 
+util::Status validate(const TraceOptions& opt) {
+  auto bad = [](const std::string& what) {
+    return util::Status::invalid("TraceOptions: " + what);
+  };
+  if (opt.num_students < 0) return bad("num_students must be >= 0");
+  if (opt.num_courses < 1 || opt.num_courses > 4096)
+    return bad("num_courses must be in [1, 4096]");
+  if (opt.ticks < 2) return bad("ticks must be >= 2");
+  if (opt.deadline_every < 2 || opt.deadline_every > opt.ticks)
+    return bad("deadline_every must be in [2, ticks]");
+  if (!(opt.participation_rate >= 0.0 && opt.participation_rate <= 1.0))
+    return bad("participation_rate must be in [0, 1]");
+  if (!(opt.resubmit_rate >= 0.0 && opt.resubmit_rate <= 1.0))
+    return bad("resubmit_rate must be in [0, 1]");
+  if (opt.max_submissions < 1) return bad("max_submissions must be >= 1");
+  if (opt.unique_bodies_per_course < 1 ||
+      opt.unique_bodies_per_course > 1'000'000)
+    return bad("unique_bodies_per_course must be in [1, 1000000]");
+  if (opt.body_bytes < 24 || opt.body_bytes > 1'000'000)
+    return bad("body_bytes must be in [24, 1000000]");
+  return util::Status::okay();
+}
+
 SubmissionTrace generate_submission_trace(const TraceOptions& opt,
                                           util::Rng& rng) {
   SubmissionTrace trace;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace l2l::mooc {
 
@@ -118,9 +119,25 @@ struct SubmissionTrace {
   int num_courses = 1;
 };
 
+/// Validate a TraceOptions before generation. kInvalidArgument (with the
+/// offending knob named) when any bound is violated:
+///
+///   num_students >= 0            num_courses in [1, 4096]
+///   ticks >= 2                   deadline_every in [2, ticks]
+///   participation_rate in [0,1]  resubmit_rate in [0,1]
+///   max_submissions >= 1         unique_bodies_per_course in [1, 1'000'000]
+///   body_bytes in [24, 1'000'000]
+///
+/// The caps are sanity rails, not tuning limits: past them a "trace" is
+/// either degenerate (courses with no deadline cycle) or an accidental
+/// multi-gigabyte allocation from a flag typo. Tools check this before
+/// generate_submission_trace and map the failure to exit code 3.
+util::Status validate(const TraceOptions& opt);
+
 /// Generate a trace. Deterministic per (opt, rng seed); events come back
 /// stably sorted by arrival tick so the service's arrival sweep is a
-/// single pointer walk.
+/// single pointer walk. Callers feeding user input should validate()
+/// first -- generation itself assumes the bounds hold.
 SubmissionTrace generate_submission_trace(const TraceOptions& opt,
                                           util::Rng& rng);
 

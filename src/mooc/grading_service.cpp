@@ -4,9 +4,12 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "cache/cache.hpp"
+#include "mooc/journal.hpp"
+#include "mooc/shard_map.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -163,15 +166,80 @@ GradingService::GradingService(ServiceOptions opt, GradeFn grade)
   opt_.service_rate = std::max(opt_.service_rate, 1);
   opt_.breaker_threshold = std::max(opt_.breaker_threshold, 1);
   opt_.breaker_probe_interval = std::max(opt_.breaker_probe_interval, 1);
+  opt_.num_shards = std::max(opt_.num_shards, 1);
+  opt_.shard = std::clamp(opt_.shard, 0, opt_.num_shards - 1);
 }
 
 ServiceResult GradingService::run(const SubmissionTrace& trace) const {
+  util::Status status;
+  return run(trace, RunRequest{}, status);
+}
+
+ServiceResult GradingService::run(const SubmissionTrace& trace,
+                                  const RunRequest& req,
+                                  util::Status& status) const {
+  status = util::Status::okay();
   obs::ScopedSpan run_span("mooc.service.run", "mooc");
   ServiceResult res;
   auto& stats = res.stats;
   const auto& events = trace.events;
   const int num_courses = std::max(trace.num_courses, 1);
   if (opt_.record_outcomes) res.outcomes.resize(events.size());
+
+  // Sharding: this process owns only the courses the ring assigns to
+  // opt_.shard. Foreign events are skipped before ANY accounting so the
+  // trace-wide submission ids (and the fault draws they key) line up
+  // with the single-process run.
+  const bool sharded = opt_.num_shards > 1;
+  const ShardMap shard_map(opt_.num_shards);
+  std::vector<bool> owned(static_cast<std::size_t>(num_courses), true);
+  if (sharded)
+    for (int c = 0; c < num_courses; ++c)
+      owned[static_cast<std::size_t>(c)] =
+          shard_map.shard_for_course(static_cast<std::uint32_t>(c)) ==
+          opt_.shard;
+
+  // Journal setup: on a fresh run open/truncate and write the header; on
+  // recovery quarantine the torn tail, verify the header pins THIS
+  // (trace, options, shard) triple, take the complete ticks for replay,
+  // and reopen for append so the continued drain extends the same log.
+  const bool journaling = !req.journal_path.empty();
+  JournalWriter writer;
+  std::vector<JournalTick> replay_ticks;
+  bool journal_run_complete = false;
+  if (journaling) {
+    JournalHeader header;
+    header.trace_digest = trace_digest(trace);
+    header.config_digest = service_config_digest(opt_);
+    header.num_events = events.size();
+    header.shard = static_cast<std::uint32_t>(opt_.shard);
+    header.num_shards = static_cast<std::uint32_t>(opt_.num_shards);
+    bool append = false;
+    if (req.recover) {
+      JournalScan scan = recover_journal(req.journal_path);
+      if (!scan.status.ok()) {
+        status = scan.status;
+        return res;
+      }
+      if (scan.found) {
+        if (!(scan.header == header)) {
+          status = util::Status::invalid(
+              "journal header mismatch: " + req.journal_path +
+              " was written for a different trace, config, or shard");
+          return res;
+        }
+        replay_ticks = std::move(scan.ticks);
+        journal_run_complete = scan.run_complete;
+        append = true;
+      }
+    }
+    if (util::Status st = writer.open(req.journal_path, header, append);
+        !st.ok()) {
+      status = st;
+      return res;
+    }
+  }
+  std::size_t replay_idx = 0;
 
   // The per-tick effective options: the storm window swaps the fault
   // rates wholesale, everything else rides along unchanged.
@@ -255,11 +323,23 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
   std::vector<BatchItem> batch;
   std::vector<SubmissionOutcome> bouts;
   std::vector<FaultTally> btallies;
+  // Per-slot flags the replay-mode workers set when the re-run lint
+  // verdict disagrees with the journaled outcome (folded into one
+  // divergence error sequentially -- workers never touch `status`).
+  std::vector<unsigned char> lint_mismatch;
 
   std::size_t next_event = 0;
   std::int64_t queued = 0;
   std::uint64_t tick64 = 0;
   while (next_event < events.size() || queued > 0) {
+    if (req.halt_after_ticks >= 0 &&
+        tick64 >= static_cast<std::uint64_t>(req.halt_after_ticks)) {
+      // The crash harness's deterministic SIGKILL: stop cold, queues
+      // full, accounting open. Journal frames for finished ticks are
+      // already flushed; nothing for this tick ever will be.
+      res.halted = true;
+      break;
+    }
     const std::int64_t t0 = obs::Tracer::global().now_us();
     obs::ScopedSpan tick_span("mooc.service.tick", "mooc");
     const auto tick = static_cast<std::uint32_t>(tick64);
@@ -269,6 +349,69 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
             : base;
     const bool sound = tick_is_sound(qopt);
 
+    // Replay vs write mode for this tick. While journaled ticks remain
+    // we VERIFY every re-derived decision against them (and substitute
+    // what cannot be re-derived); past the journal's end we are the
+    // live process again and append.
+    const JournalTick* jt =
+        replay_idx < replay_ticks.size() ? &replay_ticks[replay_idx] : nullptr;
+    const bool replaying = jt != nullptr;
+    const bool writing = journaling && !replaying;
+    std::size_t jrej = 0, jshed = 0, jrepl = 0, jbrk = 0;
+    auto diverge = [&](const char* what) {
+      if (status.ok())
+        status = util::Status::internal(
+            std::string("journal replay diverged (") + what + ") at tick " +
+            std::to_string(tick));
+    };
+    if (replaying && jt->tick != tick) diverge("tick number");
+    if (writing) writer.tick_begin(tick);
+
+    auto note_rejected = [&](std::uint64_t id, Disposition d,
+                             std::uint8_t lane) {
+      if (writing) {
+        writer.rejected(id, d, lane);
+      } else if (replaying) {
+        if (jrej >= jt->rejections.size() || jt->rejections[jrej].id != id ||
+            jt->rejections[jrej].disposition != d)
+          diverge("admission rejection");
+        else
+          ++jrej;
+      }
+    };
+    auto note_shed = [&](std::uint64_t id, std::uint8_t lane) {
+      if (writing) {
+        writer.shed(id, lane);
+      } else if (replaying) {
+        if (jshed >= jt->sheds.size() || jt->sheds[jshed].id != id)
+          diverge("shed victim");
+        else
+          ++jshed;
+      }
+    };
+    // Memo replays are re-derived; the journal only audits them.
+    auto note_memo_replay = [&](std::uint64_t id, ReplaySource src) {
+      if (replaying) {
+        if (jrepl >= jt->replays.size() || jt->replays[jrepl].id != id ||
+            jt->replays[jrepl].source != src)
+          diverge("dedup replay");
+        else
+          ++jrepl;
+      }
+    };
+    auto note_breaker = [&](int ci, BreakerAction action) {
+      if (writing) {
+        writer.breaker(static_cast<std::uint32_t>(ci), action);
+      } else if (replaying) {
+        if (jbrk >= jt->breakers.size() ||
+            jt->breakers[jbrk].course != static_cast<std::uint32_t>(ci) ||
+            jt->breakers[jbrk].action != action)
+          diverge("breaker transition");
+        else
+          ++jbrk;
+      }
+    };
+
     // ---- arrivals: admission control and backpressure -------------------
     for (auto& c : courses) c.admitted_this_tick = 0;
     while (next_event < events.size() &&
@@ -276,11 +419,15 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
       const auto id = static_cast<std::uint64_t>(next_event);
       const auto& ev = events[next_event];
       ++next_event;
+      const auto course_idx =
+          static_cast<std::size_t>(ev.course %
+                                   static_cast<std::uint32_t>(num_courses));
+      if (!owned[course_idx]) continue;  // another shard's course
       ++stats.arrivals;
-      auto& course =
-          courses[ev.course % static_cast<std::uint32_t>(num_courses)];
+      auto& course = courses[course_idx];
       if (course.admitted_this_tick >= opt_.admit_quota) {
         ++stats.rejected_quota;
+        note_rejected(id, Disposition::kRejectedQuota, ev.lane);
         record(id, Disposition::kRejectedQuota, ev.lane, false, tick, nullptr);
         continue;
       }
@@ -289,6 +436,7 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
       if (course.depth() >= static_cast<std::size_t>(opt_.queue_cap)) {
         if (opt_.shed_policy == ShedPolicy::kNone) {
           ++stats.rejected_full;
+          note_rejected(id, Disposition::kRejectedFull, ev.lane);
           record(id, Disposition::kRejectedFull, ev.lane, false, tick,
                  nullptr);
           continue;
@@ -299,6 +447,7 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
         course.lanes[e.lane].insert(e);
         const Entry victim = course.evict(opt_.shed_policy);
         ++stats.shed;
+        note_shed(victim.id, victim.lane);
         record(victim.id, Disposition::kShed, victim.lane, false, tick,
                nullptr);
         continue;
@@ -306,6 +455,7 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
       course.lanes[e.lane].insert(e);
       ++queued;
     }
+    if (!status.ok()) return res;
     for (const auto& c : courses) {
       stats.peak_depth_first = std::max(
           stats.peak_depth_first, static_cast<std::int64_t>(c.lanes[0].size()));
@@ -345,6 +495,11 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
           if (const auto it = lint_rejected_memo.find(dig);
               it != lint_rejected_memo.end()) {
             ++stats.dedup_hits;
+            if (writing)
+              writer.replayed(e.id, ReplaySource::kLintMemo,
+                              Disposition::kLintRejected, e.lane, it->second);
+            else
+              note_memo_replay(e.id, ReplaySource::kLintMemo);
             count_serviced(Disposition::kLintRejected, it->second, tick,
                            e.arrival);
             record(e.id, Disposition::kLintRejected, e.lane, true, tick,
@@ -355,6 +510,11 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
             if (lint_clean.count(dig) != 0) {
               ++stats.dedup_hits;
               SubmissionOutcome out;  // lint-only pass: no attempts, ok
+              if (writing)
+                writer.replayed(e.id, ReplaySource::kDegradedMemo,
+                                Disposition::kDegraded, e.lane, out);
+              else
+                note_memo_replay(e.id, ReplaySource::kDegradedMemo);
               count_serviced(Disposition::kDegraded, out, tick, e.arrival);
               record(e.id, Disposition::kDegraded, e.lane, true, tick, &out);
               continue;
@@ -363,21 +523,50 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
             if (const auto it = full_done.find(dig); it != full_done.end()) {
               ++stats.dedup_hits;
               const Disposition d = to_disposition(it->second.kind, false);
+              if (writing)
+                writer.replayed(e.id, ReplaySource::kFullMemo, d, e.lane,
+                                it->second);
+              else
+                note_memo_replay(e.id, ReplaySource::kFullMemo);
               count_serviced(d, it->second, tick, e.arrival);
               record(e.id, d, e.lane, true, tick, &it->second);
               continue;
             }
             if (cross_run) {
-              const cache::CacheKey key{"mooc.service", dig, config};
-              SubmissionOutcome out;
-              if (const auto hit = cache::Cache::global().lookup(key);
-                  hit && deserialize_outcome(*hit, out)) {
-                ++stats.cache_hits;
-                const Disposition d = to_disposition(out.kind, false);
-                count_serviced(d, out, tick, e.arrival);
-                record(e.id, d, e.lane, true, tick, &out);
-                full_done.emplace(dig, std::move(out));
-                continue;
+              if (replaying) {
+                // Substitute the journaled cache verdict instead of
+                // consulting the live (cold) cache: the original run's
+                // hit/miss pattern is part of the history being replayed.
+                if (jrepl < jt->replays.size() &&
+                    jt->replays[jrepl].id == e.id &&
+                    jt->replays[jrepl].source == ReplaySource::kCache) {
+                  SubmissionOutcome out = jt->replays[jrepl].outcome;
+                  ++jrepl;
+                  ++stats.cache_hits;
+                  const Disposition d = to_disposition(out.kind, false);
+                  count_serviced(d, out, tick, e.arrival);
+                  record(e.id, d, e.lane, true, tick, &out);
+                  full_done.emplace(dig, std::move(out));
+                  continue;
+                }
+                // No kCache frame for this id: the original run missed
+                // here too; fall through to the batch, where the
+                // journaled outcome is substituted positionally.
+              } else {
+                const cache::CacheKey key{"mooc.service", dig, config};
+                SubmissionOutcome out;
+                if (const auto hit = cache::Cache::global().lookup(key);
+                    hit && deserialize_outcome(*hit, out)) {
+                  ++stats.cache_hits;
+                  const Disposition d = to_disposition(out.kind, false);
+                  if (writing)
+                    writer.replayed(e.id, ReplaySource::kCache, d, e.lane,
+                                    out);
+                  count_serviced(d, out, tick, e.arrival);
+                  record(e.id, d, e.lane, true, tick, &out);
+                  full_done.emplace(dig, std::move(out));
+                  continue;
+                }
               }
             }
           }
@@ -385,14 +574,38 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
         batch.push_back(BatchItem{e, ci, degraded, probe});
       }
     }
+    if (!status.ok()) return res;
 
     // ---- parallel service of the tick's batch ----------------------------
     // Pre-assigned slots, grain 1; every fault draw is keyed by the
     // submission id, so the slot contents are lane-schedule-independent.
+    // During replay the journaled outcomes are substituted into the slots
+    // up front (verified positionally) and the workers re-run ONLY the
+    // pure lint stage -- its verdict cross-checks the substituted kind,
+    // and its per-rule obs counters keep the export byte-identical to
+    // the uninterrupted run's.
     obs::observe("mooc.service.batch_size",
                  static_cast<std::int64_t>(batch.size()));
     bouts.assign(batch.size(), SubmissionOutcome{});
     btallies.assign(batch.size(), FaultTally{});
+    if (replaying) {
+      if (jt->outcomes.size() != batch.size()) {
+        diverge("batch size");
+      } else {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const JournaledOutcome& jo = jt->outcomes[i];
+          if (jo.id != batch[i].e.id || jo.degraded != batch[i].degraded ||
+              jo.probe != batch[i].probe) {
+            diverge("batch slot");
+            break;
+          }
+          bouts[i] = jo.outcome;
+          btallies[i] = jo.tally;
+        }
+      }
+      if (!status.ok()) return res;
+      lint_mismatch.assign(batch.size(), 0);
+    }
     util::parallel_for(
         0, static_cast<std::int64_t>(batch.size()), 1, [&](std::int64_t s) {
           const auto i = static_cast<std::size_t>(s);
@@ -400,6 +613,13 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
           const std::string& body = trace.bodies[item.e.body];
           obs::ScopedSpan grade_span("mooc.service.grade", "mooc");
           auto& out = bouts[i];
+          if (replaying) {
+            SubmissionOutcome probe_out;
+            const bool rejects = lint_pre_grade_rejects(body, qopt, probe_out);
+            if (rejects != (out.kind == OutcomeKind::kRejected))
+              lint_mismatch[i] = 1;
+            return;
+          }
           if (lint_pre_grade_rejects(body, qopt, out)) return;
           if (item.degraded) {
             out.kind = OutcomeKind::kGraded;  // mapped to kDegraded in fold
@@ -409,6 +629,18 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
           grade_one_submission(item.e.id, body, grade_, qopt, out,
                                btallies[i]);
         });
+    if (replaying) {
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        if (lint_mismatch[i] != 0) {
+          diverge("lint verdict");
+          break;
+        }
+      if (!status.ok()) return res;
+      obs::count("journal.ticks_replayed");
+      if (!batch.empty())
+        obs::count("journal.outcomes_replayed",
+                   static_cast<std::int64_t>(batch.size()));
+    }
 
     // ---- sequential fold: stats, memoization, breaker transitions --------
     for (std::size_t s = 0; s < batch.size(); ++s) {
@@ -418,6 +650,9 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
       stats.injected_transients += btallies[s].transients;
       stats.injected_stalls += btallies[s].stalls;
       const Disposition d = to_disposition(out.kind, item.degraded);
+      if (writing)
+        writer.outcome(item.e.id, d, item.e.lane, item.degraded, item.probe,
+                       out, btallies[s]);
       count_serviced(d, out, tick, item.e.arrival);
       if (use_cache) {
         const auto& dig = body_digests[item.e.body];
@@ -442,6 +677,7 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
             course.opened_tick = tick64;
             course.consecutive = 0;
             ++stats.breaker_trips;
+            note_breaker(item.course, BreakerAction::kTrip);
           }
         } else if (!item.degraded) {
           course.consecutive = 0;
@@ -450,23 +686,57 @@ ServiceResult GradingService::run(const SubmissionTrace& trace) const {
         ++stats.breaker_probes;
         if (fault_fail) {
           course.opened_tick = tick64;  // probe failed: restart the schedule
+          note_breaker(item.course, BreakerAction::kProbeFail);
         } else {
           course.open = false;
           course.consecutive = 0;
           ++stats.breaker_recoveries;
+          note_breaker(item.course, BreakerAction::kRecover);
         }
       }
       record(item.e.id, d, item.e.lane, false, tick, &out);
     }
+    if (!status.ok()) return res;
 
     ++stats.ticks;
+    const std::uint64_t check = stats_checksum(stats);
+    if (writing) {
+      if (util::Status st = writer.tick_end(tick, check); !st.ok()) {
+        status = st;
+        return res;
+      }
+    } else if (replaying) {
+      // The tick must be consumed EXACTLY: leftover frames mean the
+      // original run made decisions this replay did not.
+      if (jrej != jt->rejections.size()) diverge("unconsumed rejections");
+      if (jshed != jt->sheds.size()) diverge("unconsumed sheds");
+      if (jrepl != jt->replays.size()) diverge("unconsumed replays");
+      if (jbrk != jt->breakers.size()) diverge("unconsumed breakers");
+      if (check != jt->stats_check) diverge("stats checksum");
+      if (!status.ok()) return res;
+      ++replay_idx;
+    }
     res.tick_duration_us.push_back(obs::Tracer::global().now_us() - t0);
     ++tick64;
   }
 
+  if (replay_idx < replay_ticks.size() && !res.halted) {
+    status = util::Status::internal(
+        "journal contains more complete ticks than the drain produced");
+    return res;
+  }
+  if (journaling && !res.halted && !journal_run_complete) {
+    if (util::Status st = writer.run_end(stats_checksum(stats)); !st.ok()) {
+      status = st;
+      return res;
+    }
+  }
+
   // Metrics flush, sequential, every name emitted even at zero so the
   // golden export's shape does not depend on which paths a run exercised.
-  if (obs::enabled()) {
+  // A halted (simulated-kill) run skips it, like the real dead process
+  // would have -- the recovered process flushes the merged totals.
+  if (obs::enabled() && !res.halted) {
     obs::count("mooc.service.runs");
     obs::count("mooc.service.ticks", stats.ticks);
     obs::count("mooc.service.arrivals", stats.arrivals);

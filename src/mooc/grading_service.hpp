@@ -111,6 +111,15 @@ struct ServiceOptions {
   /// Record one ServiceOutcome per trace event (tests, reports). The
   /// stats/counters accounting is identical either way.
   bool record_outcomes = true;
+
+  /// Logical sharding (shard_map.hpp): with num_shards > 1 this process
+  /// walks the whole trace but owns only the courses the consistent-hash
+  /// ring assigns to `shard` -- foreign events are skipped entirely
+  /// (not arrivals, not rejections), preserving trace-wide submission
+  /// ids so fault draws match the single-process run. merge_sharded()
+  /// reassembles the N partial results into the 1-process result.
+  int num_shards = 1;
+  int shard = 0;
 };
 
 /// Terminal disposition of one arrival. The first six are "admitted"
@@ -146,6 +155,10 @@ struct ServiceOutcome {
   /// rejected/shed outcomes -- at planet scale the disposition itself is
   /// the reason, and a million identical strings help nobody.
   std::string diagnostic;
+
+  /// Field-wise equality -- the recovery and shard-merge tests compare
+  /// whole outcome vectors against the uninterrupted run's.
+  bool operator==(const ServiceOutcome&) const = default;
 };
 
 struct ServiceStats {
@@ -173,6 +186,8 @@ struct ServiceStats {
   std::int64_t peak_depth_resubmit = 0;  ///< max lane-1 depth (any course)
 
   std::int64_t rejected() const { return rejected_quota + rejected_full; }
+
+  bool operator==(const ServiceStats&) const = default;
 };
 
 struct ServiceResult {
@@ -185,6 +200,11 @@ struct ServiceResult {
   /// must stay byte-identical across runs and thread counts).
   std::vector<std::int64_t> tick_duration_us;
 
+  /// The run stopped at RunRequest::halt_after_ticks (the crash
+  /// harness's simulated kill) -- queues were NOT drained and the
+  /// accounting identity is not expected to hold yet.
+  bool halted = false;
+
   /// The zero-silent-drops invariant.
   bool accounting_ok() const {
     return stats.admitted + stats.rejected() + stats.shed == stats.arrivals;
@@ -193,6 +213,26 @@ struct ServiceResult {
 
 /// Exact percentile (nearest-rank) over tick_duration_us; 0 if empty.
 std::int64_t tick_latency_percentile_us(const ServiceResult& res, double pct);
+
+/// Durability controls for one run() invocation -- everything that is
+/// about THIS process's lifetime rather than the service's semantics
+/// (and so stays out of the journal's config digest).
+struct RunRequest {
+  /// Non-empty: journal every decision to this file (mooc/journal.hpp),
+  /// flushed once per tick.
+  std::string journal_path;
+  /// Replay an existing journal at journal_path before grading anything:
+  /// the torn tail is quarantined, the complete-tick prefix is replayed
+  /// to the exact pre-crash state (journaled outcomes substituted, all
+  /// re-derived decisions verified), then the drain continues live,
+  /// appending. A missing/empty journal degrades to a fresh start; a
+  /// journal for a different trace or config is refused.
+  bool recover = false;
+  /// >= 0: stop before processing tick N -- the deterministic stand-in
+  /// for SIGKILL the crash-recovery harness sweeps. The result is
+  /// marked halted and the accounting identity is not enforced.
+  std::int64_t halt_after_ticks = -1;
+};
 
 /// The persistent sharded grading daemon. Construct with options and the
 /// grading callback, then run() a trace: the loop ticks from 0 until the
@@ -207,6 +247,14 @@ class GradingService {
   /// warm re-run against the same cache_domain); each run starts with
   /// empty queues and closed breakers.
   ServiceResult run(const SubmissionTrace& trace) const;
+
+  /// The journal-aware form: same loop, plus whatever `req` asks for.
+  /// `status` is non-ok when the journal cannot be written, a recovery
+  /// header does not match this (trace, options) pair, or replay
+  /// diverges from the journaled decisions -- in every case the partial
+  /// result must not be trusted.
+  ServiceResult run(const SubmissionTrace& trace, const RunRequest& req,
+                    util::Status& status) const;
 
  private:
   ServiceOptions opt_;

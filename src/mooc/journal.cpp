@@ -1,0 +1,529 @@
+#include "mooc/journal.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "cache/cache.hpp"
+#include "obs/metrics.hpp"
+
+namespace l2l::mooc {
+namespace {
+
+// Frame sizes: 1 type byte + 4 length bytes + payload + 4 CRC bytes.
+constexpr std::size_t kFrameOverhead = 9;
+// Payload cap: a frame claiming more is corrupt, not big. The largest
+// legitimate payload is one outcome (a diagnostic string tops out around
+// the grade callback's message sizes), far under this.
+constexpr std::size_t kMaxPayload = std::size_t{1} << 26;
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+/// Read one frame at `pos`. False on truncation, an unknown type byte, an
+/// oversized length, or a CRC mismatch -- the caller treats every one of
+/// those as "the trustworthy prefix ends here".
+bool next_frame(std::string_view data, std::size_t& pos,
+                JournalFrameType& type, std::string_view& payload) {
+  if (pos + kFrameOverhead > data.size()) return false;
+  const auto raw_type = static_cast<unsigned char>(data[pos]);
+  if (raw_type < static_cast<unsigned>(JournalFrameType::kHeader) ||
+      raw_type > static_cast<unsigned>(JournalFrameType::kRunEnd))
+    return false;
+  const std::uint32_t len = get_u32le(data.data() + pos + 1);
+  if (len > kMaxPayload || pos + kFrameOverhead + len > data.size())
+    return false;
+  const std::string_view checked(data.data() + pos, 5 + len);
+  const std::uint32_t want = get_u32le(data.data() + pos + 5 + len);
+  if (cache::crc32(checked) != want) return false;
+  type = static_cast<JournalFrameType>(raw_type);
+  payload = data.substr(pos + 5, len);
+  pos += kFrameOverhead + len;
+  return true;
+}
+
+// ---- payload codecs ------------------------------------------------------
+// Built from the cache layer's length-prefixed records; every decode
+// range-checks enums and requires reader.complete(), so a syntactically
+// valid frame with semantic garbage is still rejected.
+
+void append_u64(std::string& out, std::uint64_t v) {
+  cache::append_i64(out, static_cast<std::int64_t>(v));
+}
+
+bool next_u64(cache::RecordReader& r, std::uint64_t& v) {
+  std::int64_t s = 0;
+  if (!r.next_i64(s)) return false;
+  v = static_cast<std::uint64_t>(s);
+  return true;
+}
+
+bool next_enum(cache::RecordReader& r, std::int64_t max, std::uint8_t& v) {
+  std::int64_t s = 0;
+  if (!r.next_i64(s) || s < 0 || s > max) return false;
+  v = static_cast<std::uint8_t>(s);
+  return true;
+}
+
+std::string encode_header(const JournalHeader& h) {
+  std::string p;
+  append_u64(p, h.version);
+  append_u64(p, h.trace_digest.hi);
+  append_u64(p, h.trace_digest.lo);
+  append_u64(p, h.config_digest.hi);
+  append_u64(p, h.config_digest.lo);
+  append_u64(p, h.num_events);
+  append_u64(p, h.shard);
+  append_u64(p, h.num_shards);
+  return p;
+}
+
+bool decode_header(std::string_view payload, JournalHeader& h) {
+  cache::RecordReader r(payload);
+  std::uint64_t shard = 0, num_shards = 0;
+  if (!next_u64(r, h.version) || !next_u64(r, h.trace_digest.hi) ||
+      !next_u64(r, h.trace_digest.lo) || !next_u64(r, h.config_digest.hi) ||
+      !next_u64(r, h.config_digest.lo) || !next_u64(r, h.num_events) ||
+      !next_u64(r, shard) || !next_u64(r, num_shards) || !r.complete())
+    return false;
+  h.shard = static_cast<std::uint32_t>(shard);
+  h.num_shards = static_cast<std::uint32_t>(num_shards);
+  return true;
+}
+
+constexpr std::int64_t kMaxDisposition =
+    static_cast<std::int64_t>(Disposition::kShed);
+
+bool decode_rejected(std::string_view payload, JournaledRejection& out) {
+  cache::RecordReader r(payload);
+  std::uint8_t d = 0;
+  if (!next_u64(r, out.id) || !next_enum(r, kMaxDisposition, d) ||
+      !next_enum(r, 1, out.lane) || !r.complete())
+    return false;
+  out.disposition = static_cast<Disposition>(d);
+  return out.disposition == Disposition::kRejectedQuota ||
+         out.disposition == Disposition::kRejectedFull;
+}
+
+bool decode_shed(std::string_view payload, JournaledShed& out) {
+  cache::RecordReader r(payload);
+  return next_u64(r, out.id) && next_enum(r, 1, out.lane) && r.complete();
+}
+
+bool decode_replayed(std::string_view payload, JournaledReplay& out) {
+  cache::RecordReader r(payload);
+  std::uint8_t src = 0, d = 0;
+  std::string_view body;
+  if (!next_u64(r, out.id) ||
+      !next_enum(r, static_cast<std::int64_t>(ReplaySource::kCache), src) ||
+      !next_enum(r, kMaxDisposition, d) || !next_enum(r, 1, out.lane) ||
+      !r.next(body) || !r.complete())
+    return false;
+  out.source = static_cast<ReplaySource>(src);
+  out.disposition = static_cast<Disposition>(d);
+  return deserialize_outcome(body, out.outcome);
+}
+
+bool decode_outcome(std::string_view payload, JournaledOutcome& out) {
+  cache::RecordReader r(payload);
+  std::uint8_t d = 0, degraded = 0, probe = 0;
+  std::string_view body;
+  std::int64_t transients = 0, stalls = 0;
+  if (!next_u64(r, out.id) || !next_enum(r, kMaxDisposition, d) ||
+      !next_enum(r, 1, out.lane) || !next_enum(r, 1, degraded) ||
+      !next_enum(r, 1, probe) || !r.next(body) || !r.next_i64(transients) ||
+      !r.next_i64(stalls) || !r.complete())
+    return false;
+  out.disposition = static_cast<Disposition>(d);
+  out.degraded = degraded != 0;
+  out.probe = probe != 0;
+  out.tally.transients = static_cast<int>(transients);
+  out.tally.stalls = static_cast<int>(stalls);
+  return deserialize_outcome(body, out.outcome);
+}
+
+bool decode_breaker(std::string_view payload, JournaledBreaker& out) {
+  cache::RecordReader r(payload);
+  std::uint64_t course = 0;
+  std::uint8_t action = 0;
+  if (!next_u64(r, course) ||
+      !next_enum(r, static_cast<std::int64_t>(BreakerAction::kRecover),
+                 action) ||
+      !r.complete())
+    return false;
+  out.course = static_cast<std::uint32_t>(course);
+  out.action = static_cast<BreakerAction>(action);
+  return true;
+}
+
+bool decode_tick_mark(std::string_view payload, std::uint32_t& tick,
+                      std::uint64_t* check) {
+  cache::RecordReader r(payload);
+  std::uint64_t t = 0;
+  if (!next_u64(r, t)) return false;
+  if (check != nullptr && !next_u64(r, *check)) return false;
+  if (!r.complete()) return false;
+  tick = static_cast<std::uint32_t>(t);
+  return true;
+}
+
+/// The cache tier's write discipline: full bytes to "<path>.tmp", then
+/// one atomic rename. Readers (and a second recovery after a crash mid-
+/// recovery) never see a partial file.
+util::Status write_atomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::error_code ec;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return util::Status::internal("journal: cannot write " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return util::Status::internal("journal: short write to " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return util::Status::internal("journal: cannot rename into " + path);
+  }
+  return util::Status::okay();
+}
+
+JournalScan scan_impl(const std::string& path, std::string* raw_out) {
+  JournalScan out;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return out;  // fresh start
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.status = util::Status::internal("journal: cannot read " + path);
+    return out;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string data = ss.str();
+  if (raw_out != nullptr) *raw_out = data;
+  const auto size = static_cast<std::int64_t>(data.size());
+
+  std::size_t pos = 0;
+  JournalFrameType type{};
+  std::string_view payload;
+  if (!next_frame(data, pos, type, payload) ||
+      type != JournalFrameType::kHeader || !decode_header(payload, out.header) ||
+      out.header.version != kJournalFormatVersion) {
+    // No trustworthy header: the whole file is a torn tail and the drain
+    // starts from scratch.
+    out.torn_bytes = size;
+    return out;
+  }
+  out.found = true;
+  out.valid_bytes = static_cast<std::int64_t>(pos);
+
+  JournalTick cur;
+  bool in_tick = false;
+  while (pos < data.size() && !out.run_complete) {
+    if (!next_frame(data, pos, type, payload)) break;
+    bool ok = true;
+    switch (type) {
+      case JournalFrameType::kHeader:
+        ok = false;  // a second header is corruption, not a format
+        break;
+      case JournalFrameType::kTickBegin:
+        ok = !in_tick && decode_tick_mark(payload, cur.tick, nullptr);
+        if (ok) {
+          in_tick = true;
+          cur.rejections.clear();
+          cur.sheds.clear();
+          cur.replays.clear();
+          cur.outcomes.clear();
+          cur.breakers.clear();
+          cur.stats_check = 0;
+        }
+        break;
+      case JournalFrameType::kRejected:
+        ok = in_tick && decode_rejected(payload, cur.rejections.emplace_back());
+        break;
+      case JournalFrameType::kShed:
+        ok = in_tick && decode_shed(payload, cur.sheds.emplace_back());
+        break;
+      case JournalFrameType::kReplayed:
+        ok = in_tick && decode_replayed(payload, cur.replays.emplace_back());
+        break;
+      case JournalFrameType::kOutcome:
+        ok = in_tick && decode_outcome(payload, cur.outcomes.emplace_back());
+        break;
+      case JournalFrameType::kBreaker:
+        ok = in_tick && decode_breaker(payload, cur.breakers.emplace_back());
+        break;
+      case JournalFrameType::kTickEnd: {
+        std::uint32_t tick = 0;
+        ok = in_tick && decode_tick_mark(payload, tick, &cur.stats_check) &&
+             tick == cur.tick;
+        if (ok) {
+          out.ticks.push_back(cur);
+          in_tick = false;
+          out.valid_bytes = static_cast<std::int64_t>(pos);
+        }
+        break;
+      }
+      case JournalFrameType::kRunEnd: {
+        std::uint64_t check = 0;
+        cache::RecordReader r(payload);
+        // The closing checksum must agree with the last tick's -- one
+        // more way a spliced or fabricated tail fails to parse.
+        ok = !in_tick && next_u64(r, check) && r.complete() &&
+             (out.ticks.empty() || out.ticks.back().stats_check == check);
+        if (ok) {
+          out.run_complete = true;
+          out.valid_bytes = static_cast<std::int64_t>(pos);
+        }
+        break;
+      }
+    }
+    if (!ok) break;
+  }
+  out.torn_bytes = size - out.valid_bytes;
+  // A header with nothing after it carries no decisions; treat the lone
+  // header as part of the valid prefix (found stays true, zero ticks).
+  return out;
+}
+
+}  // namespace
+
+JournalScan scan_journal(const std::string& path) {
+  return scan_impl(path, nullptr);
+}
+
+JournalScan recover_journal(const std::string& path) {
+  std::string raw;
+  JournalScan scan = scan_impl(path, &raw);
+  obs::count("journal.recoveries");
+  if (!scan.status.ok() || scan.torn_bytes == 0) return scan;
+
+  // Quarantine the torn tail next to the journal, then rewrite the
+  // frame-valid prefix -- both atomically, so a crash mid-recovery
+  // leaves either the old journal or the repaired pair, never a mix.
+  const auto valid = static_cast<std::size_t>(scan.valid_bytes);
+  const std::string_view tail(raw.data() + valid, raw.size() - valid);
+  if (auto st = write_atomic(path + ".quarantine", tail); !st.ok()) {
+    scan.status = st;
+    return scan;
+  }
+  if (scan.found) {
+    if (auto st =
+            write_atomic(path, std::string_view(raw.data(), valid));
+        !st.ok()) {
+      scan.status = st;
+      return scan;
+    }
+  } else {
+    // Nothing trustworthy at all: drop the original so the writer
+    // starts a fresh journal.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  obs::count("journal.quarantined_tails");
+  obs::count("journal.quarantined_bytes", scan.torn_bytes);
+  return scan;
+}
+
+// ---- JournalWriter -------------------------------------------------------
+
+util::Status JournalWriter::open(const std::string& path,
+                                 const JournalHeader& header, bool append) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  out_.open(path, append ? std::ios::binary | std::ios::app
+                         : std::ios::binary | std::ios::trunc);
+  if (!out_) return util::Status::internal("journal: cannot open " + path);
+  if (append) return util::Status::okay();
+  frame(JournalFrameType::kHeader, encode_header(header));
+  return flush();
+}
+
+void JournalWriter::frame(JournalFrameType type, std::string_view payload) {
+  const std::size_t start = pending_.size();
+  pending_.push_back(static_cast<char>(type));
+  put_u32le(pending_, static_cast<std::uint32_t>(payload.size()));
+  pending_.append(payload.data(), payload.size());
+  const std::string_view checked(pending_.data() + start,
+                                 pending_.size() - start);
+  put_u32le(pending_, cache::crc32(checked));
+  ++frames_;
+}
+
+util::Status JournalWriter::flush() {
+  if (!pending_.empty()) {
+    out_.write(pending_.data(),
+               static_cast<std::streamsize>(pending_.size()));
+    out_.flush();
+    if (!out_.good())
+      return util::Status::internal("journal: write failed (disk full?)");
+    bytes_written_ += static_cast<std::int64_t>(pending_.size());
+    obs::count("journal.bytes_appended",
+               static_cast<std::int64_t>(pending_.size()));
+    obs::count("journal.frames_appended", frames_);
+    obs::count("journal.flushes");
+    pending_.clear();
+    frames_ = 0;
+  }
+  return util::Status::okay();
+}
+
+void JournalWriter::tick_begin(std::uint32_t tick) {
+  std::string p;
+  append_u64(p, tick);
+  frame(JournalFrameType::kTickBegin, p);
+}
+
+void JournalWriter::rejected(std::uint64_t id, Disposition d,
+                             std::uint8_t lane) {
+  std::string p;
+  append_u64(p, id);
+  append_u64(p, static_cast<std::uint64_t>(d));
+  append_u64(p, lane);
+  frame(JournalFrameType::kRejected, p);
+}
+
+void JournalWriter::shed(std::uint64_t id, std::uint8_t lane) {
+  std::string p;
+  append_u64(p, id);
+  append_u64(p, lane);
+  frame(JournalFrameType::kShed, p);
+}
+
+void JournalWriter::replayed(std::uint64_t id, ReplaySource source,
+                             Disposition d, std::uint8_t lane,
+                             const SubmissionOutcome& out) {
+  std::string p;
+  append_u64(p, id);
+  append_u64(p, static_cast<std::uint64_t>(source));
+  append_u64(p, static_cast<std::uint64_t>(d));
+  append_u64(p, lane);
+  cache::append_record(p, serialize_outcome(out));
+  frame(JournalFrameType::kReplayed, p);
+}
+
+void JournalWriter::outcome(std::uint64_t id, Disposition d,
+                            std::uint8_t lane, bool degraded, bool probe,
+                            const SubmissionOutcome& out,
+                            const FaultTally& tally) {
+  std::string p;
+  append_u64(p, id);
+  append_u64(p, static_cast<std::uint64_t>(d));
+  append_u64(p, lane);
+  append_u64(p, degraded ? 1 : 0);
+  append_u64(p, probe ? 1 : 0);
+  cache::append_record(p, serialize_outcome(out));
+  cache::append_i64(p, tally.transients);
+  cache::append_i64(p, tally.stalls);
+  frame(JournalFrameType::kOutcome, p);
+}
+
+void JournalWriter::breaker(std::uint32_t course, BreakerAction action) {
+  std::string p;
+  append_u64(p, course);
+  append_u64(p, static_cast<std::uint64_t>(action));
+  frame(JournalFrameType::kBreaker, p);
+}
+
+util::Status JournalWriter::tick_end(std::uint32_t tick,
+                                     std::uint64_t stats_check) {
+  std::string p;
+  append_u64(p, tick);
+  append_u64(p, stats_check);
+  frame(JournalFrameType::kTickEnd, p);
+  return flush();
+}
+
+util::Status JournalWriter::run_end(std::uint64_t stats_check) {
+  std::string p;
+  append_u64(p, stats_check);
+  frame(JournalFrameType::kRunEnd, p);
+  return flush();
+}
+
+// ---- digests -------------------------------------------------------------
+
+cache::Digest128 trace_digest(const SubmissionTrace& trace) {
+  cache::Hasher h;
+  h.i32(trace.num_courses);
+  h.u64(trace.ticks);
+  h.u64(trace.bodies.size());
+  for (const auto& b : trace.bodies) h.str(b);
+  h.u64(trace.events.size());
+  for (const auto& e : trace.events)
+    h.u64(e.course)
+        .u64(e.student)
+        .u64(e.body)
+        .u64(e.arrival_tick)
+        .u64(e.deadline_tick)
+        .u64(e.lane);
+  return h.finish();
+}
+
+cache::Digest128 service_config_digest(const ServiceOptions& opt) {
+  cache::Hasher h;
+  h.u64(kJournalFormatVersion)
+      .i32(opt.queue_cap)
+      .i32(opt.admit_quota)
+      .i32(opt.service_rate)
+      .i32(static_cast<std::int32_t>(opt.shed_policy))
+      .i32(opt.breaker_threshold)
+      .i32(opt.breaker_probe_interval)
+      .u64(opt.storm_begin_tick)
+      .u64(opt.storm_end_tick)
+      .f64(opt.storm_transient_rate)
+      .f64(opt.storm_stall_rate)
+      .i32(opt.queue.max_retries)
+      .i32(opt.queue.backoff_base_ticks)
+      .i64(opt.queue.step_limit)
+      .i64(opt.queue.time_limit_ms)
+      .u64(opt.queue.fault_seed)
+      .f64(opt.queue.transient_fault_rate)
+      .f64(opt.queue.stall_rate)
+      .boolean(static_cast<bool>(opt.queue.lint))
+      .str(opt.queue.cache_domain)
+      .boolean(cache::enabled());
+  return h.finish();
+}
+
+std::uint64_t stats_checksum(const ServiceStats& s) {
+  cache::Hasher h;
+  h.i64(s.ticks)
+      .i64(s.arrivals)
+      .i64(s.admitted)
+      .i64(s.rejected_quota)
+      .i64(s.rejected_full)
+      .i64(s.shed)
+      .i64(s.graded)
+      .i64(s.degraded)
+      .i64(s.failed)
+      .i64(s.budget_exceeded)
+      .i64(s.retries_exhausted)
+      .i64(s.lint_rejected)
+      .i64(s.dedup_hits)
+      .i64(s.cache_hits)
+      .i64(s.breaker_trips)
+      .i64(s.breaker_probes)
+      .i64(s.breaker_recoveries)
+      .i64(s.total_attempts)
+      .i64(s.injected_transients)
+      .i64(s.injected_stalls)
+      .i64(s.peak_depth_first)
+      .i64(s.peak_depth_resubmit);
+  return h.finish().lo;
+}
+
+}  // namespace l2l::mooc

@@ -1,0 +1,126 @@
+#include "mooc/shard_map.hpp"
+
+#include <algorithm>
+
+namespace l2l::mooc {
+namespace {
+
+// The ring seed is part of the sharding contract (see header): changing
+// it re-homes every course, so it is a constant, not an option.
+constexpr std::uint64_t kRingSeed = 0x6c326c2d73686172ull;  // "l2l-shar"
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ring_point(std::uint64_t shard, std::uint64_t vnode) {
+  return splitmix64(splitmix64(kRingSeed ^ (shard * 0x100000001b3ull)) ^
+                    vnode);
+}
+
+std::uint64_t course_point(std::uint32_t course) {
+  return splitmix64(kRingSeed ^ (0x9e3779b97f4a7c15ull + course));
+}
+
+}  // namespace
+
+ShardMap::ShardMap(int num_shards) : num_shards_(std::max(num_shards, 1)) {
+  ring_.reserve(static_cast<std::size_t>(num_shards_) * kShardVirtualNodes);
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(num_shards_); ++s)
+    for (int v = 0; v < kShardVirtualNodes; ++v)
+      ring_.emplace_back(ring_point(s, static_cast<std::uint64_t>(v)), s);
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int ShardMap::shard_for_course(std::uint32_t course) const {
+  if (num_shards_ == 1) return 0;
+  const std::uint64_t p = course_point(course);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(p, std::uint32_t{0}));
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return static_cast<int>(it->second);
+}
+
+std::vector<int> ShardMap::courses_per_shard(int num_courses) const {
+  std::vector<int> counts(static_cast<std::size_t>(num_shards_), 0);
+  for (int c = 0; c < num_courses; ++c)
+    ++counts[static_cast<std::size_t>(
+        shard_for_course(static_cast<std::uint32_t>(c)))];
+  return counts;
+}
+
+ServiceResult merge_sharded(const SubmissionTrace& trace, const ShardMap& map,
+                            const std::vector<ServiceResult>& parts,
+                            util::Status& status) {
+  status = util::Status::okay();
+  ServiceResult merged;
+  if (static_cast<int>(parts.size()) != map.num_shards()) {
+    status = util::Status::invalid("merge_sharded: part count != num_shards");
+    return merged;
+  }
+  const int num_courses = std::max(trace.num_courses, 1);
+
+  // Outcomes: each submission belongs to exactly one shard (its course's
+  // owner); merge only when every part recorded outcomes.
+  bool have_outcomes = true;
+  for (const auto& p : parts)
+    have_outcomes = have_outcomes && p.outcomes.size() == trace.events.size();
+  if (have_outcomes) {
+    merged.outcomes.resize(trace.events.size());
+    for (std::size_t id = 0; id < trace.events.size(); ++id) {
+      const auto course = trace.events[id].course %
+                          static_cast<std::uint32_t>(num_courses);
+      const int owner = map.shard_for_course(course);
+      merged.outcomes[id] = parts[static_cast<std::size_t>(owner)].outcomes[id];
+    }
+  }
+
+  auto& m = merged.stats;
+  for (const auto& p : parts) {
+    const auto& s = p.stats;
+    m.ticks = std::max(m.ticks, s.ticks);
+    m.arrivals += s.arrivals;
+    m.admitted += s.admitted;
+    m.rejected_quota += s.rejected_quota;
+    m.rejected_full += s.rejected_full;
+    m.shed += s.shed;
+    m.graded += s.graded;
+    m.degraded += s.degraded;
+    m.failed += s.failed;
+    m.budget_exceeded += s.budget_exceeded;
+    m.retries_exhausted += s.retries_exhausted;
+    m.lint_rejected += s.lint_rejected;
+    m.dedup_hits += s.dedup_hits;
+    m.cache_hits += s.cache_hits;
+    m.breaker_trips += s.breaker_trips;
+    m.breaker_probes += s.breaker_probes;
+    m.breaker_recoveries += s.breaker_recoveries;
+    m.total_attempts += s.total_attempts;
+    m.injected_transients += s.injected_transients;
+    m.injected_stalls += s.injected_stalls;
+    m.peak_depth_first = std::max(m.peak_depth_first, s.peak_depth_first);
+    m.peak_depth_resubmit =
+        std::max(m.peak_depth_resubmit, s.peak_depth_resubmit);
+    merged.halted = merged.halted || p.halted;
+  }
+
+  // Sequential-drain wall clock: tick t of the merged run costs the sum
+  // of every shard's tick t. Nondeterministic, like every duration here.
+  for (const auto& p : parts) {
+    if (p.tick_duration_us.size() > merged.tick_duration_us.size())
+      merged.tick_duration_us.resize(p.tick_duration_us.size(), 0);
+    for (std::size_t t = 0; t < p.tick_duration_us.size(); ++t)
+      merged.tick_duration_us[t] += p.tick_duration_us[t];
+  }
+
+  if (!merged.halted && !merged.accounting_ok())
+    status = util::Status::internal(
+        "merge_sharded: accounting identity broken after merge");
+  return merged;
+}
+
+}  // namespace l2l::mooc

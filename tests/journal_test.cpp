@@ -1,0 +1,594 @@
+// Crash-recovery property tests for the grading-service journal
+// (mooc/journal.hpp) and the consistent-hash shard map
+// (mooc/shard_map.hpp). The central property, pinned from several
+// directions: a service killed at ANY point -- any tick boundary, any
+// byte offset of a torn write -- and restarted with --recover reaches a
+// final state byte-identical to the uninterrupted run's: same outcomes,
+// same stats, same deterministic obs counters (modulo the journal.*
+// family, which legitimately describes THIS process's journal I/O), at
+// any L2L_THREADS. And the sharding property: an N-shard drain, merged,
+// equals the single-process drain submission for submission.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "mooc/cohort.hpp"
+#include "mooc/grading_service.hpp"
+#include "mooc/journal.hpp"
+#include "mooc/shard_map.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace l2l {
+namespace {
+
+std::atomic<std::int64_t> g_grade_calls{0};
+
+double counting_grade(const std::string& s, const util::Budget&) {
+  g_grade_calls.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<double>(s.size() % 101);
+}
+
+/// A compact semester that walks every service path the journal records:
+/// overload (quota rejects + sheds), a fault storm (breaker trips,
+/// degraded service, probes, recoveries), duplicate-heavy uploads
+/// (dedup memo replays), and a lint rule (lint rejections + memo).
+mooc::SubmissionTrace make_trace(int students = 1500, int courses = 2,
+                                 std::uint32_t ticks = 80,
+                                 std::uint64_t seed = 5) {
+  mooc::TraceOptions topt;
+  topt.num_students = students;
+  topt.num_courses = courses;
+  topt.ticks = ticks;
+  util::Rng rng(seed);
+  return mooc::generate_submission_trace(topt, rng);
+}
+
+mooc::ServiceOptions make_options() {
+  mooc::ServiceOptions sopt;
+  sopt.queue_cap = 48;
+  sopt.admit_quota = 32;
+  sopt.service_rate = 8;
+  sopt.breaker_threshold = 4;
+  sopt.breaker_probe_interval = 4;
+  sopt.storm_begin_tick = 20;
+  sopt.storm_end_tick = 40;
+  sopt.storm_transient_rate = 0.95;
+  sopt.storm_stall_rate = 0.3;
+  sopt.queue.max_retries = 1;
+  // A pure-in-the-bytes lint rule with both verdicts represented: the
+  // replay path re-runs lint and cross-checks it against the journal.
+  sopt.queue.lint = [](const std::string& body) {
+    std::vector<util::Diagnostic> out;
+    std::uint32_t sum = 0;
+    for (const char c : body) sum += static_cast<unsigned char>(c);
+    if (sum % 7 == 0)
+      out.push_back(util::make_error(1, 1, "checksum lint tripped"));
+    return out;
+  };
+  return sopt;
+}
+
+/// One service process: clean registry/tracer, cold in-memory cache.
+mooc::ServiceResult run_service(const mooc::SubmissionTrace& trace,
+                                const mooc::ServiceOptions& sopt,
+                                const mooc::RunRequest& req,
+                                util::Status& status) {
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  cache::Cache::global().clear();
+  const mooc::GradingService service(sopt, counting_grade);
+  return service.run(trace, req, status);
+}
+
+/// Counter slice of the export, minus the journal.* family (the one
+/// metric family that legitimately differs between an uninterrupted run
+/// and a crash+recovery pair).
+std::string counters_sans_journal() {
+  std::string out;
+  for (const auto& [name, v] : obs::Registry::global().snapshot().counters)
+    if (name.rfind("journal.", 0) != 0)
+      out += "counter " + name + " " + std::to_string(v) + "\n";
+  return out;
+}
+
+void expect_same_result(const mooc::ServiceResult& got,
+                        const mooc::ServiceResult& want,
+                        const std::string& label) {
+  EXPECT_TRUE(got.stats == want.stats) << label << ": stats diverged";
+  ASSERT_EQ(got.outcomes.size(), want.outcomes.size()) << label;
+  for (std::size_t i = 0; i < want.outcomes.size(); ++i)
+    ASSERT_TRUE(got.outcomes[i] == want.outcomes[i])
+        << label << ": outcome " << i << " diverged";
+}
+
+std::string temp_journal(const std::string& name) {
+  return ::testing::TempDir() + "l2l_journal_test_" + name + ".l2lj";
+}
+
+void remove_journal(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".quarantine", ec);
+}
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::set_num_threads(0);
+    obs::Registry::global().reset();
+    obs::Tracer::global().reset();
+    cache::Cache::global().clear();
+  }
+};
+
+TEST_F(JournalTest, CleanRunRoundTrip) {
+  const auto trace = make_trace();
+  const auto sopt = make_options();
+  util::Status st;
+  const auto plain = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_TRUE(plain.accounting_ok());
+  // The scenario genuinely exercises what the journal must record.
+  EXPECT_GT(plain.stats.shed, 0);
+  EXPECT_GT(plain.stats.rejected_quota, 0);
+  EXPECT_GT(plain.stats.breaker_trips, 0);
+  EXPECT_GT(plain.stats.dedup_hits, 0);
+  EXPECT_GT(plain.stats.lint_rejected, 0);
+
+  const std::string path = temp_journal("clean");
+  remove_journal(path);
+  mooc::RunRequest req;
+  req.journal_path = path;
+  const auto journaled = run_service(trace, sopt, req, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  expect_same_result(journaled, plain, "journaled vs plain");
+
+  const auto scan = mooc::scan_journal(path);
+  ASSERT_TRUE(scan.status.ok()) << scan.status.to_string();
+  EXPECT_TRUE(scan.found);
+  EXPECT_TRUE(scan.run_complete);
+  EXPECT_EQ(scan.torn_bytes, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(scan.ticks.size()),
+            plain.stats.ticks);
+  EXPECT_EQ(scan.header.num_events, trace.events.size());
+  remove_journal(path);
+}
+
+TEST_F(JournalTest, FullReplayInvokesNoGrading) {
+  const auto trace = make_trace();
+  const auto sopt = make_options();
+  const std::string path = temp_journal("full_replay");
+  remove_journal(path);
+  util::Status st;
+  mooc::RunRequest req;
+  req.journal_path = path;
+  const auto original = run_service(trace, sopt, req, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+
+  g_grade_calls.store(0);
+  req.recover = true;
+  const auto replayed = run_service(trace, sopt, req, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(g_grade_calls.load(), 0)
+      << "a full replay must substitute journaled outcomes, not regrade";
+  expect_same_result(replayed, original, "replayed vs original");
+  remove_journal(path);
+}
+
+/// The heart of the tentpole: kill before tick k, recover, and the final
+/// report AND the deterministic obs counters match the uninterrupted
+/// run's. The tier1 sweep samples k; the soak sweep (below) takes every
+/// tick.
+void kill_recover_sweep(const std::vector<std::int64_t>& kill_ticks) {
+  const auto trace = make_trace();
+  const auto sopt = make_options();
+  util::Status st;
+  const auto plain = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+  const std::string want_counters = counters_sans_journal();
+  ASSERT_FALSE(want_counters.empty());
+
+  for (const std::int64_t k : kill_ticks) {
+    const std::string path =
+        temp_journal("kill_" + std::to_string(k));
+    remove_journal(path);
+    mooc::RunRequest crash;
+    crash.journal_path = path;
+    crash.halt_after_ticks = k;
+    const auto halted = run_service(trace, sopt, crash, st);
+    ASSERT_TRUE(st.ok()) << "k=" << k << ": " << st.to_string();
+    EXPECT_EQ(halted.halted, k < plain.stats.ticks) << "k=" << k;
+
+    mooc::RunRequest recover;
+    recover.journal_path = path;
+    recover.recover = true;
+    const auto recovered = run_service(trace, sopt, recover, st);
+    ASSERT_TRUE(st.ok()) << "k=" << k << ": " << st.to_string();
+    expect_same_result(recovered, plain, "k=" + std::to_string(k));
+    EXPECT_EQ(counters_sans_journal(), want_counters)
+        << "obs counters diverged after recovery at k=" << k;
+    remove_journal(path);
+  }
+}
+
+TEST_F(JournalTest, KillAtSampledTicksRecoversExactly) {
+  kill_recover_sweep({0, 1, 5, 17, 21, 33, 39, 59, 1000});
+}
+
+// The exhaustive sweep -- every tick of the semester. Heavy, so it runs
+// only under the soak ctest row (tests/CMakeLists.txt sets the env var).
+TEST_F(JournalTest, FullKillSweep) {
+  if (std::getenv("L2L_FULL_KILL_SWEEP") == nullptr)
+    GTEST_SKIP() << "set L2L_FULL_KILL_SWEEP=1 (soak tier) to run";
+  const auto trace = make_trace();
+  const auto sopt = make_options();
+  util::Status st;
+  const auto plain = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+  std::vector<std::int64_t> every;
+  for (std::int64_t k = 0; k <= plain.stats.ticks; ++k) every.push_back(k);
+  kill_recover_sweep(every);
+}
+
+TEST_F(JournalTest, ByteTruncationNeverCrashesAndRecovers) {
+  const auto trace = make_trace(300, 2, 30, 11);
+  const auto sopt = make_options();
+  util::Status st;
+  const auto plain = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+
+  const std::string path = temp_journal("trunc_src");
+  remove_journal(path);
+  mooc::RunRequest req;
+  req.journal_path = path;
+  (void)run_service(trace, sopt, req, st);
+  ASSERT_TRUE(st.ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  ASSERT_GT(bytes.size(), 1000u);
+
+  const std::string cut = temp_journal("trunc_cut");
+  for (std::size_t len = 0; len <= bytes.size(); len += 311) {
+    remove_journal(cut);
+    {
+      std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(len));
+    }
+    const auto scan = mooc::scan_journal(cut);
+    ASSERT_TRUE(scan.status.ok()) << "len=" << len;
+    EXPECT_EQ(scan.valid_bytes + scan.torn_bytes,
+              static_cast<std::int64_t>(len))
+        << "len=" << len;
+
+    mooc::RunRequest recover;
+    recover.journal_path = cut;
+    recover.recover = true;
+    const auto recovered = run_service(trace, sopt, recover, st);
+    ASSERT_TRUE(st.ok()) << "len=" << len << ": " << st.to_string();
+    expect_same_result(recovered, plain, "len=" + std::to_string(len));
+    remove_journal(cut);
+  }
+  remove_journal(path);
+}
+
+TEST_F(JournalTest, CorruptMidFileByteIsTruncatedAndRecovered) {
+  const auto trace = make_trace(300, 2, 30, 11);
+  const auto sopt = make_options();
+  util::Status st;
+  const auto plain = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+
+  const std::string path = temp_journal("flip");
+  remove_journal(path);
+  mooc::RunRequest req;
+  req.journal_path = path;
+  (void)run_service(trace, sopt, req, st);
+  ASSERT_TRUE(st.ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::int64_t>(f.tellg());
+    f.seekp(size / 2);
+    char c = 0;
+    f.seekg(size / 2);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(size / 2);
+    f.write(&c, 1);
+  }
+  mooc::RunRequest recover;
+  recover.journal_path = path;
+  recover.recover = true;
+  const auto recovered = run_service(trace, sopt, recover, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  expect_same_result(recovered, plain, "mid-file corruption");
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  remove_journal(path);
+}
+
+TEST_F(JournalTest, GarbageTailIsQuarantinedNotTrusted) {
+  const auto trace = make_trace(300, 2, 30, 11);
+  const auto sopt = make_options();
+  util::Status st;
+  const auto plain = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+
+  const std::string path = temp_journal("garbage_tail");
+  remove_journal(path);
+  mooc::RunRequest req;
+  req.journal_path = path;
+  (void)run_service(trace, sopt, req, st);
+  ASSERT_TRUE(st.ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "\x07garbage past the run-end frame\xff\xfe";
+  }
+  const auto scan = mooc::scan_journal(path);
+  ASSERT_TRUE(scan.status.ok());
+  EXPECT_TRUE(scan.run_complete);
+  EXPECT_GT(scan.torn_bytes, 0);
+
+  mooc::RunRequest recover;
+  recover.journal_path = path;
+  recover.recover = true;
+  const auto recovered = run_service(trace, sopt, recover, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  expect_same_result(recovered, plain, "garbage tail");
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  remove_journal(path);
+}
+
+TEST_F(JournalTest, CorruptHeaderStartsFresh) {
+  const auto trace = make_trace(300, 2, 30, 11);
+  const auto sopt = make_options();
+  util::Status st;
+  const auto plain = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+
+  const std::string path = temp_journal("bad_header");
+  remove_journal(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "this is not a journal at all";
+  }
+  mooc::RunRequest recover;
+  recover.journal_path = path;
+  recover.recover = true;
+  const auto recovered = run_service(trace, sopt, recover, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  expect_same_result(recovered, plain, "fresh start after bad header");
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  // And the rewritten journal is a valid complete run.
+  const auto scan = mooc::scan_journal(path);
+  EXPECT_TRUE(scan.found);
+  EXPECT_TRUE(scan.run_complete);
+  remove_journal(path);
+}
+
+TEST_F(JournalTest, MissingJournalRecoversToFreshStart) {
+  const auto trace = make_trace(300, 2, 30, 11);
+  const auto sopt = make_options();
+  util::Status st;
+  const auto plain = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+
+  const std::string path = temp_journal("missing");
+  remove_journal(path);
+  mooc::RunRequest recover;
+  recover.journal_path = path;
+  recover.recover = true;
+  const auto recovered = run_service(trace, sopt, recover, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  expect_same_result(recovered, plain, "recover with no journal");
+  remove_journal(path);
+}
+
+TEST_F(JournalTest, ForeignJournalIsRefused) {
+  const auto trace_a = make_trace(300, 2, 30, 11);
+  const auto trace_b = make_trace(300, 2, 30, 12);  // different seed
+  const auto sopt = make_options();
+  util::Status st;
+  const std::string path = temp_journal("foreign");
+  remove_journal(path);
+  mooc::RunRequest req;
+  req.journal_path = path;
+  (void)run_service(trace_a, sopt, req, st);
+  ASSERT_TRUE(st.ok());
+
+  mooc::RunRequest recover;
+  recover.journal_path = path;
+  recover.recover = true;
+  (void)run_service(trace_b, sopt, recover, st);
+  EXPECT_EQ(st.code, util::StatusCode::kInvalidInput)
+      << "a journal for another trace must be refused, got "
+      << st.to_string();
+
+  // A different config is refused too.
+  auto hot = make_options();
+  hot.queue.max_retries = 3;
+  (void)run_service(trace_a, hot, recover, st);
+  EXPECT_EQ(st.code, util::StatusCode::kInvalidInput) << st.to_string();
+  remove_journal(path);
+}
+
+TEST_F(JournalTest, RecoveredCountersAreThreadCountInvariant) {
+  const auto trace = make_trace();
+  const auto sopt = make_options();
+  util::Status st;
+  std::vector<std::string> exports;
+  for (const int threads : {1, 2, 8}) {
+    util::set_num_threads(threads);
+    const std::string path =
+        temp_journal("threads_" + std::to_string(threads));
+    remove_journal(path);
+    mooc::RunRequest crash;
+    crash.journal_path = path;
+    crash.halt_after_ticks = 13;
+    (void)run_service(trace, sopt, crash, st);
+    ASSERT_TRUE(st.ok());
+    mooc::RunRequest recover;
+    recover.journal_path = path;
+    recover.recover = true;
+    const auto recovered = run_service(trace, sopt, recover, st);
+    ASSERT_TRUE(st.ok());
+    EXPECT_TRUE(recovered.accounting_ok());
+    exports.push_back(counters_sans_journal());
+    remove_journal(path);
+  }
+  ASSERT_EQ(exports.size(), 3u);
+  EXPECT_FALSE(exports[0].empty());
+  EXPECT_EQ(exports[0], exports[1]) << "threads 1 vs 2";
+  EXPECT_EQ(exports[0], exports[2]) << "threads 1 vs 8";
+}
+
+// ---- shard map -----------------------------------------------------------
+
+TEST_F(JournalTest, ShardMapIsDeterministicBalancedAndStable) {
+  const mooc::ShardMap a(4);
+  const mooc::ShardMap b(4);
+  for (std::uint32_t c = 0; c < 4096; ++c)
+    ASSERT_EQ(a.shard_for_course(c), b.shard_for_course(c)) << c;
+
+  const auto per = a.courses_per_shard(4096);
+  ASSERT_EQ(per.size(), 4u);
+  int lo = per[0], hi = per[0];
+  for (const int n : per) {
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  EXPECT_GT(lo, 0);
+  EXPECT_LT(hi, 4 * lo) << "ring too lumpy: " << lo << " .. " << hi;
+
+  // Consistent-hash stability: 4 -> 5 shards re-homes roughly 1/5 of the
+  // courses, never a wholesale reshuffle.
+  const mooc::ShardMap wider(5);
+  int moved = 0;
+  for (std::uint32_t c = 0; c < 4096; ++c)
+    if (wider.shard_for_course(c) != a.shard_for_course(c)) ++moved;
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 4096 * 2 / 5) << "adding a shard re-homed " << moved
+                                 << "/4096 courses";
+}
+
+TEST_F(JournalTest, ShardedDrainMergesToSingleProcess) {
+  const auto trace = make_trace(1200, 8, 60, 7);
+  const auto sopt = make_options();
+  util::Status st;
+  const auto single = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+
+  constexpr int kShards = 4;
+  const mooc::ShardMap map(kShards);
+  std::vector<mooc::ServiceResult> parts;
+  for (int s = 0; s < kShards; ++s) {
+    auto shard_opt = sopt;
+    shard_opt.num_shards = kShards;
+    shard_opt.shard = s;
+    parts.push_back(run_service(trace, shard_opt, {}, st));
+    ASSERT_TRUE(st.ok()) << "shard " << s;
+    EXPECT_TRUE(parts.back().accounting_ok()) << "shard " << s;
+  }
+  const auto merged = mooc::merge_sharded(trace, map, parts, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  expect_same_result(merged, single, "merged vs single-process");
+  EXPECT_TRUE(merged.accounting_ok());
+}
+
+TEST_F(JournalTest, ShardedRecoveryComposesWithMerge) {
+  const auto trace = make_trace(600, 8, 40, 7);
+  const auto sopt = make_options();
+  util::Status st;
+  const auto single = run_service(trace, sopt, {}, st);
+  ASSERT_TRUE(st.ok());
+
+  constexpr int kShards = 3;
+  const mooc::ShardMap map(kShards);
+  std::vector<mooc::ServiceResult> parts;
+  for (int s = 0; s < kShards; ++s) {
+    auto shard_opt = sopt;
+    shard_opt.num_shards = kShards;
+    shard_opt.shard = s;
+    const std::string path =
+        temp_journal("shard_rec_" + std::to_string(s));
+    remove_journal(path);
+    mooc::RunRequest crash;
+    crash.journal_path = path;
+    crash.halt_after_ticks = 9 + s;  // shards die at different ticks
+    (void)run_service(trace, shard_opt, crash, st);
+    ASSERT_TRUE(st.ok());
+    mooc::RunRequest recover;
+    recover.journal_path = path;
+    recover.recover = true;
+    parts.push_back(run_service(trace, shard_opt, recover, st));
+    ASSERT_TRUE(st.ok()) << "shard " << s;
+    remove_journal(path);
+  }
+  const auto merged = mooc::merge_sharded(trace, map, parts, st);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  expect_same_result(merged, single, "recovered shards, merged");
+}
+
+// ---- trace options validation (satellite: the TraceOptions contract) ----
+
+TEST_F(JournalTest, TraceOptionsValidation) {
+  EXPECT_TRUE(mooc::validate(mooc::TraceOptions{}).ok());
+
+  auto expect_invalid = [](mooc::TraceOptions t, const char* what) {
+    const auto st = mooc::validate(t);
+    EXPECT_EQ(st.code, util::StatusCode::kInvalidInput) << what;
+  };
+  mooc::TraceOptions t;
+  t.num_students = -1;
+  expect_invalid(t, "negative students");
+  t = {};
+  t.num_courses = 0;
+  expect_invalid(t, "zero courses");
+  t = {};
+  t.num_courses = 5000;
+  expect_invalid(t, "too many courses");
+  t = {};
+  t.ticks = 1;
+  expect_invalid(t, "degenerate semester");
+  t = {};
+  t.deadline_every = 1;
+  expect_invalid(t, "deadline every tick");
+  t = {};
+  t.deadline_every = 500;  // > ticks (200)
+  expect_invalid(t, "deadline past semester");
+  t = {};
+  t.participation_rate = 1.5;
+  expect_invalid(t, "participation > 1");
+  t = {};
+  t.resubmit_rate = -0.1;
+  expect_invalid(t, "negative resubmit rate");
+  t = {};
+  t.max_submissions = 0;
+  expect_invalid(t, "zero submissions");
+  t = {};
+  t.unique_bodies_per_course = 0;
+  expect_invalid(t, "empty body pool");
+  t = {};
+  t.body_bytes = 8;
+  expect_invalid(t, "bodies below digest floor");
+}
+
+}  // namespace
+}  // namespace l2l

@@ -48,8 +48,7 @@ int main(int argc, char** argv) try {
   l2l::util::ArgParser parser;
   l2l::tools::add_common_flags(parser, common, obs_export);
   parser.flag("--cg", &req.use_cg, "conjugate gradient (needs symmetric A)");
-  parser.int64_value("--time-limit-ms", &req.time_limit_ms,
-                     "wall-clock budget (disables the result cache)");
+  l2l::tools::add_request_flags(parser, req);
   if (const auto st = parser.parse(argc, argv); !st.ok()) return fail(st);
   l2l::tools::apply_cache_flags(common);
 

@@ -82,6 +82,14 @@ scan_in no-unordered-tables 'std::unordered_' '^src/(sat|bdd|esop|sema)/'
 # a future relaxation of the global rules cannot silently unpin it.
 scan_in sema-no-stoi       'std::sto(i|l|ll|ul|ull|f|d|ld)[[:space:]]*\(' '^src/sema/'
 scan_in sema-no-wall-clock 'system_clock|gettimeofday|[^_[:alnum:]]time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)[[:space:]]*\)' '^src/sema/'
+# The crash-recovery journal (PR 10) promises byte-identical replay of a
+# pre-crash drain: a wall-clock read, a steady_clock timestamp baked into
+# a frame, or an unordered-container walk on the write path would make
+# the journal disagree with its own replay. Scoped like the sema pack so
+# the promise survives any relaxation of the global rules.
+scan_in journal-no-clock 'system_clock|steady_clock|gettimeofday|[^_[:alnum:]]time[[:space:]]*\(' '^src/mooc/(journal|shard_map)'
+scan_in journal-no-unordered 'std::unordered_' '^src/mooc/(journal|shard_map)'
+scan_in journal-no-stoi 'std::sto(i|l|ll|ul|ull|f|d|ld)[[:space:]]*\(' '^src/mooc/(journal|shard_map)'
 
 # Apply the allowlist (literal substrings, comments stripped).
 if [ -f "$allow" ]; then

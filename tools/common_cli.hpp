@@ -12,13 +12,20 @@
 //   --no-cache        disable the result cache for this run
 //   --cache-dir DIR   persistent cache tier (same as L2L_CACHE_DIR)
 //
-// Tool-specific flags (budgets, heuristics) stay in each main.
+// Engine portals whose request inherits api::RequestBase additionally
+// register the shared request flags (add_request_flags):
+//
+//   --time-limit-ms N wall-clock budget; >= 0 disables the result cache
+//
+// Tool-specific flags (deterministic budgets, heuristics) stay in each
+// main -- their units differ per engine.
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "api/base.hpp"
 #include "cache/cache.hpp"
 #include "obs/trace.hpp"
 #include "util/arg_parser.hpp"
@@ -48,6 +55,15 @@ inline void add_common_flags(util::ArgParser& parser, CommonFlags& flags,
               "disable the result cache for this run");
   parser.value("--cache-dir", &flags.cache_dir,
                "persistent result-cache directory (same as L2L_CACHE_DIR)");
+}
+
+/// The shared api::RequestBase flags, registered once here instead of
+/// copy-pasted into every engine portal. Pass the request itself (it
+/// inherits RequestBase); the parser writes straight into the base
+/// fields, so there is nothing to copy after parse().
+inline void add_request_flags(util::ArgParser& parser, api::RequestBase& req) {
+  parser.int64_value("--time-limit-ms", &req.time_limit_ms,
+                     "wall-clock budget (disables the result cache)");
 }
 
 /// Apply the cache flags after parse(). --no-cache wins over --cache.

@@ -43,8 +43,7 @@ int main(int argc, char** argv) try {
                      "SAT conflict cap per query");
   parser.int64_value("--prop-limit", &req.prop_limit,
                      "total SAT propagation budget");
-  parser.int64_value("--time-limit-ms", &req.time_limit_ms,
-                     "wall-clock limit (disables the result cache)");
+  l2l::tools::add_request_flags(parser, req);
   parser.flag("--stats", &req.show_stats,
               "per-output term counts, bounds, and query stats");
   if (const auto st = parser.parse(argc, argv); !st.ok()) {

@@ -33,6 +33,7 @@ int main(int argc, char** argv) try {
   parser.flag("--stats", &req.show_stats, "per-output cube/literal stats");
   parser.flag("--single-pass", &req.single_pass,
               "ablation: one expand/reduce pass");
+  l2l::tools::add_request_flags(parser, req);
   if (const auto st = parser.parse(argc, argv); !st.ok()) {
     std::cerr << "error: " << st.message << "\n";
     return l2l::util::kExitUsage;

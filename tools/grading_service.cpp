@@ -16,14 +16,30 @@
 //   --fault-storm      inject a mid-semester fault storm (trips breakers)
 //   --seed N           trace seed
 //
+// Durability / sharding (mooc/journal.hpp, mooc/shard_map.hpp):
+//
+//   --journal-dir D      journal every decision to D/shard-<s>.l2lj,
+//                        flushed once per tick
+//   --recover            replay an existing journal first (quarantining
+//                        any torn tail), then continue the drain live
+//   --shards N           drain the trace as N consistent-hash shards run
+//                        sequentially, then merge -- provably equal to
+//                        the single-process drain
+//   --halt-after-tick K  stop cold before tick K (the crash harness's
+//                        deterministic SIGKILL); prints the partial
+//                        report, skips the accounting check, exits 0
+//
 // Shared pack: --lint/--metrics/--trace/--cache/--no-cache/--cache-dir.
 // Every line of the report except the trailing "# wall-clock" comment is
 // deterministic: bit-identical at any L2L_THREADS value and across runs.
+// The "sharding:" and "journal:" lines describe the run topology, not
+// the drain; comparison tests filter them before diffing reports.
 //
 // Exit codes follow the shared convention (util/status.hpp): 0 ok,
-// 2 usage, 3 malformed flag value, 5 internal error (a broken accounting
-// invariant is an internal error -- the service must never drop work
-// silently).
+// 2 usage, 3 malformed flag value (including out-of-range TraceOptions
+// and a --recover journal written for a different trace/config),
+// 5 internal error (a broken accounting invariant or a journal replay
+// divergence -- the service must never drop work silently).
 
 #include <iostream>
 #include <string>
@@ -33,6 +49,7 @@
 #include "common_cli.hpp"
 #include "mooc/cohort.hpp"
 #include "mooc/grading_service.hpp"
+#include "mooc/shard_map.hpp"
 #include "mooc/submission_lint.hpp"
 #include "obs/trace.hpp"
 #include "util/arg_parser.hpp"
@@ -74,6 +91,10 @@ int main(int argc, char** argv) try {
   std::int64_t service_rate = 64;
   std::int64_t seed = 1;
   bool fault_storm = false;
+  std::string journal_dir;
+  bool recover = false;
+  std::int64_t shards = 1;
+  std::int64_t halt_after_tick = -1;
   l2l::mooc::ServiceOptions sopt;
 
   l2l::util::ArgParser parser;
@@ -98,13 +119,25 @@ int main(int argc, char** argv) try {
   parser.flag("--fault-storm", &fault_storm,
               "inject a mid-semester worker-fault storm");
   parser.int64_value("--seed", &seed, "trace seed");
+  parser.value("--journal-dir", &journal_dir,
+               "journal decisions to DIR/shard-<s>.l2lj");
+  parser.flag("--recover", &recover,
+              "replay the existing journal before continuing the drain");
+  parser.int64_value("--shards", &shards,
+                     "drain as N consistent-hash shards, then merge");
+  parser.int64_value("--halt-after-tick", &halt_after_tick,
+                     "stop cold before tick K (simulated crash)");
   if (const auto st = parser.parse(argc, argv); !st.ok()) return fail(st);
   l2l::tools::apply_cache_flags(common);
+
+  if (shards < 1 || shards > 64)
+    return fail(l2l::util::Status::invalid("--shards wants [1, 64]"));
 
   l2l::mooc::TraceOptions topt;
   topt.num_courses = static_cast<int>(courses);
   topt.num_students = static_cast<int>(students);
   topt.ticks = static_cast<std::uint32_t>(ticks);
+  if (const auto st = l2l::mooc::validate(topt); !st.ok()) return fail(st);
   l2l::util::Rng rng(static_cast<std::uint64_t>(seed));
   const auto trace = l2l::mooc::generate_submission_trace(topt, rng);
 
@@ -137,8 +170,33 @@ int main(int argc, char** argv) try {
     };
   }
 
-  const l2l::mooc::GradingService service(sopt, digest_grade);
-  const auto res = service.run(trace);
+  // Drive each shard sequentially over the same trace (shards == 1 is
+  // the plain single-process drain), journaling per shard if asked, then
+  // merge -- the merged N-shard result equals the 1-process result.
+  const auto num_shards = static_cast<int>(shards);
+  const l2l::mooc::ShardMap shard_map(num_shards);
+  std::vector<l2l::mooc::ServiceResult> parts;
+  for (int shard = 0; shard < num_shards; ++shard) {
+    l2l::mooc::ServiceOptions shard_opt = sopt;
+    shard_opt.num_shards = num_shards;
+    shard_opt.shard = shard;
+    l2l::mooc::RunRequest rreq;
+    if (!journal_dir.empty())
+      rreq.journal_path =
+          journal_dir + "/shard-" + std::to_string(shard) + ".l2lj";
+    rreq.recover = recover;
+    rreq.halt_after_ticks = halt_after_tick;
+    const l2l::mooc::GradingService service(shard_opt, digest_grade);
+    l2l::util::Status run_status;
+    parts.push_back(service.run(trace, rreq, run_status));
+    if (!run_status.ok()) return fail(run_status);
+  }
+  l2l::util::Status merge_status;
+  const auto res = num_shards == 1
+                       ? std::move(parts.front())
+                       : l2l::mooc::merge_sharded(trace, shard_map, parts,
+                                                  merge_status);
+  if (!merge_status.ok()) return fail(merge_status);
   const auto& s = res.stats;
 
   std::cout << "service: courses=" << trace.num_courses
@@ -149,6 +207,18 @@ int main(int argc, char** argv) try {
             << " service-rate=" << sopt.service_rate
             << " shed=" << l2l::mooc::shed_policy_name(sopt.shed_policy)
             << (fault_storm ? " fault-storm" : "") << "\n";
+  // Topology lines: present only when the feature is on, and filtered by
+  // the report-diff tests (the drain itself must match without them).
+  if (num_shards > 1) {
+    std::cout << "sharding: shards=" << num_shards << " courses=[";
+    const auto per = shard_map.courses_per_shard(trace.num_courses);
+    for (std::size_t i = 0; i < per.size(); ++i)
+      std::cout << (i ? "," : "") << per[i];
+    std::cout << "]\n";
+  }
+  if (!journal_dir.empty())
+    std::cout << "journal: dir=" << journal_dir << " shards=" << num_shards
+              << (recover ? " recovered" : "") << "\n";
   std::cout << "arrivals " << s.arrivals << " | admitted " << s.admitted
             << " | rejected-quota " << s.rejected_quota << " | rejected-full "
             << s.rejected_full << " | shed " << s.shed << "\n";
@@ -164,8 +234,12 @@ int main(int argc, char** argv) try {
   std::cout << "peak depth: first " << s.peak_depth_first << " | resubmit "
             << s.peak_depth_resubmit << "\n";
   std::cout << "ticks run " << s.ticks << "\n";
-  std::cout << "accounting: admitted + rejected + shed == arrivals ("
-            << (res.accounting_ok() ? "OK" : "BROKEN") << ")\n";
+  if (res.halted)
+    std::cout << "accounting: halted before tick " << halt_after_tick
+              << " (queues not drained)\n";
+  else
+    std::cout << "accounting: admitted + rejected + shed == arrivals ("
+              << (res.accounting_ok() ? "OK" : "BROKEN") << ")\n";
 
   // The only nondeterministic lines, quarantined behind a comment marker.
   std::int64_t total_us = 0;
@@ -179,7 +253,7 @@ int main(int argc, char** argv) try {
             << " us, p99 " << l2l::mooc::tick_latency_percentile_us(res, 99.0)
             << " us\n";
 
-  if (!res.accounting_ok())
+  if (!res.halted && !res.accounting_ok())
     return fail(l2l::util::Status::internal(
         "accounting invariant broken: a submission was dropped silently"));
   return 0;

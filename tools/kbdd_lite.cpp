@@ -44,8 +44,7 @@ int main(int argc, char** argv) try {
   l2l::util::ArgParser parser;
   l2l::tools::add_common_flags(parser, common, obs_export);
   parser.int64_value("--node-limit", &req.node_limit, "BDD node budget");
-  parser.int64_value("--time-limit-ms", &req.time_limit_ms,
-                     "wall-clock budget (disables the result cache)");
+  l2l::tools::add_request_flags(parser, req);
   if (const auto st = parser.parse(argc, argv); !st.ok()) {
     std::cerr << "error: " << st.message << "\n";
     return l2l::util::kExitUsage;

@@ -47,8 +47,7 @@ int main(int argc, char** argv) try {
   parser.flag("--no-vsids", &no_vsids, "disable the VSIDS decision heuristic");
   parser.flag("--no-restarts", &no_restarts, "disable Luby restarts");
   parser.flag("--stats", &req.show_stats, "print the solver statistics line");
-  parser.int64_value("--time-limit-ms", &req.time_limit_ms,
-                     "wall-clock budget (disables the result cache)");
+  l2l::tools::add_request_flags(parser, req);
   parser.int64_value("--prop-limit", &req.prop_limit, "propagation budget");
   if (const auto st = parser.parse(argc, argv); !st.ok()) return fail(st);
   l2l::tools::apply_cache_flags(common);
